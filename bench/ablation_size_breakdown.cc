@@ -1,0 +1,56 @@
+// Ablation: where microVM's image bytes go, by Fig. 4 category — what each
+// class of options costs in the image and what removing it buys lupine.
+#include "src/kbuild/builder.h"
+#include "src/kconfig/presets.h"
+#include "src/util/table.h"
+
+using namespace lupine;
+using namespace lupine::kconfig;
+
+int main() {
+  PrintBanner("Ablation: microVM image size by option category");
+
+  kbuild::ImageBuilder builder;
+  Config microvm = MicrovmConfig();
+  auto image = builder.Build(microvm);
+  if (!image.ok()) {
+    return 1;
+  }
+
+  struct Row {
+    const char* label;
+    OptionClass cls;
+  };
+  const Row rows[] = {
+      {"lupine-base (retained)", OptionClass::kBase},
+      {"app: network protocols", OptionClass::kAppNetwork},
+      {"app: filesystems", OptionClass::kAppFilesystem},
+      {"app: syscall gates", OptionClass::kAppSyscall},
+      {"app: compression", OptionClass::kAppCompression},
+      {"app: crypto", OptionClass::kAppCrypto},
+      {"app: debugging", OptionClass::kAppDebug},
+      {"app: other services", OptionClass::kAppOther},
+      {"multiple processes", OptionClass::kMultiProcess},
+      {"hardware management", OptionClass::kHardware},
+  };
+
+  Table table({"category", "MB", "% of image"});
+  table.AddRow("unconfigurable core", ToMiB(kbuild::ImageBuilder::CoreSize()),
+               100.0 * static_cast<double>(kbuild::ImageBuilder::CoreSize()) /
+                   static_cast<double>(image->size));
+  for (const auto& row : rows) {
+    Bytes bytes = builder.SizeOfClass(microvm, row.cls);
+    table.AddRow(row.label, ToMiB(bytes),
+                 100.0 * static_cast<double>(bytes) / static_cast<double>(image->size));
+  }
+  table.AddRow("TOTAL (microvm image)", ToMiB(image->size), 100.0);
+  table.Print();
+
+  auto base_image = builder.Build(LupineBase());
+  if (base_image.ok()) {
+    std::printf("\nDropping the removable categories shrinks the image from %s to %s\n"
+                "(hardware management is the single largest win).\n",
+                FormatSize(image->size).c_str(), FormatSize(base_image->size).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 3: Linux kernel configuration options per source directory
+// (total tree vs microVM vs lupine-base).
+#include "src/kconfig/classify.h"
+#include "src/kconfig/presets.h"
+#include "src/util/table.h"
+
+using namespace lupine;
+using namespace lupine::kconfig;
+
+int main() {
+  PrintBanner("Figure 3: Linux kernel configuration options (log scale in the paper)");
+
+  const OptionDb& db = OptionDb::Linux40();
+  auto total = TreeTotalsByDir(db);
+  auto microvm = CountByDir(MicrovmConfig(), db);
+  auto base = CountByDir(LupineBase(), db);
+
+  Table table({"directory", "total", "microvm", "lupine-base"});
+  size_t sum_total = 0;
+  size_t sum_microvm = 0;
+  size_t sum_base = 0;
+  for (int d = 0; d < kNumSourceDirs; ++d) {
+    table.AddRow(SourceDirName(static_cast<SourceDir>(d)), total[d], microvm[d], base[d]);
+    sum_total += total[d];
+    sum_microvm += microvm[d];
+    sum_base += base[d];
+  }
+  table.AddRow("TOTAL", sum_total, sum_microvm, sum_base);
+  table.Print();
+
+  std::printf("\nPaper: 15,953 total options in Linux 4.0; microVM selects 833;\n"
+              "lupine-base retains 283 (34%% of microVM).\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 6: kernel image size for a hello-world application.
+#include "src/core/lineup.h"
+#include "src/util/table.h"
+
+using namespace lupine;
+
+int main() {
+  PrintBanner("Figure 6: image size for hello world");
+
+  Table table({"system", "image size (MB)", "paper shape"});
+  for (auto& system : core::ImageSizeLineup()) {
+    auto size = system->KernelImageSize("hello-world");
+    if (!size.ok()) {
+      table.AddRow(system->name(), "n/a", size.status().ToString());
+      continue;
+    }
+    const char* note = "";
+    if (system->name() == "microvm") {
+      note = "largest";
+    } else if (system->name() == "lupine") {
+      note = "~27% of microVM (~4 MB)";
+    } else if (system->name() == "lupine-tiny") {
+      note = "further ~6% smaller";
+    } else if (system->name() == "lupine-general") {
+      note = "< OSv and Rump";
+    }
+    table.AddRow(system->name(), ToMiB(size.value()), note);
+  }
+  table.Print();
+  return 0;
+}

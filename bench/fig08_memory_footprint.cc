@@ -1,0 +1,32 @@
+// Figure 8: memory footprint (minimum memory to pass the success criteria)
+// for hello / nginx / redis.
+#include "src/core/lineup.h"
+#include "src/util/table.h"
+
+using namespace lupine;
+
+int main() {
+  PrintBanner("Figure 8: memory footprint (MB)");
+
+  Table table({"system", "hello", "nginx", "redis"});
+  for (auto& system : core::MemoryLineup()) {
+    std::vector<std::string> row = {system->name()};
+    for (const std::string app : {"hello-world", "nginx", "redis"}) {
+      auto footprint = system->MemoryFootprint(app);
+      if (footprint.ok()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", ToMiB(footprint.value()));
+        row.push_back(buf);
+      } else {
+        row.push_back("-");  // e.g. HermiTux cannot run nginx.
+      }
+    }
+    table.AddRowVec(row);
+  }
+  table.Print();
+
+  std::printf("\nPaper shape: lupine ~21 MB and flat across apps; microVM higher but\n"
+              "also flat; unikernels vary per app (OSv's redis largest of its three);\n"
+              "HermiTux cannot run nginx at all.\n");
+  return 0;
+}

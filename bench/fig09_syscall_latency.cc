@@ -1,0 +1,26 @@
+// Figure 9: system call latency via the lmbench null/read/write tests.
+#include "src/core/lineup.h"
+#include "src/util/table.h"
+
+using namespace lupine;
+
+int main() {
+  PrintBanner("Figure 9: system call latency via lmbench (us)");
+
+  Table table({"system", "null", "read", "write"});
+  for (auto& system : core::SyscallLineup()) {
+    auto lat = system->SyscallLatency();
+    if (!lat.ok()) {
+      table.AddRow(system->name(), "n/a", "n/a", "n/a");
+      continue;
+    }
+    table.AddRow(system->name(), lat->null_us, lat->read_us, lat->write_us);
+  }
+  table.Print();
+
+  std::printf("\nPaper shape: specialization contributes up to 56%% (write) over\n"
+              "microVM; KML a further ~40%% on null; OSv's hardcoded getppid is\n"
+              "near-zero while its read path is off-scale; Rump's function calls\n"
+              "are uniformly cheap.\n");
+  return 0;
+}

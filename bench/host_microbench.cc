@@ -1,0 +1,81 @@
+// Host-level microbenchmarks (google-benchmark) of the simulator's own
+// primitives: fiber switching, scheduler throughput, rootfs codec, config
+// resolution. These measure the reproduction infrastructure itself, not the
+// simulated guest.
+#include <benchmark/benchmark.h>
+
+#include "src/apps/rootfs_builder.h"
+#include "src/guestos/rootfs.h"
+#include "src/guestos/sched.h"
+#include "src/kbuild/builder.h"
+#include "src/kconfig/presets.h"
+#include "src/kconfig/resolver.h"
+#include "src/util/fiber.h"
+
+namespace {
+
+using namespace lupine;
+
+void BM_FiberSwitch(benchmark::State& state) {
+  bool done = false;
+  Fiber fiber([&] {
+    while (!done) {
+      Fiber::Yield();
+    }
+  });
+  for (auto _ : state) {
+    fiber.Resume();
+  }
+  done = true;
+  fiber.Resume();
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_SchedulerYieldPair(benchmark::State& state) {
+  for (auto _ : state) {
+    VirtualClock clock;
+    kbuild::KernelFeatures features;
+    guestos::Scheduler sched(&clock, &guestos::DefaultCostModel(), &features);
+    for (int t = 0; t < 2; ++t) {
+      sched.Spawn(nullptr, [&sched] {
+        for (int i = 0; i < 100; ++i) {
+          sched.YieldCurrent();
+        }
+      });
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(clock.now());
+  }
+}
+BENCHMARK(BM_SchedulerYieldPair);
+
+void BM_RootfsFormatParse(benchmark::State& state) {
+  std::string blob = apps::BuildAppRootfsForApp("redis", true);
+  for (auto _ : state) {
+    auto spec = guestos::ParseRootfs(blob);
+    benchmark::DoNotOptimize(spec.ok());
+  }
+}
+BENCHMARK(BM_RootfsFormatParse);
+
+void BM_ConfigResolveApp(benchmark::State& state) {
+  for (auto _ : state) {
+    auto config = kconfig::LupineForApp("nginx");
+    benchmark::DoNotOptimize(config.ok());
+  }
+}
+BENCHMARK(BM_ConfigResolveApp);
+
+void BM_KernelImageBuild(benchmark::State& state) {
+  kconfig::Config config = kconfig::LupineGeneral();
+  kbuild::ImageBuilder builder;
+  for (auto _ : state) {
+    auto image = builder.Build(config);
+    benchmark::DoNotOptimize(image.ok());
+  }
+}
+BENCHMARK(BM_KernelImageBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

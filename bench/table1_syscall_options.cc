@@ -1,0 +1,26 @@
+// Table 1: Linux configuration options that enable/disable system calls.
+#include <sstream>
+
+#include "src/kbuild/syscalls.h"
+#include "src/util/table.h"
+
+using namespace lupine;
+using namespace lupine::kbuild;
+
+int main() {
+  PrintBanner("Table 1: configuration options that gate system calls");
+
+  Table table({"Option", "Enabled System Call(s)"});
+  for (const auto& gate : SyscallGates()) {
+    std::ostringstream calls;
+    for (size_t i = 0; i < gate.syscalls.size(); ++i) {
+      calls << (i ? ", " : "") << SyscallName(gate.syscalls[i]);
+    }
+    table.AddRow(gate.option, calls.str());
+  }
+  table.Print();
+
+  std::printf("\n(The 12 Table 1 rows plus the SYSVIPC / POSIX_MQUEUE gates\n"
+              "discussed in Section 4.1.)\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 4: application performance normalized to microVM (higher is better).
+#include "src/core/lineup.h"
+#include "src/util/table.h"
+
+using namespace lupine;
+
+namespace {
+
+std::string Normalized(const Result<double>& value, double baseline) {
+  if (!value.ok() || baseline <= 0) {
+    return "-";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", value.value() / baseline);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Table 4: application performance normalized to microVM");
+
+  // Measure the microVM baselines first.
+  unikernels::LinuxSystem microvm(unikernels::MicrovmSpec());
+  auto rg = microvm.RedisThroughput(false);
+  auto rs = microvm.RedisThroughput(true);
+  auto nc = microvm.NginxThroughput(false);
+  auto ns = microvm.NginxThroughput(true);
+  if (!rg.ok() || !rs.ok() || !nc.ok() || !ns.ok()) {
+    std::fprintf(stderr, "baseline measurement failed\n");
+    return 1;
+  }
+
+  std::printf("microVM absolute: redis-get %.0f req/s, redis-set %.0f req/s,\n"
+              "nginx-conn %.0f req/s, nginx-sess %.0f req/s\n\n",
+              rg.value(), rs.value(), nc.value(), ns.value());
+
+  Table table({"Name", "redis-get", "redis-set", "nginx-conn", "nginx-sess"});
+  for (auto& system : core::AppPerfLineup()) {
+    table.AddRow(system->name(),
+                 Normalized(system->RedisThroughput(false), rg.value()),
+                 Normalized(system->RedisThroughput(true), rs.value()),
+                 Normalized(system->NginxThroughput(false), nc.value()),
+                 Normalized(system->NginxThroughput(true), ns.value()));
+  }
+  table.Print();
+
+  std::printf("\nPaper: lupine 1.21/1.22/1.33/1.14; -tiny costs up to 10 points;\n"
+              "KML adds at most 4; hermitux .66/.67/-/-; osv .87/.53/-/-;\n"
+              "rump .99/.99/1.25/.53.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Section 5 in action: an application that forks control processes runs
+// fine on Lupine (with measurable-but-tiny overhead) while every reference
+// unikernel refuses or crashes.
+#include <cstdio>
+
+#include "src/unikernels/linux_system.h"
+#include "src/unikernels/unikernel_models.h"
+
+using namespace lupine;
+
+int main() {
+  const char* app = "postgres";  // Five processes: the anti-unikernel app.
+
+  std::printf("Can each system run %s (a forking, multi-process app)?\n\n", app);
+  {
+    unikernels::LinuxSystem lupine(unikernels::LupineSpec());
+    auto support = lupine.Supports(app);
+    std::printf("  %-10s: %s\n", lupine.name().c_str(),
+                support.supported ? "yes — it is Linux" : support.reason.c_str());
+  }
+  for (auto profile : {unikernels::OsvProfile(), unikernels::HermituxProfile(),
+                       unikernels::RumpProfile()}) {
+    unikernels::UnikernelModel model(profile);
+    auto support = model.Supports(app);
+    std::printf("  %-10s: %s\n", model.name().c_str(),
+                support.supported ? "yes" : ("NO — " + support.reason).c_str());
+  }
+
+  std::printf("\nBooting %s on lupine...\n", app);
+  unikernels::LinuxSystem lupine(unikernels::LupineSpec());
+  auto vm = lupine.MakeVm(app, 512 * kMiB);
+  if (!vm.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", vm.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = (*vm)->Boot(); !s.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  (*vm)->kernel().Run();
+  std::printf("guest processes now alive: %zu (init + postmaster + workers)\n",
+              (*vm)->kernel().ProcessCount());
+  std::printf("context switches so far: %llu\n",
+              static_cast<unsigned long long>((*vm)->kernel().sched().stats().context_switches));
+  std::printf("\n--- console ---\n%s", (*vm)->kernel().console().contents().c_str());
+  std::printf("\nGraceful degradation: fork works, at the cost of a few context\n"
+              "switches — no crash, no curated list (Section 5).\n");
+  return 0;
+}

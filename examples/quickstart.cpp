@@ -1,0 +1,38 @@
+// Quickstart: build a Lupine unikernel for hello-world, boot it on the
+// simulated Firecracker monitor, and inspect what happened.
+#include <cstdio>
+
+#include "src/core/lupine.h"
+#include "src/util/units.h"
+
+using namespace lupine;
+
+int main() {
+  // 1. Build: specialize the kernel to the app's manifest and pack its
+  //    container image into a rootfs with a generated init script.
+  core::LupineBuilder builder;
+  auto unikernel = builder.BuildForApp("hello-world");
+  if (!unikernel.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", unikernel.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("built %s: kernel image %s, %zu config options\n",
+              unikernel->config.name().c_str(), FormatSize(unikernel->kernel.size).c_str(),
+              unikernel->config.EnabledCount());
+
+  // 2. Launch on Firecracker with 64 MiB of RAM and run to completion.
+  auto vm = unikernel->Launch(64 * kMiB);
+  auto result = vm->BootAndRun();
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.status.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Inspect.
+  std::printf("\nboot time: %s (to init)\n",
+              FormatDuration(vm->boot_report().to_init).c_str());
+  std::printf("exit code: %d\n", result.exit_code);
+  std::printf("peak guest memory: %s\n", FormatSize(vm->kernel().mm().peak()).c_str());
+  std::printf("\n--- guest console ---\n%s", result.console.c_str());
+  return 0;
+}

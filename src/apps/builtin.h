@@ -1,0 +1,27 @@
+// Behavioural application models.
+//
+// hello-world, redis and nginx have full request-serving implementations
+// (they back the macrobenchmarks in Fig. 8 and Table 4); the remaining
+// top-20 applications run a generic startup (feature probes, worker forks,
+// heap warm-up, readiness line) sufficient for the configuration-search
+// experiment (Table 3).
+#ifndef SRC_APPS_BUILTIN_H_
+#define SRC_APPS_BUILTIN_H_
+
+#include "src/guestos/loader.h"
+
+namespace lupine::apps {
+
+// Registers every top-20 app model plus the init-script interpreter in
+// `registry` (defaults to the process-global registry). Idempotent.
+void RegisterBuiltinApps(guestos::AppRegistry* registry = nullptr);
+
+// Per-request user-mode CPU costs of the behavioural servers (shared with
+// the workload generators for reporting).
+inline constexpr Nanos kRedisRequestCpu = 2'600;
+inline constexpr Nanos kNginxRequestCpu = 5'200;
+inline constexpr Nanos kNginxConnectionCpu = 1'200;
+
+}  // namespace lupine::apps
+
+#endif  // SRC_APPS_BUILTIN_H_

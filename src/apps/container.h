@@ -1,0 +1,33 @@
+// Container image metadata (the Docker-Hub side of Figure 2).
+//
+// Lupine leverages container images for minimal root filesystems: the
+// image supplies the application binary, its dynamically-linked libraries,
+// and metadata (entrypoint, env) from which the startup script is derived.
+#ifndef SRC_APPS_CONTAINER_H_
+#define SRC_APPS_CONTAINER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/apps/manifest.h"
+
+namespace lupine::apps {
+
+struct ContainerImage {
+  std::string name;                              // e.g. "redis:alpine".
+  std::string app;                               // Manifest / registry key.
+  std::vector<std::string> entrypoint;           // argv of the app binary.
+  std::map<std::string, std::string> env;        // Environment variables.
+  std::vector<std::string> setup_dirs;           // Directories init creates.
+  bool mounts_proc = true;
+  bool needs_entropy = false;
+  uint64_t ulimit_nofile = 0;                    // 0 = leave default.
+};
+
+// Synthesizes the Alpine-based container image for a top-20 application.
+ContainerImage MakeAlpineImage(const AppManifest& manifest);
+
+}  // namespace lupine::apps
+
+#endif  // SRC_APPS_CONTAINER_H_

@@ -1,0 +1,140 @@
+#include "src/apps/init_script.h"
+
+#include <sstream>
+
+#include "src/guestos/syscall_api.h"
+
+namespace lupine::apps {
+namespace {
+
+using guestos::SyscallApi;
+
+int InitInterpreterMain(SyscallApi& sys, const std::vector<std::string>& argv) {
+  if (argv.empty()) {
+    sys.Write(2, "init: no script path\n");
+    return 1;
+  }
+  const std::string& script_path = argv[0];
+  auto fd = sys.Open(script_path);
+  if (!fd.ok()) {
+    sys.Write(2, "init: cannot open " + script_path + "\n");
+    return 1;
+  }
+  auto content = sys.Read(fd.value(), 1 << 20);
+  sys.Close(fd.value());
+  if (!content.ok()) {
+    sys.Write(2, "init: cannot read " + script_path + "\n");
+    return 1;
+  }
+
+  guestos::Process* self = sys.CurrentProcess();
+  std::istringstream in(content.value());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream words(line);
+    std::string cmd;
+    words >> cmd;
+
+    if (cmd == "hostname") {
+      std::string name;
+      words >> name;
+      if (Status s = sys.Sethostname(name); !s.ok()) {
+        sys.Write(2, "init: hostname: " + s.ToString() + "\n");
+        return 1;
+      }
+    } else if (cmd == "mount") {
+      std::string fstype, path;
+      words >> fstype >> path;
+      if (Status s = sys.Mount(fstype, path); !s.ok()) {
+        sys.Write(2, s.message() + "\n");
+        return 1;
+      }
+    } else if (cmd == "mkdir") {
+      std::string path;
+      words >> path;
+      if (Status s = sys.Mkdir(path); !s.ok() && s.err() != Err::kExist) {
+        sys.Write(2, "init: mkdir " + path + ": " + s.ToString() + "\n");
+        return 1;
+      }
+    } else if (cmd == "env") {
+      std::string kv;
+      words >> kv;
+      size_t eq = kv.find('=');
+      if (eq != std::string::npos && self != nullptr) {
+        self->env[kv.substr(0, eq)] = kv.substr(eq + 1);
+      }
+    } else if (cmd == "ulimit") {
+      std::string resource;
+      uint64_t value = 0;
+      words >> resource >> value;
+      if (Status s = sys.Setrlimit(/*resource=*/7, value); !s.ok()) {
+        sys.Write(2, "init: ulimit: " + s.ToString() + "\n");
+        return 1;
+      }
+    } else if (cmd == "entropy") {
+      // Seed the entropy pool by reading /dev/urandom.
+      auto rng = sys.Open("/dev/urandom");
+      if (rng.ok()) {
+        sys.Read(rng.value(), 512);
+        sys.Close(rng.value());
+      }
+    } else if (cmd == "exec") {
+      std::vector<std::string> exec_argv;
+      std::string word;
+      while (words >> word) {
+        exec_argv.push_back(word);
+      }
+      if (exec_argv.empty()) {
+        sys.Write(2, "init: exec: missing command\n");
+        return 1;
+      }
+      std::string binary = exec_argv[0];
+      Status s = sys.Execve(binary, exec_argv);
+      // Execve only returns on failure.
+      sys.Write(2, "init: exec " + binary + " failed: " + s.ToString() + "\n");
+      return 1;
+    } else {
+      sys.Write(2, "init: unknown command '" + cmd + "'\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string GenerateInitScript(const ContainerImage& image) {
+  std::ostringstream out;
+  out << "#!lupine-init\n";
+  out << "hostname " << image.app << "\n";
+  if (image.mounts_proc) {
+    out << "mount proc /proc\n";
+  }
+  for (const auto& dir : image.setup_dirs) {
+    out << "mkdir " << dir << "\n";
+  }
+  for (const auto& [key, value] : image.env) {
+    out << "env " << key << "=" << value << "\n";
+  }
+  if (image.ulimit_nofile != 0) {
+    out << "ulimit nofile " << image.ulimit_nofile << "\n";
+  }
+  if (image.needs_entropy) {
+    out << "entropy\n";
+  }
+  out << "exec";
+  for (const auto& arg : image.entrypoint) {
+    out << " " << arg;
+  }
+  out << "\n";
+  return out.str();
+}
+
+void RegisterInitInterpreter(guestos::AppRegistry* registry) {
+  registry->Register("lupine-init", InitInterpreterMain);
+}
+
+}  // namespace lupine::apps

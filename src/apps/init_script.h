@@ -1,0 +1,26 @@
+// Application-specific startup script ("init") generation + interpreter.
+//
+// Lupine replaces a general-purpose init system with a script generated from
+// container metadata: it sets the environment from the image's env entries,
+// performs the setup steps the app expects (mount /proc, create directories,
+// seed entropy, set ulimits) and execs the entrypoint (Section 3).
+#ifndef SRC_APPS_INIT_SCRIPT_H_
+#define SRC_APPS_INIT_SCRIPT_H_
+
+#include <string>
+
+#include "src/apps/container.h"
+#include "src/guestos/loader.h"
+
+namespace lupine::apps {
+
+// Renders the #!lupine-init script for a container image.
+std::string GenerateInitScript(const ContainerImage& image);
+
+// Registers the "lupine-init" interpreter (BINFMT_SCRIPT target) in
+// `registry`.
+void RegisterInitInterpreter(guestos::AppRegistry* registry);
+
+}  // namespace lupine::apps
+
+#endif  // SRC_APPS_INIT_SCRIPT_H_

@@ -1,0 +1,97 @@
+#include "src/apps/manifest.h"
+
+#include "src/kconfig/presets.h"
+
+namespace lupine::apps {
+namespace {
+
+AppManifest Make(const std::string& name, const std::string& description, double downloads,
+                 AppKind kind, const std::string& ready_line, uint16_t port, int workers,
+                 Bytes text_kb, Bytes heap_kb) {
+  AppManifest m;
+  m.name = name;
+  m.description = description;
+  m.downloads_billions = downloads;
+  m.kind = kind;
+  m.required_options = kconfig::AppExtraOptions(name);
+  m.ready_line = ready_line;
+  m.listen_port = port;
+  m.forked_workers = workers;
+  m.text_kb = text_kb;
+  m.data_kb = text_kb / 4;
+  m.bss_kb = text_kb / 8;
+  m.startup_heap_kb = heap_kb;
+  return m;
+}
+
+std::vector<AppManifest> BuildManifests() {
+  std::vector<AppManifest> all;
+  all.push_back(Make("nginx", "Web server", 1.7, AppKind::kServer,
+                     "start worker processes", 80, 0, 1200, 2048));
+  all.push_back(Make("postgres", "Database", 1.6, AppKind::kServer,
+                     "database system is ready to accept connections", 5432, 4, 7200, 8192));
+  all.push_back(Make("httpd", "Web server", 1.4, AppKind::kServer,
+                     "resuming normal operations", 80, 0, 2100, 3072));
+  all.push_back(Make("node", "Language runtime", 1.2, AppKind::kOneShot,
+                     "hello from node", 0, 0, 38000, 16384));
+  all.push_back(Make("redis", "Key-value store", 1.2, AppKind::kServer,
+                     "Ready to accept connections", 6379, 0, 1700, 3072));
+  all.push_back(Make("mongo", "NOSQL database", 1.2, AppKind::kServer,
+                     "waiting for connections", 27017, 0, 44000, 32768));
+  all.push_back(Make("mysql", "Database", 1.2, AppKind::kServer,
+                     "ready for connections", 3306, 0, 24000, 24576));
+  all.push_back(Make("traefik", "Edge router", 1.1, AppKind::kServer,
+                     "Server configured and ready", 8080, 0, 52000, 12288));
+  all.push_back(Make("memcached", "Key-value store", 0.9, AppKind::kServer,
+                     "server listening", 11211, 0, 800, 4096));
+  all.push_back(Make("hello-world", "C program \"hello\"", 0.9, AppKind::kOneShot,
+                     "Hello from Docker!", 0, 0, 12, 64));
+  all.push_back(Make("mariadb", "Database", 0.8, AppKind::kServer,
+                     "ready for connections", 3306, 0, 23000, 24576));
+  all.push_back(Make("golang", "Language runtime", 0.6, AppKind::kOneShot,
+                     "hello, world", 0, 0, 1400, 2048));
+  all.push_back(Make("python", "Language runtime", 0.5, AppKind::kOneShot,
+                     "hello world", 0, 0, 4300, 6144));
+  all.push_back(Make("openjdk", "Language runtime", 0.5, AppKind::kOneShot,
+                     "hello world", 0, 0, 18000, 32768));
+  all.push_back(Make("rabbitmq", "Message broker", 0.5, AppKind::kServer,
+                     "Server startup complete", 5672, 0, 14000, 20480));
+  all.push_back(Make("php", "Language runtime", 0.4, AppKind::kOneShot,
+                     "hello world", 0, 0, 9500, 8192));
+  all.push_back(Make("wordpress", "PHP/mysql blog tool", 0.4, AppKind::kServer,
+                     "ready to handle connections", 80, 0, 9800, 12288));
+  all.push_back(Make("haproxy", "Load balancer", 0.4, AppKind::kServer,
+                     "Proxy started", 8080, 0, 2600, 4096));
+  all.push_back(Make("influxdb", "Time series database", 0.3, AppKind::kServer,
+                     "Listening on HTTP", 8086, 0, 31000, 16384));
+  all.push_back(Make("elasticsearch", "Search engine", 0.3, AppKind::kServer,
+                     "started", 9200, 0, 2800, 65536));
+
+  // hello-world is a tiny static binary in the real image.
+  for (auto& m : all) {
+    if (m.name == "hello-world") {
+      m.static_binary = true;
+      m.data_kb = 4;
+      m.bss_kb = 4;
+    }
+  }
+  return all;
+}
+
+}  // namespace
+
+const std::vector<AppManifest>& Top20Manifests() {
+  static const std::vector<AppManifest> manifests = BuildManifests();
+  return manifests;
+}
+
+const AppManifest* FindManifest(const std::string& name) {
+  for (const auto& m : Top20Manifests()) {
+    if (m.name == name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace lupine::apps

@@ -1,0 +1,57 @@
+// Application manifests for the top-20 Docker Hub applications (Table 3).
+//
+// A manifest is what the paper assumes exists per application ("at its
+// simplest, a developer-supplied kernel configuration and startup script",
+// Section 3): identity, popularity, the kernel options it needs beyond
+// lupine-base, how it announces readiness, and the shape of its binary.
+#ifndef SRC_APPS_MANIFEST_H_
+#define SRC_APPS_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace lupine::apps {
+
+enum class AppKind {
+  kOneShot,   // Runs to completion (hello, language runtimes).
+  kServer,    // Blocks serving requests (redis, nginx, databases).
+};
+
+struct AppManifest {
+  std::string name;
+  std::string description;
+  double downloads_billions = 0;  // Docker Hub popularity (Table 3).
+  AppKind kind = AppKind::kOneShot;
+
+  // Kernel options required beyond lupine-base, in the order the app's
+  // startup exercises them (drives the one-failure-at-a-time discovery).
+  std::vector<std::string> required_options;
+
+  // Console line that marks success (the paper's "success criteria").
+  std::string ready_line;
+
+  uint16_t listen_port = 0;     // For servers.
+  int forked_workers = 0;       // postgres-style background processes.
+
+  // Binary shape (segment sizes for the loader's memory accounting).
+  Bytes text_kb = 512;
+  Bytes data_kb = 128;
+  Bytes bss_kb = 64;
+  Bytes stack_kb = 256;
+  bool static_binary = false;   // Needs relinking for KML (Section 3.2).
+
+  // Anonymous heap the app touches at startup (working set floor).
+  Bytes startup_heap_kb = 1024;
+};
+
+// All 20 manifests in popularity order.
+const std::vector<AppManifest>& Top20Manifests();
+
+// Lookup by name; nullptr when unknown.
+const AppManifest* FindManifest(const std::string& name);
+
+}  // namespace lupine::apps
+
+#endif  // SRC_APPS_MANIFEST_H_

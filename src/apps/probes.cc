@@ -1,0 +1,264 @@
+#include "src/apps/probes.h"
+
+#include "src/kconfig/option_names.h"
+
+namespace lupine::apps {
+namespace {
+
+namespace n = kconfig::names;
+using guestos::SockDomain;
+using guestos::SockType;
+using guestos::SyscallApi;
+
+void Say(SyscallApi& sys, const std::string& message) {
+  sys.Write(2, message + "\n");
+}
+
+bool ProbeFutex(SyscallApi& sys) {
+  static int word = 1;
+  // FUTEX_WAIT with a non-matching value returns EAGAIN immediately on a
+  // futex-enabled kernel; ENOSYS otherwise.
+  Status s = sys.FutexWait(&word, 0);
+  if (s.err() == Err::kNoSys) {
+    Say(sys, "the futex facility returned an unexpected error code");
+    return false;
+  }
+  return true;
+}
+
+bool ProbeEpoll(SyscallApi& sys) {
+  auto fd = sys.EpollCreate1();
+  if (!fd.ok()) {
+    Say(sys, "epoll_create1 failed: function not implemented");
+    return false;
+  }
+  sys.Close(fd.value());
+  return true;
+}
+
+bool ProbeUnix(SyscallApi& sys) {
+  auto fd = sys.Socket(SockDomain::kUnix, SockType::kStream);
+  if (!fd.ok()) {
+    Say(sys, "can't create UNIX socket");
+    return false;
+  }
+  sys.Close(fd.value());
+  return true;
+}
+
+bool ProbeEventfd(SyscallApi& sys) {
+  auto fd = sys.Eventfd();
+  if (!fd.ok()) {
+    Say(sys, "eventfd: function not implemented");
+    return false;
+  }
+  sys.Close(fd.value());
+  return true;
+}
+
+bool ProbeAio(SyscallApi& sys) {
+  auto ctx = sys.IoSetup();
+  if (!ctx.ok()) {
+    Say(sys, "io_setup: function not implemented");
+    return false;
+  }
+  return true;
+}
+
+bool ProbeTimerfd(SyscallApi& sys) {
+  auto fd = sys.TimerfdCreate();
+  if (!fd.ok()) {
+    Say(sys, "timerfd_create: function not implemented");
+    return false;
+  }
+  sys.Close(fd.value());
+  return true;
+}
+
+bool ProbeSignalfd(SyscallApi& sys) {
+  auto fd = sys.Signalfd();
+  if (!fd.ok()) {
+    Say(sys, "signalfd: function not implemented");
+    return false;
+  }
+  sys.Close(fd.value());
+  return true;
+}
+
+bool ProbeInotify(SyscallApi& sys) {
+  auto fd = sys.InotifyInit();
+  if (!fd.ok()) {
+    Say(sys, "inotify_init failed: function not implemented");
+    return false;
+  }
+  sys.Close(fd.value());
+  return true;
+}
+
+bool ProbeFanotify(SyscallApi& sys) {
+  auto fd = sys.FanotifyInit();
+  if (!fd.ok()) {
+    Say(sys, "fanotify_init: function not implemented");
+    return false;
+  }
+  sys.Close(fd.value());
+  return true;
+}
+
+bool ProbeFhandle(SyscallApi& sys) {
+  auto fd = sys.OpenByHandleAt("/");
+  if (fd.ok()) {
+    sys.Close(fd.value());
+    return true;
+  }
+  if (fd.err() == Err::kNoSys) {
+    Say(sys, "name_to_handle_at: function not implemented");
+    return false;
+  }
+  return true;  // Other errors mean the syscall exists.
+}
+
+bool ProbeFileLocking(SyscallApi& sys) {
+  auto fd = sys.Open("/tmp/.lockprobe", /*create=*/true);
+  if (!fd.ok()) {
+    fd = sys.Open("/.lockprobe", /*create=*/true);
+  }
+  if (!fd.ok()) {
+    Say(sys, "cannot create lock file");
+    return false;
+  }
+  Status s = sys.Flock(fd.value());
+  sys.Close(fd.value());
+  if (s.err() == Err::kNoSys) {
+    Say(sys, "flock: function not implemented");
+    return false;
+  }
+  return true;
+}
+
+bool ProbeAdvise(SyscallApi& sys) {
+  Status s = sys.Madvise(0);
+  if (s.err() == Err::kNoSys) {
+    Say(sys, "madvise: function not implemented");
+    return false;
+  }
+  return true;
+}
+
+bool ProbeBpf(SyscallApi& sys) {
+  Status s = sys.Bpf();
+  if (s.err() == Err::kNoSys) {
+    Say(sys, "bpf: function not implemented");
+    return false;
+  }
+  return true;
+}
+
+bool ProbeSysvipc(SyscallApi& sys) {
+  auto id = sys.Shmget(kMiB);
+  if (!id.ok()) {
+    Say(sys, "could not create shared memory segment: function not implemented");
+    return false;
+  }
+  return true;
+}
+
+bool ProbeMqueue(SyscallApi& sys) {
+  auto fd = sys.MqOpen("/probe");
+  if (!fd.ok()) {
+    Say(sys, "mq_open: function not implemented");
+    return false;
+  }
+  sys.Close(fd.value());
+  return true;
+}
+
+bool ProbeTmpfs(SyscallApi& sys) {
+  Status s = sys.Mount("tmpfs", "/dev/shm");
+  if (!s.ok()) {
+    Say(sys, "mount: unknown filesystem type 'tmpfs'");
+    return false;
+  }
+  return true;
+}
+
+bool ProbeProcSysctl(SyscallApi& sys) {
+  auto fd = sys.Open("/proc/sys/kernel.pid_max");
+  if (!fd.ok()) {
+    // Maybe /proc just is not mounted yet (init normally does it).
+    sys.Mount("proc", "/proc");
+    fd = sys.Open("/proc/sys/kernel.pid_max");
+  }
+  if (!fd.ok()) {
+    Say(sys, "error: can't open /proc/sys: No such file or directory");
+    return false;
+  }
+  sys.Close(fd.value());
+  return true;
+}
+
+bool ProbeIpv6(SyscallApi& sys) {
+  auto fd = sys.Socket(SockDomain::kInet6, SockType::kStream);
+  if (!fd.ok()) {
+    Say(sys, "socket: Address family not supported by protocol (AF_INET6)");
+    return false;
+  }
+  sys.Close(fd.value());
+  return true;
+}
+
+bool ProbePacket(SyscallApi& sys) {
+  auto fd = sys.Socket(SockDomain::kPacket, SockType::kDgram);
+  if (!fd.ok()) {
+    Say(sys, "socket: Address family not supported by protocol (AF_PACKET)");
+    return false;
+  }
+  sys.Close(fd.value());
+  return true;
+}
+
+bool ProbeHugetlbfs(SyscallApi& sys) {
+  Status s = sys.Mount("hugetlbfs", "/dev/hugepages");
+  if (!s.ok()) {
+    Say(sys, "mount: unknown filesystem type 'hugetlbfs'");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ProbeOption(guestos::SyscallApi& sys, const std::string& option) {
+  if (option == n::kFutex) return ProbeFutex(sys);
+  if (option == n::kEpoll) return ProbeEpoll(sys);
+  if (option == n::kUnix) return ProbeUnix(sys);
+  if (option == n::kEventfd) return ProbeEventfd(sys);
+  if (option == n::kAio) return ProbeAio(sys);
+  if (option == n::kTimerfd) return ProbeTimerfd(sys);
+  if (option == n::kSignalfd) return ProbeSignalfd(sys);
+  if (option == n::kInotifyUser) return ProbeInotify(sys);
+  if (option == n::kFanotify) return ProbeFanotify(sys);
+  if (option == n::kFhandle) return ProbeFhandle(sys);
+  if (option == n::kFileLocking) return ProbeFileLocking(sys);
+  if (option == n::kAdviseSyscalls) return ProbeAdvise(sys);
+  if (option == n::kBpfSyscall) return ProbeBpf(sys);
+  if (option == n::kSysvipc) return ProbeSysvipc(sys);
+  if (option == n::kPosixMqueue) return ProbeMqueue(sys);
+  if (option == n::kTmpfs) return ProbeTmpfs(sys);
+  if (option == n::kProcSysctl) return ProbeProcSysctl(sys);
+  if (option == n::kIpv6) return ProbeIpv6(sys);
+  if (option == n::kPacket) return ProbePacket(sys);
+  if (option == n::kHugetlbfs) return ProbeHugetlbfs(sys);
+  return true;  // Unknown options have no probe (nothing to exercise).
+}
+
+bool RunStartupProbes(guestos::SyscallApi& sys, const std::vector<std::string>& options) {
+  for (const auto& option : options) {
+    if (!ProbeOption(sys, option)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lupine::apps

@@ -1,0 +1,28 @@
+// Startup feature probes.
+//
+// Real applications fail fast at startup when kernel functionality is
+// missing ("we noticed that many applications perform a series of checks
+// when they start up", Section 6.1). Each probe exercises the syscalls one
+// Table 3 option gates and prints the same console diagnostics the paper's
+// authors grepped for; the automatic configuration search keys off them.
+#ifndef SRC_APPS_PROBES_H_
+#define SRC_APPS_PROBES_H_
+
+#include <string>
+
+#include "src/guestos/syscall_api.h"
+
+namespace lupine::apps {
+
+// Exercises the feature gated by `option`; on failure writes a diagnostic to
+// the guest console and returns false.
+bool ProbeOption(guestos::SyscallApi& sys, const std::string& option);
+
+// Runs the probes for every option in `options`, stopping at the first
+// failure (one missing feature surfaces per run, as in the paper's manual
+// process). Returns true when all pass.
+bool RunStartupProbes(guestos::SyscallApi& sys, const std::vector<std::string>& options);
+
+}  // namespace lupine::apps
+
+#endif  // SRC_APPS_PROBES_H_

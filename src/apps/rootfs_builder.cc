@@ -1,0 +1,144 @@
+#include "src/apps/rootfs_builder.h"
+
+#include "src/apps/init_script.h"
+#include "src/apps/manifest.h"
+#include "src/guestos/loader.h"
+
+namespace lupine::apps {
+namespace {
+
+using guestos::BinaryInfo;
+using guestos::FsEntry;
+using guestos::FsSpec;
+using guestos::InodeType;
+
+constexpr char kMuslPath[] = "/lib/ld-musl-x86_64.so.1";
+
+void AddDir(FsSpec& spec, const std::string& path) {
+  FsEntry entry;
+  entry.type = InodeType::kDir;
+  spec[path] = entry;
+}
+
+void AddFile(FsSpec& spec, const std::string& path, std::string data, bool executable = false) {
+  FsEntry entry;
+  entry.type = InodeType::kFile;
+  entry.data = std::move(data);
+  entry.executable = executable;
+  spec[path] = entry;
+}
+
+void AddAlpineBase(FsSpec& spec, bool kml_libc) {
+  AddDir(spec, "/bin");
+  AddDir(spec, "/sbin");
+  AddDir(spec, "/lib");
+  AddDir(spec, "/etc");
+  AddDir(spec, "/tmp");
+  AddDir(spec, "/var");
+  AddDir(spec, "/proc");
+  AddDir(spec, "/sys");
+  AddDir(spec, "/dev");
+  AddDir(spec, "/root");
+  AddFile(spec, "/etc/hostname", "lupine\n");
+  AddFile(spec, "/etc/resolv.conf", "nameserver 10.0.2.3\n");
+  AddFile(spec, "/etc/alpine-release", "3.10.0\n");
+  // musl: the dynamic loader and libc in one object. The KML build replaces
+  // every `syscall` instruction with a near call through the vsyscall-
+  // exported entry (Section 3.2).
+  std::string musl = kml_libc ? "musl libc 1.1.22 [KML-patched: syscall -> call]\n"
+                              : "musl libc 1.1.22\n";
+  AddFile(spec, kMuslPath, std::move(musl), /*executable=*/true);
+  AddFile(spec, "/lib/libz.so.1", "zlib 1.2.11\n");
+}
+
+std::string MakeBinary(const AppManifest& m, bool kml_libc) {
+  BinaryInfo info;
+  info.app = m.name;
+  if (m.static_binary) {
+    info.libc = kml_libc ? "static-kml" : "static";
+    info.interp = "";
+  } else {
+    info.libc = kml_libc ? "musl-kml" : "musl";
+    info.interp = kMuslPath;
+  }
+  info.text_kb = m.text_kb;
+  info.data_kb = m.data_kb;
+  info.bss_kb = m.bss_kb;
+  info.stack_kb = m.stack_kb;
+  return FormatBinary(info);
+}
+
+}  // namespace
+
+FsSpec BuildAppRootfsSpec(const ContainerImage& image, const RootfsOptions& options) {
+  FsSpec spec;
+  AddAlpineBase(spec, options.kml_libc);
+
+  const AppManifest* manifest = FindManifest(image.app);
+  AppManifest fallback;
+  if (manifest == nullptr) {
+    fallback.name = image.app;
+    manifest = &fallback;
+  }
+
+  const std::string binary_path = image.entrypoint.empty() ? "/bin/" + image.app
+                                                           : image.entrypoint[0];
+  AddFile(spec, binary_path, MakeBinary(*manifest, options.kml_libc), /*executable=*/true);
+  // App config files the official images ship.
+  if (image.app == "redis") {
+    AddFile(spec, "/etc/redis.conf", "bind 0.0.0.0\nport 6379\nsave \"\"\n");
+  } else if (image.app == "nginx") {
+    AddFile(spec, "/etc/nginx/nginx.conf", "worker_processes 1;\n");
+    AddFile(spec, "/usr/share/nginx/html/index.html", std::string(612, 'x'));
+  }
+
+  AddFile(spec, "/sbin/init", GenerateInitScript(image), /*executable=*/true);
+  return spec;
+}
+
+std::string BuildAppRootfs(const ContainerImage& image, const RootfsOptions& options) {
+  return guestos::FormatRootfs(BuildAppRootfsSpec(image, options));
+}
+
+std::string BuildAppRootfsForApp(const std::string& app, bool kml_libc) {
+  const AppManifest* manifest = FindManifest(app);
+  AppManifest fallback;
+  if (manifest == nullptr) {
+    fallback.name = app;
+    fallback.ready_line = app + " ready";
+    manifest = &fallback;
+  }
+  ContainerImage image = MakeAlpineImage(*manifest);
+  RootfsOptions options;
+  options.kml_libc = kml_libc;
+  return BuildAppRootfs(image, options);
+}
+
+std::string BuildBenchRootfs(bool kml_libc) {
+  const AppManifest* hello = FindManifest("hello-world");
+  ContainerImage image = MakeAlpineImage(*hello);
+  FsSpec spec = BuildAppRootfsSpec(image, {.kml_libc = kml_libc});
+
+  // /bin/hello: the tiny exec-target for lmbench's exec/sh tests.
+  BinaryInfo hello_bin;
+  hello_bin.app = "hello-world";
+  hello_bin.libc = kml_libc ? "musl-kml" : "musl";
+  hello_bin.interp = kMuslPath;
+  hello_bin.text_kb = 12;
+  hello_bin.data_kb = 4;
+  hello_bin.bss_kb = 4;
+  AddFile(spec, "/bin/hello", FormatBinary(hello_bin), /*executable=*/true);
+
+  // /bin/sh: a shell that execs its argument (lmbench "sh proc").
+  BinaryInfo sh_bin;
+  sh_bin.app = "sh";
+  sh_bin.libc = kml_libc ? "musl-kml" : "musl";
+  sh_bin.interp = kMuslPath;
+  sh_bin.text_kb = 820;  // busybox-sized.
+  sh_bin.data_kb = 64;
+  sh_bin.bss_kb = 32;
+  AddFile(spec, "/bin/sh", FormatBinary(sh_bin), /*executable=*/true);
+  return guestos::FormatRootfs(spec);
+}
+
+}  // namespace lupine::apps

@@ -1,0 +1,36 @@
+// Rootfs construction: container image -> bootable LUPX2FS blob.
+//
+// Mirrors Figure 2's bottom half: the application binary and its libraries
+// come from the (Alpine-based) container image, a KML-enabled musl libc is
+// installed when building for a KML kernel, and the generated startup script
+// becomes /sbin/init.
+#ifndef SRC_APPS_ROOTFS_BUILDER_H_
+#define SRC_APPS_ROOTFS_BUILDER_H_
+
+#include <string>
+
+#include "src/apps/container.h"
+#include "src/guestos/rootfs.h"
+
+namespace lupine::apps {
+
+struct RootfsOptions {
+  // Install the KML-patched musl (Section 3.2). Dynamically-linked app
+  // binaries pick it up without recompilation; static ones must be relinked.
+  bool kml_libc = false;
+};
+
+// Builds the filesystem spec for `image` (app binary + libs + init script).
+guestos::FsSpec BuildAppRootfsSpec(const ContainerImage& image, const RootfsOptions& options);
+
+// Convenience: spec -> serialized image blob.
+std::string BuildAppRootfs(const ContainerImage& image, const RootfsOptions& options);
+std::string BuildAppRootfsForApp(const std::string& app, bool kml_libc);
+
+// A rootfs with the microbenchmark helpers (/bin/hello, /bin/sh) used by the
+// lmbench fork/exec/sh tests.
+std::string BuildBenchRootfs(bool kml_libc);
+
+}  // namespace lupine::apps
+
+#endif  // SRC_APPS_ROOTFS_BUILDER_H_

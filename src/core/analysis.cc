@@ -1,0 +1,43 @@
+#include "src/core/analysis.h"
+
+#include "src/apps/manifest.h"
+#include "src/kconfig/presets.h"
+
+namespace lupine::core {
+
+std::vector<AppConfigRow> Table3Rows() {
+  std::vector<AppConfigRow> rows;
+  for (const auto& manifest : apps::Top20Manifests()) {
+    AppConfigRow row;
+    row.name = manifest.name;
+    row.downloads_billions = manifest.downloads_billions;
+    row.description = manifest.description;
+    row.options_atop_base = kconfig::AppExtraOptions(manifest.name).size();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<size_t> OptionGrowthCurve() {
+  std::vector<size_t> curve;
+  std::set<std::string> seen;
+  for (const auto& app : kconfig::Top20AppNames()) {
+    for (const auto& option : kconfig::AppExtraOptions(app)) {
+      seen.insert(option);
+    }
+    curve.push_back(seen.size());
+  }
+  return curve;
+}
+
+std::set<std::string> UnionOfAppOptions() {
+  std::set<std::string> all;
+  for (const auto& app : kconfig::Top20AppNames()) {
+    for (const auto& option : kconfig::AppExtraOptions(app)) {
+      all.insert(option);
+    }
+  }
+  return all;
+}
+
+}  // namespace lupine::core

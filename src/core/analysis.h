@@ -1,0 +1,31 @@
+// Configuration-diversity analysis (Section 4.1, Figs. 4-5, Table 3).
+#ifndef SRC_CORE_ANALYSIS_H_
+#define SRC_CORE_ANALYSIS_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lupine::core {
+
+// One Table 3 row.
+struct AppConfigRow {
+  std::string name;
+  double downloads_billions = 0;
+  std::string description;
+  size_t options_atop_base = 0;
+};
+
+std::vector<AppConfigRow> Table3Rows();
+
+// Fig. 5: cumulative count of unique options as apps are considered in
+// popularity order. Element i covers apps [0, i].
+std::vector<size_t> OptionGrowthCurve();
+
+// The union of all per-app option sets (lupine-general's additions).
+std::set<std::string> UnionOfAppOptions();
+
+}  // namespace lupine::core
+
+#endif  // SRC_CORE_ANALYSIS_H_

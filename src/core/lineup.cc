@@ -1,0 +1,72 @@
+#include "src/core/lineup.h"
+
+namespace lupine::core {
+
+using unikernels::HermituxProfile;
+using unikernels::LinuxSystem;
+using unikernels::OsvProfile;
+using unikernels::RumpProfile;
+using unikernels::UnikernelModel;
+
+SystemList ImageSizeLineup() {
+  SystemList systems;
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::MicrovmSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineTinySpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineGeneralSpec()));
+  systems.push_back(std::make_unique<UnikernelModel>(HermituxProfile()));
+  systems.push_back(std::make_unique<UnikernelModel>(OsvProfile()));
+  systems.push_back(std::make_unique<UnikernelModel>(RumpProfile()));
+  return systems;
+}
+
+SystemList BootTimeLineup() {
+  SystemList systems;
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::MicrovmSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineNokmlSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineGeneralNokmlSpec()));
+  systems.push_back(std::make_unique<UnikernelModel>(HermituxProfile()));
+  systems.push_back(std::make_unique<UnikernelModel>(OsvProfile(/*zfs=*/false)));
+  systems.push_back(std::make_unique<UnikernelModel>(OsvProfile(/*zfs=*/true)));
+  systems.push_back(std::make_unique<UnikernelModel>(RumpProfile()));
+  return systems;
+}
+
+SystemList MemoryLineup() {
+  SystemList systems;
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::MicrovmSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineGeneralSpec()));
+  systems.push_back(std::make_unique<UnikernelModel>(HermituxProfile()));
+  systems.push_back(std::make_unique<UnikernelModel>(OsvProfile()));
+  systems.push_back(std::make_unique<UnikernelModel>(RumpProfile()));
+  return systems;
+}
+
+SystemList SyscallLineup() {
+  SystemList systems;
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::MicrovmSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineNokmlSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineGeneralSpec()));
+  systems.push_back(std::make_unique<UnikernelModel>(HermituxProfile()));
+  systems.push_back(std::make_unique<UnikernelModel>(OsvProfile()));
+  systems.push_back(std::make_unique<UnikernelModel>(RumpProfile()));
+  return systems;
+}
+
+SystemList AppPerfLineup() {
+  SystemList systems;
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::MicrovmSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineGeneralSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineTinySpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineNokmlSpec()));
+  systems.push_back(std::make_unique<LinuxSystem>(unikernels::LupineNokmlTinySpec()));
+  systems.push_back(std::make_unique<UnikernelModel>(HermituxProfile()));
+  systems.push_back(std::make_unique<UnikernelModel>(OsvProfile()));
+  systems.push_back(std::make_unique<UnikernelModel>(RumpProfile()));
+  return systems;
+}
+
+}  // namespace lupine::core

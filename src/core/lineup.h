@@ -1,0 +1,30 @@
+// Standard system lineups for the evaluation benches.
+#ifndef SRC_CORE_LINEUP_H_
+#define SRC_CORE_LINEUP_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/unikernels/linux_system.h"
+#include "src/unikernels/unikernel_models.h"
+
+namespace lupine::core {
+
+using SystemList = std::vector<std::unique_ptr<unikernels::SystemUnderTest>>;
+
+// Fig. 6 lineup: microVM, lupine, lupine-general, hermitux, osv, rump.
+SystemList ImageSizeLineup();
+// Fig. 7 lineup: microVM, lupine-nokml, lupine-nokml-general, hermitux,
+// osv-rofs, osv-zfs, rump.
+SystemList BootTimeLineup();
+// Fig. 8 lineup: microVM, lupine, lupine-general, hermitux, osv, rump.
+SystemList MemoryLineup();
+// Fig. 9 lineup: microvm, lupine-nokml, lupine, lupine-general, hermitux,
+// osv, rump.
+SystemList SyscallLineup();
+// Table 4 lineup: microVM + five lupine variants + the three unikernels.
+SystemList AppPerfLineup();
+
+}  // namespace lupine::core
+
+#endif  // SRC_CORE_LINEUP_H_

@@ -1,0 +1,54 @@
+// LupineBuilder: the paper's headline artifact.
+//
+// Given an application manifest and its container image, produce a Lupine
+// "unikernel": a specialized Linux kernel image (lupine-base + the app's
+// options, optionally KML-patched and/or size-optimized) plus a root
+// filesystem holding the app, a (KML-patched) musl libc and a generated
+// startup script — launchable on a Firecracker-style monitor (Figs. 1-2).
+#ifndef SRC_CORE_LUPINE_H_
+#define SRC_CORE_LUPINE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/apps/container.h"
+#include "src/apps/manifest.h"
+#include "src/kbuild/image.h"
+#include "src/vmm/vm.h"
+
+namespace lupine::core {
+
+struct BuildOptions {
+  bool kml = true;             // Apply Kernel Mode Linux (Section 3.2).
+  bool tiny = false;           // Optimize for size over performance (-Os).
+  bool general_config = false; // Use lupine-general instead of per-app.
+  // Extra options beyond the manifest (developer-supplied manifest knobs).
+  std::vector<std::string> extra_options;
+};
+
+// The build artifact: everything needed to launch.
+struct Unikernel {
+  kbuild::KernelImage kernel;
+  std::string rootfs;          // LUPX2FS blob.
+  std::string init_script;     // For inspection.
+  kconfig::Config config;      // The specialized configuration.
+
+  // Launches on Firecracker with `memory` of guest RAM.
+  std::unique_ptr<vmm::Vm> Launch(Bytes memory = 512 * kMiB) const;
+};
+
+class LupineBuilder {
+ public:
+  LupineBuilder();
+
+  // Builds from an explicit manifest + container image.
+  Result<Unikernel> Build(const apps::AppManifest& manifest, const apps::ContainerImage& image,
+                          const BuildOptions& options = {}) const;
+
+  // Convenience for the top-20 apps (synthesizes the Alpine image).
+  Result<Unikernel> BuildForApp(const std::string& app, const BuildOptions& options = {}) const;
+};
+
+}  // namespace lupine::core
+
+#endif  // SRC_CORE_LUPINE_H_

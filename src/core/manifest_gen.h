@@ -1,0 +1,53 @@
+// Trace-based application-manifest generation.
+//
+// The paper assumes a developer-supplied manifest and cites dynamic-analysis
+// tooling (DockerSlim, Twistlock, kernel-tailoring frameworks [30, 31, 37])
+// as the way to produce one. This module implements that pipeline: run the
+// application once on a fully-featured kernel (microVM: everything enabled)
+// with syscall tracing on, then map the observed syscalls and feature events
+// back to the Kconfig options that gate them (Table 1's reverse mapping).
+//
+// Compared with the boot-loop search in config_search.*, tracing needs a
+// single boot instead of one per missing option — but inherits dynamic
+// analysis' blind spot: code paths not exercised during the trace are
+// invisible (Section 7's "limited by only considering code executed during
+// the analysis phase").
+#ifndef SRC_CORE_MANIFEST_GEN_H_
+#define SRC_CORE_MANIFEST_GEN_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/guestos/trace.h"
+#include "src/util/result.h"
+
+namespace lupine::core {
+
+struct GeneratedManifest {
+  // Options (beyond lupine-base) the trace shows the app needs.
+  std::set<std::string> options;
+  size_t syscall_events = 0;       // Total syscalls observed.
+  size_t distinct_syscalls = 0;    // Distinct syscall numbers.
+};
+
+// Maps a raw trace to the gating options it implies.
+std::set<std::string> OptionsFromTrace(const guestos::TraceLog& trace);
+
+// Runs `app` on a microVM (fully-featured) kernel with tracing enabled and
+// derives its manifest options. Servers are run through their readiness
+// announcement; one-shot apps to completion.
+Result<GeneratedManifest> GenerateManifestFromTrace(const std::string& app);
+
+// Section 4.1's open question: "provide a guarantee that lupine-general is
+// sufficient for a given workload". With a trace-derived option set the
+// check becomes mechanical.
+struct CoverageReport {
+  bool covered = false;
+  std::vector<std::string> missing;  // Options lupine-general lacks.
+};
+CoverageReport CheckLupineGeneralCoverage(const std::set<std::string>& options);
+
+}  // namespace lupine::core
+
+#endif  // SRC_CORE_MANIFEST_GEN_H_

@@ -1,0 +1,76 @@
+#include "src/core/multik.h"
+
+#include <functional>
+#include <sstream>
+
+namespace lupine::core {
+
+std::unique_ptr<vmm::Vm> KernelCache::AppArtifact::Launch(Bytes memory) const {
+  vmm::VmSpec spec;
+  spec.monitor = vmm::Firecracker();
+  spec.image = *kernel;
+  spec.rootfs = rootfs;
+  spec.memory = memory;
+  return std::make_unique<vmm::Vm>(std::move(spec));
+}
+
+std::string KernelCache::ConfigFingerprint(const kconfig::Config& config) {
+  // Canonical text: sorted option=value lines + build knobs. (EnabledOptions
+  // is already sorted; Config::name deliberately excluded — two differently
+  // named but identical configs produce identical kernels.)
+  std::ostringstream key;
+  for (const auto& option : config.EnabledOptions()) {
+    key << option << "=" << config.GetValue(option) << ";";
+  }
+  key << "mode=" << (config.compile_mode() == kconfig::CompileMode::kOs ? "Os" : "O2");
+  key << ";kml=" << (config.kml_patch_applied() ? 1 : 0);
+  // Content address: a stable hash over the canonical text.
+  return std::to_string(std::hash<std::string>{}(key.str()));
+}
+
+Result<const KernelCache::AppArtifact*> KernelCache::GetOrBuild(const std::string& app) {
+  ++requests_;
+  auto cached = apps_.find(app);
+  if (cached != apps_.end()) {
+    return &cached->second;
+  }
+
+  auto built = builder_.BuildForApp(app, options_);
+  if (!built.ok()) {
+    return built.status();
+  }
+  std::string fingerprint = ConfigFingerprint(built->config);
+  auto it = kernels_.find(fingerprint);
+  if (it == kernels_.end()) {
+    ++builds_;
+    it = kernels_
+             .emplace(fingerprint, std::make_unique<kbuild::KernelImage>(built->kernel))
+             .first;
+  }
+
+  AppArtifact artifact;
+  artifact.kernel = it->second.get();
+  artifact.rootfs = std::move(built->rootfs);
+  artifact.init_script = std::move(built->init_script);
+  app_fingerprint_[app] = fingerprint;
+  auto [inserted, ok] = apps_.emplace(app, std::move(artifact));
+  (void)ok;
+  return &inserted->second;
+}
+
+KernelCache::Stats KernelCache::stats() const {
+  Stats stats;
+  stats.requests = requests_;
+  stats.builds = builds_;
+  stats.apps = apps_.size();
+  stats.distinct_kernels = kernels_.size();
+  for (const auto& [app, fingerprint] : app_fingerprint_) {
+    stats.bytes_if_unshared += kernels_.at(fingerprint)->size;
+  }
+  for (const auto& [fingerprint, image] : kernels_) {
+    stats.bytes_stored += image->size;
+  }
+  return stats;
+}
+
+}  // namespace lupine::core

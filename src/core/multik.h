@@ -1,0 +1,67 @@
+// MultiK-style kernel orchestration (the authors' companion framework,
+// reference [36]: "MultiK: A Framework for Orchestrating Multiple
+// Specialized Kernels").
+//
+// A fleet of Lupine unikernels builds one kernel per application; many of
+// those are identical (every language runtime needs zero options beyond
+// lupine-base, Table 3). The KernelCache content-addresses built kernel
+// images by their configuration so identical specializations share one
+// image — root filesystems stay per-application — and reports fleet-level
+// statistics (distinct kernels, image bytes saved).
+#ifndef SRC_CORE_MULTIK_H_
+#define SRC_CORE_MULTIK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/lupine.h"
+
+namespace lupine::core {
+
+class KernelCache {
+ public:
+  explicit KernelCache(BuildOptions options = {}) : options_(std::move(options)) {}
+
+  // What a fleet member deploys: a (possibly shared) kernel image plus its
+  // own rootfs.
+  struct AppArtifact {
+    const kbuild::KernelImage* kernel = nullptr;  // Owned by the cache.
+    std::string rootfs;
+    std::string init_script;
+
+    std::unique_ptr<vmm::Vm> Launch(Bytes memory = 512 * kMiB) const;
+  };
+
+  // Builds (or reuses) the specialized kernel for `app`. Returned pointer
+  // is owned by the cache and stable for its lifetime.
+  Result<const AppArtifact*> GetOrBuild(const std::string& app);
+
+  struct Stats {
+    size_t requests = 0;          // GetOrBuild calls.
+    size_t builds = 0;            // Kernel builds (fingerprint misses).
+    size_t apps = 0;              // Distinct applications served.
+    size_t distinct_kernels = 0;
+    Bytes bytes_if_unshared = 0;  // Sum of per-app image sizes without sharing.
+    Bytes bytes_stored = 0;       // Sum of distinct image sizes.
+    Bytes bytes_saved() const { return bytes_if_unshared - bytes_stored; }
+  };
+  Stats stats() const;
+
+  // The cache key: a canonical fingerprint of the enabled option set and
+  // build knobs (what makes two kernels byte-identical in this model).
+  static std::string ConfigFingerprint(const kconfig::Config& config);
+
+ private:
+  BuildOptions options_;
+  LupineBuilder builder_;
+  std::map<std::string, std::unique_ptr<kbuild::KernelImage>> kernels_;  // By fingerprint.
+  std::map<std::string, AppArtifact> apps_;                              // By app name.
+  std::map<std::string, std::string> app_fingerprint_;
+  size_t requests_ = 0;
+  size_t builds_ = 0;
+};
+
+}  // namespace lupine::core
+
+#endif  // SRC_CORE_MULTIK_H_

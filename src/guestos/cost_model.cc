@@ -1,0 +1,10 @@
+#include "src/guestos/cost_model.h"
+
+namespace lupine::guestos {
+
+const CostModel& DefaultCostModel() {
+  static const CostModel model;
+  return model;
+}
+
+}  // namespace lupine::guestos

@@ -1,0 +1,182 @@
+// CostModel: every performance constant of the guest simulation, in one
+// place, each traceable to a claim in the paper.
+//
+// The simulator executes real control flow (threads block on real wait
+// queues, pages are really allocated on first touch, packets really traverse
+// a loopback queue); this header only prices those operations. Shapes in the
+// reproduced figures come from the mechanism; these constants pin the scale:
+//
+//   * KML removes the user<->kernel privilege transition (Section 3.2):
+//     a syscall becomes a near call, ~40% off a null syscall (Fig. 9/10).
+//   * Mitigations (retpolines & friends) tax both the transition and
+//     kernel-mode cycles; disabling them is where Lupine's ~20% macro win
+//     comes from (Section 4.6, [52]).
+//   * KPTI multiplies transition cost ~10x (Section 3.1.2).
+//   * SMP adds lock/barrier costs even on one CPU (Section 5: <=8% worst
+//     case on futex stress).
+//   * -Os code runs a few percent slower (-tiny loses up to 10 points on
+//     nginx-conn, Table 4).
+#ifndef SRC_GUESTOS_COST_MODEL_H_
+#define SRC_GUESTOS_COST_MODEL_H_
+
+#include "src/kbuild/features.h"
+#include "src/util/units.h"
+
+namespace lupine::guestos {
+
+struct CostModel {
+  // ---- Privilege transitions -------------------------------------------------
+  Nanos transition_base = 8;        // One direction, bare syscall/sysret.
+  Nanos transition_mitigations = 8; // Extra per direction with MITIGATIONS.
+  double kpti_transition_factor = 10.0;  // KPTI multiplies the transition.
+  Nanos transition_kml = 1;         // Near call when KML runs the app in ring 0.
+
+  // ---- Syscall fixed costs (kernel cycles) -----------------------------------
+  Nanos syscall_dispatch = 9;       // Entry stub, table lookup.
+  Nanos syscall_frame = 5;          // pt_regs save/restore.
+  Nanos hook_audit = 5;             // Per-syscall audit hook when CONFIG_AUDIT.
+  Nanos hook_seccomp = 5;           // Per-syscall seccomp check when enabled.
+
+  // Kernel-mode cycle multiplier with MITIGATIONS on (indirect-branch
+  // thunking through the whole kernel).
+  double mitigations_cycle_factor = 1.5;
+  // Kernel compiled -Os runs this much slower.
+  double os_mode_cycle_factor = 1.07;
+
+  // ---- Simple syscall work ----------------------------------------------------
+  Nanos work_getppid = 5;
+  Nanos work_read_devzero = 18;
+  Nanos work_write_devnull = 15;
+  Nanos work_stat = 90;
+  Nanos work_open = 160;
+  Nanos work_close = 60;
+  Nanos work_fd_alloc = 25;
+  Nanos work_select_base = 200;
+  Nanos select_per_file_fd = 4;     // Table 5 "100fd selct" ~0.5us.
+  Nanos select_per_tcp_fd = 13;     // Table 5 "slct TCP" ~1.5us.
+  Nanos work_poll_per_fd = 30;
+  Nanos work_epoll_wait = 120;
+  Nanos work_epoll_ctl = 90;
+  Nanos work_sig_inst = 30;
+  Nanos work_sig_handle = 250;
+  double copy_per_byte = 0.045;     // memcpy through the kernel, ns/byte.
+
+  // ---- Scheduling --------------------------------------------------------------
+  Nanos sched_pick = 60;            // Runqueue selection.
+  Nanos ctxsw_registers = 240;      // Register + FPU state swap.
+  Nanos ctxsw_address_space = 15;   // cr3 write with PCID (cheap: Section 5
+                                    // finds processes ~= threads).
+  Nanos smp_lock = 12;              // Runqueue/futex-bucket lock even on
+                                    // 1 CPU (Section 5: <=8% worst case).
+  Nanos ctxsw_cache_per_kb = 13;    // Working-set refill per KiB touched
+                                    // (lmbench 2p/16K vs 2p/64K spread).
+  // Cache pressure: the refill fraction grows as the combined working set
+  // of all switching threads overflows the cache (8p/16p rows sit above 2p).
+  double cache_pressure_base = 0.5;
+  double cache_pressure_per_kb = 1.0 / 1024.0;
+  Nanos ctxsw_per_queued = 15;      // Runqueue-depth effect.
+
+  // ---- Futex / IPC ---------------------------------------------------------------
+  Nanos futex_op = 80;              // Hash-bucket lookup + queue op.
+  Nanos sem_op = 95;
+  Nanos pipe_transfer = 420;        // Per wakeup-synchronized transfer leg.
+  Nanos unix_transfer = 520;
+  Nanos sysv_shm_op = 300;
+
+  // ---- Memory ---------------------------------------------------------------------
+  Nanos page_fault = 95;            // Anonymous minor fault (Table 5 ~0.1us).
+  Nanos page_zero = 110;            // Zeroing a fresh 4K page.
+  Nanos mmap_base = 600;            // VMA bookkeeping.
+  Nanos fork_base = 30'000;         // task_struct, fd table, signal copy
+                                    // (Table 5: 57us microVM / 43us lupine).
+  Nanos fork_per_vma = 800;
+  Nanos fork_per_page_table_page = 180;
+  Nanos exec_base = 100'000;        // Binary parsing, stack setup
+                                    // (Table 5: 202us / 156us).
+  Nanos exec_dynlink = 40'000;      // ld.so relocation work when dynamic.
+  Nanos exec_per_mapped_kb = 120;
+  Nanos thread_create = 3'500;      // clone(CLONE_VM).
+
+  // ---- Network (loopback) ------------------------------------------------------------
+  Nanos net_stack_per_packet = 600; // IP+TCP processing, one direction.
+  Nanos softirq_per_packet = 260;   // Delivery/softirq on the receive side.
+  Nanos tcp_connect = 2'600;        // Three-way handshake bookkeeping.
+  Nanos tcp_close = 900;
+  Nanos socket_create = 700;
+  Nanos ipv6_extra_per_packet = 60; // When the socket is AF_INET6.
+
+  // ---- Filesystem -----------------------------------------------------------------------
+  Nanos fs_create = 1'100;          // 0K create (Table 5 ~1.3-2.8us).
+  Nanos fs_delete = 600;
+  Nanos fs_write_per_kb = 450;
+  Nanos fs_read_per_kb = 40;        // Page-cache hit.
+  Nanos disk_read_per_page = 700;   // Cold read: virtio-blk round trip,
+                                    // amortized per 4K page.
+
+  // ---- Boot (see also vmm monitor costs) ------------------------------------------------
+  Nanos boot_core_init = 2'800'000;       // setup_arch, mm_init, scheduler.
+  Nanos boot_no_paravirt_penalty = 48'000'000;  // Timer/TSC calibration loops
+                                                // that CONFIG_PARAVIRT skips
+                                                // (71ms vs 23ms, Section 4.3).
+  Nanos boot_initcall_driver = 60'000;
+  Nanos boot_initcall_net = 40'000;
+  Nanos boot_initcall_fs = 30'000;
+  Nanos boot_initcall_debug = 80'000;
+  Nanos boot_initcall_crypto = 20'000;
+  Nanos boot_initcall_other = 20'000;
+  Nanos boot_acpi_tables = 5'000'000;     // ACPI namespace walk.
+  Nanos boot_smp_bringup = 2'000'000;     // Secondary-CPU path even on 1 VCPU.
+  Nanos boot_pci_enumeration = 11'000'000;  // Only with CONFIG_PCI monitors.
+  Nanos boot_decompress_per_mb = 400'000;
+  Nanos boot_rootfs_mount = 1'600'000;
+  Nanos boot_init_exec = 1'400'000;
+
+  // ---- Derived helpers ---------------------------------------------------------------
+
+  // One-way privilege transition for a kernel with `f`, for a process whose
+  // libc is (not) KML-capable.
+  Nanos Transition(const kbuild::KernelFeatures& f, bool process_in_kernel_mode) const {
+    if (f.kml && process_in_kernel_mode) {
+      return transition_kml;
+    }
+    double t = static_cast<double>(transition_base);
+    if (f.mitigations) {
+      t += static_cast<double>(transition_mitigations);
+    }
+    if (f.kpti) {
+      t *= kpti_transition_factor;
+    }
+    return static_cast<Nanos>(t);
+  }
+
+  // Scales kernel-mode cycles by the kernel-wide multipliers.
+  Nanos KernelCycles(const kbuild::KernelFeatures& f, Nanos cycles) const {
+    double c = static_cast<double>(cycles);
+    if (f.mitigations) {
+      c *= mitigations_cycle_factor;
+    }
+    if (f.compile_mode == kconfig::CompileMode::kOs) {
+      c *= os_mode_cycle_factor;
+    }
+    return static_cast<Nanos>(c);
+  }
+
+  // Fixed per-syscall kernel cycles (dispatch + frame + hooks), unscaled.
+  Nanos SyscallFixed(const kbuild::KernelFeatures& f) const {
+    Nanos fixed = syscall_dispatch + syscall_frame;
+    if (f.audit) {
+      fixed += hook_audit;
+    }
+    if (f.seccomp) {
+      fixed += hook_seccomp;
+    }
+    return fixed;
+  }
+};
+
+// The default, calibrated model.
+const CostModel& DefaultCostModel();
+
+}  // namespace lupine::guestos
+
+#endif  // SRC_GUESTOS_COST_MODEL_H_

@@ -1,0 +1,32 @@
+#include "src/guestos/futex.h"
+
+namespace lupine::guestos {
+
+Status FutexTable::Wait(const int* word, int expected, Nanos timeout) {
+  if (*word != expected) {
+    return Status(Err::kAgain, "futex value changed");
+  }
+  auto& queue = queues_[word];
+  if (queue == nullptr) {
+    queue = std::make_unique<WaitQueue>(sched_);
+  }
+  bool woken = queue->Block(timeout);
+  if (!woken) {
+    return Status(Err::kTimedOut, "futex wait timed out");
+  }
+  return Status::Ok();
+}
+
+int FutexTable::Wake(const int* word, int count) {
+  auto it = queues_.find(word);
+  if (it == queues_.end()) {
+    return 0;
+  }
+  int woken = it->second->Wake(count);
+  if (it->second->empty()) {
+    queues_.erase(it);
+  }
+  return woken;
+}
+
+}  // namespace lupine::guestos

@@ -1,0 +1,38 @@
+// Futex hash table (CONFIG_FUTEX).
+//
+// Guest user code owns the futex word (any int in app memory); the kernel
+// side is pure wait-queue management keyed by the word's address, like
+// Linux's futex hash buckets.
+#ifndef SRC_GUESTOS_FUTEX_H_
+#define SRC_GUESTOS_FUTEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "src/guestos/sched.h"
+#include "src/util/result.h"
+
+namespace lupine::guestos {
+
+class FutexTable {
+ public:
+  explicit FutexTable(Scheduler* sched) : sched_(sched) {}
+
+  // FUTEX_WAIT: blocks if *word still equals `expected`. Returns kAgain when
+  // the value changed before sleeping, kTimedOut on timeout, OK when woken.
+  Status Wait(const int* word, int expected, Nanos timeout = 0);
+
+  // FUTEX_WAKE: wakes up to `count` waiters on `word`.
+  int Wake(const int* word, int count);
+
+  size_t BucketCount() const { return queues_.size(); }
+
+ private:
+  Scheduler* sched_;
+  std::map<const int*, std::unique_ptr<WaitQueue>> queues_;
+};
+
+}  // namespace lupine::guestos
+
+#endif  // SRC_GUESTOS_FUTEX_H_

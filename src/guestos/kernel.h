@@ -1,0 +1,128 @@
+// The guest kernel facade: owns every subsystem, boots, runs init.
+#ifndef SRC_GUESTOS_KERNEL_H_
+#define SRC_GUESTOS_KERNEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/guestos/console.h"
+#include "src/guestos/cost_model.h"
+#include "src/guestos/futex.h"
+#include "src/guestos/loader.h"
+#include "src/guestos/mem.h"
+#include "src/guestos/net.h"
+#include "src/guestos/rootfs.h"
+#include "src/guestos/sched.h"
+#include "src/guestos/task.h"
+#include "src/guestos/trace.h"
+#include "src/guestos/vfs.h"
+#include "src/kbuild/image.h"
+#include "src/util/result.h"
+#include "src/util/vclock.h"
+
+namespace lupine::guestos {
+
+class SyscallApi;
+
+// One phase of the guest-side boot sequence with its duration.
+struct BootPhase {
+  std::string name;
+  Nanos duration = 0;
+};
+
+struct BootTrace {
+  std::vector<BootPhase> phases;
+  Nanos Total() const;
+};
+
+class Kernel {
+ public:
+  // `memory_limit` is the VM's RAM; `registry` resolves app= entry points
+  // (defaults to the process-global registry).
+  Kernel(const kbuild::KernelImage& image, Bytes memory_limit,
+         const AppRegistry* registry = nullptr);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // Guest-side boot: pays decompression/initcall/mount costs on the virtual
+  // clock, charges kernel resident memory, and mounts the rootfs image.
+  Status Boot(const std::string& rootfs_blob);
+
+  // Spawns pid 1 executing `path` (usually /sbin/init, the startup script).
+  Result<Process*> StartInit(const std::string& path, std::vector<std::string> argv = {});
+
+  // Runs the scheduler until quiescence; returns number of threads still
+  // blocked (a server waiting for connections counts as blocked).
+  size_t Run();
+
+  // --- Subsystem access -------------------------------------------------------
+  SyscallApi& sys() { return *sys_; }
+  VirtualClock& clock() { return clock_; }
+  Scheduler& sched() { return *sched_; }
+  MemoryManager& mm() { return *mm_; }
+  Vfs& vfs() { return vfs_; }
+  NetStack& net() { return *net_; }
+  FutexTable& futexes() { return *futexes_; }
+  Console& console() { return console_; }
+  TraceLog& trace() { return trace_; }
+  const kbuild::KernelFeatures& features() const { return image_.features; }
+  const kbuild::KernelImage& image() const { return image_; }
+  const CostModel& costs() const { return *costs_; }
+  const AppRegistry& apps() const { return *registry_; }
+  const BootTrace& boot_trace() const { return boot_trace_; }
+
+  // --- Process management (used by the syscall layer) ---------------------------
+  Process* CreateProcess(int ppid, std::shared_ptr<AddressSpace> aspace, std::string name);
+  Process* FindProcess(int pid) const;
+  void ExitProcess(Process* process, int code);
+  WaitQueue& ExitQueue(int pid);
+  // A queue nobody ever wakes: pause(2)-style indefinite blocking.
+  WaitQueue& PauseQueue();
+  size_t ProcessCount() const { return processes_.size(); }
+
+  // Charges page-cache pages the first time a file's contents are read.
+  Status ChargePageCache(Inode& inode, Bytes logical_size);
+
+  // Creates /proc/<pid>/{status,cmdline} for `process` when /proc is
+  // mounted (called on process creation; also after exec renames).
+  void PublishProcDir(Process* process);
+  // Publishes every live process (called when /proc gets mounted).
+  void PublishAllProcDirs();
+
+  // Fails boot / exec cleanly when memory is exhausted (Fig. 8 probing).
+  bool oom() const { return oom_; }
+  void set_oom() { oom_ = true; }
+
+ private:
+  void Phase(const char* name, Nanos duration);
+
+  kbuild::KernelImage image_;
+  const CostModel* costs_;
+  const AppRegistry* registry_;
+
+  VirtualClock clock_;
+  std::unique_ptr<MemoryManager> mm_;
+  std::unique_ptr<Scheduler> sched_;
+  Vfs vfs_;
+  std::unique_ptr<NetStack> net_;
+  std::unique_ptr<FutexTable> futexes_;
+  Console console_;
+  TraceLog trace_;
+  std::unique_ptr<SyscallApi> sys_;
+
+  std::map<int, std::unique_ptr<Process>> processes_;
+  std::map<int, std::unique_ptr<WaitQueue>> exit_queues_;
+  std::unique_ptr<WaitQueue> pause_queue_;
+  int next_pid_ = 1;
+  bool booted_ = false;
+  bool oom_ = false;
+  BootTrace boot_trace_;
+};
+
+}  // namespace lupine::guestos
+
+#endif  // SRC_GUESTOS_KERNEL_H_

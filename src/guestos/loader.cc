@@ -1,0 +1,91 @@
+#include "src/guestos/loader.h"
+
+#include <sstream>
+
+namespace lupine::guestos {
+namespace {
+
+constexpr char kMagic[] = "#LUPINE_ELF v1";
+constexpr char kScriptMagic[] = "#!lupine-init";
+
+}  // namespace
+
+std::string FormatBinary(const BinaryInfo& info) {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "app=" << info.app << "\n";
+  out << "libc=" << info.libc << "\n";
+  if (!info.interp.empty()) {
+    out << "interp=" << info.interp << "\n";
+  }
+  out << "text_kb=" << info.text_kb << "\n";
+  out << "data_kb=" << info.data_kb << "\n";
+  out << "bss_kb=" << info.bss_kb << "\n";
+  out << "stack_kb=" << info.stack_kb << "\n";
+  return out.str();
+}
+
+Result<BinaryInfo> ParseBinary(const std::string& content) {
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status(Err::kInval, "exec format error: bad magic");
+  }
+  BinaryInfo info;
+  while (std::getline(in, line)) {
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    if (key == "app") {
+      info.app = value;
+    } else if (key == "libc") {
+      info.libc = value;
+    } else if (key == "interp") {
+      info.interp = value;
+    } else if (key == "text_kb") {
+      info.text_kb = std::stoull(value);
+    } else if (key == "data_kb") {
+      info.data_kb = std::stoull(value);
+    } else if (key == "bss_kb") {
+      info.bss_kb = std::stoull(value);
+    } else if (key == "stack_kb") {
+      info.stack_kb = std::stoull(value);
+    }
+  }
+  if (info.app.empty()) {
+    return Status(Err::kInval, "exec format error: missing app entry point");
+  }
+  return info;
+}
+
+bool IsInitScript(const std::string& content) {
+  return content.rfind(kScriptMagic, 0) == 0;
+}
+
+void AppRegistry::Register(const std::string& name, AppMain main) {
+  apps_[name] = std::move(main);
+}
+
+const AppMain* AppRegistry::Find(const std::string& name) const {
+  auto it = apps_.find(name);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> AppRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(apps_.size());
+  for (const auto& [name, main] : apps_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+AppRegistry& AppRegistry::Global() {
+  static AppRegistry registry;
+  return registry;
+}
+
+}  // namespace lupine::guestos

@@ -1,0 +1,74 @@
+// Binary format ("ELF-lite") and application registry.
+//
+// Executables in a rootfs are small text headers describing the real
+// binary's segment sizes, its libc flavour, and which registered behavioural
+// model implements it:
+//
+//   #LUPINE_ELF v1
+//   app=redis
+//   libc=musl-kml
+//   interp=/lib/ld-musl-x86_64.so.1
+//   text_kb=700
+//   data_kb=180
+//   bss_kb=96
+//   stack_kb=256
+//
+// The libc flavour decides whether the process can use KML `call`s when the
+// kernel is KML-enabled: dynamically-linked binaries pick it up from the
+// patched libc in the rootfs; statically-linked binaries must have been
+// relinked ("static-kml"), as in Section 3.2.
+#ifndef SRC_GUESTOS_LOADER_H_
+#define SRC_GUESTOS_LOADER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/units.h"
+
+namespace lupine::guestos {
+
+class SyscallApi;
+
+struct BinaryInfo {
+  std::string app;      // Registered behaviour name.
+  std::string libc;     // "musl" | "musl-kml" | "static" | "static-kml" | "none".
+  std::string interp;   // Dynamic loader path; empty for static binaries.
+  Bytes text_kb = 64;
+  Bytes data_kb = 16;
+  Bytes bss_kb = 16;
+  Bytes stack_kb = 128;
+
+  bool dynamic() const { return !interp.empty(); }
+  bool kml_libc() const { return libc == "musl-kml" || libc == "static-kml"; }
+};
+
+// Renders / parses the header format above.
+std::string FormatBinary(const BinaryInfo& info);
+Result<BinaryInfo> ParseBinary(const std::string& content);
+
+// Returns true for "#!lupine-init" scripts (handled by BINFMT_SCRIPT).
+bool IsInitScript(const std::string& content);
+
+// A behavioural application: argv in, exit code out, syscalls through the
+// provided API.
+using AppMain = std::function<int(SyscallApi&, const std::vector<std::string>&)>;
+
+class AppRegistry {
+ public:
+  void Register(const std::string& name, AppMain main);
+  const AppMain* Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  // Process-wide registry used by the apps library's static registration.
+  static AppRegistry& Global();
+
+ private:
+  std::map<std::string, AppMain> apps_;
+};
+
+}  // namespace lupine::guestos
+
+#endif  // SRC_GUESTOS_LOADER_H_

@@ -1,0 +1,175 @@
+#include "src/guestos/net.h"
+
+#include <algorithm>
+
+namespace lupine::guestos {
+
+void Socket::NotifyWatchers() {
+  for (auto it = watchers.begin(); it != watchers.end();) {
+    if (auto epoll = it->lock()) {
+      epoll->wq.WakeAll();
+      ++it;
+    } else {
+      it = watchers.erase(it);
+    }
+  }
+}
+
+std::shared_ptr<Socket> NetStack::Create(SockDomain domain, SockType type) {
+  return std::make_shared<Socket>(sched_, domain, type);
+}
+
+Status NetStack::Bind(const std::shared_ptr<Socket>& sock, uint16_t port,
+                      const std::string& unix_path) {
+  // The address is claimed at bind time (SO_REUSEADDR not modelled).
+  if (sock->domain == SockDomain::kUnix) {
+    auto [it, inserted] = unix_listeners_.try_emplace(unix_path, sock);
+    if (!inserted) {
+      return Status(Err::kAddrInUse, "unix path already bound: " + unix_path);
+    }
+    sock->unix_path = unix_path;
+  } else {
+    auto [it, inserted] = inet_listeners_.try_emplace(port, sock);
+    if (!inserted) {
+      return Status(Err::kAddrInUse, "port already bound: " + std::to_string(port));
+    }
+    sock->port = port;
+  }
+  sock->state = SockState::kBound;
+  return Status::Ok();
+}
+
+Status NetStack::Listen(const std::shared_ptr<Socket>& sock, int backlog) {
+  if (sock->state != SockState::kBound) {
+    return Status(Err::kInval, "listen on unbound socket");
+  }
+  sock->state = SockState::kListening;
+  sock->backlog = backlog;
+  return Status::Ok();
+}
+
+Status NetStack::Connect(const std::shared_ptr<Socket>& sock, uint16_t port,
+                         const std::string& unix_path) {
+  std::shared_ptr<Socket> listener;
+  if (sock->domain == SockDomain::kUnix) {
+    auto it = unix_listeners_.find(unix_path);
+    if (it != unix_listeners_.end()) {
+      listener = it->second;
+    }
+  } else {
+    auto it = inet_listeners_.find(port);
+    if (it != inet_listeners_.end()) {
+      listener = it->second;
+    }
+  }
+  if (listener == nullptr || listener->state != SockState::kListening) {
+    return Status(Err::kConnRefused, "connection refused");
+  }
+  if (listener->backlog > 0 &&
+      listener->accept_queue.size() >= static_cast<size_t>(listener->backlog)) {
+    // SYN queue overflow: the connection is dropped (OSv's redis behaviour
+    // in Section 4.6 is modelled with a small effective backlog).
+    return Status(Err::kConnRefused, "listen backlog full, connection dropped");
+  }
+
+  auto server_side = std::make_shared<Socket>(sched_, sock->domain, sock->type);
+  server_side->state = SockState::kConnected;
+  server_side->peer = sock;
+  sock->peer = server_side;
+  sock->state = SockState::kConnected;
+  listener->accept_queue.push_back(server_side);
+  listener->accept_wq.Wake(1);
+  listener->NotifyWatchers();
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<Socket>> NetStack::Accept(const std::shared_ptr<Socket>& listener) {
+  if (listener->state != SockState::kListening) {
+    return Status(Err::kInval, "accept on non-listening socket");
+  }
+  while (listener->accept_queue.empty()) {
+    listener->accept_wq.Block();
+  }
+  auto sock = listener->accept_queue.front();
+  listener->accept_queue.pop_front();
+  return sock;
+}
+
+Status NetStack::Send(const std::shared_ptr<Socket>& sock, const std::string& data) {
+  auto peer = sock->peer.lock();
+  if (peer == nullptr || sock->state != SockState::kConnected ||
+      peer->state == SockState::kClosed) {
+    return Status(Err::kPipe, "send on disconnected socket");
+  }
+  peer->rx += data;
+  peer->read_wq.Wake(1);
+  peer->NotifyWatchers();
+  return Status::Ok();
+}
+
+Result<std::string> NetStack::Recv(const std::shared_ptr<Socket>& sock, size_t max_bytes) {
+  while (sock->rx.empty()) {
+    if (sock->peer_closed || sock->state != SockState::kConnected) {
+      return std::string();  // Orderly EOF.
+    }
+    sock->read_wq.Block();
+  }
+  size_t n = std::min(max_bytes, sock->rx.size());
+  std::string out = sock->rx.substr(0, n);
+  sock->rx.erase(0, n);
+  return out;
+}
+
+Status NetStack::SendDgram(const std::shared_ptr<Socket>& sock, const std::string& data) {
+  auto peer = sock->peer.lock();
+  if (peer == nullptr) {
+    return Status(Err::kNotConn, "dgram send without peer");
+  }
+  peer->rx_dgrams.push_back(data);
+  peer->read_wq.Wake(1);
+  peer->NotifyWatchers();
+  return Status::Ok();
+}
+
+Result<std::string> NetStack::RecvDgram(const std::shared_ptr<Socket>& sock) {
+  while (sock->rx_dgrams.empty()) {
+    if (sock->peer_closed) {
+      return Status(Err::kConnReset, "peer closed");
+    }
+    sock->read_wq.Block();
+  }
+  std::string out = sock->rx_dgrams.front();
+  sock->rx_dgrams.pop_front();
+  return out;
+}
+
+void NetStack::Close(const std::shared_ptr<Socket>& sock) {
+  if (sock->state == SockState::kListening || sock->state == SockState::kBound) {
+    if (sock->domain == SockDomain::kUnix) {
+      unix_listeners_.erase(sock->unix_path);
+    } else {
+      inet_listeners_.erase(sock->port);
+    }
+  }
+  if (auto peer = sock->peer.lock()) {
+    peer->peer_closed = true;
+    peer->read_wq.WakeAll();
+    peer->peer_close_wq.WakeAll();
+    peer->NotifyWatchers();
+  }
+  sock->state = SockState::kClosed;
+  sock->read_wq.WakeAll();
+  sock->accept_wq.WakeAll();
+}
+
+std::pair<std::shared_ptr<Socket>, std::shared_ptr<Socket>> NetStack::CreatePair(SockType type) {
+  auto a = std::make_shared<Socket>(sched_, SockDomain::kUnix, type);
+  auto b = std::make_shared<Socket>(sched_, SockDomain::kUnix, type);
+  a->state = SockState::kConnected;
+  b->state = SockState::kConnected;
+  a->peer = b;
+  b->peer = a;
+  return {a, b};
+}
+
+}  // namespace lupine::guestos

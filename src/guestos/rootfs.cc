@@ -1,0 +1,151 @@
+#include "src/guestos/rootfs.h"
+
+#include <cstring>
+
+namespace lupine::guestos {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'U', 'P', 'X', '2', 'F', 'S', '\1'};
+
+void PutU32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+bool GetU32(const std::string& in, size_t& pos, uint32_t& v) {
+  if (pos + 4 > in.size()) {
+    return false;
+  }
+  v = static_cast<uint8_t>(in[pos]) | (static_cast<uint8_t>(in[pos + 1]) << 8) |
+      (static_cast<uint8_t>(in[pos + 2]) << 16) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(in[pos + 3])) << 24);
+  pos += 4;
+  return true;
+}
+
+bool GetBlob(const std::string& in, size_t& pos, uint32_t len, std::string& out) {
+  if (pos + len > in.size()) {
+    return false;
+  }
+  out.assign(in, pos, len);
+  pos += len;
+  return true;
+}
+
+}  // namespace
+
+std::string FormatRootfs(const FsSpec& spec) {
+  std::string out(kMagic, sizeof(kMagic));
+  PutU32(out, static_cast<uint32_t>(spec.size()));
+  for (const auto& [path, entry] : spec) {
+    PutU32(out, static_cast<uint32_t>(path.size()));
+    out += path;
+    out.push_back(static_cast<char>(entry.type));
+    out.push_back(static_cast<char>(entry.dev));
+    out.push_back(entry.executable ? 1 : 0);
+    const std::string& payload =
+        entry.type == InodeType::kSymlink ? entry.symlink_target : entry.data;
+    PutU32(out, static_cast<uint32_t>(payload.size()));
+    out += payload;
+  }
+  return out;
+}
+
+Result<FsSpec> ParseRootfs(const std::string& blob) {
+  if (blob.size() < sizeof(kMagic) || std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status(Err::kInval, "bad rootfs magic (not a LUPX2FS image)");
+  }
+  size_t pos = sizeof(kMagic);
+  uint32_t count = 0;
+  if (!GetU32(blob, pos, count)) {
+    return Status(Err::kInval, "truncated rootfs superblock");
+  }
+  FsSpec spec;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t path_len = 0;
+    std::string path;
+    if (!GetU32(blob, pos, path_len) || !GetBlob(blob, pos, path_len, path)) {
+      return Status(Err::kInval, "truncated rootfs entry path");
+    }
+    if (pos + 3 > blob.size()) {
+      return Status(Err::kInval, "truncated rootfs entry header");
+    }
+    FsEntry entry;
+    entry.type = static_cast<InodeType>(blob[pos++]);
+    entry.dev = static_cast<DevId>(blob[pos++]);
+    entry.executable = blob[pos++] != 0;
+    uint32_t data_len = 0;
+    std::string payload;
+    if (!GetU32(blob, pos, data_len) || !GetBlob(blob, pos, data_len, payload)) {
+      return Status(Err::kInval, "truncated rootfs entry data");
+    }
+    if (entry.type == InodeType::kSymlink) {
+      entry.symlink_target = std::move(payload);
+    } else {
+      entry.data = std::move(payload);
+    }
+    spec.emplace(std::move(path), std::move(entry));
+  }
+  return spec;
+}
+
+Status MountRootfs(const FsSpec& spec, Vfs& vfs) {
+  for (const auto& [path, entry] : spec) {
+    switch (entry.type) {
+      case InodeType::kDir: {
+        auto r = vfs.CreateDir(path);
+        if (!r.ok()) {
+          return r.status();
+        }
+        break;
+      }
+      case InodeType::kFile: {
+        // Ensure parent directories exist (tar-style images list files only).
+        auto parent = path.substr(0, path.find_last_of('/'));
+        if (!parent.empty()) {
+          auto r = vfs.CreateDir(parent);
+          if (!r.ok()) {
+            return r.status();
+          }
+        }
+        auto r = vfs.CreateFile(path, entry.data, entry.executable);
+        if (!r.ok()) {
+          return r.status();
+        }
+        break;
+      }
+      case InodeType::kCharDev: {
+        auto parent = path.substr(0, path.find_last_of('/'));
+        if (!parent.empty()) {
+          auto r = vfs.CreateDir(parent);
+          if (!r.ok()) {
+            return r.status();
+          }
+        }
+        auto r = vfs.CreateDevice(path, entry.dev);
+        if (!r.ok()) {
+          return r.status();
+        }
+        break;
+      }
+      case InodeType::kSymlink: {
+        auto parent = path.substr(0, path.find_last_of('/'));
+        if (!parent.empty()) {
+          auto r = vfs.CreateDir(parent);
+          if (!r.ok()) {
+            return r.status();
+          }
+        }
+        if (Status s = vfs.CreateSymlink(path, entry.symlink_target); !s.ok()) {
+          return s;
+        }
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lupine::guestos

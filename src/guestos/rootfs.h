@@ -1,0 +1,47 @@
+// The root-filesystem image format.
+//
+// Lupine converts a container image into an ext2 image that the kernel
+// mounts as its rootfs (Section 3). Our equivalent is a small serialized
+// filesystem blob ("LUPX2" format): a superblock followed by path/type/data
+// records. The builder side lives in src/core/rootfs_builder.*; this module
+// owns the format itself plus mounting into a Vfs.
+#ifndef SRC_GUESTOS_ROOTFS_H_
+#define SRC_GUESTOS_ROOTFS_H_
+
+#include <map>
+#include <string>
+
+#include "src/guestos/vfs.h"
+#include "src/util/result.h"
+#include "src/util/units.h"
+
+namespace lupine::guestos {
+
+// One file (or directory / device / symlink) in a filesystem spec.
+struct FsEntry {
+  InodeType type = InodeType::kFile;
+  std::string data;            // File contents.
+  std::string symlink_target;
+  DevId dev = DevId::kNone;
+  bool executable = false;
+};
+
+// Path -> entry; paths are absolute ("/bin/app"). Directories are implied by
+// file paths but may also be listed explicitly (e.g. empty /tmp).
+using FsSpec = std::map<std::string, FsEntry>;
+
+// Serializes a spec into an image blob.
+std::string FormatRootfs(const FsSpec& spec);
+
+// Parses an image blob back into a spec. Fails on bad magic / truncation.
+Result<FsSpec> ParseRootfs(const std::string& blob);
+
+// Materializes a parsed image into a Vfs (the kernel's mount step).
+Status MountRootfs(const FsSpec& spec, Vfs& vfs);
+
+// On-disk size of an image (what the monitor reads at boot).
+inline Bytes RootfsSize(const std::string& blob) { return blob.size(); }
+
+}  // namespace lupine::guestos
+
+#endif  // SRC_GUESTOS_ROOTFS_H_

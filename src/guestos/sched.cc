@@ -1,0 +1,241 @@
+#include "src/guestos/sched.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace lupine::guestos {
+
+bool WaitQueue::Block(Nanos timeout) {
+  Thread* self = sched_->current();
+  assert(self != nullptr && "Block outside any thread");
+  self->wait_channel = this;
+  self->timed_out = false;
+  waiters_.push_back(self);
+  sched_->BlockCurrent(this, timeout);
+  return !self->timed_out;
+}
+
+int WaitQueue::Wake(int n) {
+  int woken = 0;
+  while (woken < n && !waiters_.empty()) {
+    Thread* thread = waiters_.front();
+    waiters_.pop_front();
+    thread->wait_channel = nullptr;
+    sched_->WakeThread(thread);
+    ++woken;
+  }
+  return woken;
+}
+
+int WaitQueue::WakeAll() { return Wake(static_cast<int>(waiters_.size())); }
+
+Scheduler::Scheduler(VirtualClock* clock, const CostModel* costs,
+                     const kbuild::KernelFeatures* features)
+    : clock_(clock), costs_(costs), features_(features) {}
+
+Scheduler::~Scheduler() = default;
+
+Thread* Scheduler::Spawn(Process* process, std::function<void()> entry) {
+  auto thread = std::make_unique<Thread>(next_tid_++, process, std::move(entry));
+  Thread* raw = thread.get();
+  threads_.push_back(std::move(thread));
+  if (process != nullptr) {
+    process->threads.push_back(raw);
+  }
+  ++alive_;
+  Enqueue(raw);
+  return raw;
+}
+
+void Scheduler::Enqueue(Thread* thread) {
+  thread->state = ThreadState::kRunnable;
+  runqueue_.push_back(thread);
+}
+
+Nanos Scheduler::SwitchCost(Thread* from, Thread* to) const {
+  Nanos cycles = costs_->sched_pick + costs_->ctxsw_registers;
+  if (features_->smp) {
+    cycles += costs_->smp_lock;
+  }
+  // Cache refill: scaled by how hard the combined working sets press on
+  // the cache (more ring processes -> colder caches per switch).
+  double pressure = std::min(1.0, costs_->cache_pressure_base +
+                                      static_cast<double>(total_working_set_kb_) *
+                                          costs_->cache_pressure_per_kb);
+  cycles += static_cast<Nanos>(static_cast<double>(to->working_set_kb) *
+                               static_cast<double>(costs_->ctxsw_cache_per_kb) * pressure);
+  // Longer runqueues cost a little more to scan/balance.
+  cycles += costs_->ctxsw_per_queued *
+            static_cast<Nanos>(std::min<size_t>(runqueue_.size(), 16));
+  bool as_switch =
+      from == nullptr || from->process() == nullptr || to->process() == nullptr ||
+      from->process()->aspace_ptr() != to->process()->aspace_ptr();
+  if (as_switch) {
+    cycles += costs_->ctxsw_address_space;
+  }
+  return costs_->KernelCycles(*features_, cycles);
+}
+
+void Scheduler::Dispatch(Thread* next) {
+  if (next != last_run_) {
+    Nanos cost = SwitchCost(last_run_, next);
+    clock_->Advance(cost);
+    ++stats_.context_switches;
+    if (last_run_ == nullptr || last_run_->process() == nullptr ||
+        next->process() == nullptr ||
+        last_run_->process()->aspace_ptr() != next->process()->aspace_ptr()) {
+      ++stats_.address_space_switches;
+    }
+  }
+  current_ = next;
+  last_run_ = next;
+  next->state = ThreadState::kRunning;
+  slice_start_ = clock_->now();
+  next->fiber()->Resume();
+  if (next->fiber()->finished() && next->state != ThreadState::kZombie) {
+    next->state = ThreadState::kZombie;
+    --alive_;
+  }
+  if (next->state == ThreadState::kZombie) {
+    next->ReleaseFiber();
+  }
+  current_ = nullptr;
+}
+
+size_t Scheduler::Run() {
+  for (;;) {
+    // Promote sleepers that are due.
+    while (!sleepers_.empty() && sleepers_.top().wake_time <= clock_->now()) {
+      Sleeper sleeper = sleepers_.top();
+      sleepers_.pop();
+      Thread* thread = sleeper.thread;
+      if (thread->state == ThreadState::kSleeping && thread->wake_time == sleeper.wake_time) {
+        Enqueue(thread);
+      } else if (thread->state == ThreadState::kBlocked && thread->wait_channel != nullptr &&
+                 thread->wake_time == sleeper.wake_time) {
+        // Timed wait expired: remove from its wait queue and wake with the
+        // timed_out flag.
+        auto* queue = static_cast<WaitQueue*>(thread->wait_channel);
+        auto it = std::find(queue->waiters_.begin(), queue->waiters_.end(), thread);
+        if (it != queue->waiters_.end()) {
+          queue->waiters_.erase(it);
+        }
+        thread->wait_channel = nullptr;
+        thread->timed_out = true;
+        Enqueue(thread);
+      }
+      // Otherwise: stale entry (the thread was woken earlier); drop it.
+    }
+
+    if (runqueue_.empty()) {
+      // Drop stale sleeper entries (threads already woken another way) so
+      // the idle clock jump only targets live timers.
+      while (!sleepers_.empty()) {
+        const Sleeper& top = sleepers_.top();
+        Thread* thread = top.thread;
+        bool live = (thread->state == ThreadState::kSleeping &&
+                     thread->wake_time == top.wake_time) ||
+                    (thread->state == ThreadState::kBlocked &&
+                     thread->wait_channel != nullptr && thread->wake_time == top.wake_time);
+        if (live) {
+          break;
+        }
+        sleepers_.pop();
+      }
+      if (sleepers_.empty()) {
+        break;  // Nothing runnable or pending: simulation quiesced.
+      }
+      // Idle: jump the clock to the next timer and retry promotion.
+      clock_->AdvanceTo(sleepers_.top().wake_time);
+      continue;
+    }
+
+    Thread* next = runqueue_.front();
+    runqueue_.pop_front();
+    if (next->state != ThreadState::kRunnable) {
+      continue;  // Zombie or re-blocked since being queued.
+    }
+    Dispatch(next);
+  }
+
+  size_t blocked = 0;
+  for (const auto& thread : threads_) {
+    if (thread->state == ThreadState::kBlocked) {
+      ++blocked;
+    }
+  }
+  return blocked;
+}
+
+void Scheduler::MaybePreempt() {
+  if (current_ == nullptr || runqueue_.empty()) {
+    return;
+  }
+  if (clock_->now() - slice_start_ < kTimeslice) {
+    return;
+  }
+  ++stats_.preemptions;
+  Enqueue(current_);
+  Fiber::Yield();
+}
+
+void Scheduler::YieldCurrent() {
+  assert(current_ != nullptr);
+  ++stats_.voluntary_switches;
+  Enqueue(current_);
+  Fiber::Yield();
+}
+
+void Scheduler::SleepCurrent(Nanos duration) {
+  assert(current_ != nullptr);
+  Thread* self = current_;
+  self->state = ThreadState::kSleeping;
+  self->wake_time = clock_->now() + duration;
+  sleepers_.push({self->wake_time, self});
+  Fiber::Yield();
+}
+
+void Scheduler::ExitCurrent() {
+  assert(current_ != nullptr);
+  current_->state = ThreadState::kZombie;
+  --alive_;
+  Fiber::Yield();
+  // A zombie is never dispatched again.
+  std::abort();
+}
+
+void Scheduler::SetWorkingSet(Thread* thread, uint64_t kb) {
+  total_working_set_kb_ -= std::min(total_working_set_kb_, thread->working_set_kb);
+  thread->working_set_kb = kb;
+  total_working_set_kb_ += kb;
+}
+
+void Scheduler::ChargeCpu(Nanos ns) {
+  clock_->Advance(ns);
+  if (current_ != nullptr) {
+    current_->cpu_time += ns;
+  }
+}
+
+void Scheduler::BlockCurrent(WaitQueue* queue, Nanos timeout) {
+  (void)queue;
+  Thread* self = current_;
+  self->state = ThreadState::kBlocked;
+  if (timeout > 0) {
+    self->wake_time = clock_->now() + timeout;
+    sleepers_.push({self->wake_time, self});
+  } else {
+    self->wake_time = 0;
+  }
+  Fiber::Yield();
+}
+
+void Scheduler::WakeThread(Thread* thread) {
+  if (thread->state != ThreadState::kBlocked) {
+    return;
+  }
+  Enqueue(thread);
+}
+
+}  // namespace lupine::guestos

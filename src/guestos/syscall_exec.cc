@@ -1,0 +1,160 @@
+// Syscall layer part 2: execve and the program loader.
+#include "src/guestos/kernel.h"
+#include "src/guestos/syscall_api.h"
+
+namespace lupine::guestos {
+
+using kbuild::Sys;
+
+namespace {
+
+// The registry key for the #!lupine-init script interpreter.
+constexpr char kInitInterpreter[] = "lupine-init";
+
+}  // namespace
+
+Status SyscallApi::Execve(const std::string& path, std::vector<std::string> argv) {
+  Process* p = CurrentProcess();
+  if (p == nullptr) {
+    return Status(Err::kInval, "execve outside any process");
+  }
+
+  std::string app_name;
+  BinaryInfo info;
+  {
+    Scope scope(this, Sys::kExecve);
+    if (!scope.ok()) {
+      return scope.status();
+    }
+
+    auto inode = k_->vfs().Resolve(path);
+    if (!inode.ok()) {
+      return Status(Err::kNoEnt, path + ": no such file or directory");
+    }
+    if (!inode.value()->executable) {
+      return Status(Err::kAccess, path + ": permission denied");
+    }
+
+    const std::string& content = inode.value()->data;
+
+    if (IsInitScript(content)) {
+      // BINFMT_SCRIPT path: run the init interpreter with the script as
+      // argv[0]'s target.
+      info.app = kInitInterpreter;
+      info.libc = "none";
+      info.text_kb = 24;
+      info.data_kb = 8;
+      info.bss_kb = 8;
+      info.stack_kb = 64;
+      argv.insert(argv.begin(), path);
+    } else {
+      auto parsed = ParseBinary(content);
+      if (!parsed.ok()) {
+        return Status(Err::kInval, path + ": exec format error");
+      }
+      info = parsed.take();
+
+      if (info.dynamic()) {
+        // The dynamic loader and libc must exist in the rootfs.
+        auto interp = k_->vfs().Resolve(info.interp);
+        if (!interp.ok()) {
+          return Status(Err::kNoEnt, info.interp + ": no such file or directory");
+        }
+        // Charge page cache for the lazily-demand-paged shared libraries.
+        if (Status s = k_->ChargePageCache(*interp.value(),
+                                           std::max<Bytes>(interp.value()->data.size(),
+                                                           300 * kKiB));
+            !s.ok()) {
+          return s;
+        }
+      }
+    }
+    app_name = info.app;
+
+    // Page cache for the binary's file-backed segments. Loading is lazy
+    // (Section 4.4: "the binary size of the application is irrelevant if
+    // much of it is loaded lazily"), so only the hot first chunk is charged.
+    Bytes file_bytes = (info.text_kb + info.data_kb) * kKiB;
+    if (Status s = k_->ChargePageCache(*inode.value(), std::min<Bytes>(file_bytes, kMiB));
+        !s.ok()) {
+      return s;
+    }
+
+    const CostModel& c = k_->costs();
+    Nanos exec_cost =
+        c.exec_base + c.exec_per_mapped_kb * static_cast<Nanos>(info.text_kb + info.data_kb);
+    if (info.dynamic()) {
+      exec_cost += c.exec_dynlink;
+    }
+    ChargeKernel(exec_cost);
+
+    // Fresh address space replacing the old image.
+    auto aspace = std::make_shared<AddressSpace>(&k_->mm());
+    auto text = aspace->Map(info.text_kb * kKiB, VmaKind::kText, path + ":text");
+    if (!text.ok()) {
+      k_->set_oom();
+      return text.status();
+    }
+    // Demand paging: only the startup-hot prefix of text faults in now.
+    auto text_touch = aspace->Touch(text.value(), 0, std::min<Bytes>(info.text_kb * kKiB,
+                                                                     512 * kKiB));
+    if (!text_touch.ok()) {
+      k_->set_oom();
+      return text_touch.status();
+    }
+    auto data = aspace->Map(info.data_kb * kKiB, VmaKind::kData, path + ":data");
+    if (!data.ok()) {
+      k_->set_oom();
+      return data.status();
+    }
+    auto data_touch = aspace->Touch(data.value(), 0, std::min<Bytes>(info.data_kb * kKiB,
+                                                                     128 * kKiB));
+    if (!data_touch.ok()) {
+      k_->set_oom();
+      return data_touch.status();
+    }
+    auto bss = aspace->Map(std::max<Bytes>(info.bss_kb, 4) * kKiB, VmaKind::kData, path + ":bss");
+    if (!bss.ok()) {
+      k_->set_oom();
+      return bss.status();
+    }
+    auto stack = aspace->Map(info.stack_kb * kKiB, VmaKind::kStack, "stack");
+    if (!stack.ok()) {
+      k_->set_oom();
+      return stack.status();
+    }
+    // The first stack pages are touched immediately.
+    auto stack_touch = aspace->Touch(stack.value(), 0, 16 * kKiB);
+    if (!stack_touch.ok()) {
+      k_->set_oom();
+      return stack_touch.status();
+    }
+
+    p->set_aspace(std::move(aspace));
+    p->heap_vma = -1;
+    p->heap_size = 0;
+    p->set_name(app_name);
+    k_->PublishProcDir(p);  // /proc/<pid>/status reflects the new image.
+    // KML eligibility comes from the binary's libc flavour (Section 3.2).
+    p->kml_capable = info.kml_libc();
+    // A fresh heap for the libc allocator.
+    if (Status s = BrkGrow(256 * kKiB); !s.ok()) {
+      return s;
+    }
+    // Scope closes here: exec's final kernel->user transition is priced.
+  }
+
+  const AppMain* main_fn = k_->apps().Find(app_name);
+  if (main_fn == nullptr) {
+    k_->console().Write("exec " + path + ": no registered application model '" + app_name +
+                        "'\n");
+    Exit(127);
+  }
+  if (argv.empty()) {
+    argv.push_back(path);
+  }
+  int code = (*main_fn)(*this, argv);
+  Exit(code);
+}
+
+}  // namespace lupine::guestos

@@ -1,0 +1,291 @@
+// Syscall layer part 4: sockets, select/poll.
+#include <algorithm>
+
+#include "src/guestos/kernel.h"
+#include "src/guestos/syscall_api.h"
+
+namespace lupine::guestos {
+
+using kbuild::Sys;
+
+namespace {
+
+constexpr Bytes kMss = 1448;  // Loopback segment payload.
+
+}  // namespace
+
+uint32_t SyscallApi::PacketsFor(Bytes bytes) {
+  // Bulk sends are segmented by GSO/TSO into 64K super-packets; small sends
+  // pay per-MSS costs.
+  if (bytes >= 16 * 1024) {
+    return static_cast<uint32_t>((bytes + 65535) / 65536);
+  }
+  return static_cast<uint32_t>((bytes + kMss - 1) / kMss);
+}
+
+void SyscallApi::ChargeTx(const std::shared_ptr<lupine::guestos::Socket>& peer_sock, Bytes bytes,
+                          SockDomain domain) {
+  uint32_t packets = std::max<uint32_t>(1, PacketsFor(bytes));
+  const CostModel& c = k_->costs();
+  Nanos per_packet = c.net_stack_per_packet;
+  if (domain == SockDomain::kInet6) {
+    per_packet += c.ipv6_extra_per_packet;
+  }
+  if (domain == SockDomain::kUnix) {
+    per_packet = c.unix_transfer;
+  }
+  if (CurrentIsFree()) {
+    // An external client sent this: the server pays the whole receive path
+    // (stack + softirq) when it reads.
+    if (peer_sock != nullptr) {
+      peer_sock->uncharged_rx_packets += packets;
+    }
+    return;
+  }
+  ChargeKernel(static_cast<Nanos>(packets) * per_packet);
+  ChargeCopy(bytes);
+  if (peer_sock != nullptr) {
+    // Receiver-side softirq cost settles on recv.
+    peer_sock->uncharged_rx_packets += packets;
+  }
+}
+
+Result<int> SyscallApi::Socket(SockDomain domain, SockType type) {
+  Scope scope(this, Sys::kSocket);
+  if (!scope.ok()) {
+    return scope.status();
+  }
+  Process* p = CurrentProcess();
+  if (p == nullptr) {
+    return Status(Err::kInval, "socket outside any process");
+  }
+  const auto& f = k_->features();
+  if (k_->trace().enabled() && !CurrentIsFree()) {
+    int pid = p->pid();
+    if (domain == SockDomain::kUnix) {
+      k_->trace().RecordFeature(pid, TraceFeature::kAfUnix);
+    } else if (domain == SockDomain::kInet6) {
+      k_->trace().RecordFeature(pid, TraceFeature::kAfInet6);
+    } else if (domain == SockDomain::kPacket) {
+      k_->trace().RecordFeature(pid, TraceFeature::kAfPacket);
+    }
+  }
+  switch (domain) {
+    case SockDomain::kUnix:
+      if (!f.unix_sockets) {
+        return Status(Err::kAfNoSupport, "address family AF_UNIX not supported");
+      }
+      break;
+    case SockDomain::kInet:
+      if (!f.inet) {
+        return Status(Err::kAfNoSupport, "address family AF_INET not supported");
+      }
+      break;
+    case SockDomain::kInet6:
+      if (!f.ipv6) {
+        return Status(Err::kAfNoSupport, "address family AF_INET6 not supported");
+      }
+      break;
+    case SockDomain::kPacket:
+      if (!f.packet_sockets) {
+        return Status(Err::kAfNoSupport, "address family AF_PACKET not supported");
+      }
+      break;
+  }
+  ChargeKernel(k_->costs().socket_create);
+  auto sock = k_->net().Create(domain, type);
+  auto file = std::make_shared<FileDescription>();
+  file->kind = FdKind::kSocket;
+  file->socket = std::move(sock);
+  return p->InstallFd(file);
+}
+
+Status SyscallApi::Bind(int fd, uint16_t port, const std::string& unix_path) {
+  Scope scope(this, Sys::kBind);
+  if (!scope.ok()) {
+    return scope.status();
+  }
+  auto lookup = LookupFd(fd);
+  if (!lookup.ok()) {
+    return lookup.status();
+  }
+  if (lookup.value()->kind != FdKind::kSocket) {
+    return Status(Err::kNotSock, "bind on non-socket");
+  }
+  ChargeKernel(300);
+  return k_->net().Bind(lookup.value()->socket, port, unix_path);
+}
+
+Status SyscallApi::Listen(int fd, int backlog) {
+  Scope scope(this, Sys::kListen);
+  if (!scope.ok()) {
+    return scope.status();
+  }
+  auto lookup = LookupFd(fd);
+  if (!lookup.ok()) {
+    return lookup.status();
+  }
+  if (lookup.value()->kind != FdKind::kSocket) {
+    return Status(Err::kNotSock, "listen on non-socket");
+  }
+  ChargeKernel(250);
+  return k_->net().Listen(lookup.value()->socket, backlog);
+}
+
+Result<int> SyscallApi::Accept(int fd) {
+  Scope scope(this, Sys::kAccept);
+  if (!scope.ok()) {
+    return scope.status();
+  }
+  auto lookup = LookupFd(fd);
+  if (!lookup.ok()) {
+    return lookup.status();
+  }
+  if (lookup.value()->kind != FdKind::kSocket) {
+    return Status(Err::kNotSock, "accept on non-socket");
+  }
+  auto conn = k_->net().Accept(lookup.value()->socket);
+  if (!conn.ok()) {
+    return conn.status();
+  }
+  // Handshake bookkeeping is charged to the acceptor.
+  ChargeKernel(k_->costs().tcp_connect);
+  ChargeKernel(k_->costs().work_fd_alloc);
+  auto file = std::make_shared<FileDescription>();
+  file->kind = FdKind::kSocket;
+  file->socket = conn.take();
+  return CurrentProcess()->InstallFd(file);
+}
+
+Status SyscallApi::Connect(int fd, uint16_t port, const std::string& unix_path) {
+  Scope scope(this, Sys::kConnect);
+  if (!scope.ok()) {
+    return scope.status();
+  }
+  auto lookup = LookupFd(fd);
+  if (!lookup.ok()) {
+    return lookup.status();
+  }
+  if (lookup.value()->kind != FdKind::kSocket) {
+    return Status(Err::kNotSock, "connect on non-socket");
+  }
+  ChargeKernel(k_->costs().tcp_connect);
+  return k_->net().Connect(lookup.value()->socket, port, unix_path);
+}
+
+Result<size_t> SyscallApi::Send(int fd, const std::string& data) {
+  Scope scope(this, Sys::kSendto);
+  if (!scope.ok()) {
+    return scope.status();
+  }
+  auto lookup = LookupFd(fd);
+  if (!lookup.ok()) {
+    return lookup.status();
+  }
+  auto& file = lookup.value();
+  if (file->kind != FdKind::kSocket) {
+    return Status(Err::kNotSock, "send on non-socket");
+  }
+  auto peer = file->socket->peer.lock();
+  ChargeTx(peer, data.size(), file->socket->domain);
+  Status s = file->socket->type == SockType::kDgram
+                 ? k_->net().SendDgram(file->socket, data)
+                 : k_->net().Send(file->socket, data);
+  if (!s.ok()) {
+    return s;
+  }
+  return data.size();
+}
+
+Result<std::string> SyscallApi::Recv(int fd, size_t max_bytes) {
+  Scope scope(this, Sys::kRecvfrom);
+  if (!scope.ok()) {
+    return scope.status();
+  }
+  auto lookup = LookupFd(fd);
+  if (!lookup.ok()) {
+    return lookup.status();
+  }
+  auto& file = lookup.value();
+  if (file->kind != FdKind::kSocket) {
+    return Status(Err::kNotSock, "recv on non-socket");
+  }
+  auto& sock = file->socket;
+
+  Result<std::string> data = sock->type == SockType::kDgram
+                                 ? k_->net().RecvDgram(sock)
+                                 : k_->net().Recv(sock, max_bytes);
+  if (!data.ok()) {
+    return data;
+  }
+  // Settle the receive-path cost for packets consumed.
+  if (!CurrentIsFree() && sock->uncharged_rx_packets > 0) {
+    uint32_t packets = std::min(sock->uncharged_rx_packets,
+                                std::max<uint32_t>(1, PacketsFor(data.value().size())));
+    sock->uncharged_rx_packets -= packets;
+    const CostModel& c = k_->costs();
+    ChargeKernel(static_cast<Nanos>(packets) * (c.softirq_per_packet + c.net_stack_per_packet));
+    ChargeCopy(data.value().size());
+  }
+  return data;
+}
+
+Result<std::pair<int, int>> SyscallApi::SocketPair(SockType type) {
+  Scope scope(this, Sys::kSocket);
+  if (!scope.ok()) {
+    return scope.status();
+  }
+  Process* p = CurrentProcess();
+  if (p == nullptr) {
+    return Status(Err::kInval, "socketpair outside any process");
+  }
+  if (!k_->features().unix_sockets) {
+    return Status(Err::kAfNoSupport, "address family AF_UNIX not supported");
+  }
+  ChargeKernel(2 * k_->costs().socket_create);
+  auto [a, b] = k_->net().CreatePair(type);
+  auto fa = std::make_shared<FileDescription>();
+  fa->kind = FdKind::kSocket;
+  fa->socket = a;
+  auto fb = std::make_shared<FileDescription>();
+  fb->kind = FdKind::kSocket;
+  fb->socket = b;
+  int fd_a = p->InstallFd(fa);
+  int fd_b = p->InstallFd(fb);
+  return std::make_pair(fd_a, fd_b);
+}
+
+Status SyscallApi::Setsockopt(int fd) {
+  Scope scope(this, Sys::kSetsockopt);
+  if (!scope.ok()) {
+    return scope.status();
+  }
+  auto lookup = LookupFd(fd);
+  if (!lookup.ok()) {
+    return lookup.status();
+  }
+  ChargeKernel(110);
+  return Status::Ok();
+}
+
+Status SyscallApi::Select(int nfds, bool tcp_fds) {
+  Scope scope(this, Sys::kSelect);
+  if (!scope.ok()) {
+    return scope.status();
+  }
+  Nanos per_fd = tcp_fds ? k_->costs().select_per_tcp_fd : k_->costs().select_per_file_fd;
+  ChargeKernel(k_->costs().work_select_base + per_fd * static_cast<Nanos>(nfds));
+  return Status::Ok();
+}
+
+Status SyscallApi::Poll(const std::vector<int>& fds) {
+  Scope scope(this, Sys::kPoll);
+  if (!scope.ok()) {
+    return scope.status();
+  }
+  ChargeKernel(k_->costs().work_select_base / 2 +
+               k_->costs().work_poll_per_fd * static_cast<Nanos>(fds.size()));
+  return Status::Ok();
+}
+
+}  // namespace lupine::guestos

@@ -1,0 +1,39 @@
+#include "src/guestos/task.h"
+
+namespace lupine::guestos {
+
+Thread::Thread(int tid, Process* process, std::function<void()> entry)
+    : tid_(tid), process_(process), fiber_(std::make_unique<Fiber>(std::move(entry))) {}
+
+Process::Process(int pid, int ppid, std::shared_ptr<AddressSpace> aspace, std::string name)
+    : pid_(pid), ppid_(ppid), aspace_(std::move(aspace)), name_(std::move(name)) {}
+
+int Process::InstallFd(std::shared_ptr<FileDescription> file) {
+  int fd = next_fd_++;
+  fds_[fd] = std::move(file);
+  return fd;
+}
+
+std::shared_ptr<FileDescription> Process::GetFd(int fd) const {
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? nullptr : it->second;
+}
+
+bool Process::CloseFd(int fd) { return fds_.erase(fd) > 0; }
+
+void Process::CloneFdTableFrom(const Process& parent) {
+  fds_ = parent.fds_;
+  next_fd_ = parent.next_fd_;
+}
+
+std::vector<std::shared_ptr<FileDescription>> Process::TakeAllFds() {
+  std::vector<std::shared_ptr<FileDescription>> files;
+  files.reserve(fds_.size());
+  for (auto& [fd, file] : fds_) {
+    files.push_back(std::move(file));
+  }
+  fds_.clear();
+  return files;
+}
+
+}  // namespace lupine::guestos

@@ -1,0 +1,72 @@
+// Syscall tracing (ktrace/strace-style).
+//
+// The paper leaves application-manifest generation to "static or dynamic
+// analysis [30, 31, 37]" (Section 3.1.1). This is the dynamic-analysis
+// substrate: when enabled, the kernel records every syscall a guest process
+// issues plus the feature-probing events that are not visible at syscall
+// granularity (socket address families, mounted filesystem types,
+// /proc/sys accesses). src/core/manifest_gen.* turns a trace into a kernel
+// configuration.
+#ifndef SRC_GUESTOS_TRACE_H_
+#define SRC_GUESTOS_TRACE_H_
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "src/kbuild/syscalls.h"
+
+namespace lupine::guestos {
+
+// Feature usage that syscall numbers alone cannot express.
+enum class TraceFeature {
+  kAfUnix,
+  kAfInet6,
+  kAfPacket,
+  kMountTmpfs,
+  kMountHugetlbfs,
+  kProcSysctl,
+};
+
+struct SyscallTraceEvent {
+  int pid = 0;
+  kbuild::Sys nr = kbuild::Sys::kRead;
+};
+
+class TraceLog {
+ public:
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  void RecordSyscall(int pid, kbuild::Sys nr) {
+    if (enabled_) {
+      syscalls_.push_back({pid, nr});
+      distinct_syscalls_.insert(static_cast<int>(nr));
+    }
+  }
+  void RecordFeature(int pid, TraceFeature feature) {
+    if (enabled_) {
+      features_.emplace_back(pid, feature);
+    }
+  }
+
+  const std::vector<SyscallTraceEvent>& syscalls() const { return syscalls_; }
+  const std::vector<std::pair<int, TraceFeature>>& features() const { return features_; }
+  size_t distinct_syscall_count() const { return distinct_syscalls_.size(); }
+
+  void Clear() {
+    syscalls_.clear();
+    features_.clear();
+    distinct_syscalls_.clear();
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<SyscallTraceEvent> syscalls_;
+  std::vector<std::pair<int, TraceFeature>> features_;
+  std::set<int> distinct_syscalls_;
+};
+
+}  // namespace lupine::guestos
+
+#endif  // SRC_GUESTOS_TRACE_H_

@@ -1,0 +1,250 @@
+#include "src/guestos/vfs.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lupine::guestos {
+namespace {
+
+constexpr int kMaxSymlinkDepth = 8;
+
+// Splits a path into components, dropping empty ones.
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : path) {
+    if (c == '/') {
+      if (!current.empty()) {
+        parts.push_back(current);
+        current.clear();
+      }
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) {
+    parts.push_back(current);
+  }
+  return parts;
+}
+
+}  // namespace
+
+Vfs::Vfs() : root_(std::make_shared<Inode>()) { root_->type = InodeType::kDir; }
+
+Result<std::shared_ptr<Inode>> Vfs::Resolve(const std::string& path) const {
+  return ResolveInternal(path, 0);
+}
+
+Result<std::shared_ptr<Inode>> Vfs::ResolveInternal(const std::string& path, int depth) const {
+  if (depth > kMaxSymlinkDepth) {
+    return Status(Err::kIo, path + ": too many levels of symbolic links");
+  }
+  std::shared_ptr<Inode> node = root_;
+  std::vector<std::string> parts = SplitPath(path);
+  std::vector<std::shared_ptr<Inode>> stack = {root_};
+
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const std::string& part = parts[i];
+    if (part == ".") {
+      continue;
+    }
+    if (part == "..") {
+      if (stack.size() > 1) {
+        stack.pop_back();
+      }
+      node = stack.back();
+      continue;
+    }
+    if (node->type != InodeType::kDir) {
+      return Status(Err::kNotDir, path + ": not a directory");
+    }
+    auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      return Status(Err::kNoEnt, path + ": no such file or directory");
+    }
+    std::shared_ptr<Inode> next = it->second;
+    if (next->type == InodeType::kSymlink) {
+      // Re-resolve the target plus the remaining components.
+      std::string rest = next->symlink_target;
+      for (size_t j = i + 1; j < parts.size(); ++j) {
+        rest += "/" + parts[j];
+      }
+      return ResolveInternal(rest, depth + 1);
+    }
+    node = next;
+    stack.push_back(node);
+  }
+  return node;
+}
+
+Result<std::pair<std::shared_ptr<Inode>, std::string>> Vfs::ResolveParent(
+    const std::string& path) const {
+  std::vector<std::string> parts = SplitPath(path);
+  if (parts.empty()) {
+    return Status(Err::kInval, "cannot take parent of /");
+  }
+  std::string leaf = parts.back();
+  std::string parent_path = "/";
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    parent_path += parts[i] + "/";
+  }
+  auto parent = Resolve(parent_path);
+  if (!parent.ok()) {
+    return parent.status();
+  }
+  if (parent.value()->type != InodeType::kDir) {
+    return Status(Err::kNotDir, parent_path + ": not a directory");
+  }
+  return std::make_pair(parent.take(), leaf);
+}
+
+Result<std::shared_ptr<Inode>> Vfs::CreateFile(const std::string& path, std::string data,
+                                               bool executable) {
+  auto parent = ResolveParent(path);
+  if (!parent.ok()) {
+    return parent.status();
+  }
+  auto& [dir, leaf] = parent.value();
+  auto inode = std::make_shared<Inode>();
+  inode->type = InodeType::kFile;
+  inode->data = std::move(data);
+  inode->executable = executable;
+  dir->children[leaf] = inode;
+  return inode;
+}
+
+Result<std::shared_ptr<Inode>> Vfs::CreateDir(const std::string& path) {
+  // mkdir -p semantics: create all missing components.
+  std::vector<std::string> parts = SplitPath(path);
+  std::shared_ptr<Inode> node = root_;
+  for (const auto& part : parts) {
+    if (node->type != InodeType::kDir) {
+      return Status(Err::kNotDir, path + ": component is not a directory");
+    }
+    auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      auto dir = std::make_shared<Inode>();
+      dir->type = InodeType::kDir;
+      node->children[part] = dir;
+      node = dir;
+    } else {
+      node = it->second;
+    }
+  }
+  if (node->type != InodeType::kDir) {
+    return Status(Err::kExist, path + ": exists and is not a directory");
+  }
+  return node;
+}
+
+Result<std::shared_ptr<Inode>> Vfs::CreateDevice(const std::string& path, DevId dev) {
+  auto parent = ResolveParent(path);
+  if (!parent.ok()) {
+    return parent.status();
+  }
+  auto& [dir, leaf] = parent.value();
+  auto inode = std::make_shared<Inode>();
+  inode->type = InodeType::kCharDev;
+  inode->dev = dev;
+  dir->children[leaf] = inode;
+  return inode;
+}
+
+Status Vfs::CreateSymlink(const std::string& path, const std::string& target) {
+  auto parent = ResolveParent(path);
+  if (!parent.ok()) {
+    return parent.status();
+  }
+  auto& [dir, leaf] = parent.value();
+  auto inode = std::make_shared<Inode>();
+  inode->type = InodeType::kSymlink;
+  inode->symlink_target = target;
+  dir->children[leaf] = inode;
+  return Status::Ok();
+}
+
+Status Vfs::Unlink(const std::string& path) {
+  auto parent = ResolveParent(path);
+  if (!parent.ok()) {
+    return parent.status();
+  }
+  auto& [dir, leaf] = parent.value();
+  auto it = dir->children.find(leaf);
+  if (it == dir->children.end()) {
+    return Status(Err::kNoEnt, path + ": no such file or directory");
+  }
+  if (it->second->type == InodeType::kDir && !it->second->children.empty()) {
+    return Status(Err::kNotEmpty, path + ": directory not empty");
+  }
+  dir->children.erase(it);
+  return Status::Ok();
+}
+
+Status Vfs::Mount(const std::string& fstype, const std::string& path) {
+  auto dir = CreateDir(path);
+  if (!dir.ok()) {
+    return dir.status();
+  }
+  if (fstype == "proc") {
+    // Caller decides sysctl presence; default without. The syscall layer
+    // re-populates with sysctl when PROC_SYSCTL is configured.
+    PopulateProcfs(*dir.value(), /*with_sysctl=*/false);
+  } else if (fstype == "sysfs") {
+    PopulateSysfs(*dir.value());
+  } else if (fstype == "tmpfs" || fstype == "devtmpfs" || fstype == "ramfs" ||
+             fstype == "hugetlbfs") {
+    // Empty writable tree.
+  } else {
+    return Status(Err::kNoEnt, "unknown filesystem type " + fstype);
+  }
+  mounts_.push_back(path);
+  return Status::Ok();
+}
+
+bool Vfs::IsMounted(const std::string& path) const {
+  return std::find(mounts_.begin(), mounts_.end(), path) != mounts_.end();
+}
+
+void PopulateProcfs(Inode& proc_root, bool with_sysctl) {
+  auto add_file = [&proc_root](const std::string& name, const std::string& data) {
+    auto inode = std::make_shared<Inode>();
+    inode->type = InodeType::kFile;
+    inode->data = data;
+    proc_root.children[name] = inode;
+  };
+  add_file("meminfo", "MemTotal:  524288 kB\nMemFree:  475000 kB\n");
+  add_file("cpuinfo", "processor\t: 0\nmodel name\t: virtual\n");
+  add_file("version", "Linux version 4.0.0-lupine (kml) #1\n");
+  add_file("uptime", "1.00 1.00\n");
+  add_file("filesystems", "\text2\nnodev\tproc\nnodev\ttmpfs\n");
+  if (with_sysctl) {
+    auto sys = std::make_shared<Inode>();
+    sys->type = InodeType::kDir;
+    auto add_sys = [&sys](const std::string& name, const std::string& data) {
+      auto inode = std::make_shared<Inode>();
+      inode->type = InodeType::kFile;
+      inode->data = data;
+      sys->children[name] = inode;
+    };
+    add_sys("kernel.pid_max", "32768\n");
+    add_sys("fs.file-max", "65536\n");
+    add_sys("net.core.somaxconn", "128\n");
+    add_sys("vm.overcommit_memory", "0\n");
+    proc_root.children["sys"] = sys;
+  }
+}
+
+void PopulateSysfs(Inode& sys_root) {
+  auto devices = std::make_shared<Inode>();
+  devices->type = InodeType::kDir;
+  auto virtio = std::make_shared<Inode>();
+  virtio->type = InodeType::kDir;
+  devices->children["virtio-mmio"] = virtio;
+  sys_root.children["devices"] = devices;
+  auto kernel_dir = std::make_shared<Inode>();
+  kernel_dir->type = InodeType::kDir;
+  sys_root.children["kernel"] = kernel_dir;
+}
+
+}  // namespace lupine::guestos

@@ -1,0 +1,112 @@
+// Virtual filesystem: inodes, file descriptions, mounts, device nodes.
+//
+// Backs the rootfs (mounted from an ext2-style image, see rootfs.h), ramfs /
+// tmpfs mounts, the synthesized /proc and /sys trees, and the character
+// devices the startup scripts and lmbench expect (/dev/null, /dev/zero,
+// /dev/urandom, /dev/console).
+#ifndef SRC_GUESTOS_VFS_H_
+#define SRC_GUESTOS_VFS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/units.h"
+
+namespace lupine::guestos {
+
+class Console;
+class MemoryManager;
+
+enum class InodeType { kFile, kDir, kCharDev, kSymlink };
+enum class DevId { kNone, kNull, kZero, kUrandom, kConsole };
+
+struct Inode {
+  InodeType type = InodeType::kFile;
+  DevId dev = DevId::kNone;
+  std::string data;                                     // File contents.
+  std::string symlink_target;
+  bool executable = false;
+  std::map<std::string, std::shared_ptr<Inode>> children;  // For directories.
+  // Page-cache accounting: pages charged when the file was first read.
+  bool in_page_cache = false;
+};
+
+// What an open file descriptor refers to. Sockets, pipes, epoll instances
+// and the fd-producing syscalls (eventfd/timerfd/signalfd/inotify/fanotify)
+// are separate kinds so Close() can release the right resources.
+enum class FdKind {
+  kInode,
+  kSocket,
+  kPipeRead,
+  kPipeWrite,
+  kEpoll,
+  kEventfd,
+  kTimerfd,
+  kSignalfd,
+  kInotify,
+  kFanotify,
+};
+
+class Socket;
+struct PipeBuffer;
+struct EpollInstance;
+
+class FileDescription {
+ public:
+  FdKind kind = FdKind::kInode;
+  std::shared_ptr<Inode> inode;
+  size_t offset = 0;
+  int flags = 0;
+  std::string path;  // Path it was opened by (diagnostics).
+
+  std::shared_ptr<Socket> socket;
+  std::shared_ptr<PipeBuffer> pipe;
+  std::shared_ptr<EpollInstance> epoll;
+  uint64_t counter = 0;  // eventfd value / timerfd expirations.
+};
+
+class Vfs {
+ public:
+  Vfs();
+
+  // Path resolution relative to root; "." and ".." are normalized,
+  // symlinks followed (depth-limited).
+  Result<std::shared_ptr<Inode>> Resolve(const std::string& path) const;
+  bool Exists(const std::string& path) const { return Resolve(path).ok(); }
+
+  Result<std::shared_ptr<Inode>> CreateFile(const std::string& path, std::string data = "",
+                                            bool executable = false);
+  Result<std::shared_ptr<Inode>> CreateDir(const std::string& path);
+  Result<std::shared_ptr<Inode>> CreateDevice(const std::string& path, DevId dev);
+  Status CreateSymlink(const std::string& path, const std::string& target);
+  Status Unlink(const std::string& path);
+
+  // Mounts a synthesized filesystem at `path` ("proc", "sysfs", "tmpfs",
+  // "devtmpfs"). The caller (syscall layer) checks config gating.
+  Status Mount(const std::string& fstype, const std::string& path);
+  bool IsMounted(const std::string& path) const;
+
+  const std::shared_ptr<Inode>& root() const { return root_; }
+
+  // Splits "/a/b/c" -> parent inode of "c" + leaf name.
+  Result<std::pair<std::shared_ptr<Inode>, std::string>> ResolveParent(
+      const std::string& path) const;
+
+ private:
+  Result<std::shared_ptr<Inode>> ResolveInternal(const std::string& path, int depth) const;
+
+  std::shared_ptr<Inode> root_;
+  std::vector<std::string> mounts_;
+};
+
+// Populates a freshly mounted /proc (and /proc/sys when `with_sysctl`).
+void PopulateProcfs(Inode& proc_root, bool with_sysctl);
+// Populates /sys with a minimal device tree.
+void PopulateSysfs(Inode& sys_root);
+
+}  // namespace lupine::guestos
+
+#endif  // SRC_GUESTOS_VFS_H_

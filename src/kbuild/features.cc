@@ -1,0 +1,86 @@
+#include "src/kbuild/features.h"
+
+#include "src/kconfig/option_names.h"
+
+namespace lupine::kbuild {
+
+KernelFeatures DeriveFeatures(const kconfig::Config& config, const kconfig::OptionDb* db_in) {
+  namespace n = kconfig::names;
+  const auto& db = db_in != nullptr ? *db_in : kconfig::OptionDb::Linux40();
+
+  KernelFeatures f;
+  f.syscalls = EnabledSyscalls(config);
+
+  f.smp = config.IsEnabled(n::kSmp);
+  f.numa = config.IsEnabled(n::kNuma);
+  f.cgroups = config.IsEnabled(n::kCgroups);
+  f.namespaces = config.IsEnabled(n::kNamespaces);
+  f.modules = config.IsEnabled(n::kModules);
+  f.audit = config.IsEnabled(n::kAudit);
+  f.seccomp = config.IsEnabled(n::kSeccomp);
+  f.selinux = config.IsEnabled(n::kSelinux);
+
+  f.kml = config.IsEnabled(n::kKml);
+  f.kpti = config.IsEnabled(n::kKpti);
+  f.mitigations = config.IsEnabled(n::kMitigations);
+  f.paravirt = config.IsEnabled(n::kParavirt);
+
+  f.futex = config.IsEnabled(n::kFutex);
+  f.sysvipc = config.IsEnabled(n::kSysvipc);
+  f.posix_mqueue = config.IsEnabled(n::kPosixMqueue);
+
+  f.net_core = config.IsEnabled(n::kNet);
+  f.inet = config.IsEnabled(n::kInet);
+  f.ipv6 = config.IsEnabled(n::kIpv6);
+  f.unix_sockets = config.IsEnabled(n::kUnix);
+  f.packet_sockets = config.IsEnabled(n::kPacket);
+
+  f.proc_fs = config.IsEnabled(n::kProcFs);
+  f.proc_sysctl = config.IsEnabled(n::kProcSysctl);
+  f.sysfs = config.IsEnabled(n::kSysfs);
+  f.tmpfs = config.IsEnabled(n::kTmpfs);
+  f.hugetlbfs = config.IsEnabled(n::kHugetlbfs);
+  f.ext2 = config.IsEnabled(n::kExt2Fs);
+  f.devtmpfs = config.IsEnabled(n::kDevtmpfs);
+  f.blk_dev_loop = config.IsEnabled(n::kBlkDevLoop);
+  f.tty = config.IsEnabled(n::kTty);
+
+  f.printk = config.IsEnabled(n::kPrintk);
+  f.kallsyms = config.IsEnabled(n::kKallsyms);
+  f.high_res_timers = config.IsEnabled(n::kHighResTimers);
+  f.multiuser = config.IsEnabled(n::kMultiuser);
+  f.pci = config.IsEnabled(n::kPci);
+  f.acpi = config.IsEnabled(n::kAcpi);
+
+  f.compile_mode = config.compile_mode();
+
+  for (const auto& name : config.EnabledOptions()) {
+    const kconfig::OptionInfo* info = db.Find(name);
+    if (info == nullptr) {
+      continue;
+    }
+    ++f.enabled_options;
+    switch (info->dir) {
+      case kconfig::SourceDir::kDrivers:
+        ++f.driver_options;
+        break;
+      case kconfig::SourceDir::kNet:
+        ++f.net_options;
+        break;
+      case kconfig::SourceDir::kFs:
+        ++f.fs_options;
+        break;
+      case kconfig::SourceDir::kCrypto:
+        ++f.crypto_options;
+        break;
+      default:
+        break;
+    }
+    if (info->option_class == kconfig::OptionClass::kAppDebug) {
+      ++f.debug_options;
+    }
+  }
+  return f;
+}
+
+}  // namespace lupine::kbuild

@@ -1,0 +1,91 @@
+// KernelFeatures: the runtime-relevant digest of a kernel configuration.
+//
+// The guest kernel simulator never inspects the Config directly; the image
+// builder derives this struct once, mirroring how configuration in real
+// Linux becomes compiled-in (or absent) code.
+#ifndef SRC_KBUILD_FEATURES_H_
+#define SRC_KBUILD_FEATURES_H_
+
+#include <cstddef>
+
+#include "src/kbuild/syscalls.h"
+#include "src/kconfig/config.h"
+
+namespace lupine::kbuild {
+
+struct KernelFeatures {
+  SyscallSet syscalls;
+
+  // Scheduling / processes.
+  // Unikernel-style restriction: a single application process; fork/clone
+  // fail (Section 5's crash-on-fork behaviour). Not reachable from any
+  // Kconfig option — set by library-OS style builds.
+  bool single_process = false;
+  bool smp = false;
+  bool numa = false;
+  bool cgroups = false;
+  bool namespaces = false;
+  bool modules = false;
+  bool audit = false;
+  bool seccomp = false;
+  bool selinux = false;
+
+  // Transition pricing.
+  bool kml = false;          // Application runs in ring 0.
+  bool kpti = false;         // Kernel page-table isolation.
+  bool mitigations = false;  // Retpoline-style hardening.
+  bool paravirt = false;     // Paravirtual ops (faster boot; conflicts KML).
+
+  // IPC / sync.
+  bool futex = false;
+  bool sysvipc = false;
+  bool posix_mqueue = false;
+
+  // Network families.
+  bool net_core = false;
+  bool inet = false;
+  bool ipv6 = false;
+  bool unix_sockets = false;
+  bool packet_sockets = false;
+
+  // Filesystems & devices.
+  bool proc_fs = false;
+  bool proc_sysctl = false;
+  bool sysfs = false;
+  bool tmpfs = false;
+  bool hugetlbfs = false;
+  bool ext2 = false;
+  bool devtmpfs = false;
+  bool blk_dev_loop = false;
+  bool tty = false;
+
+  // Misc base features.
+  bool printk = false;
+  bool kallsyms = false;
+  bool high_res_timers = false;
+  bool multiuser = false;
+  bool pci = false;
+  bool acpi = false;
+
+  kconfig::CompileMode compile_mode = kconfig::CompileMode::kO2;
+
+  // Boot-cost drivers: how many enabled options contribute initialization
+  // work, by coarse category (see guestos::Kernel::Boot).
+  size_t enabled_options = 0;
+  size_t driver_options = 0;
+  size_t net_options = 0;
+  size_t fs_options = 0;
+  size_t debug_options = 0;
+  size_t crypto_options = 0;
+
+  bool HasSyscall(Sys sys) const { return syscalls.test(static_cast<int>(sys)); }
+};
+
+// Derives features from a config against `db` (defaults to the Linux 4.0
+// tree).
+KernelFeatures DeriveFeatures(const kconfig::Config& config,
+                              const kconfig::OptionDb* db = nullptr);
+
+}  // namespace lupine::kbuild
+
+#endif  // SRC_KBUILD_FEATURES_H_

@@ -1,0 +1,26 @@
+// KernelImage: the artifact produced by building a configured kernel tree.
+#ifndef SRC_KBUILD_IMAGE_H_
+#define SRC_KBUILD_IMAGE_H_
+
+#include <string>
+
+#include "src/kbuild/features.h"
+#include "src/kconfig/config.h"
+#include "src/util/units.h"
+
+namespace lupine::kbuild {
+
+struct KernelImage {
+  std::string name;           // e.g. "lupine-redis" or "microvm".
+  kconfig::Config config;     // The configuration it was built from.
+  KernelFeatures features;    // Runtime digest.
+  Bytes size = 0;             // Compressed on-disk image size (Fig. 6).
+  Bytes text_and_data = 0;    // Resident core at runtime (Fig. 8 floor).
+  // Loadable modules (=m options): shipped in the rootfs, not the image.
+  Bytes modules_size = 0;
+  size_t module_count = 0;
+};
+
+}  // namespace lupine::kbuild
+
+#endif  // SRC_KBUILD_IMAGE_H_

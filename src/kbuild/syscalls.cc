@@ -1,0 +1,168 @@
+#include "src/kbuild/syscalls.h"
+
+#include "src/kconfig/option_names.h"
+
+namespace lupine::kbuild {
+namespace {
+
+namespace n = kconfig::names;
+
+}  // namespace
+
+const char* SyscallName(Sys sys) {
+  switch (sys) {
+    case Sys::kRead: return "read";
+    case Sys::kWrite: return "write";
+    case Sys::kOpen: return "open";
+    case Sys::kClose: return "close";
+    case Sys::kStat: return "stat";
+    case Sys::kFstat: return "fstat";
+    case Sys::kLseek: return "lseek";
+    case Sys::kMmap: return "mmap";
+    case Sys::kMunmap: return "munmap";
+    case Sys::kBrk: return "brk";
+    case Sys::kIoctl: return "ioctl";
+    case Sys::kPipe: return "pipe";
+    case Sys::kDup: return "dup";
+    case Sys::kNanosleep: return "nanosleep";
+    case Sys::kGetpid: return "getpid";
+    case Sys::kGetppid: return "getppid";
+    case Sys::kFork: return "fork";
+    case Sys::kVfork: return "vfork";
+    case Sys::kClone: return "clone";
+    case Sys::kExecve: return "execve";
+    case Sys::kExit: return "exit";
+    case Sys::kWait4: return "wait4";
+    case Sys::kKill: return "kill";
+    case Sys::kUname: return "uname";
+    case Sys::kGetcwd: return "getcwd";
+    case Sys::kChdir: return "chdir";
+    case Sys::kMkdir: return "mkdir";
+    case Sys::kRmdir: return "rmdir";
+    case Sys::kUnlink: return "unlink";
+    case Sys::kReadlink: return "readlink";
+    case Sys::kGettimeofday: return "gettimeofday";
+    case Sys::kClockGettime: return "clock_gettime";
+    case Sys::kGetrlimit: return "getrlimit";
+    case Sys::kSetrlimit: return "setrlimit";
+    case Sys::kGetuid: return "getuid";
+    case Sys::kSetuid: return "setuid";
+    case Sys::kSocket: return "socket";
+    case Sys::kBind: return "bind";
+    case Sys::kListen: return "listen";
+    case Sys::kAccept: return "accept";
+    case Sys::kConnect: return "connect";
+    case Sys::kSendto: return "sendto";
+    case Sys::kRecvfrom: return "recvfrom";
+    case Sys::kShutdown: return "shutdown";
+    case Sys::kSetsockopt: return "setsockopt";
+    case Sys::kGetsockopt: return "getsockopt";
+    case Sys::kPoll: return "poll";
+    case Sys::kSelect: return "select";
+    case Sys::kMount: return "mount";
+    case Sys::kUmount: return "umount";
+    case Sys::kMprotect: return "mprotect";
+    case Sys::kMsync: return "msync";
+    case Sys::kSchedYield: return "sched_yield";
+    case Sys::kSigaction: return "rt_sigaction";
+    case Sys::kSigprocmask: return "rt_sigprocmask";
+    case Sys::kSethostname: return "sethostname";
+    case Sys::kMadvise: return "madvise";
+    case Sys::kFadvise64: return "fadvise64";
+    case Sys::kIoSetup: return "io_setup";
+    case Sys::kIoDestroy: return "io_destroy";
+    case Sys::kIoSubmit: return "io_submit";
+    case Sys::kIoCancel: return "io_cancel";
+    case Sys::kIoGetevents: return "io_getevents";
+    case Sys::kBpf: return "bpf";
+    case Sys::kEpollCreate: return "epoll_create";
+    case Sys::kEpollCreate1: return "epoll_create1";
+    case Sys::kEpollCtl: return "epoll_ctl";
+    case Sys::kEpollWait: return "epoll_wait";
+    case Sys::kEpollPwait: return "epoll_pwait";
+    case Sys::kEventfd: return "eventfd";
+    case Sys::kEventfd2: return "eventfd2";
+    case Sys::kFanotifyInit: return "fanotify_init";
+    case Sys::kFanotifyMark: return "fanotify_mark";
+    case Sys::kOpenByHandleAt: return "open_by_handle_at";
+    case Sys::kNameToHandleAt: return "name_to_handle_at";
+    case Sys::kFlock: return "flock";
+    case Sys::kFutex: return "futex";
+    case Sys::kSetRobustList: return "set_robust_list";
+    case Sys::kGetRobustList: return "get_robust_list";
+    case Sys::kInotifyInit: return "inotify_init";
+    case Sys::kInotifyAddWatch: return "inotify_add_watch";
+    case Sys::kInotifyRmWatch: return "inotify_rm_watch";
+    case Sys::kSignalfd: return "signalfd";
+    case Sys::kSignalfd4: return "signalfd4";
+    case Sys::kTimerfdCreate: return "timerfd_create";
+    case Sys::kTimerfdGettime: return "timerfd_gettime";
+    case Sys::kTimerfdSettime: return "timerfd_settime";
+    case Sys::kShmget: return "shmget";
+    case Sys::kShmat: return "shmat";
+    case Sys::kShmdt: return "shmdt";
+    case Sys::kSemget: return "semget";
+    case Sys::kSemop: return "semop";
+    case Sys::kMsgget: return "msgget";
+    case Sys::kMsgsnd: return "msgsnd";
+    case Sys::kMsgrcv: return "msgrcv";
+    case Sys::kMqOpen: return "mq_open";
+    case Sys::kMqUnlink: return "mq_unlink";
+    case Sys::kMqTimedsend: return "mq_timedsend";
+    case Sys::kMqTimedreceive: return "mq_timedreceive";
+    case Sys::kNumSyscalls: break;
+  }
+  return "?";
+}
+
+const std::vector<SyscallGate>& SyscallGates() {
+  static const std::vector<SyscallGate> gates = {
+      {n::kAdviseSyscalls, {Sys::kMadvise, Sys::kFadvise64}},
+      {n::kAio,
+       {Sys::kIoSetup, Sys::kIoDestroy, Sys::kIoSubmit, Sys::kIoCancel, Sys::kIoGetevents}},
+      {n::kBpfSyscall, {Sys::kBpf}},
+      {n::kEpoll,
+       {Sys::kEpollCreate, Sys::kEpollCreate1, Sys::kEpollCtl, Sys::kEpollWait,
+        Sys::kEpollPwait}},
+      {n::kEventfd, {Sys::kEventfd, Sys::kEventfd2}},
+      {n::kFanotify, {Sys::kFanotifyInit, Sys::kFanotifyMark}},
+      {n::kFhandle, {Sys::kOpenByHandleAt, Sys::kNameToHandleAt}},
+      {n::kFileLocking, {Sys::kFlock}},
+      {n::kFutex, {Sys::kFutex, Sys::kSetRobustList, Sys::kGetRobustList}},
+      {n::kInotifyUser, {Sys::kInotifyInit, Sys::kInotifyAddWatch, Sys::kInotifyRmWatch}},
+      {n::kSignalfd, {Sys::kSignalfd, Sys::kSignalfd4}},
+      {n::kTimerfd, {Sys::kTimerfdCreate, Sys::kTimerfdGettime, Sys::kTimerfdSettime}},
+      {n::kSysvipc,
+       {Sys::kShmget, Sys::kShmat, Sys::kShmdt, Sys::kSemget, Sys::kSemop, Sys::kMsgget,
+        Sys::kMsgsnd, Sys::kMsgrcv}},
+      {n::kPosixMqueue,
+       {Sys::kMqOpen, Sys::kMqUnlink, Sys::kMqTimedsend, Sys::kMqTimedreceive}},
+  };
+  return gates;
+}
+
+const char* GatingOption(Sys sys) {
+  for (const auto& gate : SyscallGates()) {
+    for (Sys gated : gate.syscalls) {
+      if (gated == sys) {
+        return gate.option;
+      }
+    }
+  }
+  return nullptr;
+}
+
+SyscallSet EnabledSyscalls(const kconfig::Config& config) {
+  SyscallSet set;
+  set.set();  // Start with everything...
+  for (const auto& gate : SyscallGates()) {
+    if (!config.IsEnabled(gate.option)) {
+      for (Sys sys : gate.syscalls) {
+        set.reset(static_cast<int>(sys));  // ...and knock out unconfigured ones.
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace lupine::kbuild

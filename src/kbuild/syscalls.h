@@ -1,0 +1,164 @@
+// System call numbering and the Table 1 option -> syscall mapping.
+//
+// The guest kernel's dispatch layer (src/guestos/syscalls.*) consults the
+// syscall set generated here: a syscall whose gating option was configured
+// out returns ENOSYS, exactly the failure mode that drives the paper's
+// manual configuration derivation (Section 4.1) and our automated
+// config search (src/core/config_search.*).
+#ifndef SRC_KBUILD_SYSCALLS_H_
+#define SRC_KBUILD_SYSCALLS_H_
+
+#include <bitset>
+#include <string>
+#include <vector>
+
+#include "src/kconfig/config.h"
+
+namespace lupine::kbuild {
+
+// The syscalls the simulated guest implements. Always-available calls are
+// listed first; optionally-gated calls follow grouped by gating option.
+enum class Sys : int {
+  // Always compiled in.
+  kRead = 0,
+  kWrite,
+  kOpen,
+  kClose,
+  kStat,
+  kFstat,
+  kLseek,
+  kMmap,
+  kMunmap,
+  kBrk,
+  kIoctl,
+  kPipe,
+  kDup,
+  kNanosleep,
+  kGetpid,
+  kGetppid,
+  kFork,
+  kVfork,
+  kClone,
+  kExecve,
+  kExit,
+  kWait4,
+  kKill,
+  kUname,
+  kGetcwd,
+  kChdir,
+  kMkdir,
+  kRmdir,
+  kUnlink,
+  kReadlink,
+  kGettimeofday,
+  kClockGettime,
+  kGetrlimit,
+  kSetrlimit,
+  kGetuid,
+  kSetuid,
+  kSocket,
+  kBind,
+  kListen,
+  kAccept,
+  kConnect,
+  kSendto,
+  kRecvfrom,
+  kShutdown,
+  kSetsockopt,
+  kGetsockopt,
+  kPoll,
+  kSelect,
+  kMount,
+  kUmount,
+  kMprotect,
+  kMsync,
+  kSchedYield,
+  kSigaction,
+  kSigprocmask,
+  kSethostname,
+  // CONFIG_ADVISE_SYSCALLS
+  kMadvise,
+  kFadvise64,
+  // CONFIG_AIO
+  kIoSetup,
+  kIoDestroy,
+  kIoSubmit,
+  kIoCancel,
+  kIoGetevents,
+  // CONFIG_BPF_SYSCALL
+  kBpf,
+  // CONFIG_EPOLL
+  kEpollCreate,
+  kEpollCreate1,
+  kEpollCtl,
+  kEpollWait,
+  kEpollPwait,
+  // CONFIG_EVENTFD
+  kEventfd,
+  kEventfd2,
+  // CONFIG_FANOTIFY
+  kFanotifyInit,
+  kFanotifyMark,
+  // CONFIG_FHANDLE
+  kOpenByHandleAt,
+  kNameToHandleAt,
+  // CONFIG_FILE_LOCKING
+  kFlock,
+  // CONFIG_FUTEX
+  kFutex,
+  kSetRobustList,
+  kGetRobustList,
+  // CONFIG_INOTIFY_USER
+  kInotifyInit,
+  kInotifyAddWatch,
+  kInotifyRmWatch,
+  // CONFIG_SIGNALFD
+  kSignalfd,
+  kSignalfd4,
+  // CONFIG_TIMERFD
+  kTimerfdCreate,
+  kTimerfdGettime,
+  kTimerfdSettime,
+  // CONFIG_SYSVIPC
+  kShmget,
+  kShmat,
+  kShmdt,
+  kSemget,
+  kSemop,
+  kMsgget,
+  kMsgsnd,
+  kMsgrcv,
+  // CONFIG_POSIX_MQUEUE
+  kMqOpen,
+  kMqUnlink,
+  kMqTimedsend,
+  kMqTimedreceive,
+
+  kNumSyscalls,
+};
+
+inline constexpr int kNumSyscalls = static_cast<int>(Sys::kNumSyscalls);
+
+const char* SyscallName(Sys sys);
+
+using SyscallSet = std::bitset<kNumSyscalls>;
+
+// One row of Table 1: a config option and the syscalls it enables.
+struct SyscallGate {
+  const char* option;
+  std::vector<Sys> syscalls;
+};
+
+// All rows of Table 1 plus the IPC gates discussed in Section 4.1
+// (SYSVIPC for postgres, POSIX_MQUEUE).
+const std::vector<SyscallGate>& SyscallGates();
+
+// The gating option for `sys`, or nullptr if it is always available.
+const char* GatingOption(Sys sys);
+
+// Computes the syscall set a kernel built from `config` provides.
+SyscallSet EnabledSyscalls(const kconfig::Config& config);
+
+}  // namespace lupine::kbuild
+
+#endif  // SRC_KBUILD_SYSCALLS_H_

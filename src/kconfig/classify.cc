@@ -1,0 +1,45 @@
+#include "src/kconfig/classify.h"
+
+namespace lupine::kconfig {
+
+std::array<size_t, kNumSourceDirs> CountByDir(const Config& config, const OptionDb& db) {
+  std::array<size_t, kNumSourceDirs> counts{};
+  for (const auto& name : config.EnabledOptions()) {
+    const OptionInfo* info = db.Find(name);
+    if (info != nullptr) {
+      ++counts[static_cast<int>(info->dir)];
+    }
+  }
+  return counts;
+}
+
+std::array<size_t, kNumSourceDirs> TreeTotalsByDir(const OptionDb& db) {
+  std::array<size_t, kNumSourceDirs> counts{};
+  for (const auto& option : db.options()) {
+    ++counts[static_cast<int>(option.dir)];
+  }
+  return counts;
+}
+
+RemovalBreakdown ClassifyRemovals(const OptionDb& db) {
+  RemovalBreakdown b;
+  for (const auto& option : db.options()) {
+    switch (option.option_class) {
+      case OptionClass::kBase: ++b.base_retained; break;
+      case OptionClass::kAppNetwork: ++b.app_network; break;
+      case OptionClass::kAppFilesystem: ++b.app_filesystem; break;
+      case OptionClass::kAppSyscall: ++b.app_syscall; break;
+      case OptionClass::kAppCompression: ++b.app_compression; break;
+      case OptionClass::kAppCrypto: ++b.app_crypto; break;
+      case OptionClass::kAppDebug: ++b.app_debug; break;
+      case OptionClass::kAppOther: ++b.app_other; break;
+      case OptionClass::kMultiProcess: ++b.multi_process; break;
+      case OptionClass::kHardware: ++b.hardware; break;
+      case OptionClass::kNotSelected: break;
+    }
+  }
+  b.microvm_total = b.base_retained + b.removed_total();
+  return b;
+}
+
+}  // namespace lupine::kconfig

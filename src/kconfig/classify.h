@@ -1,0 +1,48 @@
+// Counting and classification reports over configs (Figs. 3 and 4).
+#ifndef SRC_KCONFIG_CLASSIFY_H_
+#define SRC_KCONFIG_CLASSIFY_H_
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "src/kconfig/config.h"
+
+namespace lupine::kconfig {
+
+// Per-directory option counts for one config (one series of Fig. 3).
+std::array<size_t, kNumSourceDirs> CountByDir(const Config& config, const OptionDb& db);
+
+// Per-directory totals for the whole tree (Fig. 3 "total" series).
+std::array<size_t, kNumSourceDirs> TreeTotalsByDir(const OptionDb& db);
+
+// Fig. 4: classification of the options removed when deriving lupine-base
+// from the microVM config.
+struct RemovalBreakdown {
+  size_t microvm_total = 0;   // 833
+  size_t base_retained = 0;   // 283
+  // Application-specific subcategories.
+  size_t app_network = 0;
+  size_t app_filesystem = 0;
+  size_t app_syscall = 0;
+  size_t app_compression = 0;
+  size_t app_crypto = 0;
+  size_t app_debug = 0;
+  size_t app_other = 0;
+  // Unnecessary-for-unikernels categories.
+  size_t multi_process = 0;
+  size_t hardware = 0;
+
+  size_t app_specific_total() const {
+    return app_network + app_filesystem + app_syscall + app_compression + app_crypto +
+           app_debug + app_other;
+  }
+  size_t removed_total() const { return app_specific_total() + multi_process + hardware; }
+};
+
+RemovalBreakdown ClassifyRemovals(const OptionDb& db);
+
+}  // namespace lupine::kconfig
+
+#endif  // SRC_KCONFIG_CLASSIFY_H_

@@ -1,0 +1,42 @@
+#include "src/kconfig/config.h"
+
+namespace lupine::kconfig {
+
+bool Config::IsEnabled(const std::string& option) const {
+  auto it = values_.find(option);
+  return it != values_.end() && it->second != "n";
+}
+
+std::string Config::GetValue(const std::string& option) const {
+  auto it = values_.find(option);
+  return it == values_.end() ? "" : it->second;
+}
+
+std::vector<std::string> Config::EnabledOptions() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, value] : values_) {
+    if (value != "n") {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Config::Minus(const Config& other) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (value != "n" && !other.IsEnabled(name)) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+void Config::UnionWith(const Config& other) {
+  for (const auto& name : other.EnabledOptions()) {
+    values_[name] = other.GetValue(name);
+  }
+}
+
+}  // namespace lupine::kconfig

@@ -1,0 +1,63 @@
+// A kernel configuration: the set of enabled options plus build knobs.
+#ifndef SRC_KCONFIG_CONFIG_H_
+#define SRC_KCONFIG_CONFIG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/kconfig/option_db.h"
+
+namespace lupine::kconfig {
+
+// Compiler optimization target (Lupine's -tiny uses -Os; everything else -O2).
+enum class CompileMode { kO2, kOs };
+
+class Config {
+ public:
+  Config() = default;
+  explicit Config(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Bool options.
+  void Enable(const std::string& option) { values_[option] = "y"; }
+  void Disable(const std::string& option) { values_.erase(option); }
+  bool IsEnabled(const std::string& option) const;
+
+  // Valued options (ints / strings); also marks the option enabled.
+  void SetValue(const std::string& option, const std::string& value) { values_[option] = value; }
+  std::string GetValue(const std::string& option) const;
+
+  size_t EnabledCount() const { return values_.size(); }
+  std::vector<std::string> EnabledOptions() const;
+
+  CompileMode compile_mode() const { return compile_mode_; }
+  void set_compile_mode(CompileMode mode) { compile_mode_ = mode; }
+
+  // Whether the out-of-tree KML patch has been applied to the source tree.
+  // The KERNEL_MODE_LINUX option is only legal to enable when this is set
+  // (enforced by the Resolver).
+  bool kml_patch_applied() const { return kml_patch_applied_; }
+  void set_kml_patch_applied(bool applied) { kml_patch_applied_ = applied; }
+
+  // Set algebra used by the configuration-diversity analysis (Fig. 5).
+  // Options present in `this` but not in `other`.
+  std::vector<std::string> Minus(const Config& other) const;
+  // Adds every option of `other` (values from `other` win on clash).
+  void UnionWith(const Config& other);
+
+  bool operator==(const Config& other) const { return values_ == other.values_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> values_;
+  CompileMode compile_mode_ = CompileMode::kO2;
+  bool kml_patch_applied_ = false;
+};
+
+}  // namespace lupine::kconfig
+
+#endif  // SRC_KCONFIG_CONFIG_H_

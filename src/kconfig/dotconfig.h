@@ -1,0 +1,31 @@
+// Serialization to and from the `.config` text format used by Kconfig:
+//
+//   CONFIG_FUTEX=y
+//   CONFIG_NR_CPUS=1
+//   CONFIG_CMDLINE="console=ttyS0"
+//   # CONFIG_SMP is not set
+//
+// Round-tripping lets users inspect generated Lupine configs with familiar
+// tools and feed externally-authored configs into the builder.
+#ifndef SRC_KCONFIG_DOTCONFIG_H_
+#define SRC_KCONFIG_DOTCONFIG_H_
+
+#include <string>
+
+#include "src/kconfig/config.h"
+#include "src/util/result.h"
+
+namespace lupine::kconfig {
+
+// Renders `config` in .config syntax. When `db` is non-null, explicitly
+// annotates microVM-selected options that are disabled ("# ... is not set"),
+// matching what `make savedefconfig` diffs look like.
+std::string ToDotConfig(const Config& config, const OptionDb* db = nullptr);
+
+// Parses .config text. Unknown options are accepted here (the Resolver
+// validates against a database separately); malformed lines fail.
+Result<Config> ParseDotConfig(const std::string& text);
+
+}  // namespace lupine::kconfig
+
+#endif  // SRC_KCONFIG_DOTCONFIG_H_

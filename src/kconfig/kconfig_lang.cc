@@ -1,0 +1,220 @@
+#include "src/kconfig/kconfig_lang.h"
+
+#include <sstream>
+
+namespace lupine::kconfig {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t start = s.find_first_not_of(" \t");
+  if (start == std::string::npos) {
+    return "";
+  }
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(start, end - start + 1);
+}
+
+bool ValidOptionName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (char c : name) {
+    if (!(std::isupper(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status ParseError(int line, const std::string& message) {
+  return Status(Err::kInval, "Kconfig:" + std::to_string(line) + ": " + message);
+}
+
+// Splits "A && B && C" into names; rejects "||" and parentheses.
+Result<std::vector<std::string>> ParseDependsExpr(const std::string& expr, int line) {
+  if (expr.find("||") != std::string::npos || expr.find('(') != std::string::npos ||
+      expr.find('!') != std::string::npos) {
+    return ParseError(line, "only conjunctive depends-on expressions are supported");
+  }
+  std::vector<std::string> names;
+  size_t pos = 0;
+  while (pos < expr.size()) {
+    size_t amp = expr.find("&&", pos);
+    std::string name = Trim(amp == std::string::npos ? expr.substr(pos)
+                                                     : expr.substr(pos, amp - pos));
+    if (!ValidOptionName(name)) {
+      return ParseError(line, "bad option name in depends on: '" + name + "'");
+    }
+    names.push_back(name);
+    if (amp == std::string::npos) {
+      break;
+    }
+    pos = amp + 2;
+  }
+  return names;
+}
+
+}  // namespace
+
+Result<size_t> ParseKconfig(const std::string& text, const KconfigParseOptions& options,
+                            OptionDb& db) {
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  size_t added = 0;
+
+  OptionInfo current;
+  bool have_current = false;
+  bool in_help = false;
+
+  auto flush = [&]() -> Status {
+    if (!have_current) {
+      return Status::Ok();
+    }
+    if (!db.Add(current)) {
+      return Status(Err::kExist, "duplicate option " + current.name);
+    }
+    ++added;
+    current = OptionInfo();
+    have_current = false;
+    return Status::Ok();
+  };
+
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = Trim(raw);
+
+    if (in_help) {
+      // Help text continues while lines are indented (or blank).
+      if (raw.empty() || raw[0] == ' ' || raw[0] == '\t') {
+        if (!line.empty()) {
+          if (!current.help.empty()) {
+            current.help += " ";
+          }
+          current.help += line;
+        }
+        continue;
+      }
+      in_help = false;  // Falls through to normal parsing of this line.
+    }
+
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+
+    std::istringstream words(line);
+    std::string keyword;
+    words >> keyword;
+
+    if (keyword == "config") {
+      if (Status s = flush(); !s.ok()) {
+        return s;
+      }
+      std::string name;
+      words >> name;
+      if (!ValidOptionName(name)) {
+        return ParseError(lineno, "bad config name '" + name + "'");
+      }
+      current = OptionInfo();
+      current.name = name;
+      current.dir = options.dir;
+      current.option_class = options.option_class;
+      current.builtin_size = options.default_size;
+      have_current = true;
+      continue;
+    }
+
+    if (!have_current) {
+      return ParseError(lineno, "'" + keyword + "' outside any config block");
+    }
+
+    if (keyword == "bool" || keyword == "tristate" || keyword == "int" ||
+        keyword == "string") {
+      current.type = keyword == "tristate" ? OptionType::kTristate
+                     : keyword == "int"    ? OptionType::kInt
+                     : keyword == "string" ? OptionType::kString
+                                           : OptionType::kBool;
+      // Optional quoted prompt becomes part of help if help is absent.
+      std::string rest;
+      std::getline(words, rest);
+      rest = Trim(rest);
+      if (rest.size() >= 2 && rest.front() == '"' && rest.back() == '"' &&
+          current.help.empty()) {
+        current.help = rest.substr(1, rest.size() - 2);
+      }
+    } else if (keyword == "depends") {
+      std::string on;
+      words >> on;
+      if (on != "on") {
+        return ParseError(lineno, "expected 'depends on'");
+      }
+      std::string expr;
+      std::getline(words, expr);
+      auto names = ParseDependsExpr(Trim(expr), lineno);
+      if (!names.ok()) {
+        return names.status();
+      }
+      for (auto& name : names.value()) {
+        current.depends_on.push_back(std::move(name));
+      }
+    } else if (keyword == "select") {
+      std::string name;
+      words >> name;
+      if (!ValidOptionName(name)) {
+        return ParseError(lineno, "bad select target '" + name + "'");
+      }
+      current.selects.push_back(name);
+    } else if (keyword == "conflicts") {
+      std::string name;
+      words >> name;
+      if (!ValidOptionName(name)) {
+        return ParseError(lineno, "bad conflicts target '" + name + "'");
+      }
+      current.conflicts.push_back(name);
+    } else if (keyword == "help" || keyword == "---help---") {
+      in_help = true;
+      current.help.clear();
+    } else if (keyword == "menu" || keyword == "endmenu" || keyword == "choice" ||
+               keyword == "endchoice" || keyword == "default" || keyword == "source" ||
+               keyword == "if" || keyword == "endif") {
+      return ParseError(lineno, "unsupported Kconfig construct '" + keyword + "'");
+    } else {
+      return ParseError(lineno, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (Status s = flush(); !s.ok()) {
+    return s;
+  }
+  return added;
+}
+
+std::string ToKconfig(const OptionInfo& option) {
+  std::ostringstream out;
+  out << "config " << option.name << "\n";
+  const char* type = option.type == OptionType::kTristate ? "tristate"
+                     : option.type == OptionType::kInt    ? "int"
+                     : option.type == OptionType::kString ? "string"
+                                                          : "bool";
+  out << "\t" << type;
+  if (!option.help.empty()) {
+    out << " \"" << option.help << "\"";
+  }
+  out << "\n";
+  if (!option.depends_on.empty()) {
+    out << "\tdepends on ";
+    for (size_t i = 0; i < option.depends_on.size(); ++i) {
+      out << (i ? " && " : "") << option.depends_on[i];
+    }
+    out << "\n";
+  }
+  for (const auto& sel : option.selects) {
+    out << "\tselect " << sel << "\n";
+  }
+  for (const auto& conflict : option.conflicts) {
+    out << "\tconflicts " << conflict << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lupine::kconfig

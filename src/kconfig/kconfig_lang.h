@@ -1,0 +1,48 @@
+// A front end for (a practical subset of) the Kconfig language itself.
+//
+// The paper's entire specialization mechanism is "the kernel's Kconfig
+// mechanism" (Section 3.1); this parser lets users define option trees in
+// the native syntax instead of C++:
+//
+//   config FUTEX
+//       bool "Fast user-space mutexes"
+//       depends on MMU
+//       select RT_MUTEXES
+//       help
+//         Enables the futex system call.
+//
+// Supported: `config NAME`, types (`bool`/`tristate`/`int`/`string`) with
+// optional prompt, `depends on A && B`, `select X`, `conflicts Y` (our
+// extension for KML-style mutual exclusion), `help` blocks, and `#`
+// comments. Unsupported Kconfig constructs (menus, choices, defaults with
+// expressions) are rejected with a line-numbered error.
+#ifndef SRC_KCONFIG_KCONFIG_LANG_H_
+#define SRC_KCONFIG_KCONFIG_LANG_H_
+
+#include <string>
+
+#include "src/kconfig/option_db.h"
+#include "src/util/result.h"
+
+namespace lupine::kconfig {
+
+struct KconfigParseOptions {
+  // Directory and class assigned to parsed options (Kconfig files do not
+  // carry our taxonomy; callers set it per file, as the per-directory
+  // Kconfig layout does in Linux).
+  SourceDir dir = SourceDir::kKernel;
+  OptionClass option_class = OptionClass::kNotSelected;
+  Bytes default_size = 10 * kKiB;
+};
+
+// Parses Kconfig text into options appended to `db`. Returns the number of
+// options added.
+Result<size_t> ParseKconfig(const std::string& text, const KconfigParseOptions& options,
+                            OptionDb& db);
+
+// Renders an option back in Kconfig syntax (round-trip / inspection).
+std::string ToKconfig(const OptionInfo& option);
+
+}  // namespace lupine::kconfig
+
+#endif  // SRC_KCONFIG_KCONFIG_LANG_H_

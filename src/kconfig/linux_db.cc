@@ -1,0 +1,299 @@
+// Construction of the synthetic Linux 4.0 option tree.
+//
+// Two layers compose the database:
+//   1. Named options: everything the simulator's behaviour depends on
+//      (syscall gating, subsystems, SMP/KML/KPTI, boot phases, sizes of the
+//      big-ticket items). These are real Linux option names.
+//   2. Filler options: anonymous options that make the aggregate counts match
+//      the paper -- 15,953 options total in the tree (Fig. 3), 833 selected
+//      by Firecracker's microVM config, of which 283 survive into
+//      lupine-base and 550 are removed in the Fig. 4 categories
+//      (311 application-specific + 89 multi-process + 150 hardware).
+//
+// Filler options are not dead weight: they carry directory, class and size
+// attributes, so Fig. 3/4 counting, image-size modelling (Fig. 6) and the
+// boot-time initcall model all traverse them.
+#include <cstdio>
+
+#include "src/kconfig/option_db.h"
+#include "src/kconfig/option_names.h"
+
+namespace lupine::kconfig {
+namespace {
+
+namespace n = names;
+
+struct FillerSpec {
+  OptionClass option_class;
+  SourceDir dir;
+  int total;          // Total options of this (class, dir) cell, named included.
+  Bytes each;         // builtin_size per filler option.
+  const char* prefix; // Name prefix for generated options.
+};
+
+// Target totals per (class, dir) cell for the microVM-selected options.
+//   lupine-base:           283
+//   app-specific:          311 (network 100, filesystem 35, syscall 12,
+//                               compression 20, crypto 55, debugging 65,
+//                               other 24)
+//   multiple-processes:     89
+//   hardware-management:   150
+// Sum = 833 = Firecracker microVM configuration.
+constexpr FillerSpec kSelectedCells[] = {
+    // lupine-base (283).
+    {OptionClass::kBase, SourceDir::kInit, 28, 7 * kKiB, "BASE_INIT"},
+    {OptionClass::kBase, SourceDir::kKernel, 68, 7 * kKiB, "BASE_CORE"},
+    {OptionClass::kBase, SourceDir::kMm, 30, 7 * kKiB, "BASE_MM"},
+    {OptionClass::kBase, SourceDir::kFs, 40, 7 * kKiB, "BASE_FS"},
+    {OptionClass::kBase, SourceDir::kNet, 34, 7 * kKiB, "BASE_NET"},
+    {OptionClass::kBase, SourceDir::kLib, 26, 7 * kKiB, "BASE_LIB"},
+    {OptionClass::kBase, SourceDir::kDrivers, 22, 7 * kKiB, "BASE_DRV"},
+    {OptionClass::kBase, SourceDir::kArch, 20, 7 * kKiB, "BASE_ARCH"},
+    {OptionClass::kBase, SourceDir::kBlock, 8, 7 * kKiB, "BASE_BLK"},
+    {OptionClass::kBase, SourceDir::kSecurity, 2, 7 * kKiB, "BASE_SEC"},
+    {OptionClass::kBase, SourceDir::kVirt, 2, 7 * kKiB, "BASE_VIRT"},
+    {OptionClass::kBase, SourceDir::kUsr, 3, 7 * kKiB, "BASE_USR"},
+    // Application-specific: network protocols (100).
+    {OptionClass::kAppNetwork, SourceDir::kNet, 100, 16 * kKiB, "NET_PROTO"},
+    // Application-specific: filesystems (35).
+    {OptionClass::kAppFilesystem, SourceDir::kFs, 35, 18 * kKiB, "FS_FEAT"},
+    // Application-specific: syscall-gating (12; all named, Table 1).
+    {OptionClass::kAppSyscall, SourceDir::kInit, 8, 10 * kKiB, "SYSC_INIT"},
+    {OptionClass::kAppSyscall, SourceDir::kFs, 3, 10 * kKiB, "SYSC_FS"},
+    {OptionClass::kAppSyscall, SourceDir::kKernel, 1, 10 * kKiB, "SYSC_KERN"},
+    // Application-specific: compression (20).
+    {OptionClass::kAppCompression, SourceDir::kLib, 20, 14 * kKiB, "COMP_LIB"},
+    // Application-specific: crypto (55).
+    {OptionClass::kAppCrypto, SourceDir::kCrypto, 55, 17 * kKiB, "CRYPTO_ALG"},
+    // Application-specific: debugging / information (65).
+    {OptionClass::kAppDebug, SourceDir::kKernel, 50, 22 * kKiB, "DEBUG_KERN"},
+    {OptionClass::kAppDebug, SourceDir::kLib, 15, 22 * kKiB, "DEBUG_LIB"},
+    // Application-specific: other kernel services (24).
+    {OptionClass::kAppOther, SourceDir::kKernel, 14, 13 * kKiB, "SVC_KERN"},
+    {OptionClass::kAppOther, SourceDir::kMm, 10, 13 * kKiB, "SVC_MM"},
+    // Multiple-processes (89), incl. the single-security-domain options.
+    {OptionClass::kMultiProcess, SourceDir::kInit, 28, 13 * kKiB, "MP_INIT"},
+    {OptionClass::kMultiProcess, SourceDir::kKernel, 36, 13 * kKiB, "MP_KERN"},
+    {OptionClass::kMultiProcess, SourceDir::kArch, 4, 13 * kKiB, "MP_ARCH"},
+    {OptionClass::kMultiProcess, SourceDir::kSecurity, 19, 13 * kKiB, "MP_SEC"},
+    {OptionClass::kMultiProcess, SourceDir::kMm, 2, 13 * kKiB, "MP_MM"},
+    // Hardware management (150), incl. 24 power-management options.
+    {OptionClass::kHardware, SourceDir::kDrivers, 110, 27 * kKiB, "HW_DRV"},
+    {OptionClass::kHardware, SourceDir::kArch, 36, 27 * kKiB, "HW_ARCH"},
+    {OptionClass::kHardware, SourceDir::kBlock, 4, 27 * kKiB, "HW_BLK"},
+};
+
+// Total options per source directory in the whole tree (Fig. 3 "total").
+// Sum = 15,953 (the paper's count for Linux 4.0).
+struct DirTotal {
+  SourceDir dir;
+  int total;
+};
+constexpr DirTotal kTreeTotals[] = {
+    {SourceDir::kDrivers, 7838}, {SourceDir::kArch, 3201},
+    {SourceDir::kSound, 1436},   {SourceDir::kNet, 1103},
+    {SourceDir::kFs, 632},       {SourceDir::kLib, 397},
+    {SourceDir::kKernel, 390},   {SourceDir::kInit, 191},
+    {SourceDir::kCrypto, 301},   {SourceDir::kMm, 122},
+    {SourceDir::kSecurity, 141}, {SourceDir::kBlock, 93},
+    {SourceDir::kVirt, 26},      {SourceDir::kSamples, 51},
+    {SourceDir::kUsr, 31},
+};
+
+void AddNamed(OptionDb& db, const char* name, SourceDir dir, OptionClass cls, Bytes size,
+              std::vector<std::string> depends = {}, std::vector<std::string> conflicts = {},
+              const char* help = "") {
+  OptionInfo info;
+  info.name = name;
+  info.dir = dir;
+  info.option_class = cls;
+  info.builtin_size = size;
+  info.depends_on = std::move(depends);
+  info.conflicts = std::move(conflicts);
+  info.help = help;
+  bool added = db.Add(std::move(info));
+  (void)added;
+}
+
+void AddNamedOptions(OptionDb& db) {
+  using SD = SourceDir;
+  using OC = OptionClass;
+
+  // ---- Table 1: options that gate system calls (class kAppSyscall). -------
+  AddNamed(db, n::kAdviseSyscalls, SD::kInit, OC::kAppSyscall, 12 * kKiB, {}, {},
+           "madvise/fadvise64 syscalls");
+  AddNamed(db, n::kAio, SD::kInit, OC::kAppSyscall, 72 * kKiB, {}, {}, "io_* syscalls");
+  AddNamed(db, n::kBpfSyscall, SD::kKernel, OC::kAppSyscall, 64 * kKiB, {}, {}, "bpf syscall");
+  AddNamed(db, n::kEpoll, SD::kInit, OC::kAppSyscall, 40 * kKiB, {}, {}, "epoll_* syscalls");
+  AddNamed(db, n::kEventfd, SD::kInit, OC::kAppSyscall, 12 * kKiB, {}, {}, "eventfd syscalls");
+  AddNamed(db, n::kFanotify, SD::kFs, OC::kAppSyscall, 24 * kKiB, {}, {}, "fanotify syscalls");
+  AddNamed(db, n::kFhandle, SD::kInit, OC::kAppSyscall, 8 * kKiB, {}, {},
+           "open_by_handle_at/name_to_handle_at");
+  AddNamed(db, n::kFileLocking, SD::kFs, OC::kAppSyscall, 28 * kKiB, {}, {}, "flock syscall");
+  AddNamed(db, n::kFutex, SD::kInit, OC::kAppSyscall, 36 * kKiB, {}, {},
+           "futex/robust-list syscalls");
+  AddNamed(db, n::kInotifyUser, SD::kFs, OC::kAppSyscall, 24 * kKiB, {}, {},
+           "inotify_* syscalls");
+  AddNamed(db, n::kSignalfd, SD::kInit, OC::kAppSyscall, 12 * kKiB, {}, {}, "signalfd syscalls");
+  AddNamed(db, n::kTimerfd, SD::kInit, OC::kAppSyscall, 16 * kKiB, {}, {}, "timerfd_* syscalls");
+
+  // ---- Other application-specific named options. ---------------------------
+  AddNamed(db, n::kUnix, SD::kNet, OC::kAppNetwork, 96 * kKiB, {n::kNet}, {}, "AF_UNIX sockets");
+  AddNamed(db, n::kIpv6, SD::kNet, OC::kAppNetwork, 420 * kKiB, {n::kInet}, {}, "IPv6 stack");
+  AddNamed(db, n::kPacket, SD::kNet, OC::kAppNetwork, 48 * kKiB, {n::kNet}, {},
+           "AF_PACKET sockets");
+  AddNamed(db, n::kTmpfs, SD::kFs, OC::kAppFilesystem, 56 * kKiB, {n::kShmem}, {}, "tmpfs");
+  AddNamed(db, n::kProcSysctl, SD::kFs, OC::kAppFilesystem, 24 * kKiB, {n::kProcFs}, {},
+           "/proc/sys interface");
+  AddNamed(db, n::kHugetlbfs, SD::kFs, OC::kAppFilesystem, 48 * kKiB, {}, {}, "hugetlbfs");
+
+  // ---- Multi-process / single-security-domain options. ---------------------
+  AddNamed(db, n::kSysvipc, SD::kInit, OC::kMultiProcess, 124 * kKiB, {}, {}, "System V IPC");
+  AddNamed(db, n::kPosixMqueue, SD::kInit, OC::kMultiProcess, 40 * kKiB, {}, {},
+           "POSIX message queues");
+  AddNamed(db, n::kCgroups, SD::kInit, OC::kMultiProcess, 120 * kKiB, {}, {}, "control groups");
+  AddNamed(db, n::kCpusets, SD::kInit, OC::kMultiProcess, 24 * kKiB, {n::kCgroups, n::kSmp}, {},
+           "cpuset controller");
+  AddNamed(db, n::kNamespaces, SD::kInit, OC::kMultiProcess, 60 * kKiB, {}, {}, "namespaces");
+  AddNamed(db, n::kUtsNs, SD::kInit, OC::kMultiProcess, 16 * kKiB, {n::kNamespaces}, {}, "");
+  AddNamed(db, n::kPidNs, SD::kInit, OC::kMultiProcess, 16 * kKiB, {n::kNamespaces}, {}, "");
+  AddNamed(db, n::kNetNs, SD::kInit, OC::kMultiProcess, 16 * kKiB, {n::kNamespaces, n::kNet}, {},
+           "");
+  AddNamed(db, n::kIpcNs, SD::kInit, OC::kMultiProcess, 16 * kKiB, {n::kNamespaces}, {}, "");
+  AddNamed(db, n::kUserNs, SD::kInit, OC::kMultiProcess, 16 * kKiB, {n::kNamespaces}, {}, "");
+  AddNamed(db, n::kModules, SD::kInit, OC::kMultiProcess, 80 * kKiB, {}, {},
+           "loadable module support");
+  AddNamed(db, n::kAudit, SD::kKernel, OC::kMultiProcess, 70 * kKiB, {}, {}, "audit subsystem");
+  AddNamed(db, n::kSeccomp, SD::kKernel, OC::kMultiProcess, 24 * kKiB, {}, {}, "seccomp filters");
+  AddNamed(db, n::kSmp, SD::kArch, OC::kMultiProcess, 180 * kKiB, {}, {},
+           "symmetric multi-processing");
+  AddNamed(db, n::kNuma, SD::kArch, OC::kMultiProcess, 90 * kKiB, {n::kSmp}, {}, "NUMA support");
+  AddNamed(db, n::kMitigations, SD::kArch, OC::kMultiProcess, 40 * kKiB, {}, {},
+           "CPU vulnerability mitigations");
+  AddNamed(db, n::kSecurity, SD::kSecurity, OC::kMultiProcess, 30 * kKiB, {}, {},
+           "security framework");
+  AddNamed(db, n::kSelinux, SD::kSecurity, OC::kMultiProcess, 400 * kKiB,
+           {n::kSecurity, n::kAudit}, {}, "SELinux");
+
+  // ---- Hardware management. -------------------------------------------------
+  AddNamed(db, n::kAcpi, SD::kDrivers, OC::kHardware, 350 * kKiB, {}, {}, "ACPI");
+  AddNamed(db, n::kPm, SD::kDrivers, OC::kHardware, 120 * kKiB, {}, {}, "power management core");
+  AddNamed(db, n::kCpuFreq, SD::kDrivers, OC::kHardware, 80 * kKiB, {}, {}, "CPU freq scaling");
+  AddNamed(db, n::kHotplugCpu, SD::kArch, OC::kHardware, 40 * kKiB, {n::kSmp}, {}, "CPU hotplug");
+  AddNamed(db, n::kThermal, SD::kDrivers, OC::kHardware, 60 * kKiB, {}, {}, "thermal control");
+  AddNamed(db, n::kWatchdog, SD::kDrivers, OC::kHardware, 30 * kKiB, {}, {}, "watchdog drivers");
+
+  // ---- lupine-base infrastructure. -------------------------------------------
+  AddNamed(db, n::kTty, SD::kDrivers, OC::kBase, 120 * kKiB, {}, {}, "TTY layer");
+  AddNamed(db, n::kSerial8250, SD::kDrivers, OC::kBase, 60 * kKiB, {n::kTty}, {}, "8250 UART");
+  AddNamed(db, n::kUnix98Ptys, SD::kDrivers, OC::kBase, 16 * kKiB, {n::kTty}, {}, "ptys");
+  AddNamed(db, n::kPrintk, SD::kInit, OC::kBase, 60 * kKiB, {}, {}, "kernel console output");
+  AddNamed(db, n::kBinfmtElf, SD::kFs, OC::kBase, 40 * kKiB, {}, {}, "ELF loader");
+  AddNamed(db, n::kBinfmtScript, SD::kFs, OC::kBase, 8 * kKiB, {}, {}, "#! script loader");
+  AddNamed(db, n::kShmem, SD::kMm, OC::kBase, 48 * kKiB, {}, {}, "shared memory core");
+  AddNamed(db, n::kNet, SD::kNet, OC::kBase, 300 * kKiB, {}, {}, "network core");
+  AddNamed(db, n::kInet, SD::kNet, OC::kBase, 450 * kKiB, {n::kNet}, {}, "TCP/IP");
+  AddNamed(db, n::kVirtio, SD::kDrivers, OC::kBase, 20 * kKiB, {}, {}, "virtio core");
+  AddNamed(db, n::kVirtioMmio, SD::kDrivers, OC::kBase, 16 * kKiB, {n::kVirtio}, {},
+           "virtio-mmio transport");
+  AddNamed(db, n::kVirtioNet, SD::kDrivers, OC::kBase, 40 * kKiB, {n::kVirtio, n::kNet}, {},
+           "virtio net device");
+  AddNamed(db, n::kVirtioBlk, SD::kDrivers, OC::kBase, 24 * kKiB, {n::kVirtio, n::kBlkDev}, {},
+           "virtio block device");
+  AddNamed(db, n::kExt2Fs, SD::kFs, OC::kBase, 80 * kKiB, {n::kBlkDev}, {}, "ext2 filesystem");
+  AddNamed(db, n::kProcFs, SD::kFs, OC::kBase, 80 * kKiB, {}, {}, "/proc filesystem");
+  AddNamed(db, n::kSysfs, SD::kFs, OC::kBase, 60 * kKiB, {}, {}, "sysfs");
+  AddNamed(db, n::kDevtmpfs, SD::kDrivers, OC::kBase, 16 * kKiB, {}, {}, "devtmpfs");
+  AddNamed(db, n::kBlkDev, SD::kBlock, OC::kBase, 40 * kKiB, {}, {}, "block layer");
+  AddNamed(db, n::kBlkDevLoop, SD::kBlock, OC::kBase, 28 * kKiB, {n::kBlkDev}, {},
+           "loopback block device");
+  AddNamed(db, n::kParavirt, SD::kArch, OC::kBase, 48 * kKiB, {}, {n::kKml},
+           "paravirtualized ops (conflicts with the KML patch)");
+  AddNamed(db, n::kHighResTimers, SD::kKernel, OC::kBase, 28 * kKiB, {}, {}, "hrtimers");
+  AddNamed(db, n::kPosixTimers, SD::kKernel, OC::kBase, 32 * kKiB, {}, {}, "POSIX timers");
+  AddNamed(db, n::kMultiuser, SD::kInit, OC::kBase, 24 * kKiB, {}, {}, "uid/gid support");
+  AddNamed(db, n::kSlub, SD::kMm, OC::kBase, 64 * kKiB, {}, {}, "SLUB allocator");
+  AddNamed(db, n::kVsyscallEmulation, SD::kArch, OC::kBase, 8 * kKiB, {}, {},
+           "vsyscall page (exports the KML call entry)");
+
+  // Space/performance trade-off options (the -tiny variant disables these 9).
+  AddNamed(db, n::kBaseFull, SD::kInit, OC::kBase, 50 * kKiB, {}, {},
+           "full-size kernel data structures");
+  AddNamed(db, n::kKallsyms, SD::kInit, OC::kBase, 90 * kKiB, {}, {}, "symbol table");
+  AddNamed(db, n::kBug, SD::kInit, OC::kBase, 12 * kKiB, {}, {}, "BUG() support");
+  AddNamed(db, n::kElfCore, SD::kInit, OC::kBase, 24 * kKiB, {}, {}, "core dumps");
+  AddNamed(db, n::kSlubDebug, SD::kMm, OC::kBase, 40 * kKiB, {n::kSlub}, {}, "SLUB debugging");
+  AddNamed(db, n::kVmEventCounters, SD::kMm, OC::kBase, 12 * kKiB, {}, {}, "vmstat counters");
+  AddNamed(db, n::kDebugBugverbose, SD::kLib, OC::kBase, 8 * kKiB, {n::kBug}, {},
+           "verbose BUG() reports");
+  AddNamed(db, n::kPrintkTime, SD::kLib, OC::kBase, 4 * kKiB, {n::kPrintk}, {},
+           "printk timestamps");
+  AddNamed(db, n::kMagicSysrq, SD::kLib, OC::kBase, 16 * kKiB, {n::kTty}, {}, "magic SysRq");
+
+  // ---- Outside the microVM config (ablations / patches). ----------------------
+  AddNamed(db, n::kKml, SD::kArch, OC::kNotSelected, 36 * kKiB, {n::kVsyscallEmulation},
+           {n::kParavirt}, "Kernel Mode Linux (out-of-tree patch)");
+  AddNamed(db, n::kKpti, SD::kArch, OC::kNotSelected, 30 * kKiB, {}, {n::kKml},
+           "kernel page-table isolation (Meltdown mitigation)");
+  AddNamed(db, n::kPci, SD::kDrivers, OC::kNotSelected, 180 * kKiB, {}, {},
+           "PCI bus support (Firecracker has no PCI)");
+}
+
+void AddFiller(OptionDb& db) {
+  // Named counts per cell.
+  auto named_in_cell = [&db](OptionClass cls, SourceDir dir) {
+    size_t count = 0;
+    for (const auto& o : db.options()) {
+      if (o.option_class == cls && o.dir == dir) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  // Selected cells (microVM config member options).
+  for (const auto& cell : kSelectedCells) {
+    size_t have = named_in_cell(cell.option_class, cell.dir);
+    for (size_t i = have; i < static_cast<size_t>(cell.total); ++i) {
+      OptionInfo info;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s_%04zu", cell.prefix, i);
+      info.name = buf;
+      info.dir = cell.dir;
+      info.option_class = cell.option_class;
+      info.builtin_size = cell.each;
+      db.Add(std::move(info));
+    }
+  }
+
+  // Unselected remainder: top each directory up to its Fig. 3 tree total.
+  for (const auto& [dir, total] : kTreeTotals) {
+    size_t have = db.CountInDir(dir);
+    for (size_t i = have; i < static_cast<size_t>(total); ++i) {
+      OptionInfo info;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "UNSEL_%s_%05zu", SourceDirName(dir), i);
+      info.name = buf;
+      info.dir = dir;
+      info.option_class = OptionClass::kNotSelected;
+      info.builtin_size = 10 * kKiB;
+      db.Add(std::move(info));
+    }
+  }
+}
+
+OptionDb BuildLinux40() {
+  OptionDb db;
+  AddNamedOptions(db);
+  AddFiller(db);
+  return db;
+}
+
+}  // namespace
+
+const OptionDb& OptionDb::Linux40() {
+  static const OptionDb db = BuildLinux40();
+  return db;
+}
+
+}  // namespace lupine::kconfig

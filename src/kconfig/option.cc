@@ -1,0 +1,63 @@
+#include "src/kconfig/option.h"
+
+namespace lupine::kconfig {
+
+const char* SourceDirName(SourceDir dir) {
+  switch (dir) {
+    case SourceDir::kDrivers: return "drivers";
+    case SourceDir::kArch: return "arch";
+    case SourceDir::kSound: return "sound";
+    case SourceDir::kNet: return "net";
+    case SourceDir::kFs: return "fs";
+    case SourceDir::kLib: return "lib";
+    case SourceDir::kKernel: return "kernel";
+    case SourceDir::kInit: return "init";
+    case SourceDir::kCrypto: return "crypto";
+    case SourceDir::kMm: return "mm";
+    case SourceDir::kSecurity: return "security";
+    case SourceDir::kBlock: return "block";
+    case SourceDir::kVirt: return "virt";
+    case SourceDir::kSamples: return "samples";
+    case SourceDir::kUsr: return "usr";
+  }
+  return "?";
+}
+
+const char* OptionClassName(OptionClass c) {
+  switch (c) {
+    case OptionClass::kBase: return "lupine-base";
+    case OptionClass::kAppNetwork: return "app:network";
+    case OptionClass::kAppFilesystem: return "app:filesystem";
+    case OptionClass::kAppSyscall: return "app:syscall";
+    case OptionClass::kAppCompression: return "app:compression";
+    case OptionClass::kAppCrypto: return "app:crypto";
+    case OptionClass::kAppDebug: return "app:debugging";
+    case OptionClass::kAppOther: return "app:other";
+    case OptionClass::kMultiProcess: return "multiple-processes";
+    case OptionClass::kHardware: return "hardware-management";
+    case OptionClass::kNotSelected: return "not-selected";
+  }
+  return "?";
+}
+
+bool IsApplicationSpecific(OptionClass c) {
+  switch (c) {
+    case OptionClass::kAppNetwork:
+    case OptionClass::kAppFilesystem:
+    case OptionClass::kAppSyscall:
+    case OptionClass::kAppCompression:
+    case OptionClass::kAppCrypto:
+    case OptionClass::kAppDebug:
+    case OptionClass::kAppOther:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsRemovedFromMicrovm(OptionClass c) {
+  return IsApplicationSpecific(c) || c == OptionClass::kMultiProcess ||
+         c == OptionClass::kHardware;
+}
+
+}  // namespace lupine::kconfig

@@ -1,0 +1,85 @@
+// Kconfig option model.
+//
+// Mirrors the knobs of Linux 4.0's configuration system that the paper's
+// specialization story depends on: every option lives in a source directory
+// (Fig. 3's x-axis), carries the taxonomy class the paper assigns it when
+// deriving lupine-base from Firecracker's microVM config (Fig. 4), and has a
+// size contribution used by the image-size model (Fig. 6).
+#ifndef SRC_KCONFIG_OPTION_H_
+#define SRC_KCONFIG_OPTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace lupine::kconfig {
+
+enum class OptionType { kBool, kTristate, kInt, kString };
+
+// Top-level Linux source directories with Kconfig files (Fig. 3).
+enum class SourceDir {
+  kDrivers,
+  kArch,
+  kSound,
+  kNet,
+  kFs,
+  kLib,
+  kKernel,
+  kInit,
+  kCrypto,
+  kMm,
+  kSecurity,
+  kBlock,
+  kVirt,
+  kSamples,
+  kUsr,
+};
+
+inline constexpr int kNumSourceDirs = 15;
+const char* SourceDirName(SourceDir dir);
+
+// Why an option is (or is not) part of lupine-base, following the paper's
+// Fig. 4 taxonomy. Options in the microVM config are either retained
+// (kBase) or removed into one of the categories below; everything else in
+// the tree is kNotSelected.
+enum class OptionClass {
+  kBase,             // Retained: the 283-option lupine-base.
+  kAppNetwork,       // Application-specific: network protocols (~100).
+  kAppFilesystem,    // Application-specific: filesystems (~35).
+  kAppSyscall,       // Application-specific: syscall-gating options (Table 1).
+  kAppCompression,   // Application-specific: compression (~20).
+  kAppCrypto,        // Application-specific: crypto (~55).
+  kAppDebug,         // Application-specific: debugging/info (~65).
+  kAppOther,         // Application-specific: misc services (/proc, sysctl...).
+  kMultiProcess,     // Unnecessary: single-process nature (cgroups, namespaces,
+                     // SysV IPC, security modules, KPTI, SMP/NUMA, modules).
+  kHardware,         // Unnecessary: cloud virtual hardware (power mgmt,
+                     // hotplug, physical device drivers).
+  kNotSelected,      // In the tree but not in the microVM config.
+};
+
+const char* OptionClassName(OptionClass c);
+
+bool IsApplicationSpecific(OptionClass c);
+// True for classes removed from microVM when deriving lupine-base (i.e.
+// everything except kBase and kNotSelected).
+bool IsRemovedFromMicrovm(OptionClass c);
+
+struct OptionInfo {
+  std::string name;                      // Without the CONFIG_ prefix, e.g. "FUTEX".
+  OptionType type = OptionType::kBool;
+  SourceDir dir = SourceDir::kKernel;
+  OptionClass option_class = OptionClass::kNotSelected;
+  Bytes builtin_size = 0;                // Image-size contribution when =y.
+  std::vector<std::string> depends_on;   // All must be enabled.
+  std::vector<std::string> selects;      // Force-enabled alongside this one.
+  std::vector<std::string> conflicts;    // Mutually exclusive options (e.g.
+                                         // KERNEL_MODE_LINUX vs PARAVIRT).
+  std::string help;                      // One-line description.
+};
+
+}  // namespace lupine::kconfig
+
+#endif  // SRC_KCONFIG_OPTION_H_

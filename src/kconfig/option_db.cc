@@ -1,0 +1,62 @@
+#include "src/kconfig/option_db.h"
+
+namespace lupine::kconfig {
+
+bool OptionDb::Add(OptionInfo info) {
+  auto [it, inserted] = index_.try_emplace(info.name, options_.size());
+  if (!inserted) {
+    return false;
+  }
+  options_.push_back(std::move(info));
+  return true;
+}
+
+const OptionInfo* OptionDb::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return nullptr;
+  }
+  return &options_[it->second];
+}
+
+size_t OptionDb::CountInDir(SourceDir dir) const {
+  size_t n = 0;
+  for (const auto& o : options_) {
+    if (o.dir == dir) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t OptionDb::CountInClass(OptionClass c) const {
+  size_t n = 0;
+  for (const auto& o : options_) {
+    if (o.option_class == c) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<const OptionInfo*> OptionDb::AllInDir(SourceDir dir) const {
+  std::vector<const OptionInfo*> out;
+  for (const auto& o : options_) {
+    if (o.dir == dir) {
+      out.push_back(&o);
+    }
+  }
+  return out;
+}
+
+std::vector<const OptionInfo*> OptionDb::AllInClass(OptionClass c) const {
+  std::vector<const OptionInfo*> out;
+  for (const auto& o : options_) {
+    if (o.option_class == c) {
+      out.push_back(&o);
+    }
+  }
+  return out;
+}
+
+}  // namespace lupine::kconfig

@@ -1,0 +1,44 @@
+// The option database: every configuration option of the (synthetic)
+// Linux 4.0 tree, indexed by name, directory and taxonomy class.
+#ifndef SRC_KCONFIG_OPTION_DB_H_
+#define SRC_KCONFIG_OPTION_DB_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kconfig/option.h"
+
+namespace lupine::kconfig {
+
+class OptionDb {
+ public:
+  OptionDb() = default;
+
+  // Registers an option; returns false (and ignores it) on duplicate name.
+  bool Add(OptionInfo info);
+
+  const OptionInfo* Find(const std::string& name) const;
+  bool Contains(const std::string& name) const { return Find(name) != nullptr; }
+
+  size_t size() const { return options_.size(); }
+  const std::vector<OptionInfo>& options() const { return options_; }
+
+  size_t CountInDir(SourceDir dir) const;
+  size_t CountInClass(OptionClass c) const;
+  std::vector<const OptionInfo*> AllInDir(SourceDir dir) const;
+  std::vector<const OptionInfo*> AllInClass(OptionClass c) const;
+
+  // The synthetic Linux 4.0 option tree (15,953 options; see linux_db.cc for
+  // how named behaviour-relevant options and per-directory filler compose).
+  static const OptionDb& Linux40();
+
+ private:
+  std::vector<OptionInfo> options_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace lupine::kconfig
+
+#endif  // SRC_KCONFIG_OPTION_DB_H_

@@ -1,0 +1,109 @@
+// Canonical names of the behaviour-relevant configuration options.
+//
+// Using constants rather than string literals keeps the kconfig presets, the
+// kernel-feature derivation (src/kbuild/features.*), the guest syscall gating
+// and the config-search error mapping in lockstep.
+#ifndef SRC_KCONFIG_OPTION_NAMES_H_
+#define SRC_KCONFIG_OPTION_NAMES_H_
+
+namespace lupine::kconfig::names {
+
+// --- Syscall-gating options (Table 1) -------------------------------------
+inline constexpr char kAdviseSyscalls[] = "ADVISE_SYSCALLS";
+inline constexpr char kAio[] = "AIO";
+inline constexpr char kBpfSyscall[] = "BPF_SYSCALL";
+inline constexpr char kEpoll[] = "EPOLL";
+inline constexpr char kEventfd[] = "EVENTFD";
+inline constexpr char kFanotify[] = "FANOTIFY";
+inline constexpr char kFhandle[] = "FHANDLE";
+inline constexpr char kFileLocking[] = "FILE_LOCKING";
+inline constexpr char kFutex[] = "FUTEX";
+inline constexpr char kInotifyUser[] = "INOTIFY_USER";
+inline constexpr char kSignalfd[] = "SIGNALFD";
+inline constexpr char kTimerfd[] = "TIMERFD";
+
+// --- Other application-specific options ------------------------------------
+inline constexpr char kUnix[] = "UNIX";               // AF_UNIX sockets.
+inline constexpr char kIpv6[] = "IPV6";
+inline constexpr char kPacket[] = "PACKET";           // AF_PACKET sockets.
+inline constexpr char kTmpfs[] = "TMPFS";
+inline constexpr char kProcSysctl[] = "PROC_SYSCTL";  // /proc/sys.
+inline constexpr char kHugetlbfs[] = "HUGETLBFS";
+
+// --- Multi-process / security-domain options --------------------------------
+inline constexpr char kSysvipc[] = "SYSVIPC";
+inline constexpr char kPosixMqueue[] = "POSIX_MQUEUE";
+inline constexpr char kCgroups[] = "CGROUPS";
+inline constexpr char kCpusets[] = "CPUSETS";
+inline constexpr char kNamespaces[] = "NAMESPACES";
+inline constexpr char kUtsNs[] = "UTS_NS";
+inline constexpr char kPidNs[] = "PID_NS";
+inline constexpr char kNetNs[] = "NET_NS";
+inline constexpr char kIpcNs[] = "IPC_NS";
+inline constexpr char kUserNs[] = "USER_NS";
+inline constexpr char kModules[] = "MODULES";
+inline constexpr char kAudit[] = "AUDIT";
+inline constexpr char kSeccomp[] = "SECCOMP";
+inline constexpr char kSmp[] = "SMP";
+inline constexpr char kNuma[] = "NUMA";
+inline constexpr char kSecurity[] = "SECURITY";
+inline constexpr char kSelinux[] = "SECURITY_SELINUX";
+// Umbrella for the syscall/kernel-path hardening whose cost the paper cites
+// (retpolines & friends; "oftentimes more than 100%" [52]); on in microVM,
+// off in every Lupine kernel.
+inline constexpr char kMitigations[] = "MITIGATIONS";
+
+// --- Hardware management ----------------------------------------------------
+inline constexpr char kAcpi[] = "ACPI";
+inline constexpr char kPm[] = "PM";
+inline constexpr char kCpuFreq[] = "CPU_FREQ";
+inline constexpr char kHotplugCpu[] = "HOTPLUG_CPU";
+inline constexpr char kThermal[] = "THERMAL";
+inline constexpr char kWatchdog[] = "WATCHDOG";
+
+// --- lupine-base infrastructure ----------------------------------------------
+inline constexpr char kTty[] = "TTY";
+inline constexpr char kSerial8250[] = "SERIAL_8250";
+inline constexpr char kUnix98Ptys[] = "UNIX98_PTYS";
+inline constexpr char kPrintk[] = "PRINTK";
+inline constexpr char kBinfmtElf[] = "BINFMT_ELF";
+inline constexpr char kBinfmtScript[] = "BINFMT_SCRIPT";
+inline constexpr char kShmem[] = "SHMEM";
+inline constexpr char kNet[] = "NET";
+inline constexpr char kInet[] = "INET";
+inline constexpr char kVirtio[] = "VIRTIO";
+inline constexpr char kVirtioMmio[] = "VIRTIO_MMIO";
+inline constexpr char kVirtioNet[] = "VIRTIO_NET";
+inline constexpr char kVirtioBlk[] = "VIRTIO_BLK";
+inline constexpr char kExt2Fs[] = "EXT2_FS";
+inline constexpr char kProcFs[] = "PROC_FS";
+inline constexpr char kSysfs[] = "SYSFS";
+inline constexpr char kDevtmpfs[] = "DEVTMPFS";
+inline constexpr char kBlkDev[] = "BLK_DEV";
+inline constexpr char kBlkDevLoop[] = "BLK_DEV_LOOP";
+inline constexpr char kParavirt[] = "PARAVIRT";
+inline constexpr char kHighResTimers[] = "HIGH_RES_TIMERS";
+inline constexpr char kPosixTimers[] = "POSIX_TIMERS";
+inline constexpr char kMultiuser[] = "MULTIUSER";
+inline constexpr char kSlub[] = "SLUB";
+inline constexpr char kVsyscallEmulation[] = "X86_VSYSCALL_EMULATION";
+
+// --- Space/performance trade-off options toggled by the -tiny variant -------
+inline constexpr char kBaseFull[] = "BASE_FULL";
+inline constexpr char kKallsyms[] = "KALLSYMS";
+inline constexpr char kBug[] = "BUG";
+inline constexpr char kElfCore[] = "ELF_CORE";
+inline constexpr char kSlubDebug[] = "SLUB_DEBUG";
+inline constexpr char kVmEventCounters[] = "VM_EVENT_COUNTERS";
+inline constexpr char kDebugBugverbose[] = "DEBUG_BUGVERBOSE";
+inline constexpr char kPrintkTime[] = "PRINTK_TIME";
+inline constexpr char kMagicSysrq[] = "MAGIC_SYSRQ";
+
+// --- Options outside the microVM config (ablations / patches) ----------------
+inline constexpr char kKml[] = "KERNEL_MODE_LINUX";     // From the KML patch.
+inline constexpr char kKpti[] = "PAGE_TABLE_ISOLATION"; // Post-Meltdown KPTI.
+inline constexpr char kPci[] = "PCI";                   // Not used by Firecracker.
+
+}  // namespace lupine::kconfig::names
+
+#endif  // SRC_KCONFIG_OPTION_NAMES_H_

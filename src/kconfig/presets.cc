@@ -1,0 +1,161 @@
+#include "src/kconfig/presets.h"
+
+#include <map>
+
+#include "src/kconfig/option_names.h"
+#include "src/kconfig/resolver.h"
+
+namespace lupine::kconfig {
+namespace {
+
+namespace n = names;
+
+// Table 3: options each application needs beyond lupine-base. The counts per
+// app and the size of the union (19) match the paper exactly; see
+// tests/kconfig/presets_test.cc for the invariants.
+const std::map<std::string, std::vector<std::string>>& AppOptionTable() {
+  static const std::map<std::string, std::vector<std::string>> table = {
+      {"nginx",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kAio, n::kTimerfd, n::kInotifyUser,
+        n::kFileLocking, n::kProcSysctl, n::kTmpfs, n::kAdviseSyscalls, n::kIpv6, n::kPacket}},
+      {"postgres",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kSysvipc, n::kPosixMqueue, n::kFileLocking,
+        n::kProcSysctl, n::kTmpfs, n::kAio, n::kAdviseSyscalls}},
+      {"httpd",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kAio, n::kTimerfd, n::kInotifyUser,
+        n::kFileLocking, n::kProcSysctl, n::kTmpfs, n::kSysvipc, n::kIpv6, n::kSignalfd}},
+      {"node", {n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kInotifyUser}},
+      {"redis",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kTmpfs, n::kProcSysctl, n::kAdviseSyscalls,
+        n::kFileLocking, n::kTimerfd, n::kInotifyUser, n::kIpv6}},
+      {"mongo",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kAio, n::kFileLocking, n::kProcSysctl,
+        n::kTmpfs, n::kAdviseSyscalls, n::kIpv6, n::kFhandle}},
+      {"mysql",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kAio, n::kTimerfd, n::kFileLocking,
+        n::kProcSysctl, n::kTmpfs}},
+      {"traefik",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kInotifyUser, n::kTimerfd, n::kIpv6,
+        n::kProcSysctl}},
+      {"memcached",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kTimerfd, n::kProcSysctl, n::kIpv6,
+        n::kFileLocking, n::kAdviseSyscalls, n::kSignalfd}},
+      {"hello-world", {}},
+      {"mariadb",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kAio, n::kTimerfd, n::kFileLocking,
+        n::kProcSysctl, n::kTmpfs, n::kAdviseSyscalls, n::kIpv6, n::kSysvipc, n::kInotifyUser}},
+      {"golang", {}},
+      {"python", {}},
+      {"openjdk", {}},
+      {"rabbitmq",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kTimerfd, n::kInotifyUser,
+        n::kFileLocking, n::kProcSysctl, n::kTmpfs, n::kIpv6, n::kSignalfd, n::kPosixMqueue}},
+      {"php", {}},
+      {"wordpress",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kInotifyUser, n::kFileLocking, n::kProcSysctl,
+        n::kTmpfs, n::kSysvipc, n::kIpv6}},
+      {"haproxy",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kTimerfd, n::kIpv6, n::kProcSysctl,
+        n::kFileLocking}},
+      {"influxdb",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kTimerfd, n::kProcSysctl, n::kIpv6,
+        n::kFileLocking, n::kAdviseSyscalls, n::kInotifyUser, n::kBpfSyscall}},
+      {"elasticsearch",
+       {n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kAio, n::kTimerfd, n::kInotifyUser,
+        n::kFileLocking, n::kProcSysctl, n::kTmpfs, n::kAdviseSyscalls, n::kFanotify}},
+  };
+  return table;
+}
+
+}  // namespace
+
+Config MicrovmConfig() {
+  Config config("microvm");
+  for (const auto& option : OptionDb::Linux40().options()) {
+    if (option.option_class != OptionClass::kNotSelected) {
+      config.Enable(option.name);
+    }
+  }
+  return config;
+}
+
+Config LupineBase() {
+  Config config("lupine-base");
+  for (const auto& option : OptionDb::Linux40().options()) {
+    if (option.option_class == OptionClass::kBase) {
+      config.Enable(option.name);
+    }
+  }
+  return config;
+}
+
+const std::vector<std::string>& Top20AppNames() {
+  static const std::vector<std::string> apps = {
+      "nginx",    "postgres",  "httpd",  "node",   "redis",    "mongo",     "mysql",
+      "traefik",  "memcached", "hello-world", "mariadb", "golang", "python", "openjdk",
+      "rabbitmq", "php",       "wordpress",   "haproxy", "influxdb", "elasticsearch"};
+  return apps;
+}
+
+const std::vector<std::string>& AppExtraOptions(const std::string& app) {
+  static const std::vector<std::string> empty;
+  const auto& table = AppOptionTable();
+  auto it = table.find(app);
+  return it == table.end() ? empty : it->second;
+}
+
+Result<Config> LupineForApp(const std::string& app) {
+  Config config = LupineBase();
+  config.set_name("lupine-" + app);
+  Resolver resolver(OptionDb::Linux40());
+  for (const auto& option : AppExtraOptions(app)) {
+    auto result = resolver.Enable(config, option);
+    if (!result.ok()) {
+      return result.status();
+    }
+  }
+  return config;
+}
+
+Config LupineGeneral() {
+  Config config = LupineBase();
+  config.set_name("lupine-general");
+  Resolver resolver(OptionDb::Linux40());
+  for (const auto& app : Top20AppNames()) {
+    for (const auto& option : AppExtraOptions(app)) {
+      auto result = resolver.Enable(config, option);
+      (void)result;  // All Table 3 options resolve inside lupine-base deps.
+    }
+  }
+  return config;
+}
+
+const std::vector<std::string>& TinyDisabledOptions() {
+  static const std::vector<std::string> options = {
+      n::kBaseFull,        n::kKallsyms,  n::kBug,        n::kElfCore,   n::kSlubDebug,
+      n::kVmEventCounters, n::kDebugBugverbose, n::kPrintkTime, n::kMagicSysrq};
+  return options;
+}
+
+void ApplyTiny(Config& config) {
+  for (const auto& option : TinyDisabledOptions()) {
+    config.Disable(option);
+  }
+  config.set_compile_mode(CompileMode::kOs);
+  config.set_name(config.name() + "-tiny");
+}
+
+Status ApplyKml(Config& config) {
+  config.set_kml_patch_applied(true);
+  // The KML patch is incompatible with CONFIG_PARAVIRT (Section 4.3).
+  config.Disable(n::kParavirt);
+  Resolver resolver(OptionDb::Linux40());
+  auto result = resolver.Enable(config, n::kKml);
+  if (!result.ok()) {
+    return result.status();
+  }
+  config.set_name(config.name() + "-kml");
+  return Status::Ok();
+}
+
+}  // namespace lupine::kconfig

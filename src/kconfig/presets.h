@@ -1,0 +1,51 @@
+// Canonical configurations from the paper.
+//
+//   * microVM      — Firecracker's general-purpose cloud config (833 options)
+//   * lupine-base  — microVM minus the 550 unikernel-unnecessary options
+//   * per-app sets — Table 3: the options each top-20 Docker Hub app needs
+//                    beyond lupine-base
+//   * lupine-general — lupine-base + the 19-option union of all app sets
+//   * -tiny        — 9 space/performance options off, compiled -Os
+//   * KML          — PARAVIRT swapped for KERNEL_MODE_LINUX (patch applied)
+#ifndef SRC_KCONFIG_PRESETS_H_
+#define SRC_KCONFIG_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kconfig/config.h"
+#include "src/util/result.h"
+
+namespace lupine::kconfig {
+
+// Firecracker microVM configuration adapted to Linux 4.0.
+Config MicrovmConfig();
+
+// The 283-option application-agnostic Lupine base.
+Config LupineBase();
+
+// Top-20 Docker Hub applications in popularity order (Table 3).
+const std::vector<std::string>& Top20AppNames();
+
+// Per-application additions atop lupine-base (Table 3 rightmost column).
+// Returns an empty vector for apps that need nothing (hello-world, golang,
+// python, openjdk, php) and for unknown names.
+const std::vector<std::string>& AppExtraOptions(const std::string& app);
+
+// lupine-base plus `AppExtraOptions(app)`, dependency-resolved.
+Result<Config> LupineForApp(const std::string& app);
+
+// lupine-base plus the union of all 20 app sets (19 options).
+Config LupineGeneral();
+
+// The 9 options the -tiny variant flips for size, plus -Os.
+const std::vector<std::string>& TinyDisabledOptions();
+void ApplyTiny(Config& config);
+
+// Applies the KML patch: marks the tree patched, drops PARAVIRT (the patch
+// conflicts with it; Section 4.3) and enables KERNEL_MODE_LINUX.
+Status ApplyKml(Config& config);
+
+}  // namespace lupine::kconfig
+
+#endif  // SRC_KCONFIG_PRESETS_H_

@@ -1,0 +1,88 @@
+#include "src/kconfig/resolver.h"
+
+#include <deque>
+
+#include "src/kconfig/option_names.h"
+
+namespace lupine::kconfig {
+
+Status Resolver::CheckLegal(const Config& config, const std::string& option) const {
+  const OptionInfo* info = db_.Find(option);
+  if (info == nullptr) {
+    return Status(Err::kNoEnt, "unknown config option CONFIG_" + option);
+  }
+  if (option == names::kKml && !config.kml_patch_applied()) {
+    return Status(Err::kInval,
+                  "CONFIG_KERNEL_MODE_LINUX requires the KML patch to be applied to the tree");
+  }
+  for (const auto& conflict : info->conflicts) {
+    if (config.IsEnabled(conflict)) {
+      return Status(Err::kInval,
+                    "CONFIG_" + option + " conflicts with enabled CONFIG_" + conflict);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ResolveReport> Resolver::Enable(Config& config, const std::string& option) const {
+  ResolveReport report;
+  std::deque<std::string> queue = {option};
+  // Work on a copy so a conflict deep in the closure leaves `config` intact.
+  Config scratch = config;
+
+  while (!queue.empty()) {
+    std::string name = queue.front();
+    queue.pop_front();
+    if (scratch.IsEnabled(name)) {
+      continue;
+    }
+    if (Status s = CheckLegal(scratch, name); !s.ok()) {
+      return s;
+    }
+    scratch.Enable(name);
+    if (name != option) {
+      report.auto_enabled.push_back(name);
+    }
+    const OptionInfo* info = db_.Find(name);
+    for (const auto& dep : info->depends_on) {
+      queue.push_back(dep);
+    }
+    for (const auto& sel : info->selects) {
+      queue.push_back(sel);
+    }
+  }
+
+  config = std::move(scratch);
+  return report;
+}
+
+Status Resolver::Validate(const Config& config) const {
+  for (const auto& name : config.EnabledOptions()) {
+    const OptionInfo* info = db_.Find(name);
+    if (info == nullptr) {
+      return Status(Err::kNoEnt, "unknown config option CONFIG_" + name);
+    }
+    if (config.GetValue(name) == "m" && !config.IsEnabled(names::kModules)) {
+      return Status(Err::kInval,
+                    "CONFIG_" + name + "=m requires CONFIG_MODULES (loadable module support)");
+    }
+    if (name == names::kKml && !config.kml_patch_applied()) {
+      return Status(Err::kInval, "CONFIG_KERNEL_MODE_LINUX enabled without the KML patch");
+    }
+    for (const auto& dep : info->depends_on) {
+      if (!config.IsEnabled(dep)) {
+        return Status(Err::kInval,
+                      "CONFIG_" + name + " requires CONFIG_" + dep + " which is not enabled");
+      }
+    }
+    for (const auto& conflict : info->conflicts) {
+      if (config.IsEnabled(conflict)) {
+        return Status(Err::kInval,
+                      "CONFIG_" + name + " conflicts with enabled CONFIG_" + conflict);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lupine::kconfig

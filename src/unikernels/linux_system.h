@@ -1,0 +1,70 @@
+// Linux-based systems under test: microVM and the Lupine variants.
+#ifndef SRC_UNIKERNELS_LINUX_SYSTEM_H_
+#define SRC_UNIKERNELS_LINUX_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/kconfig/config.h"
+#include "src/unikernels/system.h"
+#include "src/vmm/vm.h"
+
+namespace lupine::unikernels {
+
+// Which base configuration the variant starts from.
+enum class LinuxBase {
+  kMicrovm,        // Firecracker's general-purpose config.
+  kLupineApp,      // lupine-base + per-app options (Table 3).
+  kLupineGeneral,  // lupine-base + the 19-option union.
+};
+
+struct LinuxVariantSpec {
+  std::string name;       // Display name, e.g. "lupine-tiny".
+  LinuxBase base = LinuxBase::kLupineApp;
+  bool kml = true;        // Apply the KML patch (off = -nokml).
+  bool tiny = false;      // -Os + the 9 space-over-speed options.
+};
+
+// The paper's lineup (Table 2 + Section 4 variants).
+LinuxVariantSpec MicrovmSpec();
+LinuxVariantSpec LupineSpec();            // app-specific + KML.
+LinuxVariantSpec LupineNokmlSpec();
+LinuxVariantSpec LupineTinySpec();
+LinuxVariantSpec LupineNokmlTinySpec();
+LinuxVariantSpec LupineGeneralSpec();     // 19-option union + KML.
+LinuxVariantSpec LupineGeneralNokmlSpec();
+
+// Builds the kernel configuration for a variant, specialized (where
+// applicable) to `app`.
+Result<kconfig::Config> BuildVariantConfig(const LinuxVariantSpec& spec, const std::string& app);
+
+class LinuxSystem : public SystemUnderTest {
+ public:
+  explicit LinuxSystem(LinuxVariantSpec spec);
+
+  std::string name() const override { return spec_.name; }
+  std::string monitor() const override { return "firecracker"; }
+  AppSupport Supports(const std::string& app) const override;
+
+  Result<Bytes> KernelImageSize(const std::string& app) override;
+  Result<Nanos> BootTime(const std::string& app) override;
+  Result<Bytes> MemoryFootprint(const std::string& app) override;
+  Result<workload::SyscallLatencies> SyscallLatency() override;
+  Result<double> RedisThroughput(bool set_workload) override;
+  Result<double> NginxThroughput(bool per_session) override;
+
+  // Creates a VM for `app` with `memory` RAM (shared with tests/benches).
+  Result<std::unique_ptr<vmm::Vm>> MakeVm(const std::string& app, Bytes memory,
+                                          bool bench_rootfs = false);
+
+  const LinuxVariantSpec& spec() const { return spec_; }
+
+ private:
+  Result<double> ServerThroughput(const std::string& app, bool redis_set, bool per_session);
+
+  LinuxVariantSpec spec_;
+};
+
+}  // namespace lupine::unikernels
+
+#endif  // SRC_UNIKERNELS_LINUX_SYSTEM_H_

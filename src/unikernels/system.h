@@ -1,0 +1,53 @@
+// SystemUnderTest: the uniform measurement interface every system in the
+// evaluation implements — the Linux variants (microVM, lupine*) via the full
+// guest simulation, and the reference unikernels (OSv, HermiTux, Rump) via
+// their documented behaviour models.
+#ifndef SRC_UNIKERNELS_SYSTEM_H_
+#define SRC_UNIKERNELS_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/units.h"
+#include "src/workload/lmbench.h"
+
+namespace lupine::unikernels {
+
+// Why an application cannot run (the generality comparison of Sections 4/5).
+struct AppSupport {
+  bool supported = false;
+  std::string reason;  // e.g. "not on curated application list", "crashes on fork".
+};
+
+class SystemUnderTest {
+ public:
+  virtual ~SystemUnderTest() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string monitor() const = 0;
+
+  // Can this system run `app` unmodified?
+  virtual AppSupport Supports(const std::string& app) const = 0;
+
+  // Fig. 6: kernel image size when built/configured for `app`.
+  virtual Result<Bytes> KernelImageSize(const std::string& app) = 0;
+
+  // Fig. 7: boot-to-init time for a hello-world image.
+  virtual Result<Nanos> BootTime(const std::string& app) = 0;
+
+  // Fig. 8: minimum memory to run `app` successfully.
+  virtual Result<Bytes> MemoryFootprint(const std::string& app) = 0;
+
+  // Fig. 9: lmbench null/read/write latency.
+  virtual Result<workload::SyscallLatencies> SyscallLatency() = 0;
+
+  // Table 4: absolute server throughput (requests/s).
+  virtual Result<double> RedisThroughput(bool set_workload) = 0;
+  virtual Result<double> NginxThroughput(bool per_session) = 0;
+};
+
+}  // namespace lupine::unikernels
+
+#endif  // SRC_UNIKERNELS_SYSTEM_H_

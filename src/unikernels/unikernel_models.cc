@@ -1,0 +1,168 @@
+#include "src/unikernels/unikernel_models.h"
+
+#include <map>
+
+#include "src/unikernels/linux_system.h"
+
+namespace lupine::unikernels {
+
+AppSupport UnikernelModel::Supports(const std::string& app) const {
+  if (profile_.curated_apps.count(app) != 0) {
+    return {.supported = true, .reason = ""};
+  }
+  return {.supported = false, .reason = profile_.unsupported_reason};
+}
+
+Result<Bytes> UnikernelModel::KernelImageSize(const std::string& app) {
+  Bytes size = profile_.kernel_image_size;
+  if (profile_.statically_linked) {
+    auto it = profile_.static_app_extra.find(app);
+    if (it != profile_.static_app_extra.end()) {
+      size += it->second;
+    }
+  }
+  return size;
+}
+
+Result<Nanos> UnikernelModel::BootTime(const std::string& app) {
+  (void)app;
+  return profile_.boot_time;
+}
+
+Result<Bytes> UnikernelModel::MemoryFootprint(const std::string& app) {
+  auto support = Supports(app);
+  if (!support.supported) {
+    return Status(Err::kOpNotSupp, profile_.name + " cannot run " + app + ": " +
+                                       support.reason);
+  }
+  auto it = profile_.footprint.find(app);
+  if (it == profile_.footprint.end()) {
+    return Status(Err::kNoEnt, "no footprint profile for " + app);
+  }
+  return it->second;
+}
+
+Result<workload::SyscallLatencies> UnikernelModel::SyscallLatency() {
+  return profile_.syscalls;
+}
+
+Result<double> UnikernelModel::RedisThroughput(bool set_workload) {
+  double factor = set_workload ? profile_.redis_set_factor : profile_.redis_get_factor;
+  if (factor == 0) {
+    return Status(Err::kOpNotSupp, profile_.name + " cannot run redis");
+  }
+  auto baseline = MicrovmBaselineRps(set_workload ? "redis-set" : "redis-get");
+  if (!baseline.ok()) {
+    return baseline.status();
+  }
+  return baseline.value() * factor;
+}
+
+Result<double> UnikernelModel::NginxThroughput(bool per_session) {
+  double factor = per_session ? profile_.nginx_sess_factor : profile_.nginx_conn_factor;
+  if (factor == 0) {
+    return Status(Err::kOpNotSupp, profile_.name + " cannot run nginx (" +
+                                       profile_.unsupported_reason + ")");
+  }
+  auto baseline = MicrovmBaselineRps(per_session ? "nginx-sess" : "nginx-conn");
+  if (!baseline.ok()) {
+    return baseline.status();
+  }
+  return baseline.value() * factor;
+}
+
+Result<double> MicrovmBaselineRps(const std::string& workload_key) {
+  static std::map<std::string, double> cache;
+  auto it = cache.find(workload_key);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  LinuxSystem microvm(MicrovmSpec());
+  Result<double> rps = Status(Err::kInval, "unknown workload key " + workload_key);
+  if (workload_key == "redis-get") {
+    rps = microvm.RedisThroughput(false);
+  } else if (workload_key == "redis-set") {
+    rps = microvm.RedisThroughput(true);
+  } else if (workload_key == "nginx-conn") {
+    rps = microvm.NginxThroughput(false);
+  } else if (workload_key == "nginx-sess") {
+    rps = microvm.NginxThroughput(true);
+  }
+  if (rps.ok()) {
+    cache[workload_key] = rps.value();
+  }
+  return rps;
+}
+
+UnikernelProfile OsvProfile(bool zfs) {
+  UnikernelProfile p;
+  p.name = zfs ? "osv-zfs" : "osv";
+  p.monitor = "firecracker";
+  p.kernel_image_size = static_cast<Bytes>(6.7 * kMiB);
+  // OSv boots fast with a read-only filesystem; its standard zfs r/w image
+  // boots ~10x slower (Section 4.3).
+  p.boot_time = zfs ? Millis(110) : Millis(12);
+  p.curated_apps = {"hello-world", "redis", "nginx"};
+  p.supports_fork = false;
+  p.unsupported_reason = "not on OSv's curated application list / no fork support";
+  p.footprint = {{"hello-world", 33 * kMiB}, {"nginx", 33 * kMiB}, {"redis", 40 * kMiB}};
+  // getppid is hardcoded to return 0 (fast); read of /dev/zero is
+  // unsupported (slow error path); write to /dev/null costs nearly as much
+  // as microVM (Section 4.5).
+  p.syscalls = {.null_us = 0.003, .read_us = 0.190, .write_us = 0.060};
+  p.redis_get_factor = 0.87;
+  p.redis_set_factor = 0.53;  // Drops connections under set load.
+  p.nginx_conn_factor = 0;    // OSv drops connections for nginx (Section 4.6).
+  p.nginx_sess_factor = 0;
+  p.perf_caveat = "drops connections for redis-set and nginx";
+  return p;
+}
+
+UnikernelProfile HermituxProfile() {
+  UnikernelProfile p;
+  p.name = "hermitux";
+  p.monitor = "uhyve";
+  p.kernel_image_size = static_cast<Bytes>(1.3 * kMiB);
+  p.boot_time = Millis(32);
+  p.curated_apps = {"hello-world", "redis"};  // nginx is not curated (Section 4.4).
+  p.supports_fork = false;
+  p.unsupported_reason = "application not curated for HermiTux";
+  p.footprint = {{"hello-world", 9 * kMiB}, {"redis", 28 * kMiB}};
+  // Binary-compatible syscall interception: cheap null path, expensive
+  // read/write emulation (the two off-scale bars in Fig. 9).
+  p.syscalls = {.null_us = 0.045, .read_us = 0.190, .write_us = 0.170};
+  p.redis_get_factor = 0.66;
+  p.redis_set_factor = 0.67;
+  p.nginx_conn_factor = 0;
+  p.nginx_sess_factor = 0;
+  p.perf_caveat = "nginx has not been curated for HermiTux";
+  return p;
+}
+
+UnikernelProfile RumpProfile() {
+  UnikernelProfile p;
+  p.name = "rump";
+  p.monitor = "solo5-hvt";
+  // Rump statically links the NetBSD-derived libOS with the app; hello
+  // without libc is the smallest possible image (Section 4.2).
+  p.kernel_image_size = static_cast<Bytes>(8.2 * kMiB);
+  p.statically_linked = true;
+  p.static_app_extra = {{"hello-world", 0},
+                        {"redis", static_cast<Bytes>(2.1 * kMiB)},
+                        {"nginx", static_cast<Bytes>(1.6 * kMiB)}};
+  p.boot_time = Millis(9);
+  p.curated_apps = {"hello-world", "redis", "nginx"};
+  p.supports_fork = false;
+  p.unsupported_reason = "requires relinking against rumprun; fork unsupported";
+  p.footprint = {{"hello-world", 12 * kMiB}, {"nginx", 20 * kMiB}, {"redis", 36 * kMiB}};
+  // Syscalls are plain function calls into the NetBSD libOS.
+  p.syscalls = {.null_us = 0.017, .read_us = 0.021, .write_us = 0.020};
+  p.redis_get_factor = 0.99;
+  p.redis_set_factor = 0.99;
+  p.nginx_conn_factor = 1.25;
+  p.nginx_sess_factor = 0.53;
+  p.perf_caveat = "nginx-sess collapses under keep-alive load";
+  return p;
+}
+
+}  // namespace lupine::unikernels

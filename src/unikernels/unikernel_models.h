@@ -1,0 +1,79 @@
+// Reference unikernel models: OSv, HermiTux, Rumprun.
+//
+// These systems' kernels are not Linux and are not re-implemented here;
+// each is modelled by its documented, measured behaviour (curated app lists,
+// crash-on-fork, OSv's hardcoded getppid and zfs-vs-rofs boot, Rump's static
+// linking, connection-drop failure modes). Image sizes, boot phases,
+// footprints and syscall latencies are profile constants; application
+// throughput is anchored to the simulated microVM baseline via per-system
+// factors from Table 4 (see DESIGN.md, substitution table).
+#ifndef SRC_UNIKERNELS_UNIKERNEL_MODELS_H_
+#define SRC_UNIKERNELS_UNIKERNEL_MODELS_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/unikernels/system.h"
+
+namespace lupine::unikernels {
+
+struct UnikernelProfile {
+  std::string name;
+  std::string monitor;
+
+  Bytes kernel_image_size = 0;             // Loader/kernel image (Fig. 6).
+  bool statically_linked = false;          // Rump: app linked into the image.
+  std::map<std::string, Bytes> static_app_extra;  // Extra image bytes per app.
+
+  Nanos boot_time = 0;                     // Monitor + unikernel boot (Fig. 7).
+
+  std::set<std::string> curated_apps;      // The curated application list.
+  bool supports_fork = false;
+  std::string unsupported_reason;
+
+  std::map<std::string, Bytes> footprint;  // Min memory per app (Fig. 8).
+
+  workload::SyscallLatencies syscalls;     // Fig. 9 (us).
+
+  // Table 4 anchors: throughput relative to the simulated microVM baseline.
+  double redis_get_factor = 0;             // 0 = cannot run.
+  double redis_set_factor = 0;
+  double nginx_conn_factor = 0;
+  double nginx_sess_factor = 0;
+  std::string perf_caveat;                 // e.g. "drops connections".
+};
+
+class UnikernelModel : public SystemUnderTest {
+ public:
+  explicit UnikernelModel(UnikernelProfile profile) : profile_(std::move(profile)) {}
+
+  std::string name() const override { return profile_.name; }
+  std::string monitor() const override { return profile_.monitor; }
+  AppSupport Supports(const std::string& app) const override;
+
+  Result<Bytes> KernelImageSize(const std::string& app) override;
+  Result<Nanos> BootTime(const std::string& app) override;
+  Result<Bytes> MemoryFootprint(const std::string& app) override;
+  Result<workload::SyscallLatencies> SyscallLatency() override;
+  Result<double> RedisThroughput(bool set_workload) override;
+  Result<double> NginxThroughput(bool per_session) override;
+
+  const UnikernelProfile& profile() const { return profile_; }
+
+ private:
+  UnikernelProfile profile_;
+};
+
+// The evaluated configurations.
+UnikernelProfile OsvProfile(bool zfs = false);   // zfs: the slow r/w boot path.
+UnikernelProfile HermituxProfile();
+UnikernelProfile RumpProfile();
+
+// Simulated microVM reference throughput (cached across calls); unikernel
+// profiles scale from this anchor.
+Result<double> MicrovmBaselineRps(const std::string& workload_key);
+
+}  // namespace lupine::unikernels
+
+#endif  // SRC_UNIKERNELS_UNIKERNEL_MODELS_H_

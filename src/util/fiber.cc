@@ -1,0 +1,64 @@
+#include "src/util/fiber.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace lupine {
+namespace {
+
+// The fiber currently executing on this host thread (nullptr in scheduler
+// context). Also used to hand the Fiber* into the makecontext trampoline,
+// which can only receive int arguments portably.
+thread_local Fiber* g_current_fiber = nullptr;
+
+}  // namespace
+
+Fiber::Fiber(Entry entry, size_t stack_size)
+    : entry_(std::move(entry)),
+      stack_(new char[stack_size]),
+      stack_size_(stack_size) {}
+
+Fiber::~Fiber() {
+  // Destroying a suspended (started, unfinished) fiber leaks whatever its
+  // stack owned; the guest kernel only destroys fibers after exit or via
+  // explicit kill, where leak-free teardown is not required for simulation
+  // correctness.
+  assert(!running_ && "cannot destroy a running fiber");
+}
+
+void Fiber::Trampoline() {
+  Fiber* self = g_current_fiber;
+  assert(self != nullptr);
+  self->entry_();
+  self->finished_ = true;
+  // Return to the resumer; uc_link handles the final switch.
+}
+
+void Fiber::Resume() {
+  assert(!finished_ && "cannot resume a finished fiber");
+  assert(!running_ && "fiber is already running");
+  Fiber* previous = g_current_fiber;
+  g_current_fiber = this;
+  running_ = true;
+  if (!started_) {
+    started_ = true;
+    getcontext(&context_);
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stack_size_;
+    context_.uc_link = &return_context_;
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 0);
+  }
+  swapcontext(&return_context_, &context_);
+  running_ = false;
+  g_current_fiber = previous;
+}
+
+void Fiber::Yield() {
+  Fiber* self = g_current_fiber;
+  assert(self != nullptr && "Yield called outside any fiber");
+  swapcontext(&self->context_, &self->return_context_);
+}
+
+Fiber* Fiber::Current() { return g_current_fiber; }
+
+}  // namespace lupine

@@ -1,0 +1,61 @@
+// Stackful cooperative fibers built on ucontext.
+//
+// Guest threads in src/guestos are fibers: the guest scheduler decides which
+// fiber runs, and a fiber gives up the CPU only at simulated blocking points
+// (syscalls, futex waits, ...). Running everything on one host thread keeps
+// the simulation fully deterministic and lets experiments spawn thousands of
+// guest processes (Figs. 11-12 sweep to 1024+) with small, fixed-size stacks.
+#ifndef SRC_UTIL_FIBER_H_
+#define SRC_UTIL_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace lupine {
+
+class Fiber {
+ public:
+  using Entry = std::function<void()>;
+
+  // Default stack: plenty for app models; tiny versus pthread's 8 MiB.
+  static constexpr size_t kDefaultStackSize = 256 * 1024;
+
+  explicit Fiber(Entry entry, size_t stack_size = kDefaultStackSize);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Runs the fiber until it yields or returns. Must be called from outside
+  // any fiber (the scheduler context) or from another fiber.
+  void Resume();
+
+  // Yields from inside the currently running fiber back to its resumer.
+  static void Yield();
+
+  // The fiber currently executing, or nullptr when in scheduler context.
+  static Fiber* Current();
+
+  bool finished() const { return finished_; }
+  bool running() const { return running_; }
+
+ private:
+  static void Trampoline();
+
+  Entry entry_;
+  std::unique_ptr<char[]> stack_;
+  size_t stack_size_;
+  ucontext_t context_;
+  ucontext_t return_context_;
+  bool started_ = false;
+  bool finished_ = false;
+  bool running_ = false;
+};
+
+}  // namespace lupine
+
+#endif  // SRC_UTIL_FIBER_H_

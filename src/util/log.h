@@ -1,0 +1,52 @@
+// Leveled logging for the simulator.
+//
+// The guest "console" is separate (see guestos::Console); this logger is for
+// host-side diagnostics and is silent at default level in benchmarks.
+#ifndef SRC_UTIL_LOG_H_
+#define SRC_UTIL_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace lupine {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace logging_internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+}  // namespace lupine
+
+#define LUPINE_LOG(level)                                            \
+  if (::lupine::GetLogLevel() <= ::lupine::LogLevel::level)          \
+  ::lupine::logging_internal::LogLine(::lupine::LogLevel::level, __FILE__, __LINE__)
+
+#define LOG_DEBUG LUPINE_LOG(kDebug)
+#define LOG_INFO LUPINE_LOG(kInfo)
+#define LOG_WARN LUPINE_LOG(kWarn)
+#define LOG_ERROR LUPINE_LOG(kError)
+
+#endif  // SRC_UTIL_LOG_H_

@@ -1,0 +1,44 @@
+#include "src/util/result.h"
+
+namespace lupine {
+
+const char* ErrName(Err e) {
+  switch (e) {
+    case Err::kOk: return "OK";
+    case Err::kPerm: return "EPERM";
+    case Err::kNoEnt: return "ENOENT";
+    case Err::kIntr: return "EINTR";
+    case Err::kIo: return "EIO";
+    case Err::kBadF: return "EBADF";
+    case Err::kChild: return "ECHILD";
+    case Err::kAgain: return "EAGAIN";
+    case Err::kNoMem: return "ENOMEM";
+    case Err::kAccess: return "EACCES";
+    case Err::kFault: return "EFAULT";
+    case Err::kExist: return "EEXIST";
+    case Err::kNotDir: return "ENOTDIR";
+    case Err::kIsDir: return "EISDIR";
+    case Err::kInval: return "EINVAL";
+    case Err::kNFile: return "ENFILE";
+    case Err::kMFile: return "EMFILE";
+    case Err::kNoTty: return "ENOTTY";
+    case Err::kNoSpc: return "ENOSPC";
+    case Err::kPipe: return "EPIPE";
+    case Err::kRange: return "ERANGE";
+    case Err::kNameTooLong: return "ENAMETOOLONG";
+    case Err::kNoSys: return "ENOSYS";
+    case Err::kNotEmpty: return "ENOTEMPTY";
+    case Err::kNotSock: return "ENOTSOCK";
+    case Err::kAfNoSupport: return "EAFNOSUPPORT";
+    case Err::kOpNotSupp: return "EOPNOTSUPP";
+    case Err::kAddrInUse: return "EADDRINUSE";
+    case Err::kNetUnreach: return "ENETUNREACH";
+    case Err::kConnReset: return "ECONNRESET";
+    case Err::kNotConn: return "ENOTCONN";
+    case Err::kTimedOut: return "ETIMEDOUT";
+    case Err::kConnRefused: return "ECONNREFUSED";
+  }
+  return "E?";
+}
+
+}  // namespace lupine

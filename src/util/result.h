@@ -1,0 +1,126 @@
+// Minimal Result<T> / Status types for fallible simulator operations.
+//
+// The guest OS layer reports failures with errno-style codes plus a message
+// (the "console output" that drives the configuration search in
+// src/core/config_search.*). We deliberately avoid exceptions in the hot
+// simulation paths.
+#ifndef SRC_UTIL_RESULT_H_
+#define SRC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lupine {
+
+// Errno-style error codes used throughout the guest. Values mirror Linux
+// where a mirror exists so that logs read naturally.
+enum class Err : int {
+  kOk = 0,
+  kPerm = 1,         // EPERM
+  kNoEnt = 2,        // ENOENT
+  kIntr = 4,         // EINTR
+  kIo = 5,           // EIO
+  kBadF = 9,         // EBADF
+  kChild = 10,       // ECHILD
+  kAgain = 11,       // EAGAIN
+  kNoMem = 12,       // ENOMEM
+  kAccess = 13,      // EACCES
+  kFault = 14,       // EFAULT
+  kExist = 17,       // EEXIST
+  kNotDir = 20,      // ENOTDIR
+  kIsDir = 21,       // EISDIR
+  kInval = 22,       // EINVAL
+  kNFile = 23,       // ENFILE
+  kMFile = 24,       // EMFILE
+  kNoTty = 25,       // ENOTTY
+  kNoSpc = 28,       // ENOSPC
+  kPipe = 32,        // EPIPE
+  kRange = 34,       // ERANGE
+  kNameTooLong = 36, // ENAMETOOLONG
+  kNoSys = 38,       // ENOSYS
+  kNotEmpty = 39,    // ENOTEMPTY
+  kNotSock = 88,     // ENOTSOCK
+  kAfNoSupport = 97, // EAFNOSUPPORT
+  kOpNotSupp = 95,   // EOPNOTSUPP
+  kAddrInUse = 98,   // EADDRINUSE
+  kNetUnreach = 101, // ENETUNREACH
+  kConnReset = 104,  // ECONNRESET
+  kNotConn = 107,    // ENOTCONN
+  kTimedOut = 110,   // ETIMEDOUT
+  kConnRefused = 111 // ECONNREFUSED
+};
+
+const char* ErrName(Err e);
+
+// A status: either OK or an error code with a human-readable message.
+class Status {
+ public:
+  Status() : err_(Err::kOk) {}
+  explicit Status(Err err, std::string message = "")
+      : err_(err), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return err_ == Err::kOk; }
+  Err err() const { return err_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    std::string s = ErrName(err_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  Err err_;
+  std::string message_;
+};
+
+// Result<T>: value or Status. A tiny subset of absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) { // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result from OK status needs a value");
+  }
+  Result(Err err, std::string message = "") : status_(err, std::move(message)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+  Err err() const { return status_.err(); }
+
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  T take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const { return value(); }
+  T& operator*() { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace lupine
+
+#endif  // SRC_UTIL_RESULT_H_

@@ -1,0 +1,59 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lupine {
+
+void Accumulator::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::Stddev() const { return std::sqrt(Variance()); }
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+double Mean(const std::vector<double>& samples) {
+  Accumulator acc;
+  for (double s : samples) {
+    acc.Add(s);
+  }
+  return acc.mean();
+}
+
+double Stddev(const std::vector<double>& samples) {
+  Accumulator acc;
+  for (double s : samples) {
+    acc.Add(s);
+  }
+  return acc.Stddev();
+}
+
+}  // namespace lupine

@@ -1,0 +1,40 @@
+// Small statistics helpers for benchmark reporting.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lupine {
+
+// Streaming accumulator (Welford) for mean / variance / extremes.
+class Accumulator {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  double Variance() const;
+  double Stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Percentile over a copied sample set (nearest-rank).
+double Percentile(std::vector<double> samples, double p);
+
+double Mean(const std::vector<double>& samples);
+double Stddev(const std::vector<double>& samples);
+
+}  // namespace lupine
+
+#endif  // SRC_UTIL_STATS_H_

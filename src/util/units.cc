@@ -1,0 +1,34 @@
+#include "src/util/units.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace lupine {
+
+std::string FormatSize(Bytes bytes) {
+  char buf[64];
+  if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", ToMiB(bytes));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", ToKiB(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " B", bytes);
+  }
+  return buf;
+}
+
+std::string FormatDuration(Nanos ns) {
+  char buf[64];
+  if (ns >= kNanosPerSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ToSeconds(ns));
+  } else if (ns >= kNanosPerMilli) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ToMillis(ns));
+  } else if (ns >= kNanosPerMicro) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", ToMicros(ns));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " ns", ns);
+  }
+  return buf;
+}
+
+}  // namespace lupine

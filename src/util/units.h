@@ -1,0 +1,48 @@
+// Size and time unit helpers shared across the simulator.
+//
+// All simulated durations are held as integral nanoseconds (`Nanos`) so that
+// arithmetic is exact and results are deterministic across platforms. Sizes
+// are plain byte counts. Formatting helpers render values the way the paper's
+// tables do (MB with one decimal, microseconds with two, ...).
+#ifndef SRC_UTIL_UNITS_H_
+#define SRC_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lupine {
+
+using Nanos = int64_t;   // Simulated duration in nanoseconds.
+using Bytes = uint64_t;  // Size in bytes.
+
+inline constexpr Nanos kNanosPerMicro = 1'000;
+inline constexpr Nanos kNanosPerMilli = 1'000'000;
+inline constexpr Nanos kNanosPerSecond = 1'000'000'000;
+
+constexpr Nanos Micros(int64_t us) { return us * kNanosPerMicro; }
+constexpr Nanos Millis(int64_t ms) { return ms * kNanosPerMilli; }
+constexpr Nanos Seconds(int64_t s) { return s * kNanosPerSecond; }
+
+constexpr double ToMicros(Nanos ns) { return static_cast<double>(ns) / kNanosPerMicro; }
+constexpr double ToMillis(Nanos ns) { return static_cast<double>(ns) / kNanosPerMilli; }
+constexpr double ToSeconds(Nanos ns) { return static_cast<double>(ns) / kNanosPerSecond; }
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr Bytes KiB(uint64_t n) { return n * kKiB; }
+constexpr Bytes MiB(uint64_t n) { return n * kMiB; }
+
+constexpr double ToKiB(Bytes b) { return static_cast<double>(b) / kKiB; }
+constexpr double ToMiB(Bytes b) { return static_cast<double>(b) / kMiB; }
+
+// Renders "4.0 MB", "27.5 KB", "123 B" etc. (decimal style used in prose).
+std::string FormatSize(Bytes bytes);
+
+// Renders "23.4 ms", "0.056 us", "1.2 s" picking a readable unit.
+std::string FormatDuration(Nanos ns);
+
+}  // namespace lupine
+
+#endif  // SRC_UTIL_UNITS_H_

@@ -1,0 +1,5 @@
+#include "src/util/vclock.h"
+
+// VirtualClock is header-only today; this TU anchors the target so the
+// library always has at least one symbol from this module.
+namespace lupine {}

@@ -1,0 +1,56 @@
+// Virtual clock: the simulated time base of the whole system.
+//
+// Nothing in the simulator reads the host clock. Every priced operation
+// (syscall entry, page fault, packet traversal, ...) advances a VirtualClock,
+// so all experiment outputs are exact, deterministic functions of the
+// configuration under test.
+#ifndef SRC_UTIL_VCLOCK_H_
+#define SRC_UTIL_VCLOCK_H_
+
+#include <cassert>
+
+#include "src/util/units.h"
+
+namespace lupine {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  Nanos now() const { return now_; }
+
+  void Advance(Nanos delta) {
+    assert(delta >= 0 && "time cannot move backwards");
+    now_ += delta;
+  }
+
+  // Moves the clock to an absolute point, e.g. when a blocked fiber resumes
+  // at the waking event's timestamp. No-op if `t` is in the past (the waker
+  // ran later than the sleeper's deadline).
+  void AdvanceTo(Nanos t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+// RAII measurement of elapsed virtual time.
+class VirtualStopwatch {
+ public:
+  explicit VirtualStopwatch(const VirtualClock& clock) : clock_(clock), start_(clock.now()) {}
+  Nanos Elapsed() const { return clock_.now() - start_; }
+  void Restart() { start_ = clock_.now(); }
+
+ private:
+  const VirtualClock& clock_;
+  Nanos start_;
+};
+
+}  // namespace lupine
+
+#endif  // SRC_UTIL_VCLOCK_H_

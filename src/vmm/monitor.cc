@@ -1,0 +1,63 @@
+#include "src/vmm/monitor.h"
+
+namespace lupine::vmm {
+
+const MonitorProfile& Firecracker() {
+  static const MonitorProfile profile = {
+      .name = "firecracker",
+      .process_start = Millis(4),
+      .kernel_load = Micros(400),
+      .load_per_mb = Micros(120),
+      .device_setup = Micros(900),
+      .vcpu_setup = Micros(500),
+      .pci_bus = false,
+  };
+  return profile;
+}
+
+const MonitorProfile& Solo5Hvt() {
+  static const MonitorProfile profile = {
+      .name = "solo5-hvt",
+      .process_start = Micros(900),
+      .kernel_load = Micros(200),
+      .load_per_mb = Micros(100),
+      .device_setup = Micros(150),
+      .vcpu_setup = Micros(250),
+      .pci_bus = false,
+  };
+  return profile;
+}
+
+const MonitorProfile& Uhyve() {
+  static const MonitorProfile profile = {
+      .name = "uhyve",
+      .process_start = Micros(1'000),
+      .kernel_load = Micros(200),
+      .load_per_mb = Micros(100),
+      .device_setup = Micros(200),
+      .vcpu_setup = Micros(250),
+      .pci_bus = false,
+  };
+  return profile;
+}
+
+const MonitorProfile& Qemu() {
+  static const MonitorProfile profile = {
+      .name = "qemu",
+      .process_start = Millis(120),
+      .kernel_load = Millis(2),
+      .load_per_mb = Micros(200),
+      .device_setup = Millis(35),  // Full device-model + BIOS.
+      .vcpu_setup = Millis(1),
+      .pci_bus = true,
+  };
+  return profile;
+}
+
+Nanos MonitorSetupTime(const MonitorProfile& profile, Bytes kernel_image_size) {
+  return profile.process_start + profile.kernel_load +
+         static_cast<Nanos>(ToMiB(kernel_image_size) * static_cast<double>(profile.load_per_mb)) +
+         profile.device_setup + profile.vcpu_setup;
+}
+
+}  // namespace lupine::vmm

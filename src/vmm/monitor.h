@@ -1,0 +1,41 @@
+// Virtual machine monitor models.
+//
+// The paper runs Linux variants and OSv on Firecracker, and HermiTux / Rump
+// on the unikernel monitors uhyve / solo5-hvt (both ukvm descendants);
+// QEMU is the traditional heavyweight baseline (Section 2.2). A monitor
+// contributes host-side setup phases to boot time and determines the device
+// model the guest sees (Firecracker: virtio-mmio, no PCI enumeration).
+#ifndef SRC_VMM_MONITOR_H_
+#define SRC_VMM_MONITOR_H_
+
+#include <string>
+
+#include "src/util/units.h"
+
+namespace lupine::vmm {
+
+struct MonitorProfile {
+  std::string name;
+  Nanos process_start = 0;   // Spawning the monitor process, guest RAM setup.
+  Nanos kernel_load = 0;     // Reading & placing the kernel image (per MB extra below).
+  Nanos load_per_mb = 0;     // Image-size-dependent load cost.
+  Nanos device_setup = 0;    // Device-model construction (virtio-mmio etc.).
+  Nanos vcpu_setup = 0;      // vCPU create + register state.
+  bool pci_bus = false;      // Exposes a PCI bus (QEMU); forces enumeration.
+};
+
+// AWS Firecracker: minimal Rust VMM, virtio-mmio only, no PCI, no BIOS.
+const MonitorProfile& Firecracker();
+// solo5-hvt (ukvm descendant): unikernel monitor used by Rump.
+const MonitorProfile& Solo5Hvt();
+// uhyve: unikernel monitor used by HermiTux.
+const MonitorProfile& Uhyve();
+// QEMU: traditional, general-purpose monitor (boot-time ablation).
+const MonitorProfile& Qemu();
+
+// Host-side monitor time before the guest's first instruction.
+Nanos MonitorSetupTime(const MonitorProfile& profile, Bytes kernel_image_size);
+
+}  // namespace lupine::vmm
+
+#endif  // SRC_VMM_MONITOR_H_

@@ -1,0 +1,96 @@
+#include "src/vmm/vm.h"
+
+#include <functional>
+
+namespace lupine::vmm {
+
+Vm::Vm(VmSpec spec, const guestos::AppRegistry* registry)
+    : spec_(std::move(spec)),
+      kernel_(std::make_unique<guestos::Kernel>(spec_.image, spec_.memory, registry)) {}
+
+Status Vm::Boot() {
+  // Host-side monitor phases.
+  Nanos monitor_time = MonitorSetupTime(spec_.monitor, spec_.image.size);
+  kernel_->clock().Advance(monitor_time);
+  report_.phases.push_back({"monitor:" + spec_.monitor.name, monitor_time});
+
+  // Guest-side boot. A PCI-enabled kernel on a PCI-less monitor skips
+  // enumeration; our feature check happens in the kernel, which prices PCI
+  // enumeration only when configured (and QEMU-style monitors always expose
+  // the bus, so the config decides).
+  if (Status s = kernel_->Boot(spec_.rootfs); !s.ok()) {
+    return s;
+  }
+  for (const auto& phase : kernel_->boot_trace().phases) {
+    report_.phases.push_back(phase);
+  }
+
+  // Start init (the application-specific startup script).
+  auto init = kernel_->StartInit("/sbin/init");
+  if (!init.ok()) {
+    return init.status();
+  }
+  init_ = init.value();
+
+  report_.total = 0;
+  for (const auto& phase : report_.phases) {
+    report_.total += phase.duration;
+  }
+  // The init-exec phase was appended by StartInit.
+  report_.phases.push_back(kernel_->boot_trace().phases.back());
+  report_.total += kernel_->boot_trace().phases.back().duration;
+  report_.to_init = report_.total;
+  return Status::Ok();
+}
+
+Result<int> Vm::RunToCompletion() {
+  if (init_ == nullptr) {
+    return Status(Err::kInval, "VM not booted");
+  }
+  size_t blocked = kernel_->Run();
+  if (kernel_->oom()) {
+    return Status(Err::kNoMem, "guest ran out of memory");
+  }
+  if (init_->exited) {
+    return init_->exit_code;
+  }
+  return Status(Err::kAgain,
+                std::to_string(blocked) + " guest thread(s) still blocked (server running)");
+}
+
+Vm::RunResult Vm::BootAndRun() {
+  RunResult result;
+  result.status = Boot();
+  if (!result.status.ok()) {
+    result.console = kernel_->console().contents();
+    return result;
+  }
+  auto run = RunToCompletion();
+  if (run.ok()) {
+    result.exit_code = run.value();
+  } else {
+    result.status = run.status();
+  }
+  result.console = kernel_->console().contents();
+  return result;
+}
+
+Bytes MinMemoryProbe(Bytes low, Bytes high, const std::function<bool(Bytes)>& try_run) {
+  // Round to whole MiB like the monitor's --mem-size flag.
+  uint64_t lo = low / kMiB;
+  uint64_t hi = high / kMiB;
+  if (!try_run(hi * kMiB)) {
+    return 0;  // Does not even run at the ceiling.
+  }
+  while (lo < hi) {
+    uint64_t mid = (lo + hi) / 2;
+    if (try_run(mid * kMiB)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi * kMiB;
+}
+
+}  // namespace lupine::vmm

@@ -1,0 +1,71 @@
+// Vm: a monitor + kernel image + rootfs + RAM, bootable and runnable.
+#ifndef SRC_VMM_VM_H_
+#define SRC_VMM_VM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/guestos/kernel.h"
+#include "src/kbuild/image.h"
+#include "src/vmm/monitor.h"
+
+namespace lupine::vmm {
+
+struct VmSpec {
+  MonitorProfile monitor;
+  kbuild::KernelImage image;
+  std::string rootfs;        // LUPX2FS blob.
+  Bytes memory = 512 * kMiB; // Guest RAM (the paper's default).
+  int vcpus = 1;             // Pinned to 1 in the evaluation.
+};
+
+// One boot-time line item, monitor and guest phases interleaved.
+struct BootReport {
+  std::vector<guestos::BootPhase> phases;
+  Nanos total = 0;
+  // Boot time as Firecracker logs it: from monitor start to the guest's
+  // readiness I/O port write (init exec'd).
+  Nanos to_init = 0;
+};
+
+class Vm {
+ public:
+  explicit Vm(VmSpec spec, const guestos::AppRegistry* registry = nullptr);
+
+  // Monitor setup + guest kernel boot + init start. Init is the rootfs's
+  // /sbin/init. On success the boot report is available.
+  Status Boot();
+
+  // Runs the guest to quiescence; returns init's exit code when it exited,
+  // or an error description of what is still blocked (servers stay blocked).
+  Result<int> RunToCompletion();
+
+  guestos::Kernel& kernel() { return *kernel_; }
+  const BootReport& boot_report() const { return report_; }
+  const VmSpec& spec() const { return spec_; }
+
+  // Convenience: full boot + run, reporting init's exit code and console.
+  struct RunResult {
+    Status status;
+    int exit_code = -1;
+    std::string console;
+  };
+  RunResult BootAndRun();
+
+ private:
+  VmSpec spec_;
+  std::unique_ptr<guestos::Kernel> kernel_;
+  guestos::Process* init_ = nullptr;
+  BootReport report_;
+};
+
+// Finds the minimum guest RAM (in MiB granularity) with which `try_run`
+// succeeds — the Fig. 8 memory-footprint methodology ("repeatedly testing
+// the unikernel with a decreasing memory parameter").
+Bytes MinMemoryProbe(Bytes low, Bytes high, const std::function<bool(Bytes)>& try_run);
+
+}  // namespace lupine::vmm
+
+#endif  // SRC_VMM_VM_H_

@@ -1,0 +1,232 @@
+#include "src/workload/app_bench.h"
+
+#include "src/workload/spawn.h"
+
+namespace lupine::workload {
+namespace {
+
+using guestos::Kernel;
+using guestos::SockDomain;
+using guestos::SockType;
+using guestos::SyscallApi;
+
+}  // namespace
+
+bool BootAppServer(vmm::Vm& vm, const std::string& ready_line) {
+  if (Status s = vm.Boot(); !s.ok()) {
+    return false;
+  }
+  vm.kernel().Run();  // Run until the server blocks waiting for connections.
+  if (vm.kernel().oom()) {
+    return false;
+  }
+  return vm.kernel().console().Contains(ready_line);
+}
+
+ThroughputResult RunRedisBenchmark(vmm::Vm& vm, bool set_workload, int ops, int connections,
+                                   int value_size, int pipeline) {
+  Kernel& k = vm.kernel();
+  ThroughputResult result;
+  const std::string value(value_size, 'v');
+
+  Nanos t0 = 0;
+  Nanos t1 = 0;
+  uint64_t done = 0;
+  uint64_t errors = 0;
+  int finished_clients = 0;
+
+  int per_client = ops / connections;
+  for (int c = 0; c < connections; ++c) {
+    SpawnOptions options;
+    options.free_run = true;  // External load generator.
+    SpawnProcess(
+        k, "redis-benchmark",
+        [&, c, per_client](SyscallApi& sys) {
+          auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
+          if (!fd.ok()) {
+            ++errors;
+            return;
+          }
+          sys.SchedYield();
+          if (!sys.Connect(fd.value(), 6379, "").ok()) {
+            ++errors;
+            return;
+          }
+          if (t0 == 0) {
+            t0 = k.clock().now();
+          }
+          for (int i = 0; i < per_client; i += pipeline) {
+            int batch = std::min(pipeline, per_client - i);
+            std::string request;
+            for (int b = 0; b < batch; ++b) {
+              std::string key = "key:" + std::to_string((c * per_client + i + b) % 1000);
+              request += set_workload ? "SET " + key + " " + value + "\r\n"
+                                      : "GET " + key + "\r\n";
+            }
+            if (!sys.Send(fd.value(), request).ok()) {
+              ++errors;
+              break;
+            }
+            // Read until every batched reply arrived. A reply starts with a
+            // RESP type marker (+ simple string, $ bulk, - error) at the
+            // beginning of a line; bulk payload lines are not counted.
+            int replies = 0;
+            bool at_line_start = true;
+            while (replies < batch) {
+              auto reply = sys.Recv(fd.value(), 64 * 1024);
+              if (!reply.ok() || reply.value().empty()) {
+                ++errors;
+                replies = batch;
+                break;
+              }
+              for (char ch : reply.value()) {
+                if (at_line_start && (ch == '+' || ch == '$' || ch == '-')) {
+                  ++replies;
+                }
+                at_line_start = ch == '\n';
+              }
+            }
+            done += batch;
+          }
+          sys.Close(fd.value());
+          ++finished_clients;
+          t1 = k.clock().now();
+        },
+        options);
+  }
+  k.Run();
+
+  result.completed = done;
+  result.errors = errors;
+  Nanos elapsed = t1 - t0;
+  if (elapsed > 0 && done > 0) {
+    result.requests_per_sec = static_cast<double>(done) / ToSeconds(elapsed);
+  }
+  return result;
+}
+
+ThroughputResult RunApacheBench(vmm::Vm& vm, int total_requests, int requests_per_conn) {
+  Kernel& k = vm.kernel();
+  ThroughputResult result;
+
+  Nanos t0 = 0;
+  Nanos t1 = 0;
+  uint64_t done = 0;
+  uint64_t errors = 0;
+
+  const std::string request = "GET / HTTP/1.1\r\nHost: localhost\r\nConnection: keep-alive"
+                              "\r\n\r\n";
+  int conns = total_requests / requests_per_conn;
+
+  SpawnOptions options;
+  options.free_run = true;
+  SpawnProcess(
+      k, "ab",
+      [&, conns, requests_per_conn](SyscallApi& sys) {
+        sys.SchedYield();
+        t0 = k.clock().now();
+        for (int c = 0; c < conns; ++c) {
+          auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
+          if (!fd.ok()) {
+            ++errors;
+            continue;
+          }
+          if (!sys.Connect(fd.value(), 80, "").ok()) {
+            ++errors;
+            sys.Close(fd.value());
+            continue;
+          }
+          for (int r = 0; r < requests_per_conn; ++r) {
+            if (!sys.Send(fd.value(), request).ok()) {
+              ++errors;
+              break;
+            }
+            auto reply = sys.Recv(fd.value(), 16 * 1024);
+            if (!reply.ok() || reply.value().empty()) {
+              ++errors;
+              break;
+            }
+            ++done;
+          }
+          sys.Close(fd.value());
+        }
+        t1 = k.clock().now();
+      },
+      options);
+  k.Run();
+
+  result.completed = done;
+  result.errors = errors;
+  Nanos elapsed = t1 - t0;
+  if (elapsed > 0 && done > 0) {
+    result.requests_per_sec = static_cast<double>(done) / ToSeconds(elapsed);
+  }
+  return result;
+}
+
+ThroughputResult RunMemcachedBenchmark(vmm::Vm& vm, bool set_workload, int ops,
+                                       int connections, int value_size) {
+  Kernel& k = vm.kernel();
+  ThroughputResult result;
+  const std::string value(value_size, 'm');
+
+  Nanos t0 = 0;
+  Nanos t1 = 0;
+  uint64_t done = 0;
+  uint64_t errors = 0;
+
+  int per_client = ops / connections;
+  for (int c = 0; c < connections; ++c) {
+    SpawnOptions options;
+    options.free_run = true;
+    SpawnProcess(
+        k, "memtier",
+        [&, c, per_client](SyscallApi& sys) {
+          auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
+          if (!fd.ok()) {
+            ++errors;
+            return;
+          }
+          sys.SchedYield();
+          if (!sys.Connect(fd.value(), 11211, "").ok()) {
+            ++errors;
+            return;
+          }
+          if (t0 == 0) {
+            t0 = k.clock().now();
+          }
+          for (int i = 0; i < per_client; ++i) {
+            std::string key = "key" + std::to_string((c * per_client + i) % 1000);
+            std::string request =
+                set_workload
+                    ? "set " + key + " 0 0 " + std::to_string(value.size()) + "\r\n" + value +
+                          "\r\n"
+                    : "get " + key + "\r\n";
+            if (!sys.Send(fd.value(), request).ok()) {
+              ++errors;
+              break;
+            }
+            auto reply = sys.Recv(fd.value(), 4096);
+            if (!reply.ok() || reply.value().empty()) {
+              ++errors;
+              break;
+            }
+            ++done;
+          }
+          sys.Close(fd.value());
+          t1 = k.clock().now();
+        },
+        options);
+  }
+  k.Run();
+
+  result.completed = done;
+  result.errors = errors;
+  Nanos elapsed = t1 - t0;
+  if (elapsed > 0 && done > 0) {
+    result.requests_per_sec = static_cast<double>(done) / ToSeconds(elapsed);
+  }
+  return result;
+}
+
+}  // namespace lupine::workload

@@ -1,0 +1,47 @@
+// Application load generators: redis-benchmark and ab equivalents.
+//
+// Table 4's methodology: redis-benchmark issuing GET/SET, ab issuing one
+// request per connection (nginx-conn) or one hundred per keep-alive session
+// (nginx-sess). Clients run free (their cost is not on the guest clock), so
+// throughput isolates the server stack exactly as the paper's host-side
+// clients do.
+#ifndef SRC_WORKLOAD_APP_BENCH_H_
+#define SRC_WORKLOAD_APP_BENCH_H_
+
+#include <string>
+
+#include "src/vmm/vm.h"
+
+namespace lupine::workload {
+
+struct ThroughputResult {
+  double requests_per_sec = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+};
+
+// redis-benchmark: `ops` GETs or SETs over `connections` persistent
+// connections against the redis server already running in `vm`.
+// `pipeline` batches that many requests per network round trip
+// (redis-benchmark's -P flag).
+ThroughputResult RunRedisBenchmark(vmm::Vm& vm, bool set_workload, int ops = 3000,
+                                   int connections = 8, int value_size = 64,
+                                   int pipeline = 1);
+
+// ab: `total_requests` HTTP requests, `requests_per_conn` on each connection
+// (1 = nginx-conn, 100 = nginx-sess with --keepalive).
+ThroughputResult RunApacheBench(vmm::Vm& vm, int total_requests = 2000,
+                                int requests_per_conn = 1);
+
+// memtier/mc-crusher equivalent for the memcached server (extension
+// experiment beyond Table 4).
+ThroughputResult RunMemcachedBenchmark(vmm::Vm& vm, bool set_workload, int ops = 3000,
+                                       int connections = 8, int value_size = 64);
+
+// Boots `vm` (already constructed with an app rootfs) and runs it until the
+// server announces readiness. Returns false when the app failed to start.
+bool BootAppServer(vmm::Vm& vm, const std::string& ready_line);
+
+}  // namespace lupine::workload
+
+#endif  // SRC_WORKLOAD_APP_BENCH_H_

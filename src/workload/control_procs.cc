@@ -1,0 +1,26 @@
+#include "src/workload/control_procs.h"
+
+#include "src/workload/spawn.h"
+
+namespace lupine::workload {
+
+SyscallLatencies MeasureWithControlProcs(vmm::Vm& vm, int control_processes) {
+  guestos::Kernel& k = vm.kernel();
+  for (int i = 0; i < control_processes; ++i) {
+    SpawnOptions options;
+    options.heap_kb = 16;
+    SpawnProcess(
+        k, "sleep",
+        [](guestos::SyscallApi& sys) {
+          // `sleep`: a couple of timer ticks, then parked for the run.
+          sys.Nanosleep(Millis(1));
+          sys.Pause();
+        },
+        options);
+  }
+  // Let the control processes reach their parked state.
+  k.Run();
+  return MeasureSyscallLatency(vm);
+}
+
+}  // namespace lupine::workload

@@ -1,0 +1,20 @@
+// Control-process experiment (Fig. 11).
+//
+// Spawns 2^i auxiliary "control" processes (shells, monitors, recovery
+// agents — modelled as sleeping `sleep`-style processes) and measures
+// syscall latency: relaxing the single-process restriction costs nothing
+// while the extra processes are idle.
+#ifndef SRC_WORKLOAD_CONTROL_PROCS_H_
+#define SRC_WORKLOAD_CONTROL_PROCS_H_
+
+#include "src/workload/lmbench.h"
+
+namespace lupine::workload {
+
+// Spawns `control_processes` paused processes, then runs the Fig. 9 syscall
+// latency measurements alongside them.
+SyscallLatencies MeasureWithControlProcs(vmm::Vm& vm, int control_processes);
+
+}  // namespace lupine::workload
+
+#endif  // SRC_WORKLOAD_CONTROL_PROCS_H_

@@ -1,0 +1,25 @@
+#include "src/workload/kml_bench.h"
+
+#include "src/workload/spawn.h"
+
+namespace lupine::workload {
+
+double MeasureNullWithWorkUs(vmm::Vm& vm, int busy_iterations, int samples) {
+  guestos::Kernel& k = vm.kernel();
+  Nanos t0 = 0;
+  Nanos t1 = 0;
+  SpawnProcess(k, "kml_bench", [&](guestos::SyscallApi& sys) {
+    t0 = k.clock().now();
+    for (int i = 0; i < samples; ++i) {
+      sys.Getppid();
+      if (busy_iterations > 0) {
+        sys.Compute(static_cast<Nanos>(busy_iterations) * kBusyIterationNs);
+      }
+    }
+    t1 = k.clock().now();
+  });
+  k.Run();
+  return ToMicros(t1 - t0) / samples;
+}
+
+}  // namespace lupine::workload

@@ -1,0 +1,22 @@
+// KML amortization microbenchmark (Fig. 10).
+//
+// Issues the null (getppid) syscall in a loop with a configurable amount of
+// user-mode busy-work between calls; the benefit of KML's cheap transition
+// is amortized away as the busy-work grows (40% at 0 iterations, <5% past
+// ~160).
+#ifndef SRC_WORKLOAD_KML_BENCH_H_
+#define SRC_WORKLOAD_KML_BENCH_H_
+
+#include "src/vmm/vm.h"
+
+namespace lupine::workload {
+
+// Per-busy-iteration user CPU (a tight arithmetic loop iteration).
+inline constexpr Nanos kBusyIterationNs = 2;
+
+// Average time (us) of one null-syscall + `busy_iterations` busy loop.
+double MeasureNullWithWorkUs(vmm::Vm& vm, int busy_iterations, int samples = 2000);
+
+}  // namespace lupine::workload
+
+#endif  // SRC_WORKLOAD_KML_BENCH_H_

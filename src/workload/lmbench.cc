@@ -1,0 +1,596 @@
+#include "src/workload/lmbench.h"
+
+#include <memory>
+
+#include "src/workload/spawn.h"
+
+namespace lupine::workload {
+namespace {
+
+using guestos::FdKind;
+using guestos::Kernel;
+using guestos::PipeBuffer;
+using guestos::SockDomain;
+using guestos::SockType;
+using guestos::SyscallApi;
+
+// Runs `body` in a fresh guest process and returns the virtual time it took.
+Nanos TimeInProcess(vmm::Vm& vm, const std::function<void(SyscallApi&)>& body) {
+  Kernel& k = vm.kernel();
+  Nanos t0 = 0;
+  Nanos t1 = 0;
+  SpawnProcess(k, "lmbench", [&](SyscallApi& sys) {
+    t0 = k.clock().now();
+    body(sys);
+    t1 = k.clock().now();
+  });
+  k.Run();
+  return t1 - t0;
+}
+
+// Installs a pipe end into `process`, returning the fd.
+int InstallPipeEnd(guestos::Process* process, const std::shared_ptr<PipeBuffer>& pipe,
+                   bool read_end) {
+  auto file = std::make_shared<guestos::FileDescription>();
+  file->kind = read_end ? FdKind::kPipeRead : FdKind::kPipeWrite;
+  file->pipe = pipe;
+  return process->InstallFd(file);
+}
+
+int InstallSocket(guestos::Process* process, const std::shared_ptr<guestos::Socket>& sock) {
+  auto file = std::make_shared<guestos::FileDescription>();
+  file->kind = FdKind::kSocket;
+  file->socket = sock;
+  return process->InstallFd(file);
+}
+
+// Memory-subsystem bandwidths (MB/s): user-level, kernel-independent; the
+// paper's Table 5 shows them near-identical for microVM and lupine-general.
+struct MemBandwidths {
+  double mmap_reread = 15'950;
+  double bcopy_libc = 12'550;
+  double bcopy_hand = 9'056;
+  double mem_read = 15'000;
+  double mem_write = 12'100;
+};
+
+}  // namespace
+
+SyscallLatencies MeasureSyscallLatency(vmm::Vm& vm, int iterations) {
+  SyscallLatencies out;
+  Kernel& k = vm.kernel();
+
+  Nanos null_total = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < iterations; ++i) {
+      sys.Getppid();
+    }
+  });
+  out.null_us = ToMicros(null_total) / iterations;
+
+  Nanos read_total = TimeInProcess(vm, [&](SyscallApi& sys) {
+    auto fd = sys.Open("/dev/zero");
+    if (!fd.ok()) {
+      k.console().Write("lmbench: cannot open /dev/zero\n");
+      return;
+    }
+    for (int i = 0; i < iterations; ++i) {
+      sys.Read(fd.value(), 1);
+    }
+    sys.Close(fd.value());
+  });
+  out.read_us = ToMicros(read_total) / iterations;
+
+  Nanos write_total = TimeInProcess(vm, [&](SyscallApi& sys) {
+    auto fd = sys.Open("/dev/null");
+    if (!fd.ok()) {
+      k.console().Write("lmbench: cannot open /dev/null\n");
+      return;
+    }
+    for (int i = 0; i < iterations; ++i) {
+      sys.Write(fd.value(), "x");
+    }
+    sys.Close(fd.value());
+  });
+  out.write_us = ToMicros(write_total) / iterations;
+  return out;
+}
+
+double MeasureCtxSwitchUs(vmm::Vm& vm, int procs, int working_set_kb, int rounds) {
+  Kernel& k = vm.kernel();
+
+  // Baseline: pipe write+read without any switch, measured in one process.
+  Nanos baseline_total = TimeInProcess(vm, [&](SyscallApi& sys) {
+    auto pipe_fds = sys.Pipe();
+    if (!pipe_fds.ok()) {
+      return;
+    }
+    for (int i = 0; i < rounds; ++i) {
+      sys.Write(pipe_fds.value().second, "x");
+      sys.Read(pipe_fds.value().first, 1);
+    }
+  });
+  double baseline_per_hop = static_cast<double>(baseline_total) / rounds;
+
+  // Token ring: P processes, P pipes; process i reads pipe[i], writes
+  // pipe[(i+1) % P].
+  std::vector<std::shared_ptr<PipeBuffer>> pipes;
+  pipes.reserve(procs);
+  for (int i = 0; i < procs; ++i) {
+    pipes.push_back(std::make_shared<PipeBuffer>(&k.sched()));
+  }
+
+  Nanos t0 = k.clock().now();
+  for (int i = 0; i < procs; ++i) {
+    auto body = [i, procs, rounds](SyscallApi& sys) {
+      // fds 3 and 4 are the read and write ends installed below.
+      const int rfd = 3;
+      const int wfd = 4;
+      if (i == 0) {
+        sys.Write(wfd, "t");  // Inject the token.
+      }
+      for (int r = 0; r < rounds; ++r) {
+        sys.Read(rfd, 1);
+        sys.Write(wfd, "t");
+      }
+      if (i == 0) {
+        sys.Read(rfd, 1);  // Absorb the token.
+      }
+    };
+    guestos::Process* p = SpawnProcess(k, "lat_ctx", body);
+    InstallPipeEnd(p, pipes[i], /*read_end=*/true);            // fd 3
+    InstallPipeEnd(p, pipes[(i + 1) % procs], /*read_end=*/false);  // fd 4
+    if (!p->threads.empty()) {
+      k.sched().SetWorkingSet(p->threads[0], working_set_kb);
+    }
+  }
+  k.Run();
+  Nanos elapsed = k.clock().now() - t0;
+
+  double per_hop = static_cast<double>(elapsed) / (static_cast<double>(rounds) * procs);
+  double ctxsw_ns = per_hop - baseline_per_hop;
+  return ctxsw_ns < 0 ? 0 : ctxsw_ns / 1000.0;
+}
+
+double MeasurePipeLatencyUs(vmm::Vm& vm, bool af_unix, int rounds) {
+  Kernel& k = vm.kernel();
+  Nanos t0 = k.clock().now();
+
+  if (af_unix) {
+    auto [sa, sb] = k.net().CreatePair(SockType::kStream);
+    guestos::Process* pa = SpawnProcess(k, "lat_unix_a", [rounds](SyscallApi& sys) {
+      for (int i = 0; i < rounds; ++i) {
+        sys.Send(3, "x");
+        sys.Recv(3, 1);
+      }
+    });
+    InstallSocket(pa, sa);
+    guestos::Process* pb = SpawnProcess(k, "lat_unix_b", [rounds](SyscallApi& sys) {
+      for (int i = 0; i < rounds; ++i) {
+        sys.Recv(3, 1);
+        sys.Send(3, "x");
+      }
+    });
+    InstallSocket(pb, sb);
+  } else {
+    auto p1 = std::make_shared<PipeBuffer>(&k.sched());
+    auto p2 = std::make_shared<PipeBuffer>(&k.sched());
+    guestos::Process* pa = SpawnProcess(k, "lat_pipe_a", [rounds](SyscallApi& sys) {
+      for (int i = 0; i < rounds; ++i) {
+        sys.Write(4, "x");
+        sys.Read(3, 1);
+      }
+    });
+    InstallPipeEnd(pa, p2, /*read_end=*/true);   // fd 3
+    InstallPipeEnd(pa, p1, /*read_end=*/false);  // fd 4
+    guestos::Process* pb = SpawnProcess(k, "lat_pipe_b", [rounds](SyscallApi& sys) {
+      for (int i = 0; i < rounds; ++i) {
+        sys.Read(3, 1);
+        sys.Write(4, "x");
+      }
+    });
+    InstallPipeEnd(pb, p1, /*read_end=*/true);   // fd 3
+    InstallPipeEnd(pb, p2, /*read_end=*/false);  // fd 4
+  }
+  k.Run();
+  Nanos elapsed = k.clock().now() - t0;
+  // One-way latency: a round trip is two legs.
+  return ToMicros(elapsed) / (2.0 * rounds);
+}
+
+double MeasureTcpLatencyUs(vmm::Vm& vm, int rounds) {
+  Kernel& k = vm.kernel();
+  constexpr uint16_t kPort = 7777;
+
+  SpawnProcess(k, "lat_tcp_srv", [rounds](SyscallApi& sys) {
+    auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
+    if (!fd.ok()) {
+      return;
+    }
+    sys.Bind(fd.value(), kPort, "");
+    sys.Listen(fd.value(), 4);
+    auto conn = sys.Accept(fd.value());
+    if (!conn.ok()) {
+      return;
+    }
+    for (int i = 0; i < rounds; ++i) {
+      auto data = sys.Recv(conn.value(), 64);
+      if (!data.ok() || data.value().empty()) {
+        break;
+      }
+      sys.Send(conn.value(), "y");
+    }
+    sys.Close(conn.value());
+    sys.Close(fd.value());
+  });
+
+  Nanos t0 = 0;
+  Nanos t1 = 0;
+  SpawnProcess(k, "lat_tcp_cli", [&, rounds](SyscallApi& sys) {
+    auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
+    if (!fd.ok()) {
+      return;
+    }
+    // Give the server a chance to listen.
+    sys.SchedYield();
+    if (!sys.Connect(fd.value(), kPort, "").ok()) {
+      return;
+    }
+    t0 = k.clock().now();
+    for (int i = 0; i < rounds; ++i) {
+      sys.Send(fd.value(), "x");
+      sys.Recv(fd.value(), 64);
+    }
+    t1 = k.clock().now();
+    sys.Close(fd.value());
+  });
+  k.Run();
+  // Round-trip time, as lat_tcp reports.
+  return ToMicros(t1 - t0) / rounds;
+}
+
+double MeasureTcpConnUs(vmm::Vm& vm, int conns) {
+  Kernel& k = vm.kernel();
+  constexpr uint16_t kPort = 7778;
+
+  SpawnProcess(k, "conn_srv", [conns](SyscallApi& sys) {
+    auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
+    if (!fd.ok()) {
+      return;
+    }
+    sys.Bind(fd.value(), kPort, "");
+    sys.Listen(fd.value(), 128);
+    for (int i = 0; i < conns; ++i) {
+      auto conn = sys.Accept(fd.value());
+      if (!conn.ok()) {
+        break;
+      }
+      sys.Close(conn.value());
+    }
+    sys.Close(fd.value());
+  });
+
+  Nanos t0 = 0;
+  Nanos t1 = 0;
+  SpawnProcess(k, "conn_cli", [&, conns](SyscallApi& sys) {
+    sys.SchedYield();
+    t0 = k.clock().now();
+    for (int i = 0; i < conns; ++i) {
+      auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
+      if (!fd.ok()) {
+        return;
+      }
+      sys.Connect(fd.value(), kPort, "");
+      sys.Close(fd.value());
+    }
+    t1 = k.clock().now();
+  });
+  k.Run();
+  return ToMicros(t1 - t0) / conns;
+}
+
+namespace {
+
+double MeasureUdpLatencyUs(vmm::Vm& vm, int rounds) {
+  Kernel& k = vm.kernel();
+  auto [sa, sb] = k.net().CreatePair(SockType::kDgram);
+  // Price the pair like UDP over loopback rather than AF_UNIX.
+  sa->domain = SockDomain::kInet;
+  sb->domain = SockDomain::kInet;
+
+  Nanos t0 = k.clock().now();
+  guestos::Process* pa = SpawnProcess(k, "lat_udp_a", [rounds](SyscallApi& sys) {
+    for (int i = 0; i < rounds; ++i) {
+      sys.Send(3, "x");
+      sys.Recv(3, 64);
+    }
+  });
+  InstallSocket(pa, sa);
+  guestos::Process* pb = SpawnProcess(k, "lat_udp_b", [rounds](SyscallApi& sys) {
+    for (int i = 0; i < rounds; ++i) {
+      sys.Recv(3, 64);
+      sys.Send(3, "x");
+    }
+  });
+  InstallSocket(pb, sb);
+  k.Run();
+  return ToMicros(k.clock().now() - t0) / (2.0 * rounds);
+}
+
+// Streams `total_bytes` through a pipe or socket pair; returns MB/s.
+double MeasureStreamBandwidth(vmm::Vm& vm, const std::string& kind) {
+  Kernel& k = vm.kernel();
+  constexpr size_t kChunk = 64 * 1024;
+  constexpr int kChunks = 128;
+  const std::string chunk(kChunk, 'b');
+
+  Nanos t0 = k.clock().now();
+  if (kind == "pipe") {
+    auto pipe = std::make_shared<PipeBuffer>(&k.sched());
+    guestos::Process* writer = SpawnProcess(k, "bw_wr", [&chunk](SyscallApi& sys) {
+      for (int i = 0; i < kChunks; ++i) {
+        sys.Write(3, chunk);
+      }
+      sys.Close(3);
+    });
+    InstallPipeEnd(writer, pipe, /*read_end=*/false);  // fd 3
+    guestos::Process* reader = SpawnProcess(k, "bw_rd", [](SyscallApi& sys) {
+      for (;;) {
+        auto data = sys.Read(3, kChunk);
+        if (!data.ok() || data.value().empty()) {
+          break;
+        }
+      }
+    });
+    InstallPipeEnd(reader, pipe, /*read_end=*/true);  // fd 3
+  } else {
+    auto [sa, sb] = k.net().CreatePair(SockType::kStream);
+    if (kind == "tcp") {
+      sa->domain = SockDomain::kInet;
+      sb->domain = SockDomain::kInet;
+    }
+    guestos::Process* writer = SpawnProcess(k, "bw_wr", [&chunk](SyscallApi& sys) {
+      for (int i = 0; i < kChunks; ++i) {
+        sys.Send(3, chunk);
+      }
+      sys.Close(3);
+    });
+    InstallSocket(writer, sa);
+    guestos::Process* reader = SpawnProcess(k, "bw_rd", [](SyscallApi& sys) {
+      for (;;) {
+        auto data = sys.Recv(3, kChunk);
+        if (!data.ok() || data.value().empty()) {
+          break;
+        }
+      }
+    });
+    InstallSocket(reader, sb);
+  }
+  k.Run();
+  Nanos elapsed = k.clock().now() - t0;
+  double mb = static_cast<double>(kChunk) * kChunks / (1024.0 * 1024.0);
+  return mb / ToSeconds(elapsed == 0 ? 1 : elapsed);
+}
+
+}  // namespace
+
+std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
+  std::vector<LmbenchRow> rows;
+  Kernel& k = vm.kernel();
+  const int n = 1000;
+
+  auto add = [&rows](const std::string& section, const std::string& name, double value,
+                     bool bandwidth = false) {
+    rows.push_back({section, name, value, bandwidth});
+  };
+  const std::string kProc = "Processor, Processes (us)";
+  const std::string kCtx = "Context switching (us)";
+  const std::string kComm = "Local communication latencies (us)";
+  const std::string kFile = "File & VM system latencies (us)";
+  const std::string kBw = "Local communication bandwidths (MB/s)";
+
+  // --- Processor / processes -----------------------------------------------
+  SyscallLatencies sys_lat = MeasureSyscallLatency(vm, n);
+  add(kProc, "null call", sys_lat.null_us);
+  add(kProc, "null I/O", (sys_lat.read_us + sys_lat.write_us) / 2);
+
+  Nanos t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < n; ++i) {
+      sys.Stat("/etc/hostname");
+    }
+  });
+  add(kProc, "stat", ToMicros(t) / n);
+
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < n; ++i) {
+      auto fd = sys.Open("/etc/hostname");
+      if (fd.ok()) {
+        sys.Close(fd.value());
+      }
+    }
+  });
+  add(kProc, "open clos", ToMicros(t) / n);
+
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < n; ++i) {
+      sys.Select(100, /*tcp_fds=*/true);
+    }
+  });
+  add(kProc, "slct TCP", ToMicros(t) / n);
+
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < n; ++i) {
+      sys.Sigaction(10);
+    }
+  });
+  add(kProc, "sig inst", ToMicros(t) / n);
+
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < n; ++i) {
+      sys.SignalSelf(10);
+    }
+  });
+  add(kProc, "sig hndl", ToMicros(t) / n);
+
+  const int kForks = 40;
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < kForks; ++i) {
+      auto pid = sys.Fork([](SyscallApi&) { return 0; });
+      if (pid.ok()) {
+        sys.Wait4(pid.value());
+      }
+    }
+  });
+  add(kProc, "fork proc", ToMicros(t) / kForks);
+
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < kForks; ++i) {
+      auto pid = sys.Fork([](SyscallApi& child) -> int {
+        child.Execve("/bin/hello", {"/bin/hello"});
+        return 127;
+      });
+      if (pid.ok()) {
+        sys.Wait4(pid.value());
+      }
+    }
+  });
+  add(kProc, "exec proc", ToMicros(t) / kForks);
+
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < kForks; ++i) {
+      auto pid = sys.Fork([](SyscallApi& child) -> int {
+        child.Execve("/bin/sh", {"/bin/sh", "/bin/hello"});
+        return 127;
+      });
+      if (pid.ok()) {
+        sys.Wait4(pid.value());
+      }
+    }
+  });
+  add(kProc, "sh proc", ToMicros(t) / kForks);
+
+  // --- Context switching ------------------------------------------------------
+  add(kCtx, "2p/0K ctxsw", MeasureCtxSwitchUs(vm, 2, 0));
+  add(kCtx, "2p/16K ctxsw", MeasureCtxSwitchUs(vm, 2, 16));
+  add(kCtx, "2p/64K ctxsw", MeasureCtxSwitchUs(vm, 2, 64));
+  add(kCtx, "8p/16K ctxsw", MeasureCtxSwitchUs(vm, 8, 16));
+  add(kCtx, "8p/64K ctxsw", MeasureCtxSwitchUs(vm, 8, 64));
+  add(kCtx, "16p/16K ctxsw", MeasureCtxSwitchUs(vm, 16, 16));
+  add(kCtx, "16p/64K ctxsw", MeasureCtxSwitchUs(vm, 16, 64));
+
+  // --- Local communication latencies -------------------------------------------
+  add(kComm, "Pipe", MeasurePipeLatencyUs(vm, /*af_unix=*/false));
+  add(kComm, "AF UNIX", MeasurePipeLatencyUs(vm, /*af_unix=*/true));
+  add(kComm, "UDP", MeasureUdpLatencyUs(vm, 400));
+  add(kComm, "TCP", MeasureTcpLatencyUs(vm));
+  add(kComm, "TCP conn", MeasureTcpConnUs(vm));
+
+  // --- File & VM -----------------------------------------------------------------
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < 200; ++i) {
+      auto fd = sys.Open("/tmp/lm0k_" + std::to_string(i), /*create=*/true);
+      if (fd.ok()) {
+        sys.Close(fd.value());
+      }
+    }
+  });
+  add(kFile, "0K File Create", ToMicros(t) / 200);
+
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < 200; ++i) {
+      sys.Unlink("/tmp/lm0k_" + std::to_string(i));
+    }
+  });
+  add(kFile, "0K File Delete", ToMicros(t) / 200);
+
+  const std::string ten_kb(10 * 1024, 'f');
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < 100; ++i) {
+      auto fd = sys.Open("/tmp/lm10k_" + std::to_string(i), /*create=*/true);
+      if (fd.ok()) {
+        sys.Write(fd.value(), ten_kb);
+        sys.Close(fd.value());
+      }
+    }
+  });
+  add(kFile, "10K File Create", ToMicros(t) / 100);
+
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < 100; ++i) {
+      sys.Unlink("/tmp/lm10k_" + std::to_string(i));
+    }
+  });
+  add(kFile, "10K File Delete", ToMicros(t) / 100);
+
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < 4; ++i) {
+      auto vma = sys.Mmap(10 * kMiB, /*populate=*/true);
+      if (vma.ok()) {
+        sys.Munmap(vma.value());
+      }
+    }
+  });
+  add(kFile, "Mmap Latency", ToMicros(t) / 4);
+
+  // Protection faults take the same trap path on every kernel (Table 5 shows
+  // ~0.27us on both systems); derived from the fault cost.
+  add(kFile, "Prot Fault", ToMicros(k.costs().page_fault * 3) * 0.96);
+
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    sys.BrkGrow(4 * kMiB);
+    for (int i = 0; i < 1000; ++i) {
+      sys.TouchHeap(static_cast<Bytes>(i) * guestos::kPageSize, 1);
+    }
+  });
+  add(kFile, "Page Fault", ToMicros(t) / 1000);
+
+  t = TimeInProcess(vm, [&](SyscallApi& sys) {
+    for (int i = 0; i < n; ++i) {
+      sys.Select(100, /*tcp_fds=*/false);
+    }
+  });
+  add(kFile, "100fd selct", ToMicros(t) / n);
+
+  // --- Bandwidths -------------------------------------------------------------------
+  add(kBw, "Pipe", MeasureStreamBandwidth(vm, "pipe"), true);
+  add(kBw, "AF UNIX", MeasureStreamBandwidth(vm, "unix"), true);
+  add(kBw, "TCP", MeasureStreamBandwidth(vm, "tcp"), true);
+
+  // File reread: 64 KiB file re-read from the page cache.
+  {
+    Nanos t0 = 0;
+    Nanos t1 = 0;
+    const std::string big(64 * 1024, 'r');
+    SpawnProcess(k, "bw_file", [&](SyscallApi& sys) {
+      auto fd = sys.Open("/tmp/reread", /*create=*/true);
+      if (!fd.ok()) {
+        return;
+      }
+      sys.Write(fd.value(), big);
+      sys.Close(fd.value());
+      t0 = k.clock().now();
+      for (int i = 0; i < 64; ++i) {
+        auto rfd = sys.Open("/tmp/reread");
+        if (rfd.ok()) {
+          sys.Read(rfd.value(), 64 * 1024);
+          sys.Close(rfd.value());
+        }
+      }
+      t1 = k.clock().now();
+    });
+    k.Run();
+    double mb = 64.0 * 64.0 / 1024.0;
+    Nanos elapsed = t1 - t0;
+    add(kBw, "File reread", mb / ToSeconds(elapsed <= 0 ? 1 : elapsed), true);
+  }
+
+  MemBandwidths mem;
+  add(kBw, "Mmap reread", mem.mmap_reread, true);
+  add(kBw, "Bcopy (libc)", mem.bcopy_libc, true);
+  add(kBw, "Bcopy (hand)", mem.bcopy_hand, true);
+  add(kBw, "Mem read", mem.mem_read, true);
+  add(kBw, "Mem write", mem.mem_write, true);
+
+  return rows;
+}
+
+}  // namespace lupine::workload

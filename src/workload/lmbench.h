@@ -1,0 +1,54 @@
+// lmbench-style microbenchmark suite against a booted Linux guest.
+//
+// Backs Fig. 9 (null/read/write syscall latency) and Appendix A's Table 5
+// (the full lmbench run for microVM vs lupine-general). Each measurement
+// spawns guest processes, runs them on the virtual clock, and reports
+// microseconds (or MB/s for the bandwidth section).
+#ifndef SRC_WORKLOAD_LMBENCH_H_
+#define SRC_WORKLOAD_LMBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/vmm/vm.h"
+
+namespace lupine::workload {
+
+// Fig. 9: lmbench's null (getppid), read (/dev/zero) and write (/dev/null)
+// latencies in microseconds.
+struct SyscallLatencies {
+  double null_us = 0;
+  double read_us = 0;
+  double write_us = 0;
+};
+
+SyscallLatencies MeasureSyscallLatency(vmm::Vm& vm, int iterations = 2000);
+
+// One row of the Table 5 report.
+struct LmbenchRow {
+  std::string section;
+  std::string name;
+  double value = 0;      // us, or MB/s for bandwidth rows.
+  bool bandwidth = false;
+};
+
+// The full suite. The VM must be booted from a bench rootfs
+// (apps::BuildBenchRootfs) so fork/exec/sh targets exist.
+std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm);
+
+// Helpers reused by other benches -----------------------------------------
+
+// Context-switch latency via a token-passing ring of `procs` processes, each
+// dragging `working_set_kb` of cache state (lmbench lat_ctx).
+double MeasureCtxSwitchUs(vmm::Vm& vm, int procs, int working_set_kb, int rounds = 300);
+
+// Pipe / AF_UNIX round-trip latency between two processes (one-way us).
+double MeasurePipeLatencyUs(vmm::Vm& vm, bool af_unix, int rounds = 500);
+
+// TCP round-trip latency and connection establishment cost.
+double MeasureTcpLatencyUs(vmm::Vm& vm, int rounds = 400);
+double MeasureTcpConnUs(vmm::Vm& vm, int conns = 200);
+
+}  // namespace lupine::workload
+
+#endif  // SRC_WORKLOAD_LMBENCH_H_

@@ -1,0 +1,136 @@
+#include "src/workload/perf_messaging.h"
+
+#include <memory>
+#include <vector>
+
+#include "src/workload/spawn.h"
+
+namespace lupine::workload {
+namespace {
+
+using guestos::FdKind;
+using guestos::Kernel;
+using guestos::Process;
+using guestos::SockType;
+using guestos::SyscallApi;
+
+constexpr int kMsgSize = 100;
+
+int InstallSocket(Process* process, const std::shared_ptr<guestos::Socket>& sock) {
+  auto file = std::make_shared<guestos::FileDescription>();
+  file->kind = FdKind::kSocket;
+  file->socket = sock;
+  return process->InstallFd(file);
+}
+
+void SenderBody(SyscallApi& sys, const std::vector<int>& fds, int messages) {
+  const std::string msg(kMsgSize, 'm');
+  for (int m = 0; m < messages; ++m) {
+    for (int fd : fds) {
+      sys.Send(fd, msg);
+    }
+  }
+}
+
+void ReceiverBody(SyscallApi& sys, const std::vector<int>& fds, int messages) {
+  for (int m = 0; m < messages; ++m) {
+    for (int fd : fds) {
+      size_t got = 0;
+      while (got < kMsgSize) {
+        auto data = sys.Recv(fd, kMsgSize - got);
+        if (!data.ok() || data.value().empty()) {
+          return;
+        }
+        got += data.value().size();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Nanos RunPerfMessaging(vmm::Vm& vm, const MessagingConfig& config) {
+  Kernel& k = vm.kernel();
+  Nanos t0 = k.clock().now();
+
+  const int S = config.senders_per_group;
+  const int R = config.receivers_per_group;
+  const int M = config.messages_per_pair;
+
+  for (int g = 0; g < config.groups; ++g) {
+    // pairs[s][r]: {sender end, receiver end}.
+    std::vector<std::vector<std::pair<std::shared_ptr<guestos::Socket>,
+                                      std::shared_ptr<guestos::Socket>>>>
+        pairs(S);
+    for (int s = 0; s < S; ++s) {
+      pairs[s].reserve(R);
+      for (int r = 0; r < R; ++r) {
+        pairs[s].push_back(k.net().CreatePair(SockType::kStream));
+      }
+    }
+
+    if (config.use_processes) {
+      for (int s = 0; s < S; ++s) {
+        auto fds = std::make_shared<std::vector<int>>();
+        Process* p = SpawnProcess(k, "msg_snd", [fds, M](SyscallApi& sys) {
+          SenderBody(sys, *fds, M);
+        });
+        for (int r = 0; r < R; ++r) {
+          fds->push_back(InstallSocket(p, pairs[s][r].first));
+        }
+      }
+      for (int r = 0; r < R; ++r) {
+        auto fds = std::make_shared<std::vector<int>>();
+        Process* p = SpawnProcess(k, "msg_rcv", [fds, M](SyscallApi& sys) {
+          ReceiverBody(sys, *fds, M);
+        });
+        for (int s = 0; s < S; ++s) {
+          fds->push_back(InstallSocket(p, pairs[s][r].second));
+        }
+      }
+    } else {
+      // Thread mode: one process per group; all participants are threads.
+      auto done = std::make_shared<int>(0);
+      const int participants = S + R;
+      Process* p = SpawnProcess(k, "msg_grp", [=](SyscallApi& sys) {
+        Process* self = sys.CurrentProcess();
+        // Install every socket and collect the fd lists first.
+        std::vector<std::vector<int>> sender_fds(S);
+        std::vector<std::vector<int>> receiver_fds(R);
+        for (int s = 0; s < S; ++s) {
+          for (int r = 0; r < R; ++r) {
+            sender_fds[s].push_back(InstallSocket(self, pairs[s][r].first));
+            receiver_fds[r].push_back(InstallSocket(self, pairs[s][r].second));
+          }
+        }
+        for (int s = 0; s < S; ++s) {
+          auto fds = sender_fds[s];
+          sys.SpawnThread([fds, M, done](SyscallApi& tsys) {
+            SenderBody(tsys, fds, M);
+            ++*done;
+            tsys.FutexWake(done.get(), 1);
+          });
+        }
+        for (int r = 0; r < R; ++r) {
+          auto fds = receiver_fds[r];
+          sys.SpawnThread([fds, M, done](SyscallApi& tsys) {
+            ReceiverBody(tsys, fds, M);
+            ++*done;
+            tsys.FutexWake(done.get(), 1);
+          });
+        }
+        // Join: wait for every participant (futex-based, like pthread_join).
+        while (*done < participants) {
+          int snapshot = *done;
+          sys.FutexWait(done.get(), snapshot);
+        }
+      });
+      (void)p;
+    }
+  }
+
+  k.Run();
+  return k.clock().now() - t0;
+}
+
+}  // namespace lupine::workload

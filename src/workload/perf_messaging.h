@@ -1,0 +1,27 @@
+// perf bench sched messaging equivalent (Fig. 12).
+//
+// Groups of 10 senders and 10 receivers exchange messages over AF_UNIX
+// sockets; the benchmark compares thread-based groups (shared address
+// space, approximating unikernel behaviour) against process-based groups,
+// on KML and non-KML kernels.
+#ifndef SRC_WORKLOAD_PERF_MESSAGING_H_
+#define SRC_WORKLOAD_PERF_MESSAGING_H_
+
+#include "src/vmm/vm.h"
+
+namespace lupine::workload {
+
+struct MessagingConfig {
+  int groups = 1;
+  int senders_per_group = 10;
+  int receivers_per_group = 10;
+  int messages_per_pair = 20;
+  bool use_processes = false;  // false = threads (pthread), true = fork.
+};
+
+// Returns the virtual time the run took.
+Nanos RunPerfMessaging(vmm::Vm& vm, const MessagingConfig& config);
+
+}  // namespace lupine::workload
+
+#endif  // SRC_WORKLOAD_PERF_MESSAGING_H_

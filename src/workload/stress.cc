@@ -1,0 +1,124 @@
+#include "src/workload/stress.h"
+
+#include <memory>
+
+#include "src/workload/spawn.h"
+
+namespace lupine::workload {
+namespace {
+
+using guestos::Kernel;
+using guestos::SyscallApi;
+
+// libc-style semaphore over the futex syscall (sem_posix stressor).
+// Single-VCPU cooperative scheduling makes the check-and-decrement atomic
+// (no preemption between syscalls), as in a uniprocessor kernel with
+// interrupts off.
+struct GuestSemaphore {
+  int value = 1;
+};
+
+void SemWait(SyscallApi& sys, GuestSemaphore* sem) {
+  for (;;) {
+    if (sem->value > 0) {
+      --sem->value;
+      return;
+    }
+    sys.FutexWait(&sem->value, 0);
+  }
+}
+
+void SemPost(SyscallApi& sys, GuestSemaphore* sem) {
+  ++sem->value;
+  sys.FutexWake(&sem->value, 1);
+}
+
+}  // namespace
+
+Nanos RunFutexStress(vmm::Vm& vm, int workers, int rounds) {
+  Kernel& k = vm.kernel();
+  Nanos t0 = k.clock().now();
+
+  for (int w = 0; w < workers; ++w) {
+    auto word = std::make_shared<int>(0);
+    for (int idx = 0; idx < 4; ++idx) {
+      SpawnProcess(k, "futex_stress", [word, idx, rounds](SyscallApi& sys) {
+        for (int r = 0; r < rounds; ++r) {
+          for (;;) {
+            int v = *word;
+            if (v % 4 == idx) {
+              break;
+            }
+            if (Status s = sys.FutexWait(word.get(), v);
+                s.err() == Err::kNoSys) {
+              sys.Write(2, "the futex facility returned an unexpected error code\n");
+              return;
+            }
+          }
+          ++*word;
+          sys.FutexWake(word.get(), 3);
+        }
+      });
+    }
+  }
+  k.Run();
+  return k.clock().now() - t0;
+}
+
+Nanos RunSemStress(vmm::Vm& vm, int workers, int rounds) {
+  Kernel& k = vm.kernel();
+  Nanos t0 = k.clock().now();
+
+  for (int w = 0; w < workers; ++w) {
+    auto sem = std::make_shared<GuestSemaphore>();
+    for (int idx = 0; idx < 4; ++idx) {
+      SpawnProcess(k, "sem_stress", [sem, rounds](SyscallApi& sys) {
+        for (int r = 0; r < rounds; ++r) {
+          SemWait(sys, sem.get());
+          sys.Compute(120);  // Critical section.
+          SemPost(sys, sem.get());
+          sys.SchedYield();  // Hand the semaphore to a sibling.
+        }
+      });
+    }
+  }
+  k.Run();
+  return k.clock().now() - t0;
+}
+
+Nanos RunMakeJob(vmm::Vm& vm, int jobs, int units) {
+  Kernel& k = vm.kernel();
+  Nanos t0 = k.clock().now();
+
+  SpawnProcess(k, "make", [jobs, units](SyscallApi& sys) {
+    int in_flight = 0;
+    for (int u = 0; u < units; ++u) {
+      if (in_flight >= jobs) {
+        if (sys.Wait4(-1).ok()) {
+          --in_flight;
+        }
+      }
+      auto pid = sys.Fork([u](SyscallApi& cc) -> int {
+        // A compilation unit: parse + codegen CPU work, then write the
+        // object file.
+        cc.Compute(Micros(1'500));
+        auto fd = cc.Open("/tmp/obj_" + std::to_string(u) + ".o", /*create=*/true);
+        if (fd.ok()) {
+          cc.Write(fd.value(), std::string(8 * 1024, 'o'));
+          cc.Close(fd.value());
+        }
+        return 0;
+      });
+      if (pid.ok()) {
+        ++in_flight;
+      }
+    }
+    while (in_flight > 0 && sys.Wait4(-1).ok()) {
+      --in_flight;
+    }
+  });
+  k.Run();
+  return k.clock().now() - t0;
+}
+
+}  // namespace lupine::workload

@@ -1,0 +1,27 @@
+// Section 5 SMP worst-case stressors: sem_posix, futex, and make -j.
+//
+// All run on one VCPU; the question is how much an SMP-enabled kernel's
+// locking costs against a uniprocessor build under heavy context switching.
+// The paper reports <=3% (sem_posix), <=8% (futex), <=3% (make).
+#ifndef SRC_WORKLOAD_STRESS_H_
+#define SRC_WORKLOAD_STRESS_H_
+
+#include "src/vmm/vm.h"
+
+namespace lupine::workload {
+
+// `workers` groups of 4 processes sharing one futex word, rapidly blocking
+// and waking each other `rounds` times. Returns elapsed virtual time.
+Nanos RunFutexStress(vmm::Vm& vm, int workers, int rounds);
+
+// POSIX-semaphore flavour: sem_wait/sem_post implemented (as in libc) over
+// the futex syscall with an atomic fast path.
+Nanos RunSemStress(vmm::Vm& vm, int workers, int rounds);
+
+// make -jN: forks up to `jobs` concurrent compiler processes for `units`
+// compilation units, each exec-ing a compiler and doing file I/O + CPU work.
+Nanos RunMakeJob(vmm::Vm& vm, int jobs, int units);
+
+}  // namespace lupine::workload
+
+#endif  // SRC_WORKLOAD_STRESS_H_

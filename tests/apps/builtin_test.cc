@@ -1,0 +1,168 @@
+#include "src/apps/builtin.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/manifest.h"
+#include "src/workload/app_bench.h"
+#include "src/workload/spawn.h"
+#include "tests/guestos/guest_fixture.h"
+
+namespace lupine::apps {
+namespace {
+
+using guestos::SockDomain;
+using guestos::SockType;
+using guestos::SyscallApi;
+using guestos::testing::GuestFixture;
+
+TEST(BuiltinTest, AllTop20Registered) {
+  RegisterBuiltinApps();
+  const auto& registry = guestos::AppRegistry::Global();
+  for (const auto& m : Top20Manifests()) {
+    EXPECT_NE(registry.Find(m.name), nullptr) << m.name;
+  }
+  EXPECT_NE(registry.Find("lupine-init"), nullptr);
+  EXPECT_NE(registry.Find("sh"), nullptr);
+}
+
+TEST(BuiltinTest, RedisServesGetAndSet) {
+  GuestFixture guest;
+  const guestos::AppMain* redis = guest.kernel->apps().Find("redis");
+  ASSERT_NE(redis, nullptr);
+  workload::SpawnProcess(*guest.kernel, "redis",
+                         [redis](SyscallApi& sys) { (*redis)(sys, {"redis"}); });
+  guest.kernel->Run();
+  ASSERT_TRUE(guest.kernel->console().Contains("Ready to accept connections"));
+
+  std::string set_reply;
+  std::string get_reply;
+  std::string miss_reply;
+  workload::SpawnProcess(*guest.kernel, "client", [&](SyscallApi& sys) {
+    auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(sys.Connect(fd.value(), 6379, "").ok());
+    sys.Send(fd.value(), "SET greeting hello\r\n");
+    set_reply = sys.Recv(fd.value(), 256).take();
+    sys.Send(fd.value(), "GET greeting\r\n");
+    get_reply = sys.Recv(fd.value(), 256).take();
+    sys.Send(fd.value(), "GET missing\r\n");
+    miss_reply = sys.Recv(fd.value(), 256).take();
+  });
+  guest.kernel->Run();
+  EXPECT_EQ(set_reply, "+OK\r\n");
+  EXPECT_EQ(get_reply, "$5\r\nhello\r\n");
+  EXPECT_EQ(miss_reply, "$-1\r\n");
+}
+
+TEST(BuiltinTest, NginxServesHttp) {
+  GuestFixture guest;
+  const guestos::AppMain* nginx = guest.kernel->apps().Find("nginx");
+  ASSERT_NE(nginx, nullptr);
+  workload::SpawnProcess(*guest.kernel, "nginx",
+                         [nginx](SyscallApi& sys) { (*nginx)(sys, {"nginx"}); });
+  guest.kernel->Run();
+  ASSERT_TRUE(guest.kernel->console().Contains("start worker processes"));
+
+  std::string reply;
+  workload::SpawnProcess(*guest.kernel, "client", [&](SyscallApi& sys) {
+    auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(sys.Connect(fd.value(), 80, "").ok());
+    sys.Send(fd.value(), "GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+    while (reply.size() < 600) {
+      auto chunk = sys.Recv(fd.value(), 4096);
+      if (!chunk.ok() || chunk.value().empty()) {
+        break;
+      }
+      reply += chunk.value();
+    }
+  });
+  guest.kernel->Run();
+  EXPECT_NE(reply.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("Content-Length: 612"), std::string::npos);
+}
+
+TEST(BuiltinTest, RedisFailsCleanlyOnLupineBase) {
+  GuestFixture guest(kconfig::LupineBase());
+  const guestos::AppMain* redis = guest.kernel->apps().Find("redis");
+  int code = -1;
+  workload::SpawnProcess(*guest.kernel, "redis",
+                         [&, redis](SyscallApi& sys) { code = (*redis)(sys, {"redis"}); });
+  guest.kernel->Run();
+  EXPECT_EQ(code, 1);
+  // First missing feature in redis's option order is FUTEX.
+  EXPECT_TRUE(guest.kernel->console().Contains("futex facility"));
+}
+
+TEST(BuiltinTest, MemcachedSpeaksItsProtocol) {
+  GuestFixture guest;
+  const guestos::AppMain* memcached = guest.kernel->apps().Find("memcached");
+  ASSERT_NE(memcached, nullptr);
+  workload::SpawnProcess(*guest.kernel, "memcached",
+                         [memcached](SyscallApi& sys) { (*memcached)(sys, {"memcached"}); });
+  guest.kernel->Run();
+  ASSERT_TRUE(guest.kernel->console().Contains("server listening"));
+
+  std::string stored, value, deleted, miss, stats;
+  workload::SpawnProcess(*guest.kernel, "client", [&](SyscallApi& sys) {
+    auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(sys.Connect(fd.value(), 11211, "").ok());
+    sys.Send(fd.value(), "set k 0 0 5\r\nhello\r\n");
+    stored = sys.Recv(fd.value(), 256).take();
+    sys.Send(fd.value(), "get k\r\n");
+    value = sys.Recv(fd.value(), 256).take();
+    sys.Send(fd.value(), "delete k\r\n");
+    deleted = sys.Recv(fd.value(), 256).take();
+    sys.Send(fd.value(), "get k\r\n");
+    miss = sys.Recv(fd.value(), 256).take();
+    sys.Send(fd.value(), "stats\r\n");
+    stats = sys.Recv(fd.value(), 512).take();
+  });
+  guest.kernel->Run();
+  EXPECT_EQ(stored, "STORED\r\n");
+  EXPECT_EQ(value, "VALUE k 0 5\r\nhello\r\nEND\r\n");
+  EXPECT_EQ(deleted, "DELETED\r\n");
+  EXPECT_EQ(miss, "END\r\n");
+  EXPECT_NE(stats.find("STAT cmd_get 2"), std::string::npos);
+  EXPECT_NE(stats.find("STAT get_hits 1"), std::string::npos);
+}
+
+TEST(BuiltinTest, GenericServerAnnouncesReadiness) {
+  GuestFixture guest;
+  const guestos::AppMain* mysql = guest.kernel->apps().Find("mysql");
+  ASSERT_NE(mysql, nullptr);
+  workload::SpawnProcess(*guest.kernel, "mysql",
+                         [mysql](SyscallApi& sys) { (*mysql)(sys, {"mysql"}); });
+  guest.kernel->Run();
+  EXPECT_TRUE(guest.kernel->console().Contains("ready for connections"));
+}
+
+TEST(BuiltinTest, LanguageRuntimesExitZero) {
+  for (const std::string app : {"golang", "python", "php"}) {
+    GuestFixture guest;
+    const guestos::AppMain* main_fn = guest.kernel->apps().Find(app);
+    ASSERT_NE(main_fn, nullptr) << app;
+    int code = -1;
+    workload::SpawnProcess(
+        *guest.kernel, app,
+        [&, main_fn, app](SyscallApi& sys) { code = (*main_fn)(sys, {app}); });
+    guest.kernel->Run();
+    EXPECT_EQ(code, 0) << app << ": " << guest.kernel->console().contents();
+  }
+}
+
+TEST(BuiltinTest, PostgresForksItsWorkers) {
+  GuestFixture guest;
+  const guestos::AppMain* postgres = guest.kernel->apps().Find("postgres");
+  size_t procs_before = guest.kernel->ProcessCount();
+  workload::SpawnProcess(*guest.kernel, "postgres",
+                         [postgres](SyscallApi& sys) { (*postgres)(sys, {"postgres"}); });
+  guest.kernel->Run();
+  EXPECT_TRUE(guest.kernel->console().Contains("ready to accept connections"));
+  // Main process + 4 background workers.
+  EXPECT_GE(guest.kernel->ProcessCount(), procs_before + 5);
+}
+
+}  // namespace
+}  // namespace lupine::apps

@@ -1,0 +1,93 @@
+// The init-script interpreter executed inside a booted guest.
+#include <gtest/gtest.h>
+
+#include "src/apps/init_script.h"
+#include "tests/guestos/guest_fixture.h"
+
+namespace lupine::apps {
+namespace {
+
+using guestos::SyscallApi;
+using guestos::testing::GuestFixture;
+
+// Runs `script` as /sbin/custom-init in a fresh lupine-general guest.
+struct InitRun {
+  int exit_code = -1;
+  std::string console;
+};
+
+InitRun RunScript(const std::string& script, GuestFixture& guest) {
+  guest.kernel->vfs().CreateFile("/sbin/custom-init", script, /*executable=*/true);
+  InitRun result;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    Status s = sys.Execve("/sbin/custom-init", {"/sbin/custom-init"});
+    (void)s;  // Only returns on failure; exit code captured below.
+  });
+  result.console = guest.kernel->console().contents();
+  return result;
+}
+
+TEST(InitRuntimeTest, FullScriptExecsApp) {
+  GuestFixture guest;
+  RunScript(
+      "#!lupine-init\n"
+      "hostname testbox\n"
+      "mount proc /proc\n"
+      "mkdir /var/run\n"
+      "env GREETING=hi\n"
+      "exec /bin/hello\n",
+      guest);
+  EXPECT_TRUE(guest.kernel->console().Contains("hello world"));
+  EXPECT_TRUE(guest.kernel->vfs().Exists("/var/run"));
+  EXPECT_TRUE(guest.kernel->vfs().Exists("/proc/meminfo"));
+}
+
+TEST(InitRuntimeTest, UnknownCommandAborts) {
+  GuestFixture guest;
+  RunScript("#!lupine-init\nfrobnicate /x\nexec /bin/hello\n", guest);
+  EXPECT_TRUE(guest.kernel->console().Contains("unknown command 'frobnicate'"));
+  EXPECT_FALSE(guest.kernel->console().Contains("hello world"));
+}
+
+TEST(InitRuntimeTest, FailedMountIsFatalWithDiagnostic) {
+  GuestFixture guest(kconfig::LupineBase());  // No TMPFS.
+  RunScript("#!lupine-init\nmount tmpfs /tmp\nexec /bin/hello\n", guest);
+  EXPECT_TRUE(guest.kernel->console().Contains("unknown filesystem type 'tmpfs'"));
+  EXPECT_FALSE(guest.kernel->console().Contains("hello world"));
+}
+
+TEST(InitRuntimeTest, MkdirExistingIsTolerated) {
+  GuestFixture guest;
+  RunScript("#!lupine-init\nmkdir /tmp\nexec /bin/hello\n", guest);
+  EXPECT_TRUE(guest.kernel->console().Contains("hello world"));
+}
+
+TEST(InitRuntimeTest, ExecMissingBinaryReportsFailure) {
+  GuestFixture guest;
+  RunScript("#!lupine-init\nexec /bin/ghost\n", guest);
+  EXPECT_TRUE(guest.kernel->console().Contains("init: exec /bin/ghost failed"));
+}
+
+TEST(InitRuntimeTest, EnvReachesTheProcess) {
+  GuestFixture guest;
+  guest.kernel->vfs().CreateFile("/sbin/custom-init",
+                                 "#!lupine-init\nenv MODE=fast\nenv DEBUG=0\nexec /bin/hello\n",
+                                 /*executable=*/true);
+  guestos::Process* seen = nullptr;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    seen = sys.CurrentProcess();
+    sys.Execve("/sbin/custom-init", {"/sbin/custom-init"});
+  });
+  ASSERT_NE(seen, nullptr);
+  EXPECT_EQ(seen->env["MODE"], "fast");
+  EXPECT_EQ(seen->env["DEBUG"], "0");
+}
+
+TEST(InitRuntimeTest, EntropyLineReadsUrandom) {
+  GuestFixture guest;
+  RunScript("#!lupine-init\nentropy\nexec /bin/hello\n", guest);
+  EXPECT_TRUE(guest.kernel->console().Contains("hello world"));
+}
+
+}  // namespace
+}  // namespace lupine::apps

@@ -1,0 +1,65 @@
+#include "src/apps/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kconfig/presets.h"
+
+namespace lupine::apps {
+namespace {
+
+TEST(ManifestTest, TwentyAppsInPopularityOrder) {
+  const auto& manifests = Top20Manifests();
+  ASSERT_EQ(manifests.size(), 20u);
+  for (size_t i = 1; i < manifests.size(); ++i) {
+    EXPECT_GE(manifests[i - 1].downloads_billions, manifests[i].downloads_billions)
+        << manifests[i].name;
+  }
+}
+
+TEST(ManifestTest, DownloadsCoverPaperTotals) {
+  // The top 20 account for ~83% of all downloads; absolute figures from
+  // Table 3 sum to ~16.5 billion.
+  double total = 0;
+  for (const auto& m : Top20Manifests()) {
+    total += m.downloads_billions;
+  }
+  EXPECT_NEAR(total, 16.5, 1.0);
+}
+
+TEST(ManifestTest, RequiredOptionsMatchPresets) {
+  for (const auto& m : Top20Manifests()) {
+    EXPECT_EQ(m.required_options, kconfig::AppExtraOptions(m.name)) << m.name;
+  }
+}
+
+TEST(ManifestTest, ServersHavePortsAndReadyLines) {
+  for (const auto& m : Top20Manifests()) {
+    if (m.kind == AppKind::kServer) {
+      EXPECT_GT(m.listen_port, 0) << m.name;
+    }
+    EXPECT_FALSE(m.ready_line.empty()) << m.name;
+  }
+}
+
+TEST(ManifestTest, FindByName) {
+  const AppManifest* redis = FindManifest("redis");
+  ASSERT_NE(redis, nullptr);
+  EXPECT_EQ(redis->listen_port, 6379);
+  EXPECT_EQ(FindManifest("no-such-app"), nullptr);
+}
+
+TEST(ManifestTest, PostgresForksWorkers) {
+  const AppManifest* postgres = FindManifest("postgres");
+  ASSERT_NE(postgres, nullptr);
+  EXPECT_GT(postgres->forked_workers, 0);
+}
+
+TEST(ManifestTest, HelloWorldIsStatic) {
+  const AppManifest* hello = FindManifest("hello-world");
+  ASSERT_NE(hello, nullptr);
+  EXPECT_TRUE(hello->static_binary);
+  EXPECT_TRUE(hello->required_options.empty());
+}
+
+}  // namespace
+}  // namespace lupine::apps

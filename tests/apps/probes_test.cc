@@ -1,0 +1,75 @@
+#include "src/apps/probes.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kconfig/option_names.h"
+#include "src/kconfig/presets.h"
+#include "src/kconfig/resolver.h"
+#include "tests/guestos/guest_fixture.h"
+
+namespace lupine::apps {
+namespace {
+
+namespace n = kconfig::names;
+using guestos::testing::GuestFixture;
+
+// Property check: on lupine-base each probe fails with its documented
+// console diagnostic; with the option enabled the same probe passes.
+class ProbeGateTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProbeGateTest, FailsWithoutOptionPassesWithIt) {
+  const std::string option = GetParam();
+
+  kconfig::Config base = kconfig::LupineBase();
+  GuestFixture without(base);
+  bool ok_without = true;
+  without.RunInGuest([&](guestos::SyscallApi& sys) {
+    ok_without = ProbeOption(sys, option);
+  });
+  EXPECT_FALSE(ok_without) << option;
+  EXPECT_FALSE(without.kernel->console().contents().empty()) << option;
+
+  kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
+  kconfig::Config enabled = kconfig::LupineBase();
+  ASSERT_TRUE(resolver.Enable(enabled, option).ok()) << option;
+  GuestFixture with(enabled);
+  bool ok_with = false;
+  with.RunInGuest([&](guestos::SyscallApi& sys) { ok_with = ProbeOption(sys, option); });
+  EXPECT_TRUE(ok_with) << option << " console: " << with.kernel->console().contents();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNineteen, ProbeGateTest,
+    ::testing::Values(n::kFutex, n::kEpoll, n::kUnix, n::kEventfd, n::kAio, n::kTimerfd,
+                      n::kSignalfd, n::kInotifyUser, n::kFanotify, n::kFhandle,
+                      n::kFileLocking, n::kAdviseSyscalls, n::kBpfSyscall, n::kSysvipc,
+                      n::kPosixMqueue, n::kTmpfs, n::kProcSysctl, n::kIpv6, n::kPacket));
+
+TEST(ProbesTest, UnknownOptionHasNoProbe) {
+  GuestFixture guest(kconfig::LupineBase());
+  guest.RunInGuest([&](guestos::SyscallApi& sys) {
+    EXPECT_TRUE(ProbeOption(sys, "SOME_FILLER_OPTION"));
+  });
+}
+
+TEST(ProbesTest, StartupProbesStopAtFirstFailure) {
+  GuestFixture guest(kconfig::LupineBase());
+  guest.RunInGuest([&](guestos::SyscallApi& sys) {
+    EXPECT_FALSE(RunStartupProbes(sys, {n::kFutex, n::kEpoll}));
+  });
+  // Only the first failure surfaced (one diagnostic per boot, Section 4.1).
+  EXPECT_TRUE(guest.kernel->console().Contains("futex facility"));
+  EXPECT_FALSE(guest.kernel->console().Contains("epoll_create1"));
+}
+
+TEST(ProbesTest, AllProbesPassOnLupineGeneral) {
+  GuestFixture guest;  // lupine-general.
+  guest.RunInGuest([&](guestos::SyscallApi& sys) {
+    for (const auto& app : kconfig::Top20AppNames()) {
+      EXPECT_TRUE(RunStartupProbes(sys, kconfig::AppExtraOptions(app))) << app;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lupine::apps

@@ -1,0 +1,79 @@
+#include "src/apps/rootfs_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/manifest.h"
+#include "src/guestos/loader.h"
+
+namespace lupine::apps {
+namespace {
+
+TEST(RootfsBuilderTest, AlpineBaseLayout) {
+  guestos::FsSpec spec = BuildAppRootfsSpec(MakeAlpineImage(*FindManifest("redis")), {});
+  EXPECT_TRUE(spec.count("/sbin/init"));
+  EXPECT_TRUE(spec.count("/lib/ld-musl-x86_64.so.1"));
+  EXPECT_TRUE(spec.count("/etc/alpine-release"));
+  EXPECT_TRUE(spec.count("/bin/redis"));
+  EXPECT_TRUE(spec.count("/etc/redis.conf"));
+  EXPECT_TRUE(spec.at("/sbin/init").executable);
+  EXPECT_TRUE(spec.at("/bin/redis").executable);
+}
+
+TEST(RootfsBuilderTest, KmlLibcInstalledOnRequest) {
+  guestos::FsSpec plain = BuildAppRootfsSpec(MakeAlpineImage(*FindManifest("redis")),
+                                             {.kml_libc = false});
+  guestos::FsSpec kml = BuildAppRootfsSpec(MakeAlpineImage(*FindManifest("redis")),
+                                           {.kml_libc = true});
+  EXPECT_EQ(plain.at("/lib/ld-musl-x86_64.so.1").data.find("KML"), std::string::npos);
+  EXPECT_NE(kml.at("/lib/ld-musl-x86_64.so.1").data.find("KML"), std::string::npos);
+
+  auto plain_bin = guestos::ParseBinary(plain.at("/bin/redis").data);
+  auto kml_bin = guestos::ParseBinary(kml.at("/bin/redis").data);
+  ASSERT_TRUE(plain_bin.ok());
+  ASSERT_TRUE(kml_bin.ok());
+  EXPECT_FALSE(plain_bin->kml_libc());
+  EXPECT_TRUE(kml_bin->kml_libc());
+}
+
+TEST(RootfsBuilderTest, StaticBinaryKeepsNoInterp) {
+  guestos::FsSpec spec = BuildAppRootfsSpec(MakeAlpineImage(*FindManifest("hello-world")), {});
+  auto binary = guestos::ParseBinary(spec.at("/bin/hello-world").data);
+  ASSERT_TRUE(binary.ok());
+  EXPECT_FALSE(binary->dynamic());
+  EXPECT_EQ(binary->libc, "static");
+}
+
+TEST(RootfsBuilderTest, BinarySegmentSizesFromManifest) {
+  const AppManifest* redis = FindManifest("redis");
+  guestos::FsSpec spec = BuildAppRootfsSpec(MakeAlpineImage(*redis), {});
+  auto binary = guestos::ParseBinary(spec.at("/bin/redis").data);
+  ASSERT_TRUE(binary.ok());
+  EXPECT_EQ(binary->text_kb, redis->text_kb);
+  EXPECT_EQ(binary->data_kb, redis->data_kb);
+}
+
+TEST(RootfsBuilderTest, BlobParsesBack) {
+  std::string blob = BuildAppRootfsForApp("nginx", /*kml_libc=*/true);
+  auto spec = guestos::ParseRootfs(blob);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec.value().count("/bin/nginx"));
+  EXPECT_TRUE(spec.value().count("/usr/share/nginx/html/index.html"));
+}
+
+TEST(RootfsBuilderTest, BenchRootfsHasHelpers) {
+  auto spec = guestos::ParseRootfs(BuildBenchRootfs(false));
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec.value().count("/bin/hello"));
+  EXPECT_TRUE(spec.value().count("/bin/sh"));
+  EXPECT_TRUE(spec.value().count("/sbin/init"));
+}
+
+TEST(RootfsBuilderTest, UnknownAppStillBuilds) {
+  std::string blob = BuildAppRootfsForApp("customapp", false);
+  auto spec = guestos::ParseRootfs(blob);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec.value().count("/bin/customapp"));
+}
+
+}  // namespace
+}  // namespace lupine::apps

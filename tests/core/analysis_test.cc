@@ -1,0 +1,41 @@
+#include "src/core/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine::core {
+namespace {
+
+TEST(AnalysisTest, Table3HasTwentyRows) {
+  auto rows = Table3Rows();
+  ASSERT_EQ(rows.size(), 20u);
+  EXPECT_EQ(rows.front().name, "nginx");
+  EXPECT_EQ(rows.front().options_atop_base, 13u);
+  EXPECT_EQ(rows.back().name, "elasticsearch");
+  EXPECT_EQ(rows.back().options_atop_base, 12u);
+}
+
+TEST(AnalysisTest, GrowthCurveMonotonicFrom13To19) {
+  auto curve = OptionGrowthCurve();
+  ASSERT_EQ(curve.size(), 20u);
+  EXPECT_EQ(curve.front(), 13u);  // nginx alone.
+  EXPECT_EQ(curve.back(), 19u);   // the full union (Fig. 5).
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+}
+
+TEST(AnalysisTest, GrowthCurveFlattens) {
+  // The second half of the curve adds far fewer options than the first
+  // (Fig. 5's flattening).
+  auto curve = OptionGrowthCurve();
+  size_t first_half = curve[9] - 0;
+  size_t second_half = curve[19] - curve[9];
+  EXPECT_GT(first_half, 3 * second_half);
+}
+
+TEST(AnalysisTest, UnionIs19) {
+  EXPECT_EQ(UnionOfAppOptions().size(), 19u);
+}
+
+}  // namespace
+}  // namespace lupine::core

@@ -1,0 +1,86 @@
+#include "src/core/config_search.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/kconfig/presets.h"
+
+namespace lupine::core {
+namespace {
+
+std::set<std::string> AsSet(const std::vector<std::string>& v) {
+  return std::set<std::string>(v.begin(), v.end());
+}
+
+TEST(ConfigSearchTest, HelloWorldNeedsNothing) {
+  auto result = DeriveMinimalConfig("hello-world");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->success) << result->failure;
+  EXPECT_TRUE(result->added_options.empty());
+  EXPECT_EQ(result->boots, 1);
+}
+
+TEST(ConfigSearchTest, RedisDiscoversItsTenOptions) {
+  auto result = DeriveMinimalConfig("redis");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->success) << result->failure;
+  EXPECT_EQ(AsSet(result->added_options), AsSet(kconfig::AppExtraOptions("redis")));
+  // One option discovered per boot, plus the final successful boot.
+  EXPECT_GE(result->boots, static_cast<int>(result->added_options.size()) + 1);
+}
+
+TEST(ConfigSearchTest, DiscoveryIsOneFailureAtATime) {
+  auto result = DeriveMinimalConfig("node");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->success) << result->failure;
+  EXPECT_EQ(result->added_options.size(), 5u);
+  EXPECT_EQ(result->boots, 6);  // 5 failures + 1 success.
+}
+
+TEST(ConfigSearchTest, PostgresFindsSysvipcDespiteMultiprocessClass) {
+  auto result = DeriveMinimalConfig("postgres");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->success) << result->failure;
+  auto found = AsSet(result->added_options);
+  EXPECT_TRUE(found.count("SYSVIPC"));
+  EXPECT_EQ(found, AsSet(kconfig::AppExtraOptions("postgres")));
+}
+
+class SearchMatchesTable3 : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SearchMatchesTable3, DiscoveredSetEqualsPreset) {
+  auto result = DeriveMinimalConfig(GetParam());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->success) << GetParam() << ": " << result->failure;
+  EXPECT_EQ(AsSet(result->added_options), AsSet(kconfig::AppExtraOptions(GetParam())))
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(TopApps, SearchMatchesTable3,
+                         ::testing::Values("nginx", "httpd", "mysql", "traefik", "memcached",
+                                           "mariadb", "rabbitmq", "wordpress", "haproxy",
+                                           "influxdb", "elasticsearch", "mongo", "golang",
+                                           "python", "openjdk", "php"));
+
+TEST(ConfigSearchTest, UnknownAppRejected) {
+  auto result = DeriveMinimalConfig("not-an-app");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ConfigSearchTest, ErrorHintsCoverAll19UnionOptions) {
+  std::set<std::string> hinted;
+  for (const auto& hint : ConsoleErrorHints()) {
+    for (const auto& candidate : hint.candidates) {
+      hinted.insert(candidate);
+    }
+  }
+  for (const auto& app : kconfig::Top20AppNames()) {
+    for (const auto& option : kconfig::AppExtraOptions(app)) {
+      EXPECT_TRUE(hinted.count(option)) << option;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lupine::core

@@ -1,0 +1,106 @@
+#include "src/core/lupine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kconfig/option_names.h"
+#include "src/workload/app_bench.h"
+
+namespace lupine::core {
+namespace {
+
+namespace n = kconfig::names;
+
+TEST(LupineBuilderTest, BuildsRedisUnikernel) {
+  LupineBuilder builder;
+  auto unikernel = builder.BuildForApp("redis");
+  ASSERT_TRUE(unikernel.ok()) << unikernel.status().ToString();
+  EXPECT_EQ(unikernel->config.name(), "lupine-redis-kml");
+  EXPECT_TRUE(unikernel->config.IsEnabled(n::kKml));
+  EXPECT_TRUE(unikernel->config.IsEnabled(n::kEpoll));
+  EXPECT_FALSE(unikernel->config.IsEnabled(n::kAio));  // redis needs no AIO.
+  EXPECT_GT(unikernel->kernel.size, kMiB);
+  EXPECT_FALSE(unikernel->rootfs.empty());
+  EXPECT_NE(unikernel->init_script.find("exec /bin/redis"), std::string::npos);
+}
+
+TEST(LupineBuilderTest, LaunchBootsAndServes) {
+  LupineBuilder builder;
+  auto unikernel = builder.BuildForApp("redis");
+  ASSERT_TRUE(unikernel.ok());
+  auto vm = unikernel->Launch();
+  ASSERT_TRUE(workload::BootAppServer(*vm, "Ready to accept connections"))
+      << vm->kernel().console().contents();
+}
+
+TEST(LupineBuilderTest, HelloRunsToCompletion) {
+  LupineBuilder builder;
+  auto unikernel = builder.BuildForApp("hello-world");
+  ASSERT_TRUE(unikernel.ok());
+  auto vm = unikernel->Launch(64 * kMiB);
+  auto result = vm->BootAndRun();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString() << result.console;
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.console.find("Hello from Docker!"), std::string::npos);
+}
+
+TEST(LupineBuilderTest, NokmlVariant) {
+  LupineBuilder builder;
+  BuildOptions options;
+  options.kml = false;
+  auto unikernel = builder.BuildForApp("nginx", options);
+  ASSERT_TRUE(unikernel.ok());
+  EXPECT_FALSE(unikernel->config.IsEnabled(n::kKml));
+  EXPECT_TRUE(unikernel->config.IsEnabled(n::kParavirt));
+}
+
+TEST(LupineBuilderTest, TinyVariantUsesOs) {
+  LupineBuilder builder;
+  BuildOptions options;
+  options.tiny = true;
+  auto unikernel = builder.BuildForApp("redis", options);
+  ASSERT_TRUE(unikernel.ok());
+  EXPECT_EQ(unikernel->config.compile_mode(), kconfig::CompileMode::kOs);
+}
+
+TEST(LupineBuilderTest, GeneralConfigVariant) {
+  LupineBuilder builder;
+  BuildOptions options;
+  options.general_config = true;
+  auto unikernel = builder.BuildForApp("redis", options);
+  ASSERT_TRUE(unikernel.ok());
+  // lupine-general contains options redis itself does not need.
+  EXPECT_TRUE(unikernel->config.IsEnabled(n::kAio));
+}
+
+TEST(LupineBuilderTest, ExtraOptionsRespected) {
+  LupineBuilder builder;
+  BuildOptions options;
+  options.extra_options = {n::kHugetlbfs};
+  auto unikernel = builder.BuildForApp("redis", options);
+  ASSERT_TRUE(unikernel.ok());
+  EXPECT_TRUE(unikernel->config.IsEnabled(n::kHugetlbfs));
+}
+
+TEST(LupineBuilderTest, UnknownAppFails) {
+  LupineBuilder builder;
+  EXPECT_FALSE(builder.BuildForApp("mystery").ok());
+}
+
+TEST(LupineBuilderTest, CustomManifestAndImage) {
+  LupineBuilder builder;
+  apps::AppManifest manifest;
+  manifest.name = "hello-world";  // Reuse the registered behaviour.
+  manifest.ready_line = "hello world";
+  apps::ContainerImage image;
+  image.app = "hello-world";
+  image.name = "custom:latest";
+  image.entrypoint = {"/bin/hello-world"};
+  auto unikernel = builder.Build(manifest, image);
+  ASSERT_TRUE(unikernel.ok());
+  auto vm = unikernel->Launch(64 * kMiB);
+  auto result = vm->BootAndRun();
+  EXPECT_EQ(result.exit_code, 0);
+}
+
+}  // namespace
+}  // namespace lupine::core

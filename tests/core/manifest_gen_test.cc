@@ -1,0 +1,93 @@
+#include "src/core/manifest_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kconfig/option_names.h"
+#include "src/kconfig/presets.h"
+
+namespace lupine::core {
+namespace {
+
+namespace n = kconfig::names;
+
+std::set<std::string> PresetSet(const std::string& app) {
+  const auto& v = kconfig::AppExtraOptions(app);
+  return std::set<std::string>(v.begin(), v.end());
+}
+
+TEST(ManifestGenTest, HelloWorldTraceNeedsNothing) {
+  auto result = GenerateManifestFromTrace("hello-world");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->options.empty());
+  EXPECT_GT(result->syscall_events, 0u);  // write/exit at minimum.
+}
+
+TEST(ManifestGenTest, RedisTraceMatchesTable3) {
+  auto result = GenerateManifestFromTrace("redis");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->options, PresetSet("redis"));
+  EXPECT_GT(result->distinct_syscalls, 10u);
+}
+
+class TraceMatchesTable3 : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TraceMatchesTable3, GeneratedOptionsEqualPreset) {
+  auto result = GenerateManifestFromTrace(GetParam());
+  ASSERT_TRUE(result.ok()) << GetParam() << ": " << result.status().ToString();
+  EXPECT_EQ(result->options, PresetSet(GetParam())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(TopApps, TraceMatchesTable3,
+                         ::testing::Values("nginx", "postgres", "node", "mysql", "memcached",
+                                           "rabbitmq", "elasticsearch", "influxdb", "haproxy",
+                                           "golang"));
+
+TEST(ManifestGenTest, TraceAndSearchAgree) {
+  // Dynamic analysis and the boot-loop search must converge on the same
+  // configuration — two independent implementations of Section 4.1.
+  for (const std::string app : {"traefik", "wordpress", "mongo"}) {
+    auto traced = GenerateManifestFromTrace(app);
+    ASSERT_TRUE(traced.ok()) << app;
+    EXPECT_EQ(traced->options, PresetSet(app)) << app;
+  }
+}
+
+TEST(ManifestGenTest, OptionsFromTraceMapsTable1) {
+  guestos::TraceLog trace;
+  trace.set_enabled(true);
+  trace.RecordSyscall(1, kbuild::Sys::kFutex);
+  trace.RecordSyscall(1, kbuild::Sys::kEpollWait);
+  trace.RecordSyscall(1, kbuild::Sys::kRead);  // Ungated: ignored.
+  trace.RecordFeature(1, guestos::TraceFeature::kAfInet6);
+  auto options = OptionsFromTrace(trace);
+  EXPECT_EQ(options, (std::set<std::string>{n::kFutex, n::kEpoll, n::kIpv6}));
+}
+
+TEST(ManifestGenTest, DisabledTraceRecordsNothing) {
+  guestos::TraceLog trace;
+  trace.RecordSyscall(1, kbuild::Sys::kFutex);
+  trace.RecordFeature(1, guestos::TraceFeature::kAfUnix);
+  EXPECT_TRUE(trace.syscalls().empty());
+  EXPECT_TRUE(trace.features().empty());
+}
+
+TEST(ManifestGenTest, LupineGeneralCoversEveryTop20App) {
+  for (const auto& app : kconfig::Top20AppNames()) {
+    auto report = CheckLupineGeneralCoverage(PresetSet(app));
+    EXPECT_TRUE(report.covered) << app;
+  }
+}
+
+TEST(ManifestGenTest, CoverageDetectsMissingOptions) {
+  auto report = CheckLupineGeneralCoverage({n::kFutex, n::kSelinux});
+  EXPECT_FALSE(report.covered);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0], n::kSelinux);
+}
+
+TEST(ManifestGenTest, UnknownAppRejected) {
+  EXPECT_FALSE(GenerateManifestFromTrace("never-heard-of-it").ok());
+}
+
+}  // namespace
+}  // namespace lupine::core

@@ -1,0 +1,86 @@
+#include "src/core/multik.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kconfig/presets.h"
+#include "src/workload/app_bench.h"
+
+namespace lupine::core {
+namespace {
+
+TEST(MultikTest, LanguageRuntimesShareOneKernel) {
+  // golang, python, openjdk, php and hello-world all need zero options
+  // beyond lupine-base (Table 3): one kernel serves all five.
+  KernelCache cache;
+  for (const std::string app : {"golang", "python", "openjdk", "php", "hello-world"}) {
+    auto artifact = cache.GetOrBuild(app);
+    ASSERT_TRUE(artifact.ok()) << app;
+  }
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.apps, 5u);
+  EXPECT_EQ(stats.distinct_kernels, 1u);
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.bytes_saved(), 4 * stats.bytes_stored);
+}
+
+TEST(MultikTest, DistinctOptionSetsGetDistinctKernels) {
+  KernelCache cache;
+  ASSERT_TRUE(cache.GetOrBuild("redis").ok());
+  ASSERT_TRUE(cache.GetOrBuild("nginx").ok());
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.distinct_kernels, 2u);
+}
+
+TEST(MultikTest, RepeatRequestsHitTheCache) {
+  KernelCache cache;
+  auto first = cache.GetOrBuild("redis");
+  auto second = cache.GetOrBuild("redis");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value(), second.value());  // Same artifact pointer.
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.builds, 1u);
+}
+
+TEST(MultikTest, SharedKernelDistinctRootfs) {
+  KernelCache cache;
+  auto golang = cache.GetOrBuild("golang");
+  auto python = cache.GetOrBuild("python");
+  ASSERT_TRUE(golang.ok());
+  ASSERT_TRUE(python.ok());
+  EXPECT_EQ((*golang)->kernel, (*python)->kernel);  // Shared image.
+  EXPECT_NE((*golang)->rootfs, (*python)->rootfs);  // Own filesystem.
+}
+
+TEST(MultikTest, Top20FleetStats) {
+  KernelCache cache;
+  for (const auto& app : kconfig::Top20AppNames()) {
+    ASSERT_TRUE(cache.GetOrBuild(app).ok()) << app;
+  }
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.apps, 20u);
+  // 5 zero-option apps share one kernel; every other set is unique here.
+  EXPECT_EQ(stats.distinct_kernels, 16u);
+  EXPECT_GT(stats.bytes_saved(), 10 * kMiB);
+}
+
+TEST(MultikTest, CachedArtifactsBootAndRun) {
+  KernelCache cache;
+  auto artifact = cache.GetOrBuild("redis");
+  ASSERT_TRUE(artifact.ok());
+  auto vm = (*artifact)->Launch();
+  ASSERT_TRUE(workload::BootAppServer(*vm, "Ready to accept connections"));
+}
+
+TEST(MultikTest, FingerprintIgnoresConfigName) {
+  kconfig::Config a = kconfig::LupineBase();
+  kconfig::Config b = kconfig::LupineBase();
+  b.set_name("renamed");
+  EXPECT_EQ(KernelCache::ConfigFingerprint(a), KernelCache::ConfigFingerprint(b));
+  b.Enable("FUTEX");
+  EXPECT_NE(KernelCache::ConfigFingerprint(a), KernelCache::ConfigFingerprint(b));
+}
+
+}  // namespace
+}  // namespace lupine::core

@@ -1,0 +1,61 @@
+// Tracing follows forked children: postgres's worker processes contribute
+// events under their own pids.
+#include <gtest/gtest.h>
+
+#include "src/core/manifest_gen.h"
+#include "src/kconfig/presets.h"
+#include "tests/guestos/guest_fixture.h"
+
+namespace lupine::core {
+namespace {
+
+using guestos::testing::GuestFixture;
+
+TEST(TraceForkTest, ChildSyscallsAreAttributedToChildPids) {
+  GuestFixture guest(kconfig::MicrovmConfig());
+  guest.kernel->trace().set_enabled(true);
+  int child_pid = 0;
+  guest.RunInGuest([&](guestos::SyscallApi& sys) {
+    auto pid = sys.Fork([](guestos::SyscallApi& child) -> int {
+      child.Getppid();
+      child.Getppid();
+      return 0;
+    });
+    ASSERT_TRUE(pid.ok());
+    child_pid = pid.value();
+    sys.Wait4(child_pid);
+  });
+  int child_events = 0;
+  for (const auto& event : guest.kernel->trace().syscalls()) {
+    if (event.pid == child_pid) {
+      ++child_events;
+    }
+  }
+  EXPECT_GE(child_events, 2);
+}
+
+TEST(TraceForkTest, PostgresTraceIncludesWorkerActivity) {
+  auto traced = GenerateManifestFromTrace("postgres");
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  // Options from the postmaster's probes; the trace also recorded the four
+  // background workers' nanosleep loops (events well beyond the main pid's).
+  EXPECT_GT(traced->syscall_events, 20u);
+}
+
+TEST(TraceForkTest, FreeRunClientsAreNotTraced) {
+  GuestFixture guest(kconfig::MicrovmConfig());
+  guest.kernel->trace().set_enabled(true);
+  workload::SpawnOptions options;
+  options.free_run = true;
+  guest.RunInGuest(
+      [&](guestos::SyscallApi& sys) {
+        for (int i = 0; i < 10; ++i) {
+          sys.Getppid();
+        }
+      },
+      options);
+  EXPECT_TRUE(guest.kernel->trace().syscalls().empty());
+}
+
+}  // namespace
+}  // namespace lupine::core

@@ -1,0 +1,43 @@
+#include "src/guestos/console.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine::guestos {
+namespace {
+
+TEST(ConsoleTest, AccumulatesWrites) {
+  Console console;
+  console.Write("line one\n");
+  console.Write("line two\n");
+  EXPECT_EQ(console.contents(), "line one\nline two\n");
+}
+
+TEST(ConsoleTest, LinesSplit) {
+  Console console;
+  console.Write("a\nb\n");
+  console.Write("c");
+  auto lines = console.Lines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[2], "c");
+}
+
+TEST(ConsoleTest, ContainsAndClear) {
+  Console console;
+  console.Write("epoll_create1 failed: function not implemented\n");
+  EXPECT_TRUE(console.Contains("epoll_create1"));
+  EXPECT_FALSE(console.Contains("futex"));
+  console.Clear();
+  EXPECT_FALSE(console.Contains("epoll_create1"));
+  EXPECT_TRUE(console.contents().empty());
+}
+
+TEST(ConsoleTest, PartialWritesJoinAcrossCalls) {
+  Console console;
+  console.Write("Ready to ");
+  console.Write("accept connections\n");
+  EXPECT_TRUE(console.Contains("Ready to accept connections"));
+}
+
+}  // namespace
+}  // namespace lupine::guestos

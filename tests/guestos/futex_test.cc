@@ -1,0 +1,103 @@
+#include "src/guestos/futex.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kbuild/features.h"
+
+namespace lupine::guestos {
+namespace {
+
+struct FutexFixture {
+  FutexFixture() : sched(&clock, &DefaultCostModel(), &features), futexes(&sched) {}
+  VirtualClock clock;
+  kbuild::KernelFeatures features;
+  Scheduler sched;
+  FutexTable futexes;
+};
+
+TEST(FutexTest, ValueMismatchReturnsEagain) {
+  FutexFixture f;
+  int word = 5;
+  Status result;
+  f.sched.Spawn(nullptr, [&] { result = f.futexes.Wait(&word, 4); });
+  f.sched.Run();
+  EXPECT_EQ(result.err(), Err::kAgain);
+}
+
+TEST(FutexTest, WaitAndWake) {
+  FutexFixture f;
+  int word = 0;
+  std::vector<int> order;
+  f.sched.Spawn(nullptr, [&] {
+    order.push_back(1);
+    Status s = f.futexes.Wait(&word, 0);
+    EXPECT_TRUE(s.ok());
+    order.push_back(3);
+  });
+  f.sched.Spawn(nullptr, [&] {
+    order.push_back(2);
+    word = 1;
+    EXPECT_EQ(f.futexes.Wake(&word, 1), 1);
+  });
+  EXPECT_EQ(f.sched.Run(), 0u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FutexTest, WakeWithoutWaitersIsZero) {
+  FutexFixture f;
+  int word = 0;
+  f.sched.Spawn(nullptr, [&] { EXPECT_EQ(f.futexes.Wake(&word, 10), 0); });
+  f.sched.Run();
+}
+
+TEST(FutexTest, TimeoutExpires) {
+  FutexFixture f;
+  int word = 0;
+  Status result;
+  f.sched.Spawn(nullptr, [&] { result = f.futexes.Wait(&word, 0, Millis(2)); });
+  EXPECT_EQ(f.sched.Run(), 0u);
+  EXPECT_EQ(result.err(), Err::kTimedOut);
+  EXPECT_GE(f.clock.now(), Millis(2));
+}
+
+TEST(FutexTest, WakeCountLimitsWokenThreads) {
+  FutexFixture f;
+  int word = 0;
+  int woke = 0;
+  for (int i = 0; i < 4; ++i) {
+    f.sched.Spawn(nullptr, [&] {
+      if (f.futexes.Wait(&word, 0).ok()) {
+        ++woke;
+      }
+    });
+  }
+  f.sched.Spawn(nullptr, [&] { EXPECT_EQ(f.futexes.Wake(&word, 2), 2); });
+  EXPECT_EQ(f.sched.Run(), 2u);  // Two still blocked.
+  EXPECT_EQ(woke, 2);
+}
+
+TEST(FutexTest, DistinctWordsDistinctQueues) {
+  FutexFixture f;
+  int a = 0;
+  int b = 0;
+  bool a_woken = false;
+  f.sched.Spawn(nullptr, [&] { a_woken = f.futexes.Wait(&a, 0).ok(); });
+  f.sched.Spawn(nullptr, [&] {
+    f.futexes.Wake(&b, 1);  // Wrong word: nobody wakes.
+    f.futexes.Wake(&a, 1);
+  });
+  EXPECT_EQ(f.sched.Run(), 0u);
+  EXPECT_TRUE(a_woken);
+}
+
+TEST(FutexTest, EmptyBucketsAreReclaimed) {
+  FutexFixture f;
+  int word = 0;
+  f.sched.Spawn(nullptr, [&] { f.futexes.Wait(&word, 0); });
+  f.sched.Spawn(nullptr, [&] { f.futexes.Wake(&word, 1); });
+  f.sched.Run();
+  EXPECT_EQ(f.futexes.BucketCount(), 0u);
+}
+
+}  // namespace
+}  // namespace lupine::guestos

@@ -1,0 +1,73 @@
+#include "src/guestos/loader.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine::guestos {
+namespace {
+
+TEST(LoaderTest, FormatParseRoundTrip) {
+  BinaryInfo info;
+  info.app = "redis";
+  info.libc = "musl-kml";
+  info.interp = "/lib/ld-musl-x86_64.so.1";
+  info.text_kb = 1700;
+  info.data_kb = 425;
+  info.bss_kb = 212;
+  info.stack_kb = 256;
+  auto parsed = ParseBinary(FormatBinary(info));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->app, "redis");
+  EXPECT_EQ(parsed->libc, "musl-kml");
+  EXPECT_EQ(parsed->interp, info.interp);
+  EXPECT_EQ(parsed->text_kb, 1700u);
+  EXPECT_TRUE(parsed->dynamic());
+  EXPECT_TRUE(parsed->kml_libc());
+}
+
+TEST(LoaderTest, StaticBinaryHasNoInterp) {
+  BinaryInfo info;
+  info.app = "hello-world";
+  info.libc = "static";
+  auto parsed = ParseBinary(FormatBinary(info));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->dynamic());
+  EXPECT_FALSE(parsed->kml_libc());
+}
+
+TEST(LoaderTest, StaticKmlRequiresRelink) {
+  // "Statically linked binaries running on Lupine must be recompiled to
+  // link against the patched libc" (Section 3.2): only the -kml flavour is
+  // KML-capable.
+  BinaryInfo relinked;
+  relinked.app = "x";
+  relinked.libc = "static-kml";
+  EXPECT_TRUE(relinked.kml_libc());
+}
+
+TEST(LoaderTest, BadMagicIsExecFormatError) {
+  auto parsed = ParseBinary("\x7f" "ELF real elf bytes");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.err(), Err::kInval);
+}
+
+TEST(LoaderTest, MissingAppEntryRejected) {
+  auto parsed = ParseBinary("#LUPINE_ELF v1\nlibc=musl\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(LoaderTest, InitScriptDetected) {
+  EXPECT_TRUE(IsInitScript("#!lupine-init\nexec /bin/app\n"));
+  EXPECT_FALSE(IsInitScript("#LUPINE_ELF v1\napp=x\n"));
+  EXPECT_FALSE(IsInitScript(""));
+}
+
+TEST(AppRegistryTest, RegisterAndFind) {
+  AppRegistry registry;
+  registry.Register("demo", [](SyscallApi&, const std::vector<std::string>&) { return 7; });
+  EXPECT_NE(registry.Find("demo"), nullptr);
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+  EXPECT_EQ(registry.Names().size(), 1u);
+}
+
+}  // namespace
+}  // namespace lupine::guestos

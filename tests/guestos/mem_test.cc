@@ -1,0 +1,138 @@
+#include "src/guestos/mem.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine::guestos {
+namespace {
+
+TEST(MemoryManagerTest, AllocatesWithinLimit) {
+  MemoryManager mm(MiB(1));
+  EXPECT_TRUE(mm.AllocatePages(100, "test").ok());
+  EXPECT_EQ(mm.used(), 100 * kPageSize);
+  EXPECT_EQ(mm.available(), MiB(1) - 100 * kPageSize);
+}
+
+TEST(MemoryManagerTest, OomPastLimit) {
+  MemoryManager mm(MiB(1));
+  EXPECT_TRUE(mm.AllocatePages(256, "fill").ok());  // Exactly 1 MiB.
+  Status s = mm.AllocatePages(1, "over");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.err(), Err::kNoMem);
+}
+
+TEST(MemoryManagerTest, PeakTracksHighWater) {
+  MemoryManager mm(MiB(4));
+  mm.AllocatePages(100, "a");
+  mm.FreePages(50);
+  mm.AllocatePages(10, "b");
+  EXPECT_EQ(mm.peak(), 100 * kPageSize);
+}
+
+TEST(AddressSpaceTest, DemandPagingAllocatesOnTouch) {
+  MemoryManager mm(MiB(64));
+  AddressSpace as(&mm);
+  auto vma = as.Map(MiB(1), VmaKind::kHeap, "heap");
+  ASSERT_TRUE(vma.ok());
+  Bytes pt_only = mm.used();
+  EXPECT_LT(pt_only, 8 * kPageSize);  // Only page tables charged so far.
+
+  auto faults = as.Touch(vma.value(), 0, 10 * kPageSize);
+  ASSERT_TRUE(faults.ok());
+  EXPECT_EQ(faults.value(), 10u);
+  EXPECT_EQ(as.resident_pages(), 10u);
+
+  // Re-touch: no new faults.
+  faults = as.Touch(vma.value(), 0, 10 * kPageSize);
+  ASSERT_TRUE(faults.ok());
+  EXPECT_EQ(faults.value(), 0u);
+}
+
+TEST(AddressSpaceTest, TouchBeyondMappingFaults) {
+  MemoryManager mm(MiB(64));
+  AddressSpace as(&mm);
+  auto vma = as.Map(kPageSize, VmaKind::kData, "one-page");
+  ASSERT_TRUE(vma.ok());
+  auto result = as.Touch(vma.value(), 2 * kPageSize, kPageSize);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.err(), Err::kFault);
+}
+
+TEST(AddressSpaceTest, UnmapReleasesMemory) {
+  MemoryManager mm(MiB(64));
+  AddressSpace as(&mm);
+  auto vma = as.Map(MiB(1), VmaKind::kData, "tmp");
+  ASSERT_TRUE(vma.ok());
+  as.Touch(vma.value(), 0, MiB(1));
+  Bytes used = mm.used();
+  EXPECT_GE(used, MiB(1));
+  ASSERT_TRUE(as.Unmap(vma.value()).ok());
+  EXPECT_LT(mm.used(), used / 2);
+}
+
+TEST(AddressSpaceTest, OomSurfacesThroughTouch) {
+  MemoryManager mm(MiB(1));
+  AddressSpace as(&mm);
+  auto vma = as.Map(MiB(8), VmaKind::kHeap, "big");
+  ASSERT_TRUE(vma.ok());
+  auto result = as.Touch(vma.value(), 0, MiB(8));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.err(), Err::kNoMem);
+}
+
+TEST(AddressSpaceTest, ForkCopySharesTextChargesPageTables) {
+  MemoryManager mm(MiB(64));
+  AddressSpace parent(&mm);
+  auto text = parent.Map(MiB(1), VmaKind::kText, "text", /*populate_now=*/true);
+  ASSERT_TRUE(text.ok());
+  auto heap = parent.Map(MiB(1), VmaKind::kHeap, "heap");
+  ASSERT_TRUE(heap.ok());
+  parent.Touch(heap.value(), 0, 64 * kPageSize);
+
+  Bytes before = mm.used();
+  auto child = parent.ForkCopy();
+  ASSERT_TRUE(child.ok());
+  Bytes fork_cost = mm.used() - before;
+  // Fork charges only page tables, far less than the resident set.
+  EXPECT_LT(fork_cost, 16 * kPageSize);
+  // Child sees the text resident (shared) but owns nothing.
+  EXPECT_GE((*child)->resident_pages(), 256u);
+}
+
+TEST(AddressSpaceTest, ChildDestructionDoesNotDoubleFree) {
+  MemoryManager mm(MiB(64));
+  auto parent = std::make_unique<AddressSpace>(&mm);
+  auto text = parent->Map(MiB(1), VmaKind::kText, "text", /*populate_now=*/true);
+  ASSERT_TRUE(text.ok());
+  Bytes with_parent = mm.used();
+  {
+    auto child = parent->ForkCopy();
+    ASSERT_TRUE(child.ok());
+  }
+  // Child gone: only its page tables were released.
+  EXPECT_LE(mm.used(), with_parent);
+  EXPECT_GE(mm.used(), with_parent - 16 * kPageSize);
+}
+
+TEST(AddressSpaceTest, CowPagesRechargedInChild) {
+  MemoryManager mm(MiB(64));
+  AddressSpace parent(&mm);
+  auto heap = parent.Map(MiB(1), VmaKind::kHeap, "heap");
+  ASSERT_TRUE(heap.ok());
+  parent.Touch(heap.value(), 0, 16 * kPageSize);
+  auto child = parent.ForkCopy();
+  ASSERT_TRUE(child.ok());
+  // The child's heap starts unpopulated (COW) and re-faults.
+  auto faults = (*child)->Touch(heap.value(), 0, 16 * kPageSize);
+  ASSERT_TRUE(faults.ok());
+  EXPECT_EQ(faults.value(), 16u);
+}
+
+TEST(PagesForBytesTest, RoundsUp) {
+  EXPECT_EQ(PagesForBytes(0), 0u);
+  EXPECT_EQ(PagesForBytes(1), 1u);
+  EXPECT_EQ(PagesForBytes(kPageSize), 1u);
+  EXPECT_EQ(PagesForBytes(kPageSize + 1), 2u);
+}
+
+}  // namespace
+}  // namespace lupine::guestos

@@ -1,0 +1,150 @@
+#include "src/guestos/net.h"
+
+#include <gtest/gtest.h>
+
+#include "src/guestos/cost_model.h"
+#include "src/kbuild/features.h"
+
+namespace lupine::guestos {
+namespace {
+
+struct NetFixture {
+  NetFixture() : sched(&clock, &DefaultCostModel(), &features), net(&sched) {}
+  VirtualClock clock;
+  kbuild::KernelFeatures features;
+  Scheduler sched;
+  NetStack net;
+};
+
+TEST(NetTest, ListenAcceptConnect) {
+  NetFixture f;
+  auto listener = f.net.Create(SockDomain::kInet, SockType::kStream);
+  ASSERT_TRUE(f.net.Bind(listener, 80, "").ok());
+  ASSERT_TRUE(f.net.Listen(listener, 16).ok());
+
+  std::string received;
+  f.sched.Spawn(nullptr, [&] {
+    auto conn = f.net.Accept(listener);
+    ASSERT_TRUE(conn.ok());
+    auto data = f.net.Recv(conn.value(), 100);
+    ASSERT_TRUE(data.ok());
+    received = data.value();
+  });
+  f.sched.Spawn(nullptr, [&] {
+    auto client = f.net.Create(SockDomain::kInet, SockType::kStream);
+    ASSERT_TRUE(f.net.Connect(client, 80, "").ok());
+    ASSERT_TRUE(f.net.Send(client, "hello").ok());
+  });
+  EXPECT_EQ(f.sched.Run(), 0u);
+  EXPECT_EQ(received, "hello");
+}
+
+TEST(NetTest, ConnectWithoutListenerRefused) {
+  NetFixture f;
+  f.sched.Spawn(nullptr, [&] {
+    auto client = f.net.Create(SockDomain::kInet, SockType::kStream);
+    Status s = f.net.Connect(client, 9999, "");
+    EXPECT_EQ(s.err(), Err::kConnRefused);
+  });
+  f.sched.Run();
+}
+
+TEST(NetTest, DuplicateBindRejected) {
+  NetFixture f;
+  auto a = f.net.Create(SockDomain::kInet, SockType::kStream);
+  auto b = f.net.Create(SockDomain::kInet, SockType::kStream);
+  ASSERT_TRUE(f.net.Bind(a, 80, "").ok());
+  EXPECT_EQ(f.net.Bind(b, 80, "").err(), Err::kAddrInUse);
+}
+
+TEST(NetTest, BacklogOverflowDropsConnections) {
+  NetFixture f;
+  auto listener = f.net.Create(SockDomain::kInet, SockType::kStream);
+  ASSERT_TRUE(f.net.Bind(listener, 80, "").ok());
+  ASSERT_TRUE(f.net.Listen(listener, 2).ok());
+  f.sched.Spawn(nullptr, [&] {
+    int refused = 0;
+    for (int i = 0; i < 4; ++i) {
+      auto client = f.net.Create(SockDomain::kInet, SockType::kStream);
+      if (f.net.Connect(client, 80, "").err() == Err::kConnRefused) {
+        ++refused;
+      }
+    }
+    EXPECT_EQ(refused, 2);  // Backlog of 2, nobody accepting.
+  });
+  f.sched.Run();
+}
+
+TEST(NetTest, UnixSocketsByPath) {
+  NetFixture f;
+  auto listener = f.net.Create(SockDomain::kUnix, SockType::kStream);
+  ASSERT_TRUE(f.net.Bind(listener, 0, "/run/app.sock").ok());
+  ASSERT_TRUE(f.net.Listen(listener, 4).ok());
+  bool connected = false;
+  f.sched.Spawn(nullptr, [&] { f.net.Accept(listener); });
+  f.sched.Spawn(nullptr, [&] {
+    auto client = f.net.Create(SockDomain::kUnix, SockType::kStream);
+    connected = f.net.Connect(client, 0, "/run/app.sock").ok();
+  });
+  f.sched.Run();
+  EXPECT_TRUE(connected);
+}
+
+TEST(NetTest, PeerCloseGivesEof) {
+  NetFixture f;
+  auto [a, b] = f.net.CreatePair(SockType::kStream);
+  std::string got = "sentinel";
+  f.sched.Spawn(nullptr, [&] {
+    auto data = f.net.Recv(b, 10);
+    ASSERT_TRUE(data.ok());
+    got = data.value();
+  });
+  f.sched.Spawn(nullptr, [&, a = a] { f.net.Close(a); });
+  EXPECT_EQ(f.sched.Run(), 0u);
+  EXPECT_EQ(got, "");  // Orderly EOF.
+}
+
+TEST(NetTest, DgramPreservesMessageBoundaries) {
+  NetFixture f;
+  auto [a, b] = f.net.CreatePair(SockType::kDgram);
+  std::vector<std::string> got;
+  f.sched.Spawn(nullptr, [&, a = a] {
+    f.net.SendDgram(a, "one");
+    f.net.SendDgram(a, "two");
+  });
+  f.sched.Spawn(nullptr, [&, b = b] {
+    got.push_back(f.net.RecvDgram(b).take());
+    got.push_back(f.net.RecvDgram(b).take());
+  });
+  f.sched.Run();
+  EXPECT_EQ(got, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(NetTest, StreamRecvRespectsMaxBytes) {
+  NetFixture f;
+  auto [a, b] = f.net.CreatePair(SockType::kStream);
+  std::string first;
+  std::string second;
+  f.sched.Spawn(nullptr, [&, a = a, b = b] {
+    f.net.Send(a, "abcdef");
+    first = f.net.Recv(b, 3).take();
+    second = f.net.Recv(b, 3).take();
+  });
+  f.sched.Run();
+  EXPECT_EQ(first, "abc");
+  EXPECT_EQ(second, "def");
+}
+
+TEST(NetTest, SendToClosedPeerIsEpipe) {
+  NetFixture f;
+  auto [a, b] = f.net.CreatePair(SockType::kStream);
+  f.sched.Spawn(nullptr, [&, a = a, b = b] {
+    f.net.Close(b);
+    Status s = f.net.Send(a, "x");
+    EXPECT_FALSE(s.ok());
+  });
+  f.sched.Run();
+}
+
+}  // namespace
+}  // namespace lupine::guestos

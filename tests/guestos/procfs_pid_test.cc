@@ -1,0 +1,72 @@
+// Per-process /proc entries (extension: procfs realism).
+#include <gtest/gtest.h>
+
+#include "tests/guestos/guest_fixture.h"
+
+namespace lupine::guestos {
+namespace {
+
+using testing::GuestFixture;
+
+TEST(ProcfsPidTest, EntriesAppearAfterMountAndFork) {
+  GuestFixture guest;
+  int child_pid = 0;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    ASSERT_TRUE(sys.Mount("proc", "/proc").ok());
+    int self = sys.Getpid().take();
+    EXPECT_TRUE(guest.kernel->vfs().Exists("/proc/" + std::to_string(self) + "/status"));
+    auto pid = sys.Fork([](SyscallApi& child) -> int {
+      child.Nanosleep(Millis(1));
+      return 0;
+    });
+    ASSERT_TRUE(pid.ok());
+    child_pid = pid.value();
+    // The forked child is published immediately.
+    EXPECT_TRUE(
+        guest.kernel->vfs().Exists("/proc/" + std::to_string(child_pid) + "/status"));
+    sys.Wait4(child_pid);
+  });
+  EXPECT_GT(child_pid, 0);
+}
+
+TEST(ProcfsPidTest, StatusReflectsExecName) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    ASSERT_TRUE(sys.Mount("proc", "/proc").ok());
+    auto pid = sys.Fork([](SyscallApi& child) -> int {
+      child.Execve("/bin/hello", {"/bin/hello"});
+      return 127;
+    });
+    ASSERT_TRUE(pid.ok());
+    sys.Wait4(pid.value());
+    auto status = guest.kernel->vfs().Resolve("/proc/" + std::to_string(pid.value()) +
+                                              "/status");
+    ASSERT_TRUE(status.ok());
+    EXPECT_NE(status.value()->data.find("Name:\thello-world"), std::string::npos);
+  });
+}
+
+TEST(ProcfsPidTest, NoEntriesWithoutProcMount) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    int self = sys.Getpid().take();
+    EXPECT_FALSE(guest.kernel->vfs().Exists("/proc/" + std::to_string(self)));
+  });
+}
+
+TEST(ProcfsPidTest, ReadableThroughTheSyscallLayer) {
+  GuestFixture guest;
+  std::string contents;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    ASSERT_TRUE(sys.Mount("proc", "/proc").ok());
+    int self = sys.Getpid().take();
+    auto fd = sys.Open("/proc/" + std::to_string(self) + "/status");
+    ASSERT_TRUE(fd.ok());
+    contents = sys.Read(fd.value(), 4096).take();
+    sys.Close(fd.value());
+  });
+  EXPECT_NE(contents.find("State:\tR (running)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lupine::guestos

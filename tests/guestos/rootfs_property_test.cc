@@ -1,0 +1,117 @@
+// Property test: the rootfs codec round-trips arbitrary content.
+#include <gtest/gtest.h>
+
+#include "src/guestos/rootfs.h"
+#include "src/util/prng.h"
+
+namespace lupine::guestos {
+namespace {
+
+std::string RandomBytes(Prng& rng, size_t max_len) {
+  size_t len = rng.NextBelow(max_len);
+  std::string out(len, '\0');
+  for (auto& c : out) {
+    c = static_cast<char>(rng.NextBelow(256));
+  }
+  return out;
+}
+
+std::string RandomPath(Prng& rng) {
+  static const char* segments[] = {"bin", "lib", "etc", "usr", "var", "data",
+                                   "app", "conf.d", "x86_64", ".hidden"};
+  int depth = 1 + static_cast<int>(rng.NextBelow(4));
+  std::string path;
+  for (int d = 0; d < depth; ++d) {
+    path += "/";
+    path += segments[rng.NextBelow(std::size(segments))];
+  }
+  path += "/f" + std::to_string(rng.NextBelow(100000));
+  return path;
+}
+
+class RootfsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RootfsProperty, RandomSpecsRoundTrip) {
+  Prng rng(GetParam());
+  FsSpec spec;
+  int entries = 1 + static_cast<int>(rng.NextBelow(60));
+  for (int i = 0; i < entries; ++i) {
+    FsEntry entry;
+    switch (rng.NextBelow(4)) {
+      case 0:
+        entry.type = InodeType::kDir;
+        break;
+      case 1:
+        entry.type = InodeType::kSymlink;
+        entry.symlink_target = RandomPath(rng);
+        break;
+      case 2:
+        entry.type = InodeType::kCharDev;
+        entry.dev = static_cast<DevId>(rng.NextBelow(5));
+        break;
+      default:
+        entry.type = InodeType::kFile;
+        entry.data = RandomBytes(rng, 4096);
+        entry.executable = rng.NextBool(0.3);
+        break;
+    }
+    spec[RandomPath(rng)] = entry;
+  }
+
+  auto parsed = ParseRootfs(FormatRootfs(spec));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), spec.size());
+  for (const auto& [path, entry] : spec) {
+    const auto it = parsed.value().find(path);
+    ASSERT_NE(it, parsed.value().end()) << path;
+    EXPECT_EQ(it->second.type, entry.type) << path;
+    EXPECT_EQ(it->second.data, entry.data) << path;
+    EXPECT_EQ(it->second.symlink_target, entry.symlink_target) << path;
+    EXPECT_EQ(it->second.dev, entry.dev) << path;
+    EXPECT_EQ(it->second.executable, entry.executable) << path;
+  }
+}
+
+TEST_P(RootfsProperty, TruncationsNeverCrashTheParser) {
+  Prng rng(GetParam() ^ 0x7777);
+  FsSpec spec;
+  FsEntry app_entry;
+  app_entry.data = RandomBytes(rng, 2048);
+  spec["/bin/app"] = app_entry;
+  FsEntry conf_entry;
+  conf_entry.data = RandomBytes(rng, 512);
+  spec["/etc/conf"] = conf_entry;
+  std::string blob = FormatRootfs(spec);
+  for (int i = 0; i < 40; ++i) {
+    size_t cut = rng.NextBelow(blob.size());
+    auto parsed = ParseRootfs(blob.substr(0, cut));
+    // Either cleanly rejected or (cut == full prefix of fewer entries) OK;
+    // never a crash. Any success must contain only valid entries.
+    if (parsed.ok()) {
+      EXPECT_LE(parsed.value().size(), spec.size());
+    }
+  }
+}
+
+TEST_P(RootfsProperty, MountedTreeMatchesSpec) {
+  Prng rng(GetParam() ^ 0x1234);
+  FsSpec spec;
+  for (int i = 0; i < 20; ++i) {
+    FsEntry entry;
+    entry.type = InodeType::kFile;
+    entry.data = RandomBytes(rng, 256);
+    spec[RandomPath(rng)] = entry;
+  }
+  Vfs vfs;
+  ASSERT_TRUE(MountRootfs(spec, vfs).ok());
+  for (const auto& [path, entry] : spec) {
+    auto inode = vfs.Resolve(path);
+    ASSERT_TRUE(inode.ok()) << path;
+    EXPECT_EQ(inode.value()->data, entry.data) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RootfsProperty, ::testing::Values(42u, 43u, 44u, 45u));
+
+}  // namespace
+}  // namespace lupine::guestos

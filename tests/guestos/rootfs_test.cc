@@ -1,0 +1,99 @@
+#include "src/guestos/rootfs.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine::guestos {
+namespace {
+
+FsSpec SampleSpec() {
+  FsSpec spec;
+  FsEntry dir_entry;
+  dir_entry.type = InodeType::kDir;
+  spec["/bin"] = dir_entry;
+  FsEntry app_entry;
+  app_entry.data = "#LUPINE_ELF v1\napp=x\n";
+  app_entry.executable = true;
+  spec["/bin/app"] = app_entry;
+  FsEntry host_entry;
+  host_entry.data = "lupine\n";
+  spec["/etc/hostname"] = host_entry;
+  FsEntry link_entry;
+  link_entry.type = InodeType::kSymlink;
+  link_entry.symlink_target = "/lib/libc-1.so";
+  spec["/lib/libc.so"] = link_entry;
+  FsEntry dev_entry;
+  dev_entry.type = InodeType::kCharDev;
+  dev_entry.dev = DevId::kNull;
+  spec["/dev/null"] = dev_entry;
+  return spec;
+}
+
+TEST(RootfsTest, FormatParseRoundTrip) {
+  FsSpec spec = SampleSpec();
+  std::string blob = FormatRootfs(spec);
+  auto parsed = ParseRootfs(blob);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), spec.size());
+  EXPECT_EQ(parsed.value().at("/etc/hostname").data, "lupine\n");
+  EXPECT_TRUE(parsed.value().at("/bin/app").executable);
+  EXPECT_EQ(parsed.value().at("/lib/libc.so").symlink_target, "/lib/libc-1.so");
+  EXPECT_EQ(parsed.value().at("/dev/null").dev, DevId::kNull);
+}
+
+TEST(RootfsTest, BadMagicRejected) {
+  auto parsed = ParseRootfs("EXT2FSIMAGE....");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.err(), Err::kInval);
+}
+
+TEST(RootfsTest, TruncatedBlobRejected) {
+  std::string blob = FormatRootfs(SampleSpec());
+  auto parsed = ParseRootfs(blob.substr(0, blob.size() / 2));
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(RootfsTest, EmptyImageRoundTrips) {
+  auto parsed = ParseRootfs(FormatRootfs({}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+}
+
+TEST(RootfsTest, MountMaterializesTree) {
+  Vfs vfs;
+  ASSERT_TRUE(MountRootfs(SampleSpec(), vfs).ok());
+  EXPECT_TRUE(vfs.Exists("/bin/app"));
+  EXPECT_TRUE(vfs.Exists("/etc/hostname"));
+  auto app = vfs.Resolve("/bin/app");
+  ASSERT_TRUE(app.ok());
+  EXPECT_TRUE(app.value()->executable);
+  auto dev = vfs.Resolve("/dev/null");
+  ASSERT_TRUE(dev.ok());
+  EXPECT_EQ(dev.value()->type, InodeType::kCharDev);
+}
+
+TEST(RootfsTest, ImpliedParentDirectoriesCreated) {
+  FsSpec spec;
+  FsEntry nested;
+  nested.data = "x";
+  spec["/deeply/nested/file"] = nested;
+  Vfs vfs;
+  ASSERT_TRUE(MountRootfs(spec, vfs).ok());
+  EXPECT_TRUE(vfs.Exists("/deeply/nested"));
+}
+
+TEST(RootfsTest, BinaryContentSurvives) {
+  FsSpec spec;
+  std::string binary;
+  for (int i = 0; i < 256; ++i) {
+    binary.push_back(static_cast<char>(i));
+  }
+  FsEntry blob;
+  blob.data = binary;
+  spec["/bin/blob"] = blob;
+  auto parsed = ParseRootfs(FormatRootfs(spec));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().at("/bin/blob").data, binary);
+}
+
+}  // namespace
+}  // namespace lupine::guestos

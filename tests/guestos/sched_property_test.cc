@@ -1,0 +1,126 @@
+// Property tests: the scheduler always quiesces, the clock is monotone,
+// and accounting invariants hold under randomized thread behaviour.
+#include <gtest/gtest.h>
+
+#include "src/guestos/futex.h"
+#include "src/guestos/sched.h"
+#include "src/kbuild/features.h"
+#include "src/util/prng.h"
+
+namespace lupine::guestos {
+namespace {
+
+class SchedProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedProperty, RandomSleepersAndYieldersQuiesce) {
+  Prng rng(GetParam());
+  VirtualClock clock;
+  kbuild::KernelFeatures features;
+  features.smp = rng.NextBool(0.5);
+  Scheduler sched(&clock, &DefaultCostModel(), &features);
+
+  int completed = 0;
+  const int threads = 20 + static_cast<int>(rng.NextBelow(60));
+  for (int t = 0; t < threads; ++t) {
+    Nanos sleep_ns = static_cast<Nanos>(rng.NextBelow(Micros(500)));
+    int yields = static_cast<int>(rng.NextBelow(8));
+    int work = static_cast<int>(rng.NextBelow(2000));
+    sched.Spawn(nullptr, [&, sleep_ns, yields, work] {
+      sched.ChargeCpu(work);
+      for (int y = 0; y < yields; ++y) {
+        sched.YieldCurrent();
+      }
+      if (sleep_ns > 0) {
+        sched.SleepCurrent(sleep_ns);
+      }
+      ++completed;
+    });
+  }
+  EXPECT_EQ(sched.Run(), 0u);
+  EXPECT_EQ(completed, threads);
+  EXPECT_EQ(sched.alive_threads(), 0u);
+}
+
+TEST_P(SchedProperty, ClockIsMonotoneAcrossScheduling) {
+  Prng rng(GetParam() ^ 0xC10C);
+  VirtualClock clock;
+  kbuild::KernelFeatures features;
+  Scheduler sched(&clock, &DefaultCostModel(), &features);
+
+  Nanos last_seen = 0;
+  bool monotone = true;
+  for (int t = 0; t < 16; ++t) {
+    Nanos sleep_ns = static_cast<Nanos>(rng.NextBelow(Micros(100)));
+    sched.Spawn(nullptr, [&, sleep_ns] {
+      for (int i = 0; i < 5; ++i) {
+        Nanos now = clock.now();
+        monotone &= now >= last_seen;
+        last_seen = now;
+        sched.SleepCurrent(sleep_ns);
+      }
+    });
+  }
+  sched.Run();
+  EXPECT_TRUE(monotone);
+}
+
+TEST_P(SchedProperty, CpuTimeNeverExceedsWallClock) {
+  Prng rng(GetParam() ^ 0xBEEF);
+  VirtualClock clock;
+  kbuild::KernelFeatures features;
+  Scheduler sched(&clock, &DefaultCostModel(), &features);
+
+  std::vector<Thread*> threads;
+  for (int t = 0; t < 12; ++t) {
+    Nanos work = static_cast<Nanos>(rng.NextBelow(Micros(50)));
+    threads.push_back(sched.Spawn(nullptr, [&, work] {
+      sched.ChargeCpu(work);
+      sched.YieldCurrent();
+      sched.ChargeCpu(work / 2);
+    }));
+  }
+  sched.Run();
+  Nanos total_cpu = 0;
+  for (Thread* thread : threads) {
+    total_cpu += thread->cpu_time;
+  }
+  // One virtual CPU: summed thread time cannot exceed elapsed time.
+  EXPECT_LE(total_cpu, clock.now());
+}
+
+TEST_P(SchedProperty, FutexPingPongAlwaysTerminates) {
+  Prng rng(GetParam() ^ 0xF07E);
+  VirtualClock clock;
+  kbuild::KernelFeatures features;
+  Scheduler sched(&clock, &DefaultCostModel(), &features);
+  FutexTable futexes(&sched);
+
+  const int pairs = 1 + static_cast<int>(rng.NextBelow(6));
+  const int rounds = 10 + static_cast<int>(rng.NextBelow(40));
+  std::vector<std::unique_ptr<int>> words;
+  for (int p = 0; p < pairs; ++p) {
+    words.push_back(std::make_unique<int>(0));
+    int* word = words.back().get();
+    for (int side = 0; side < 2; ++side) {
+      sched.Spawn(nullptr, [&, word, side] {
+        for (int r = 0; r < rounds; ++r) {
+          while (*word % 2 != side) {
+            futexes.Wait(word, *word);
+          }
+          ++*word;
+          futexes.Wake(word, 1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(sched.Run(), 0u);
+  for (const auto& word : words) {
+    EXPECT_EQ(*word, 2 * rounds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u));
+
+}  // namespace
+}  // namespace lupine::guestos

@@ -1,0 +1,203 @@
+#include "src/guestos/sched.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kbuild/features.h"
+
+namespace lupine::guestos {
+namespace {
+
+struct SchedFixture {
+  SchedFixture() : sched(&clock, &DefaultCostModel(), &features) {}
+  VirtualClock clock;
+  kbuild::KernelFeatures features;
+  Scheduler sched;
+};
+
+TEST(SchedTest, RunsSingleThreadToCompletion) {
+  SchedFixture f;
+  int x = 0;
+  f.sched.Spawn(nullptr, [&] { x = 1; });
+  EXPECT_EQ(f.sched.Run(), 0u);
+  EXPECT_EQ(x, 1);
+}
+
+TEST(SchedTest, InterleavesOnYield) {
+  SchedFixture f;
+  std::vector<int> order;
+  f.sched.Spawn(nullptr, [&] {
+    order.push_back(1);
+    f.sched.YieldCurrent();
+    order.push_back(3);
+  });
+  f.sched.Spawn(nullptr, [&] {
+    order.push_back(2);
+    f.sched.YieldCurrent();
+    order.push_back(4);
+  });
+  f.sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SchedTest, SleepOrdersWakeups) {
+  SchedFixture f;
+  std::vector<int> order;
+  f.sched.Spawn(nullptr, [&] {
+    f.sched.SleepCurrent(Millis(10));
+    order.push_back(2);
+  });
+  f.sched.Spawn(nullptr, [&] {
+    f.sched.SleepCurrent(Millis(5));
+    order.push_back(1);
+  });
+  f.sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_GE(f.clock.now(), Millis(10));
+}
+
+TEST(SchedTest, IdleJumpsClockToNextTimer) {
+  SchedFixture f;
+  f.sched.Spawn(nullptr, [&] { f.sched.SleepCurrent(Seconds(100)); });
+  f.sched.Run();
+  EXPECT_GE(f.clock.now(), Seconds(100));
+}
+
+TEST(SchedTest, WaitQueueBlocksUntilWoken) {
+  SchedFixture f;
+  WaitQueue wq(&f.sched);
+  std::vector<int> order;
+  f.sched.Spawn(nullptr, [&] {
+    order.push_back(1);
+    wq.Block();
+    order.push_back(3);
+  });
+  f.sched.Spawn(nullptr, [&] {
+    order.push_back(2);
+    wq.Wake(1);
+  });
+  EXPECT_EQ(f.sched.Run(), 0u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedTest, BlockedForeverReported) {
+  SchedFixture f;
+  WaitQueue wq(&f.sched);
+  f.sched.Spawn(nullptr, [&] { wq.Block(); });
+  EXPECT_EQ(f.sched.Run(), 1u);
+}
+
+TEST(SchedTest, BlockTimeoutFires) {
+  SchedFixture f;
+  WaitQueue wq(&f.sched);
+  bool woken_by_waker = true;
+  f.sched.Spawn(nullptr, [&] { woken_by_waker = wq.Block(Millis(1)); });
+  EXPECT_EQ(f.sched.Run(), 0u);
+  EXPECT_FALSE(woken_by_waker);
+  EXPECT_GE(f.clock.now(), Millis(1));
+}
+
+TEST(SchedTest, WakeBeforeTimeoutReturnsTrue) {
+  SchedFixture f;
+  WaitQueue wq(&f.sched);
+  bool woken = false;
+  f.sched.Spawn(nullptr, [&] { woken = wq.Block(Seconds(10)); });
+  f.sched.Spawn(nullptr, [&] { wq.Wake(1); });
+  f.sched.Run();
+  EXPECT_TRUE(woken);
+  EXPECT_LT(f.clock.now(), Seconds(1));
+}
+
+TEST(SchedTest, WakeAllWakesEveryone) {
+  SchedFixture f;
+  WaitQueue wq(&f.sched);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    f.sched.Spawn(nullptr, [&] {
+      wq.Block();
+      ++done;
+    });
+  }
+  f.sched.Spawn(nullptr, [&] { wq.WakeAll(); });
+  EXPECT_EQ(f.sched.Run(), 0u);
+  EXPECT_EQ(done, 5);
+}
+
+TEST(SchedTest, ContextSwitchesCostTime) {
+  SchedFixture f;
+  for (int i = 0; i < 2; ++i) {
+    f.sched.Spawn(nullptr, [&] {
+      for (int j = 0; j < 10; ++j) {
+        f.sched.YieldCurrent();
+      }
+    });
+  }
+  f.sched.Run();
+  EXPECT_GT(f.sched.stats().context_switches, 10u);
+  EXPECT_GT(f.clock.now(), 0);
+}
+
+TEST(SchedTest, SmpKernelSwitchesCostMore) {
+  Nanos uni_time;
+  Nanos smp_time;
+  {
+    SchedFixture f;
+    for (int i = 0; i < 2; ++i) {
+      f.sched.Spawn(nullptr, [&] {
+        for (int j = 0; j < 50; ++j) {
+          f.sched.YieldCurrent();
+        }
+      });
+    }
+    f.sched.Run();
+    uni_time = f.clock.now();
+  }
+  {
+    SchedFixture f;
+    f.features.smp = true;
+    for (int i = 0; i < 2; ++i) {
+      f.sched.Spawn(nullptr, [&] {
+        for (int j = 0; j < 50; ++j) {
+          f.sched.YieldCurrent();
+        }
+      });
+    }
+    f.sched.Run();
+    smp_time = f.clock.now();
+  }
+  EXPECT_GT(smp_time, uni_time);
+}
+
+TEST(SchedTest, ExitCurrentTerminatesThread) {
+  SchedFixture f;
+  bool after_exit = false;
+  f.sched.Spawn(nullptr, [&] {
+    f.sched.ExitCurrent();
+    after_exit = true;  // Unreachable.
+  });
+  f.sched.Run();
+  EXPECT_FALSE(after_exit);
+  EXPECT_EQ(f.sched.alive_threads(), 0u);
+}
+
+TEST(SchedTest, ChargeCpuAccumulatesPerThread) {
+  SchedFixture f;
+  Thread* t = f.sched.Spawn(nullptr, [&] { f.sched.ChargeCpu(1234); });
+  f.sched.Run();
+  EXPECT_EQ(t->cpu_time, 1234);
+}
+
+TEST(SchedTest, ManyThreadsQuiesce) {
+  SchedFixture f;
+  int done = 0;
+  for (int i = 0; i < 200; ++i) {
+    f.sched.Spawn(nullptr, [&, i] {
+      f.sched.SleepCurrent(Micros(i * 3 % 97));
+      ++done;
+    });
+  }
+  EXPECT_EQ(f.sched.Run(), 0u);
+  EXPECT_EQ(done, 200);
+}
+
+}  // namespace
+}  // namespace lupine::guestos

@@ -1,0 +1,164 @@
+// Syscall-layer edge cases: epoll timeouts, eventfd semantics, dup sharing,
+// fd-factory teardown, bad descriptors.
+#include <gtest/gtest.h>
+
+#include "src/kconfig/option_names.h"
+#include "src/kconfig/resolver.h"
+#include "tests/guestos/guest_fixture.h"
+
+namespace lupine::guestos {
+namespace {
+
+using testing::GuestFixture;
+
+TEST(SyscallFdTest, EpollWaitTimesOutEmptyHanded) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    auto ep = sys.EpollCreate1();
+    ASSERT_TRUE(ep.ok());
+    Nanos before = guest.kernel->clock().now();
+    auto ready = sys.EpollWait(ep.value(), 8, Millis(5));
+    ASSERT_TRUE(ready.ok());
+    EXPECT_TRUE(ready.value().empty());
+    EXPECT_GE(guest.kernel->clock().now() - before, Millis(5));
+  });
+}
+
+TEST(SyscallFdTest, EpollSeesEventfdAndPipe) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    auto ep = sys.EpollCreate1();
+    auto efd = sys.Eventfd();
+    auto pipe_fds = sys.Pipe();
+    ASSERT_TRUE(ep.ok());
+    ASSERT_TRUE(efd.ok());
+    ASSERT_TRUE(pipe_fds.ok());
+    sys.EpollCtlAdd(ep.value(), efd.value());
+    sys.EpollCtlAdd(ep.value(), pipe_fds.value().first);
+
+    // Nothing ready yet.
+    auto ready = sys.EpollWait(ep.value(), 8, Micros(100));
+    ASSERT_TRUE(ready.ok());
+    EXPECT_TRUE(ready.value().empty());
+
+    // Signal the eventfd and fill the pipe.
+    sys.Write(efd.value(), "x");
+    sys.Write(pipe_fds.value().second, "y");
+    ready = sys.EpollWait(ep.value(), 8, Micros(100));
+    ASSERT_TRUE(ready.ok());
+    EXPECT_EQ(ready.value().size(), 2u);
+  });
+}
+
+TEST(SyscallFdTest, EventfdReadResetsCounter) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    auto efd = sys.Eventfd(/*initial=*/1);
+    ASSERT_TRUE(efd.ok());
+    auto first = sys.Read(efd.value(), 8);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.value().size(), 8u);
+    auto second = sys.Read(efd.value(), 8);
+    EXPECT_EQ(second.err(), Err::kAgain);
+  });
+}
+
+TEST(SyscallFdTest, DupSharesOffset) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    auto fd = sys.Open("/tmp/shared", /*create=*/true);
+    ASSERT_TRUE(fd.ok());
+    sys.Write(fd.value(), "abcdef");
+    auto dup = sys.Dup(fd.value());
+    ASSERT_TRUE(dup.ok());
+    // Both descriptors share one description: the offset is common.
+    auto via_dup = sys.Read(dup.value(), 16);
+    ASSERT_TRUE(via_dup.ok());
+    EXPECT_TRUE(via_dup.value().empty());  // Offset at EOF after the write.
+  });
+}
+
+TEST(SyscallFdTest, BadFdErrors) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    EXPECT_EQ(sys.Read(99, 10).err(), Err::kBadF);
+    EXPECT_EQ(sys.Write(99, "x").err(), Err::kBadF);
+    EXPECT_EQ(sys.Close(99).err(), Err::kBadF);
+    EXPECT_EQ(sys.Send(99, "x").err(), Err::kBadF);
+    EXPECT_EQ(sys.EpollCtlAdd(99, 98).err(), Err::kBadF);
+  });
+}
+
+TEST(SyscallFdTest, SocketOpsOnNonSocketRejected) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    auto fd = sys.Open("/etc/hostname");
+    ASSERT_TRUE(fd.ok());
+    EXPECT_EQ(sys.Bind(fd.value(), 80, "").err(), Err::kNotSock);
+    EXPECT_EQ(sys.Listen(fd.value(), 4).err(), Err::kNotSock);
+    EXPECT_EQ(sys.Accept(fd.value()).err(), Err::kNotSock);
+    EXPECT_EQ(sys.Connect(fd.value(), 80, "").err(), Err::kNotSock);
+  });
+}
+
+TEST(SyscallFdTest, SocketPairCarriesData) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    auto pair = sys.SocketPair(SockType::kStream);
+    ASSERT_TRUE(pair.ok());
+    ASSERT_TRUE(sys.Send(pair.value().first, "ping").ok());
+    auto got = sys.Recv(pair.value().second, 16);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), "ping");
+  });
+}
+
+TEST(SyscallFdTest, SignalfdAndTimerfdCreateCloseable) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    auto sfd = sys.Signalfd();
+    auto tfd = sys.TimerfdCreate();
+    ASSERT_TRUE(sfd.ok());
+    ASSERT_TRUE(tfd.ok());
+    EXPECT_TRUE(sys.Close(sfd.value()).ok());
+    EXPECT_TRUE(sys.Close(tfd.value()).ok());
+  });
+}
+
+TEST(SyscallFdTest, ClosingSocketMidRecvWakesPeer) {
+  GuestFixture guest;
+  std::string got = "unset";
+  guest.RunInGuest([&](SyscallApi& sys) {
+    auto pair = sys.SocketPair(SockType::kStream);
+    ASSERT_TRUE(pair.ok());
+    auto [a, b] = pair.value();
+    sys.Fork([a](SyscallApi& child) -> int {
+      child.Nanosleep(Millis(1));
+      child.Close(a);
+      return 0;
+    });
+    auto data = sys.Recv(b, 16);  // Blocks until the child closes.
+    ASSERT_TRUE(data.ok());
+    got = data.value();
+  });
+  EXPECT_EQ(got, "");  // EOF.
+}
+
+TEST(SyscallFdTest, MqOpenGatedAndUsable) {
+  GuestFixture base(kconfig::LupineBase());
+  base.RunInGuest([&](SyscallApi& sys) {
+    EXPECT_EQ(sys.MqOpen("/q").err(), Err::kNoSys);
+  });
+  kconfig::Config with = kconfig::LupineBase();
+  kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
+  ASSERT_TRUE(resolver.Enable(with, kconfig::names::kPosixMqueue).ok());
+  GuestFixture guest(with);
+  guest.RunInGuest([&](SyscallApi& sys) {
+    auto fd = sys.MqOpen("/q");
+    ASSERT_TRUE(fd.ok());
+    EXPECT_TRUE(sys.Close(fd.value()).ok());
+  });
+}
+
+}  // namespace
+}  // namespace lupine::guestos

@@ -1,0 +1,122 @@
+#include "src/guestos/vfs.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine::guestos {
+namespace {
+
+TEST(VfsTest, RootExists) {
+  Vfs vfs;
+  auto root = vfs.Resolve("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value()->type, InodeType::kDir);
+}
+
+TEST(VfsTest, CreateAndResolveFile) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.CreateDir("/etc").ok());
+  ASSERT_TRUE(vfs.CreateFile("/etc/hostname", "lupine\n").ok());
+  auto inode = vfs.Resolve("/etc/hostname");
+  ASSERT_TRUE(inode.ok());
+  EXPECT_EQ(inode.value()->data, "lupine\n");
+}
+
+TEST(VfsTest, MissingPathIsEnoent) {
+  Vfs vfs;
+  auto inode = vfs.Resolve("/no/such/file");
+  EXPECT_FALSE(inode.ok());
+  EXPECT_EQ(inode.err(), Err::kNoEnt);
+}
+
+TEST(VfsTest, MkdirPCreatesIntermediates) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.CreateDir("/var/lib/redis/data").ok());
+  EXPECT_TRUE(vfs.Exists("/var"));
+  EXPECT_TRUE(vfs.Exists("/var/lib/redis"));
+}
+
+TEST(VfsTest, DotAndDotDotNormalized) {
+  Vfs vfs;
+  vfs.CreateDir("/a/b");
+  vfs.CreateFile("/a/b/f", "x");
+  EXPECT_TRUE(vfs.Resolve("/a/./b/f").ok());
+  EXPECT_TRUE(vfs.Resolve("/a/b/../b/f").ok());
+  EXPECT_TRUE(vfs.Resolve("/../a/b/f").ok());
+}
+
+TEST(VfsTest, SymlinksFollowed) {
+  Vfs vfs;
+  vfs.CreateDir("/lib");
+  vfs.CreateFile("/lib/libc.so.6", "libc");
+  ASSERT_TRUE(vfs.CreateSymlink("/lib/libc.so", "/lib/libc.so.6").ok());
+  auto inode = vfs.Resolve("/lib/libc.so");
+  ASSERT_TRUE(inode.ok());
+  EXPECT_EQ(inode.value()->data, "libc");
+}
+
+TEST(VfsTest, SymlinkLoopsDetected) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.CreateSymlink("/a", "/b").ok());
+  ASSERT_TRUE(vfs.CreateSymlink("/b", "/a").ok());
+  auto inode = vfs.Resolve("/a");
+  EXPECT_FALSE(inode.ok());
+}
+
+TEST(VfsTest, UnlinkRemovesFiles) {
+  Vfs vfs;
+  vfs.CreateFile("/junk", "x");
+  EXPECT_TRUE(vfs.Unlink("/junk").ok());
+  EXPECT_FALSE(vfs.Exists("/junk"));
+  EXPECT_EQ(vfs.Unlink("/junk").err(), Err::kNoEnt);
+}
+
+TEST(VfsTest, UnlinkNonEmptyDirRefused) {
+  Vfs vfs;
+  vfs.CreateDir("/d");
+  vfs.CreateFile("/d/f", "x");
+  EXPECT_EQ(vfs.Unlink("/d").err(), Err::kNotEmpty);
+}
+
+TEST(VfsTest, DeviceNodes) {
+  Vfs vfs;
+  vfs.CreateDir("/dev");
+  ASSERT_TRUE(vfs.CreateDevice("/dev/null", DevId::kNull).ok());
+  auto inode = vfs.Resolve("/dev/null");
+  ASSERT_TRUE(inode.ok());
+  EXPECT_EQ(inode.value()->type, InodeType::kCharDev);
+  EXPECT_EQ(inode.value()->dev, DevId::kNull);
+}
+
+TEST(VfsTest, ProcMountWithoutSysctl) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.Mount("proc", "/proc").ok());
+  EXPECT_TRUE(vfs.Exists("/proc/meminfo"));
+  EXPECT_FALSE(vfs.Exists("/proc/sys"));
+  EXPECT_TRUE(vfs.IsMounted("/proc"));
+}
+
+TEST(VfsTest, ProcSysctlPopulation) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.Mount("proc", "/proc").ok());
+  auto proc = vfs.Resolve("/proc");
+  ASSERT_TRUE(proc.ok());
+  PopulateProcfs(*proc.value(), /*with_sysctl=*/true);
+  EXPECT_TRUE(vfs.Exists("/proc/sys/kernel.pid_max"));
+}
+
+TEST(VfsTest, UnknownFilesystemTypeRejected) {
+  Vfs vfs;
+  Status s = vfs.Mount("zfs", "/zpool");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(VfsTest, ResolveThroughFileIsNotDir) {
+  Vfs vfs;
+  vfs.CreateFile("/f", "x");
+  auto inode = vfs.Resolve("/f/sub");
+  EXPECT_FALSE(inode.ok());
+  EXPECT_EQ(inode.err(), Err::kNotDir);
+}
+
+}  // namespace
+}  // namespace lupine::guestos

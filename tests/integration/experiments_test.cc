@@ -1,0 +1,134 @@
+// Light-weight versions of the paper's headline claims, run end-to-end.
+#include <gtest/gtest.h>
+
+#include "src/unikernels/linux_system.h"
+#include "src/unikernels/unikernel_models.h"
+#include "src/workload/app_bench.h"
+#include "src/workload/kml_bench.h"
+
+namespace lupine {
+namespace {
+
+using unikernels::LinuxSystem;
+using unikernels::UnikernelModel;
+
+TEST(ExperimentsTest, ImageSizeClaim) {
+  // "Lupine achieves up to 73% smaller image size ... than the state-of-
+  // the-art VM" (Section 4).
+  LinuxSystem microvm(unikernels::MicrovmSpec());
+  LinuxSystem lupine(unikernels::LupineSpec());
+  auto m = microvm.KernelImageSize("hello-world");
+  auto l = lupine.KernelImageSize("hello-world");
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(l.ok());
+  double reduction = 1.0 - static_cast<double>(l.value()) / static_cast<double>(m.value());
+  EXPECT_GT(reduction, 0.64);
+  EXPECT_LT(reduction, 0.80);
+}
+
+TEST(ExperimentsTest, BootTimeClaim) {
+  // "59% faster boot time" (Section 4); lupine ~23 ms.
+  LinuxSystem microvm(unikernels::MicrovmSpec());
+  LinuxSystem lupine(unikernels::LupineNokmlSpec());
+  auto m = microvm.BootTime("hello-world");
+  auto l = lupine.BootTime("hello-world");
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(l.ok());
+  double reduction = 1.0 - static_cast<double>(l.value()) / static_cast<double>(m.value());
+  EXPECT_GT(reduction, 0.45);
+  EXPECT_LT(reduction, 0.75);
+}
+
+TEST(ExperimentsTest, GeneralKernelBootsOnly2msSlower) {
+  LinuxSystem app_specific(unikernels::LupineNokmlSpec());
+  LinuxSystem general(unikernels::LupineGeneralNokmlSpec());
+  auto a = app_specific.BootTime("hello-world");
+  auto g = general.BootTime("hello-world");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(g.ok());
+  Nanos delta = g.value() - a.value();
+  EXPECT_GT(delta, 0);
+  EXPECT_LT(delta, Millis(4));  // "an additional boot time of 2 ms".
+}
+
+TEST(ExperimentsTest, KmlNullSyscall40PercentAmortizedAway) {
+  LinuxSystem kml(unikernels::LupineGeneralSpec());
+  LinuxSystem nokml(unikernels::LupineGeneralNokmlSpec());
+
+  auto make_vm = [](LinuxSystem& s) {
+    auto vm = s.MakeVm("hello-world", 512 * kMiB, true);
+    EXPECT_TRUE(vm.ok());
+    auto owned = std::move(vm.value());
+    EXPECT_TRUE(owned->Boot().ok());
+    owned->kernel().Run();
+    return owned;
+  };
+
+  auto kml_vm = make_vm(kml);
+  auto nokml_vm = make_vm(nokml);
+  double at0_kml = workload::MeasureNullWithWorkUs(*kml_vm, 0, 500);
+  double at0_nokml = workload::MeasureNullWithWorkUs(*nokml_vm, 0, 500);
+  double improvement0 = 1.0 - at0_kml / at0_nokml;
+  EXPECT_GT(improvement0, 0.30);  // ~40% at zero busy work (Fig. 10).
+
+  auto kml_vm2 = make_vm(kml);
+  auto nokml_vm2 = make_vm(nokml);
+  double at160_kml = workload::MeasureNullWithWorkUs(*kml_vm2, 160, 500);
+  double at160_nokml = workload::MeasureNullWithWorkUs(*nokml_vm2, 160, 500);
+  double improvement160 = 1.0 - at160_kml / at160_nokml;
+  EXPECT_LT(improvement160, 0.07);  // Amortized below 5% near 160 iterations.
+}
+
+TEST(ExperimentsTest, LupineBeatsMicrovmOnRedis) {
+  LinuxSystem microvm(unikernels::MicrovmSpec());
+  LinuxSystem lupine(unikernels::LupineSpec());
+  auto m = microvm.RedisThroughput(false);
+  auto l = lupine.RedisThroughput(false);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  double speedup = l.value() / m.value();
+  // Table 4: 1.21x for redis-get; accept a simulation band.
+  EXPECT_GT(speedup, 1.10);
+  EXPECT_LT(speedup, 1.40);
+}
+
+TEST(ExperimentsTest, KmlContributesLittleToMacrobenchmarks) {
+  // "KML adds at most 4 percentage points" (Section 4.6).
+  LinuxSystem kml(unikernels::LupineSpec());
+  LinuxSystem nokml(unikernels::LupineNokmlSpec());
+  auto with = kml.RedisThroughput(false);
+  auto without = nokml.RedisThroughput(false);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  double delta = with.value() / without.value() - 1.0;
+  EXPECT_GE(delta, -0.01);
+  EXPECT_LT(delta, 0.08);
+}
+
+TEST(ExperimentsTest, MemoryFootprintClaim) {
+  // Abstract: 21 MB lupine vs microVM ~29 MB (28% lower).
+  LinuxSystem microvm(unikernels::MicrovmSpec());
+  LinuxSystem lupine(unikernels::LupineSpec());
+  auto m = microvm.MemoryFootprint("hello-world");
+  auto l = lupine.MemoryFootprint("hello-world");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  EXPECT_LT(l.value(), m.value());
+  double reduction = 1.0 - static_cast<double>(l.value()) / static_cast<double>(m.value());
+  EXPECT_GT(reduction, 0.15);
+  EXPECT_LT(reduction, 0.45);
+}
+
+TEST(ExperimentsTest, LinuxFootprintFlatAcrossApps) {
+  // Section 4.4: Linux-based footprints barely vary between applications.
+  LinuxSystem lupine(unikernels::LupineGeneralSpec());
+  auto hello = lupine.MemoryFootprint("hello-world");
+  auto redis = lupine.MemoryFootprint("redis");
+  ASSERT_TRUE(hello.ok()) << hello.status().ToString();
+  ASSERT_TRUE(redis.ok()) << redis.status().ToString();
+  double ratio = static_cast<double>(redis.value()) / static_cast<double>(hello.value());
+  EXPECT_LT(ratio, 1.6);
+}
+
+}  // namespace
+}  // namespace lupine

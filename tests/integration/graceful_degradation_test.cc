@@ -1,0 +1,66 @@
+// Section 5: Lupine degrades gracefully where unikernels crash.
+#include <gtest/gtest.h>
+
+#include "src/unikernels/linux_system.h"
+#include "src/unikernels/unikernel_models.h"
+#include "src/workload/control_procs.h"
+#include "src/workload/spawn.h"
+
+namespace lupine {
+namespace {
+
+using unikernels::LinuxSystem;
+using unikernels::UnikernelModel;
+
+TEST(GracefulDegradationTest, LupineRunsForkingAppsUnikernelsDoNot) {
+  LinuxSystem lupine(unikernels::LupineSpec());
+  EXPECT_TRUE(lupine.Supports("postgres").supported);
+
+  UnikernelModel osv(unikernels::OsvProfile());
+  UnikernelModel hermitux(unikernels::HermituxProfile());
+  UnikernelModel rump(unikernels::RumpProfile());
+  EXPECT_FALSE(osv.Supports("postgres").supported);
+  EXPECT_FALSE(hermitux.Supports("postgres").supported);
+  EXPECT_FALSE(rump.Supports("postgres").supported);
+  EXPECT_FALSE(osv.profile().supports_fork);
+}
+
+TEST(GracefulDegradationTest, ForkJustWorksOnLupine) {
+  LinuxSystem lupine(unikernels::LupineSpec());
+  auto vm = lupine.MakeVm("postgres", 512 * kMiB);
+  ASSERT_TRUE(vm.ok());
+  ASSERT_TRUE((*vm)->Boot().ok());
+  (*vm)->kernel().Run();
+  EXPECT_TRUE((*vm)->kernel().console().Contains("ready to accept connections"));
+  // The postmaster (init exec'd into it) + 4 forked background workers.
+  EXPECT_GE((*vm)->kernel().ProcessCount(), 5u);
+}
+
+TEST(GracefulDegradationTest, ControlProcessesDoNotHurtLatency) {
+  // Fig. 11: syscall latency flat as 2^i sleeping control processes appear.
+  LinuxSystem lupine(unikernels::LupineGeneralSpec());
+  auto vm0 = lupine.MakeVm("hello-world", 512 * kMiB, true);
+  ASSERT_TRUE(vm0.ok());
+  ASSERT_TRUE((*vm0)->Boot().ok());
+  (*vm0)->kernel().Run();
+  auto base = workload::MeasureWithControlProcs(**vm0, 0);
+
+  auto vm256 = lupine.MakeVm("hello-world", 512 * kMiB, true);
+  ASSERT_TRUE(vm256.ok());
+  ASSERT_TRUE((*vm256)->Boot().ok());
+  (*vm256)->kernel().Run();
+  auto many = workload::MeasureWithControlProcs(**vm256, 256);
+
+  EXPECT_NEAR(many.null_us, base.null_us, base.null_us * 0.10 + 0.001);
+  EXPECT_NEAR(many.read_us, base.read_us, base.read_us * 0.10 + 0.001);
+  EXPECT_NEAR(many.write_us, base.write_us, base.write_us * 0.10 + 0.001);
+}
+
+TEST(GracefulDegradationTest, MultipleAddressSpacesEssentiallyFree) {
+  // Section 5: address-space switches cost ~nothing with PCID-style tagging.
+  const auto& costs = guestos::DefaultCostModel();
+  EXPECT_LT(costs.ctxsw_address_space, costs.ctxsw_registers / 5);
+}
+
+}  // namespace
+}  // namespace lupine

@@ -1,0 +1,57 @@
+// End-to-end with a user-defined option tree: Kconfig text -> OptionDb ->
+// resolved config -> built image.
+#include <gtest/gtest.h>
+
+#include "src/kbuild/builder.h"
+#include "src/kconfig/kconfig_lang.h"
+#include "src/kconfig/resolver.h"
+
+namespace lupine::kbuild {
+namespace {
+
+constexpr char kToyTree[] = R"(config CORE
+	bool "core runtime"
+
+config NETWORK
+	bool "network stack"
+	depends on CORE
+
+config HTTP
+	bool "http server"
+	depends on NETWORK
+	select CORE
+)";
+
+TEST(CustomDbTest, BuildFromParsedKconfigTree) {
+  kconfig::OptionDb db;
+  kconfig::KconfigParseOptions parse_options;
+  parse_options.default_size = 100 * kKiB;
+  auto added = kconfig::ParseKconfig(kToyTree, parse_options, db);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  ASSERT_EQ(added.value(), 3u);
+
+  kconfig::Config config("toy");
+  kconfig::Resolver resolver(db);
+  ASSERT_TRUE(resolver.Enable(config, "HTTP").ok());
+  EXPECT_EQ(config.EnabledCount(), 3u);  // HTTP + NETWORK + CORE.
+
+  ImageBuilder builder(&db);
+  auto image = builder.Build(config);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  // Core + 3 * 100 KiB, times the link factor.
+  EXPECT_GT(image->size, ImageBuilder::CoreSize());
+  EXPECT_LT(image->size, ImageBuilder::CoreSize() + 400 * kKiB);
+  EXPECT_EQ(image->features.enabled_options, 3u);
+}
+
+TEST(CustomDbTest, ValidationUsesTheCustomTree) {
+  kconfig::OptionDb db;
+  ASSERT_TRUE(kconfig::ParseKconfig(kToyTree, {}, db).ok());
+  kconfig::Config broken("broken");
+  broken.Enable("HTTP");  // Missing NETWORK.
+  ImageBuilder builder(&db);
+  EXPECT_FALSE(builder.Build(broken).ok());
+}
+
+}  // namespace
+}  // namespace lupine::kbuild

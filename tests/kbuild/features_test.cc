@@ -1,0 +1,84 @@
+#include "src/kbuild/features.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kconfig/option_names.h"
+#include "src/kconfig/presets.h"
+
+namespace lupine::kbuild {
+namespace {
+
+namespace n = kconfig::names;
+
+TEST(FeaturesTest, MicrovmFeatureSet) {
+  KernelFeatures f = DeriveFeatures(kconfig::MicrovmConfig());
+  EXPECT_TRUE(f.smp);
+  EXPECT_TRUE(f.mitigations);
+  EXPECT_TRUE(f.audit);
+  EXPECT_TRUE(f.seccomp);
+  EXPECT_TRUE(f.paravirt);
+  EXPECT_FALSE(f.kml);
+  EXPECT_FALSE(f.kpti);
+  EXPECT_TRUE(f.futex);
+  EXPECT_TRUE(f.sysvipc);
+  EXPECT_TRUE(f.ipv6);
+  EXPECT_TRUE(f.acpi);
+  EXPECT_EQ(f.enabled_options, 833u);
+}
+
+TEST(FeaturesTest, LupineBaseDropsUnikernelUnnecessaries) {
+  KernelFeatures f = DeriveFeatures(kconfig::LupineBase());
+  EXPECT_FALSE(f.smp);
+  EXPECT_FALSE(f.mitigations);
+  EXPECT_FALSE(f.audit);
+  EXPECT_FALSE(f.seccomp);
+  EXPECT_FALSE(f.sysvipc);
+  EXPECT_FALSE(f.futex);
+  EXPECT_FALSE(f.acpi);
+  EXPECT_TRUE(f.paravirt);
+  EXPECT_TRUE(f.inet);
+  EXPECT_TRUE(f.proc_fs);
+  EXPECT_TRUE(f.ext2);
+  EXPECT_EQ(f.enabled_options, 283u);
+}
+
+TEST(FeaturesTest, KmlVariant) {
+  kconfig::Config config = kconfig::LupineBase();
+  ASSERT_TRUE(kconfig::ApplyKml(config).ok());
+  KernelFeatures f = DeriveFeatures(config);
+  EXPECT_TRUE(f.kml);
+  EXPECT_FALSE(f.paravirt);
+}
+
+TEST(FeaturesTest, CompileModeCarriedThrough) {
+  kconfig::Config config = kconfig::LupineBase();
+  kconfig::ApplyTiny(config);
+  KernelFeatures f = DeriveFeatures(config);
+  EXPECT_EQ(f.compile_mode, kconfig::CompileMode::kOs);
+}
+
+TEST(FeaturesTest, SyscallSetGatedByConfig) {
+  KernelFeatures base = DeriveFeatures(kconfig::LupineBase());
+  EXPECT_FALSE(base.HasSyscall(Sys::kFutex));
+  EXPECT_TRUE(base.HasSyscall(Sys::kRead));
+
+  auto redis = kconfig::LupineForApp("redis");
+  ASSERT_TRUE(redis.ok());
+  KernelFeatures f = DeriveFeatures(redis.value());
+  EXPECT_TRUE(f.HasSyscall(Sys::kFutex));
+  EXPECT_TRUE(f.HasSyscall(Sys::kEpollWait));
+  // redis does not need AIO (Section 3.1.1).
+  EXPECT_FALSE(f.HasSyscall(Sys::kIoSubmit));
+}
+
+TEST(FeaturesTest, OptionCategoryCounts) {
+  KernelFeatures f = DeriveFeatures(kconfig::MicrovmConfig());
+  EXPECT_GT(f.driver_options, 100u);
+  EXPECT_GT(f.net_options, 100u);
+  EXPECT_GT(f.fs_options, 50u);
+  EXPECT_EQ(f.debug_options, 65u);
+  EXPECT_EQ(f.crypto_options, 55u);
+}
+
+}  // namespace
+}  // namespace lupine::kbuild

@@ -1,0 +1,94 @@
+// Property tests on the image-size model.
+#include <gtest/gtest.h>
+
+#include "src/kbuild/builder.h"
+#include "src/kconfig/presets.h"
+#include "src/kconfig/resolver.h"
+#include "src/util/prng.h"
+
+namespace lupine::kbuild {
+namespace {
+
+class SizeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SizeProperty, AddingOptionsNeverShrinksTheImage) {
+  Prng rng(GetParam());
+  const auto& all = kconfig::OptionDb::Linux40().options();
+  kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
+  ImageBuilder builder;
+
+  kconfig::Config config = kconfig::LupineBase();
+  auto image = builder.Build(config);
+  ASSERT_TRUE(image.ok());
+  Bytes previous = image->size;
+
+  for (int step = 0; step < 25; ++step) {
+    const auto& option = all[rng.NextBelow(all.size())];
+    auto enabled = resolver.Enable(config, option.name);
+    if (!enabled.ok()) {
+      continue;  // Conflicting option (e.g. KML without patch): skip.
+    }
+    auto next = builder.Build(config);
+    ASSERT_TRUE(next.ok()) << option.name;
+    EXPECT_GE(next->size, previous) << option.name;
+    previous = next->size;
+  }
+}
+
+TEST_P(SizeProperty, BuildsAreDeterministic) {
+  Prng rng(GetParam() ^ 0xD00D);
+  const auto& all = kconfig::OptionDb::Linux40().options();
+  kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
+  kconfig::Config config = kconfig::LupineBase();
+  for (int i = 0; i < 15; ++i) {
+    resolver.Enable(config, all[rng.NextBelow(all.size())].name);
+  }
+  ImageBuilder builder;
+  auto a = builder.Build(config);
+  auto b = builder.Build(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->size, b->size);
+  EXPECT_EQ(a->features.syscalls, b->features.syscalls);
+}
+
+TEST_P(SizeProperty, OsModeNeverLargerThanO2) {
+  Prng rng(GetParam() ^ 0xF00D);
+  const auto& all = kconfig::OptionDb::Linux40().options();
+  kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
+  kconfig::Config config = kconfig::LupineBase();
+  for (int i = 0; i < 10; ++i) {
+    resolver.Enable(config, all[rng.NextBelow(all.size())].name);
+  }
+  ImageBuilder builder;
+  auto o2 = builder.Build(config);
+  config.set_compile_mode(kconfig::CompileMode::kOs);
+  auto os = builder.Build(config);
+  ASSERT_TRUE(o2.ok());
+  ASSERT_TRUE(os.ok());
+  EXPECT_LE(os->size, o2->size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SizeProperty, ::testing::Values(7u, 11u, 17u, 23u, 31u));
+
+TEST(SizeModelTest, ClassSizesSumToOptionTotal) {
+  ImageBuilder builder;
+  kconfig::Config microvm = kconfig::MicrovmConfig();
+  Bytes by_class = 0;
+  for (auto cls : {kconfig::OptionClass::kBase, kconfig::OptionClass::kAppNetwork,
+                   kconfig::OptionClass::kAppFilesystem, kconfig::OptionClass::kAppSyscall,
+                   kconfig::OptionClass::kAppCompression, kconfig::OptionClass::kAppCrypto,
+                   kconfig::OptionClass::kAppDebug, kconfig::OptionClass::kAppOther,
+                   kconfig::OptionClass::kMultiProcess, kconfig::OptionClass::kHardware}) {
+    by_class += builder.SizeOfClass(microvm, cls);
+  }
+  auto image = builder.Build(microvm);
+  ASSERT_TRUE(image.ok());
+  // Image = (core + options) * link factor; class sum is pre-factor.
+  EXPECT_GT(by_class, image->size - ImageBuilder::CoreSize() - kMiB);
+  EXPECT_LT(static_cast<double>(image->size),
+            static_cast<double>(ImageBuilder::CoreSize() + by_class));
+}
+
+}  // namespace
+}  // namespace lupine::kbuild

@@ -1,0 +1,83 @@
+#include "src/kbuild/syscalls.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/kconfig/option_names.h"
+#include "src/kconfig/presets.h"
+
+namespace lupine::kbuild {
+namespace {
+
+namespace n = kconfig::names;
+
+TEST(SyscallsTest, Table1RowsPresent) {
+  // Table 1 lists exactly 12 option rows; we add the two IPC gates.
+  const auto& gates = SyscallGates();
+  EXPECT_EQ(gates.size(), 14u);
+  int table1 = 0;
+  for (const auto& gate : gates) {
+    std::string opt = gate.option;
+    if (opt != n::kSysvipc && opt != n::kPosixMqueue) {
+      ++table1;
+    }
+  }
+  EXPECT_EQ(table1, 12);
+}
+
+TEST(SyscallsTest, EpollGatesItsFiveSyscalls) {
+  kconfig::Config c;
+  SyscallSet without = EnabledSyscalls(c);
+  EXPECT_FALSE(without.test(static_cast<int>(Sys::kEpollCreate1)));
+  EXPECT_FALSE(without.test(static_cast<int>(Sys::kEpollWait)));
+  c.Enable(n::kEpoll);
+  SyscallSet with = EnabledSyscalls(c);
+  EXPECT_TRUE(with.test(static_cast<int>(Sys::kEpollCreate)));
+  EXPECT_TRUE(with.test(static_cast<int>(Sys::kEpollCreate1)));
+  EXPECT_TRUE(with.test(static_cast<int>(Sys::kEpollCtl)));
+  EXPECT_TRUE(with.test(static_cast<int>(Sys::kEpollWait)));
+  EXPECT_TRUE(with.test(static_cast<int>(Sys::kEpollPwait)));
+}
+
+TEST(SyscallsTest, CoreSyscallsAlwaysAvailable) {
+  kconfig::Config empty;
+  SyscallSet set = EnabledSyscalls(empty);
+  EXPECT_TRUE(set.test(static_cast<int>(Sys::kRead)));
+  EXPECT_TRUE(set.test(static_cast<int>(Sys::kWrite)));
+  EXPECT_TRUE(set.test(static_cast<int>(Sys::kFork)));
+  EXPECT_TRUE(set.test(static_cast<int>(Sys::kGetppid)));
+  EXPECT_TRUE(set.test(static_cast<int>(Sys::kMmap)));
+}
+
+TEST(SyscallsTest, GatingOptionLookup) {
+  EXPECT_STREQ(GatingOption(Sys::kFutex), n::kFutex);
+  EXPECT_STREQ(GatingOption(Sys::kIoSubmit), n::kAio);
+  EXPECT_STREQ(GatingOption(Sys::kShmget), n::kSysvipc);
+  EXPECT_EQ(GatingOption(Sys::kRead), nullptr);
+}
+
+TEST(SyscallsTest, MicrovmEnablesEverything) {
+  SyscallSet set = EnabledSyscalls(kconfig::MicrovmConfig());
+  EXPECT_EQ(set.count(), static_cast<size_t>(kNumSyscalls));
+}
+
+TEST(SyscallsTest, LupineBaseDisablesAllGatedSyscalls) {
+  SyscallSet set = EnabledSyscalls(kconfig::LupineBase());
+  for (const auto& gate : SyscallGates()) {
+    for (Sys sys : gate.syscalls) {
+      EXPECT_FALSE(set.test(static_cast<int>(sys))) << SyscallName(sys);
+    }
+  }
+}
+
+TEST(SyscallsTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumSyscalls; ++i) {
+    names.insert(SyscallName(static_cast<Sys>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumSyscalls));
+}
+
+}  // namespace
+}  // namespace lupine::kbuild

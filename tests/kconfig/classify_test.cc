@@ -1,0 +1,55 @@
+#include "src/kconfig/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kconfig/presets.h"
+
+namespace lupine::kconfig {
+namespace {
+
+TEST(ClassifyTest, RemovalBreakdownMatchesPaper) {
+  RemovalBreakdown b = ClassifyRemovals(OptionDb::Linux40());
+  EXPECT_EQ(b.microvm_total, 833u);
+  EXPECT_EQ(b.base_retained, 283u);
+  EXPECT_EQ(b.removed_total(), 550u);
+  EXPECT_EQ(b.app_specific_total(), 311u);
+  EXPECT_EQ(b.multi_process, 89u);
+  EXPECT_EQ(b.hardware, 150u);
+}
+
+TEST(ClassifyTest, TreeTotalsSumTo15953) {
+  auto totals = TreeTotalsByDir(OptionDb::Linux40());
+  size_t sum = 0;
+  for (size_t c : totals) {
+    sum += c;
+  }
+  EXPECT_EQ(sum, 15953u);
+}
+
+TEST(ClassifyTest, CountByDirSumsToConfigSize) {
+  Config microvm = MicrovmConfig();
+  auto counts = CountByDir(microvm, OptionDb::Linux40());
+  size_t sum = 0;
+  for (size_t c : counts) {
+    sum += c;
+  }
+  EXPECT_EQ(sum, microvm.EnabledCount());
+}
+
+TEST(ClassifyTest, MicrovmHasNoSoundOrSamplesOptions) {
+  Config microvm = MicrovmConfig();
+  auto counts = CountByDir(microvm, OptionDb::Linux40());
+  EXPECT_EQ(counts[static_cast<int>(SourceDir::kSound)], 0u);
+  EXPECT_EQ(counts[static_cast<int>(SourceDir::kSamples)], 0u);
+}
+
+TEST(ClassifyTest, LupineBaseSmallerThanMicrovmInEveryDir) {
+  auto microvm = CountByDir(MicrovmConfig(), OptionDb::Linux40());
+  auto base = CountByDir(LupineBase(), OptionDb::Linux40());
+  for (int d = 0; d < kNumSourceDirs; ++d) {
+    EXPECT_LE(base[d], microvm[d]) << SourceDirName(static_cast<SourceDir>(d));
+  }
+}
+
+}  // namespace
+}  // namespace lupine::kconfig

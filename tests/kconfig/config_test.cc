@@ -1,0 +1,69 @@
+#include "src/kconfig/config.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine::kconfig {
+namespace {
+
+TEST(ConfigTest, EnableDisable) {
+  Config c("test");
+  EXPECT_FALSE(c.IsEnabled("FUTEX"));
+  c.Enable("FUTEX");
+  EXPECT_TRUE(c.IsEnabled("FUTEX"));
+  EXPECT_EQ(c.EnabledCount(), 1u);
+  c.Disable("FUTEX");
+  EXPECT_FALSE(c.IsEnabled("FUTEX"));
+  EXPECT_EQ(c.EnabledCount(), 0u);
+}
+
+TEST(ConfigTest, ValuedOptions) {
+  Config c;
+  c.SetValue("NR_CPUS", "1");
+  EXPECT_TRUE(c.IsEnabled("NR_CPUS"));
+  EXPECT_EQ(c.GetValue("NR_CPUS"), "1");
+  EXPECT_EQ(c.GetValue("MISSING"), "");
+}
+
+TEST(ConfigTest, MinusComputesDifference) {
+  Config a;
+  a.Enable("X");
+  a.Enable("Y");
+  Config b;
+  b.Enable("Y");
+  auto diff = a.Minus(b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0], "X");
+  EXPECT_TRUE(b.Minus(a).empty());
+}
+
+TEST(ConfigTest, UnionWith) {
+  Config a;
+  a.Enable("X");
+  Config b;
+  b.Enable("Y");
+  a.UnionWith(b);
+  EXPECT_TRUE(a.IsEnabled("X"));
+  EXPECT_TRUE(a.IsEnabled("Y"));
+  EXPECT_EQ(a.EnabledCount(), 2u);
+}
+
+TEST(ConfigTest, EnabledOptionsSortedAndComplete) {
+  Config c;
+  c.Enable("B");
+  c.Enable("A");
+  auto options = c.EnabledOptions();
+  ASSERT_EQ(options.size(), 2u);
+  EXPECT_EQ(options[0], "A");  // std::map ordering.
+  EXPECT_EQ(options[1], "B");
+}
+
+TEST(ConfigTest, EqualityIgnoresName) {
+  Config a("one");
+  Config b("two");
+  a.Enable("X");
+  b.Enable("X");
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace lupine::kconfig

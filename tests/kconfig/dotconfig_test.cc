@@ -1,0 +1,73 @@
+#include "src/kconfig/dotconfig.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kconfig/presets.h"
+
+namespace lupine::kconfig {
+namespace {
+
+TEST(DotConfigTest, SerializesBoolAndValuedOptions) {
+  Config c("demo");
+  c.Enable("FUTEX");
+  c.SetValue("NR_CPUS", "4");
+  c.SetValue("CMDLINE", "console=ttyS0");
+  std::string text = ToDotConfig(c);
+  EXPECT_NE(text.find("CONFIG_FUTEX=y"), std::string::npos);
+  EXPECT_NE(text.find("CONFIG_NR_CPUS=4"), std::string::npos);
+  EXPECT_NE(text.find("CONFIG_CMDLINE=\"console=ttyS0\""), std::string::npos);
+}
+
+TEST(DotConfigTest, RoundTrips) {
+  Config c("demo");
+  c.Enable("FUTEX");
+  c.Enable("EPOLL");
+  c.SetValue("NR_CPUS", "2");
+  auto parsed = ParseDotConfig(ToDotConfig(c));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == c);
+}
+
+TEST(DotConfigTest, ParsesNotSetCommentsAsAbsent) {
+  auto parsed = ParseDotConfig(
+      "# CONFIG_SMP is not set\n"
+      "CONFIG_FUTEX=y\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->IsEnabled("FUTEX"));
+  EXPECT_FALSE(parsed->IsEnabled("SMP"));
+}
+
+TEST(DotConfigTest, ExplicitNoIsAbsent) {
+  auto parsed = ParseDotConfig("CONFIG_SMP=n\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->IsEnabled("SMP"));
+}
+
+TEST(DotConfigTest, MalformedLineFails) {
+  auto parsed = ParseDotConfig("FUTEX=y\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.err(), Err::kInval);
+}
+
+TEST(DotConfigTest, QuotedStringsUnquoted) {
+  auto parsed = ParseDotConfig("CONFIG_CMDLINE=\"quiet panic=1\"\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetValue("CMDLINE"), "quiet panic=1");
+}
+
+TEST(DotConfigTest, MicrovmRoundTripsThroughText) {
+  Config microvm = MicrovmConfig();
+  auto parsed = ParseDotConfig(ToDotConfig(microvm));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->EnabledCount(), microvm.EnabledCount());
+}
+
+TEST(DotConfigTest, NotSetAnnotationsIncludeRemovedOptions) {
+  Config base = LupineBase();
+  std::string text = ToDotConfig(base, &OptionDb::Linux40());
+  // SMP is in the microVM universe but disabled in lupine-base.
+  EXPECT_NE(text.find("# CONFIG_SMP is not set"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lupine::kconfig

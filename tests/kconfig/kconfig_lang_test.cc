@@ -1,0 +1,134 @@
+#include "src/kconfig/kconfig_lang.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kconfig/resolver.h"
+
+namespace lupine::kconfig {
+namespace {
+
+constexpr char kSample[] = R"(# Futex support
+config FUTEX
+	bool "Fast user-space mutexes"
+	depends on MMU
+	select RT_MUTEXES
+	help
+	  Enables the futex system call used by
+	  modern pthread implementations.
+
+config MMU
+	bool
+
+config RT_MUTEXES
+	bool
+)";
+
+TEST(KconfigLangTest, ParsesConfigBlocks) {
+  OptionDb db;
+  auto added = ParseKconfig(kSample, {}, db);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(added.value(), 3u);
+
+  const OptionInfo* futex = db.Find("FUTEX");
+  ASSERT_NE(futex, nullptr);
+  EXPECT_EQ(futex->type, OptionType::kBool);
+  ASSERT_EQ(futex->depends_on.size(), 1u);
+  EXPECT_EQ(futex->depends_on[0], "MMU");
+  ASSERT_EQ(futex->selects.size(), 1u);
+  EXPECT_EQ(futex->selects[0], "RT_MUTEXES");
+  EXPECT_NE(futex->help.find("futex system call"), std::string::npos);
+}
+
+TEST(KconfigLangTest, ParsedTreeWorksWithTheResolver) {
+  OptionDb db;
+  ASSERT_TRUE(ParseKconfig(kSample, {}, db).ok());
+  Resolver resolver(db);
+  Config config;
+  ASSERT_TRUE(resolver.Enable(config, "FUTEX").ok());
+  EXPECT_TRUE(config.IsEnabled("MMU"));        // depends on
+  EXPECT_TRUE(config.IsEnabled("RT_MUTEXES")); // select
+  EXPECT_TRUE(resolver.Validate(config).ok());
+}
+
+TEST(KconfigLangTest, ConjunctiveDependsOn) {
+  OptionDb db;
+  auto added = ParseKconfig(
+      "config A\n\tbool\nconfig B\n\tbool\nconfig C\n\tbool\n\tdepends on A && B\n", {}, db);
+  ASSERT_TRUE(added.ok());
+  const OptionInfo* c = db.Find("C");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->depends_on, (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(KconfigLangTest, ConflictsExtension) {
+  OptionDb db;
+  auto added =
+      ParseKconfig("config KML\n\tbool\n\tconflicts PARAVIRT\nconfig PARAVIRT\n\tbool\n", {}, db);
+  ASSERT_TRUE(added.ok());
+  ASSERT_EQ(db.Find("KML")->conflicts.size(), 1u);
+  EXPECT_EQ(db.Find("KML")->conflicts[0], "PARAVIRT");
+}
+
+TEST(KconfigLangTest, TristateAndPromptTypes) {
+  OptionDb db;
+  ASSERT_TRUE(ParseKconfig("config IPV6\n\ttristate \"The IPv6 protocol\"\n", {}, db).ok());
+  EXPECT_EQ(db.Find("IPV6")->type, OptionType::kTristate);
+  EXPECT_EQ(db.Find("IPV6")->help, "The IPv6 protocol");
+}
+
+TEST(KconfigLangTest, ErrorsCarryLineNumbers) {
+  OptionDb db;
+  auto bad = ParseKconfig("config OK\n\tbool\nconfig lower_case\n", {}, db);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("Kconfig:3"), std::string::npos);
+}
+
+TEST(KconfigLangTest, DisjunctionRejected) {
+  OptionDb db;
+  auto bad = ParseKconfig("config X\n\tbool\n\tdepends on A || B\n", {}, db);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("conjunctive"), std::string::npos);
+}
+
+TEST(KconfigLangTest, UnsupportedConstructsRejectedExplicitly) {
+  OptionDb db;
+  auto bad = ParseKconfig("menu \"Networking\"\n", {}, db);
+  ASSERT_FALSE(bad.ok());
+  // 'menu' hits the outside-config-block check first; either message names
+  // the construct.
+  EXPECT_NE(bad.status().message().find("menu"), std::string::npos);
+}
+
+TEST(KconfigLangTest, DuplicateConfigRejected) {
+  OptionDb db;
+  auto bad = ParseKconfig("config X\n\tbool\nconfig X\n\tbool\n", {}, db);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.err(), Err::kExist);
+}
+
+TEST(KconfigLangTest, RoundTripThroughToKconfig) {
+  OptionDb db;
+  ASSERT_TRUE(ParseKconfig(kSample, {}, db).ok());
+  std::string rendered = ToKconfig(*db.Find("FUTEX"));
+  OptionDb db2;
+  // Re-parse just the FUTEX block.
+  auto added = ParseKconfig(rendered, {}, db2);
+  ASSERT_TRUE(added.ok()) << added.status().ToString() << "\n" << rendered;
+  EXPECT_EQ(db2.Find("FUTEX")->depends_on, db.Find("FUTEX")->depends_on);
+  EXPECT_EQ(db2.Find("FUTEX")->selects, db.Find("FUTEX")->selects);
+}
+
+TEST(KconfigLangTest, ParseOptionsAssignTaxonomy) {
+  OptionDb db;
+  KconfigParseOptions options;
+  options.dir = SourceDir::kNet;
+  options.option_class = OptionClass::kAppNetwork;
+  options.default_size = 64 * kKiB;
+  ASSERT_TRUE(ParseKconfig("config SCTP\n\tbool\n", options, db).ok());
+  EXPECT_EQ(db.Find("SCTP")->dir, SourceDir::kNet);
+  EXPECT_EQ(db.Find("SCTP")->option_class, OptionClass::kAppNetwork);
+  EXPECT_EQ(db.Find("SCTP")->builtin_size, 64 * kKiB);
+}
+
+}  // namespace
+}  // namespace lupine::kconfig

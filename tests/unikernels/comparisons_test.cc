@@ -1,0 +1,99 @@
+// Cross-system claims: Lupine outperforms at least one reference unikernel
+// in every dimension (the paper's headline).
+#include <gtest/gtest.h>
+
+#include "src/core/lineup.h"
+
+namespace lupine::unikernels {
+namespace {
+
+TEST(ComparisonsTest, LupineBeatsAtLeastOneUnikernelInEveryDimension) {
+  LinuxSystem lupine(LupineSpec());
+  std::vector<std::unique_ptr<UnikernelModel>> unikernels;
+  unikernels.push_back(std::make_unique<UnikernelModel>(OsvProfile()));
+  unikernels.push_back(std::make_unique<UnikernelModel>(HermituxProfile()));
+  unikernels.push_back(std::make_unique<UnikernelModel>(RumpProfile()));
+
+  // Image size.
+  auto lupine_size = lupine.KernelImageSize("hello-world");
+  ASSERT_TRUE(lupine_size.ok());
+  int beaten = 0;
+  for (auto& u : unikernels) {
+    auto size = u->KernelImageSize("hello-world");
+    if (size.ok() && lupine_size.value() < size.value()) {
+      ++beaten;
+    }
+  }
+  EXPECT_GE(beaten, 1) << "image size";
+
+  // Boot time (nokml variant, as in Fig. 7).
+  LinuxSystem nokml(LupineNokmlSpec());
+  auto lupine_boot = nokml.BootTime("hello-world");
+  ASSERT_TRUE(lupine_boot.ok());
+  beaten = 0;
+  for (auto& u : unikernels) {
+    auto boot = u->BootTime("hello-world");
+    if (boot.ok() && lupine_boot.value() < boot.value()) {
+      ++beaten;
+    }
+  }
+  EXPECT_GE(beaten, 1) << "boot time";
+
+  // Memory footprint on redis (paper: smaller than every unikernel).
+  auto lupine_mem = lupine.MemoryFootprint("redis");
+  ASSERT_TRUE(lupine_mem.ok());
+  for (auto& u : unikernels) {
+    auto mem = u->MemoryFootprint("redis");
+    ASSERT_TRUE(mem.ok()) << u->name();
+    EXPECT_LT(lupine_mem.value(), mem.value() + kMiB) << u->name();
+  }
+
+  // Syscall latency (null).
+  auto lupine_lat = lupine.SyscallLatency();
+  ASSERT_TRUE(lupine_lat.ok());
+  beaten = 0;
+  for (auto& u : unikernels) {
+    auto lat = u->SyscallLatency();
+    if (lat.ok() && lupine_lat->null_us < lat->null_us) {
+      ++beaten;
+    }
+  }
+  EXPECT_GE(beaten, 1) << "syscall latency";
+
+  // Application performance: Lupine beats every unikernel on redis-get.
+  auto lupine_rps = lupine.RedisThroughput(false);
+  ASSERT_TRUE(lupine_rps.ok());
+  for (auto& u : unikernels) {
+    auto rps = u->RedisThroughput(false);
+    ASSERT_TRUE(rps.ok()) << u->name();
+    EXPECT_GT(lupine_rps.value(), rps.value()) << u->name();
+  }
+}
+
+TEST(ComparisonsTest, LineupsAreWellFormed) {
+  for (auto* lineup_fn : {core::ImageSizeLineup, core::BootTimeLineup, core::MemoryLineup,
+                          core::SyscallLineup, core::AppPerfLineup}) {
+    auto lineup = lineup_fn();
+    EXPECT_GE(lineup.size(), 6u);
+    std::set<std::string> names;
+    for (auto& system : lineup) {
+      EXPECT_FALSE(system->name().empty());
+      names.insert(system->name());
+    }
+    EXPECT_EQ(names.size(), lineup.size()) << "duplicate system in lineup";
+    // microVM baseline always present.
+    EXPECT_TRUE(names.count("microvm"));
+  }
+}
+
+TEST(ComparisonsTest, EveryLineupSystemReportsImageSize) {
+  for (auto& system : core::ImageSizeLineup()) {
+    auto size = system->KernelImageSize("hello-world");
+    ASSERT_TRUE(size.ok()) << system->name();
+    EXPECT_GT(size.value(), 512 * kKiB) << system->name();
+    EXPECT_LT(size.value(), 20 * kMiB) << system->name();
+  }
+}
+
+}  // namespace
+}  // namespace lupine::unikernels

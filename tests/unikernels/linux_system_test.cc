@@ -1,0 +1,79 @@
+#include "src/unikernels/linux_system.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kconfig/option_names.h"
+
+namespace lupine::unikernels {
+namespace {
+
+namespace n = kconfig::names;
+
+TEST(LinuxSystemTest, VariantConfigsBuild) {
+  for (const auto& spec : {MicrovmSpec(), LupineSpec(), LupineNokmlSpec(), LupineTinySpec(),
+                           LupineNokmlTinySpec(), LupineGeneralSpec(),
+                           LupineGeneralNokmlSpec()}) {
+    auto config = BuildVariantConfig(spec, "redis");
+    ASSERT_TRUE(config.ok()) << spec.name;
+    EXPECT_EQ(config->IsEnabled(n::kKml), spec.kml) << spec.name;
+    if (spec.tiny) {
+      EXPECT_EQ(config->compile_mode(), kconfig::CompileMode::kOs) << spec.name;
+    }
+  }
+}
+
+TEST(LinuxSystemTest, KmlVariantDropsParavirt) {
+  auto kml = BuildVariantConfig(LupineSpec(), "redis");
+  auto nokml = BuildVariantConfig(LupineNokmlSpec(), "redis");
+  ASSERT_TRUE(kml.ok());
+  ASSERT_TRUE(nokml.ok());
+  EXPECT_FALSE(kml->IsEnabled(n::kParavirt));
+  EXPECT_TRUE(nokml->IsEnabled(n::kParavirt));
+}
+
+TEST(LinuxSystemTest, SupportsEverything) {
+  LinuxSystem lupine(LupineSpec());
+  EXPECT_TRUE(lupine.Supports("redis").supported);
+  EXPECT_TRUE(lupine.Supports("postgres").supported);
+  EXPECT_TRUE(lupine.Supports("anything-else").supported);
+}
+
+TEST(LinuxSystemTest, ImageSizesOrdered) {
+  LinuxSystem microvm(MicrovmSpec());
+  LinuxSystem lupine(LupineSpec());
+  LinuxSystem general(LupineGeneralSpec());
+  auto m = microvm.KernelImageSize("hello-world");
+  auto l = lupine.KernelImageSize("hello-world");
+  auto g = general.KernelImageSize("hello-world");
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(l.ok());
+  ASSERT_TRUE(g.ok());
+  EXPECT_LT(l.value(), m.value());
+  EXPECT_LE(l.value(), g.value());
+  EXPECT_LT(g.value(), m.value());
+}
+
+TEST(LinuxSystemTest, BootTimeLupineFasterThanMicrovm) {
+  LinuxSystem microvm(MicrovmSpec());
+  LinuxSystem lupine(LupineNokmlSpec());
+  auto m = microvm.BootTime("hello-world");
+  auto l = lupine.BootTime("hello-world");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  EXPECT_LT(l.value(), m.value());
+  // Around 23 ms vs 56 ms (abstract, Fig. 7); allow simulation bands.
+  EXPECT_GT(ToMillis(l.value()), 10);
+  EXPECT_LT(ToMillis(l.value()), 35);
+  EXPECT_GT(ToMillis(m.value()), 40);
+}
+
+TEST(LinuxSystemTest, SyscallLatencyMeasured) {
+  LinuxSystem lupine(LupineSpec());
+  auto lat = lupine.SyscallLatency();
+  ASSERT_TRUE(lat.ok()) << lat.status().ToString();
+  EXPECT_GT(lat->null_us, 0);
+  EXPECT_LT(lat->null_us, 0.1);
+}
+
+}  // namespace
+}  // namespace lupine::unikernels

@@ -1,0 +1,87 @@
+#include "src/unikernels/unikernel_models.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine::unikernels {
+namespace {
+
+TEST(ModelsTest, CuratedAppListsEnforced) {
+  UnikernelModel hermitux(HermituxProfile());
+  EXPECT_TRUE(hermitux.Supports("redis").supported);
+  // "Unfortunately, HermiTux cannot run nginx" (Section 4.4).
+  EXPECT_FALSE(hermitux.Supports("nginx").supported);
+  EXPECT_FALSE(hermitux.Supports("postgres").supported);
+
+  UnikernelModel osv(OsvProfile());
+  EXPECT_TRUE(osv.Supports("nginx").supported);
+  EXPECT_FALSE(osv.Supports("mysql").supported);
+}
+
+TEST(ModelsTest, MonitorsMatchTable2) {
+  EXPECT_EQ(UnikernelModel(OsvProfile()).monitor(), "firecracker");
+  EXPECT_EQ(UnikernelModel(HermituxProfile()).monitor(), "uhyve");
+  EXPECT_EQ(UnikernelModel(RumpProfile()).monitor(), "solo5-hvt");
+}
+
+TEST(ModelsTest, OsvZfsBootsTenTimesSlowerThanRofs) {
+  UnikernelModel rofs(OsvProfile(false));
+  UnikernelModel zfs(OsvProfile(true));
+  auto fast = rofs.BootTime("hello-world");
+  auto slow = zfs.BootTime("hello-world");
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_GE(slow.value(), 8 * fast.value());
+}
+
+TEST(ModelsTest, RumpImageGrowsWithStaticApp) {
+  UnikernelModel rump(RumpProfile());
+  auto hello = rump.KernelImageSize("hello-world");
+  auto redis = rump.KernelImageSize("redis");
+  ASSERT_TRUE(hello.ok());
+  ASSERT_TRUE(redis.ok());
+  EXPECT_GT(redis.value(), hello.value());
+}
+
+TEST(ModelsTest, FootprintRefusedForUnsupportedApps) {
+  UnikernelModel hermitux(HermituxProfile());
+  auto footprint = hermitux.MemoryFootprint("nginx");
+  EXPECT_FALSE(footprint.ok());
+  EXPECT_EQ(footprint.err(), Err::kOpNotSupp);
+}
+
+TEST(ModelsTest, OsvSyscallQuirks) {
+  UnikernelModel osv(OsvProfile());
+  auto lat = osv.SyscallLatency();
+  ASSERT_TRUE(lat.ok());
+  // Hardcoded getppid -> near zero; /dev/zero read unsupported -> slow.
+  EXPECT_LT(lat->null_us, 0.01);
+  EXPECT_GT(lat->read_us, 0.1);
+}
+
+TEST(ModelsTest, NginxThroughputUnavailableOnOsvAndHermitux) {
+  UnikernelModel osv(OsvProfile());
+  UnikernelModel hermitux(HermituxProfile());
+  EXPECT_FALSE(osv.NginxThroughput(false).ok());
+  EXPECT_FALSE(hermitux.NginxThroughput(true).ok());
+}
+
+TEST(ModelsTest, ThroughputAnchoredBelowMicrovmForHermitux) {
+  auto baseline = MicrovmBaselineRps("redis-get");
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  UnikernelModel hermitux(HermituxProfile());
+  auto rps = hermitux.RedisThroughput(false);
+  ASSERT_TRUE(rps.ok());
+  EXPECT_NEAR(rps.value() / baseline.value(), 0.66, 0.01);
+}
+
+TEST(ModelsTest, RumpBeatsMicrovmOnNginxConn) {
+  auto baseline = MicrovmBaselineRps("nginx-conn");
+  ASSERT_TRUE(baseline.ok());
+  UnikernelModel rump(RumpProfile());
+  auto rps = rump.NginxThroughput(false);
+  ASSERT_TRUE(rps.ok());
+  EXPECT_GT(rps.value(), baseline.value());
+}
+
+}  // namespace
+}  // namespace lupine::unikernels

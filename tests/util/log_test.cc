@@ -1,0 +1,37 @@
+#include "src/util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine {
+namespace {
+
+TEST(LogTest, LevelRoundTrips) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(saved);
+}
+
+TEST(LogTest, MacrosCompileAndRespectLevel) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  // Streams must still evaluate safely even when suppressed by level.
+  LOG_DEBUG << "invisible " << 42;
+  LOG_INFO << "invisible " << 3.14;
+  LOG_WARN << "invisible";
+  LOG_ERROR << "invisible";
+  SetLogLevel(saved);
+  SUCCEED();
+}
+
+TEST(LogTest, LogMessageStripsDirectories) {
+  // Behavioural smoke: must not crash with odd file paths.
+  LogMessage(LogLevel::kError, "/a/b/c.cc", 1, "message");
+  LogMessage(LogLevel::kError, "nodir.cc", 2, "message");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lupine

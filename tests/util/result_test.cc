@@ -1,0 +1,62 @@
+#include "src/util/result.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.err(), Err::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s(Err::kNoSys, "epoll_create: function not implemented");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.err(), Err::kNoSys);
+  EXPECT_EQ(s.ToString(), "ENOSYS: epoll_create: function not implemented");
+}
+
+TEST(StatusTest, ErrNamesMatchErrno) {
+  EXPECT_STREQ(ErrName(Err::kNoEnt), "ENOENT");
+  EXPECT_STREQ(ErrName(Err::kNoMem), "ENOMEM");
+  EXPECT_STREQ(ErrName(Err::kAfNoSupport), "EAFNOSUPPORT");
+  EXPECT_STREQ(ErrName(Err::kConnRefused), "ECONNREFUSED");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Err::kNoEnt, "missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.err(), Err::kNoEnt);
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = r.take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, FromStatus) {
+  Status bad(Err::kInval, "nope");
+  Result<int> r{bad};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.err(), Err::kInval);
+}
+
+}  // namespace
+}  // namespace lupine

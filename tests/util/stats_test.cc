@@ -1,0 +1,53 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine {
+namespace {
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.Stddev(), 0.0);
+}
+
+TEST(AccumulatorTest, MeanMinMaxSum) {
+  Accumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    acc.Add(v);
+  }
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+}
+
+TEST(AccumulatorTest, VarianceMatchesSampleFormula) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc.Add(v);
+  }
+  EXPECT_NEAR(acc.Variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(PercentileTest, NearestRankInterpolation) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.5);
+}
+
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, MeanAndStddevHelpers) {
+  std::vector<double> v = {10, 10, 10};
+  EXPECT_DOUBLE_EQ(Mean(v), 10.0);
+  EXPECT_DOUBLE_EQ(Stddev(v), 0.0);
+}
+
+}  // namespace
+}  // namespace lupine

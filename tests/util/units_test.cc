@@ -1,0 +1,31 @@
+#include "src/util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine {
+namespace {
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(Micros(3), 3'000);
+  EXPECT_EQ(Millis(2), 2'000'000);
+  EXPECT_EQ(Seconds(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(ToMicros(1500), 1.5);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(23)), 23.0);
+  EXPECT_DOUBLE_EQ(ToMiB(MiB(4)), 4.0);
+}
+
+TEST(UnitsTest, FormatSizePicksUnit) {
+  EXPECT_EQ(FormatSize(512), "512 B");
+  EXPECT_EQ(FormatSize(KiB(2)), "2.0 KB");
+  EXPECT_EQ(FormatSize(MiB(4)), "4.0 MB");
+}
+
+TEST(UnitsTest, FormatDurationPicksUnit) {
+  EXPECT_EQ(FormatDuration(500), "500 ns");
+  EXPECT_EQ(FormatDuration(Micros(56)), "56.000 us");
+  EXPECT_EQ(FormatDuration(Millis(23)), "23.00 ms");
+  EXPECT_EQ(FormatDuration(Seconds(2)), "2.00 s");
+}
+
+}  // namespace
+}  // namespace lupine

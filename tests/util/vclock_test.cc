@@ -1,0 +1,38 @@
+#include "src/util/vclock.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine {
+namespace {
+
+TEST(VirtualClockTest, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.Advance(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.Advance(0);
+  EXPECT_EQ(clock.now(), 100);
+}
+
+TEST(VirtualClockTest, AdvanceToNeverMovesBackwards) {
+  VirtualClock clock;
+  clock.Advance(500);
+  clock.AdvanceTo(300);  // In the past: no-op.
+  EXPECT_EQ(clock.now(), 500);
+  clock.AdvanceTo(700);
+  EXPECT_EQ(clock.now(), 700);
+}
+
+TEST(VirtualStopwatchTest, MeasuresElapsed) {
+  VirtualClock clock;
+  VirtualStopwatch watch(clock);
+  clock.Advance(250);
+  EXPECT_EQ(watch.Elapsed(), 250);
+  watch.Restart();
+  EXPECT_EQ(watch.Elapsed(), 0);
+  clock.Advance(10);
+  EXPECT_EQ(watch.Elapsed(), 10);
+}
+
+}  // namespace
+}  // namespace lupine

@@ -1,0 +1,34 @@
+#include "src/vmm/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine::vmm {
+namespace {
+
+TEST(MonitorTest, UnikernelMonitorsAreLighterThanFirecracker) {
+  Bytes image = 4 * kMiB;
+  Nanos fc = MonitorSetupTime(Firecracker(), image);
+  Nanos solo5 = MonitorSetupTime(Solo5Hvt(), image);
+  Nanos uhyve = MonitorSetupTime(Uhyve(), image);
+  EXPECT_LT(solo5, fc);
+  EXPECT_LT(uhyve, fc);
+}
+
+TEST(MonitorTest, QemuIsTheHeavyweight) {
+  Bytes image = 4 * kMiB;
+  Nanos fc = MonitorSetupTime(Firecracker(), image);
+  Nanos qemu = MonitorSetupTime(Qemu(), image);
+  // "hundreds of milliseconds ... for VMs" (Section 2.2).
+  EXPECT_GT(qemu, 10 * fc);
+  EXPECT_TRUE(Qemu().pci_bus);
+  EXPECT_FALSE(Firecracker().pci_bus);
+}
+
+TEST(MonitorTest, LargerImagesLoadSlower) {
+  Nanos small = MonitorSetupTime(Firecracker(), 4 * kMiB);
+  Nanos large = MonitorSetupTime(Firecracker(), 15 * kMiB);
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace lupine::vmm

@@ -1,0 +1,95 @@
+#include "src/workload/lmbench.h"
+
+#include <gtest/gtest.h>
+
+#include "src/unikernels/linux_system.h"
+
+namespace lupine::workload {
+namespace {
+
+using unikernels::LinuxSystem;
+
+std::unique_ptr<vmm::Vm> BenchVm(const unikernels::LinuxVariantSpec& spec) {
+  LinuxSystem system(spec);
+  auto vm = system.MakeVm("hello-world", 512 * kMiB, /*bench_rootfs=*/true);
+  EXPECT_TRUE(vm.ok()) << vm.status().ToString();
+  auto owned = std::move(vm.value());
+  EXPECT_TRUE(owned->Boot().ok());
+  owned->kernel().Run();
+  return owned;
+}
+
+TEST(LmbenchTest, SyscallLatenciesPositiveAndOrdered) {
+  auto microvm = BenchVm(unikernels::MicrovmSpec());
+  auto lupine = BenchVm(unikernels::LupineSpec());
+  SyscallLatencies m = MeasureSyscallLatency(*microvm);
+  SyscallLatencies l = MeasureSyscallLatency(*lupine);
+  EXPECT_GT(m.null_us, 0);
+  EXPECT_GT(m.read_us, m.null_us);  // read does more work than getppid.
+  EXPECT_LT(l.null_us, m.null_us);
+  EXPECT_LT(l.write_us, m.write_us);
+}
+
+TEST(LmbenchTest, CtxSwitchGrowsWithWorkingSet) {
+  auto vm = BenchVm(unikernels::LupineGeneralSpec());
+  double zero_k = MeasureCtxSwitchUs(*vm, 2, 0, 100);
+  double sixty_four_k = MeasureCtxSwitchUs(*vm, 2, 64, 100);
+  EXPECT_GT(zero_k, 0);
+  EXPECT_GT(sixty_four_k, zero_k);
+}
+
+TEST(LmbenchTest, PipeLatencyCheaperThanUnix) {
+  auto vm = BenchVm(unikernels::LupineGeneralSpec());
+  double pipe = MeasurePipeLatencyUs(*vm, /*af_unix=*/false, 100);
+  double af_unix = MeasurePipeLatencyUs(*vm, /*af_unix=*/true, 100);
+  EXPECT_GT(pipe, 0);
+  EXPECT_GT(af_unix, pipe * 0.8);  // AF_UNIX is at least comparable.
+}
+
+TEST(LmbenchTest, TcpConnCostsMoreThanRoundTrip) {
+  auto vm = BenchVm(unikernels::LupineGeneralSpec());
+  double rtt = MeasureTcpLatencyUs(*vm, 100);
+  double conn = MeasureTcpConnUs(*vm, 100);
+  EXPECT_GT(conn, rtt * 0.8);
+  EXPECT_GT(rtt, 0);
+}
+
+TEST(LmbenchTest, FullSuiteHasAllSections) {
+  auto vm = BenchVm(unikernels::LupineGeneralSpec());
+  auto rows = RunLmbenchSuite(*vm);
+  EXPECT_GE(rows.size(), 30u);
+  std::set<std::string> sections;
+  for (const auto& row : rows) {
+    sections.insert(row.section);
+    if (!row.bandwidth) {
+      EXPECT_GE(row.value, 0) << row.name;
+    } else {
+      EXPECT_GT(row.value, 0) << row.name;
+    }
+  }
+  EXPECT_EQ(sections.size(), 5u);
+}
+
+TEST(LmbenchTest, LupineGeneralBeatsMicrovmOnMostLatencies) {
+  auto microvm_vm = BenchVm(unikernels::MicrovmSpec());
+  auto lupine_vm = BenchVm(unikernels::LupineGeneralNokmlSpec());
+  auto microvm = RunLmbenchSuite(*microvm_vm);
+  auto lupine = RunLmbenchSuite(*lupine_vm);
+  ASSERT_EQ(microvm.size(), lupine.size());
+  int lupine_wins = 0;
+  int comparisons = 0;
+  for (size_t i = 0; i < microvm.size(); ++i) {
+    if (microvm[i].bandwidth) {
+      continue;
+    }
+    ++comparisons;
+    if (lupine[i].value <= microvm[i].value) {
+      ++lupine_wins;
+    }
+  }
+  // Table 5: lupine-general is faster on essentially every latency row.
+  EXPECT_GT(lupine_wins * 10, comparisons * 8);
+}
+
+}  // namespace
+}  // namespace lupine::workload

@@ -1,0 +1,83 @@
+#include "src/workload/perf_messaging.h"
+
+#include <gtest/gtest.h>
+
+#include "src/unikernels/linux_system.h"
+
+namespace lupine::workload {
+namespace {
+
+std::unique_ptr<vmm::Vm> GeneralVm() {
+  unikernels::LinuxSystem system(unikernels::LupineGeneralSpec());
+  auto vm = system.MakeVm("hello-world", 512 * kMiB, /*bench_rootfs=*/true);
+  EXPECT_TRUE(vm.ok());
+  auto owned = std::move(vm.value());
+  EXPECT_TRUE(owned->Boot().ok());
+  owned->kernel().Run();
+  return owned;
+}
+
+TEST(MessagingTest, ThreadModeCompletes) {
+  auto vm = GeneralVm();
+  MessagingConfig config;
+  config.groups = 1;
+  config.senders_per_group = 4;
+  config.receivers_per_group = 4;
+  config.messages_per_pair = 10;
+  config.use_processes = false;
+  Nanos elapsed = RunPerfMessaging(*vm, config);
+  EXPECT_GT(elapsed, 0);
+}
+
+TEST(MessagingTest, ProcessModeCompletes) {
+  auto vm = GeneralVm();
+  MessagingConfig config;
+  config.groups = 1;
+  config.senders_per_group = 4;
+  config.receivers_per_group = 4;
+  config.messages_per_pair = 10;
+  config.use_processes = true;
+  EXPECT_GT(RunPerfMessaging(*vm, config), 0);
+}
+
+TEST(MessagingTest, MoreGroupsTakeLonger) {
+  MessagingConfig config;
+  config.senders_per_group = 4;
+  config.receivers_per_group = 4;
+  config.messages_per_pair = 10;
+  config.use_processes = true;
+
+  auto vm1 = GeneralVm();
+  config.groups = 1;
+  Nanos one = RunPerfMessaging(*vm1, config);
+  auto vm4 = GeneralVm();
+  config.groups = 4;
+  Nanos four = RunPerfMessaging(*vm4, config);
+  EXPECT_GT(four, 2 * one);
+}
+
+TEST(MessagingTest, ProcessesWithinAFewPercentOfThreads) {
+  // Section 5 / Fig. 12: process switching is not meaningfully slower than
+  // thread switching (max +3%; sometimes faster).
+  MessagingConfig config;
+  config.groups = 2;
+  config.senders_per_group = 10;
+  config.receivers_per_group = 10;
+  config.messages_per_pair = 10;
+
+  auto vm_threads = GeneralVm();
+  config.use_processes = false;
+  Nanos threads = RunPerfMessaging(*vm_threads, config);
+
+  auto vm_procs = GeneralVm();
+  config.use_processes = true;
+  Nanos procs = RunPerfMessaging(*vm_procs, config);
+
+  double delta = (static_cast<double>(procs) - static_cast<double>(threads)) /
+                 static_cast<double>(threads);
+  EXPECT_LT(delta, 0.08);
+  EXPECT_GT(delta, -0.25);
+}
+
+}  // namespace
+}  // namespace lupine::workload

@@ -1,0 +1,60 @@
+// The KML-amortization and control-process helpers.
+#include <gtest/gtest.h>
+
+#include "src/unikernels/linux_system.h"
+#include "src/workload/control_procs.h"
+#include "src/workload/kml_bench.h"
+
+namespace lupine::workload {
+namespace {
+
+std::unique_ptr<vmm::Vm> BenchVm(const unikernels::LinuxVariantSpec& spec) {
+  unikernels::LinuxSystem system(spec);
+  auto vm = system.MakeVm("hello-world", 512 * kMiB, /*bench_rootfs=*/true);
+  EXPECT_TRUE(vm.ok());
+  auto owned = std::move(vm.value());
+  EXPECT_TRUE(owned->Boot().ok());
+  owned->kernel().Run();
+  return owned;
+}
+
+TEST(MicrobenchTest, BusyWorkRaisesPerCallTime) {
+  auto vm = BenchVm(unikernels::LupineGeneralSpec());
+  double at0 = MeasureNullWithWorkUs(*vm, 0, 500);
+  auto vm2 = BenchVm(unikernels::LupineGeneralSpec());
+  double at100 = MeasureNullWithWorkUs(*vm2, 100, 500);
+  EXPECT_GT(at100, at0 + 0.1);  // 100 iterations at ~2ns each.
+}
+
+TEST(MicrobenchTest, KmlImprovementDecaysMonotonically) {
+  std::vector<double> improvements;
+  for (int iterations : {0, 40, 160}) {
+    auto kml = BenchVm(unikernels::LupineGeneralSpec());
+    auto nokml = BenchVm(unikernels::LupineGeneralNokmlSpec());
+    double a = MeasureNullWithWorkUs(*kml, iterations, 500);
+    double b = MeasureNullWithWorkUs(*nokml, iterations, 500);
+    improvements.push_back(1.0 - a / b);
+  }
+  EXPECT_GT(improvements[0], improvements[1]);
+  EXPECT_GT(improvements[1], improvements[2]);
+  EXPECT_GT(improvements[0], 0.30);  // ~40% at zero work.
+  EXPECT_LT(improvements[2], 0.07);  // <5% at 160 iterations.
+}
+
+TEST(MicrobenchTest, ControlProcessesAreInvisible) {
+  auto vm_none = BenchVm(unikernels::LupineGeneralSpec());
+  auto base = MeasureWithControlProcs(*vm_none, 0);
+  auto vm_many = BenchVm(unikernels::LupineGeneralSpec());
+  auto many = MeasureWithControlProcs(*vm_many, 128);
+  EXPECT_NEAR(many.null_us, base.null_us, 0.002);
+}
+
+TEST(MicrobenchTest, ControlProcessesStayAliveButBlocked) {
+  auto vm = BenchVm(unikernels::LupineGeneralSpec());
+  size_t before = vm->kernel().ProcessCount();
+  MeasureWithControlProcs(*vm, 32);
+  EXPECT_GE(vm->kernel().ProcessCount(), before + 32);
+}
+
+}  // namespace
+}  // namespace lupine::workload

@@ -1,0 +1,100 @@
+// Cross-variant performance properties: orderings the paper's thesis
+// depends on must hold for every app-specialized kernel.
+#include <gtest/gtest.h>
+
+#include "src/unikernels/linux_system.h"
+#include "src/workload/lmbench.h"
+
+namespace lupine::workload {
+namespace {
+
+using unikernels::LinuxSystem;
+
+class PerAppVariantProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PerAppVariantProperty, ImageOrderingHoldsForEveryApp) {
+  LinuxSystem microvm(unikernels::MicrovmSpec());
+  LinuxSystem lupine(unikernels::LupineSpec());
+  LinuxSystem tiny(unikernels::LupineTinySpec());
+  auto m = microvm.KernelImageSize(GetParam());
+  auto l = lupine.KernelImageSize(GetParam());
+  auto t = tiny.KernelImageSize(GetParam());
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(l.ok());
+  ASSERT_TRUE(t.ok());
+  EXPECT_LT(t.value(), l.value()) << GetParam();
+  EXPECT_LT(l.value(), m.value()) << GetParam();
+  double ratio = static_cast<double>(l.value()) / static_cast<double>(m.value());
+  EXPECT_GT(ratio, 0.20) << GetParam();
+  EXPECT_LT(ratio, 0.40) << GetParam();
+}
+
+TEST_P(PerAppVariantProperty, BootOrderingHoldsForEveryApp) {
+  LinuxSystem microvm(unikernels::MicrovmSpec());
+  LinuxSystem lupine(unikernels::LupineNokmlSpec());
+  auto m = microvm.BootTime(GetParam());
+  auto l = lupine.BootTime(GetParam());
+  ASSERT_TRUE(m.ok()) << GetParam();
+  ASSERT_TRUE(l.ok()) << GetParam();
+  EXPECT_LT(l.value(), m.value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, PerAppVariantProperty,
+                         ::testing::Values("hello-world", "redis", "nginx", "postgres",
+                                           "memcached", "node", "elasticsearch"));
+
+TEST(VariantPropertyTest, SyscallLatencyStrictOrdering) {
+  // microVM > lupine-nokml > lupine(KML) on every lmbench column.
+  LinuxSystem microvm(unikernels::MicrovmSpec());
+  LinuxSystem nokml(unikernels::LupineNokmlSpec());
+  LinuxSystem kml(unikernels::LupineSpec());
+  auto m = microvm.SyscallLatency();
+  auto n = nokml.SyscallLatency();
+  auto k = kml.SyscallLatency();
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(n.ok());
+  ASSERT_TRUE(k.ok());
+  EXPECT_GT(m->null_us, n->null_us);
+  EXPECT_GT(n->null_us, k->null_us);
+  EXPECT_GT(m->read_us, n->read_us);
+  EXPECT_GT(n->read_us, k->read_us);
+  EXPECT_GT(m->write_us, n->write_us);
+  EXPECT_GT(n->write_us, k->write_us);
+}
+
+TEST(VariantPropertyTest, GeneralEqualsAppSpecificOnMicrobenchmarks) {
+  // "we found no differences in system call latency between the
+  // application-specific and general variants" (Section 4.5).
+  LinuxSystem app_specific(unikernels::LupineSpec());
+  LinuxSystem general(unikernels::LupineGeneralSpec());
+  auto a = app_specific.SyscallLatency();
+  auto g = general.SyscallLatency();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(a->null_us, g->null_us, 0.002);
+  EXPECT_NEAR(a->read_us, g->read_us, 0.002);
+  EXPECT_NEAR(a->write_us, g->write_us, 0.002);
+}
+
+TEST(VariantPropertyTest, TinyTradesThroughputNotBoot) {
+  LinuxSystem normal(unikernels::LupineSpec());
+  LinuxSystem tiny(unikernels::LupineTinySpec());
+  auto n_rps = normal.RedisThroughput(false);
+  auto t_rps = tiny.RedisThroughput(false);
+  ASSERT_TRUE(n_rps.ok());
+  ASSERT_TRUE(t_rps.ok());
+  EXPECT_LT(t_rps.value(), n_rps.value());
+  // Within 10 points of each other (Table 4).
+  EXPECT_GT(t_rps.value(), n_rps.value() * 0.88);
+
+  auto n_boot = normal.BootTime("redis");
+  auto t_boot = tiny.BootTime("redis");
+  ASSERT_TRUE(n_boot.ok());
+  ASSERT_TRUE(t_boot.ok());
+  double boot_ratio = static_cast<double>(t_boot.value()) / static_cast<double>(n_boot.value());
+  EXPECT_GT(boot_ratio, 0.9);
+  EXPECT_LT(boot_ratio, 1.15);
+}
+
+}  // namespace
+}  // namespace lupine::workload
