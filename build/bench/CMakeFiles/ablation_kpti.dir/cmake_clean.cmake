@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kpti.dir/ablation_kpti.cc.o"
+  "CMakeFiles/ablation_kpti.dir/ablation_kpti.cc.o.d"
+  "ablation_kpti"
+  "ablation_kpti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kpti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

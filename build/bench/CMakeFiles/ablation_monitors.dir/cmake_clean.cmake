@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_monitors.dir/ablation_monitors.cc.o"
+  "CMakeFiles/ablation_monitors.dir/ablation_monitors.cc.o.d"
+  "ablation_monitors"
+  "ablation_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

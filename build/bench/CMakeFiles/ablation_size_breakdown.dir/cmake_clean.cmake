@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_size_breakdown.dir/ablation_size_breakdown.cc.o"
+  "CMakeFiles/ablation_size_breakdown.dir/ablation_size_breakdown.cc.o.d"
+  "ablation_size_breakdown"
+  "ablation_size_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_size_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_boot_per_app.cc" "bench/CMakeFiles/ext_boot_per_app.dir/ext_boot_per_app.cc.o" "gcc" "bench/CMakeFiles/ext_boot_per_app.dir/ext_boot_per_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lupine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/unikernels/CMakeFiles/lupine_unikernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lupine_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lupine_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/lupine_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/lupine_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kbuild/CMakeFiles/lupine_kbuild.dir/DependInfo.cmake"
+  "/root/repo/build/src/kconfig/CMakeFiles/lupine_kconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lupine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_boot_per_app.dir/ext_boot_per_app.cc.o"
+  "CMakeFiles/ext_boot_per_app.dir/ext_boot_per_app.cc.o.d"
+  "ext_boot_per_app"
+  "ext_boot_per_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_boot_per_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_memcached.dir/ext_memcached.cc.o"
+  "CMakeFiles/ext_memcached.dir/ext_memcached.cc.o.d"
+  "ext_memcached"
+  "ext_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pipelining.dir/ext_pipelining.cc.o"
+  "CMakeFiles/ext_pipelining.dir/ext_pipelining.cc.o.d"
+  "ext_pipelining"
+  "ext_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_config_options.dir/fig03_config_options.cc.o"
+  "CMakeFiles/fig03_config_options.dir/fig03_config_options.cc.o.d"
+  "fig03_config_options"
+  "fig03_config_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_config_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_config_growth.dir/fig05_config_growth.cc.o"
+  "CMakeFiles/fig05_config_growth.dir/fig05_config_growth.cc.o.d"
+  "fig05_config_growth"
+  "fig05_config_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_config_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

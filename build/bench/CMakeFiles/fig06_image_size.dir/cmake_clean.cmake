@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_image_size.dir/fig06_image_size.cc.o"
+  "CMakeFiles/fig06_image_size.dir/fig06_image_size.cc.o.d"
+  "fig06_image_size"
+  "fig06_image_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_image_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

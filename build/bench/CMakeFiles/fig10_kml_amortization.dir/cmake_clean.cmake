@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_kml_amortization.dir/fig10_kml_amortization.cc.o"
+  "CMakeFiles/fig10_kml_amortization.dir/fig10_kml_amortization.cc.o.d"
+  "fig10_kml_amortization"
+  "fig10_kml_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_kml_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

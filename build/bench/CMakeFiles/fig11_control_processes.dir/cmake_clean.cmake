@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_control_processes.dir/fig11_control_processes.cc.o"
+  "CMakeFiles/fig11_control_processes.dir/fig11_control_processes.cc.o.d"
+  "fig11_control_processes"
+  "fig11_control_processes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_control_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

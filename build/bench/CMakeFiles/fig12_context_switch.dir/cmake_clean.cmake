@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_context_switch.dir/fig12_context_switch.cc.o"
+  "CMakeFiles/fig12_context_switch.dir/fig12_context_switch.cc.o.d"
+  "fig12_context_switch"
+  "fig12_context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

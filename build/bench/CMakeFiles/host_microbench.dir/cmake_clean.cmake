@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_microbench.dir/host_microbench.cc.o"
+  "CMakeFiles/host_microbench.dir/host_microbench.cc.o.d"
+  "host_microbench"
+  "host_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

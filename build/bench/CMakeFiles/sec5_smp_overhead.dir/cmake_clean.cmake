@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_smp_overhead.dir/sec5_smp_overhead.cc.o"
+  "CMakeFiles/sec5_smp_overhead.dir/sec5_smp_overhead.cc.o.d"
+  "sec5_smp_overhead"
+  "sec5_smp_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_smp_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

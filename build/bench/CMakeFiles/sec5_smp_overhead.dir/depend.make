@@ -1,0 +1,2 @@
+# Empty dependencies file for sec5_smp_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_syscall_options.dir/table1_syscall_options.cc.o"
+  "CMakeFiles/table1_syscall_options.dir/table1_syscall_options.cc.o.d"
+  "table1_syscall_options"
+  "table1_syscall_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_syscall_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

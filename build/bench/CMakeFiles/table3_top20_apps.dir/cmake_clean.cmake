@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_top20_apps.dir/table3_top20_apps.cc.o"
+  "CMakeFiles/table3_top20_apps.dir/table3_top20_apps.cc.o.d"
+  "table3_top20_apps"
+  "table3_top20_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_top20_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_your_own_unikernel.dir/build_your_own_unikernel.cpp.o"
+  "CMakeFiles/build_your_own_unikernel.dir/build_your_own_unikernel.cpp.o.d"
+  "build_your_own_unikernel"
+  "build_your_own_unikernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_your_own_unikernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for build_your_own_unikernel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graceful_degradation.dir/graceful_degradation.cpp.o"
+  "CMakeFiles/graceful_degradation.dir/graceful_degradation.cpp.o.d"
+  "graceful_degradation"
+  "graceful_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graceful_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manifest_from_trace.dir/manifest_from_trace.cpp.o"
+  "CMakeFiles/manifest_from_trace.dir/manifest_from_trace.cpp.o.d"
+  "manifest_from_trace"
+  "manifest_from_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manifest_from_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_redis.dir/serve_redis.cpp.o"
+  "CMakeFiles/serve_redis.dir/serve_redis.cpp.o.d"
+  "serve_redis"
+  "serve_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/builtin.cc" "src/apps/CMakeFiles/lupine_apps.dir/builtin.cc.o" "gcc" "src/apps/CMakeFiles/lupine_apps.dir/builtin.cc.o.d"
+  "/root/repo/src/apps/container.cc" "src/apps/CMakeFiles/lupine_apps.dir/container.cc.o" "gcc" "src/apps/CMakeFiles/lupine_apps.dir/container.cc.o.d"
+  "/root/repo/src/apps/init_script.cc" "src/apps/CMakeFiles/lupine_apps.dir/init_script.cc.o" "gcc" "src/apps/CMakeFiles/lupine_apps.dir/init_script.cc.o.d"
+  "/root/repo/src/apps/manifest.cc" "src/apps/CMakeFiles/lupine_apps.dir/manifest.cc.o" "gcc" "src/apps/CMakeFiles/lupine_apps.dir/manifest.cc.o.d"
+  "/root/repo/src/apps/probes.cc" "src/apps/CMakeFiles/lupine_apps.dir/probes.cc.o" "gcc" "src/apps/CMakeFiles/lupine_apps.dir/probes.cc.o.d"
+  "/root/repo/src/apps/rootfs_builder.cc" "src/apps/CMakeFiles/lupine_apps.dir/rootfs_builder.cc.o" "gcc" "src/apps/CMakeFiles/lupine_apps.dir/rootfs_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guestos/CMakeFiles/lupine_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kconfig/CMakeFiles/lupine_kconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/kbuild/CMakeFiles/lupine_kbuild.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lupine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

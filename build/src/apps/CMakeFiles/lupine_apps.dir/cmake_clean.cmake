@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lupine_apps.dir/builtin.cc.o"
+  "CMakeFiles/lupine_apps.dir/builtin.cc.o.d"
+  "CMakeFiles/lupine_apps.dir/container.cc.o"
+  "CMakeFiles/lupine_apps.dir/container.cc.o.d"
+  "CMakeFiles/lupine_apps.dir/init_script.cc.o"
+  "CMakeFiles/lupine_apps.dir/init_script.cc.o.d"
+  "CMakeFiles/lupine_apps.dir/manifest.cc.o"
+  "CMakeFiles/lupine_apps.dir/manifest.cc.o.d"
+  "CMakeFiles/lupine_apps.dir/probes.cc.o"
+  "CMakeFiles/lupine_apps.dir/probes.cc.o.d"
+  "CMakeFiles/lupine_apps.dir/rootfs_builder.cc.o"
+  "CMakeFiles/lupine_apps.dir/rootfs_builder.cc.o.d"
+  "liblupine_apps.a"
+  "liblupine_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lupine_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

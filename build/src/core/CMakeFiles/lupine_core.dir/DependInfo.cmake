@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/lupine_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/lupine_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/config_search.cc" "src/core/CMakeFiles/lupine_core.dir/config_search.cc.o" "gcc" "src/core/CMakeFiles/lupine_core.dir/config_search.cc.o.d"
+  "/root/repo/src/core/lineup.cc" "src/core/CMakeFiles/lupine_core.dir/lineup.cc.o" "gcc" "src/core/CMakeFiles/lupine_core.dir/lineup.cc.o.d"
+  "/root/repo/src/core/lupine.cc" "src/core/CMakeFiles/lupine_core.dir/lupine.cc.o" "gcc" "src/core/CMakeFiles/lupine_core.dir/lupine.cc.o.d"
+  "/root/repo/src/core/manifest_gen.cc" "src/core/CMakeFiles/lupine_core.dir/manifest_gen.cc.o" "gcc" "src/core/CMakeFiles/lupine_core.dir/manifest_gen.cc.o.d"
+  "/root/repo/src/core/multik.cc" "src/core/CMakeFiles/lupine_core.dir/multik.cc.o" "gcc" "src/core/CMakeFiles/lupine_core.dir/multik.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unikernels/CMakeFiles/lupine_unikernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lupine_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lupine_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/lupine_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/lupine_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kbuild/CMakeFiles/lupine_kbuild.dir/DependInfo.cmake"
+  "/root/repo/build/src/kconfig/CMakeFiles/lupine_kconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lupine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

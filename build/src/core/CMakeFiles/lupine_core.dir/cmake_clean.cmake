@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lupine_core.dir/analysis.cc.o"
+  "CMakeFiles/lupine_core.dir/analysis.cc.o.d"
+  "CMakeFiles/lupine_core.dir/config_search.cc.o"
+  "CMakeFiles/lupine_core.dir/config_search.cc.o.d"
+  "CMakeFiles/lupine_core.dir/lineup.cc.o"
+  "CMakeFiles/lupine_core.dir/lineup.cc.o.d"
+  "CMakeFiles/lupine_core.dir/lupine.cc.o"
+  "CMakeFiles/lupine_core.dir/lupine.cc.o.d"
+  "CMakeFiles/lupine_core.dir/manifest_gen.cc.o"
+  "CMakeFiles/lupine_core.dir/manifest_gen.cc.o.d"
+  "CMakeFiles/lupine_core.dir/multik.cc.o"
+  "CMakeFiles/lupine_core.dir/multik.cc.o.d"
+  "liblupine_core.a"
+  "liblupine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lupine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

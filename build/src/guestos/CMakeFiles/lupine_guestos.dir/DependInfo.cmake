@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guestos/console.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/console.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/console.cc.o.d"
+  "/root/repo/src/guestos/cost_model.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/cost_model.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/cost_model.cc.o.d"
+  "/root/repo/src/guestos/futex.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/futex.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/futex.cc.o.d"
+  "/root/repo/src/guestos/kernel.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/kernel.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/kernel.cc.o.d"
+  "/root/repo/src/guestos/loader.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/loader.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/loader.cc.o.d"
+  "/root/repo/src/guestos/mem.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/mem.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/mem.cc.o.d"
+  "/root/repo/src/guestos/net.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/net.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/net.cc.o.d"
+  "/root/repo/src/guestos/rootfs.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/rootfs.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/rootfs.cc.o.d"
+  "/root/repo/src/guestos/sched.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/sched.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/sched.cc.o.d"
+  "/root/repo/src/guestos/syscall_core.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/syscall_core.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/syscall_core.cc.o.d"
+  "/root/repo/src/guestos/syscall_exec.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/syscall_exec.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/syscall_exec.cc.o.d"
+  "/root/repo/src/guestos/syscall_fs.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/syscall_fs.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/syscall_fs.cc.o.d"
+  "/root/repo/src/guestos/syscall_ipc.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/syscall_ipc.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/syscall_ipc.cc.o.d"
+  "/root/repo/src/guestos/syscall_net.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/syscall_net.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/syscall_net.cc.o.d"
+  "/root/repo/src/guestos/task.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/task.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/task.cc.o.d"
+  "/root/repo/src/guestos/vfs.cc" "src/guestos/CMakeFiles/lupine_guestos.dir/vfs.cc.o" "gcc" "src/guestos/CMakeFiles/lupine_guestos.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kbuild/CMakeFiles/lupine_kbuild.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lupine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kconfig/CMakeFiles/lupine_kconfig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lupine_guestos.
+# This may be replaced when dependencies are built.

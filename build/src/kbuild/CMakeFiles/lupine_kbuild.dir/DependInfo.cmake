@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kbuild/builder.cc" "src/kbuild/CMakeFiles/lupine_kbuild.dir/builder.cc.o" "gcc" "src/kbuild/CMakeFiles/lupine_kbuild.dir/builder.cc.o.d"
+  "/root/repo/src/kbuild/features.cc" "src/kbuild/CMakeFiles/lupine_kbuild.dir/features.cc.o" "gcc" "src/kbuild/CMakeFiles/lupine_kbuild.dir/features.cc.o.d"
+  "/root/repo/src/kbuild/syscalls.cc" "src/kbuild/CMakeFiles/lupine_kbuild.dir/syscalls.cc.o" "gcc" "src/kbuild/CMakeFiles/lupine_kbuild.dir/syscalls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kconfig/CMakeFiles/lupine_kconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lupine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

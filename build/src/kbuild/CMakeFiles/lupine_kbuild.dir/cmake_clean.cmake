@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lupine_kbuild.dir/builder.cc.o"
+  "CMakeFiles/lupine_kbuild.dir/builder.cc.o.d"
+  "CMakeFiles/lupine_kbuild.dir/features.cc.o"
+  "CMakeFiles/lupine_kbuild.dir/features.cc.o.d"
+  "CMakeFiles/lupine_kbuild.dir/syscalls.cc.o"
+  "CMakeFiles/lupine_kbuild.dir/syscalls.cc.o.d"
+  "liblupine_kbuild.a"
+  "liblupine_kbuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lupine_kbuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

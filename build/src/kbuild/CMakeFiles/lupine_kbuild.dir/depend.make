@@ -1,0 +1,2 @@
+# Empty dependencies file for lupine_kbuild.
+# This may be replaced when dependencies are built.

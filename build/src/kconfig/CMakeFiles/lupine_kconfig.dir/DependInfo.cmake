@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kconfig/classify.cc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/classify.cc.o" "gcc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/classify.cc.o.d"
+  "/root/repo/src/kconfig/config.cc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/config.cc.o" "gcc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/config.cc.o.d"
+  "/root/repo/src/kconfig/dotconfig.cc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/dotconfig.cc.o" "gcc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/dotconfig.cc.o.d"
+  "/root/repo/src/kconfig/kconfig_lang.cc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/kconfig_lang.cc.o" "gcc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/kconfig_lang.cc.o.d"
+  "/root/repo/src/kconfig/linux_db.cc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/linux_db.cc.o" "gcc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/linux_db.cc.o.d"
+  "/root/repo/src/kconfig/option.cc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/option.cc.o" "gcc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/option.cc.o.d"
+  "/root/repo/src/kconfig/option_db.cc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/option_db.cc.o" "gcc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/option_db.cc.o.d"
+  "/root/repo/src/kconfig/presets.cc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/presets.cc.o" "gcc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/presets.cc.o.d"
+  "/root/repo/src/kconfig/resolver.cc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/resolver.cc.o" "gcc" "src/kconfig/CMakeFiles/lupine_kconfig.dir/resolver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lupine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lupine_kconfig.dir/classify.cc.o"
+  "CMakeFiles/lupine_kconfig.dir/classify.cc.o.d"
+  "CMakeFiles/lupine_kconfig.dir/config.cc.o"
+  "CMakeFiles/lupine_kconfig.dir/config.cc.o.d"
+  "CMakeFiles/lupine_kconfig.dir/dotconfig.cc.o"
+  "CMakeFiles/lupine_kconfig.dir/dotconfig.cc.o.d"
+  "CMakeFiles/lupine_kconfig.dir/kconfig_lang.cc.o"
+  "CMakeFiles/lupine_kconfig.dir/kconfig_lang.cc.o.d"
+  "CMakeFiles/lupine_kconfig.dir/linux_db.cc.o"
+  "CMakeFiles/lupine_kconfig.dir/linux_db.cc.o.d"
+  "CMakeFiles/lupine_kconfig.dir/option.cc.o"
+  "CMakeFiles/lupine_kconfig.dir/option.cc.o.d"
+  "CMakeFiles/lupine_kconfig.dir/option_db.cc.o"
+  "CMakeFiles/lupine_kconfig.dir/option_db.cc.o.d"
+  "CMakeFiles/lupine_kconfig.dir/presets.cc.o"
+  "CMakeFiles/lupine_kconfig.dir/presets.cc.o.d"
+  "CMakeFiles/lupine_kconfig.dir/resolver.cc.o"
+  "CMakeFiles/lupine_kconfig.dir/resolver.cc.o.d"
+  "liblupine_kconfig.a"
+  "liblupine_kconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lupine_kconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unikernels/linux_system.cc" "src/unikernels/CMakeFiles/lupine_unikernels.dir/linux_system.cc.o" "gcc" "src/unikernels/CMakeFiles/lupine_unikernels.dir/linux_system.cc.o.d"
+  "/root/repo/src/unikernels/unikernel_models.cc" "src/unikernels/CMakeFiles/lupine_unikernels.dir/unikernel_models.cc.o" "gcc" "src/unikernels/CMakeFiles/lupine_unikernels.dir/unikernel_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/lupine_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lupine_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/lupine_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/lupine_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kbuild/CMakeFiles/lupine_kbuild.dir/DependInfo.cmake"
+  "/root/repo/build/src/kconfig/CMakeFiles/lupine_kconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lupine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

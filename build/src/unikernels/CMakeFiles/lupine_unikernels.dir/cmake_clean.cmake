@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lupine_unikernels.dir/linux_system.cc.o"
+  "CMakeFiles/lupine_unikernels.dir/linux_system.cc.o.d"
+  "CMakeFiles/lupine_unikernels.dir/unikernel_models.cc.o"
+  "CMakeFiles/lupine_unikernels.dir/unikernel_models.cc.o.d"
+  "liblupine_unikernels.a"
+  "liblupine_unikernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lupine_unikernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/fiber.cc" "src/util/CMakeFiles/lupine_util.dir/fiber.cc.o" "gcc" "src/util/CMakeFiles/lupine_util.dir/fiber.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/util/CMakeFiles/lupine_util.dir/log.cc.o" "gcc" "src/util/CMakeFiles/lupine_util.dir/log.cc.o.d"
+  "/root/repo/src/util/prng.cc" "src/util/CMakeFiles/lupine_util.dir/prng.cc.o" "gcc" "src/util/CMakeFiles/lupine_util.dir/prng.cc.o.d"
+  "/root/repo/src/util/result.cc" "src/util/CMakeFiles/lupine_util.dir/result.cc.o" "gcc" "src/util/CMakeFiles/lupine_util.dir/result.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/lupine_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/lupine_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/lupine_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/lupine_util.dir/table.cc.o.d"
+  "/root/repo/src/util/units.cc" "src/util/CMakeFiles/lupine_util.dir/units.cc.o" "gcc" "src/util/CMakeFiles/lupine_util.dir/units.cc.o.d"
+  "/root/repo/src/util/vclock.cc" "src/util/CMakeFiles/lupine_util.dir/vclock.cc.o" "gcc" "src/util/CMakeFiles/lupine_util.dir/vclock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

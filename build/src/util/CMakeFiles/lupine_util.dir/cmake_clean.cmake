@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lupine_util.dir/fiber.cc.o"
+  "CMakeFiles/lupine_util.dir/fiber.cc.o.d"
+  "CMakeFiles/lupine_util.dir/log.cc.o"
+  "CMakeFiles/lupine_util.dir/log.cc.o.d"
+  "CMakeFiles/lupine_util.dir/prng.cc.o"
+  "CMakeFiles/lupine_util.dir/prng.cc.o.d"
+  "CMakeFiles/lupine_util.dir/result.cc.o"
+  "CMakeFiles/lupine_util.dir/result.cc.o.d"
+  "CMakeFiles/lupine_util.dir/stats.cc.o"
+  "CMakeFiles/lupine_util.dir/stats.cc.o.d"
+  "CMakeFiles/lupine_util.dir/table.cc.o"
+  "CMakeFiles/lupine_util.dir/table.cc.o.d"
+  "CMakeFiles/lupine_util.dir/units.cc.o"
+  "CMakeFiles/lupine_util.dir/units.cc.o.d"
+  "CMakeFiles/lupine_util.dir/vclock.cc.o"
+  "CMakeFiles/lupine_util.dir/vclock.cc.o.d"
+  "liblupine_util.a"
+  "liblupine_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lupine_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/monitor.cc" "src/vmm/CMakeFiles/lupine_vmm.dir/monitor.cc.o" "gcc" "src/vmm/CMakeFiles/lupine_vmm.dir/monitor.cc.o.d"
+  "/root/repo/src/vmm/vm.cc" "src/vmm/CMakeFiles/lupine_vmm.dir/vm.cc.o" "gcc" "src/vmm/CMakeFiles/lupine_vmm.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guestos/CMakeFiles/lupine_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kbuild/CMakeFiles/lupine_kbuild.dir/DependInfo.cmake"
+  "/root/repo/build/src/kconfig/CMakeFiles/lupine_kconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lupine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lupine_vmm.dir/monitor.cc.o"
+  "CMakeFiles/lupine_vmm.dir/monitor.cc.o.d"
+  "CMakeFiles/lupine_vmm.dir/vm.cc.o"
+  "CMakeFiles/lupine_vmm.dir/vm.cc.o.d"
+  "liblupine_vmm.a"
+  "liblupine_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lupine_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

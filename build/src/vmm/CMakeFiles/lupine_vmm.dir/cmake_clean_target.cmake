@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblupine_vmm.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_bench.cc" "src/workload/CMakeFiles/lupine_workload.dir/app_bench.cc.o" "gcc" "src/workload/CMakeFiles/lupine_workload.dir/app_bench.cc.o.d"
+  "/root/repo/src/workload/control_procs.cc" "src/workload/CMakeFiles/lupine_workload.dir/control_procs.cc.o" "gcc" "src/workload/CMakeFiles/lupine_workload.dir/control_procs.cc.o.d"
+  "/root/repo/src/workload/kml_bench.cc" "src/workload/CMakeFiles/lupine_workload.dir/kml_bench.cc.o" "gcc" "src/workload/CMakeFiles/lupine_workload.dir/kml_bench.cc.o.d"
+  "/root/repo/src/workload/lmbench.cc" "src/workload/CMakeFiles/lupine_workload.dir/lmbench.cc.o" "gcc" "src/workload/CMakeFiles/lupine_workload.dir/lmbench.cc.o.d"
+  "/root/repo/src/workload/perf_messaging.cc" "src/workload/CMakeFiles/lupine_workload.dir/perf_messaging.cc.o" "gcc" "src/workload/CMakeFiles/lupine_workload.dir/perf_messaging.cc.o.d"
+  "/root/repo/src/workload/spawn.cc" "src/workload/CMakeFiles/lupine_workload.dir/spawn.cc.o" "gcc" "src/workload/CMakeFiles/lupine_workload.dir/spawn.cc.o.d"
+  "/root/repo/src/workload/stress.cc" "src/workload/CMakeFiles/lupine_workload.dir/stress.cc.o" "gcc" "src/workload/CMakeFiles/lupine_workload.dir/stress.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vmm/CMakeFiles/lupine_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/lupine_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kbuild/CMakeFiles/lupine_kbuild.dir/DependInfo.cmake"
+  "/root/repo/build/src/kconfig/CMakeFiles/lupine_kconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lupine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lupine_workload.dir/app_bench.cc.o"
+  "CMakeFiles/lupine_workload.dir/app_bench.cc.o.d"
+  "CMakeFiles/lupine_workload.dir/control_procs.cc.o"
+  "CMakeFiles/lupine_workload.dir/control_procs.cc.o.d"
+  "CMakeFiles/lupine_workload.dir/kml_bench.cc.o"
+  "CMakeFiles/lupine_workload.dir/kml_bench.cc.o.d"
+  "CMakeFiles/lupine_workload.dir/lmbench.cc.o"
+  "CMakeFiles/lupine_workload.dir/lmbench.cc.o.d"
+  "CMakeFiles/lupine_workload.dir/perf_messaging.cc.o"
+  "CMakeFiles/lupine_workload.dir/perf_messaging.cc.o.d"
+  "CMakeFiles/lupine_workload.dir/spawn.cc.o"
+  "CMakeFiles/lupine_workload.dir/spawn.cc.o.d"
+  "CMakeFiles/lupine_workload.dir/stress.cc.o"
+  "CMakeFiles/lupine_workload.dir/stress.cc.o.d"
+  "liblupine_workload.a"
+  "liblupine_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lupine_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_test.dir/apps/builtin_test.cc.o"
+  "CMakeFiles/apps_test.dir/apps/builtin_test.cc.o.d"
+  "CMakeFiles/apps_test.dir/apps/init_runtime_test.cc.o"
+  "CMakeFiles/apps_test.dir/apps/init_runtime_test.cc.o.d"
+  "CMakeFiles/apps_test.dir/apps/init_script_test.cc.o"
+  "CMakeFiles/apps_test.dir/apps/init_script_test.cc.o.d"
+  "CMakeFiles/apps_test.dir/apps/manifest_test.cc.o"
+  "CMakeFiles/apps_test.dir/apps/manifest_test.cc.o.d"
+  "CMakeFiles/apps_test.dir/apps/probes_test.cc.o"
+  "CMakeFiles/apps_test.dir/apps/probes_test.cc.o.d"
+  "CMakeFiles/apps_test.dir/apps/rootfs_builder_test.cc.o"
+  "CMakeFiles/apps_test.dir/apps/rootfs_builder_test.cc.o.d"
+  "apps_test"
+  "apps_test.pdb"
+  "apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

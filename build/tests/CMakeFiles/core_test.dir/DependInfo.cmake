@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analysis_test.cc" "tests/CMakeFiles/core_test.dir/core/analysis_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/analysis_test.cc.o.d"
+  "/root/repo/tests/core/config_search_test.cc" "tests/CMakeFiles/core_test.dir/core/config_search_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/config_search_test.cc.o.d"
+  "/root/repo/tests/core/lupine_test.cc" "tests/CMakeFiles/core_test.dir/core/lupine_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/lupine_test.cc.o.d"
+  "/root/repo/tests/core/manifest_gen_test.cc" "tests/CMakeFiles/core_test.dir/core/manifest_gen_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/manifest_gen_test.cc.o.d"
+  "/root/repo/tests/core/multik_test.cc" "tests/CMakeFiles/core_test.dir/core/multik_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/multik_test.cc.o.d"
+  "/root/repo/tests/core/trace_fork_test.cc" "tests/CMakeFiles/core_test.dir/core/trace_fork_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/trace_fork_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lupine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/unikernels/CMakeFiles/lupine_unikernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lupine_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lupine_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/lupine_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/lupine_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kbuild/CMakeFiles/lupine_kbuild.dir/DependInfo.cmake"
+  "/root/repo/build/src/kconfig/CMakeFiles/lupine_kconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lupine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/analysis_test.cc.o"
+  "CMakeFiles/core_test.dir/core/analysis_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/config_search_test.cc.o"
+  "CMakeFiles/core_test.dir/core/config_search_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/lupine_test.cc.o"
+  "CMakeFiles/core_test.dir/core/lupine_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/manifest_gen_test.cc.o"
+  "CMakeFiles/core_test.dir/core/manifest_gen_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/multik_test.cc.o"
+  "CMakeFiles/core_test.dir/core/multik_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/trace_fork_test.cc.o"
+  "CMakeFiles/core_test.dir/core/trace_fork_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

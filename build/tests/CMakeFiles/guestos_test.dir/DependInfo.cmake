@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/guestos/console_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/console_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/console_test.cc.o.d"
+  "/root/repo/tests/guestos/futex_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/futex_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/futex_test.cc.o.d"
+  "/root/repo/tests/guestos/kernel_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/kernel_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/kernel_test.cc.o.d"
+  "/root/repo/tests/guestos/loader_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/loader_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/loader_test.cc.o.d"
+  "/root/repo/tests/guestos/mem_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/mem_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/mem_test.cc.o.d"
+  "/root/repo/tests/guestos/net_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/net_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/net_test.cc.o.d"
+  "/root/repo/tests/guestos/procfs_pid_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/procfs_pid_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/procfs_pid_test.cc.o.d"
+  "/root/repo/tests/guestos/rootfs_property_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/rootfs_property_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/rootfs_property_test.cc.o.d"
+  "/root/repo/tests/guestos/rootfs_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/rootfs_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/rootfs_test.cc.o.d"
+  "/root/repo/tests/guestos/sched_property_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/sched_property_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/sched_property_test.cc.o.d"
+  "/root/repo/tests/guestos/sched_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/sched_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/sched_test.cc.o.d"
+  "/root/repo/tests/guestos/signal_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/signal_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/signal_test.cc.o.d"
+  "/root/repo/tests/guestos/syscall_fd_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/syscall_fd_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/syscall_fd_test.cc.o.d"
+  "/root/repo/tests/guestos/syscall_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/syscall_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/syscall_test.cc.o.d"
+  "/root/repo/tests/guestos/unikernel_mode_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/unikernel_mode_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/unikernel_mode_test.cc.o.d"
+  "/root/repo/tests/guestos/vfs_test.cc" "tests/CMakeFiles/guestos_test.dir/guestos/vfs_test.cc.o" "gcc" "tests/CMakeFiles/guestos_test.dir/guestos/vfs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lupine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/unikernels/CMakeFiles/lupine_unikernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lupine_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lupine_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/lupine_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/lupine_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kbuild/CMakeFiles/lupine_kbuild.dir/DependInfo.cmake"
+  "/root/repo/build/src/kconfig/CMakeFiles/lupine_kconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lupine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbuild_test.dir/kbuild/builder_test.cc.o"
+  "CMakeFiles/kbuild_test.dir/kbuild/builder_test.cc.o.d"
+  "CMakeFiles/kbuild_test.dir/kbuild/custom_db_test.cc.o"
+  "CMakeFiles/kbuild_test.dir/kbuild/custom_db_test.cc.o.d"
+  "CMakeFiles/kbuild_test.dir/kbuild/features_test.cc.o"
+  "CMakeFiles/kbuild_test.dir/kbuild/features_test.cc.o.d"
+  "CMakeFiles/kbuild_test.dir/kbuild/modules_test.cc.o"
+  "CMakeFiles/kbuild_test.dir/kbuild/modules_test.cc.o.d"
+  "CMakeFiles/kbuild_test.dir/kbuild/size_property_test.cc.o"
+  "CMakeFiles/kbuild_test.dir/kbuild/size_property_test.cc.o.d"
+  "CMakeFiles/kbuild_test.dir/kbuild/syscalls_test.cc.o"
+  "CMakeFiles/kbuild_test.dir/kbuild/syscalls_test.cc.o.d"
+  "kbuild_test"
+  "kbuild_test.pdb"
+  "kbuild_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbuild_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kconfig_test.dir/kconfig/classify_test.cc.o"
+  "CMakeFiles/kconfig_test.dir/kconfig/classify_test.cc.o.d"
+  "CMakeFiles/kconfig_test.dir/kconfig/config_test.cc.o"
+  "CMakeFiles/kconfig_test.dir/kconfig/config_test.cc.o.d"
+  "CMakeFiles/kconfig_test.dir/kconfig/dotconfig_test.cc.o"
+  "CMakeFiles/kconfig_test.dir/kconfig/dotconfig_test.cc.o.d"
+  "CMakeFiles/kconfig_test.dir/kconfig/kconfig_lang_test.cc.o"
+  "CMakeFiles/kconfig_test.dir/kconfig/kconfig_lang_test.cc.o.d"
+  "CMakeFiles/kconfig_test.dir/kconfig/linux_db_test.cc.o"
+  "CMakeFiles/kconfig_test.dir/kconfig/linux_db_test.cc.o.d"
+  "CMakeFiles/kconfig_test.dir/kconfig/presets_test.cc.o"
+  "CMakeFiles/kconfig_test.dir/kconfig/presets_test.cc.o.d"
+  "CMakeFiles/kconfig_test.dir/kconfig/property_test.cc.o"
+  "CMakeFiles/kconfig_test.dir/kconfig/property_test.cc.o.d"
+  "CMakeFiles/kconfig_test.dir/kconfig/resolver_test.cc.o"
+  "CMakeFiles/kconfig_test.dir/kconfig/resolver_test.cc.o.d"
+  "kconfig_test"
+  "kconfig_test.pdb"
+  "kconfig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unikernels_test.dir/unikernels/comparisons_test.cc.o"
+  "CMakeFiles/unikernels_test.dir/unikernels/comparisons_test.cc.o.d"
+  "CMakeFiles/unikernels_test.dir/unikernels/linux_system_test.cc.o"
+  "CMakeFiles/unikernels_test.dir/unikernels/linux_system_test.cc.o.d"
+  "CMakeFiles/unikernels_test.dir/unikernels/models_test.cc.o"
+  "CMakeFiles/unikernels_test.dir/unikernels/models_test.cc.o.d"
+  "unikernels_test"
+  "unikernels_test.pdb"
+  "unikernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unikernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unikernels_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lupinectl.dir/lupinectl.cc.o"
+  "CMakeFiles/lupinectl.dir/lupinectl.cc.o.d"
+  "lupinectl"
+  "lupinectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lupinectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
