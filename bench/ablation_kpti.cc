@@ -18,7 +18,7 @@ std::unique_ptr<vmm::Vm> VmWithKpti(bool kpti) {
   kconfig::Config config = kconfig::LupineGeneral();
   if (kpti) {
     kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
-    resolver.Enable(config, kconfig::names::kKpti);
+    (void)resolver.Enable(config, kconfig::names::kKpti);
     config.set_name("lupine-general+kpti");
   }
   kbuild::ImageBuilder builder;

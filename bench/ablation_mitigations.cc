@@ -55,7 +55,7 @@ int main() {
 
   kconfig::Config hardened = lupine_config.value();
   kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
-  resolver.Enable(hardened, kconfig::names::kMitigations);
+  (void)resolver.Enable(hardened, kconfig::names::kMitigations);
   hardened.set_name("lupine-redis+mitigations");
   auto hardened_rps = RedisRpsForConfig(hardened);
 

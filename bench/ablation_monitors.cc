@@ -18,7 +18,7 @@ Result<Nanos> BootWith(const vmm::MonitorProfile& monitor, bool with_pci) {
   kconfig::Config config = kconfig::LupineGeneral();
   if (with_pci) {
     kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
-    resolver.Enable(config, kconfig::names::kPci);
+    (void)resolver.Enable(config, kconfig::names::kPci);
     config.set_name("lupine-general+pci");
   }
   kbuild::ImageBuilder builder;

@@ -1,0 +1,118 @@
+// Extension experiment: recovery from a ring-0 crash under supervision.
+//
+// The paper's availability story (Section 2.2) is that a unikernel does not
+// recover itself — the monitor restarts it, so what matters operationally is
+// restart-to-healthy latency. We crash redis with an injected wild access on
+// its first boot and measure, per kernel variant: the clean boot-to-ready
+// time, how long the supervisor takes to notice the crash (PANIC_TIMEOUT
+// posture: Lupine reboots immediately and is seen at once, microVM halts and
+// waits for the next health probe), the full panic-to-serving-again latency,
+// and availability over a fixed 5 s window.
+#include "src/unikernels/linux_system.h"
+#include "src/util/fault.h"
+#include "src/util/table.h"
+#include "src/vmm/supervisor.h"
+
+using namespace lupine;
+
+namespace {
+
+constexpr Nanos kWindow = Seconds(5);
+const char kReady[] = "Ready to accept connections";
+
+struct Recovery {
+  Nanos clean_boot = 0;          // Boot-to-ready, no faults.
+  Nanos detect_latency = 0;      // Panic -> supervisor notices.
+  Nanos restart_to_healthy = 0;  // Panic -> serving again.
+  double availability = 0;       // Healthy fraction of the 5 s window.
+};
+
+vmm::SupervisorPolicy NoJitterPolicy() {
+  vmm::SupervisorPolicy policy;
+  policy.backoff_jitter = 0;  // Isolate the variant effects from jitter.
+  return policy;
+}
+
+Result<Recovery> Measure(const unikernels::LinuxVariantSpec& spec) {
+  unikernels::LinuxSystem system(spec);
+  Recovery recovery;
+
+  {  // Clean boot-to-ready as the reference point.
+    vmm::Supervisor supervisor(NoJitterPolicy());
+    supervisor.AddMember("redis",
+                         [&system] {
+                           auto vm = system.MakeVm("redis", 512 * kMiB);
+                           return vm.ok() ? vm.take() : nullptr;
+                         },
+                         kReady);
+    if (supervisor.Run(kWindow) != 0) {
+      return Status(Err::kIo, spec.name + ": clean redis boot failed");
+    }
+    recovery.clean_boot = supervisor.stats("redis").first_healthy_at;
+  }
+
+  // Injected crash: a wild access on the 10th syscall of the first boot.
+  // The injector outlives the restart, so attempt 2 runs clean.
+  FaultInjector faults(FaultPlan{}.FireOnce(FaultSite::kAppFault, 10));
+  vmm::Supervisor supervisor(NoJitterPolicy());
+  supervisor.AddMember("redis",
+                       [&system, &faults] {
+                         auto vm = system.MakeVm("redis", 512 * kMiB,
+                                                 /*bench_rootfs=*/false, &faults);
+                         return vm.ok() ? vm.take() : nullptr;
+                       },
+                       kReady);
+  if (supervisor.Run(kWindow) != 0) {
+    return Status(Err::kIo, spec.name + ": redis did not recover");
+  }
+
+  Nanos panic_at = -1;
+  Nanos detected_at = -1;
+  for (const vmm::Incident& incident : supervisor.timeline()) {
+    if (incident.kind == "panic" && panic_at < 0) {
+      panic_at = incident.at;
+    }
+    if (incident.kind == "crash" && detected_at < 0) {
+      detected_at = incident.at;
+    }
+  }
+  const Nanos healthy_at = supervisor.stats("redis").first_healthy_at;
+  if (panic_at < 0 || detected_at < 0 || healthy_at < panic_at) {
+    return Status(Err::kIo, spec.name + ": fault did not fire as planned");
+  }
+  recovery.detect_latency = detected_at - panic_at;
+  recovery.restart_to_healthy = healthy_at - panic_at;
+  recovery.availability =
+      100.0 * static_cast<double>(kWindow - healthy_at) / static_cast<double>(kWindow);
+  return recovery;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Extension: restart-to-healthy after an injected ring-0 crash (redis)");
+
+  Table table({"kernel", "clean boot", "detect latency", "restart-to-healthy",
+               "availability-5s %"});
+  for (const auto& spec : {unikernels::MicrovmSpec(), unikernels::LupineSpec(),
+                           unikernels::LupineGeneralSpec()}) {
+    auto recovery = Measure(spec);
+    if (!recovery.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   recovery.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow(spec.name, FormatDuration(recovery->clean_boot),
+                 FormatDuration(recovery->detect_latency),
+                 FormatDuration(recovery->restart_to_healthy), recovery->availability);
+  }
+  table.Print();
+
+  std::printf(
+      "\nExpected shape: Lupine wins restart-to-healthy despite its slower clean\n"
+      "boot (KML drops PARAVIRT, Figure 10's tradeoff): its PANIC_TIMEOUT<0\n"
+      "posture reboots into the monitor immediately, while microVM's halted\n"
+      "guest sits dead until the next 50 ms health probe before the restart\n"
+      "clock even starts.\n");
+  return 0;
+}

@@ -17,7 +17,7 @@ std::unique_ptr<vmm::Vm> VmWithSmp(bool smp) {
   kconfig::Config config = kconfig::LupineGeneral();
   if (smp) {
     kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
-    resolver.Enable(config, kconfig::names::kSmp);
+    (void)resolver.Enable(config, kconfig::names::kSmp);
     config.set_name("lupine-general+smp");
   }
   kbuild::ImageBuilder builder;

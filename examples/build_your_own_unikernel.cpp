@@ -16,27 +16,27 @@ namespace {
 // set, writes a status file, and exits.
 int CacheWarmerMain(guestos::SyscallApi& sys, const std::vector<std::string>& argv) {
   (void)argv;
-  sys.Write(1, "cache-warmer: starting\n");
+  (void)sys.Write(1, "cache-warmer: starting\n");
 
   // Exercise the optional features the manifest declares.
   auto ep = sys.EpollCreate1();
   if (!ep.ok()) {
-    sys.Write(2, "epoll_create1 failed: function not implemented\n");
+    (void)sys.Write(2, "epoll_create1 failed: function not implemented\n");
     return 1;
   }
-  sys.Close(ep.value());
+  (void)sys.Close(ep.value());
 
   if (Status s = sys.BrkGrow(8 * kMiB); !s.ok()) {
     return 1;
   }
-  sys.TouchHeap(0, 8 * kMiB);
+  (void)sys.TouchHeap(0, 8 * kMiB);
 
   auto fd = sys.Open("/tmp/warm.status", /*create=*/true);
   if (fd.ok()) {
-    sys.Write(fd.value(), "warmed 2048 pages\n");
-    sys.Close(fd.value());
+    (void)sys.Write(fd.value(), "warmed 2048 pages\n");
+    (void)sys.Close(fd.value());
   }
-  sys.Write(1, "cache-warmer: done\n");
+  (void)sys.Write(1, "cache-warmer: done\n");
   return 0;
 }
 

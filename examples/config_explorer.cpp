@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   config.set_name("lupine-" + app);
   kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
   for (const auto& option : result->added_options) {
-    resolver.Enable(config, option);
+    (void)resolver.Enable(config, option);
   }
   std::printf("\n%zu options total (%zu in lupine-base + %zu app-specific)\n",
               config.EnabledCount(), kconfig::LupineBase().EnabledCount(),

@@ -1,10 +1,15 @@
 // Deploy the whole top-20 fleet through the MultiK-style kernel cache:
 // identical specializations share one kernel image, every app keeps its own
-// rootfs, and a few members are booted to prove the shared kernels work.
+// rootfs, and the whole fleet is then run under a Supervisor with injected
+// faults — one member crashes once and is restarted with backoff, one
+// crash-loops and is quarantined as degraded, the rest stay up.
 #include <cstdio>
 
+#include "src/apps/manifest.h"
 #include "src/core/multik.h"
 #include "src/kconfig/presets.h"
+#include "src/util/fault.h"
+#include "src/vmm/supervisor.h"
 #include "src/workload/app_bench.h"
 
 using namespace lupine;
@@ -48,5 +53,58 @@ int main() {
   auto vm = (*redis)->Launch();
   bool ready = workload::BootAppServer(*vm, "Ready to accept connections");
   std::printf("  %-12s %s\n", "redis", ready ? "serving" : "FAILED");
-  return ready ? 0 : 1;
+  if (!ready) {
+    return 1;
+  }
+
+  // --- The fleet under a Supervisor, with injected faults -------------------
+  // redis panics once (a wild access in ring 0 early in boot) and must come
+  // back after one backoff; mysql dies in an initcall on every boot and must
+  // end up quarantined as degraded without disturbing the other 18 members.
+  std::printf("\nSupervising the top-20 fleet under injected faults...\n");
+
+  // Injectors live outside the VMs so the schedule survives restarts: redis's
+  // single kAppFault is consumed on attempt 1 and attempt 2 runs clean.
+  FaultInjector redis_faults(FaultPlan{}.FireOnce(FaultSite::kAppFault, 10));
+  FaultInjector mysql_faults(FaultPlan{}.FireAlways(FaultSite::kBootInitcall));
+
+  vmm::SupervisorPolicy policy;
+  policy.crash_loop_failures = 3;
+  vmm::Supervisor supervisor(policy);
+  for (const auto& app : kconfig::Top20AppNames()) {
+    auto artifact = cache.GetOrBuild(app);
+    if (!artifact.ok()) {
+      std::fprintf(stderr, "%s: %s\n", app.c_str(), artifact.status().ToString().c_str());
+      return 1;
+    }
+    const apps::AppManifest* manifest = apps::FindManifest(app);
+    FaultInjector* faults = nullptr;
+    if (app == "redis") {
+      faults = &redis_faults;
+    } else if (app == "mysql") {
+      faults = &mysql_faults;
+    }
+    const core::KernelCache::AppArtifact* artifact_ptr = *artifact;
+    std::string marker =
+        manifest->kind == apps::AppKind::kServer ? manifest->ready_line : "";
+    supervisor.AddMember(
+        app, [artifact_ptr, faults] { return artifact_ptr->Launch(512 * kMiB, faults); },
+        marker);
+  }
+
+  size_t unsettled = supervisor.Run();
+  std::printf("\nredis incident timeline:\n%s", supervisor.TimelineText("redis").c_str());
+  std::printf("\nmysql incident timeline:\n%s", supervisor.TimelineText("mysql").c_str());
+  std::printf("\nfleet after %s: %zu healthy, %zu completed, %zu degraded\n",
+              FormatDuration(supervisor.clock().now()).c_str(),
+              supervisor.count(vmm::MemberState::kHealthy),
+              supervisor.count(vmm::MemberState::kCompleted),
+              supervisor.count(vmm::MemberState::kDegraded));
+
+  const bool ok = unsettled == 1 &&  // mysql degraded is the only unsettled member
+                  supervisor.state("redis") == vmm::MemberState::kHealthy &&
+                  supervisor.stats("redis").attempts == 2 &&
+                  supervisor.state("mysql") == vmm::MemberState::kDegraded;
+  std::printf("%s\n", ok ? "fleet supervision OK" : "fleet supervision FAILED");
+  return ok ? 0 : 1;
 }

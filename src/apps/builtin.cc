@@ -24,11 +24,11 @@ bool CommonStartup(SyscallApi& sys, const AppManifest& m) {
   sys.Compute(static_cast<Nanos>(m.text_kb) * 400);
   // Touch the startup working set (demand paging).
   if (Status s = sys.BrkGrow(m.startup_heap_kb * kKiB); !s.ok()) {
-    sys.Write(2, "out of memory during startup\n");
+    (void)sys.Write(2, "out of memory during startup\n");
     return false;
   }
   if (Status s = sys.TouchHeap(0, m.startup_heap_kb * kKiB); !s.ok()) {
-    sys.Write(2, "out of memory during startup\n");
+    (void)sys.Write(2, "out of memory during startup\n");
     return false;
   }
   return true;
@@ -40,8 +40,8 @@ bool CommonStartup(SyscallApi& sys, const AppManifest& m) {
 
 int HelloMain(SyscallApi& sys, const std::vector<std::string>& argv) {
   (void)argv;
-  sys.Write(1, "Hello from Docker!\n");
-  sys.Write(1, "hello world\n");
+  (void)sys.Write(1, "Hello from Docker!\n");
+  (void)sys.Write(1, "hello world\n");
   return 0;
 }
 
@@ -58,22 +58,22 @@ int RedisMain(SyscallApi& sys, const std::vector<std::string>& argv) {
 
   auto listen_fd = sys.Socket(SockDomain::kInet, SockType::kStream);
   if (!listen_fd.ok()) {
-    sys.Write(2, "redis: could not create server TCP listening socket: " +
-                     listen_fd.status().ToString() + "\n");
+    (void)sys.Write(2, "redis: could not create server TCP listening socket: " +
+                       listen_fd.status().ToString() + "\n");
     return 1;
   }
   if (Status s = sys.Bind(listen_fd.value(), m->listen_port, ""); !s.ok()) {
-    sys.Write(2, "redis: bind: " + s.ToString() + "\n");
+    (void)sys.Write(2, "redis: bind: " + s.ToString() + "\n");
     return 1;
   }
-  sys.Listen(listen_fd.value(), 511);
+  (void)sys.Listen(listen_fd.value(), 511);
   auto ep = sys.EpollCreate1();
   if (!ep.ok()) {
-    sys.Write(2, "epoll_create1 failed: function not implemented\n");
+    (void)sys.Write(2, "epoll_create1 failed: function not implemented\n");
     return 1;
   }
-  sys.EpollCtlAdd(ep.value(), listen_fd.value());
-  sys.Write(1, "* Ready to accept connections\n");
+  (void)sys.EpollCtlAdd(ep.value(), listen_fd.value());
+  (void)sys.Write(1, "* Ready to accept connections\n");
 
   std::map<std::string, std::string> store;
   Bytes heap_high_water = m->startup_heap_kb * kKiB;
@@ -88,13 +88,13 @@ int RedisMain(SyscallApi& sys, const std::vector<std::string>& argv) {
       if (fd == listen_fd.value()) {
         auto conn = sys.Accept(fd);
         if (conn.ok()) {
-          sys.EpollCtlAdd(ep.value(), conn.value());
+          (void)sys.EpollCtlAdd(ep.value(), conn.value());
         }
         continue;
       }
       auto data = sys.Recv(fd, 16 * 1024);
       if (!data.ok() || data.value().empty()) {
-        sys.Close(fd);
+        (void)sys.Close(fd);
         continue;
       }
       std::istringstream in(data.value());
@@ -125,7 +125,7 @@ int RedisMain(SyscallApi& sys, const std::vector<std::string>& argv) {
           if (store_bytes > heap_high_water) {
             Bytes grow = 256 * kKiB;
             if (sys.BrkGrow(grow).ok()) {
-              sys.TouchHeap(heap_high_water, grow);
+              (void)sys.TouchHeap(heap_high_water, grow);
               heap_high_water += grow;
             }
           }
@@ -138,14 +138,14 @@ int RedisMain(SyscallApi& sys, const std::vector<std::string>& argv) {
             reply += "$" + std::to_string(it->second.size()) + "\r\n" + it->second + "\r\n";
           }
         } else if (op == "SHUTDOWN") {
-          sys.Write(1, "# User requested shutdown...\n");
+          (void)sys.Write(1, "# User requested shutdown...\n");
           return 0;
         } else {
           reply += "-ERR unknown command '" + op + "'\r\n";
         }
       }
       if (!reply.empty()) {
-        sys.Send(fd, reply);
+        (void)sys.Send(fd, reply);
       }
     }
   }
@@ -164,21 +164,21 @@ int NginxMain(SyscallApi& sys, const std::vector<std::string>& argv) {
 
   auto listen_fd = sys.Socket(SockDomain::kInet, SockType::kStream);
   if (!listen_fd.ok()) {
-    sys.Write(2, "nginx: socket() failed: " + listen_fd.status().ToString() + "\n");
+    (void)sys.Write(2, "nginx: socket() failed: " + listen_fd.status().ToString() + "\n");
     return 1;
   }
   if (Status s = sys.Bind(listen_fd.value(), m->listen_port, ""); !s.ok()) {
-    sys.Write(2, "nginx: bind() failed: " + s.ToString() + "\n");
+    (void)sys.Write(2, "nginx: bind() failed: " + s.ToString() + "\n");
     return 1;
   }
-  sys.Listen(listen_fd.value(), 511);
+  (void)sys.Listen(listen_fd.value(), 511);
   auto ep = sys.EpollCreate1();
   if (!ep.ok()) {
-    sys.Write(2, "epoll_create1 failed: function not implemented\n");
+    (void)sys.Write(2, "epoll_create1 failed: function not implemented\n");
     return 1;
   }
-  sys.EpollCtlAdd(ep.value(), listen_fd.value());
-  sys.Write(1, "nginx: start worker processes\n");
+  (void)sys.EpollCtlAdd(ep.value(), listen_fd.value());
+  (void)sys.Write(1, "nginx: start worker processes\n");
 
   const std::string body(612, 'x');  // Default index.html payload size.
   const std::string response = "HTTP/1.1 200 OK\r\nContent-Length: 612\r\nConnection: keep-alive"
@@ -194,13 +194,13 @@ int NginxMain(SyscallApi& sys, const std::vector<std::string>& argv) {
         auto conn = sys.Accept(fd);
         if (conn.ok()) {
           sys.Compute(kNginxConnectionCpu);
-          sys.EpollCtlAdd(ep.value(), conn.value());
+          (void)sys.EpollCtlAdd(ep.value(), conn.value());
         }
         continue;
       }
       auto data = sys.Recv(fd, 16 * 1024);
       if (!data.ok() || data.value().empty()) {
-        sys.Close(fd);
+        (void)sys.Close(fd);
         continue;
       }
       // One "GET ..." line per request; pipelined requests arrive batched.
@@ -216,7 +216,7 @@ int NginxMain(SyscallApi& sys, const std::vector<std::string>& argv) {
         reply += response;
       }
       if (!reply.empty()) {
-        sys.Send(fd, reply);
+        (void)sys.Send(fd, reply);
       }
     }
   }
@@ -235,21 +235,21 @@ int MemcachedMain(SyscallApi& sys, const std::vector<std::string>& argv) {
 
   auto listen_fd = sys.Socket(SockDomain::kInet, SockType::kStream);
   if (!listen_fd.ok()) {
-    sys.Write(2, "memcached: failed to create listening socket\n");
+    (void)sys.Write(2, "memcached: failed to create listening socket\n");
     return 1;
   }
   if (Status s = sys.Bind(listen_fd.value(), m->listen_port, ""); !s.ok()) {
-    sys.Write(2, "memcached: bind: " + s.ToString() + "\n");
+    (void)sys.Write(2, "memcached: bind: " + s.ToString() + "\n");
     return 1;
   }
-  sys.Listen(listen_fd.value(), 1024);
+  (void)sys.Listen(listen_fd.value(), 1024);
   auto ep = sys.EpollCreate1();
   if (!ep.ok()) {
-    sys.Write(2, "epoll_create1 failed: function not implemented\n");
+    (void)sys.Write(2, "epoll_create1 failed: function not implemented\n");
     return 1;
   }
-  sys.EpollCtlAdd(ep.value(), listen_fd.value());
-  sys.Write(1, "memcached: server listening (1024 max connections)\n");
+  (void)sys.EpollCtlAdd(ep.value(), listen_fd.value());
+  (void)sys.Write(1, "memcached: server listening (1024 max connections)\n");
 
   std::map<std::string, std::string> cache;
   uint64_t gets = 0;
@@ -265,13 +265,13 @@ int MemcachedMain(SyscallApi& sys, const std::vector<std::string>& argv) {
       if (fd == listen_fd.value()) {
         auto conn = sys.Accept(fd);
         if (conn.ok()) {
-          sys.EpollCtlAdd(ep.value(), conn.value());
+          (void)sys.EpollCtlAdd(ep.value(), conn.value());
         }
         continue;
       }
       auto data = sys.Recv(fd, 16 * 1024);
       if (!data.ok() || data.value().empty()) {
-        sys.Close(fd);
+        (void)sys.Close(fd);
         continue;
       }
       std::istringstream in(data.value());
@@ -321,7 +321,7 @@ int MemcachedMain(SyscallApi& sys, const std::vector<std::string>& argv) {
           reply += "STAT get_hits " + std::to_string(hits) + "\r\n";
           reply += "END\r\n";
         } else if (op == "quit") {
-          sys.Close(fd);
+          (void)sys.Close(fd);
           reply.clear();
           break;
         } else {
@@ -329,7 +329,7 @@ int MemcachedMain(SyscallApi& sys, const std::vector<std::string>& argv) {
         }
       }
       if (!reply.empty()) {
-        sys.Send(fd, reply);
+        (void)sys.Send(fd, reply);
       }
     }
   }
@@ -356,29 +356,29 @@ int GenericMain(SyscallApi& sys, const AppManifest& m) {
       return 0;
     });
     if (!pid.ok()) {
-      sys.Write(2, m.name + ": could not fork worker process: " + pid.status().ToString() +
-                       "\n");
+      (void)sys.Write(2, m.name + ": could not fork worker process: " + pid.status().ToString() +
+                         "\n");
       return 1;
     }
   }
 
   if (m.kind == AppKind::kOneShot) {
-    sys.Write(1, m.ready_line + "\n");
+    (void)sys.Write(1, m.ready_line + "\n");
     return 0;
   }
 
   // Server: listen and announce readiness, then serve trivially.
   auto listen_fd = sys.Socket(SockDomain::kInet, SockType::kStream);
   if (!listen_fd.ok()) {
-    sys.Write(2, m.name + ": cannot create listening socket\n");
+    (void)sys.Write(2, m.name + ": cannot create listening socket\n");
     return 1;
   }
   if (Status s = sys.Bind(listen_fd.value(), m.listen_port, ""); !s.ok()) {
-    sys.Write(2, m.name + ": bind failed: " + s.ToString() + "\n");
+    (void)sys.Write(2, m.name + ": bind failed: " + s.ToString() + "\n");
     return 1;
   }
-  sys.Listen(listen_fd.value(), 128);
-  sys.Write(1, m.name + ": " + m.ready_line + "\n");
+  (void)sys.Listen(listen_fd.value(), 128);
+  (void)sys.Write(1, m.name + ": " + m.ready_line + "\n");
   for (;;) {
     auto conn = sys.Accept(listen_fd.value());
     if (!conn.ok()) {
@@ -386,9 +386,9 @@ int GenericMain(SyscallApi& sys, const AppManifest& m) {
     }
     auto data = sys.Recv(conn.value(), 4096);
     if (data.ok() && !data.value().empty()) {
-      sys.Send(conn.value(), "OK\n");
+      (void)sys.Send(conn.value(), "OK\n");
     }
-    sys.Close(conn.value());
+    (void)sys.Close(conn.value());
   }
 }
 
@@ -410,7 +410,7 @@ void RegisterBuiltinApps(guestos::AppRegistry* registry) {
     if (argv.size() > 1) {
       std::vector<std::string> rest(argv.begin() + 1, argv.end());
       Status s = sys.Execve(rest[0], rest);
-      sys.Write(2, "sh: " + rest[0] + ": " + s.ToString() + "\n");
+      (void)sys.Write(2, "sh: " + rest[0] + ": " + s.ToString() + "\n");
       return 127;
     }
     return 0;

@@ -11,19 +11,19 @@ using guestos::SyscallApi;
 
 int InitInterpreterMain(SyscallApi& sys, const std::vector<std::string>& argv) {
   if (argv.empty()) {
-    sys.Write(2, "init: no script path\n");
+    (void)sys.Write(2, "init: no script path\n");
     return 1;
   }
   const std::string& script_path = argv[0];
   auto fd = sys.Open(script_path);
   if (!fd.ok()) {
-    sys.Write(2, "init: cannot open " + script_path + "\n");
+    (void)sys.Write(2, "init: cannot open " + script_path + "\n");
     return 1;
   }
   auto content = sys.Read(fd.value(), 1 << 20);
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   if (!content.ok()) {
-    sys.Write(2, "init: cannot read " + script_path + "\n");
+    (void)sys.Write(2, "init: cannot read " + script_path + "\n");
     return 1;
   }
 
@@ -42,21 +42,21 @@ int InitInterpreterMain(SyscallApi& sys, const std::vector<std::string>& argv) {
       std::string name;
       words >> name;
       if (Status s = sys.Sethostname(name); !s.ok()) {
-        sys.Write(2, "init: hostname: " + s.ToString() + "\n");
+        (void)sys.Write(2, "init: hostname: " + s.ToString() + "\n");
         return 1;
       }
     } else if (cmd == "mount") {
       std::string fstype, path;
       words >> fstype >> path;
       if (Status s = sys.Mount(fstype, path); !s.ok()) {
-        sys.Write(2, s.message() + "\n");
+        (void)sys.Write(2, s.message() + "\n");
         return 1;
       }
     } else if (cmd == "mkdir") {
       std::string path;
       words >> path;
       if (Status s = sys.Mkdir(path); !s.ok() && s.err() != Err::kExist) {
-        sys.Write(2, "init: mkdir " + path + ": " + s.ToString() + "\n");
+        (void)sys.Write(2, "init: mkdir " + path + ": " + s.ToString() + "\n");
         return 1;
       }
     } else if (cmd == "env") {
@@ -71,15 +71,15 @@ int InitInterpreterMain(SyscallApi& sys, const std::vector<std::string>& argv) {
       uint64_t value = 0;
       words >> resource >> value;
       if (Status s = sys.Setrlimit(/*resource=*/7, value); !s.ok()) {
-        sys.Write(2, "init: ulimit: " + s.ToString() + "\n");
+        (void)sys.Write(2, "init: ulimit: " + s.ToString() + "\n");
         return 1;
       }
     } else if (cmd == "entropy") {
       // Seed the entropy pool by reading /dev/urandom.
       auto rng = sys.Open("/dev/urandom");
       if (rng.ok()) {
-        sys.Read(rng.value(), 512);
-        sys.Close(rng.value());
+        (void)sys.Read(rng.value(), 512);
+        (void)sys.Close(rng.value());
       }
     } else if (cmd == "exec") {
       std::vector<std::string> exec_argv;
@@ -88,16 +88,16 @@ int InitInterpreterMain(SyscallApi& sys, const std::vector<std::string>& argv) {
         exec_argv.push_back(word);
       }
       if (exec_argv.empty()) {
-        sys.Write(2, "init: exec: missing command\n");
+        (void)sys.Write(2, "init: exec: missing command\n");
         return 1;
       }
       std::string binary = exec_argv[0];
       Status s = sys.Execve(binary, exec_argv);
       // Execve only returns on failure.
-      sys.Write(2, "init: exec " + binary + " failed: " + s.ToString() + "\n");
+      (void)sys.Write(2, "init: exec " + binary + " failed: " + s.ToString() + "\n");
       return 1;
     } else {
-      sys.Write(2, "init: unknown command '" + cmd + "'\n");
+      (void)sys.Write(2, "init: unknown command '" + cmd + "'\n");
       return 1;
     }
   }

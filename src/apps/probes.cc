@@ -11,7 +11,7 @@ using guestos::SockType;
 using guestos::SyscallApi;
 
 void Say(SyscallApi& sys, const std::string& message) {
-  sys.Write(2, message + "\n");
+  (void)sys.Write(2, message + "\n");
 }
 
 bool ProbeFutex(SyscallApi& sys) {
@@ -32,7 +32,7 @@ bool ProbeEpoll(SyscallApi& sys) {
     Say(sys, "epoll_create1 failed: function not implemented");
     return false;
   }
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   return true;
 }
 
@@ -42,7 +42,7 @@ bool ProbeUnix(SyscallApi& sys) {
     Say(sys, "can't create UNIX socket");
     return false;
   }
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   return true;
 }
 
@@ -52,7 +52,7 @@ bool ProbeEventfd(SyscallApi& sys) {
     Say(sys, "eventfd: function not implemented");
     return false;
   }
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   return true;
 }
 
@@ -71,7 +71,7 @@ bool ProbeTimerfd(SyscallApi& sys) {
     Say(sys, "timerfd_create: function not implemented");
     return false;
   }
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   return true;
 }
 
@@ -81,7 +81,7 @@ bool ProbeSignalfd(SyscallApi& sys) {
     Say(sys, "signalfd: function not implemented");
     return false;
   }
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   return true;
 }
 
@@ -91,7 +91,7 @@ bool ProbeInotify(SyscallApi& sys) {
     Say(sys, "inotify_init failed: function not implemented");
     return false;
   }
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   return true;
 }
 
@@ -101,14 +101,14 @@ bool ProbeFanotify(SyscallApi& sys) {
     Say(sys, "fanotify_init: function not implemented");
     return false;
   }
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   return true;
 }
 
 bool ProbeFhandle(SyscallApi& sys) {
   auto fd = sys.OpenByHandleAt("/");
   if (fd.ok()) {
-    sys.Close(fd.value());
+    (void)sys.Close(fd.value());
     return true;
   }
   if (fd.err() == Err::kNoSys) {
@@ -128,7 +128,7 @@ bool ProbeFileLocking(SyscallApi& sys) {
     return false;
   }
   Status s = sys.Flock(fd.value());
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   if (s.err() == Err::kNoSys) {
     Say(sys, "flock: function not implemented");
     return false;
@@ -169,7 +169,7 @@ bool ProbeMqueue(SyscallApi& sys) {
     Say(sys, "mq_open: function not implemented");
     return false;
   }
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   return true;
 }
 
@@ -186,14 +186,14 @@ bool ProbeProcSysctl(SyscallApi& sys) {
   auto fd = sys.Open("/proc/sys/kernel.pid_max");
   if (!fd.ok()) {
     // Maybe /proc just is not mounted yet (init normally does it).
-    sys.Mount("proc", "/proc");
+    (void)sys.Mount("proc", "/proc");
     fd = sys.Open("/proc/sys/kernel.pid_max");
   }
   if (!fd.ok()) {
     Say(sys, "error: can't open /proc/sys: No such file or directory");
     return false;
   }
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   return true;
 }
 
@@ -203,7 +203,7 @@ bool ProbeIpv6(SyscallApi& sys) {
     Say(sys, "socket: Address family not supported by protocol (AF_INET6)");
     return false;
   }
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   return true;
 }
 
@@ -213,7 +213,7 @@ bool ProbePacket(SyscallApi& sys) {
     Say(sys, "socket: Address family not supported by protocol (AF_PACKET)");
     return false;
   }
-  sys.Close(fd.value());
+  (void)sys.Close(fd.value());
   return true;
 }
 

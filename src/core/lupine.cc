@@ -4,17 +4,19 @@
 #include "src/apps/init_script.h"
 #include "src/apps/rootfs_builder.h"
 #include "src/kbuild/builder.h"
+#include "src/kconfig/option_names.h"
 #include "src/kconfig/presets.h"
 #include "src/kconfig/resolver.h"
 
 namespace lupine::core {
 
-std::unique_ptr<vmm::Vm> Unikernel::Launch(Bytes memory) const {
+std::unique_ptr<vmm::Vm> Unikernel::Launch(Bytes memory, FaultInjector* faults) const {
   vmm::VmSpec spec;
   spec.monitor = vmm::Firecracker();
   spec.image = kernel;
   spec.rootfs = rootfs;
   spec.memory = memory;
+  spec.faults = faults;
   return std::make_unique<vmm::Vm>(std::move(spec));
 }
 
@@ -50,6 +52,7 @@ Result<Unikernel> LupineBuilder::Build(const apps::AppManifest& manifest,
   if (options.tiny) {
     kconfig::ApplyTiny(config);
   }
+  config.SetValue(kconfig::names::kPanicTimeout, std::to_string(options.panic_timeout));
   // 2. Eliminate system call overhead via KML (Section 3.2).
   if (options.kml) {
     if (Status s = kconfig::ApplyKml(config); !s.ok()) {

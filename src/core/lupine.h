@@ -22,6 +22,11 @@ struct BuildOptions {
   bool kml = true;             // Apply Kernel Mode Linux (Section 3.2).
   bool tiny = false;           // Optimize for size over performance (-Os).
   bool general_config = false; // Use lupine-general instead of per-app.
+  // PANIC_TIMEOUT value baked into the image. A supervised unikernel cannot
+  // recover itself (the app runs in ring 0), so the default reboots
+  // immediately and lets the monitor's supervisor restart it; 0 halts the
+  // way a stock microVM kernel does.
+  int panic_timeout = -1;
   // Extra options beyond the manifest (developer-supplied manifest knobs).
   std::vector<std::string> extra_options;
 };
@@ -33,8 +38,10 @@ struct Unikernel {
   std::string init_script;     // For inspection.
   kconfig::Config config;      // The specialized configuration.
 
-  // Launches on Firecracker with `memory` of guest RAM.
-  std::unique_ptr<vmm::Vm> Launch(Bytes memory = 512 * kMiB) const;
+  // Launches on Firecracker with `memory` of guest RAM; `faults` (non-owning,
+  // may be nullptr) threads a fault schedule through the guest.
+  std::unique_ptr<vmm::Vm> Launch(Bytes memory = 512 * kMiB,
+                                  FaultInjector* faults = nullptr) const;
 };
 
 class LupineBuilder {

@@ -5,12 +5,14 @@
 
 namespace lupine::core {
 
-std::unique_ptr<vmm::Vm> KernelCache::AppArtifact::Launch(Bytes memory) const {
+std::unique_ptr<vmm::Vm> KernelCache::AppArtifact::Launch(Bytes memory,
+                                                          FaultInjector* faults) const {
   vmm::VmSpec spec;
   spec.monitor = vmm::Firecracker();
   spec.image = *kernel;
   spec.rootfs = rootfs;
   spec.memory = memory;
+  spec.faults = faults;
   return std::make_unique<vmm::Vm>(std::move(spec));
 }
 

@@ -30,7 +30,8 @@ class KernelCache {
     std::string rootfs;
     std::string init_script;
 
-    std::unique_ptr<vmm::Vm> Launch(Bytes memory = 512 * kMiB) const;
+    std::unique_ptr<vmm::Vm> Launch(Bytes memory = 512 * kMiB,
+                                    FaultInjector* faults = nullptr) const;
   };
 
   // Builds (or reuses) the specialized kernel for `app`. Returned pointer

@@ -18,6 +18,13 @@ constexpr double kResidentFraction = 0.72;
 // (microVM) with the kernel-image-dependent part on top.
 constexpr Bytes kSlabBase = 17 * kMiB;
 
+// The process-wide null injector backing every kernel built without a fault
+// plan; Check() on it is a single always-false branch.
+FaultInjector& NullFaultInjector() {
+  static FaultInjector null;
+  return null;
+}
+
 }  // namespace
 
 Nanos BootTrace::Total() const {
@@ -29,15 +36,19 @@ Nanos BootTrace::Total() const {
 }
 
 Kernel::Kernel(const kbuild::KernelImage& image, Bytes memory_limit,
-               const AppRegistry* registry)
+               const AppRegistry* registry, FaultInjector* faults)
     : image_(image),
       costs_(&DefaultCostModel()),
       registry_(registry != nullptr ? registry : &AppRegistry::Global()),
+      faults_(faults != nullptr ? faults : &NullFaultInjector()),
       mm_(std::make_unique<MemoryManager>(memory_limit)),
       sched_(std::make_unique<Scheduler>(&clock_, costs_, &image_.features)),
       net_(std::make_unique<NetStack>(sched_.get())),
       futexes_(std::make_unique<FutexTable>(sched_.get())),
-      sys_(std::make_unique<SyscallApi>(this)) {}
+      sys_(std::make_unique<SyscallApi>(this)) {
+  mm_->set_fault_injector(faults_);
+  net_->set_fault_injector(faults_);
+}
 
 Kernel::~Kernel() = default;
 
@@ -60,6 +71,10 @@ Status Kernel::Boot(const std::string& rootfs_blob) {
   // Decompress/relocate the image.
   Phase("decompress", static_cast<Nanos>(ToMiB(image_.size) *
                                          static_cast<double>(costs_->boot_decompress_per_mb)));
+  if (faults_->Check(FaultSite::kBootDecompress)) {
+    console_.Write("crc error\n\n-- System halted\n");
+    return Status(Err::kIo, "kernel decompression failed: crc error");
+  }
 
   // Core init: arch setup, memory management, scheduler.
   Nanos core = costs_->boot_core_init;
@@ -93,14 +108,27 @@ Status Kernel::Boot(const std::string& rootfs_blob) {
     initcalls += costs_->boot_acpi_tables;
   }
   Phase("initcalls", initcalls);
+  if (faults_->Check(FaultSite::kBootInitcall)) {
+    console_.Write("initcall lupine_subsys_init+0x0/0x40 returned -5\n");
+    return Status(Err::kIo, "initcall failed during boot");
+  }
 
   // Device setup: console + rootfs block device.
   if (!f.tty) {
     console_.Write("Warning: no console device configured\n");
   }
 
-  // Mount the root filesystem.
-  auto spec = ParseRootfs(rootfs_blob);
+  // Mount the root filesystem. A kRootfsCorrupt fault models a bad block
+  // clobbering the superblock: the flipped magic byte makes the mount fail
+  // deterministically (a flip in file payload could go unnoticed).
+  const std::string* blob = &rootfs_blob;
+  std::string corrupted;
+  if (faults_->Check(FaultSite::kRootfsCorrupt) && !rootfs_blob.empty()) {
+    corrupted = rootfs_blob;
+    corrupted[0] ^= 0xFF;
+    blob = &corrupted;
+  }
+  auto spec = ParseRootfs(*blob);
   if (!spec.ok()) {
     console_.Write("VFS: Cannot open root device\n");
     return spec.status();
@@ -117,11 +145,11 @@ Status Kernel::Boot(const std::string& rootfs_blob) {
 
   // Standard device nodes (devtmpfs) and kernel-managed mounts.
   if (f.devtmpfs) {
-    vfs_.CreateDir("/dev");
-    vfs_.CreateDevice("/dev/null", DevId::kNull);
-    vfs_.CreateDevice("/dev/zero", DevId::kZero);
-    vfs_.CreateDevice("/dev/urandom", DevId::kUrandom);
-    vfs_.CreateDevice("/dev/console", DevId::kConsole);
+    (void)vfs_.CreateDir("/dev");
+    (void)vfs_.CreateDevice("/dev/null", DevId::kNull);
+    (void)vfs_.CreateDevice("/dev/zero", DevId::kZero);
+    (void)vfs_.CreateDevice("/dev/urandom", DevId::kUrandom);
+    (void)vfs_.CreateDevice("/dev/console", DevId::kConsole);
   }
 
   console_.Write("Linux version 4.0.0-lupine (" + image_.name + ")\n");
@@ -143,16 +171,62 @@ Result<Process*> Kernel::StartInit(const std::string& path, std::vector<std::str
   sched_->Spawn(init, [this, path, argv]() {
     Status s = sys_->Execve(path, argv);
     if (!s.ok()) {
-      console_.Write("Kernel panic - not syncing: No working init found (" + s.ToString() +
-                     ")\n");
-      ExitProcess(sched_->current()->process(), 255);
-      sched_->ExitCurrent();
+      Panic("No working init found (" + s.ToString() + ")");
     }
   });
   return init;
 }
 
-size_t Kernel::Run() { return sched_->Run(); }
+size_t Kernel::Run() {
+  size_t blocked = sched_->Run();
+  if (oom_ && !panicked_) {
+    Process* init = FindProcess(1);
+    if (init == nullptr || !init->exited) {
+      Panic("Out of memory and no killable processes...");
+    }
+  }
+  return blocked;
+}
+
+void Kernel::Panic(const std::string& reason) {
+  if (panicked_) {
+    return;
+  }
+  panicked_ = true;
+  panic_reason_ = reason;
+
+  // The oops dump an operator (or the supervising VMM's log scraper) greps.
+  Thread* current = sched_->current();
+  Process* process = current != nullptr ? current->process() : nullptr;
+  console_.Write("Kernel panic - not syncing: " + reason + "\n");
+  console_.Write("CPU: 0 PID: " + std::to_string(process != nullptr ? process->pid() : 0) +
+                 " Comm: " + (process != nullptr ? process->name() : "swapper") +
+                 " Not tainted 4.0.0-lupine #1\n");
+  console_.Write("Call Trace:\n ? panic+0x1a8/0x39e\n ? do_exit+0x3c/0xa80\n");
+
+  const int timeout = image_.features.panic_timeout;
+  reboot_on_panic_ = timeout != 0;
+  if (timeout > 0) {
+    // CONFIG_PANIC_TIMEOUT > 0: sit in the panic loop for N seconds of
+    // virtual time, then request the reboot.
+    console_.Write("Rebooting in " + std::to_string(timeout) + " seconds..\n");
+    clock_.Advance(Seconds(timeout));
+  } else if (timeout < 0) {
+    console_.Write("Rebooting immediately..\n");
+  } else {
+    console_.Write("---[ end Kernel panic - not syncing: " + reason + " ]---\n");
+  }
+  trace_.RecordPanic(clock_.now(), reason);
+
+  // A panicked kernel never schedules again.
+  sched_->RequestStop();
+  if (current != nullptr) {
+    if (process != nullptr) {
+      ExitProcess(process, 128 + 6 /* SIGABRT: the crashing task */);
+    }
+    sched_->ExitCurrent();
+  }
+}
 
 Process* Kernel::CreateProcess(int ppid, std::shared_ptr<AddressSpace> aspace,
                                std::string name) {
@@ -173,12 +247,12 @@ void Kernel::PublishProcDir(Process* process) {
     return;
   }
   std::string dir = "/proc/" + std::to_string(process->pid());
-  vfs_.CreateDir(dir);
-  vfs_.CreateFile(dir + "/status", "Name:\t" + process->name() + "\nState:\tR (running)\nPid:\t" +
+  (void)vfs_.CreateDir(dir);
+  (void)vfs_.CreateFile(dir + "/status", "Name:\t" + process->name() + "\nState:\tR (running)\nPid:\t" +
                                        std::to_string(process->pid()) + "\nPPid:\t" +
                                        std::to_string(process->ppid()) + "\n");
   std::string cmdline = process->name();
-  vfs_.CreateFile(dir + "/cmdline", cmdline + std::string(1, '\0'));
+  (void)vfs_.CreateFile(dir + "/cmdline", cmdline + std::string(1, '\0'));
 }
 
 void Kernel::PublishAllProcDirs() {

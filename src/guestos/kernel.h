@@ -19,6 +19,7 @@
 #include "src/guestos/trace.h"
 #include "src/guestos/vfs.h"
 #include "src/kbuild/image.h"
+#include "src/util/fault.h"
 #include "src/util/result.h"
 #include "src/util/vclock.h"
 
@@ -40,9 +41,11 @@ struct BootTrace {
 class Kernel {
  public:
   // `memory_limit` is the VM's RAM; `registry` resolves app= entry points
-  // (defaults to the process-global registry).
+  // (defaults to the process-global registry). `faults` is a non-owning
+  // fault injector threaded to every subsystem; nullptr means the shared
+  // never-fires null injector (the zero-cost default).
   Kernel(const kbuild::KernelImage& image, Bytes memory_limit,
-         const AppRegistry* registry = nullptr);
+         const AppRegistry* registry = nullptr, FaultInjector* faults = nullptr);
   ~Kernel();
 
   Kernel(const Kernel&) = delete;
@@ -69,6 +72,7 @@ class Kernel {
   FutexTable& futexes() { return *futexes_; }
   Console& console() { return console_; }
   TraceLog& trace() { return trace_; }
+  FaultInjector& faults() { return *faults_; }
   const kbuild::KernelFeatures& features() const { return image_.features; }
   const kbuild::KernelImage& image() const { return image_; }
   const CostModel& costs() const { return *costs_; }
@@ -97,12 +101,26 @@ class Kernel {
   bool oom() const { return oom_; }
   void set_oom() { oom_ = true; }
 
+  // Ring-0 crash semantics: writes the oops dump to the console, records
+  // the panic in the trace log, and stops the scheduler for good. What
+  // happens next is CONFIG_PANIC_TIMEOUT's call: halt (0), reboot after N
+  // seconds (>0, charged to the virtual clock), or reboot immediately (<0).
+  // Safe to call from fiber context (the calling thread never returns) and
+  // from outside the scheduler.
+  void Panic(const std::string& reason);
+  bool panicked() const { return panicked_; }
+  const std::string& panic_reason() const { return panic_reason_; }
+  // True when the panicked guest asked its monitor for a reboot rather than
+  // sitting dead until a health check notices (PANIC_TIMEOUT != 0).
+  bool reboot_on_panic() const { return reboot_on_panic_; }
+
  private:
   void Phase(const char* name, Nanos duration);
 
   kbuild::KernelImage image_;
   const CostModel* costs_;
   const AppRegistry* registry_;
+  FaultInjector* faults_;
 
   VirtualClock clock_;
   std::unique_ptr<MemoryManager> mm_;
@@ -120,6 +138,9 @@ class Kernel {
   int next_pid_ = 1;
   bool booted_ = false;
   bool oom_ = false;
+  bool panicked_ = false;
+  bool reboot_on_panic_ = false;
+  std::string panic_reason_;
   BootTrace boot_trace_;
 };
 

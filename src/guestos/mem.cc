@@ -7,6 +7,9 @@
 namespace lupine::guestos {
 
 Status MemoryManager::AllocatePages(uint64_t pages, const char* tag) {
+  if (faults_ != nullptr && faults_->Check(FaultSite::kMemAlloc)) {
+    return Status(Err::kNoMem, std::string("out of memory (injected): ") + tag);
+  }
   if ((used_pages_ + pages) * kPageSize > limit_) {
     LOG_DEBUG << "OOM allocating " << pages << " pages for " << tag << " (used "
               << used() / kKiB << " KiB of " << limit_ / kKiB << " KiB)";
@@ -57,7 +60,7 @@ Result<int> AddressSpace::Map(Bytes bytes, VmaKind kind, const std::string& name
     auto touched = Touch(id, 0, bytes);
     if (!touched.ok()) {
       // Roll back the mapping so the caller sees a clean failure.
-      Unmap(id);
+      (void)Unmap(id);
       return touched.status();
     }
   }

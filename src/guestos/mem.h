@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/fault.h"
 #include "src/util/result.h"
 #include "src/util/units.h"
 
@@ -43,10 +44,14 @@ class MemoryManager {
   // High-water mark: the basis of the footprint measurement.
   Bytes peak() const { return peak_pages_ * kPageSize; }
 
+  // Non-owning; the kMemAlloc site makes AllocatePages fail on schedule.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
  private:
   Bytes limit_;
   uint64_t used_pages_ = 0;
   uint64_t peak_pages_ = 0;
+  FaultInjector* faults_ = nullptr;
 };
 
 enum class VmaKind { kText, kData, kHeap, kStack, kFile, kShared };

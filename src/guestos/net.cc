@@ -101,6 +101,12 @@ Status NetStack::Send(const std::shared_ptr<Socket>& sock, const std::string& da
       peer->state == SockState::kClosed) {
     return Status(Err::kPipe, "send on disconnected socket");
   }
+  if (faults_ != nullptr && faults_->Check(FaultSite::kNetSendDrop) &&
+      sched_->current() != nullptr) {
+    // The segment is lost; the sender stalls for one RTO, then the
+    // retransmission succeeds (loopback loses at most once here).
+    sched_->SleepCurrent(kRetransmitDelay);
+  }
   peer->rx += data;
   peer->read_wq.Wake(1);
   peer->NotifyWatchers();
@@ -108,6 +114,11 @@ Status NetStack::Send(const std::shared_ptr<Socket>& sock, const std::string& da
 }
 
 Result<std::string> NetStack::Recv(const std::shared_ptr<Socket>& sock, size_t max_bytes) {
+  if (faults_ != nullptr && faults_->Check(FaultSite::kNetRecvReset)) {
+    sock->peer_closed = true;
+    sock->read_wq.WakeAll();
+    return Status(Err::kConnReset, "connection reset by peer (injected)");
+  }
   while (sock->rx.empty()) {
     if (sock->peer_closed || sock->state != SockState::kConnected) {
       return std::string();  // Orderly EOF.

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/guestos/sched.h"
+#include "src/util/fault.h"
 #include "src/util/result.h"
 
 namespace lupine::guestos {
@@ -103,8 +104,17 @@ class NetStack {
   // Creates a connected AF_UNIX socket pair (socketpair(2)).
   std::pair<std::shared_ptr<Socket>, std::shared_ptr<Socket>> CreatePair(SockType type);
 
+  // Non-owning. kNetRecvReset makes Recv fail with ECONNRESET; kNetSendDrop
+  // models a dropped packet as one TCP retransmission timeout on Send.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  // Linux's initial TCP retransmission timeout (RTO) of 200 ms: the latency
+  // a lost loopback packet costs the sender before the retransmit lands.
+  static constexpr Nanos kRetransmitDelay = Millis(200);
+
  private:
   Scheduler* sched_;
+  FaultInjector* faults_ = nullptr;
   std::map<uint16_t, std::shared_ptr<Socket>> inet_listeners_;
   std::map<std::string, std::shared_ptr<Socket>> unix_listeners_;
 };

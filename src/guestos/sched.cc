@@ -105,6 +105,10 @@ void Scheduler::Dispatch(Thread* next) {
 
 size_t Scheduler::Run() {
   for (;;) {
+    if (stop_requested_) {
+      // Panic: whatever is still queued or blocked never runs again.
+      return alive_;
+    }
     // Promote sleepers that are due.
     while (!sleepers_.empty() && sleepers_.top().wake_time <= clock_->now()) {
       Sleeper sleeper = sleepers_.top();

@@ -76,6 +76,11 @@ class Scheduler {
   // Terminates the current thread; never returns into the fiber.
   [[noreturn]] void ExitCurrent();
 
+  // Stops dispatching: Run() returns before the next dispatch. Used by
+  // Kernel::Panic — a panicked kernel schedules nothing ever again.
+  void RequestStop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+
   // Charges `ns` of CPU to the current thread and advances the clock.
   void ChargeCpu(Nanos ns);
 
@@ -117,6 +122,7 @@ class Scheduler {
   Thread* last_run_ = nullptr;
   Nanos slice_start_ = 0;
   size_t alive_ = 0;
+  bool stop_requested_ = false;
   uint64_t total_working_set_kb_ = 0;
   int next_tid_ = 1;
   SchedStats stats_;

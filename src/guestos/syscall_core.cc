@@ -28,6 +28,34 @@ SyscallApi::Scope::Scope(SyscallApi* api, Sys nr) : api_(api) {
   Nanos transition = k->costs().Transition(f, p != nullptr && p->kml_capable);
   Nanos fixed = k->costs().KernelCycles(f, k->costs().SyscallFixed(f));
   k->sched().ChargeCpu(transition + fixed);
+  if (k->faults().armed()) {
+    if (k->faults().Check(FaultSite::kSyscallTransient)) {
+      // EINTR/EAGAIN: libc restarts the call — the guest pays one extra
+      // kernel round trip and carries on.
+      k->sched().ChargeCpu(2 * transition + fixed);
+    }
+    if (k->faults().Check(FaultSite::kAppFault)) {
+      // A wild access in the application. Under KML the app runs in ring 0,
+      // so this *is* a kernel fault; without KML the page fault kills pid 1,
+      // which panics the kernel just the same (the paper's central
+      // robustness trade-off, Section 2.1).
+      if (f.kml) {
+        k->console().Write("BUG: unable to handle kernel NULL pointer dereference at "
+                           "0000000000000008\n");
+        k->Panic("Fatal exception in ring 0");
+      } else if (p == nullptr || p->pid() == 1) {
+        k->console().Write((p != nullptr ? p->name() : "init") +
+                           "[1]: segfault at 8 ip 00007f... sp 00007f... error 4\n");
+        k->Panic("Attempted to kill init! exitcode=0x0000000b");
+      } else {
+        // In ring 3 a fault in a non-init process is just a segfault.
+        k->console().Write(p->name() + "[" + std::to_string(p->pid()) +
+                           "]: segfault at 8 ip 00007f... sp 00007f... error 4\n");
+        k->ExitProcess(p, 128 + 11 /* SIGSEGV */);
+        k->sched().ExitCurrent();
+      }
+    }
+  }
 }
 
 SyscallApi::Scope::~Scope() {

@@ -126,6 +126,10 @@ Result<std::string> SyscallApi::Read(int fd, size_t max_bytes) {
       if (inode.type == InodeType::kDir) {
         return Status(Err::kIsDir, file->path + ": is a directory");
       }
+      if (k_->faults().Check(FaultSite::kVfsIo)) {
+        k_->console().Write("blk_update_request: I/O error, dev vda, sector 2048\n");
+        return Status(Err::kIo, file->path + ": I/O error (injected)");
+      }
       if (Status s = k_->ChargePageCache(inode, std::max<Bytes>(inode.data.size(), 1));
           !s.ok()) {
         return s;

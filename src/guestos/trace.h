@@ -12,9 +12,12 @@
 
 #include <cstddef>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/kbuild/syscalls.h"
+#include "src/util/units.h"
 
 namespace lupine::guestos {
 
@@ -31,6 +34,14 @@ enum class TraceFeature {
 struct SyscallTraceEvent {
   int pid = 0;
   kbuild::Sys nr = kbuild::Sys::kRead;
+};
+
+// A kernel panic with its virtual-clock timestamp. Unlike syscall tracing
+// (opt-in, high-volume), panics are always recorded: they are the signal the
+// supervising VMM reconstructs incident timelines from.
+struct PanicEvent {
+  Nanos at = 0;
+  std::string reason;
 };
 
 class TraceLog {
@@ -50,20 +61,27 @@ class TraceLog {
     }
   }
 
+  void RecordPanic(Nanos at, std::string reason) {
+    panics_.push_back({at, std::move(reason)});
+  }
+
   const std::vector<SyscallTraceEvent>& syscalls() const { return syscalls_; }
   const std::vector<std::pair<int, TraceFeature>>& features() const { return features_; }
+  const std::vector<PanicEvent>& panics() const { return panics_; }
   size_t distinct_syscall_count() const { return distinct_syscalls_.size(); }
 
   void Clear() {
     syscalls_.clear();
     features_.clear();
     distinct_syscalls_.clear();
+    panics_.clear();
   }
 
  private:
   bool enabled_ = false;
   std::vector<SyscallTraceEvent> syscalls_;
   std::vector<std::pair<int, TraceFeature>> features_;
+  std::vector<PanicEvent> panics_;
   std::set<int> distinct_syscalls_;
 };
 

@@ -1,5 +1,7 @@
 #include "src/kbuild/features.h"
 
+#include <cstdlib>
+
 #include "src/kconfig/option_names.h"
 
 namespace lupine::kbuild {
@@ -48,6 +50,13 @@ KernelFeatures DeriveFeatures(const kconfig::Config& config, const kconfig::Opti
   f.printk = config.IsEnabled(n::kPrintk);
   f.kallsyms = config.IsEnabled(n::kKallsyms);
   f.high_res_timers = config.IsEnabled(n::kHighResTimers);
+  if (config.IsEnabled(n::kPanicTimeout)) {
+    // Valued option; a bare "y" (no explicit value) means the stock default 0.
+    const std::string value = config.GetValue(n::kPanicTimeout);
+    char* end = nullptr;
+    long timeout = std::strtol(value.c_str(), &end, 10);
+    f.panic_timeout = (end != value.c_str()) ? static_cast<int>(timeout) : 0;
+  }
   f.multiuser = config.IsEnabled(n::kMultiuser);
   f.pci = config.IsEnabled(n::kPci);
   f.acpi = config.IsEnabled(n::kAcpi);

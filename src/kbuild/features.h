@@ -63,6 +63,9 @@ struct KernelFeatures {
   bool printk = false;
   bool kallsyms = false;
   bool high_res_timers = false;
+  // PANIC_TIMEOUT seconds: 0 = halt on panic, >0 = reboot after that many
+  // seconds, <0 = reboot immediately (supervised-unikernel posture).
+  int panic_timeout = 0;
   bool multiuser = false;
   bool pci = false;
   bool acpi = false;

@@ -210,6 +210,8 @@ void AddNamedOptions(OptionDb& db) {
   AddNamed(db, n::kParavirt, SD::kArch, OC::kBase, 48 * kKiB, {}, {n::kKml},
            "paravirtualized ops (conflicts with the KML patch)");
   AddNamed(db, n::kHighResTimers, SD::kKernel, OC::kBase, 28 * kKiB, {}, {}, "hrtimers");
+  AddNamed(db, n::kPanicTimeout, SD::kKernel, OC::kBase, 2 * kKiB, {}, {},
+           "panic behaviour: reboot timeout in seconds (0 = halt, <0 = immediate)");
   AddNamed(db, n::kPosixTimers, SD::kKernel, OC::kBase, 32 * kKiB, {}, {}, "POSIX timers");
   AddNamed(db, n::kMultiuser, SD::kInit, OC::kBase, 24 * kKiB, {}, {}, "uid/gid support");
   AddNamed(db, n::kSlub, SD::kMm, OC::kBase, 64 * kKiB, {}, {}, "SLUB allocator");

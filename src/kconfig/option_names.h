@@ -87,6 +87,10 @@ inline constexpr char kPosixTimers[] = "POSIX_TIMERS";
 inline constexpr char kMultiuser[] = "MULTIUSER";
 inline constexpr char kSlub[] = "SLUB";
 inline constexpr char kVsyscallEmulation[] = "X86_VSYSCALL_EMULATION";
+// Valued option: seconds before a panicked kernel reboots itself. 0 halts
+// forever (stock Linux default), negative reboots immediately (the posture a
+// supervised unikernel wants — the monitor restarts it).
+inline constexpr char kPanicTimeout[] = "PANIC_TIMEOUT";
 
 // --- Space/performance trade-off options toggled by the -tiny variant -------
 inline constexpr char kBaseFull[] = "BASE_FULL";

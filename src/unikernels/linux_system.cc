@@ -4,6 +4,7 @@
 #include "src/apps/manifest.h"
 #include "src/apps/rootfs_builder.h"
 #include "src/kbuild/builder.h"
+#include "src/kconfig/option_names.h"
 #include "src/kconfig/presets.h"
 #include "src/workload/app_bench.h"
 
@@ -56,6 +57,12 @@ Result<kconfig::Config> BuildVariantConfig(const LinuxVariantSpec& spec,
   if (spec.tiny) {
     kconfig::ApplyTiny(config);
   }
+  if (spec.base != LinuxBase::kMicrovm) {
+    // Lupine's supervised posture (same as LupineBuilder): panic reboots
+    // immediately so the monitor restarts the guest. microVM keeps the stock
+    // PANIC_TIMEOUT=0 halt.
+    config.SetValue(kconfig::names::kPanicTimeout, "-1");
+  }
   if (spec.kml) {
     if (Status s = kconfig::ApplyKml(config); !s.ok()) {
       return s;
@@ -76,7 +83,8 @@ AppSupport LinuxSystem::Supports(const std::string& app) const {
 }
 
 Result<std::unique_ptr<vmm::Vm>> LinuxSystem::MakeVm(const std::string& app, Bytes memory,
-                                                     bool bench_rootfs) {
+                                                     bool bench_rootfs,
+                                                     FaultInjector* faults) {
   auto config = BuildVariantConfig(spec_, app);
   if (!config.ok()) {
     return config.status();
@@ -92,6 +100,7 @@ Result<std::unique_ptr<vmm::Vm>> LinuxSystem::MakeVm(const std::string& app, Byt
   vm_spec.rootfs = bench_rootfs ? apps::BuildBenchRootfs(spec_.kml)
                                 : apps::BuildAppRootfsForApp(app, spec_.kml);
   vm_spec.memory = memory;
+  vm_spec.faults = faults;
   return std::make_unique<vmm::Vm>(std::move(vm_spec));
 }
 

@@ -54,8 +54,10 @@ class LinuxSystem : public SystemUnderTest {
   Result<double> NginxThroughput(bool per_session) override;
 
   // Creates a VM for `app` with `memory` RAM (shared with tests/benches).
+  // `faults` (non-owning, may be nullptr) arms the guest's fault injector.
   Result<std::unique_ptr<vmm::Vm>> MakeVm(const std::string& app, Bytes memory,
-                                          bool bench_rootfs = false);
+                                          bool bench_rootfs = false,
+                                          FaultInjector* faults = nullptr);
 
   const LinuxVariantSpec& spec() const { return spec_; }
 

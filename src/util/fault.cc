@@ -1,0 +1,89 @@
+#include "src/util/fault.h"
+
+namespace lupine {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kMemAlloc:
+      return "mem-alloc";
+    case FaultSite::kVfsIo:
+      return "vfs-io";
+    case FaultSite::kRootfsCorrupt:
+      return "rootfs-corrupt";
+    case FaultSite::kBootDecompress:
+      return "boot-decompress";
+    case FaultSite::kBootInitcall:
+      return "boot-initcall";
+    case FaultSite::kNetRecvReset:
+      return "net-recv-reset";
+    case FaultSite::kNetSendDrop:
+      return "net-send-drop";
+    case FaultSite::kSyscallTransient:
+      return "syscall-transient";
+    case FaultSite::kAppFault:
+      return "app-fault";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : armed_(!plan.rules.empty()),
+      seed_(plan.seed),
+      prng_(plan.seed),
+      rules_(plan.rules),
+      remaining_(plan.rules.size()) {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    remaining_[i] = rules_[i].max_fires;
+  }
+}
+
+bool FaultInjector::Check(FaultSite site) {
+  if (!armed_) {
+    return false;
+  }
+  uint64_t n = ++evaluations_[static_cast<size_t>(site)];
+  bool fire = false;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.site != site || remaining_[i] == 0) {
+      continue;
+    }
+    bool hit = false;
+    if (rule.trigger_on != 0) {
+      if (n == rule.trigger_on) {
+        hit = true;
+      } else if (rule.period != 0 && n > rule.trigger_on &&
+                 (n - rule.trigger_on) % rule.period == 0) {
+        hit = true;
+      }
+    }
+    // The Bernoulli draw happens for every evaluation the rule observes
+    // (hit or not), so the stream's alignment is independent of outcomes.
+    if (rule.probability > 0.0 && prng_.NextBool(rule.probability)) {
+      hit = true;
+    }
+    if (hit) {
+      fire = true;
+      if (remaining_[i] > 0) {
+        --remaining_[i];
+      }
+    }
+  }
+  if (fire) {
+    ++fires_[static_cast<size_t>(site)];
+    log_.push_back({site, n});
+  }
+  return fire;
+}
+
+void FaultInjector::Reset() {
+  prng_ = Prng(seed_);
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    remaining_[i] = rules_[i].max_fires;
+  }
+  evaluations_.fill(0);
+  fires_.fill(0);
+  log_.clear();
+}
+
+}  // namespace lupine

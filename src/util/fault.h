@@ -1,0 +1,124 @@
+// Deterministic fault injection.
+//
+// A Lupine unikernel runs its application in ring 0: an application fault is
+// a kernel fault, and the guest cannot recover itself — it relies on the
+// monitor to notice and restart it (Section 2.2's Firecracker posture). To
+// exercise that recovery machinery the simulator needs failures on demand.
+// A FaultPlan names injection sites in the guest (memory allocation, rootfs
+// I/O, the net stack, boot phases, syscall entry) and when they fire: on the
+// Nth evaluation, periodically, or with a seeded Bernoulli probability.
+// Everything draws from util/prng on the virtual clock, so a plan replays
+// byte-identically run after run.
+//
+// The zero-fault path is a null object: a default-constructed FaultInjector
+// is permanently disarmed and Check() is a single predicted branch, so
+// threading an injector through the kernel costs nothing when unused.
+#ifndef SRC_UTIL_FAULT_H_
+#define SRC_UTIL_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/prng.h"
+#include "src/util/units.h"
+
+namespace lupine {
+
+// Named injection sites, each checked at exactly one place in the guest.
+enum class FaultSite {
+  kMemAlloc,          // MemoryManager::AllocatePages -> ENOMEM.
+  kVfsIo,             // File read through the syscall layer -> EIO.
+  kRootfsCorrupt,     // Rootfs blob corrupted before mount -> boot fails.
+  kBootDecompress,    // Kernel image decompression -> boot fails.
+  kBootInitcall,      // An initcall returns an error -> boot fails.
+  kNetRecvReset,      // Stream recv -> ECONNRESET.
+  kNetSendDrop,       // Packet dropped on send -> retransmission delay.
+  kSyscallTransient,  // Syscall entry -> EINTR/EAGAIN, restarted (extra cost).
+  kAppFault,          // Wild access in the application -> ring-0 oops/panic.
+};
+
+inline constexpr size_t kFaultSiteCount = 9;
+
+const char* FaultSiteName(FaultSite site);
+
+// When a site fires. Deterministic triggers (`trigger_on`/`period`) and the
+// probabilistic trigger compose: the rule fires if either says so, subject
+// to `max_fires`.
+struct FaultRule {
+  FaultSite site = FaultSite::kMemAlloc;
+  // Fire on the Nth evaluation of the site (1-based). 0 disables.
+  uint64_t trigger_on = 0;
+  // With trigger_on: also fire every `period` evaluations afterwards.
+  uint64_t period = 0;
+  // Bernoulli probability per evaluation (0 disables).
+  double probability = 0.0;
+  // Stop firing after this many hits; -1 = unlimited.
+  int max_fires = -1;
+};
+
+// A named, seeded collection of rules — the experiment's fault schedule.
+struct FaultPlan {
+  uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  FaultPlan& Add(FaultRule rule) {
+    rules.push_back(rule);
+    return *this;
+  }
+  // Convenience constructors for the two common shapes.
+  FaultPlan& FireOnce(FaultSite site, uint64_t nth) {
+    return Add({.site = site, .trigger_on = nth, .max_fires = 1});
+  }
+  FaultPlan& FireAlways(FaultSite site) {
+    return Add({.site = site, .trigger_on = 1, .period = 1});
+  }
+};
+
+// One fault that actually fired.
+struct FaultRecord {
+  FaultSite site = FaultSite::kMemAlloc;
+  uint64_t evaluation = 0;  // Per-site evaluation ordinal (1-based).
+};
+
+class FaultInjector {
+ public:
+  // Null object: never fires, costs one branch per check.
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultPlan& plan);
+
+  bool armed() const { return armed_; }
+
+  // Evaluates `site`; true means the caller must inject the failure.
+  // Counts the evaluation even when no rule matches, so rule triggers are
+  // stable under plan edits at other sites.
+  bool Check(FaultSite site);
+
+  // Counters (per-site evaluations / fires) and the fired-fault log.
+  uint64_t evaluations(FaultSite site) const {
+    return evaluations_[static_cast<size_t>(site)];
+  }
+  uint64_t fires(FaultSite site) const { return fires_[static_cast<size_t>(site)]; }
+  uint64_t total_fires() const { return log_.size(); }
+  const std::vector<FaultRecord>& log() const { return log_; }
+
+  // Forgets counters and the log and re-seeds the PRNG: the next run of the
+  // same workload sees the identical schedule (replay).
+  void Reset();
+
+ private:
+  bool armed_ = false;
+  uint64_t seed_ = 0;
+  Prng prng_;
+  std::vector<FaultRule> rules_;
+  // Remaining fires per rule (parallel to rules_); -1 = unlimited.
+  std::vector<int> remaining_;
+  std::array<uint64_t, kFaultSiteCount> evaluations_{};
+  std::array<uint64_t, kFaultSiteCount> fires_{};
+  std::vector<FaultRecord> log_;
+};
+
+}  // namespace lupine
+
+#endif  // SRC_UTIL_FAULT_H_

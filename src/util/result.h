@@ -55,7 +55,9 @@ enum class Err : int {
 const char* ErrName(Err e);
 
 // A status: either OK or an error code with a human-readable message.
-class Status {
+// [[nodiscard]] because a dropped Status is a swallowed failure — callers
+// that truly don't care must say so with a (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() : err_(Err::kOk) {}
   explicit Status(Err err, std::string message = "")
@@ -86,7 +88,7 @@ class Status {
 
 // Result<T>: value or Status. A tiny subset of absl::StatusOr.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) { // NOLINT(runtime/explicit)

@@ -6,7 +6,8 @@ namespace lupine::vmm {
 
 Vm::Vm(VmSpec spec, const guestos::AppRegistry* registry)
     : spec_(std::move(spec)),
-      kernel_(std::make_unique<guestos::Kernel>(spec_.image, spec_.memory, registry)) {}
+      kernel_(std::make_unique<guestos::Kernel>(spec_.image, spec_.memory, registry,
+                                                spec_.faults)) {}
 
 Status Vm::Boot() {
   // Host-side monitor phases.
@@ -50,6 +51,9 @@ Result<int> Vm::RunToCompletion() {
   size_t blocked = kernel_->Run();
   if (kernel_->oom()) {
     return Status(Err::kNoMem, "guest ran out of memory");
+  }
+  if (kernel_->panicked()) {
+    return Status(Err::kFault, "kernel panic: " + kernel_->panic_reason());
   }
   if (init_->exited) {
     return init_->exit_code;

@@ -9,6 +9,7 @@
 
 #include "src/guestos/kernel.h"
 #include "src/kbuild/image.h"
+#include "src/util/fault.h"
 #include "src/vmm/monitor.h"
 
 namespace lupine::vmm {
@@ -19,6 +20,11 @@ struct VmSpec {
   std::string rootfs;        // LUPX2FS blob.
   Bytes memory = 512 * kMiB; // Guest RAM (the paper's default).
   int vcpus = 1;             // Pinned to 1 in the evaluation.
+  // Non-owning fault injector threaded through the guest kernel. Lives
+  // outside the Vm so its counters survive a supervisor restart (a fresh Vm
+  // on the same injector continues the fault schedule rather than replaying
+  // it). nullptr = no faults.
+  FaultInjector* faults = nullptr;
 };
 
 // One boot-time line item, monitor and guest phases interleaved.
@@ -43,8 +49,12 @@ class Vm {
   Result<int> RunToCompletion();
 
   guestos::Kernel& kernel() { return *kernel_; }
+  const guestos::Kernel& kernel() const { return *kernel_; }
   const BootReport& boot_report() const { return report_; }
   const VmSpec& spec() const { return spec_; }
+
+  // The guest died of a panic (as opposed to exiting or still serving).
+  bool crashed() const { return kernel_->panicked(); }
 
   // Convenience: full boot + run, reporting init's exit code and console.
   struct RunResult {

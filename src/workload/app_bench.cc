@@ -88,7 +88,7 @@ ThroughputResult RunRedisBenchmark(vmm::Vm& vm, bool set_workload, int ops, int 
             }
             done += batch;
           }
-          sys.Close(fd.value());
+          (void)sys.Close(fd.value());
           ++finished_clients;
           t1 = k.clock().now();
         },
@@ -133,7 +133,7 @@ ThroughputResult RunApacheBench(vmm::Vm& vm, int total_requests, int requests_pe
           }
           if (!sys.Connect(fd.value(), 80, "").ok()) {
             ++errors;
-            sys.Close(fd.value());
+            (void)sys.Close(fd.value());
             continue;
           }
           for (int r = 0; r < requests_per_conn; ++r) {
@@ -148,7 +148,7 @@ ThroughputResult RunApacheBench(vmm::Vm& vm, int total_requests, int requests_pe
             }
             ++done;
           }
-          sys.Close(fd.value());
+          (void)sys.Close(fd.value());
         }
         t1 = k.clock().now();
       },
@@ -213,7 +213,7 @@ ThroughputResult RunMemcachedBenchmark(vmm::Vm& vm, bool set_workload, int ops,
             }
             ++done;
           }
-          sys.Close(fd.value());
+          (void)sys.Close(fd.value());
           t1 = k.clock().now();
         },
         options);

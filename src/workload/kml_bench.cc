@@ -11,7 +11,7 @@ double MeasureNullWithWorkUs(vmm::Vm& vm, int busy_iterations, int samples) {
   SpawnProcess(k, "kml_bench", [&](guestos::SyscallApi& sys) {
     t0 = k.clock().now();
     for (int i = 0; i < samples; ++i) {
-      sys.Getppid();
+      (void)sys.Getppid();
       if (busy_iterations > 0) {
         sys.Compute(static_cast<Nanos>(busy_iterations) * kBusyIterationNs);
       }

@@ -62,7 +62,7 @@ SyscallLatencies MeasureSyscallLatency(vmm::Vm& vm, int iterations) {
 
   Nanos null_total = TimeInProcess(vm, [&](SyscallApi& sys) {
     for (int i = 0; i < iterations; ++i) {
-      sys.Getppid();
+      (void)sys.Getppid();
     }
   });
   out.null_us = ToMicros(null_total) / iterations;
@@ -74,9 +74,9 @@ SyscallLatencies MeasureSyscallLatency(vmm::Vm& vm, int iterations) {
       return;
     }
     for (int i = 0; i < iterations; ++i) {
-      sys.Read(fd.value(), 1);
+      (void)sys.Read(fd.value(), 1);
     }
-    sys.Close(fd.value());
+    (void)sys.Close(fd.value());
   });
   out.read_us = ToMicros(read_total) / iterations;
 
@@ -87,9 +87,9 @@ SyscallLatencies MeasureSyscallLatency(vmm::Vm& vm, int iterations) {
       return;
     }
     for (int i = 0; i < iterations; ++i) {
-      sys.Write(fd.value(), "x");
+      (void)sys.Write(fd.value(), "x");
     }
-    sys.Close(fd.value());
+    (void)sys.Close(fd.value());
   });
   out.write_us = ToMicros(write_total) / iterations;
   return out;
@@ -105,8 +105,8 @@ double MeasureCtxSwitchUs(vmm::Vm& vm, int procs, int working_set_kb, int rounds
       return;
     }
     for (int i = 0; i < rounds; ++i) {
-      sys.Write(pipe_fds.value().second, "x");
-      sys.Read(pipe_fds.value().first, 1);
+      (void)sys.Write(pipe_fds.value().second, "x");
+      (void)sys.Read(pipe_fds.value().first, 1);
     }
   });
   double baseline_per_hop = static_cast<double>(baseline_total) / rounds;
@@ -126,14 +126,14 @@ double MeasureCtxSwitchUs(vmm::Vm& vm, int procs, int working_set_kb, int rounds
       const int rfd = 3;
       const int wfd = 4;
       if (i == 0) {
-        sys.Write(wfd, "t");  // Inject the token.
+        (void)sys.Write(wfd, "t");  // Inject the token.
       }
       for (int r = 0; r < rounds; ++r) {
-        sys.Read(rfd, 1);
-        sys.Write(wfd, "t");
+        (void)sys.Read(rfd, 1);
+        (void)sys.Write(wfd, "t");
       }
       if (i == 0) {
-        sys.Read(rfd, 1);  // Absorb the token.
+        (void)sys.Read(rfd, 1);  // Absorb the token.
       }
     };
     guestos::Process* p = SpawnProcess(k, "lat_ctx", body);
@@ -159,15 +159,15 @@ double MeasurePipeLatencyUs(vmm::Vm& vm, bool af_unix, int rounds) {
     auto [sa, sb] = k.net().CreatePair(SockType::kStream);
     guestos::Process* pa = SpawnProcess(k, "lat_unix_a", [rounds](SyscallApi& sys) {
       for (int i = 0; i < rounds; ++i) {
-        sys.Send(3, "x");
-        sys.Recv(3, 1);
+        (void)sys.Send(3, "x");
+        (void)sys.Recv(3, 1);
       }
     });
     InstallSocket(pa, sa);
     guestos::Process* pb = SpawnProcess(k, "lat_unix_b", [rounds](SyscallApi& sys) {
       for (int i = 0; i < rounds; ++i) {
-        sys.Recv(3, 1);
-        sys.Send(3, "x");
+        (void)sys.Recv(3, 1);
+        (void)sys.Send(3, "x");
       }
     });
     InstallSocket(pb, sb);
@@ -176,16 +176,16 @@ double MeasurePipeLatencyUs(vmm::Vm& vm, bool af_unix, int rounds) {
     auto p2 = std::make_shared<PipeBuffer>(&k.sched());
     guestos::Process* pa = SpawnProcess(k, "lat_pipe_a", [rounds](SyscallApi& sys) {
       for (int i = 0; i < rounds; ++i) {
-        sys.Write(4, "x");
-        sys.Read(3, 1);
+        (void)sys.Write(4, "x");
+        (void)sys.Read(3, 1);
       }
     });
     InstallPipeEnd(pa, p2, /*read_end=*/true);   // fd 3
     InstallPipeEnd(pa, p1, /*read_end=*/false);  // fd 4
     guestos::Process* pb = SpawnProcess(k, "lat_pipe_b", [rounds](SyscallApi& sys) {
       for (int i = 0; i < rounds; ++i) {
-        sys.Read(3, 1);
-        sys.Write(4, "x");
+        (void)sys.Read(3, 1);
+        (void)sys.Write(4, "x");
       }
     });
     InstallPipeEnd(pb, p1, /*read_end=*/true);   // fd 3
@@ -206,8 +206,8 @@ double MeasureTcpLatencyUs(vmm::Vm& vm, int rounds) {
     if (!fd.ok()) {
       return;
     }
-    sys.Bind(fd.value(), kPort, "");
-    sys.Listen(fd.value(), 4);
+    (void)sys.Bind(fd.value(), kPort, "");
+    (void)sys.Listen(fd.value(), 4);
     auto conn = sys.Accept(fd.value());
     if (!conn.ok()) {
       return;
@@ -217,10 +217,10 @@ double MeasureTcpLatencyUs(vmm::Vm& vm, int rounds) {
       if (!data.ok() || data.value().empty()) {
         break;
       }
-      sys.Send(conn.value(), "y");
+      (void)sys.Send(conn.value(), "y");
     }
-    sys.Close(conn.value());
-    sys.Close(fd.value());
+    (void)sys.Close(conn.value());
+    (void)sys.Close(fd.value());
   });
 
   Nanos t0 = 0;
@@ -237,11 +237,11 @@ double MeasureTcpLatencyUs(vmm::Vm& vm, int rounds) {
     }
     t0 = k.clock().now();
     for (int i = 0; i < rounds; ++i) {
-      sys.Send(fd.value(), "x");
-      sys.Recv(fd.value(), 64);
+      (void)sys.Send(fd.value(), "x");
+      (void)sys.Recv(fd.value(), 64);
     }
     t1 = k.clock().now();
-    sys.Close(fd.value());
+    (void)sys.Close(fd.value());
   });
   k.Run();
   // Round-trip time, as lat_tcp reports.
@@ -257,16 +257,16 @@ double MeasureTcpConnUs(vmm::Vm& vm, int conns) {
     if (!fd.ok()) {
       return;
     }
-    sys.Bind(fd.value(), kPort, "");
-    sys.Listen(fd.value(), 128);
+    (void)sys.Bind(fd.value(), kPort, "");
+    (void)sys.Listen(fd.value(), 128);
     for (int i = 0; i < conns; ++i) {
       auto conn = sys.Accept(fd.value());
       if (!conn.ok()) {
         break;
       }
-      sys.Close(conn.value());
+      (void)sys.Close(conn.value());
     }
-    sys.Close(fd.value());
+    (void)sys.Close(fd.value());
   });
 
   Nanos t0 = 0;
@@ -279,8 +279,8 @@ double MeasureTcpConnUs(vmm::Vm& vm, int conns) {
       if (!fd.ok()) {
         return;
       }
-      sys.Connect(fd.value(), kPort, "");
-      sys.Close(fd.value());
+      (void)sys.Connect(fd.value(), kPort, "");
+      (void)sys.Close(fd.value());
     }
     t1 = k.clock().now();
   });
@@ -300,15 +300,15 @@ double MeasureUdpLatencyUs(vmm::Vm& vm, int rounds) {
   Nanos t0 = k.clock().now();
   guestos::Process* pa = SpawnProcess(k, "lat_udp_a", [rounds](SyscallApi& sys) {
     for (int i = 0; i < rounds; ++i) {
-      sys.Send(3, "x");
-      sys.Recv(3, 64);
+      (void)sys.Send(3, "x");
+      (void)sys.Recv(3, 64);
     }
   });
   InstallSocket(pa, sa);
   guestos::Process* pb = SpawnProcess(k, "lat_udp_b", [rounds](SyscallApi& sys) {
     for (int i = 0; i < rounds; ++i) {
-      sys.Recv(3, 64);
-      sys.Send(3, "x");
+      (void)sys.Recv(3, 64);
+      (void)sys.Send(3, "x");
     }
   });
   InstallSocket(pb, sb);
@@ -328,9 +328,9 @@ double MeasureStreamBandwidth(vmm::Vm& vm, const std::string& kind) {
     auto pipe = std::make_shared<PipeBuffer>(&k.sched());
     guestos::Process* writer = SpawnProcess(k, "bw_wr", [&chunk](SyscallApi& sys) {
       for (int i = 0; i < kChunks; ++i) {
-        sys.Write(3, chunk);
+        (void)sys.Write(3, chunk);
       }
-      sys.Close(3);
+      (void)sys.Close(3);
     });
     InstallPipeEnd(writer, pipe, /*read_end=*/false);  // fd 3
     guestos::Process* reader = SpawnProcess(k, "bw_rd", [](SyscallApi& sys) {
@@ -350,9 +350,9 @@ double MeasureStreamBandwidth(vmm::Vm& vm, const std::string& kind) {
     }
     guestos::Process* writer = SpawnProcess(k, "bw_wr", [&chunk](SyscallApi& sys) {
       for (int i = 0; i < kChunks; ++i) {
-        sys.Send(3, chunk);
+        (void)sys.Send(3, chunk);
       }
-      sys.Close(3);
+      (void)sys.Close(3);
     });
     InstallSocket(writer, sa);
     guestos::Process* reader = SpawnProcess(k, "bw_rd", [](SyscallApi& sys) {
@@ -395,7 +395,7 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
 
   Nanos t = TimeInProcess(vm, [&](SyscallApi& sys) {
     for (int i = 0; i < n; ++i) {
-      sys.Stat("/etc/hostname");
+      (void)sys.Stat("/etc/hostname");
     }
   });
   add(kProc, "stat", ToMicros(t) / n);
@@ -404,7 +404,7 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
     for (int i = 0; i < n; ++i) {
       auto fd = sys.Open("/etc/hostname");
       if (fd.ok()) {
-        sys.Close(fd.value());
+        (void)sys.Close(fd.value());
       }
     }
   });
@@ -412,21 +412,21 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
 
   t = TimeInProcess(vm, [&](SyscallApi& sys) {
     for (int i = 0; i < n; ++i) {
-      sys.Select(100, /*tcp_fds=*/true);
+      (void)sys.Select(100, /*tcp_fds=*/true);
     }
   });
   add(kProc, "slct TCP", ToMicros(t) / n);
 
   t = TimeInProcess(vm, [&](SyscallApi& sys) {
     for (int i = 0; i < n; ++i) {
-      sys.Sigaction(10);
+      (void)sys.Sigaction(10);
     }
   });
   add(kProc, "sig inst", ToMicros(t) / n);
 
   t = TimeInProcess(vm, [&](SyscallApi& sys) {
     for (int i = 0; i < n; ++i) {
-      sys.SignalSelf(10);
+      (void)sys.SignalSelf(10);
     }
   });
   add(kProc, "sig hndl", ToMicros(t) / n);
@@ -436,7 +436,7 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
     for (int i = 0; i < kForks; ++i) {
       auto pid = sys.Fork([](SyscallApi&) { return 0; });
       if (pid.ok()) {
-        sys.Wait4(pid.value());
+        (void)sys.Wait4(pid.value());
       }
     }
   });
@@ -445,11 +445,11 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
   t = TimeInProcess(vm, [&](SyscallApi& sys) {
     for (int i = 0; i < kForks; ++i) {
       auto pid = sys.Fork([](SyscallApi& child) -> int {
-        child.Execve("/bin/hello", {"/bin/hello"});
+        (void)child.Execve("/bin/hello", {"/bin/hello"});
         return 127;
       });
       if (pid.ok()) {
-        sys.Wait4(pid.value());
+        (void)sys.Wait4(pid.value());
       }
     }
   });
@@ -458,11 +458,11 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
   t = TimeInProcess(vm, [&](SyscallApi& sys) {
     for (int i = 0; i < kForks; ++i) {
       auto pid = sys.Fork([](SyscallApi& child) -> int {
-        child.Execve("/bin/sh", {"/bin/sh", "/bin/hello"});
+        (void)child.Execve("/bin/sh", {"/bin/sh", "/bin/hello"});
         return 127;
       });
       if (pid.ok()) {
-        sys.Wait4(pid.value());
+        (void)sys.Wait4(pid.value());
       }
     }
   });
@@ -489,7 +489,7 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
     for (int i = 0; i < 200; ++i) {
       auto fd = sys.Open("/tmp/lm0k_" + std::to_string(i), /*create=*/true);
       if (fd.ok()) {
-        sys.Close(fd.value());
+        (void)sys.Close(fd.value());
       }
     }
   });
@@ -497,7 +497,7 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
 
   t = TimeInProcess(vm, [&](SyscallApi& sys) {
     for (int i = 0; i < 200; ++i) {
-      sys.Unlink("/tmp/lm0k_" + std::to_string(i));
+      (void)sys.Unlink("/tmp/lm0k_" + std::to_string(i));
     }
   });
   add(kFile, "0K File Delete", ToMicros(t) / 200);
@@ -507,8 +507,8 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
     for (int i = 0; i < 100; ++i) {
       auto fd = sys.Open("/tmp/lm10k_" + std::to_string(i), /*create=*/true);
       if (fd.ok()) {
-        sys.Write(fd.value(), ten_kb);
-        sys.Close(fd.value());
+        (void)sys.Write(fd.value(), ten_kb);
+        (void)sys.Close(fd.value());
       }
     }
   });
@@ -516,7 +516,7 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
 
   t = TimeInProcess(vm, [&](SyscallApi& sys) {
     for (int i = 0; i < 100; ++i) {
-      sys.Unlink("/tmp/lm10k_" + std::to_string(i));
+      (void)sys.Unlink("/tmp/lm10k_" + std::to_string(i));
     }
   });
   add(kFile, "10K File Delete", ToMicros(t) / 100);
@@ -525,7 +525,7 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
     for (int i = 0; i < 4; ++i) {
       auto vma = sys.Mmap(10 * kMiB, /*populate=*/true);
       if (vma.ok()) {
-        sys.Munmap(vma.value());
+        (void)sys.Munmap(vma.value());
       }
     }
   });
@@ -536,16 +536,16 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
   add(kFile, "Prot Fault", ToMicros(k.costs().page_fault * 3) * 0.96);
 
   t = TimeInProcess(vm, [&](SyscallApi& sys) {
-    sys.BrkGrow(4 * kMiB);
+    (void)sys.BrkGrow(4 * kMiB);
     for (int i = 0; i < 1000; ++i) {
-      sys.TouchHeap(static_cast<Bytes>(i) * guestos::kPageSize, 1);
+      (void)sys.TouchHeap(static_cast<Bytes>(i) * guestos::kPageSize, 1);
     }
   });
   add(kFile, "Page Fault", ToMicros(t) / 1000);
 
   t = TimeInProcess(vm, [&](SyscallApi& sys) {
     for (int i = 0; i < n; ++i) {
-      sys.Select(100, /*tcp_fds=*/false);
+      (void)sys.Select(100, /*tcp_fds=*/false);
     }
   });
   add(kFile, "100fd selct", ToMicros(t) / n);
@@ -565,14 +565,14 @@ std::vector<LmbenchRow> RunLmbenchSuite(vmm::Vm& vm) {
       if (!fd.ok()) {
         return;
       }
-      sys.Write(fd.value(), big);
-      sys.Close(fd.value());
+      (void)sys.Write(fd.value(), big);
+      (void)sys.Close(fd.value());
       t0 = k.clock().now();
       for (int i = 0; i < 64; ++i) {
         auto rfd = sys.Open("/tmp/reread");
         if (rfd.ok()) {
-          sys.Read(rfd.value(), 64 * 1024);
-          sys.Close(rfd.value());
+          (void)sys.Read(rfd.value(), 64 * 1024);
+          (void)sys.Close(rfd.value());
         }
       }
       t1 = k.clock().now();

@@ -27,7 +27,7 @@ void SenderBody(SyscallApi& sys, const std::vector<int>& fds, int messages) {
   const std::string msg(kMsgSize, 'm');
   for (int m = 0; m < messages; ++m) {
     for (int fd : fds) {
-      sys.Send(fd, msg);
+      (void)sys.Send(fd, msg);
     }
   }
 }
@@ -105,24 +105,24 @@ Nanos RunPerfMessaging(vmm::Vm& vm, const MessagingConfig& config) {
         }
         for (int s = 0; s < S; ++s) {
           auto fds = sender_fds[s];
-          sys.SpawnThread([fds, M, done](SyscallApi& tsys) {
+          (void)sys.SpawnThread([fds, M, done](SyscallApi& tsys) {
             SenderBody(tsys, fds, M);
             ++*done;
-            tsys.FutexWake(done.get(), 1);
+            (void)tsys.FutexWake(done.get(), 1);
           });
         }
         for (int r = 0; r < R; ++r) {
           auto fds = receiver_fds[r];
-          sys.SpawnThread([fds, M, done](SyscallApi& tsys) {
+          (void)sys.SpawnThread([fds, M, done](SyscallApi& tsys) {
             ReceiverBody(tsys, fds, M);
             ++*done;
-            tsys.FutexWake(done.get(), 1);
+            (void)tsys.FutexWake(done.get(), 1);
           });
         }
         // Join: wait for every participant (futex-based, like pthread_join).
         while (*done < participants) {
           int snapshot = *done;
-          sys.FutexWait(done.get(), snapshot);
+          (void)sys.FutexWait(done.get(), snapshot);
         }
       });
       (void)p;

@@ -15,7 +15,7 @@ guestos::Process* SpawnProcess(guestos::Kernel& kernel, const std::string& name,
   kernel.sched().Spawn(process, [k, process, heap_bytes, body = std::move(body)]() {
     guestos::SyscallApi& sys = k->sys();
     if (process->heap_vma < 0 && heap_bytes > 0) {
-      sys.BrkGrow(heap_bytes);
+      (void)sys.BrkGrow(heap_bytes);
     }
     body(sys);
     k->ExitProcess(process, 0);

@@ -24,13 +24,13 @@ void SemWait(SyscallApi& sys, GuestSemaphore* sem) {
       --sem->value;
       return;
     }
-    sys.FutexWait(&sem->value, 0);
+    (void)sys.FutexWait(&sem->value, 0);
   }
 }
 
 void SemPost(SyscallApi& sys, GuestSemaphore* sem) {
   ++sem->value;
-  sys.FutexWake(&sem->value, 1);
+  (void)sys.FutexWake(&sem->value, 1);
 }
 
 }  // namespace
@@ -51,12 +51,12 @@ Nanos RunFutexStress(vmm::Vm& vm, int workers, int rounds) {
             }
             if (Status s = sys.FutexWait(word.get(), v);
                 s.err() == Err::kNoSys) {
-              sys.Write(2, "the futex facility returned an unexpected error code\n");
+              (void)sys.Write(2, "the futex facility returned an unexpected error code\n");
               return;
             }
           }
           ++*word;
-          sys.FutexWake(word.get(), 3);
+          (void)sys.FutexWake(word.get(), 3);
         }
       });
     }
@@ -104,8 +104,8 @@ Nanos RunMakeJob(vmm::Vm& vm, int jobs, int units) {
         cc.Compute(Micros(1'500));
         auto fd = cc.Open("/tmp/obj_" + std::to_string(u) + ".o", /*create=*/true);
         if (fd.ok()) {
-          cc.Write(fd.value(), std::string(8 * 1024, 'o'));
-          cc.Close(fd.value());
+          (void)cc.Write(fd.value(), std::string(8 * 1024, 'o'));
+          (void)cc.Close(fd.value());
         }
         return 0;
       });

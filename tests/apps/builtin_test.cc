@@ -41,11 +41,11 @@ TEST(BuiltinTest, RedisServesGetAndSet) {
     auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
     ASSERT_TRUE(fd.ok());
     ASSERT_TRUE(sys.Connect(fd.value(), 6379, "").ok());
-    sys.Send(fd.value(), "SET greeting hello\r\n");
+    (void)sys.Send(fd.value(), "SET greeting hello\r\n");
     set_reply = sys.Recv(fd.value(), 256).take();
-    sys.Send(fd.value(), "GET greeting\r\n");
+    (void)sys.Send(fd.value(), "GET greeting\r\n");
     get_reply = sys.Recv(fd.value(), 256).take();
-    sys.Send(fd.value(), "GET missing\r\n");
+    (void)sys.Send(fd.value(), "GET missing\r\n");
     miss_reply = sys.Recv(fd.value(), 256).take();
   });
   guest.kernel->Run();
@@ -68,7 +68,7 @@ TEST(BuiltinTest, NginxServesHttp) {
     auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
     ASSERT_TRUE(fd.ok());
     ASSERT_TRUE(sys.Connect(fd.value(), 80, "").ok());
-    sys.Send(fd.value(), "GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+    (void)sys.Send(fd.value(), "GET / HTTP/1.1\r\nHost: x\r\n\r\n");
     while (reply.size() < 600) {
       auto chunk = sys.Recv(fd.value(), 4096);
       if (!chunk.ok() || chunk.value().empty()) {
@@ -108,15 +108,15 @@ TEST(BuiltinTest, MemcachedSpeaksItsProtocol) {
     auto fd = sys.Socket(SockDomain::kInet, SockType::kStream);
     ASSERT_TRUE(fd.ok());
     ASSERT_TRUE(sys.Connect(fd.value(), 11211, "").ok());
-    sys.Send(fd.value(), "set k 0 0 5\r\nhello\r\n");
+    (void)sys.Send(fd.value(), "set k 0 0 5\r\nhello\r\n");
     stored = sys.Recv(fd.value(), 256).take();
-    sys.Send(fd.value(), "get k\r\n");
+    (void)sys.Send(fd.value(), "get k\r\n");
     value = sys.Recv(fd.value(), 256).take();
-    sys.Send(fd.value(), "delete k\r\n");
+    (void)sys.Send(fd.value(), "delete k\r\n");
     deleted = sys.Recv(fd.value(), 256).take();
-    sys.Send(fd.value(), "get k\r\n");
+    (void)sys.Send(fd.value(), "get k\r\n");
     miss = sys.Recv(fd.value(), 256).take();
-    sys.Send(fd.value(), "stats\r\n");
+    (void)sys.Send(fd.value(), "stats\r\n");
     stats = sys.Recv(fd.value(), 512).take();
   });
   guest.kernel->Run();

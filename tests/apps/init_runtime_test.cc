@@ -17,7 +17,7 @@ struct InitRun {
 };
 
 InitRun RunScript(const std::string& script, GuestFixture& guest) {
-  guest.kernel->vfs().CreateFile("/sbin/custom-init", script, /*executable=*/true);
+  (void)guest.kernel->vfs().CreateFile("/sbin/custom-init", script, /*executable=*/true);
   InitRun result;
   guest.RunInGuest([&](SyscallApi& sys) {
     Status s = sys.Execve("/sbin/custom-init", {"/sbin/custom-init"});
@@ -70,13 +70,13 @@ TEST(InitRuntimeTest, ExecMissingBinaryReportsFailure) {
 
 TEST(InitRuntimeTest, EnvReachesTheProcess) {
   GuestFixture guest;
-  guest.kernel->vfs().CreateFile("/sbin/custom-init",
+  (void)guest.kernel->vfs().CreateFile("/sbin/custom-init",
                                  "#!lupine-init\nenv MODE=fast\nenv DEBUG=0\nexec /bin/hello\n",
                                  /*executable=*/true);
   guestos::Process* seen = nullptr;
   guest.RunInGuest([&](SyscallApi& sys) {
     seen = sys.CurrentProcess();
-    sys.Execve("/sbin/custom-init", {"/sbin/custom-init"});
+    (void)sys.Execve("/sbin/custom-init", {"/sbin/custom-init"});
   });
   ASSERT_NE(seen, nullptr);
   EXPECT_EQ(seen->env["MODE"], "fast");

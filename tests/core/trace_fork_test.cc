@@ -17,13 +17,13 @@ TEST(TraceForkTest, ChildSyscallsAreAttributedToChildPids) {
   int child_pid = 0;
   guest.RunInGuest([&](guestos::SyscallApi& sys) {
     auto pid = sys.Fork([](guestos::SyscallApi& child) -> int {
-      child.Getppid();
-      child.Getppid();
+      (void)child.Getppid();
+      (void)child.Getppid();
       return 0;
     });
     ASSERT_TRUE(pid.ok());
     child_pid = pid.value();
-    sys.Wait4(child_pid);
+    (void)sys.Wait4(child_pid);
   });
   int child_events = 0;
   for (const auto& event : guest.kernel->trace().syscalls()) {
@@ -50,7 +50,7 @@ TEST(TraceForkTest, FreeRunClientsAreNotTraced) {
   guest.RunInGuest(
       [&](guestos::SyscallApi& sys) {
         for (int i = 0; i < 10; ++i) {
-          sys.Getppid();
+          (void)sys.Getppid();
         }
       },
       options);

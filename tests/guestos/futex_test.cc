@@ -93,7 +93,7 @@ TEST(FutexTest, DistinctWordsDistinctQueues) {
 TEST(FutexTest, EmptyBucketsAreReclaimed) {
   FutexFixture f;
   int word = 0;
-  f.sched.Spawn(nullptr, [&] { f.futexes.Wait(&word, 0); });
+  f.sched.Spawn(nullptr, [&] { (void)f.futexes.Wait(&word, 0); });
   f.sched.Spawn(nullptr, [&] { f.futexes.Wake(&word, 1); });
   f.sched.Run();
   EXPECT_EQ(f.futexes.BucketCount(), 0u);

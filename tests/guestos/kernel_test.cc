@@ -61,7 +61,7 @@ TEST(KernelTest, StartInitRunsTheStartupScript) {
 
 TEST(KernelTest, MissingInitPanics) {
   GuestFixture guest;
-  guest.kernel->vfs().Unlink("/sbin/init");
+  (void)guest.kernel->vfs().Unlink("/sbin/init");
   auto init = guest.kernel->StartInit("/sbin/init");
   ASSERT_TRUE(init.ok());
   guest.kernel->Run();

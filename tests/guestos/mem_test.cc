@@ -22,9 +22,9 @@ TEST(MemoryManagerTest, OomPastLimit) {
 
 TEST(MemoryManagerTest, PeakTracksHighWater) {
   MemoryManager mm(MiB(4));
-  mm.AllocatePages(100, "a");
+  (void)mm.AllocatePages(100, "a");
   mm.FreePages(50);
-  mm.AllocatePages(10, "b");
+  (void)mm.AllocatePages(10, "b");
   EXPECT_EQ(mm.peak(), 100 * kPageSize);
 }
 
@@ -62,7 +62,7 @@ TEST(AddressSpaceTest, UnmapReleasesMemory) {
   AddressSpace as(&mm);
   auto vma = as.Map(MiB(1), VmaKind::kData, "tmp");
   ASSERT_TRUE(vma.ok());
-  as.Touch(vma.value(), 0, MiB(1));
+  (void)as.Touch(vma.value(), 0, MiB(1));
   Bytes used = mm.used();
   EXPECT_GE(used, MiB(1));
   ASSERT_TRUE(as.Unmap(vma.value()).ok());
@@ -86,7 +86,7 @@ TEST(AddressSpaceTest, ForkCopySharesTextChargesPageTables) {
   ASSERT_TRUE(text.ok());
   auto heap = parent.Map(MiB(1), VmaKind::kHeap, "heap");
   ASSERT_TRUE(heap.ok());
-  parent.Touch(heap.value(), 0, 64 * kPageSize);
+  (void)parent.Touch(heap.value(), 0, 64 * kPageSize);
 
   Bytes before = mm.used();
   auto child = parent.ForkCopy();
@@ -118,7 +118,7 @@ TEST(AddressSpaceTest, CowPagesRechargedInChild) {
   AddressSpace parent(&mm);
   auto heap = parent.Map(MiB(1), VmaKind::kHeap, "heap");
   ASSERT_TRUE(heap.ok());
-  parent.Touch(heap.value(), 0, 16 * kPageSize);
+  (void)parent.Touch(heap.value(), 0, 16 * kPageSize);
   auto child = parent.ForkCopy();
   ASSERT_TRUE(child.ok());
   // The child's heap starts unpopulated (COW) and re-faults.

@@ -81,7 +81,7 @@ TEST(NetTest, UnixSocketsByPath) {
   ASSERT_TRUE(f.net.Bind(listener, 0, "/run/app.sock").ok());
   ASSERT_TRUE(f.net.Listen(listener, 4).ok());
   bool connected = false;
-  f.sched.Spawn(nullptr, [&] { f.net.Accept(listener); });
+  f.sched.Spawn(nullptr, [&] { (void)f.net.Accept(listener); });
   f.sched.Spawn(nullptr, [&] {
     auto client = f.net.Create(SockDomain::kUnix, SockType::kStream);
     connected = f.net.Connect(client, 0, "/run/app.sock").ok();
@@ -109,8 +109,8 @@ TEST(NetTest, DgramPreservesMessageBoundaries) {
   auto [a, b] = f.net.CreatePair(SockType::kDgram);
   std::vector<std::string> got;
   f.sched.Spawn(nullptr, [&, a = a] {
-    f.net.SendDgram(a, "one");
-    f.net.SendDgram(a, "two");
+    (void)f.net.SendDgram(a, "one");
+    (void)f.net.SendDgram(a, "two");
   });
   f.sched.Spawn(nullptr, [&, b = b] {
     got.push_back(f.net.RecvDgram(b).take());
@@ -126,7 +126,7 @@ TEST(NetTest, StreamRecvRespectsMaxBytes) {
   std::string first;
   std::string second;
   f.sched.Spawn(nullptr, [&, a = a, b = b] {
-    f.net.Send(a, "abcdef");
+    (void)f.net.Send(a, "abcdef");
     first = f.net.Recv(b, 3).take();
     second = f.net.Recv(b, 3).take();
   });

@@ -24,7 +24,7 @@ TEST(ProcfsPidTest, EntriesAppearAfterMountAndFork) {
     // The forked child is published immediately.
     EXPECT_TRUE(
         guest.kernel->vfs().Exists("/proc/" + std::to_string(child_pid) + "/status"));
-    sys.Wait4(child_pid);
+    (void)sys.Wait4(child_pid);
   });
   EXPECT_GT(child_pid, 0);
 }
@@ -34,11 +34,11 @@ TEST(ProcfsPidTest, StatusReflectsExecName) {
   guest.RunInGuest([&](SyscallApi& sys) {
     ASSERT_TRUE(sys.Mount("proc", "/proc").ok());
     auto pid = sys.Fork([](SyscallApi& child) -> int {
-      child.Execve("/bin/hello", {"/bin/hello"});
+      (void)child.Execve("/bin/hello", {"/bin/hello"});
       return 127;
     });
     ASSERT_TRUE(pid.ok());
-    sys.Wait4(pid.value());
+    (void)sys.Wait4(pid.value());
     auto status = guest.kernel->vfs().Resolve("/proc/" + std::to_string(pid.value()) +
                                               "/status");
     ASSERT_TRUE(status.ok());
@@ -63,7 +63,7 @@ TEST(ProcfsPidTest, ReadableThroughTheSyscallLayer) {
     auto fd = sys.Open("/proc/" + std::to_string(self) + "/status");
     ASSERT_TRUE(fd.ok());
     contents = sys.Read(fd.value(), 4096).take();
-    sys.Close(fd.value());
+    (void)sys.Close(fd.value());
   });
   EXPECT_NE(contents.find("State:\tR (running)"), std::string::npos);
 }

@@ -105,7 +105,7 @@ TEST_P(SchedProperty, FutexPingPongAlwaysTerminates) {
       sched.Spawn(nullptr, [&, word, side] {
         for (int r = 0; r < rounds; ++r) {
           while (*word % 2 != side) {
-            futexes.Wait(word, *word);
+            (void)futexes.Wait(word, *word);
           }
           ++*word;
           futexes.Wake(word, 1);

@@ -17,12 +17,12 @@ TEST(SignalTest, HandlerRunsAtNextSyscallBoundary) {
   GuestFixture guest;
   int delivered = 0;
   guest.RunInGuest([&](SyscallApi& sys) {
-    sys.SigactionHandler(kSigUsr1, [&](int signum) { delivered = signum; });
+    (void)sys.SigactionHandler(kSigUsr1, [&](int signum) { delivered = signum; });
     int self = sys.Getpid().take();
     EXPECT_EQ(delivered, 0);
     // kill(2) is itself a syscall: a self-signal is delivered on its own
     // return path, exactly like a real kernel's return-to-user check.
-    sys.Kill(self, kSigUsr1);
+    (void)sys.Kill(self, kSigUsr1);
     EXPECT_EQ(delivered, kSigUsr1);
   });
 }
@@ -33,7 +33,7 @@ TEST(SignalTest, DefaultDispositionTerminates) {
   guest.RunInGuest([&](SyscallApi& sys) {
     auto pid = sys.Fork([](SyscallApi& child) -> int {
       for (int i = 0; i < 1000; ++i) {
-        child.Getppid();  // Victim loop: plenty of delivery points.
+        (void)child.Getppid();  // Victim loop: plenty of delivery points.
         child.SchedYield();
       }
       return 0;  // Should never get here.
@@ -55,7 +55,7 @@ TEST(SignalTest, HandlerPreventsTermination) {
   guest.RunInGuest([&](SyscallApi& sys) {
     auto pid = sys.Fork([&](SyscallApi& child) -> int {
       bool stop = false;
-      child.SigactionHandler(kSigTerm, [&stop](int) { stop = true; });
+      (void)child.SigactionHandler(kSigTerm, [&stop](int) { stop = true; });
       while (!stop) {
         child.SchedYield();
       }
@@ -64,7 +64,7 @@ TEST(SignalTest, HandlerPreventsTermination) {
     });
     ASSERT_TRUE(pid.ok());
     sys.SchedYield();
-    sys.Kill(pid.value(), kSigTerm);
+    (void)sys.Kill(pid.value(), kSigTerm);
     auto code = sys.Wait4(pid.value());
     ASSERT_TRUE(code.ok());
     EXPECT_EQ(code.value(), 7);
@@ -76,10 +76,10 @@ TEST(SignalTest, ResetToDefaultWithNullHandler) {
   GuestFixture guest;
   guest.RunInGuest([&](SyscallApi& sys) {
     int self = sys.Getpid().take();
-    sys.SigactionHandler(kSigUsr1, [](int) {});
-    sys.SigactionHandler(kSigUsr1, nullptr);  // Back to default (fatal).
-    sys.Kill(self, kSigUsr1);
-    sys.Getppid();  // Delivery point: terminates this process.
+    (void)sys.SigactionHandler(kSigUsr1, [](int) {});
+    (void)sys.SigactionHandler(kSigUsr1, nullptr);  // Back to default (fatal).
+    (void)sys.Kill(self, kSigUsr1);
+    (void)sys.Getppid();  // Delivery point: terminates this process.
     ADD_FAILURE() << "should have been terminated";
   });
   EXPECT_TRUE(guest.kernel->console().Contains("terminated by signal 10"));
@@ -96,13 +96,13 @@ TEST(SignalTest, SignalsQueueInOrder) {
   GuestFixture guest;
   std::vector<int> order;
   guest.RunInGuest([&](SyscallApi& sys) {
-    sys.SigactionHandler(1, [&](int s) { order.push_back(s); });
-    sys.SigactionHandler(2, [&](int s) { order.push_back(s); });
+    (void)sys.SigactionHandler(1, [&](int s) { order.push_back(s); });
+    (void)sys.SigactionHandler(2, [&](int s) { order.push_back(s); });
     int self = sys.Getpid().take();
-    sys.Kill(self, 1);
-    sys.Kill(self, 2);
-    sys.Getppid();
-    sys.Getppid();
+    (void)sys.Kill(self, 1);
+    (void)sys.Kill(self, 2);
+    (void)sys.Getppid();
+    (void)sys.Getppid();
   });
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
@@ -116,15 +116,15 @@ TEST(SignalTest, ColdFileReadCostsMoreThanWarm) {
     auto fd = sys.Open("/bin/sh");
     ASSERT_TRUE(fd.ok());
     Nanos t0 = guest.kernel->clock().now();
-    sys.Read(fd.value(), 4096);
+    (void)sys.Read(fd.value(), 4096);
     cold = guest.kernel->clock().now() - t0;
-    sys.Close(fd.value());
+    (void)sys.Close(fd.value());
 
     auto fd2 = sys.Open("/bin/sh");
     Nanos t1 = guest.kernel->clock().now();
-    sys.Read(fd2.value(), 4096);
+    (void)sys.Read(fd2.value(), 4096);
     warm = guest.kernel->clock().now() - t1;
-    sys.Close(fd2.value());
+    (void)sys.Close(fd2.value());
   });
   EXPECT_GT(cold, warm);
 }

@@ -33,8 +33,8 @@ TEST(SyscallFdTest, EpollSeesEventfdAndPipe) {
     ASSERT_TRUE(ep.ok());
     ASSERT_TRUE(efd.ok());
     ASSERT_TRUE(pipe_fds.ok());
-    sys.EpollCtlAdd(ep.value(), efd.value());
-    sys.EpollCtlAdd(ep.value(), pipe_fds.value().first);
+    (void)sys.EpollCtlAdd(ep.value(), efd.value());
+    (void)sys.EpollCtlAdd(ep.value(), pipe_fds.value().first);
 
     // Nothing ready yet.
     auto ready = sys.EpollWait(ep.value(), 8, Micros(100));
@@ -42,8 +42,8 @@ TEST(SyscallFdTest, EpollSeesEventfdAndPipe) {
     EXPECT_TRUE(ready.value().empty());
 
     // Signal the eventfd and fill the pipe.
-    sys.Write(efd.value(), "x");
-    sys.Write(pipe_fds.value().second, "y");
+    (void)sys.Write(efd.value(), "x");
+    (void)sys.Write(pipe_fds.value().second, "y");
     ready = sys.EpollWait(ep.value(), 8, Micros(100));
     ASSERT_TRUE(ready.ok());
     EXPECT_EQ(ready.value().size(), 2u);
@@ -68,7 +68,7 @@ TEST(SyscallFdTest, DupSharesOffset) {
   guest.RunInGuest([&](SyscallApi& sys) {
     auto fd = sys.Open("/tmp/shared", /*create=*/true);
     ASSERT_TRUE(fd.ok());
-    sys.Write(fd.value(), "abcdef");
+    (void)sys.Write(fd.value(), "abcdef");
     auto dup = sys.Dup(fd.value());
     ASSERT_TRUE(dup.ok());
     // Both descriptors share one description: the offset is common.
@@ -132,9 +132,9 @@ TEST(SyscallFdTest, ClosingSocketMidRecvWakesPeer) {
     auto pair = sys.SocketPair(SockType::kStream);
     ASSERT_TRUE(pair.ok());
     auto [a, b] = pair.value();
-    sys.Fork([a](SyscallApi& child) -> int {
+    (void)sys.Fork([a](SyscallApi& child) -> int {
       child.Nanosleep(Millis(1));
-      child.Close(a);
+      (void)child.Close(a);
       return 0;
     });
     auto data = sys.Recv(b, 16);  // Blocks until the child closes.

@@ -27,7 +27,7 @@ TEST(SyscallTest, SyscallsAdvanceVirtualTime) {
   guest.RunInGuest([&](SyscallApi& sys) {
     before = guest.kernel->clock().now();
     for (int i = 0; i < 100; ++i) {
-      sys.Getppid();
+      (void)sys.Getppid();
     }
     after = guest.kernel->clock().now();
   });
@@ -75,7 +75,7 @@ TEST(SyscallTest, DevZeroAndDevNull) {
     auto data = sys.Read(zero.value(), 16);
     ASSERT_TRUE(data.ok());
     EXPECT_EQ(data.value(), std::string(16, '\0'));
-    sys.Close(zero.value());
+    (void)sys.Close(zero.value());
 
     auto null = sys.Open("/dev/null");
     ASSERT_TRUE(null.ok());
@@ -90,7 +90,7 @@ TEST(SyscallTest, DevZeroAndDevNull) {
 
 TEST(SyscallTest, StdoutGoesToConsole) {
   GuestFixture guest;
-  guest.RunInGuest([&](SyscallApi& sys) { sys.Write(1, "to the console\n"); });
+  guest.RunInGuest([&](SyscallApi& sys) { (void)sys.Write(1, "to the console\n"); });
   EXPECT_TRUE(guest.kernel->console().Contains("to the console"));
 }
 
@@ -100,7 +100,7 @@ TEST(SyscallTest, FileReadWriteRoundTrip) {
     auto fd = sys.Open("/tmp/data", /*create=*/true);
     ASSERT_TRUE(fd.ok());
     ASSERT_TRUE(sys.Write(fd.value(), "content").ok());
-    sys.Close(fd.value());
+    (void)sys.Close(fd.value());
     auto rfd = sys.Open("/tmp/data");
     ASSERT_TRUE(rfd.ok());
     auto data = sys.Read(rfd.value(), 100);
@@ -113,7 +113,7 @@ TEST(SyscallTest, ForkRunsChildAndWaitReapsIt) {
   GuestFixture guest;
   guest.RunInGuest([&](SyscallApi& sys) {
     auto pid = sys.Fork([](SyscallApi& child) -> int {
-      child.Write(1, "child ran\n");
+      (void)child.Write(1, "child ran\n");
       return 42;
     });
     ASSERT_TRUE(pid.ok());
@@ -130,8 +130,8 @@ TEST(SyscallTest, ForkRunsChildAndWaitReapsIt) {
 TEST(SyscallTest, WaitAnyChild) {
   GuestFixture guest;
   guest.RunInGuest([&](SyscallApi& sys) {
-    sys.Fork([](SyscallApi&) -> int { return 1; });
-    sys.Fork([](SyscallApi&) -> int { return 2; });
+    (void)sys.Fork([](SyscallApi&) -> int { return 1; });
+    (void)sys.Fork([](SyscallApi&) -> int { return 2; });
     auto a = sys.Wait4(-1);
     auto b = sys.Wait4(-1);
     ASSERT_TRUE(a.ok());
@@ -148,8 +148,8 @@ TEST(SyscallTest, PipesCarryDataBetweenProcesses) {
     auto pipe_fds = sys.Pipe();
     ASSERT_TRUE(pipe_fds.ok());
     auto [rfd, wfd] = pipe_fds.value();
-    sys.Fork([wfd](SyscallApi& child) -> int {
-      child.Write(wfd, "via pipe");
+    (void)sys.Fork([wfd](SyscallApi& child) -> int {
+      (void)child.Write(wfd, "via pipe");
       return 0;
     });
     auto data = sys.Read(rfd, 64);
@@ -170,12 +170,12 @@ TEST(SyscallTest, EpollWaitReturnsReadySocket) {
     ASSERT_TRUE(ep.ok());
     ASSERT_TRUE(sys.EpollCtlAdd(ep.value(), listener.value()).ok());
 
-    sys.Fork([](SyscallApi& child) -> int {
+    (void)sys.Fork([](SyscallApi& child) -> int {
       auto fd = child.Socket(SockDomain::kInet, SockType::kStream);
       if (!fd.ok()) {
         return 1;
       }
-      child.Connect(fd.value(), 1234, "");
+      (void)child.Connect(fd.value(), 1234, "");
       return 0;
     });
 
@@ -190,7 +190,7 @@ TEST(SyscallTest, ExecveReplacesImage) {
   GuestFixture guest;
   guest.RunInGuest([&](SyscallApi& sys) {
     auto pid = sys.Fork([](SyscallApi& child) -> int {
-      child.Execve("/bin/hello", {"/bin/hello"});
+      (void)child.Execve("/bin/hello", {"/bin/hello"});
       return 126;  // Only on failure.
     });
     ASSERT_TRUE(pid.ok());
@@ -239,7 +239,7 @@ Nanos NullSyscallCost(const kconfig::Config& config, bool kml_process = true) {
       [&](SyscallApi& sys) {
         Nanos t0 = guest.kernel->clock().now();
         for (int i = 0; i < 1000; ++i) {
-          sys.Getppid();
+          (void)sys.Getppid();
         }
         elapsed = guest.kernel->clock().now() - t0;
       },

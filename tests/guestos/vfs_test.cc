@@ -37,8 +37,8 @@ TEST(VfsTest, MkdirPCreatesIntermediates) {
 
 TEST(VfsTest, DotAndDotDotNormalized) {
   Vfs vfs;
-  vfs.CreateDir("/a/b");
-  vfs.CreateFile("/a/b/f", "x");
+  (void)vfs.CreateDir("/a/b");
+  (void)vfs.CreateFile("/a/b/f", "x");
   EXPECT_TRUE(vfs.Resolve("/a/./b/f").ok());
   EXPECT_TRUE(vfs.Resolve("/a/b/../b/f").ok());
   EXPECT_TRUE(vfs.Resolve("/../a/b/f").ok());
@@ -46,8 +46,8 @@ TEST(VfsTest, DotAndDotDotNormalized) {
 
 TEST(VfsTest, SymlinksFollowed) {
   Vfs vfs;
-  vfs.CreateDir("/lib");
-  vfs.CreateFile("/lib/libc.so.6", "libc");
+  (void)vfs.CreateDir("/lib");
+  (void)vfs.CreateFile("/lib/libc.so.6", "libc");
   ASSERT_TRUE(vfs.CreateSymlink("/lib/libc.so", "/lib/libc.so.6").ok());
   auto inode = vfs.Resolve("/lib/libc.so");
   ASSERT_TRUE(inode.ok());
@@ -64,7 +64,7 @@ TEST(VfsTest, SymlinkLoopsDetected) {
 
 TEST(VfsTest, UnlinkRemovesFiles) {
   Vfs vfs;
-  vfs.CreateFile("/junk", "x");
+  (void)vfs.CreateFile("/junk", "x");
   EXPECT_TRUE(vfs.Unlink("/junk").ok());
   EXPECT_FALSE(vfs.Exists("/junk"));
   EXPECT_EQ(vfs.Unlink("/junk").err(), Err::kNoEnt);
@@ -72,14 +72,14 @@ TEST(VfsTest, UnlinkRemovesFiles) {
 
 TEST(VfsTest, UnlinkNonEmptyDirRefused) {
   Vfs vfs;
-  vfs.CreateDir("/d");
-  vfs.CreateFile("/d/f", "x");
+  (void)vfs.CreateDir("/d");
+  (void)vfs.CreateFile("/d/f", "x");
   EXPECT_EQ(vfs.Unlink("/d").err(), Err::kNotEmpty);
 }
 
 TEST(VfsTest, DeviceNodes) {
   Vfs vfs;
-  vfs.CreateDir("/dev");
+  (void)vfs.CreateDir("/dev");
   ASSERT_TRUE(vfs.CreateDevice("/dev/null", DevId::kNull).ok());
   auto inode = vfs.Resolve("/dev/null");
   ASSERT_TRUE(inode.ok());
@@ -112,7 +112,7 @@ TEST(VfsTest, UnknownFilesystemTypeRejected) {
 
 TEST(VfsTest, ResolveThroughFileIsNotDir) {
   Vfs vfs;
-  vfs.CreateFile("/f", "x");
+  (void)vfs.CreateFile("/f", "x");
   auto inode = vfs.Resolve("/f/sub");
   EXPECT_FALSE(inode.ok());
   EXPECT_EQ(inode.err(), Err::kNotDir);

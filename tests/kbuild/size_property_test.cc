@@ -41,7 +41,7 @@ TEST_P(SizeProperty, BuildsAreDeterministic) {
   kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
   kconfig::Config config = kconfig::LupineBase();
   for (int i = 0; i < 15; ++i) {
-    resolver.Enable(config, all[rng.NextBelow(all.size())].name);
+    (void)resolver.Enable(config, all[rng.NextBelow(all.size())].name);
   }
   ImageBuilder builder;
   auto a = builder.Build(config);
@@ -58,7 +58,7 @@ TEST_P(SizeProperty, OsModeNeverLargerThanO2) {
   kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
   kconfig::Config config = kconfig::LupineBase();
   for (int i = 0; i < 10; ++i) {
-    resolver.Enable(config, all[rng.NextBelow(all.size())].name);
+    (void)resolver.Enable(config, all[rng.NextBelow(all.size())].name);
   }
   ImageBuilder builder;
   auto o2 = builder.Build(config);

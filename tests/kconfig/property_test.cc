@@ -41,11 +41,11 @@ TEST_P(ResolverProperty, EnableIsIdempotent) {
   Config config;
   auto options = SampleOptions(rng, 20);
   for (const auto& option : options) {
-    resolver.Enable(config, option);
+    (void)resolver.Enable(config, option);
   }
   size_t count = config.EnabledCount();
   for (const auto& option : options) {
-    resolver.Enable(config, option);
+    (void)resolver.Enable(config, option);
   }
   EXPECT_EQ(config.EnabledCount(), count);
 }
@@ -55,7 +55,7 @@ TEST_P(ResolverProperty, DotConfigRoundTripsRandomConfigs) {
   Resolver resolver(OptionDb::Linux40());
   Config config;
   for (const auto& option : SampleOptions(rng, 60)) {
-    resolver.Enable(config, option);
+    (void)resolver.Enable(config, option);
   }
   auto parsed = ParseDotConfig(ToDotConfig(config));
   ASSERT_TRUE(parsed.ok());
@@ -71,10 +71,10 @@ TEST(ConfigProperty, UnionIsCommutativeOnEnabledSets) {
   Config a;
   Config b;
   for (const auto& option : SampleOptions(rng, 30)) {
-    resolver.Enable(a, option);
+    (void)resolver.Enable(a, option);
   }
   for (const auto& option : SampleOptions(rng, 30)) {
-    resolver.Enable(b, option);
+    (void)resolver.Enable(b, option);
   }
   Config ab = a;
   ab.UnionWith(b);

@@ -23,7 +23,7 @@ TEST(ResolverTest, EnablesTransitiveDependencies) {
 TEST(ResolverTest, NoDuplicateAutoEnables) {
   Config c;
   Resolver resolver(OptionDb::Linux40());
-  resolver.Enable(c, n::kNet);
+  (void)resolver.Enable(c, n::kNet);
   auto result = resolver.Enable(c, n::kUnix);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->auto_enabled.empty());  // NET was already on.

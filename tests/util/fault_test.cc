@@ -1,0 +1,146 @@
+#include "src/util/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine {
+namespace {
+
+TEST(FaultInjectorTest, NullObjectNeverFires) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.armed());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(injector.Check(FaultSite::kMemAlloc));
+  }
+  EXPECT_EQ(injector.total_fires(), 0u);
+  // A disarmed injector does not even count evaluations (zero bookkeeping on
+  // the fault-free path).
+  EXPECT_EQ(injector.evaluations(FaultSite::kMemAlloc), 0u);
+}
+
+TEST(FaultInjectorTest, FireOnceHitsExactlyTheNthEvaluation) {
+  FaultInjector injector(FaultPlan{}.FireOnce(FaultSite::kVfsIo, 3));
+  EXPECT_TRUE(injector.armed());
+  EXPECT_FALSE(injector.Check(FaultSite::kVfsIo));
+  EXPECT_FALSE(injector.Check(FaultSite::kVfsIo));
+  EXPECT_TRUE(injector.Check(FaultSite::kVfsIo));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.Check(FaultSite::kVfsIo));
+  }
+  EXPECT_EQ(injector.fires(FaultSite::kVfsIo), 1u);
+  EXPECT_EQ(injector.evaluations(FaultSite::kVfsIo), 103u);
+}
+
+TEST(FaultInjectorTest, PeriodicRuleFiresOnSchedule) {
+  FaultPlan plan;
+  plan.Add({.site = FaultSite::kNetSendDrop, .trigger_on = 2, .period = 3});
+  FaultInjector injector(plan);
+  std::vector<uint64_t> fired;
+  for (uint64_t n = 1; n <= 12; ++n) {
+    if (injector.Check(FaultSite::kNetSendDrop)) {
+      fired.push_back(n);
+    }
+  }
+  EXPECT_EQ(fired, (std::vector<uint64_t>{2, 5, 8, 11}));
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsPeriodicRule) {
+  FaultPlan plan;
+  plan.Add({.site = FaultSite::kSyscallTransient, .trigger_on = 1, .period = 1,
+            .max_fires = 2});
+  FaultInjector injector(plan);
+  int fires = 0;
+  for (int n = 0; n < 50; ++n) {
+    fires += injector.Check(FaultSite::kSyscallTransient) ? 1 : 0;
+  }
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(FaultInjectorTest, SitesAreIndependent) {
+  FaultInjector injector(FaultPlan{}.FireOnce(FaultSite::kMemAlloc, 1));
+  EXPECT_FALSE(injector.Check(FaultSite::kVfsIo));
+  EXPECT_FALSE(injector.Check(FaultSite::kNetRecvReset));
+  EXPECT_TRUE(injector.Check(FaultSite::kMemAlloc));
+  EXPECT_EQ(injector.evaluations(FaultSite::kVfsIo), 1u);
+  EXPECT_EQ(injector.evaluations(FaultSite::kNetRecvReset), 1u);
+  EXPECT_EQ(injector.evaluations(FaultSite::kMemAlloc), 1u);
+}
+
+std::vector<uint64_t> ProbabilisticSchedule(uint64_t seed, int evaluations) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.Add({.site = FaultSite::kNetRecvReset, .probability = 0.2});
+  FaultInjector injector(plan);
+  std::vector<uint64_t> fired;
+  for (int n = 1; n <= evaluations; ++n) {
+    if (injector.Check(FaultSite::kNetRecvReset)) {
+      fired.push_back(static_cast<uint64_t>(n));
+    }
+  }
+  return fired;
+}
+
+TEST(FaultInjectorTest, ProbabilisticScheduleIsSeedDeterministic) {
+  auto a = ProbabilisticSchedule(42, 500);
+  auto b = ProbabilisticSchedule(42, 500);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());  // p=0.2 over 500 draws fires with near certainty.
+  // A different seed produces a different schedule.
+  EXPECT_NE(a, ProbabilisticSchedule(43, 500));
+}
+
+TEST(FaultInjectorTest, ResetReplaysTheIdenticalSchedule) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.Add({.site = FaultSite::kVfsIo, .probability = 0.1});
+  plan.FireOnce(FaultSite::kMemAlloc, 4);
+  FaultInjector injector(plan);
+
+  auto run = [&injector] {
+    std::vector<FaultRecord> log;
+    for (int n = 0; n < 200; ++n) {
+      (void)injector.Check(FaultSite::kVfsIo);
+      (void)injector.Check(FaultSite::kMemAlloc);
+    }
+    return injector.log();
+  };
+  auto first = run();
+  injector.Reset();
+  auto second = run();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].site, second[i].site);
+    EXPECT_EQ(first[i].evaluation, second[i].evaluation);
+  }
+}
+
+TEST(FaultInjectorTest, UnrelatedSiteRulesDoNotShiftDeterministicTriggers) {
+  // Adding a probabilistic rule at another site must not perturb when a
+  // deterministic rule fires (counters are per-site, draws are per-rule).
+  FaultPlan bare = FaultPlan{}.FireOnce(FaultSite::kBootInitcall, 5);
+  FaultPlan noisy = bare;
+  noisy.Add({.site = FaultSite::kNetSendDrop, .probability = 0.5});
+
+  auto schedule = [](const FaultPlan& plan) {
+    FaultInjector injector(plan);
+    std::vector<int> fired;
+    for (int n = 1; n <= 10; ++n) {
+      (void)injector.Check(FaultSite::kNetSendDrop);
+      if (injector.Check(FaultSite::kBootInitcall)) {
+        fired.push_back(n);
+      }
+    }
+    return fired;
+  };
+  EXPECT_EQ(schedule(bare), schedule(noisy));
+  EXPECT_EQ(schedule(bare), (std::vector<int>{5}));
+}
+
+TEST(FaultSiteTest, EverySiteHasAName) {
+  for (size_t i = 0; i < kFaultSiteCount; ++i) {
+    EXPECT_STRNE(FaultSiteName(static_cast<FaultSite>(i)), "");
+  }
+  EXPECT_STREQ(FaultSiteName(FaultSite::kAppFault), "app-fault");
+}
+
+}  // namespace
+}  // namespace lupine
