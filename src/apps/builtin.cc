@@ -1,6 +1,7 @@
 #include "src/apps/builtin.h"
 
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "src/apps/init_script.h"
@@ -395,6 +396,10 @@ int GenericMain(SyscallApi& sys, const AppManifest& m) {
 }  // namespace
 
 void RegisterBuiltinApps(guestos::AppRegistry* registry) {
+  // Serialize registration: LupineBuilders are constructed concurrently by
+  // the parallel fleet pipeline and all funnel through here.
+  static std::mutex mu;
+  std::lock_guard lock(mu);
   guestos::AppRegistry& r = registry != nullptr ? *registry : guestos::AppRegistry::Global();
   if (r.Find("hello-world") != nullptr) {
     return;  // Already registered.

@@ -22,9 +22,8 @@ std::unique_ptr<vmm::Vm> Unikernel::Launch(Bytes memory, FaultInjector* faults) 
 
 LupineBuilder::LupineBuilder() { apps::RegisterBuiltinApps(); }
 
-Result<Unikernel> LupineBuilder::Build(const apps::AppManifest& manifest,
-                                       const apps::ContainerImage& image,
-                                       const BuildOptions& options) const {
+Result<kconfig::Config> LupineBuilder::SpecializeConfig(const apps::AppManifest& manifest,
+                                                        const BuildOptions& options) const {
   // 1. Specialize the kernel configuration (Section 3.1).
   kconfig::Config config;
   if (options.general_config) {
@@ -59,6 +58,18 @@ Result<Unikernel> LupineBuilder::Build(const apps::AppManifest& manifest,
       return s;
     }
   }
+  return config;
+}
+
+Result<Unikernel> LupineBuilder::Build(const apps::AppManifest& manifest,
+                                       const apps::ContainerImage& image,
+                                       const BuildOptions& options) const {
+  // 1-2. Specialize the configuration (options resolved, -tiny/KML applied).
+  auto specialized = SpecializeConfig(manifest, options);
+  if (!specialized.ok()) {
+    return specialized.status();
+  }
+  kconfig::Config config = specialized.take();
 
   // 3. Build the kernel image.
   kbuild::ImageBuilder builder;

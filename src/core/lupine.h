@@ -48,6 +48,14 @@ class LupineBuilder {
  public:
   LupineBuilder();
 
+  // Stage 1 of Build: the specialized kernel configuration for a manifest
+  // (lupine-base or lupine-general, manifest/extra options resolved, -tiny /
+  // PANIC_TIMEOUT / KML applied). Exposed separately so callers like
+  // KernelCache can fingerprint the configuration *before* committing to a
+  // kernel build and deduplicate identical builds across concurrent requests.
+  Result<kconfig::Config> SpecializeConfig(const apps::AppManifest& manifest,
+                                           const BuildOptions& options = {}) const;
+
   // Builds from an explicit manifest + container image.
   Result<Unikernel> Build(const apps::AppManifest& manifest, const apps::ContainerImage& image,
                           const BuildOptions& options = {}) const;

@@ -2,6 +2,12 @@
 
 #include <functional>
 #include <sstream>
+#include <utility>
+
+#include "src/apps/builtin.h"
+#include "src/apps/init_script.h"
+#include "src/apps/rootfs_builder.h"
+#include "src/kbuild/builder.h"
 
 namespace lupine::core {
 
@@ -31,36 +37,117 @@ std::string KernelCache::ConfigFingerprint(const kconfig::Config& config) {
 }
 
 Result<const KernelCache::AppArtifact*> KernelCache::GetOrBuild(const std::string& app) {
+  std::unique_lock lock(mu_);
   ++requests_;
-  auto cached = apps_.find(app);
-  if (cached != apps_.end()) {
-    return &cached->second;
+
+  // Fast path / single-flight entry: either the artifact exists, another
+  // thread is building it (wait), or we claim the flight.
+  std::shared_ptr<Flight> app_flight;
+  for (;;) {
+    auto cached = apps_.find(app);
+    if (cached != apps_.end()) {
+      return &cached->second;
+    }
+    auto flying = app_flights_.find(app);
+    if (flying == app_flights_.end()) {
+      app_flight = std::make_shared<Flight>();
+      app_flights_.emplace(app, app_flight);
+      break;
+    }
+    std::shared_ptr<Flight> flight = flying->second;
+    cv_.wait(lock, [&] { return flight->done; });
+    if (!flight->status.ok()) {
+      return flight->status;
+    }
+    // Success: loop back — apps_ now holds the artifact.
   }
 
-  auto built = builder_.BuildForApp(app, options_);
-  if (!built.ok()) {
-    return built.status();
+  // We own the flight for `app`. Resolve it with `status` on every error
+  // path; the entry is erased so later calls retry (no negative caching).
+  auto fail = [&](Status status) -> Status {
+    app_flight->done = true;
+    app_flight->status = status;
+    app_flights_.erase(app);
+    cv_.notify_all();
+    return status;
+  };
+
+  lock.unlock();
+  const apps::AppManifest* manifest = apps::FindManifest(app);
+  if (manifest == nullptr) {
+    lock.lock();
+    return fail(Status(Err::kNoEnt, "no manifest for application " + app));
   }
-  std::string fingerprint = ConfigFingerprint(built->config);
-  auto it = kernels_.find(fingerprint);
-  if (it == kernels_.end()) {
+  auto specialized = builder_.SpecializeConfig(*manifest, options_);
+  if (!specialized.ok()) {
+    lock.lock();
+    return fail(specialized.status());
+  }
+  kconfig::Config config = specialized.take();
+  const std::string fingerprint = ConfigFingerprint(config);
+
+  // Kernel-level single-flight: apps whose configurations fingerprint
+  // identically share one build even when requested concurrently.
+  lock.lock();
+  const kbuild::KernelImage* kernel = nullptr;
+  while (kernel == nullptr) {
+    auto hit = kernels_.find(fingerprint);
+    if (hit != kernels_.end()) {
+      kernel = hit->second.get();
+      break;
+    }
+    auto flying = kernel_flights_.find(fingerprint);
+    if (flying != kernel_flights_.end()) {
+      std::shared_ptr<Flight> flight = flying->second;
+      cv_.wait(lock, [&] { return flight->done; });
+      if (!flight->status.ok()) {
+        return fail(flight->status);
+      }
+      continue;  // kernels_ now holds the image.
+    }
+    auto kernel_flight = std::make_shared<Flight>();
+    kernel_flights_.emplace(fingerprint, kernel_flight);
+    lock.unlock();
+    kbuild::ImageBuilder image_builder;
+    auto built = image_builder.Build(config);
+    lock.lock();
+    kernel_flight->done = true;
+    if (!built.ok()) {
+      kernel_flight->status = built.status();
+      kernel_flights_.erase(fingerprint);
+      cv_.notify_all();
+      return fail(built.status());
+    }
     ++builds_;
-    it = kernels_
-             .emplace(fingerprint, std::make_unique<kbuild::KernelImage>(built->kernel))
-             .first;
+    auto pos =
+        kernels_.emplace(fingerprint, std::make_unique<kbuild::KernelImage>(built.take())).first;
+    kernel_flights_.erase(fingerprint);
+    cv_.notify_all();
+    kernel = pos->second.get();
   }
+  lock.unlock();
 
+  // Per-app artifact: the rootfs and init script are never shared.
+  apps::ContainerImage image = apps::MakeAlpineImage(*manifest);
+  apps::RootfsOptions rootfs_options;
+  rootfs_options.kml_libc = options_.kml;
   AppArtifact artifact;
-  artifact.kernel = it->second.get();
-  artifact.rootfs = std::move(built->rootfs);
-  artifact.init_script = std::move(built->init_script);
+  artifact.kernel = kernel;
+  artifact.rootfs = apps::BuildAppRootfs(image, rootfs_options);
+  artifact.init_script = apps::GenerateInitScript(image);
+
+  lock.lock();
   app_fingerprint_[app] = fingerprint;
   auto [inserted, ok] = apps_.emplace(app, std::move(artifact));
   (void)ok;
+  app_flight->done = true;
+  app_flights_.erase(app);
+  cv_.notify_all();
   return &inserted->second;
 }
 
 KernelCache::Stats KernelCache::stats() const {
+  std::lock_guard lock(mu_);
   Stats stats;
   stats.requests = requests_;
   stats.builds = builds_;

@@ -8,11 +8,24 @@
 // images by their configuration so identical specializations share one
 // image — root filesystems stay per-application — and reports fleet-level
 // statistics (distinct kernels, image bytes saved).
+//
+// The cache is thread-safe with single-flight deduplication at two levels:
+// concurrent GetOrBuild("node") calls produce exactly one build (per-app
+// flight), and concurrent requests for *different* apps whose specialized
+// configurations fingerprint identically (e.g. the zero-extra-option
+// language runtimes of Table 3) also share one kernel build (per-fingerprint
+// flight). Configurations are fingerprinted via LupineBuilder's
+// SpecializeConfig *before* the expensive kernel build, so deduplication
+// happens up front rather than after redundant work. Failed flights are not
+// cached: waiters observe the failure, later calls retry from scratch,
+// matching the serial cache's semantics.
 #ifndef SRC_CORE_MULTIK_H_
 #define SRC_CORE_MULTIK_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/core/lupine.h"
@@ -35,7 +48,8 @@ class KernelCache {
   };
 
   // Builds (or reuses) the specialized kernel for `app`. Returned pointer
-  // is owned by the cache and stable for its lifetime.
+  // is owned by the cache and stable for its lifetime. Safe to call from
+  // multiple threads; concurrent duplicate requests wait on one build.
   Result<const AppArtifact*> GetOrBuild(const std::string& app);
 
   struct Stats {
@@ -54,11 +68,24 @@ class KernelCache {
   static std::string ConfigFingerprint(const kconfig::Config& config);
 
  private:
+  // An in-progress build other threads can wait on. Waiters hold the
+  // shared_ptr, so the flight outlives its map entry (entries are erased on
+  // completion; failures leave no trace, preserving retry semantics).
+  struct Flight {
+    bool done = false;
+    Status status = Status::Ok();
+  };
+
   BuildOptions options_;
   LupineBuilder builder_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
   std::map<std::string, std::unique_ptr<kbuild::KernelImage>> kernels_;  // By fingerprint.
   std::map<std::string, AppArtifact> apps_;                              // By app name.
   std::map<std::string, std::string> app_fingerprint_;
+  std::map<std::string, std::shared_ptr<Flight>> app_flights_;       // By app name.
+  std::map<std::string, std::shared_ptr<Flight>> kernel_flights_;    // By fingerprint.
   size_t requests_ = 0;
   size_t builds_ = 0;
 };

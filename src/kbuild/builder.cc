@@ -20,12 +20,13 @@ Result<KernelImage> ImageBuilder::Build(const kconfig::Config& config,
   image.features = DeriveFeatures(config, db_);
 
   Bytes option_bytes = 0;
-  for (const auto& name : config.EnabledOptions()) {
-    const kconfig::OptionInfo* info = db.Find(name);
+  // Id-indexed hot loop: no option-name strings are materialized or hashed.
+  for (kconfig::OptionId id : config.EnabledIds()) {
+    const kconfig::OptionInfo* info = db.FindById(id);
     if (info == nullptr) {
       continue;
     }
-    if (config.GetValue(name) == "m") {
+    if (config.ValueOfId(id) == "m") {
       // Modules live in the rootfs (and load at runtime), not in the image —
       // unikernel-style builds compile everything in instead (Section 3.1.2).
       image.modules_size += info->builtin_size;
@@ -49,8 +50,8 @@ Result<KernelImage> ImageBuilder::Build(const kconfig::Config& config,
 Bytes ImageBuilder::SizeOfClass(const kconfig::Config& config, kconfig::OptionClass cls) const {
   const auto& db = *db_;
   Bytes total = 0;
-  for (const auto& name : config.EnabledOptions()) {
-    const kconfig::OptionInfo* info = db.Find(name);
+  for (kconfig::OptionId id : config.EnabledIds()) {
+    const kconfig::OptionInfo* info = db.FindById(id);
     if (info != nullptr && info->option_class == cls) {
       total += info->builtin_size;
     }

@@ -52,7 +52,7 @@ KernelFeatures DeriveFeatures(const kconfig::Config& config, const kconfig::Opti
   f.high_res_timers = config.IsEnabled(n::kHighResTimers);
   if (config.IsEnabled(n::kPanicTimeout)) {
     // Valued option; a bare "y" (no explicit value) means the stock default 0.
-    const std::string value = config.GetValue(n::kPanicTimeout);
+    const std::string value(config.GetValue(n::kPanicTimeout));
     char* end = nullptr;
     long timeout = std::strtol(value.c_str(), &end, 10);
     f.panic_timeout = (end != value.c_str()) ? static_cast<int>(timeout) : 0;
@@ -63,8 +63,8 @@ KernelFeatures DeriveFeatures(const kconfig::Config& config, const kconfig::Opti
 
   f.compile_mode = config.compile_mode();
 
-  for (const auto& name : config.EnabledOptions()) {
-    const kconfig::OptionInfo* info = db.Find(name);
+  for (kconfig::OptionId id : config.EnabledIds()) {
+    const kconfig::OptionInfo* info = db.FindById(id);
     if (info == nullptr) {
       continue;
     }

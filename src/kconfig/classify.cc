@@ -4,8 +4,8 @@ namespace lupine::kconfig {
 
 std::array<size_t, kNumSourceDirs> CountByDir(const Config& config, const OptionDb& db) {
   std::array<size_t, kNumSourceDirs> counts{};
-  for (const auto& name : config.EnabledOptions()) {
-    const OptionInfo* info = db.Find(name);
+  for (OptionId id : config.EnabledIds()) {
+    const OptionInfo* info = db.FindById(id);
     if (info != nullptr) {
       ++counts[static_cast<int>(info->dir)];
     }

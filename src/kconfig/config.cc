@@ -1,42 +1,128 @@
 #include "src/kconfig/config.h"
 
-namespace lupine::kconfig {
+#include <algorithm>
 
-bool Config::IsEnabled(const std::string& option) const {
-  auto it = values_.find(option);
-  return it != values_.end() && it->second != "n";
+namespace lupine::kconfig {
+namespace {
+
+// Visits every set bit in ascending id order.
+template <typename Fn>
+void ForEachBit(const std::vector<uint64_t>& words, Fn&& fn) {
+  for (size_t w = 0; w < words.size(); ++w) {
+    uint64_t word = words[w];
+    while (word != 0) {
+      int bit = __builtin_ctzll(word);
+      fn(static_cast<OptionId>(w * 64 + bit));
+      word &= word - 1;
+    }
+  }
 }
 
-std::string Config::GetValue(const std::string& option) const {
-  auto it = values_.find(option);
-  return it == values_.end() ? "" : it->second;
+}  // namespace
+
+void Config::Disable(const std::string& option) {
+  OptionId id = OptionInterner::Global().Find(option);
+  if (id == kNoOption || !bits::Test(present_, id)) {
+    return;
+  }
+  bits::Clear(present_, id);
+  bits::Clear(enabled_, id);
+  valued_.erase(id);
+  --present_count_;
+}
+
+bool Config::IsEnabled(const std::string& option) const {
+  OptionId id = OptionInterner::Global().Find(option);
+  return id != kNoOption && IsEnabledId(id);
+}
+
+void Config::SetValue(const std::string& option, const std::string& value) {
+  OptionId id = OptionInterner::Global().Intern(option);
+  if (!bits::Test(present_, id)) {
+    bits::Set(present_, id);
+    ++present_count_;
+  }
+  if (value == "y") {
+    valued_.erase(id);
+  } else {
+    valued_[id] = value;
+  }
+  if (value == "n") {
+    bits::Clear(enabled_, id);
+  } else {
+    bits::Set(enabled_, id);
+  }
+}
+
+std::string_view Config::GetValue(const std::string& option) const {
+  OptionId id = OptionInterner::Global().Find(option);
+  return id == kNoOption ? std::string_view() : ValueOfId(id);
+}
+
+void Config::EnableId(OptionId id) {
+  if (!bits::Test(present_, id)) {
+    bits::Set(present_, id);
+    ++present_count_;
+  }
+  bits::Set(enabled_, id);
+  valued_.erase(id);  // Enable overwrites any explicit value with "y".
+}
+
+std::string_view Config::ValueOfId(OptionId id) const {
+  if (!bits::Test(present_, id)) {
+    return {};
+  }
+  auto it = valued_.find(id);
+  return it == valued_.end() ? std::string_view("y") : std::string_view(it->second);
+}
+
+std::vector<OptionId> Config::EnabledIds() const {
+  std::vector<OptionId> out;
+  out.reserve(present_count_);
+  ForEachBit(enabled_, [&](OptionId id) { out.push_back(id); });
+  return out;
 }
 
 std::vector<std::string> Config::EnabledOptions() const {
+  const auto& interner = OptionInterner::Global();
   std::vector<std::string> out;
-  out.reserve(values_.size());
-  for (const auto& [name, value] : values_) {
-    if (value != "n") {
-      out.push_back(name);
-    }
-  }
+  out.reserve(present_count_);
+  ForEachBit(enabled_, [&](OptionId id) { out.push_back(interner.NameOf(id)); });
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<std::string> Config::Minus(const Config& other) const {
+  const auto& interner = OptionInterner::Global();
   std::vector<std::string> out;
-  for (const auto& [name, value] : values_) {
-    if (value != "n" && !other.IsEnabled(name)) {
-      out.push_back(name);
+  ForEachBit(enabled_, [&](OptionId id) {
+    if (!other.IsEnabledId(id)) {
+      out.push_back(interner.NameOf(id));
     }
-  }
+  });
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 void Config::UnionWith(const Config& other) {
-  for (const auto& name : other.EnabledOptions()) {
-    values_[name] = other.GetValue(name);
-  }
+  ForEachBit(other.enabled_, [&](OptionId id) {
+    if (!bits::Test(present_, id)) {
+      bits::Set(present_, id);
+      ++present_count_;
+    }
+    bits::Set(enabled_, id);
+    auto it = other.valued_.find(id);
+    if (it == other.valued_.end()) {
+      valued_.erase(id);
+    } else {
+      valued_[id] = it->second;
+    }
+  });
+}
+
+bool Config::operator==(const Config& other) const {
+  return present_count_ == other.present_count_ && bits::Equal(present_, other.present_) &&
+         valued_ == other.valued_;
 }
 
 }  // namespace lupine::kconfig

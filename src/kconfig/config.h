@@ -1,10 +1,18 @@
 // A kernel configuration: the set of enabled options plus build knobs.
+//
+// Internally the option set is an id-indexed bitset over interned option
+// names (see interning.h) plus a small side table for explicit values other
+// than "y". The string-keyed API is a thin shim over the id-based one;
+// membership tests and bulk enables on the build hot path are O(1) bit ops
+// and copying a Config is a couple of small memcpys instead of a
+// std::map<std::string, std::string> deep copy.
 #ifndef SRC_KCONFIG_CONFIG_H_
 #define SRC_KCONFIG_CONFIG_H_
 
-#include <map>
-#include <set>
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/kconfig/option_db.h"
@@ -22,16 +30,30 @@ class Config {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
-  // Bool options.
-  void Enable(const std::string& option) { values_[option] = "y"; }
-  void Disable(const std::string& option) { values_.erase(option); }
+  // Bool options (string shim).
+  void Enable(const std::string& option) {
+    EnableId(OptionInterner::Global().Intern(option));
+  }
+  void Disable(const std::string& option);
   bool IsEnabled(const std::string& option) const;
 
   // Valued options (ints / strings); also marks the option enabled.
-  void SetValue(const std::string& option, const std::string& value) { values_[option] = value; }
-  std::string GetValue(const std::string& option) const;
+  void SetValue(const std::string& option, const std::string& value);
+  // View into the stored value ("y" for plain-enabled options, "" when the
+  // option is absent). Valid while the Config lives and is not mutated.
+  std::string_view GetValue(const std::string& option) const;
 
-  size_t EnabledCount() const { return values_.size(); }
+  // Id-based hot path (used by Resolver, ImageBuilder, feature derivation).
+  void EnableId(OptionId id);
+  bool IsEnabledId(OptionId id) const { return bits::Test(enabled_, id); }
+  std::string_view ValueOfId(OptionId id) const;
+  // Enabled ids in ascending id order.
+  std::vector<OptionId> EnabledIds() const;
+  // Raw membership bitset of enabled (value != "n") options.
+  const std::vector<uint64_t>& enabled_bits() const { return enabled_; }
+
+  size_t EnabledCount() const { return present_count_; }
+  // Enabled option names, sorted lexicographically.
   std::vector<std::string> EnabledOptions() const;
 
   CompileMode compile_mode() const { return compile_mode_; }
@@ -44,16 +66,22 @@ class Config {
   void set_kml_patch_applied(bool applied) { kml_patch_applied_ = applied; }
 
   // Set algebra used by the configuration-diversity analysis (Fig. 5).
-  // Options present in `this` but not in `other`.
+  // Options present in `this` but not in `other`, sorted lexicographically.
   std::vector<std::string> Minus(const Config& other) const;
   // Adds every option of `other` (values from `other` win on clash).
   void UnionWith(const Config& other);
 
-  bool operator==(const Config& other) const { return values_ == other.values_; }
+  bool operator==(const Config& other) const;
 
  private:
   std::string name_;
-  std::map<std::string, std::string> values_;
+  // present_: the option has an entry (any value, including "n").
+  // enabled_: present and value != "n" — the set IsEnabled answers for.
+  std::vector<uint64_t> present_;
+  std::vector<uint64_t> enabled_;
+  // Values other than the implicit "y", keyed by id (includes "n" entries).
+  std::unordered_map<OptionId, std::string> valued_;
+  size_t present_count_ = 0;
   CompileMode compile_mode_ = CompileMode::kO2;
   bool kml_patch_applied_ = false;
 };

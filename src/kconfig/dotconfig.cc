@@ -8,7 +8,7 @@ namespace {
 constexpr char kPrefix[] = "CONFIG_";
 constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
 
-bool NeedsQuotes(const std::string& value) {
+bool NeedsQuotes(std::string_view value) {
   if (value == "y" || value == "n" || value == "m") {
     return false;
   }
@@ -35,7 +35,7 @@ std::string ToDotConfig(const Config& config, const OptionDb* db) {
   std::ostringstream out;
   out << "#\n# Automatically generated file; DO NOT EDIT.\n# " << config.name() << "\n#\n";
   for (const auto& name : config.EnabledOptions()) {
-    const std::string value = config.GetValue(name);
+    const std::string_view value = config.GetValue(name);
     out << kPrefix << name << "=";
     if (NeedsQuotes(value)) {
       out << '"' << value << '"';

@@ -1,0 +1,49 @@
+#include "src/kconfig/interning.h"
+
+#include <mutex>
+
+namespace lupine::kconfig {
+
+OptionInterner& OptionInterner::Global() {
+  // Leaked on purpose: ids (and NameOf references) must outlive every static
+  // Config/OptionDb destructor regardless of destruction order.
+  static OptionInterner* interner = new OptionInterner();
+  return *interner;
+}
+
+OptionId OptionInterner::Intern(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock lock(mu_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    return it->second;  // Raced with another interner.
+  }
+  OptionId id = static_cast<OptionId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+OptionId OptionInterner::Find(std::string_view name) const {
+  std::shared_lock lock(mu_);
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kNoOption : it->second;
+}
+
+const std::string& OptionInterner::NameOf(OptionId id) const {
+  std::shared_lock lock(mu_);
+  return names_[id];
+}
+
+size_t OptionInterner::size() const {
+  std::shared_lock lock(mu_);
+  return names_.size();
+}
+
+}  // namespace lupine::kconfig

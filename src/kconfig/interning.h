@@ -1,0 +1,107 @@
+// Process-wide interning of configuration option names.
+//
+// Every option name that enters the system (database registration, Config
+// mutation, .config parsing) is mapped to a dense integer OptionId. The hot
+// paths — Config membership tests, dependency resolution, image sizing —
+// operate on these ids with bitsets and vectors instead of hashing
+// std::string keys at every step. Ids are process-global (not per-database),
+// so a Config never needs to know which OptionDb its names came from, and
+// ids are never reused or freed.
+#ifndef SRC_KCONFIG_INTERNING_H_
+#define SRC_KCONFIG_INTERNING_H_
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lupine::kconfig {
+
+using OptionId = uint32_t;
+inline constexpr OptionId kNoOption = 0xFFFFFFFFu;
+
+// Thread-safe append-only string table. NameOf() references stay valid for
+// the process lifetime (names live in a deque and are never removed).
+class OptionInterner {
+ public:
+  static OptionInterner& Global();
+
+  // Returns the id for `name`, assigning the next dense id on first sight.
+  OptionId Intern(std::string_view name);
+
+  // Returns the id for `name`, or kNoOption if it was never interned.
+  // A name that was never interned cannot be present in any Config.
+  OptionId Find(std::string_view name) const;
+
+  // The name behind an id. The id must have been returned by Intern.
+  const std::string& NameOf(OptionId id) const;
+
+  size_t size() const;
+
+ private:
+  OptionInterner() = default;
+
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> names_;                      // Stable references.
+  std::unordered_map<std::string_view, OptionId> ids_; // Views into names_.
+};
+
+// Fixed-width bitset helpers shared by Config and the resolver (word = 64
+// ids). Out-of-range ids read as 0; writes grow the vector.
+namespace bits {
+
+inline bool Test(const std::vector<uint64_t>& words, OptionId id) {
+  size_t w = id >> 6;
+  return w < words.size() && (words[w] >> (id & 63)) & 1;
+}
+
+inline void Set(std::vector<uint64_t>& words, OptionId id) {
+  size_t w = id >> 6;
+  if (w >= words.size()) {
+    words.resize(w + 1, 0);
+  }
+  words[w] |= uint64_t{1} << (id & 63);
+}
+
+inline void Clear(std::vector<uint64_t>& words, OptionId id) {
+  size_t w = id >> 6;
+  if (w < words.size()) {
+    words[w] &= ~(uint64_t{1} << (id & 63));
+  }
+}
+
+inline bool Intersects(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Equality modulo trailing zero words.
+inline bool Equal(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  const auto& shorter = a.size() <= b.size() ? a : b;
+  const auto& longer = a.size() <= b.size() ? b : a;
+  for (size_t i = 0; i < shorter.size(); ++i) {
+    if (shorter[i] != longer[i]) {
+      return false;
+    }
+  }
+  for (size_t i = shorter.size(); i < longer.size(); ++i) {
+    if (longer[i] != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bits
+
+}  // namespace lupine::kconfig
+
+#endif  // SRC_KCONFIG_INTERNING_H_

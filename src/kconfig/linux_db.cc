@@ -13,6 +13,7 @@
 // Filler options are not dead weight: they carry directory, class and size
 // attributes, so Fig. 3/4 counting, image-size modelling (Fig. 6) and the
 // boot-time initcall model all traverse them.
+#include <cassert>
 #include <cstdio>
 
 #include "src/kconfig/option_db.h"
@@ -112,6 +113,7 @@ void AddNamed(OptionDb& db, const char* name, SourceDir dir, OptionClass cls, By
   info.conflicts = std::move(conflicts);
   info.help = help;
   bool added = db.Add(std::move(info));
+  assert(added && "duplicate named option in the synthetic tree");
   (void)added;
 }
 
@@ -264,7 +266,9 @@ void AddFiller(OptionDb& db) {
       info.dir = cell.dir;
       info.option_class = cell.option_class;
       info.builtin_size = cell.each;
-      db.Add(std::move(info));
+      bool added = db.Add(std::move(info));
+      assert(added && "filler option names are unique by construction");
+      (void)added;
     }
   }
 
@@ -279,7 +283,9 @@ void AddFiller(OptionDb& db) {
       info.dir = dir;
       info.option_class = OptionClass::kNotSelected;
       info.builtin_size = 10 * kKiB;
-      db.Add(std::move(info));
+      bool added = db.Add(std::move(info));
+      assert(added && "filler option names are unique by construction");
+      (void)added;
     }
   }
 }

@@ -1,12 +1,56 @@
 #include "src/kconfig/option_db.h"
 
+#include <atomic>
+
 namespace lupine::kconfig {
+
+uint64_t OptionDb::NextSerial() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+OptionDb::OptionDb() : serial_(NextSerial()) {}
+
+OptionDb::OptionDb(const OptionDb& other)
+    : options_(other.options_),
+      edges_(other.edges_),
+      index_(other.index_),
+      id_index_(other.id_index_),
+      serial_(NextSerial()) {}
+
+OptionDb& OptionDb::operator=(const OptionDb& other) {
+  if (this != &other) {
+    options_ = other.options_;
+    edges_ = other.edges_;
+    index_ = other.index_;
+    id_index_ = other.id_index_;
+    serial_ = NextSerial();
+  }
+  return *this;
+}
 
 bool OptionDb::Add(OptionInfo info) {
   auto [it, inserted] = index_.try_emplace(info.name, options_.size());
   if (!inserted) {
     return false;
   }
+  auto& interner = OptionInterner::Global();
+  OptionEdges edges;
+  edges.self = interner.Intern(info.name);
+  edges.depends_on.reserve(info.depends_on.size());
+  for (const auto& dep : info.depends_on) {
+    edges.depends_on.push_back(interner.Intern(dep));
+  }
+  edges.selects.reserve(info.selects.size());
+  for (const auto& sel : info.selects) {
+    edges.selects.push_back(interner.Intern(sel));
+  }
+  edges.conflicts.reserve(info.conflicts.size());
+  for (const auto& conflict : info.conflicts) {
+    edges.conflicts.push_back(interner.Intern(conflict));
+  }
+  id_index_.emplace(edges.self, options_.size());
+  edges_.push_back(std::move(edges));
   options_.push_back(std::move(info));
   return true;
 }
@@ -17,6 +61,22 @@ const OptionInfo* OptionDb::Find(const std::string& name) const {
     return nullptr;
   }
   return &options_[it->second];
+}
+
+const OptionInfo* OptionDb::FindById(OptionId id) const {
+  auto it = id_index_.find(id);
+  if (it == id_index_.end()) {
+    return nullptr;
+  }
+  return &options_[it->second];
+}
+
+const OptionDb::OptionEdges* OptionDb::EdgesById(OptionId id) const {
+  auto it = id_index_.find(id);
+  if (it == id_index_.end()) {
+    return nullptr;
+  }
+  return &edges_[it->second];
 }
 
 size_t OptionDb::CountInDir(SourceDir dir) const {

@@ -1,29 +1,57 @@
 // The option database: every configuration option of the (synthetic)
-// Linux 4.0 tree, indexed by name, directory and taxonomy class.
+// Linux 4.0 tree, indexed by name, interned id, directory and taxonomy class.
 #ifndef SRC_KCONFIG_OPTION_DB_H_
 #define SRC_KCONFIG_OPTION_DB_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/kconfig/interning.h"
 #include "src/kconfig/option.h"
 
 namespace lupine::kconfig {
 
 class OptionDb {
  public:
-  OptionDb() = default;
+  OptionDb();
+  // Copies get a fresh serial so memoized resolver state (keyed by serial)
+  // is never shared between independent databases; moves keep it.
+  OptionDb(const OptionDb& other);
+  OptionDb& operator=(const OptionDb& other);
+  OptionDb(OptionDb&&) = default;
+  OptionDb& operator=(OptionDb&&) = default;
 
   // Registers an option; returns false (and ignores it) on duplicate name.
-  bool Add(OptionInfo info);
+  // [[nodiscard]] because a dropped registration silently loses the option's
+  // size/dependency data — callers that rely on uniqueness by construction
+  // must assert or (void)-cast explicitly.
+  [[nodiscard]] bool Add(OptionInfo info);
 
   const OptionInfo* Find(const std::string& name) const;
+  // O(1)-ish lookup by interned id (one hash over a 4-byte key, no string
+  // hashing). Returns nullptr for ids not registered in this database.
+  const OptionInfo* FindById(OptionId id) const;
   bool Contains(const std::string& name) const { return Find(name) != nullptr; }
+
+  // Interned adjacency of one option, precomputed at Add time so the
+  // resolver's closure walks never touch option-name strings.
+  struct OptionEdges {
+    OptionId self = kNoOption;
+    std::vector<OptionId> depends_on;
+    std::vector<OptionId> selects;
+    std::vector<OptionId> conflicts;
+  };
+  const OptionEdges* EdgesById(OptionId id) const;
 
   size_t size() const { return options_.size(); }
   const std::vector<OptionInfo>& options() const { return options_; }
+
+  // Identity of this database instance; keys the resolver's per-database
+  // closure cache. Unique per logical database (fresh on copy).
+  uint64_t serial() const { return serial_; }
 
   size_t CountInDir(SourceDir dir) const;
   size_t CountInClass(OptionClass c) const;
@@ -35,8 +63,13 @@ class OptionDb {
   static const OptionDb& Linux40();
 
  private:
+  static uint64_t NextSerial();
+
   std::vector<OptionInfo> options_;
-  std::unordered_map<std::string, size_t> index_;
+  std::vector<OptionEdges> edges_;                  // Parallel to options_.
+  std::unordered_map<std::string, size_t> index_;   // Name -> options_ index.
+  std::unordered_map<OptionId, size_t> id_index_;   // Interned id -> index.
+  uint64_t serial_;
 };
 
 }  // namespace lupine::kconfig

@@ -70,23 +70,33 @@ const std::map<std::string, std::vector<std::string>>& AppOptionTable() {
 }  // namespace
 
 Config MicrovmConfig() {
-  Config config("microvm");
-  for (const auto& option : OptionDb::Linux40().options()) {
-    if (option.option_class != OptionClass::kNotSelected) {
-      config.Enable(option.name);
+  // Built once (a scan over all 15,953 options), then copied out — a Config
+  // copy is a couple of small bitsets, not a option-map deep copy.
+  static const Config microvm = [] {
+    Config config("microvm");
+    for (const auto& option : OptionDb::Linux40().options()) {
+      if (option.option_class != OptionClass::kNotSelected) {
+        config.Enable(option.name);
+      }
     }
-  }
-  return config;
+    return config;
+  }();
+  return microvm;
 }
 
 Config LupineBase() {
-  Config config("lupine-base");
-  for (const auto& option : OptionDb::Linux40().options()) {
-    if (option.option_class == OptionClass::kBase) {
-      config.Enable(option.name);
+  // The shared lupine-base closure: every fleet build starts from this, so
+  // the full-tree scan runs once per process instead of once per build.
+  static const Config base = [] {
+    Config config("lupine-base");
+    for (const auto& option : OptionDb::Linux40().options()) {
+      if (option.option_class == OptionClass::kBase) {
+        config.Enable(option.name);
+      }
     }
-  }
-  return config;
+    return config;
+  }();
+  return base;
 }
 
 const std::vector<std::string>& Top20AppNames() {
@@ -118,16 +128,19 @@ Result<Config> LupineForApp(const std::string& app) {
 }
 
 Config LupineGeneral() {
-  Config config = LupineBase();
-  config.set_name("lupine-general");
-  Resolver resolver(OptionDb::Linux40());
-  for (const auto& app : Top20AppNames()) {
-    for (const auto& option : AppExtraOptions(app)) {
-      auto result = resolver.Enable(config, option);
-      (void)result;  // All Table 3 options resolve inside lupine-base deps.
+  static const Config general = [] {
+    Config config = LupineBase();
+    config.set_name("lupine-general");
+    Resolver resolver(OptionDb::Linux40());
+    for (const auto& app : Top20AppNames()) {
+      for (const auto& option : AppExtraOptions(app)) {
+        auto result = resolver.Enable(config, option);
+        (void)result;  // All Table 3 options resolve inside lupine-base deps.
+      }
     }
-  }
-  return config;
+    return config;
+  }();
+  return general;
 }
 
 const std::vector<std::string>& TinyDisabledOptions() {

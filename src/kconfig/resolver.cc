@@ -1,53 +1,206 @@
 #include "src/kconfig/resolver.h"
 
+#include <algorithm>
+#include <atomic>
 #include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "src/kconfig/option_names.h"
 
 namespace lupine::kconfig {
+namespace {
 
-Status Resolver::CheckLegal(const Config& config, const std::string& option) const {
-  const OptionInfo* info = db_.Find(option);
-  if (info == nullptr) {
-    return Status(Err::kNoEnt, "unknown config option CONFIG_" + option);
-  }
-  if (option == names::kKml && !config.kml_patch_applied()) {
-    return Status(Err::kInval,
-                  "CONFIG_KERNEL_MODE_LINUX requires the KML patch to be applied to the tree");
-  }
-  for (const auto& conflict : info->conflicts) {
-    if (config.IsEnabled(conflict)) {
-      return Status(Err::kInval,
-                    "CONFIG_" + option + " conflicts with enabled CONFIG_" + conflict);
+std::atomic<bool> g_memoization_enabled{true};
+
+const std::string& NameOf(OptionId id) { return OptionInterner::Global().NameOf(id); }
+
+OptionId KmlId() {
+  static const OptionId id = OptionInterner::Global().Intern(names::kKml);
+  return id;
+}
+
+Status UnknownOptionError(OptionId id) {
+  return Status(Err::kNoEnt, "unknown config option CONFIG_" + NameOf(id));
+}
+
+Status UnpatchedKmlError() {
+  return Status(Err::kInval,
+                "CONFIG_KERNEL_MODE_LINUX requires the KML patch to be applied to the tree");
+}
+
+Status ConflictError(OptionId option, OptionId conflict) {
+  return Status(Err::kInval, "CONFIG_" + NameOf(option) + " conflicts with enabled CONFIG_" +
+                                 NameOf(conflict));
+}
+
+// The config-independent part of one option's dependency closure: BFS
+// discovery order (root first) over depends_on-then-selects edges, with a
+// membership bitset for O(words) overlap tests against a Config. A walk that
+// reaches an unregistered option records the failure in `status` and
+// truncates `order` at that point — exactly where the live walk would stop.
+// Conflict and KML legality are config-dependent and checked at replay time.
+struct Closure {
+  std::vector<OptionId> order;
+  std::vector<uint64_t> bits;
+  Status status = Status::Ok();
+};
+
+std::shared_ptr<const Closure> BuildClosure(const OptionDb& db, OptionId root) {
+  auto closure = std::make_shared<Closure>();
+  std::deque<OptionId> queue = {root};
+  while (!queue.empty()) {
+    OptionId id = queue.front();
+    queue.pop_front();
+    if (bits::Test(closure->bits, id)) {
+      continue;
+    }
+    const OptionDb::OptionEdges* edges = db.EdgesById(id);
+    if (edges == nullptr) {
+      closure->status = UnknownOptionError(id);
+      break;
+    }
+    bits::Set(closure->bits, id);
+    closure->order.push_back(id);
+    for (OptionId dep : edges->depends_on) {
+      queue.push_back(dep);
+    }
+    for (OptionId sel : edges->selects) {
+      queue.push_back(sel);
     }
   }
-  return Status::Ok();
+  return closure;
+}
+
+// Per-database closure cache, keyed by the database serial so destroyed
+// databases can never alias a live one. Entries are invalidated wholesale
+// when the database grows (Add after first resolution).
+struct DbClosureCache {
+  std::shared_mutex mu;
+  size_t db_size = 0;
+  std::unordered_map<OptionId, std::shared_ptr<const Closure>> closures;
+};
+
+DbClosureCache& CacheFor(const OptionDb& db) {
+  static std::mutex mu;
+  static auto* caches = new std::unordered_map<uint64_t, std::unique_ptr<DbClosureCache>>();
+  std::lock_guard lock(mu);
+  auto& slot = (*caches)[db.serial()];
+  if (slot == nullptr) {
+    slot = std::make_unique<DbClosureCache>();
+  }
+  return *slot;
+}
+
+std::shared_ptr<const Closure> GetClosure(const OptionDb& db, OptionId root) {
+  DbClosureCache& cache = CacheFor(db);
+  {
+    std::shared_lock lock(cache.mu);
+    if (cache.db_size == db.size()) {
+      auto it = cache.closures.find(root);
+      if (it != cache.closures.end()) {
+        return it->second;
+      }
+    }
+  }
+  std::shared_ptr<const Closure> closure = BuildClosure(db, root);
+  std::unique_lock lock(cache.mu);
+  if (cache.db_size != db.size()) {
+    cache.closures.clear();
+    cache.db_size = db.size();
+  }
+  cache.closures.emplace(root, closure);
+  return closure;
+}
+
+}  // namespace
+
+void Resolver::SetMemoizationEnabled(bool enabled) {
+  g_memoization_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Resolver::MemoizationEnabled() {
+  return g_memoization_enabled.load(std::memory_order_relaxed);
 }
 
 Result<ResolveReport> Resolver::Enable(Config& config, const std::string& option) const {
+  OptionId root = OptionInterner::Global().Intern(option);
+  if (!memoize_ || !MemoizationEnabled()) {
+    return EnableWalk(config, root);
+  }
+  std::shared_ptr<const Closure> closure = GetClosure(db_, root);
+  if (bits::Intersects(closure->bits, config.enabled_bits())) {
+    // Some closure member is already enabled: the walk prunes at it (and
+    // does not expand its edges), which the memoized order cannot express.
+    return EnableWalk(config, root);
+  }
+
+  // Replay: no member is pre-enabled, so the live BFS would discover exactly
+  // `order`. Per-node legality checks still run in discovery order against
+  // config ∪ {members applied so far}, preserving first-error semantics.
+  std::vector<uint64_t> applied(closure->bits.size(), 0);
+  for (OptionId id : closure->order) {
+    if (id == KmlId() && !config.kml_patch_applied()) {
+      return UnpatchedKmlError();
+    }
+    const OptionDb::OptionEdges* edges = db_.EdgesById(id);
+    for (OptionId conflict : edges->conflicts) {
+      if (config.IsEnabledId(conflict) || bits::Test(applied, conflict)) {
+        return ConflictError(id, conflict);
+      }
+    }
+    bits::Set(applied, id);
+  }
+  if (!closure->status.ok()) {
+    return closure->status;  // Unknown option mid-closure.
+  }
+
   ResolveReport report;
-  std::deque<std::string> queue = {option};
-  // Work on a copy so a conflict deep in the closure leaves `config` intact.
+  report.auto_enabled.reserve(closure->order.size() - 1);
+  for (size_t i = 0; i < closure->order.size(); ++i) {
+    config.EnableId(closure->order[i]);
+    if (i > 0) {
+      report.auto_enabled.push_back(NameOf(closure->order[i]));
+    }
+  }
+  return report;
+}
+
+Result<ResolveReport> Resolver::EnableWalk(Config& config, OptionId root) const {
+  ResolveReport report;
+  std::deque<OptionId> queue = {root};
+  // Work on a copy so a conflict deep in the closure leaves `config` intact
+  // (cheap now: a Config copy is a pair of small bitsets).
   Config scratch = config;
 
   while (!queue.empty()) {
-    std::string name = queue.front();
+    OptionId id = queue.front();
     queue.pop_front();
-    if (scratch.IsEnabled(name)) {
+    if (scratch.IsEnabledId(id)) {
       continue;
     }
-    if (Status s = CheckLegal(scratch, name); !s.ok()) {
-      return s;
+    const OptionDb::OptionEdges* edges = db_.EdgesById(id);
+    if (edges == nullptr) {
+      return UnknownOptionError(id);
     }
-    scratch.Enable(name);
-    if (name != option) {
-      report.auto_enabled.push_back(name);
+    if (id == KmlId() && !scratch.kml_patch_applied()) {
+      return UnpatchedKmlError();
     }
-    const OptionInfo* info = db_.Find(name);
-    for (const auto& dep : info->depends_on) {
+    for (OptionId conflict : edges->conflicts) {
+      if (scratch.IsEnabledId(conflict)) {
+        return ConflictError(id, conflict);
+      }
+    }
+    scratch.EnableId(id);
+    if (id != root) {
+      report.auto_enabled.push_back(NameOf(id));
+    }
+    for (OptionId dep : edges->depends_on) {
       queue.push_back(dep);
     }
-    for (const auto& sel : info->selects) {
+    for (OptionId sel : edges->selects) {
       queue.push_back(sel);
     }
   }
@@ -57,28 +210,33 @@ Result<ResolveReport> Resolver::Enable(Config& config, const std::string& option
 }
 
 Status Resolver::Validate(const Config& config) const {
-  for (const auto& name : config.EnabledOptions()) {
-    const OptionInfo* info = db_.Find(name);
-    if (info == nullptr) {
-      return Status(Err::kNoEnt, "unknown config option CONFIG_" + name);
+  OptionId modules = OptionInterner::Global().Intern(names::kModules);
+  // Lexicographic order (not id order) so the first-reported violation
+  // matches the original string-keyed implementation byte for byte.
+  std::vector<OptionId> ids = config.EnabledIds();
+  std::sort(ids.begin(), ids.end(),
+            [](OptionId a, OptionId b) { return NameOf(a) < NameOf(b); });
+  for (OptionId id : ids) {
+    const OptionDb::OptionEdges* edges = db_.EdgesById(id);
+    if (edges == nullptr) {
+      return UnknownOptionError(id);
     }
-    if (config.GetValue(name) == "m" && !config.IsEnabled(names::kModules)) {
-      return Status(Err::kInval,
-                    "CONFIG_" + name + "=m requires CONFIG_MODULES (loadable module support)");
+    if (config.ValueOfId(id) == "m" && !config.IsEnabledId(modules)) {
+      return Status(Err::kInval, "CONFIG_" + NameOf(id) +
+                                     "=m requires CONFIG_MODULES (loadable module support)");
     }
-    if (name == names::kKml && !config.kml_patch_applied()) {
+    if (id == KmlId() && !config.kml_patch_applied()) {
       return Status(Err::kInval, "CONFIG_KERNEL_MODE_LINUX enabled without the KML patch");
     }
-    for (const auto& dep : info->depends_on) {
-      if (!config.IsEnabled(dep)) {
-        return Status(Err::kInval,
-                      "CONFIG_" + name + " requires CONFIG_" + dep + " which is not enabled");
+    for (OptionId dep : edges->depends_on) {
+      if (!config.IsEnabledId(dep)) {
+        return Status(Err::kInval, "CONFIG_" + NameOf(id) + " requires CONFIG_" + NameOf(dep) +
+                                       " which is not enabled");
       }
     }
-    for (const auto& conflict : info->conflicts) {
-      if (config.IsEnabled(conflict)) {
-        return Status(Err::kInval,
-                      "CONFIG_" + name + " conflicts with enabled CONFIG_" + conflict);
+    for (OptionId conflict : edges->conflicts) {
+      if (config.IsEnabledId(conflict)) {
+        return ConflictError(id, conflict);
       }
     }
   }

@@ -6,6 +6,15 @@
 //     the prompts `make oldconfig` would raise),
 //   * `conflicts` (e.g. KERNEL_MODE_LINUX vs PARAVIRT) fail resolution,
 //   * unknown options and un-patched KML fail resolution.
+//
+// Performance: per-option dependency closures (BFS discovery order over
+// interned ids) are memoized per database and shared by every Resolver
+// instance, so enabling the same option twice never re-walks the
+// depends_on/select edge lists. When no closure member is already enabled in
+// the target config the memoized order is replayed directly (the common
+// fleet-build case); otherwise resolution falls back to the pruned BFS walk,
+// which is also the reference path used when memoization is disabled. Both
+// paths produce byte-identical ResolveReports and error messages.
 #ifndef SRC_KCONFIG_RESOLVER_H_
 #define SRC_KCONFIG_RESOLVER_H_
 
@@ -24,7 +33,8 @@ struct ResolveReport {
 
 class Resolver {
  public:
-  explicit Resolver(const OptionDb& db) : db_(db) {}
+  explicit Resolver(const OptionDb& db, bool memoize = true)
+      : db_(db), memoize_(memoize) {}
 
   // Enables `option` in `config` together with its dependency closure.
   Result<ResolveReport> Enable(Config& config, const std::string& option) const;
@@ -33,10 +43,16 @@ class Resolver {
   // dependencies enabled, and no conflicting pair is enabled.
   Status Validate(const Config& config) const;
 
+  // Process-wide kill switch for closure memoization (benchmarks and
+  // equivalence tests); instance and global flags must both be on.
+  static void SetMemoizationEnabled(bool enabled);
+  static bool MemoizationEnabled();
+
  private:
-  Status CheckLegal(const Config& config, const std::string& option) const;
+  Result<ResolveReport> EnableWalk(Config& config, OptionId root) const;
 
   const OptionDb& db_;
+  bool memoize_;
 };
 
 }  // namespace lupine::kconfig

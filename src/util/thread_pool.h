@@ -1,0 +1,67 @@
+// A fixed-size worker pool with a futures-based Submit API.
+//
+// Used to parallelize the fleet build/launch pipeline (examples/fleet,
+// bench/ext_build_throughput): tasks are arbitrary callables, results come
+// back through std::future, and exceptions thrown by a task propagate to
+// future::get(). The pool is deliberately minimal — fixed size, FIFO queue,
+// no work stealing — because fleet builds are coarse-grained (one kernel
+// build per task) and the interesting contention lives in KernelCache's
+// single-flight logic, not here.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lupine {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads);
+  // Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn` and returns a future for its result. Submitting after the
+  // destructor has begun is undefined.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  size_t size() const { return workers_.size(); }
+
+  // hardware_concurrency, clamped to at least 1.
+  static size_t DefaultThreads();
+
+ private:
+  void Worker();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace lupine
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,83 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+namespace lupine {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  auto future = pool.Submit([] { return std::string("still works"); });
+  EXPECT_EQ(future.get(), "still works");
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.Submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& future : futures) {
+    future.get();
+  }
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // A two-way handshake: each task waits for the other's flag, so both
+  // finish only if two workers run them at the same time.
+  ThreadPool pool(2);
+  std::atomic<bool> a{false};
+  std::atomic<bool> b{false};
+  auto fa = pool.Submit([&] {
+    a.store(true);
+    while (!b.load()) {
+      std::this_thread::yield();
+    }
+  });
+  auto fb = pool.Submit([&] {
+    b.store(true);
+    while (!a.load()) {
+      std::this_thread::yield();
+    }
+  });
+  fa.get();
+  fb.get();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToFuture) {
+  ThreadPool pool(1);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 100; ++i) {
+      (void)pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        count.fetch_add(1);
+      });
+    }
+  }  // Destructor must run every queued task before joining.
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace lupine
