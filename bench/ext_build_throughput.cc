@@ -62,7 +62,7 @@ double TimeFleetBuild(bool parallel, size_t threads, core::KernelCache::Stats* s
   const auto start = Clock::now();
   if (parallel) {
     ThreadPool pool(threads);
-    std::vector<std::future<Result<const core::KernelCache::AppArtifact*>>> builds;
+    std::vector<std::future<Result<core::KernelCache::ArtifactPtr>>> builds;
     builds.reserve(apps.size());
     for (const auto& app : apps) {
       builds.push_back(pool.Submit([&cache, &app] { return cache.GetOrBuild(app); }));

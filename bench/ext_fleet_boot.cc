@@ -1,0 +1,136 @@
+// Extension: parallel fleet boot throughput. MultiK-style deployments boot
+// whole fleets of specialized unikernels; this benchmark measures how boot
+// throughput scales when the fleet is sharded across monitor workers, with
+// every artifact served warm from the content-addressed caches.
+//
+// Methodology: fibers (and VMs mid-run) are thread-local, so the driver
+// statically shards the fleet across ThreadPool workers and reports the
+// *virtual* makespan — the largest per-worker sum of simulated boot times
+// (monitor start -> init exec). That figure is a deterministic property of
+// the simulation, so the reported speedups do not depend on how many host
+// cores this process is given (CI runners often pin it to one). Host wall
+// time is included as an informational column only.
+//
+// Legs:
+//   1. Worker sweep — boots rounds x top-20 VMs at 1/2/4/8 workers from one
+//      warm KernelCache; reports virtual boots/sec and speedup vs serial,
+//      and asserts-by-reporting that the warm storms rebuilt zero rootfs
+//      blobs and zero kernels.
+//   2. Cross-build batching — a fresh cache with batch_general=true proves
+//      each per-app config against lupine-general and serves the shared
+//      kernel: one build for the whole fleet.
+//
+// Results go to stdout and BENCH_fleet_boot.json (a CI artifact). Exit code
+// is always 0: regression gating belongs to the CI dashboards.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/fleet_boot.h"
+#include "src/core/multik.h"
+#include "src/kconfig/presets.h"
+#include "src/util/table.h"
+
+using namespace lupine;
+
+int main() {
+  PrintBanner("Extension: parallel fleet boot (virtual-timeline throughput)");
+
+  constexpr size_t kRounds = 5;  // 5 x 20 apps = 100 boots per sweep point.
+  const std::vector<size_t> worker_counts = {1, 2, 4, 8};
+  const size_t fleet_size = kconfig::Top20AppNames().size();
+
+  // --- 1. Worker sweep over a warm cache -----------------------------------
+  core::KernelCache cache;
+  {
+    core::FleetBootOptions warmup;
+    auto warm = core::RunFleetBoot(cache, warmup);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "warmup: %s\n", warm.status().ToString().c_str());
+      return 0;
+    }
+  }
+  const size_t rootfs_builds_warm = cache.rootfs_stats().builds;
+  const size_t kernel_builds_warm = cache.stats().builds;
+
+  struct SweepPoint {
+    size_t workers = 0;
+    core::FleetBootResult result;
+  };
+  std::vector<SweepPoint> sweep;
+  for (size_t workers : worker_counts) {
+    core::FleetBootOptions options;
+    options.workers = workers;
+    options.rounds = kRounds;
+    auto result = core::RunFleetBoot(cache, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "workers=%zu: %s\n", workers, result.status().ToString().c_str());
+      return 0;
+    }
+    sweep.push_back({workers, *result});
+  }
+  const size_t redundant_rootfs_builds = cache.rootfs_stats().builds - rootfs_builds_warm;
+  const size_t redundant_kernel_builds = cache.stats().builds - kernel_builds_warm;
+  const double serial_ms = static_cast<double>(sweep.front().result.virtual_makespan) / 1e6;
+
+  Table table({"workers", "boots", "virtual ms", "boots/sec (virtual)", "speedup", "wall ms"});
+  for (const SweepPoint& point : sweep) {
+    const double virtual_ms = static_cast<double>(point.result.virtual_makespan) / 1e6;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", serial_ms / virtual_ms);
+    table.AddRow(static_cast<double>(point.workers), static_cast<double>(point.result.boots),
+                 virtual_ms, point.result.boots_per_virtual_sec, speedup,
+                 point.result.wall_ms);
+  }
+  table.Print();
+  std::printf("\nfleet: %zu apps x %zu rounds per point; warm cache\n", fleet_size, kRounds);
+  std::printf("redundant builds during storms: %zu rootfs, %zu kernels (want 0/0)\n",
+              redundant_rootfs_builds, redundant_kernel_builds);
+
+  // --- 2. Cross-build batching against lupine-general ----------------------
+  core::BuildOptions batch_options;
+  batch_options.batch_general = true;
+  core::KernelCache batched(batch_options);
+  size_t batch_failures = 0;
+  for (const auto& app : kconfig::Top20AppNames()) {
+    if (!batched.GetOrBuild(app).ok()) {
+      ++batch_failures;
+    }
+  }
+  auto batch_stats = batched.stats();
+  std::printf("\nbatching: %zu apps -> %zu kernel builds, %zu served the shared "
+              "lupine-general image (%zu failures)\n",
+              fleet_size, batch_stats.builds, batch_stats.general_served, batch_failures);
+
+  // --- 3. JSON artifact ----------------------------------------------------
+  std::FILE* json = std::fopen("BENCH_fleet_boot.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"fleet_size\": %zu,\n", fleet_size);
+    std::fprintf(json, "  \"rounds\": %zu,\n", kRounds);
+    std::fprintf(json, "  \"boots_per_point\": %zu,\n", fleet_size * kRounds);
+    std::fprintf(json, "  \"sweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& point = sweep[i];
+      const double virtual_ms = static_cast<double>(point.result.virtual_makespan) / 1e6;
+      std::fprintf(json,
+                   "    {\"workers\": %zu, \"boots\": %zu, \"failures\": %zu, "
+                   "\"virtual_makespan_ms\": %.3f, \"boots_per_virtual_sec\": %.3f, "
+                   "\"speedup_vs_serial\": %.3f, \"wall_ms\": %.3f}%s\n",
+                   point.workers, point.result.boots, point.result.failures, virtual_ms,
+                   point.result.boots_per_virtual_sec, serial_ms / virtual_ms,
+                   point.result.wall_ms, i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"redundant_rootfs_builds\": %zu,\n", redundant_rootfs_builds);
+    std::fprintf(json, "  \"redundant_kernel_builds\": %zu,\n", redundant_kernel_builds);
+    std::fprintf(json, "  \"batching_kernel_builds\": %zu,\n", batch_stats.builds);
+    std::fprintf(json, "  \"batching_general_served\": %zu,\n", batch_stats.general_served);
+    std::fprintf(json, "  \"batching_distinct_kernels\": %zu\n", batch_stats.distinct_kernels);
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_fleet_boot.json\n");
+  }
+  return 0;
+}

@@ -31,12 +31,12 @@ int main() {
   std::printf("Building kernels for the top-20 Docker Hub applications (%zu workers)...\n\n",
               pool.size());
   const auto build_start = std::chrono::steady_clock::now();
-  std::vector<std::future<Result<const core::KernelCache::AppArtifact*>>> builds;
+  std::vector<std::future<Result<core::KernelCache::ArtifactPtr>>> builds;
   builds.reserve(fleet.size());
   for (const auto& app : fleet) {
     builds.push_back(pool.Submit([&cache, &app] { return cache.GetOrBuild(app); }));
   }
-  std::vector<Result<const core::KernelCache::AppArtifact*>> artifacts;
+  std::vector<Result<core::KernelCache::ArtifactPtr>> artifacts;
   artifacts.reserve(fleet.size());
   for (auto& build : builds) {
     artifacts.push_back(build.get());
@@ -54,7 +54,7 @@ int main() {
     }
     std::printf("%-16s %-10s %p\n", fleet[i].c_str(),
                 FormatSize((*artifact)->kernel->size).c_str(),
-                static_cast<const void*>((*artifact)->kernel));
+                static_cast<const void*>((*artifact)->kernel.get()));
   }
   std::printf("\nparallel fleet build wall time: %lld us\n",
               static_cast<long long>(build_elapsed.count()));
@@ -66,6 +66,10 @@ int main() {
               FormatSize(stats.bytes_if_unshared).c_str());
   std::printf("image bytes stored:          %s (saved %s)\n",
               FormatSize(stats.bytes_stored).c_str(), FormatSize(stats.bytes_saved()).c_str());
+  auto rootfs_stats = cache.rootfs_stats();
+  std::printf("rootfs cache: %zu requests, %zu builds, %zu hits (%s stored)\n",
+              rootfs_stats.requests, rootfs_stats.builds, rootfs_stats.hits,
+              FormatSize(rootfs_stats.bytes_stored).c_str());
 
   // Boot two fleet members that share the zero-option kernel — in parallel,
   // on pool workers (each VM's fibers are thread-local, so independent VMs
@@ -127,7 +131,7 @@ int main() {
     } else if (app == "mysql") {
       faults = &mysql_faults;
     }
-    const core::KernelCache::AppArtifact* artifact_ptr = *artifact;
+    core::KernelCache::ArtifactPtr artifact_ptr = *artifact;
     std::string marker =
         manifest->kind == apps::AppKind::kServer ? manifest->ready_line : "";
     supervisor.AddMember(

@@ -1,0 +1,109 @@
+#include "src/apps/rootfs_cache.h"
+
+#include <functional>
+#include <sstream>
+#include <utility>
+
+namespace lupine::apps {
+
+std::string RootfsCache::CacheKey(const ContainerImage& image,
+                                  const RootfsOptions& options) {
+  // Canonical text over every image field the built blob depends on. Field
+  // and element separators are control bytes that cannot appear in the
+  // values, so distinct images cannot serialize identically. env is a
+  // std::map, already in sorted order.
+  std::ostringstream canon;
+  canon << image.name << '\x1f' << image.app << '\x1f';
+  for (const auto& arg : image.entrypoint) {
+    canon << arg << '\x1e';
+  }
+  canon << '\x1f';
+  for (const auto& [key, value] : image.env) {
+    canon << key << '=' << value << '\x1e';
+  }
+  canon << '\x1f';
+  for (const auto& dir : image.setup_dirs) {
+    canon << dir << '\x1e';
+  }
+  canon << '\x1f' << image.mounts_proc << ';' << image.needs_entropy << ';'
+        << image.ulimit_nofile;
+  // The option axis stays outside the digest so keys are debuggable: the
+  // same image with and without the KML musl is visibly two entries.
+  return std::to_string(std::hash<std::string>{}(canon.str())) +
+         (options.kml_libc ? ";kml=1" : ";kml=0");
+}
+
+RootfsCache::BlobPtr RootfsCache::GetOrBuild(const ContainerImage& image,
+                                             const RootfsOptions& options) {
+  const std::string key = CacheKey(image, options);
+
+  std::unique_lock lock(mu_);
+  ++requests_;
+  std::shared_ptr<Flight> flight;
+  for (;;) {
+    auto cached = blobs_.find(key);
+    if (cached != blobs_.end()) {
+      ++hits_;
+      lru_.Touch(key);
+      return cached->second;
+    }
+    auto flying = flights_.find(key);
+    if (flying == flights_.end()) {
+      flight = std::make_shared<Flight>();
+      flights_.emplace(key, flight);
+      break;
+    }
+    std::shared_ptr<Flight> other = flying->second;
+    cv_.wait(lock, [&] { return other->done; });
+    // The blob rides on the flight itself: correct even if a tiny budget
+    // already evicted the store entry.
+    ++hits_;
+    return other->blob;
+  }
+
+  lock.unlock();
+  auto blob = std::make_shared<const std::string>(BuildAppRootfs(image, options));
+  lock.lock();
+  ++builds_;
+  blobs_.emplace(key, blob);
+  lru_.Insert(key, blob->size());
+  EvictLocked();
+  flight->blob = blob;
+  flight->done = true;
+  flights_.erase(key);
+  cv_.notify_all();
+  return blob;
+}
+
+void RootfsCache::EvictLocked() {
+  evictions_ += lru_.EvictOver(
+      budget_,
+      // Pinned: some caller still holds the blob (the store's own reference
+      // is the +1). Such entries survive even over budget.
+      [&](const std::string& key) { return blobs_.at(key).use_count() > 1; },
+      [&](const std::string& key, Bytes bytes) {
+        bytes_evicted_ += bytes;
+        blobs_.erase(key);
+      });
+}
+
+RootfsCache::Stats RootfsCache::stats() const {
+  std::lock_guard lock(mu_);
+  Stats stats;
+  stats.requests = requests_;
+  stats.builds = builds_;
+  stats.hits = hits_;
+  stats.evictions = evictions_;
+  stats.bytes_evicted = bytes_evicted_;
+  stats.bytes_stored = lru_.bytes();
+  stats.entries = lru_.entries();
+  return stats;
+}
+
+void RootfsCache::set_budget(CacheBudget budget) {
+  std::lock_guard lock(mu_);
+  budget_ = budget;
+  EvictLocked();
+}
+
+}  // namespace lupine::apps

@@ -1,0 +1,82 @@
+// Content-addressed cache of built rootfs blobs.
+//
+// The fleet path used to call BuildAppRootfs once per GetOrBuild, so a
+// top-20 rebuild serialized twenty LUPX2FS images even when nineteen were
+// byte-identical to the last run. This cache mirrors the kernel-side
+// KernelCache design: blobs are keyed by (container-image digest,
+// RootfsOptions), concurrent requests for the same key share one build
+// (single flight), and a size-aware LRU keeps the store under a configurable
+// byte/entry budget. Blobs are handed out as shared_ptr<const std::string>;
+// an entry some fleet member still holds is pinned and never evicted.
+#ifndef SRC_APPS_ROOTFS_CACHE_H_
+#define SRC_APPS_ROOTFS_CACHE_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/apps/rootfs_builder.h"
+#include "src/util/lru.h"
+
+namespace lupine::apps {
+
+class RootfsCache {
+ public:
+  using BlobPtr = std::shared_ptr<const std::string>;
+
+  // Default: unbounded (never evicts), matching the kernel cache.
+  explicit RootfsCache(CacheBudget budget = {}) : budget_(budget) {}
+
+  // Returns the (possibly shared) rootfs blob for `image` built with
+  // `options`, building it at most once per distinct key across all
+  // threads. Never fails: rootfs construction is deterministic string
+  // assembly.
+  BlobPtr GetOrBuild(const ContainerImage& image, const RootfsOptions& options);
+
+  // The cache key: a digest over every field of the container image that
+  // reaches the blob, plus the build options (a KML rootfs carries a
+  // different musl, so kml_libc is part of the key, never collapsed).
+  static std::string CacheKey(const ContainerImage& image, const RootfsOptions& options);
+
+  struct Stats {
+    size_t requests = 0;
+    size_t builds = 0;       // Key misses that ran BuildAppRootfs.
+    size_t hits = 0;         // Served from the store or a completed flight.
+    size_t evictions = 0;
+    Bytes bytes_evicted = 0;
+    Bytes bytes_stored = 0;  // Live blob bytes.
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  // Replaces the retention budget and immediately evicts down to it.
+  void set_budget(CacheBudget budget);
+
+ private:
+  // An in-progress build. Waiters take the blob straight off the flight, so
+  // even a blob evicted immediately (tiny budget) reaches every waiter.
+  struct Flight {
+    bool done = false;
+    BlobPtr blob;
+  };
+
+  void EvictLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  CacheBudget budget_;
+  std::map<std::string, BlobPtr> blobs_;                    // By cache key.
+  std::map<std::string, std::shared_ptr<Flight>> flights_;  // By cache key.
+  LruTracker lru_;
+  size_t requests_ = 0;
+  size_t builds_ = 0;
+  size_t hits_ = 0;
+  size_t evictions_ = 0;
+  Bytes bytes_evicted_ = 0;
+};
+
+}  // namespace lupine::apps
+
+#endif  // SRC_APPS_ROOTFS_CACHE_H_

@@ -1,0 +1,127 @@
+#include "src/core/fleet_boot.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+
+#include "src/kconfig/presets.h"
+#include "src/util/thread_pool.h"
+#include "src/vmm/supervisor.h"
+
+namespace lupine::core {
+namespace {
+
+struct ShardOutcome {
+  Nanos virtual_time = 0;
+  size_t boots = 0;
+  size_t failures = 0;
+  Status status = Status::Ok();  // First artifact-build error, if any.
+};
+
+// Boots (and optionally runs) one shard directly, VM by VM.
+ShardOutcome RunShardDirect(KernelCache& cache, const std::vector<std::string>& shard,
+                            const FleetBootOptions& options) {
+  ShardOutcome outcome;
+  for (const std::string& app : shard) {
+    auto artifact = cache.GetOrBuild(app);
+    if (!artifact.ok()) {
+      outcome.status = artifact.status();
+      return outcome;
+    }
+    auto vm = (*artifact)->Launch(options.memory);
+    if (Status s = vm->Boot(); !s.ok()) {
+      ++outcome.failures;
+      continue;
+    }
+    ++outcome.boots;
+    outcome.virtual_time += vm->boot_report().to_init;
+    if (options.run_workload) {
+      auto run = vm->RunToCompletion();
+      const bool server_parked = !run.ok() && run.status().err() == Err::kAgain;
+      if (!server_parked && (!run.ok() || run.value() != 0)) {
+        ++outcome.failures;
+      }
+    }
+  }
+  return outcome;
+}
+
+// Boots one shard under a worker-owned Supervisor (restart policy and all).
+ShardOutcome RunShardSupervised(KernelCache& cache, const std::vector<std::string>& shard,
+                                const FleetBootOptions& options) {
+  ShardOutcome outcome;
+  vmm::Supervisor supervisor;
+  for (size_t i = 0; i < shard.size(); ++i) {
+    auto artifact = cache.GetOrBuild(shard[i]);
+    if (!artifact.ok()) {
+      outcome.status = artifact.status();
+      return outcome;
+    }
+    const apps::AppManifest* manifest = apps::FindManifest(shard[i]);
+    std::string ready = manifest != nullptr && manifest->kind == apps::AppKind::kServer
+                            ? manifest->ready_line
+                            : "";
+    KernelCache::ArtifactPtr held = *artifact;
+    Bytes memory = options.memory;
+    supervisor.AddMember(shard[i] + "#" + std::to_string(i),
+                         [held, memory] { return held->Launch(memory); }, ready);
+  }
+  outcome.failures = supervisor.Run();
+  outcome.boots = shard.size() - outcome.failures;
+  outcome.virtual_time = supervisor.clock().now();
+  return outcome;
+}
+
+}  // namespace
+
+Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions& options) {
+  const std::vector<std::string>& apps =
+      options.apps.empty() ? kconfig::Top20AppNames() : options.apps;
+  const size_t workers = std::max<size_t>(1, options.workers);
+  const size_t rounds = std::max<size_t>(1, options.rounds);
+
+  // Static sharding: boot i of round r goes to worker (r * apps + i) mod W.
+  // The shard contents — and with them every virtual-time figure — depend
+  // only on (apps, rounds, workers), never on thread scheduling.
+  std::vector<std::vector<std::string>> shards(workers);
+  size_t task = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    for (const std::string& app : apps) {
+      shards[task++ % workers].push_back(app);
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  ThreadPool pool(workers);
+  std::vector<std::future<ShardOutcome>> futures;
+  futures.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    futures.push_back(pool.Submit([&cache, &options, shard = std::move(shards[w])] {
+      return options.supervised ? RunShardSupervised(cache, shard, options)
+                                : RunShardDirect(cache, shard, options);
+    }));
+  }
+
+  FleetBootResult result;
+  for (auto& future : futures) {
+    ShardOutcome outcome = future.get();
+    if (!outcome.status.ok()) {
+      return outcome.status;
+    }
+    result.boots += outcome.boots;
+    result.failures += outcome.failures;
+    result.virtual_boot_total += outcome.virtual_time;
+    result.virtual_makespan = std::max(result.virtual_makespan, outcome.virtual_time);
+    result.worker_virtual.push_back(outcome.virtual_time);
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  if (result.virtual_makespan > 0) {
+    result.boots_per_virtual_sec = static_cast<double>(result.boots) /
+                                   (static_cast<double>(result.virtual_makespan) / 1e9);
+  }
+  return result;
+}
+
+}  // namespace lupine::core

@@ -1,0 +1,53 @@
+// Fleet boot driver: boots a whole fleet of cached unikernels across
+// ThreadPool workers and reports throughput on the virtual timeline.
+//
+// Fibers (and therefore VMs mid-run) are thread-local, so the driver shards
+// the fleet statically: task i belongs to worker i mod W, and every VM a
+// worker creates lives and dies on that worker's thread. Each worker sums
+// the virtual boot time (monitor start -> init exec) of its shard; the fleet
+// makespan is the maximum shard sum — the virtual wall-clock of W monitor
+// processes booting their shards concurrently. That makes the reported
+// speedup a property of the simulation, not of how many host cores this
+// process happens to get.
+#ifndef SRC_CORE_FLEET_BOOT_H_
+#define SRC_CORE_FLEET_BOOT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/multik.h"
+
+namespace lupine::core {
+
+struct FleetBootOptions {
+  std::vector<std::string> apps;  // Empty = the paper's top-20 list.
+  size_t workers = 1;
+  size_t rounds = 1;              // Each round boots every app once.
+  Bytes memory = 512 * kMiB;
+  // false: Boot() + StartInit only — no fiber ever runs, which keeps the
+  // storm tsan-compatible. true: run each guest to quiescence (batch jobs
+  // must exit 0; servers parking in accept count as success).
+  bool run_workload = false;
+  // Drive each worker's shard through its own vmm::Supervisor instead of
+  // booting VMs directly (demonstrates pool-thread confinement).
+  bool supervised = false;
+};
+
+struct FleetBootResult {
+  size_t boots = 0;
+  size_t failures = 0;
+  Nanos virtual_makespan = 0;           // Max over workers of shard virtual time.
+  Nanos virtual_boot_total = 0;         // Sum of every boot's to_init.
+  double boots_per_virtual_sec = 0.0;   // boots / virtual_makespan.
+  double wall_ms = 0.0;                 // Host wall clock, informational.
+  std::vector<Nanos> worker_virtual;    // Per-worker shard virtual time.
+};
+
+// Boots `rounds` x `apps` VMs from `cache` artifacts on `workers` pool
+// threads. Fails only when an artifact cannot be built at all; individual
+// boot/workload failures are counted in the result.
+Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions& options);
+
+}  // namespace lupine::core
+
+#endif  // SRC_CORE_FLEET_BOOT_H_

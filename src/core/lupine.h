@@ -29,6 +29,11 @@ struct BuildOptions {
   int panic_timeout = -1;
   // Extra options beyond the manifest (developer-supplied manifest knobs).
   std::vector<std::string> extra_options;
+  // Cross-build batching (KernelCache only): when the per-app specialized
+  // configuration proves to be a subset of lupine-general, serve the shared
+  // general kernel instead of building a per-app image. Trades a bigger,
+  // slower-booting kernel for one build serving the whole fleet.
+  bool batch_general = false;
 };
 
 // The build artifact: everything needed to launch.

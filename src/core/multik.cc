@@ -1,24 +1,40 @@
 #include "src/core/multik.h"
 
+#include <cassert>
 #include <functional>
 #include <sstream>
 #include <utility>
 
 #include "src/apps/builtin.h"
 #include "src/apps/init_script.h"
-#include "src/apps/rootfs_builder.h"
 #include "src/kbuild/builder.h"
 
 namespace lupine::core {
+namespace {
+
+// Distinguishes per-call BuildOptions in the artifact key so the same app
+// built with different knobs never aliases one cache entry.
+std::string OptionsKey(const BuildOptions& options) {
+  std::ostringstream key;
+  key << options.kml << options.tiny << options.general_config << options.batch_general
+      << ';' << options.panic_timeout << ';';
+  for (const auto& option : options.extra_options) {
+    key << option << ',';
+  }
+  return key.str();
+}
+
+}  // namespace
 
 std::unique_ptr<vmm::Vm> KernelCache::AppArtifact::Launch(Bytes memory,
                                                           FaultInjector* faults) const {
   vmm::VmSpec spec;
   spec.monitor = vmm::Firecracker();
   spec.image = *kernel;
-  spec.rootfs = rootfs;
+  spec.rootfs = *rootfs;
   spec.memory = memory;
   spec.faults = faults;
+  spec.boot_plan = boot_plan;
   return std::make_unique<vmm::Vm>(std::move(spec));
 }
 
@@ -27,16 +43,30 @@ std::string KernelCache::ConfigFingerprint(const kconfig::Config& config) {
   // is already sorted; Config::name deliberately excluded — two differently
   // named but identical configs produce identical kernels.)
   std::ostringstream key;
+  kconfig::ValueViewGuard guard(config);  // GetValue views held across the loop.
   for (const auto& option : config.EnabledOptions()) {
     key << option << "=" << config.GetValue(option) << ";";
   }
+  assert(guard.Check() && "config mutated while fingerprinting");
+  (void)guard;
   key << "mode=" << (config.compile_mode() == kconfig::CompileMode::kOs ? "Os" : "O2");
   key << ";kml=" << (config.kml_patch_applied() ? 1 : 0);
   // Content address: a stable hash over the canonical text.
   return std::to_string(std::hash<std::string>{}(key.str()));
 }
 
-Result<const KernelCache::AppArtifact*> KernelCache::GetOrBuild(const std::string& app) {
+Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuild(const std::string& app) {
+  return GetOrBuildKeyed(app, app, options_);
+}
+
+Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuild(const std::string& app,
+                                                         const BuildOptions& options) {
+  return GetOrBuildKeyed(app + '\x1f' + OptionsKey(options), app, options);
+}
+
+Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string& key,
+                                                              const std::string& app,
+                                                              const BuildOptions& options) {
   std::unique_lock lock(mu_);
   ++requests_;
 
@@ -44,14 +74,15 @@ Result<const KernelCache::AppArtifact*> KernelCache::GetOrBuild(const std::strin
   // thread is building it (wait), or we claim the flight.
   std::shared_ptr<Flight> app_flight;
   for (;;) {
-    auto cached = apps_.find(app);
+    auto cached = apps_.find(key);
     if (cached != apps_.end()) {
-      return &cached->second;
+      artifact_lru_.Touch(key);
+      return cached->second;
     }
-    auto flying = app_flights_.find(app);
+    auto flying = app_flights_.find(key);
     if (flying == app_flights_.end()) {
       app_flight = std::make_shared<Flight>();
-      app_flights_.emplace(app, app_flight);
+      app_flights_.emplace(key, app_flight);
       break;
     }
     std::shared_ptr<Flight> flight = flying->second;
@@ -59,15 +90,15 @@ Result<const KernelCache::AppArtifact*> KernelCache::GetOrBuild(const std::strin
     if (!flight->status.ok()) {
       return flight->status;
     }
-    // Success: loop back — apps_ now holds the artifact.
+    return flight->artifact;
   }
 
-  // We own the flight for `app`. Resolve it with `status` on every error
+  // We own the flight for `key`. Resolve it with `status` on every error
   // path; the entry is erased so later calls retry (no negative caching).
   auto fail = [&](Status status) -> Status {
     app_flight->done = true;
     app_flight->status = status;
-    app_flights_.erase(app);
+    app_flights_.erase(key);
     cv_.notify_all();
     return status;
   };
@@ -78,34 +109,53 @@ Result<const KernelCache::AppArtifact*> KernelCache::GetOrBuild(const std::strin
     lock.lock();
     return fail(Status(Err::kNoEnt, "no manifest for application " + app));
   }
-  auto specialized = builder_.SpecializeConfig(*manifest, options_);
+  auto specialized = builder_.SpecializeConfig(*manifest, options);
   if (!specialized.ok()) {
     lock.lock();
     return fail(specialized.status());
   }
   kconfig::Config config = specialized.take();
+
+  // Cross-build batching: prove the per-app configuration is a subset of
+  // lupine-general and, if so, build/serve the shared general kernel
+  // instead. The proof is per-app — an extra option outside the general
+  // union falls back to the specialized build.
+  bool general_kernel = false;
+  if (options.batch_general && !options.general_config) {
+    BuildOptions general_options = options;
+    general_options.general_config = true;
+    general_options.batch_general = false;
+    general_options.extra_options.clear();
+    auto general = builder_.SpecializeConfig(*manifest, general_options);
+    if (general.ok() && config.IsSubsetOf(general.value())) {
+      config = general.take();
+      general_kernel = true;
+    }
+  }
   const std::string fingerprint = ConfigFingerprint(config);
 
   // Kernel-level single-flight: apps whose configurations fingerprint
   // identically share one build even when requested concurrently.
   lock.lock();
-  const kbuild::KernelImage* kernel = nullptr;
-  while (kernel == nullptr) {
+  KernelEntry kernel;
+  while (kernel.image == nullptr) {
     auto hit = kernels_.find(fingerprint);
     if (hit != kernels_.end()) {
-      kernel = hit->second.get();
+      kernel = hit->second;
+      kernel_lru_.Touch(fingerprint);
       break;
     }
     auto flying = kernel_flights_.find(fingerprint);
     if (flying != kernel_flights_.end()) {
-      std::shared_ptr<Flight> flight = flying->second;
+      std::shared_ptr<KernelFlight> flight = flying->second;
       cv_.wait(lock, [&] { return flight->done; });
       if (!flight->status.ok()) {
         return fail(flight->status);
       }
-      continue;  // kernels_ now holds the image.
+      kernel = flight->entry;
+      break;
     }
-    auto kernel_flight = std::make_shared<Flight>();
+    auto kernel_flight = std::make_shared<KernelFlight>();
     kernel_flights_.emplace(fingerprint, kernel_flight);
     lock.unlock();
     kbuild::ImageBuilder image_builder;
@@ -119,31 +169,73 @@ Result<const KernelCache::AppArtifact*> KernelCache::GetOrBuild(const std::strin
       return fail(built.status());
     }
     ++builds_;
-    auto pos =
-        kernels_.emplace(fingerprint, std::make_unique<kbuild::KernelImage>(built.take())).first;
+    KernelEntry entry;
+    entry.image = std::make_shared<const kbuild::KernelImage>(built.take());
+    // The boot plan is the point of the per-image precompute: derived once
+    // here, reused by every VM that ever boots this image.
+    entry.boot_plan =
+        std::make_shared<const guestos::BootPlan>(guestos::ComputeBootPlan(*entry.image));
+    kernels_.emplace(fingerprint, entry);
+    kernel_lru_.Insert(fingerprint, entry.image->size);
+    EvictLocked();  // Our local reference pins the new image.
+    kernel_flight->entry = entry;
     kernel_flights_.erase(fingerprint);
     cv_.notify_all();
-    kernel = pos->second.get();
+    kernel = std::move(entry);
   }
   lock.unlock();
 
-  // Per-app artifact: the rootfs and init script are never shared.
+  // Per-app artifact: the init script is per-app; the rootfs blob is shared
+  // through the content-addressed rootfs cache.
   apps::ContainerImage image = apps::MakeAlpineImage(*manifest);
   apps::RootfsOptions rootfs_options;
-  rootfs_options.kml_libc = options_.kml;
-  AppArtifact artifact;
-  artifact.kernel = kernel;
-  artifact.rootfs = apps::BuildAppRootfs(image, rootfs_options);
-  artifact.init_script = apps::GenerateInitScript(image);
+  rootfs_options.kml_libc = options.kml;
+  auto artifact = std::make_shared<AppArtifact>();
+  artifact->kernel = kernel.image;
+  artifact->boot_plan = kernel.boot_plan;
+  artifact->rootfs = rootfs_cache_.GetOrBuild(image, rootfs_options);
+  artifact->init_script = apps::GenerateInitScript(image);
+  artifact->general_kernel = general_kernel;
+  ArtifactPtr result = std::move(artifact);
 
   lock.lock();
-  app_fingerprint_[app] = fingerprint;
-  auto [inserted, ok] = apps_.emplace(app, std::move(artifact));
-  (void)ok;
+  app_kernel_bytes_[key] = kernel.image->size;
+  if (general_kernel) {
+    ++general_served_;
+  }
+  apps_.emplace(key, result);
+  artifact_lru_.Insert(key, result->rootfs->size() + result->init_script.size());
+  EvictLocked();  // `result` pins the new artifact.
+  app_flight->artifact = result;
   app_flight->done = true;
-  app_flights_.erase(app);
+  app_flights_.erase(key);
   cv_.notify_all();
-  return &inserted->second;
+  return result;
+}
+
+void KernelCache::EvictLocked() {
+  // Artifacts first: each artifact pins its kernel image, so dropping stale
+  // artifacts is what makes stale kernels evictable at all.
+  artifact_evictions_ += artifact_lru_.EvictOver(
+      artifact_budget_,
+      [&](const std::string& key) { return apps_.at(key).use_count() > 1; },
+      [&](const std::string& key, Bytes) { apps_.erase(key); });
+  kernel_evictions_ += kernel_lru_.EvictOver(
+      kernel_budget_,
+      [&](const std::string& fingerprint) {
+        return kernels_.at(fingerprint).image.use_count() > 1;
+      },
+      [&](const std::string& fingerprint, Bytes bytes) {
+        bytes_evicted_ += bytes;
+        kernels_.erase(fingerprint);
+      });
+}
+
+void KernelCache::set_budgets(CacheBudget artifact_budget, CacheBudget kernel_budget) {
+  std::lock_guard lock(mu_);
+  artifact_budget_ = artifact_budget;
+  kernel_budget_ = kernel_budget;
+  EvictLocked();
 }
 
 KernelCache::Stats KernelCache::stats() const {
@@ -151,14 +243,18 @@ KernelCache::Stats KernelCache::stats() const {
   Stats stats;
   stats.requests = requests_;
   stats.builds = builds_;
-  stats.apps = apps_.size();
+  stats.apps = app_kernel_bytes_.size();
   stats.distinct_kernels = kernels_.size();
-  for (const auto& [app, fingerprint] : app_fingerprint_) {
-    stats.bytes_if_unshared += kernels_.at(fingerprint)->size;
+  for (const auto& [key, kernel_bytes] : app_kernel_bytes_) {
+    stats.bytes_if_unshared += kernel_bytes;
   }
-  for (const auto& [fingerprint, image] : kernels_) {
-    stats.bytes_stored += image->size;
+  for (const auto& [fingerprint, entry] : kernels_) {
+    stats.bytes_stored += entry.image->size;
   }
+  stats.general_served = general_served_;
+  stats.artifact_evictions = artifact_evictions_;
+  stats.kernel_evictions = kernel_evictions_;
+  stats.bytes_evicted = bytes_evicted_;
   return stats;
 }
 

@@ -6,8 +6,10 @@
 // those are identical (every language runtime needs zero options beyond
 // lupine-base, Table 3). The KernelCache content-addresses built kernel
 // images by their configuration so identical specializations share one
-// image — root filesystems stay per-application — and reports fleet-level
-// statistics (distinct kernels, image bytes saved).
+// image, content-addresses rootfs blobs by (container-image digest,
+// RootfsOptions) so each distinct rootfs is built once, and reports
+// fleet-level statistics (distinct kernels, image bytes saved, rootfs hit
+// rates).
 //
 // The cache is thread-safe with single-flight deduplication at two levels:
 // concurrent GetOrBuild("node") calls produce exactly one build (per-app
@@ -19,6 +21,14 @@
 // happens up front rather than after redundant work. Failed flights are not
 // cached: waiters observe the failure, later calls retry from scratch,
 // matching the serial cache's semantics.
+//
+// Retention is bounded by optional size-aware LRU budgets (one for app
+// artifacts, one for kernel images). Eviction only drops entries the cache
+// is the sole owner of: artifacts and kernels are handed out as shared_ptr,
+// and any entry a caller still references — including every in-flight build,
+// whose result is published through the flight itself — is pinned. A fleet
+// rebuilding under churning extra_options therefore stays under its byte
+// budget instead of growing without bound.
 #ifndef SRC_CORE_MULTIK_H_
 #define SRC_CORE_MULTIK_H_
 
@@ -28,40 +38,66 @@
 #include <mutex>
 #include <string>
 
+#include "src/apps/rootfs_cache.h"
 #include "src/core/lupine.h"
+#include "src/util/lru.h"
 
 namespace lupine::core {
 
 class KernelCache {
  public:
-  explicit KernelCache(BuildOptions options = {}) : options_(std::move(options)) {}
+  explicit KernelCache(BuildOptions options = {}, CacheBudget artifact_budget = {},
+                       CacheBudget kernel_budget = {})
+      : options_(std::move(options)),
+        artifact_budget_(artifact_budget),
+        kernel_budget_(kernel_budget) {}
 
-  // What a fleet member deploys: a (possibly shared) kernel image plus its
-  // own rootfs.
+  // What a fleet member deploys: a (possibly shared) kernel image with its
+  // precomputed boot plan, plus a (possibly shared) rootfs. All shared
+  // pieces are immutable and reference-counted; an artifact outlives its
+  // cache entry, so holding one across an eviction is safe.
   struct AppArtifact {
-    const kbuild::KernelImage* kernel = nullptr;  // Owned by the cache.
-    std::string rootfs;
+    std::shared_ptr<const kbuild::KernelImage> kernel;
+    std::shared_ptr<const guestos::BootPlan> boot_plan;  // Per-image, per-boot reuse.
+    std::shared_ptr<const std::string> rootfs;
     std::string init_script;
+    // The batching mode substituted the shared lupine-general kernel after
+    // proving this app's config is a subset of it.
+    bool general_kernel = false;
 
     std::unique_ptr<vmm::Vm> Launch(Bytes memory = 512 * kMiB,
                                     FaultInjector* faults = nullptr) const;
   };
+  using ArtifactPtr = std::shared_ptr<const AppArtifact>;
 
-  // Builds (or reuses) the specialized kernel for `app`. Returned pointer
-  // is owned by the cache and stable for its lifetime. Safe to call from
-  // multiple threads; concurrent duplicate requests wait on one build.
-  Result<const AppArtifact*> GetOrBuild(const std::string& app);
+  // Builds (or reuses) the specialized kernel for `app` with the cache's
+  // default build options. Safe to call from multiple threads; concurrent
+  // duplicate requests wait on one build.
+  Result<ArtifactPtr> GetOrBuild(const std::string& app);
+  // Same, with per-call build options (keyed separately from the defaults).
+  Result<ArtifactPtr> GetOrBuild(const std::string& app, const BuildOptions& options);
 
   struct Stats {
     size_t requests = 0;          // GetOrBuild calls.
     size_t builds = 0;            // Kernel builds (fingerprint misses).
-    size_t apps = 0;              // Distinct applications served.
-    size_t distinct_kernels = 0;
+    size_t apps = 0;              // Distinct artifact keys ever served.
+    size_t distinct_kernels = 0;  // Kernel images currently stored.
     Bytes bytes_if_unshared = 0;  // Sum of per-app image sizes without sharing.
-    Bytes bytes_stored = 0;       // Sum of distinct image sizes.
+    Bytes bytes_stored = 0;       // Sum of distinct stored image sizes.
+    size_t general_served = 0;    // Artifacts served the shared general kernel.
+    size_t artifact_evictions = 0;
+    size_t kernel_evictions = 0;
+    Bytes bytes_evicted = 0;      // Kernel image bytes dropped by eviction.
     Bytes bytes_saved() const { return bytes_if_unshared - bytes_stored; }
   };
   Stats stats() const;
+
+  // The rootfs-side cache (content-addressed blobs, own LRU budget).
+  apps::RootfsCache& rootfs_cache() { return rootfs_cache_; }
+  apps::RootfsCache::Stats rootfs_stats() const { return rootfs_cache_.stats(); }
+
+  // Replaces the retention budgets and immediately evicts down to them.
+  void set_budgets(CacheBudget artifact_budget, CacheBudget kernel_budget);
 
   // The cache key: a canonical fingerprint of the enabled option set and
   // build knobs (what makes two kernels byte-identical in this model).
@@ -70,24 +106,56 @@ class KernelCache {
  private:
   // An in-progress build other threads can wait on. Waiters hold the
   // shared_ptr, so the flight outlives its map entry (entries are erased on
-  // completion; failures leave no trace, preserving retry semantics).
+  // completion; failures leave no trace, preserving retry semantics). The
+  // successful artifact is published on the flight itself so waiters get it
+  // even if a tight budget evicts the store entry immediately.
   struct Flight {
     bool done = false;
     Status status = Status::Ok();
+    ArtifactPtr artifact;
   };
+
+  struct KernelEntry {
+    std::shared_ptr<const kbuild::KernelImage> image;
+    std::shared_ptr<const guestos::BootPlan> boot_plan;
+  };
+
+  // Kernel-level flight: the built image rides on the flight so waiters are
+  // immune to an immediate eviction of the store entry.
+  struct KernelFlight {
+    bool done = false;
+    Status status = Status::Ok();
+    KernelEntry entry;
+  };
+
+  Result<ArtifactPtr> GetOrBuildKeyed(const std::string& key, const std::string& app,
+                                      const BuildOptions& options);
+  void EvictLocked();
 
   BuildOptions options_;
   LupineBuilder builder_;
+  apps::RootfsCache rootfs_cache_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<std::string, std::unique_ptr<kbuild::KernelImage>> kernels_;  // By fingerprint.
-  std::map<std::string, AppArtifact> apps_;                              // By app name.
-  std::map<std::string, std::string> app_fingerprint_;
-  std::map<std::string, std::shared_ptr<Flight>> app_flights_;       // By app name.
-  std::map<std::string, std::shared_ptr<Flight>> kernel_flights_;    // By fingerprint.
+  CacheBudget artifact_budget_;
+  CacheBudget kernel_budget_;
+  std::map<std::string, KernelEntry> kernels_;  // By fingerprint.
+  std::map<std::string, ArtifactPtr> apps_;     // By artifact key.
+  // Every artifact key ever served -> the size of its kernel image; survives
+  // eviction so bytes_if_unshared reflects the whole fleet, not the
+  // currently-resident slice.
+  std::map<std::string, Bytes> app_kernel_bytes_;
+  std::map<std::string, std::shared_ptr<Flight>> app_flights_;           // By artifact key.
+  std::map<std::string, std::shared_ptr<KernelFlight>> kernel_flights_;  // By fingerprint.
+  LruTracker artifact_lru_;
+  LruTracker kernel_lru_;
   size_t requests_ = 0;
   size_t builds_ = 0;
+  size_t general_served_ = 0;
+  size_t artifact_evictions_ = 0;
+  size_t kernel_evictions_ = 0;
+  Bytes bytes_evicted_ = 0;
 };
 
 }  // namespace lupine::core

@@ -35,6 +35,52 @@ Nanos BootTrace::Total() const {
   return total;
 }
 
+BootPlan ComputeBootPlan(const kbuild::KernelImage& image, const CostModel* costs_in) {
+  const CostModel& costs = costs_in != nullptr ? *costs_in : DefaultCostModel();
+  const kbuild::KernelFeatures& f = image.features;
+  BootPlan plan;
+
+  plan.resident =
+      static_cast<Bytes>(static_cast<double>(image.size) * kResidentFraction) + kSlabBase;
+  plan.decompress = static_cast<Nanos>(ToMiB(image.size) *
+                                       static_cast<double>(costs.boot_decompress_per_mb));
+
+  // Core init: arch setup, memory management, scheduler.
+  plan.core_init = costs.boot_core_init;
+  if (!f.paravirt) {
+    // Without CONFIG_PARAVIRT, timer and TSC calibration loops run in full
+    // (Section 4.3: Lupine+KML boots in 71 ms instead of 23 ms).
+    plan.core_init += costs.boot_no_paravirt_penalty;
+  }
+  if (f.smp) {
+    plan.smp_bringup = costs.boot_smp_bringup;
+  }
+  if (f.pci) {
+    plan.pci_enumeration = costs.boot_pci_enumeration;
+  }
+
+  // Initcalls: every built-in option contributes initialization work; the
+  // per-category costs make driver-heavy configs (microVM) pay most.
+  size_t categorized = f.driver_options + f.net_options + f.fs_options + f.crypto_options +
+                       f.debug_options;
+  size_t other = f.enabled_options > categorized ? f.enabled_options - categorized : 0;
+  Nanos initcalls = 0;
+  initcalls += static_cast<Nanos>(f.driver_options) * costs.boot_initcall_driver;
+  initcalls += static_cast<Nanos>(f.net_options) * costs.boot_initcall_net;
+  initcalls += static_cast<Nanos>(f.fs_options) * costs.boot_initcall_fs;
+  initcalls += static_cast<Nanos>(f.crypto_options) * costs.boot_initcall_crypto;
+  initcalls += static_cast<Nanos>(f.debug_options) * costs.boot_initcall_debug;
+  initcalls += static_cast<Nanos>(other) * costs.boot_initcall_other;
+  if (f.acpi) {
+    initcalls += costs.boot_acpi_tables;
+  }
+  plan.initcalls = initcalls;
+
+  plan.rootfs_mount = costs.boot_rootfs_mount;
+  plan.banner = "Linux version 4.0.0-lupine (" + image.name + ")\n";
+  return plan;
+}
+
 Kernel::Kernel(const kbuild::KernelImage& image, Bytes memory_limit,
                const AppRegistry* registry, FaultInjector* faults)
     : image_(image),
@@ -57,57 +103,42 @@ void Kernel::Phase(const char* name, Nanos duration) {
   boot_trace_.phases.push_back({name, duration});
 }
 
-Status Kernel::Boot(const std::string& rootfs_blob) {
+Status Kernel::Boot(const std::string& rootfs_blob, const BootPlan* plan_in) {
   const kbuild::KernelFeatures& f = image_.features;
 
+  // The image-invariant part of the boot either arrives precomputed (fleet
+  // callers derive it once per image) or is derived here for this boot.
+  BootPlan local;
+  if (plan_in == nullptr) {
+    local = ComputeBootPlan(image_, costs_);
+    plan_in = &local;
+  }
+  const BootPlan& plan = *plan_in;
+
   // Resident kernel memory (text + data + static structures).
-  Bytes resident = static_cast<Bytes>(static_cast<double>(image_.size) * kResidentFraction) +
-                   kSlabBase;
-  if (Status s = mm_->AllocatePages(PagesForBytes(resident), "kernel-resident"); !s.ok()) {
+  if (Status s = mm_->AllocatePages(PagesForBytes(plan.resident), "kernel-resident");
+      !s.ok()) {
     oom_ = true;
     return s;
   }
 
   // Decompress/relocate the image.
-  Phase("decompress", static_cast<Nanos>(ToMiB(image_.size) *
-                                         static_cast<double>(costs_->boot_decompress_per_mb)));
+  Phase("decompress", plan.decompress);
   if (faults_->Check(FaultSite::kBootDecompress)) {
     console_.Write("crc error\n\n-- System halted\n");
     return Status(Err::kIo, "kernel decompression failed: crc error");
   }
 
-  // Core init: arch setup, memory management, scheduler.
-  Nanos core = costs_->boot_core_init;
-  if (!f.paravirt) {
-    // Without CONFIG_PARAVIRT, timer and TSC calibration loops run in full
-    // (Section 4.3: Lupine+KML boots in 71 ms instead of 23 ms).
-    core += costs_->boot_no_paravirt_penalty;
-  }
-  Phase("core-init", core);
+  Phase("core-init", plan.core_init);
 
-  if (f.smp) {
-    Phase("smp-bringup", costs_->boot_smp_bringup);
+  if (plan.smp_bringup >= 0) {
+    Phase("smp-bringup", plan.smp_bringup);
   }
-  if (f.pci) {
-    Phase("pci-enumeration", costs_->boot_pci_enumeration);
+  if (plan.pci_enumeration >= 0) {
+    Phase("pci-enumeration", plan.pci_enumeration);
   }
 
-  // Initcalls: every built-in option contributes initialization work; the
-  // per-category costs make driver-heavy configs (microVM) pay most.
-  size_t categorized = f.driver_options + f.net_options + f.fs_options + f.crypto_options +
-                       f.debug_options;
-  size_t other = f.enabled_options > categorized ? f.enabled_options - categorized : 0;
-  Nanos initcalls = 0;
-  initcalls += static_cast<Nanos>(f.driver_options) * costs_->boot_initcall_driver;
-  initcalls += static_cast<Nanos>(f.net_options) * costs_->boot_initcall_net;
-  initcalls += static_cast<Nanos>(f.fs_options) * costs_->boot_initcall_fs;
-  initcalls += static_cast<Nanos>(f.crypto_options) * costs_->boot_initcall_crypto;
-  initcalls += static_cast<Nanos>(f.debug_options) * costs_->boot_initcall_debug;
-  initcalls += static_cast<Nanos>(other) * costs_->boot_initcall_other;
-  if (f.acpi) {
-    initcalls += costs_->boot_acpi_tables;
-  }
-  Phase("initcalls", initcalls);
+  Phase("initcalls", plan.initcalls);
   if (faults_->Check(FaultSite::kBootInitcall)) {
     console_.Write("initcall lupine_subsys_init+0x0/0x40 returned -5\n");
     return Status(Err::kIo, "initcall failed during boot");
@@ -141,7 +172,7 @@ Status Kernel::Boot(const std::string& rootfs_blob) {
     oom_ = true;
     return s;
   }
-  Phase("rootfs-mount", costs_->boot_rootfs_mount);
+  Phase("rootfs-mount", plan.rootfs_mount);
 
   // Standard device nodes (devtmpfs) and kernel-managed mounts.
   if (f.devtmpfs) {
@@ -152,7 +183,7 @@ Status Kernel::Boot(const std::string& rootfs_blob) {
     (void)vfs_.CreateDevice("/dev/console", DevId::kConsole);
   }
 
-  console_.Write("Linux version 4.0.0-lupine (" + image_.name + ")\n");
+  console_.Write(plan.banner);
   booted_ = true;
   return Status::Ok();
 }

@@ -38,6 +38,27 @@ struct BootTrace {
   Nanos Total() const;
 };
 
+// Everything about a boot that depends only on the kernel image: resident
+// memory, per-phase durations, and which optional phases run. Every boot of
+// the same image replays the same plan, so fleet callers (KernelCache)
+// compute it once per image and pass it to Kernel::Boot instead of re-running
+// the feature arithmetic for every VM. A boot without a plan computes an
+// identical one locally — the plan is purely a cache.
+struct BootPlan {
+  Bytes resident = 0;          // Kernel-resident pages charged at boot.
+  Nanos decompress = 0;
+  Nanos core_init = 0;
+  Nanos smp_bringup = -1;      // -1 = phase configured out.
+  Nanos pci_enumeration = -1;  // -1 = phase configured out.
+  Nanos initcalls = 0;
+  Nanos rootfs_mount = 0;
+  std::string banner;          // The "Linux version ..." console line.
+};
+
+// Derives the image-invariant boot plan (costs defaults to the process cost
+// model, matching Kernel's constructor).
+BootPlan ComputeBootPlan(const kbuild::KernelImage& image, const CostModel* costs = nullptr);
+
 class Kernel {
  public:
   // `memory_limit` is the VM's RAM; `registry` resolves app= entry points
@@ -53,7 +74,9 @@ class Kernel {
 
   // Guest-side boot: pays decompression/initcall/mount costs on the virtual
   // clock, charges kernel resident memory, and mounts the rootfs image.
-  Status Boot(const std::string& rootfs_blob);
+  // `plan` (optional, non-owning) is a precomputed ComputeBootPlan result
+  // for this kernel's image; nullptr derives the identical plan locally.
+  Status Boot(const std::string& rootfs_blob, const BootPlan* plan = nullptr);
 
   // Spawns pid 1 executing `path` (usually /sbin/init, the startup script).
   Result<Process*> StartInit(const std::string& path, std::vector<std::string> argv = {});

@@ -153,11 +153,23 @@ const char* GatingOption(Sys sys) {
 }
 
 SyscallSet EnabledSyscalls(const kconfig::Config& config) {
+  // Gate options interned once per process; the per-call work is one bitset
+  // probe per gate instead of a hash lookup through the interner.
+  static const std::vector<kconfig::OptionId> gate_ids = [] {
+    std::vector<kconfig::OptionId> ids;
+    ids.reserve(SyscallGates().size());
+    for (const auto& gate : SyscallGates()) {
+      ids.push_back(kconfig::OptionInterner::Global().Intern(gate.option));
+    }
+    return ids;
+  }();
+
   SyscallSet set;
   set.set();  // Start with everything...
-  for (const auto& gate : SyscallGates()) {
-    if (!config.IsEnabled(gate.option)) {
-      for (Sys sys : gate.syscalls) {
+  const auto& gates = SyscallGates();
+  for (size_t i = 0; i < gates.size(); ++i) {
+    if (!config.IsEnabledId(gate_ids[i])) {
+      for (Sys sys : gates[i].syscalls) {
         set.reset(static_cast<int>(sys));  // ...and knock out unconfigured ones.
       }
     }

@@ -28,6 +28,7 @@ void Config::Disable(const std::string& option) {
   bits::Clear(present_, id);
   bits::Clear(enabled_, id);
   valued_.erase(id);
+  ++value_generation_;
   --present_count_;
 }
 
@@ -47,6 +48,7 @@ void Config::SetValue(const std::string& option, const std::string& value) {
   } else {
     valued_[id] = value;
   }
+  ++value_generation_;
   if (value == "n") {
     bits::Clear(enabled_, id);
   } else {
@@ -66,6 +68,7 @@ void Config::EnableId(OptionId id) {
   }
   bits::Set(enabled_, id);
   valued_.erase(id);  // Enable overwrites any explicit value with "y".
+  ++value_generation_;
 }
 
 std::string_view Config::ValueOfId(OptionId id) const {
@@ -118,6 +121,24 @@ void Config::UnionWith(const Config& other) {
       valued_[id] = it->second;
     }
   });
+  ++value_generation_;
+}
+
+bool Config::IsSubsetOf(const Config& other) const {
+  if (compile_mode_ != other.compile_mode_ ||
+      kml_patch_applied_ != other.kml_patch_applied_) {
+    return false;
+  }
+  bool subset = true;
+  ForEachBit(enabled_, [&](OptionId id) {
+    if (!subset) {
+      return;
+    }
+    if (!other.IsEnabledId(id) || ValueOfId(id) != other.ValueOfId(id)) {
+      subset = false;
+    }
+  });
+  return subset;
 }
 
 bool Config::operator==(const Config& other) const {

@@ -40,7 +40,14 @@ class Config {
   // Valued options (ints / strings); also marks the option enabled.
   void SetValue(const std::string& option, const std::string& value);
   // View into the stored value ("y" for plain-enabled options, "" when the
-  // option is absent). Valid while the Config lives and is not mutated.
+  // option is absent).
+  //
+  // LIFETIME: the view aliases the side-table entry. Any mutator that can
+  // touch the side table (SetValue, Disable, EnableId/Enable, UnionWith)
+  // invalidates it — rehashing or erasure frees the backing string. Copy
+  // into a std::string before mutating, as DeriveFeatures does for
+  // PANIC_TIMEOUT. value_generation() snapshots let debug builds assert a
+  // view was not held across a mutation (see ValueViewGuard).
   std::string_view GetValue(const std::string& option) const;
 
   // Id-based hot path (used by Resolver, ImageBuilder, feature derivation).
@@ -71,7 +78,19 @@ class Config {
   // Adds every option of `other` (values from `other` win on clash).
   void UnionWith(const Config& other);
 
+  // True when a kernel built from `other` can serve this configuration:
+  // every enabled option of `this` is enabled in `other` with an identical
+  // value, and the build knobs (compile mode, KML patch) match. Used by the
+  // cross-build batching mode to prove a per-app config against
+  // lupine-general before substituting the shared kernel.
+  bool IsSubsetOf(const Config& other) const;
+
   bool operator==(const Config& other) const;
+
+  // Bumped by every mutation that can invalidate GetValue/ValueOfId views
+  // (side-table writes, erasures, bulk unions). Debug-time detection of
+  // use-after-mutation on the returned string_views.
+  uint64_t value_generation() const { return value_generation_; }
 
  private:
   std::string name_;
@@ -84,6 +103,21 @@ class Config {
   size_t present_count_ = 0;
   CompileMode compile_mode_ = CompileMode::kO2;
   bool kml_patch_applied_ = false;
+  uint64_t value_generation_ = 0;
+};
+
+// Asserts (in debug builds) that a Config was not mutated while a value view
+// was live. Construct right after GetValue/ValueOfId; Check() fails once any
+// side-table mutation happened on the watched Config.
+class ValueViewGuard {
+ public:
+  explicit ValueViewGuard(const Config& config)
+      : config_(&config), generation_(config.value_generation()) {}
+  bool Check() const { return config_->value_generation() == generation_; }
+
+ private:
+  const Config* config_;
+  uint64_t generation_;
 };
 
 }  // namespace lupine::kconfig

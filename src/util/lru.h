@@ -1,0 +1,109 @@
+// Size-aware LRU bookkeeping shared by the artifact caches.
+//
+// KernelCache and RootfsCache both need the same thing: a recency order over
+// string keys, a running byte total, and an eviction sweep that walks
+// least-recently-used entries until the cache is back under its budget while
+// skipping entries that are pinned (still referenced outside the cache, or
+// mid-flight). The tracker is bookkeeping only — it never owns the cached
+// values and is deliberately not thread-safe; callers already hold their
+// cache mutex around every operation.
+#ifndef SRC_UTIL_LRU_H_
+#define SRC_UTIL_LRU_H_
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/util/units.h"
+
+namespace lupine {
+
+// Retention limits for a cache. Zero means unlimited on that axis; a cache
+// with both limits zero never evicts. A single entry larger than max_bytes
+// is evicted right after insertion (the cache effectively refuses to retain
+// it), unless it is pinned — pins always win over the budget.
+struct CacheBudget {
+  Bytes max_bytes = 0;
+  size_t max_entries = 0;
+
+  bool bounded() const { return max_bytes != 0 || max_entries != 0; }
+};
+
+class LruTracker {
+ public:
+  // Registers a new key as most-recently-used. The key must not be present.
+  void Insert(const std::string& key, Bytes bytes) {
+    order_.push_back(key);
+    index_.emplace(key, Entry{std::prev(order_.end()), bytes});
+    bytes_ += bytes;
+  }
+
+  // Marks an existing key most-recently-used. Unknown keys are ignored.
+  void Touch(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return;
+    }
+    order_.splice(order_.end(), order_, it->second.position);
+  }
+
+  void Erase(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return;
+    }
+    bytes_ -= it->second.bytes;
+    order_.erase(it->second.position);
+    index_.erase(it);
+  }
+
+  Bytes bytes() const { return bytes_; }
+  size_t entries() const { return index_.size(); }
+
+  bool OverBudget(const CacheBudget& budget) const {
+    return (budget.max_bytes != 0 && bytes_ > budget.max_bytes) ||
+           (budget.max_entries != 0 && index_.size() > budget.max_entries);
+  }
+
+  // Walks victims least-recently-used first until the tracker is within
+  // `budget` or only pinned entries remain. `pinned(key)` vetoes eviction of
+  // one entry (it is skipped, not re-examined this sweep); `on_evict(key,
+  // bytes)` runs after the tracker forgot the entry, so it may erase the
+  // owning map's entry without re-entrancy concerns. Returns evictions.
+  template <typename Pinned, typename OnEvict>
+  size_t EvictOver(const CacheBudget& budget, Pinned&& pinned, OnEvict&& on_evict) {
+    size_t evicted = 0;
+    auto it = order_.begin();
+    while (it != order_.end() && OverBudget(budget)) {
+      if (pinned(*it)) {
+        ++it;
+        continue;
+      }
+      std::string key = std::move(*it);
+      it = order_.erase(it);
+      auto entry = index_.find(key);
+      Bytes bytes = entry->second.bytes;
+      bytes_ -= bytes;
+      index_.erase(entry);
+      on_evict(key, bytes);
+      ++evicted;
+    }
+    return evicted;
+  }
+
+ private:
+  struct Entry {
+    std::list<std::string>::iterator position;
+    Bytes bytes;
+  };
+
+  std::list<std::string> order_;  // Front = least recently used.
+  std::unordered_map<std::string, Entry> index_;
+  Bytes bytes_ = 0;
+};
+
+}  // namespace lupine
+
+#endif  // SRC_UTIL_LRU_H_

@@ -12,6 +12,13 @@
 //
 // Everything runs on a supervisor-owned VirtualClock, so a given fleet +
 // fault plan + seed reproduces its incident timeline byte for byte.
+//
+// Threading: a Supervisor is instance-confined. It owns no globals and is
+// safe to construct, drive and destroy entirely on a ThreadPool worker —
+// core::RunFleetBoot runs one Supervisor per worker shard this way. What is
+// NOT supported is sharing one Supervisor (or its VMs) across threads:
+// guest fibers are thread-local, so every VM must run its whole life on the
+// thread that called Run().
 #ifndef SRC_VMM_SUPERVISOR_H_
 #define SRC_VMM_SUPERVISOR_H_
 

@@ -19,7 +19,7 @@ Status Vm::Boot() {
   // enumeration; our feature check happens in the kernel, which prices PCI
   // enumeration only when configured (and QEMU-style monitors always expose
   // the bus, so the config decides).
-  if (Status s = kernel_->Boot(spec_.rootfs); !s.ok()) {
+  if (Status s = kernel_->Boot(spec_.rootfs, spec_.boot_plan.get()); !s.ok()) {
     return s;
   }
   for (const auto& phase : kernel_->boot_trace().phases) {

@@ -25,6 +25,9 @@ struct VmSpec {
   // on the same injector continues the fault schedule rather than replaying
   // it). nullptr = no faults.
   FaultInjector* faults = nullptr;
+  // Precomputed image-invariant boot plan shared by every VM booting this
+  // image (KernelCache derives it once per kernel). nullptr = derive at boot.
+  std::shared_ptr<const guestos::BootPlan> boot_plan;
 };
 
 // One boot-time line item, monitor and guest phases interleaved.

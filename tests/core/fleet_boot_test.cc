@@ -1,0 +1,120 @@
+// Parallel fleet boot. The FleetBootStormTest suite is Boot()-only — no
+// fiber ever runs — so it is ThreadSanitizer-compatible and runs in the tsan
+// CI leg (the filter selects it by suite name). FleetBootTest exercises the
+// workload/supervised modes, which do run guest fibers (thread-local, one
+// worker per VM) and therefore stay out of the tsan leg.
+#include "src/core/fleet_boot.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kconfig/presets.h"
+
+namespace lupine::core {
+namespace {
+
+// One warm cache for the whole file: artifacts are immutable and the boot
+// figures are deterministic, so sharing only saves build time.
+KernelCache& Cache() {
+  static KernelCache cache;
+  return cache;
+}
+
+TEST(FleetBootStormTest, EightWorkerStormBuildsEachRootfsOnce) {
+  KernelCache cache;  // Fresh: this test is about cold-cache build counts.
+  FleetBootOptions options;
+  options.workers = 8;
+  options.rounds = 2;
+  auto result = RunFleetBoot(cache, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const size_t fleet = kconfig::Top20AppNames().size();
+  EXPECT_EQ(result->boots, 2 * fleet);
+  EXPECT_EQ(result->failures, 0u);
+
+  // Eight racing workers, two rounds: still exactly one rootfs build per
+  // distinct (container image, RootfsOptions) pair and one kernel build per
+  // distinct fingerprint.
+  auto rootfs = cache.rootfs_stats();
+  EXPECT_EQ(rootfs.builds, fleet);
+  EXPECT_EQ(rootfs.hits + rootfs.builds, rootfs.requests);
+  EXPECT_EQ(cache.stats().builds, 16u);  // 5 runtimes share lupine-base.
+}
+
+TEST(FleetBootStormTest, WarmStormsBuildNoRootfs) {
+  FleetBootOptions options;
+  options.workers = 8;
+  (void)RunFleetBoot(Cache(), options);  // Warm every artifact.
+  const size_t rootfs_builds = Cache().rootfs_stats().builds;
+  const size_t kernel_builds = Cache().stats().builds;
+
+  options.rounds = 3;
+  auto result = RunFleetBoot(Cache(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->failures, 0u);
+  EXPECT_EQ(Cache().rootfs_stats().builds, rootfs_builds);
+  EXPECT_EQ(Cache().stats().builds, kernel_builds);
+}
+
+TEST(FleetBootStormTest, VirtualMakespanScalesWithWorkers) {
+  FleetBootOptions options;
+  options.rounds = 2;
+  options.workers = 1;
+  auto serial = RunFleetBoot(Cache(), options);
+  ASSERT_TRUE(serial.ok());
+  options.workers = 4;
+  auto pooled = RunFleetBoot(Cache(), options);
+  ASSERT_TRUE(pooled.ok());
+
+  // Virtual time is deterministic, so this is an exact property of the
+  // sharding, not a host-speed flake: four workers' makespan is the largest
+  // shard, well under half the serial sum.
+  EXPECT_EQ(serial->virtual_makespan, serial->virtual_boot_total);
+  EXPECT_EQ(pooled->virtual_boot_total, serial->virtual_boot_total);
+  EXPECT_GE(serial->virtual_makespan, 2 * pooled->virtual_makespan);
+  EXPECT_GE(pooled->boots_per_virtual_sec, 2.0 * serial->boots_per_virtual_sec);
+}
+
+TEST(FleetBootStormTest, VirtualTimelineIsDeterministic) {
+  FleetBootOptions options;
+  options.workers = 3;
+  auto first = RunFleetBoot(Cache(), options);
+  auto second = RunFleetBoot(Cache(), options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->virtual_makespan, second->virtual_makespan);
+  EXPECT_EQ(first->worker_virtual, second->worker_virtual);
+}
+
+TEST(FleetBootTest, WorkloadModeRunsGuestsAndParksServers) {
+  FleetBootOptions options;
+  options.apps = {"hello-world", "redis"};  // One batch job, one server.
+  options.workers = 2;
+  options.run_workload = true;
+  auto result = RunFleetBoot(Cache(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->boots, 2u);
+  EXPECT_EQ(result->failures, 0u);  // The parked server is not a failure.
+}
+
+TEST(FleetBootTest, SupervisedModeDrivesEachShardThroughASupervisor) {
+  FleetBootOptions options;
+  options.workers = 4;
+  options.supervised = true;
+  auto result = RunFleetBoot(Cache(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->failures, 0u);
+  EXPECT_EQ(result->boots, kconfig::Top20AppNames().size());
+  EXPECT_GT(result->virtual_makespan, 0);
+  EXPECT_EQ(result->worker_virtual.size(), 4u);
+}
+
+TEST(FleetBootTest, ArtifactFailurePropagatesAsStatus) {
+  KernelCache cache;
+  FleetBootOptions options;
+  options.apps = {"no-such-app"};
+  auto result = RunFleetBoot(cache, options);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace lupine::core

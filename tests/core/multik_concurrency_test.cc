@@ -23,7 +23,7 @@ TEST(MultikConcurrencyTest, ParallelFleetBuildsEachKernelOnce) {
   KernelCache cache;
 
   std::atomic<bool> start{false};
-  std::vector<std::map<std::string, const KernelCache::AppArtifact*>> seen(kThreads);
+  std::vector<std::map<std::string, KernelCache::ArtifactPtr>> seen(kThreads);
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (size_t t = 0; t < kThreads; ++t) {
@@ -68,7 +68,7 @@ TEST(MultikConcurrencyTest, HammeringOneAppBuildsOnce) {
   KernelCache cache;
 
   std::atomic<bool> start{false};
-  std::vector<const KernelCache::AppArtifact*> artifacts(kThreads, nullptr);
+  std::vector<KernelCache::ArtifactPtr> artifacts(kThreads);
   std::vector<std::thread> threads;
   for (size_t t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {

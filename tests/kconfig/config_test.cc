@@ -65,5 +65,69 @@ TEST(ConfigTest, EqualityIgnoresName) {
   EXPECT_TRUE(a == b);
 }
 
+TEST(ConfigTest, ValueGenerationTracksSideTableMutations) {
+  // Every mutator that can invalidate a GetValue/ValueOfId view bumps the
+  // generation; reads never do.
+  Config c;
+  const uint64_t start = c.value_generation();
+  c.SetValue("NR_CPUS", "4");
+  EXPECT_GT(c.value_generation(), start);
+
+  const uint64_t after_set = c.value_generation();
+  (void)c.GetValue("NR_CPUS");
+  (void)c.IsEnabled("NR_CPUS");
+  EXPECT_EQ(c.value_generation(), after_set);
+
+  c.Disable("NR_CPUS");
+  EXPECT_GT(c.value_generation(), after_set);
+
+  const uint64_t after_disable = c.value_generation();
+  Config other;
+  other.SetValue("PANIC_TIMEOUT", "-1");
+  c.UnionWith(other);
+  EXPECT_GT(c.value_generation(), after_disable);
+}
+
+TEST(ConfigTest, ValueViewGuardDetectsMutationUnderALiveView) {
+  Config c;
+  c.SetValue("NR_CPUS", "4");
+  std::string_view view = c.GetValue("NR_CPUS");
+  ValueViewGuard guard(c);
+  EXPECT_TRUE(guard.Check());
+  EXPECT_EQ(view, "4");
+
+  // The copy-before-mutate discipline (see GetValue's lifetime note): take
+  // the value, then mutate. The guard flags the stale view.
+  std::string copy(view);
+  c.SetValue("NR_CPUS", "8");
+  EXPECT_FALSE(guard.Check());
+  EXPECT_EQ(copy, "4");  // The copy is unaffected.
+}
+
+TEST(ConfigTest, IsSubsetOfComparesOptionsValuesAndKnobs) {
+  Config small;
+  small.Enable("FUTEX");
+  small.SetValue("NR_CPUS", "1");
+  Config big = small;
+  big.Enable("EPOLL");
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+
+  // A clashing value breaks the subset even when the option set is covered.
+  Config clash = big;
+  clash.SetValue("NR_CPUS", "4");
+  EXPECT_FALSE(small.IsSubsetOf(clash));
+
+  // Build knobs must match: a -tiny or KML-patched kernel is not a superset
+  // of a plain one.
+  Config tiny = big;
+  tiny.set_compile_mode(CompileMode::kOs);
+  EXPECT_FALSE(small.IsSubsetOf(tiny));
+  Config kml = big;
+  kml.set_kml_patch_applied(true);
+  EXPECT_FALSE(small.IsSubsetOf(kml));
+}
+
 }  // namespace
 }  // namespace lupine::kconfig

@@ -21,7 +21,7 @@ Supervisor::VmFactory Factory(const std::string& app, FaultInjector* faults,
                               Bytes memory = 256 * kMiB) {
   auto artifact = Cache().GetOrBuild(app);
   EXPECT_TRUE(artifact.ok()) << artifact.status().ToString();
-  const core::KernelCache::AppArtifact* ptr = *artifact;
+  core::KernelCache::ArtifactPtr ptr = *artifact;
   return [ptr, faults, memory] { return ptr->Launch(memory, faults); };
 }
 
@@ -182,7 +182,7 @@ TEST(SupervisorTest, HaltedPanicIsOnlyDetectedAtTheNextHealthProbe) {
     core::KernelCache cache(options);
     auto artifact = cache.GetOrBuild("hello-world");
     EXPECT_TRUE(artifact.ok());
-    const core::KernelCache::AppArtifact* ptr = *artifact;
+    core::KernelCache::ArtifactPtr ptr = *artifact;
     FaultInjector injector(FaultPlan{}.FireOnce(FaultSite::kAppFault, 2));
     Supervisor supervisor;
     supervisor.AddMember("hello",
@@ -210,7 +210,7 @@ TEST(SupervisorTest, HaltedPanicIsOnlyDetectedAtTheNextHealthProbe) {
 TEST(MinMemoryProbeFaultTest, InjectedEnomemDefeatsEveryMemorySize) {
   auto artifact = Cache().GetOrBuild("hello-world");
   ASSERT_TRUE(artifact.ok());
-  const core::KernelCache::AppArtifact* ptr = *artifact;
+  core::KernelCache::ArtifactPtr ptr = *artifact;
 
   auto try_run = [ptr](Bytes memory, FaultInjector* faults) {
     auto vm = ptr->Launch(memory, faults);
