@@ -16,6 +16,8 @@
 #include "src/apps/manifest.h"
 #include "src/core/multik.h"
 #include "src/kconfig/presets.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/fault.h"
 #include "src/util/thread_pool.h"
 #include "src/vmm/supervisor.h"
@@ -118,6 +120,11 @@ int main() {
   vmm::SupervisorPolicy policy;
   policy.crash_loop_failures = 3;
   vmm::Supervisor supervisor(policy);
+  // Telemetry: the supervisor streams incident counters, backoff and
+  // time-to-healthy histograms into the registry; the cache snapshot and the
+  // JSON export land at the end of the run.
+  telemetry::MetricRegistry registry;
+  supervisor.set_metrics(&registry);
   for (const auto& app : kconfig::Top20AppNames()) {
     auto artifact = cache.GetOrBuild(app);
     if (!artifact.ok()) {
@@ -147,6 +154,12 @@ int main() {
               supervisor.count(vmm::MemberState::kHealthy),
               supervisor.count(vmm::MemberState::kCompleted),
               supervisor.count(vmm::MemberState::kDegraded));
+
+  // Everything above also landed in the metric registry — export it as the
+  // same JSON document the benches write to BENCH_*.json artifacts.
+  cache.PublishMetrics(registry);
+  std::printf("\ntelemetry snapshot (JSON export):\n%s\n",
+              telemetry::ExportJson(registry).c_str());
 
   const bool ok = unsettled == 1 &&  // mysql degraded is the only unsettled member
                   supervisor.state("redis") == vmm::MemberState::kHealthy &&

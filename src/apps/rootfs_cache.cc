@@ -96,8 +96,28 @@ RootfsCache::Stats RootfsCache::stats() const {
   stats.evictions = evictions_;
   stats.bytes_evicted = bytes_evicted_;
   stats.bytes_stored = lru_.bytes();
+  for (const auto& [key, blob] : blobs_) {
+    if (blob.use_count() > 1) {
+      stats.bytes_pinned += blob->size();
+    }
+  }
   stats.entries = lru_.entries();
   return stats;
+}
+
+void RootfsCache::PublishMetrics(telemetry::MetricRegistry& registry) const {
+  const Stats s = stats();
+  auto set = [&registry](const char* name, uint64_t value) {
+    registry.GetGauge(name).Set(static_cast<int64_t>(value));
+  };
+  set("rootfscache.requests", s.requests);
+  set("rootfscache.builds", s.builds);
+  set("rootfscache.hits", s.hits);
+  set("rootfscache.evictions", s.evictions);
+  set("rootfscache.bytes_evicted", s.bytes_evicted);
+  set("rootfscache.bytes_stored", s.bytes_stored);
+  set("rootfscache.bytes_pinned", s.bytes_pinned);
+  set("rootfscache.entries", s.entries);
 }
 
 void RootfsCache::set_budget(CacheBudget budget) {

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/apps/rootfs_builder.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/lru.h"
 
 namespace lupine::apps {
@@ -47,9 +48,15 @@ class RootfsCache {
     size_t evictions = 0;
     Bytes bytes_evicted = 0;
     Bytes bytes_stored = 0;  // Live blob bytes.
+    // Blob bytes some caller still references — unevictable until released.
+    Bytes bytes_pinned = 0;
     size_t entries = 0;
   };
   Stats stats() const;
+
+  // Publishes the current Stats as absolute-valued `rootfscache.*` gauges.
+  // Call at a snapshot point; gauges overwrite, so this is idempotent.
+  void PublishMetrics(telemetry::MetricRegistry& registry) const;
 
   // Replaces the retention budget and immediately evicts down to it.
   void set_budget(CacheBudget budget);

@@ -16,6 +16,12 @@ struct ShardOutcome {
   size_t boots = 0;
   size_t failures = 0;
   Status status = Status::Ok();  // First artifact-build error, if any.
+  Bytes resident_peak = 0;       // Largest single-VM footprint in the shard.
+  Bytes resident_sum = 0;        // Sum of VM peak footprints.
+  size_t admitted = 0;
+  size_t degraded = 0;
+  size_t rejected = 0;
+  size_t queue_waits = 0;
 };
 
 // Boots (and optionally runs) one shard directly, VM by VM.
@@ -28,7 +34,24 @@ ShardOutcome RunShardDirect(KernelCache& cache, const std::vector<std::string>& 
       outcome.status = artifact.status();
       return outcome;
     }
-    auto vm = (*artifact)->Launch(options.memory);
+    // The grant is declared before the VM so the VM is destroyed first and
+    // the bytes return to the budget only once the guest is really gone.
+    vmm::Grant grant;
+    Bytes memory = options.memory;
+    if (options.admission != nullptr) {
+      grant = options.admission->Admit({app, options.memory, options.min_memory});
+      if (!grant.valid()) {
+        ++outcome.rejected;
+        ++outcome.failures;
+        continue;
+      }
+      grant.degraded() ? ++outcome.degraded : ++outcome.admitted;
+      if (grant.waited()) {
+        ++outcome.queue_waits;
+      }
+      memory = grant.granted();
+    }
+    auto vm = (*artifact)->Launch(memory);
     if (Status s = vm->Boot(); !s.ok()) {
       ++outcome.failures;
       continue;
@@ -42,6 +65,19 @@ ShardOutcome RunShardDirect(KernelCache& cache, const std::vector<std::string>& 
         ++outcome.failures;
       }
     }
+    const Bytes peak = vm->kernel().mm().peak();
+    outcome.resident_sum += peak;
+    outcome.resident_peak = std::max(outcome.resident_peak, peak);
+    if (options.metrics != nullptr) {
+      options.metrics->GetHistogram("boot.to_init_ns", {{"app", app}})
+          .Observe(static_cast<double>(vm->boot_report().to_init));
+      for (const telemetry::Span& span : vm->boot_spans().spans()) {
+        options.metrics->GetHistogram("boot.phase_ns", {{"phase", span.name}})
+            .Observe(static_cast<double>(span.duration()));
+      }
+      options.metrics->GetHistogram("vm.resident_peak_bytes")
+          .Observe(static_cast<double>(peak));
+    }
   }
   return outcome;
 }
@@ -51,6 +87,9 @@ ShardOutcome RunShardSupervised(KernelCache& cache, const std::vector<std::strin
                                 const FleetBootOptions& options) {
   ShardOutcome outcome;
   vmm::Supervisor supervisor;
+  supervisor.set_metrics(options.metrics);
+  std::vector<std::string> names;
+  names.reserve(shard.size());
   for (size_t i = 0; i < shard.size(); ++i) {
     auto artifact = cache.GetOrBuild(shard[i]);
     if (!artifact.ok()) {
@@ -63,12 +102,28 @@ ShardOutcome RunShardSupervised(KernelCache& cache, const std::vector<std::strin
                             : "";
     KernelCache::ArtifactPtr held = *artifact;
     Bytes memory = options.memory;
-    supervisor.AddMember(shard[i] + "#" + std::to_string(i),
-                         [held, memory] { return held->Launch(memory); }, ready);
+    names.push_back(shard[i] + "#" + std::to_string(i));
+    supervisor.AddMember(names.back(), [held, memory] { return held->Launch(memory); },
+                         ready);
   }
   outcome.failures = supervisor.Run();
   outcome.boots = shard.size() - outcome.failures;
   outcome.virtual_time = supervisor.clock().now();
+  // Healthy servers keep their VM alive — those footprints are genuinely
+  // concurrent residency on this worker.
+  for (const std::string& name : names) {
+    const vmm::Supervisor::MemberStats& stats = supervisor.stats(name);
+    if (stats.vm == nullptr) {
+      continue;
+    }
+    const Bytes peak = stats.vm->kernel().mm().peak();
+    outcome.resident_sum += peak;
+    outcome.resident_peak = std::max(outcome.resident_peak, peak);
+    if (options.metrics != nullptr) {
+      options.metrics->GetHistogram("vm.resident_peak_bytes")
+          .Observe(static_cast<double>(peak));
+    }
+  }
   return outcome;
 }
 
@@ -113,6 +168,18 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
     result.virtual_boot_total += outcome.virtual_time;
     result.virtual_makespan = std::max(result.virtual_makespan, outcome.virtual_time);
     result.worker_virtual.push_back(outcome.virtual_time);
+    result.worker_resident_peak.push_back(outcome.resident_peak);
+    result.fleet_resident_peak += outcome.resident_peak;
+    result.fleet_resident_sum += outcome.resident_sum;
+    result.admitted += outcome.admitted;
+    result.degraded += outcome.degraded;
+    result.rejected += outcome.rejected;
+    result.queue_waits += outcome.queue_waits;
+  }
+  if (options.admission != nullptr) {
+    // The controller saw every concurrent grant — its high-water mark beats
+    // the sum-of-worker-peaks approximation.
+    result.fleet_resident_peak = options.admission->stats().peak_committed;
   }
   result.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - wall_start)
@@ -120,6 +187,20 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
   if (result.virtual_makespan > 0) {
     result.boots_per_virtual_sec = static_cast<double>(result.boots) /
                                    (static_cast<double>(result.virtual_makespan) / 1e9);
+  }
+  if (options.metrics != nullptr) {
+    for (size_t w = 0; w < result.worker_resident_peak.size(); ++w) {
+      options.metrics
+          ->GetGauge("fleet.worker_resident_peak_bytes", {{"worker", std::to_string(w)}})
+          .Set(static_cast<int64_t>(result.worker_resident_peak[w]));
+    }
+    options.metrics->GetGauge("fleet.resident_peak_bytes")
+        .Set(static_cast<int64_t>(result.fleet_resident_peak));
+    options.metrics->GetGauge("fleet.resident_sum_bytes")
+        .Set(static_cast<int64_t>(result.fleet_resident_sum));
+    options.metrics->GetGauge("fleet.boots").Set(static_cast<int64_t>(result.boots));
+    options.metrics->GetGauge("fleet.failures").Set(static_cast<int64_t>(result.failures));
+    cache.PublishMetrics(*options.metrics);
   }
   return result;
 }

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "src/core/multik.h"
+#include "src/telemetry/metrics.h"
+#include "src/vmm/admission.h"
 
 namespace lupine::core {
 
@@ -31,6 +33,20 @@ struct FleetBootOptions {
   // Drive each worker's shard through its own vmm::Supervisor instead of
   // booting VMs directly (demonstrates pool-thread confinement).
   bool supervised = false;
+  // Optional, non-owning metric sink: per-boot `boot.to_init_ns{app}` /
+  // `boot.phase_ns{phase}` / `vm.resident_peak_bytes` histograms, per-worker
+  // `fleet.worker_resident_peak_bytes{worker}` gauges, fleet rollup gauges,
+  // and — at the end of the run — the cache's PublishMetrics snapshot. Must
+  // outlive the call; shared safely by all workers.
+  telemetry::MetricRegistry* metrics = nullptr;
+  // Optional, non-owning admission controller: every direct-mode launch
+  // holds a Grant for the VM's lifetime, so the whole fleet stays under the
+  // controller's host budget (rejected launches count as failures).
+  // Supervised shards ignore it: a supervisor restarts members on its own
+  // schedule, so its memory is accounted at member granularity elsewhere.
+  vmm::FleetAdmissionController* admission = nullptr;
+  // Smallest RAM a degraded launch may be granted (0 = not degradable).
+  Bytes min_memory = 0;
 };
 
 struct FleetBootResult {
@@ -41,6 +57,21 @@ struct FleetBootResult {
   double boots_per_virtual_sec = 0.0;   // boots / virtual_makespan.
   double wall_ms = 0.0;                 // Host wall clock, informational.
   std::vector<Nanos> worker_virtual;    // Per-worker shard virtual time.
+
+  // Memory rollups (Fig. 8 footprints, fleet-scale). A worker boots its
+  // shard serially, so its concurrent residency is one VM: the per-worker
+  // peak is its largest single-VM footprint.
+  std::vector<Bytes> worker_resident_peak;  // Max VM peak per worker.
+  Bytes fleet_resident_peak = 0;  // Sum of worker peaks (W VMs live at once);
+                                  // with admission: the controller's
+                                  // peak-committed bytes (true high water).
+  Bytes fleet_resident_sum = 0;   // Sum of every VM's peak footprint.
+
+  // Admission outcomes (all zero without a controller).
+  size_t admitted = 0;   // Full-memory grants.
+  size_t degraded = 0;   // min_memory grants.
+  size_t rejected = 0;   // Never admitted; counted as failures too.
+  size_t queue_waits = 0;  // Grants that blocked before being issued.
 };
 
 // Boots `rounds` x `apps` VMs from `cache` artifacts on `workers` pool

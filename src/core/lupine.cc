@@ -23,7 +23,13 @@ std::unique_ptr<vmm::Vm> Unikernel::Launch(Bytes memory, FaultInjector* faults) 
 LupineBuilder::LupineBuilder() { apps::RegisterBuiltinApps(); }
 
 Result<kconfig::Config> LupineBuilder::SpecializeConfig(const apps::AppManifest& manifest,
-                                                        const BuildOptions& options) const {
+                                                        const BuildOptions& options,
+                                                        telemetry::SpanTrace* spans) const {
+  // Host-wall timing: `resolve` covers the dependency-resolution loops,
+  // `specialize` everything else (preset load, -tiny, PANIC_TIMEOUT, KML).
+  telemetry::HostStopwatch total;
+  Nanos resolve_ns = 0;
+
   // 1. Specialize the kernel configuration (Section 3.1).
   kconfig::Config config;
   if (options.general_config) {
@@ -32,6 +38,7 @@ Result<kconfig::Config> LupineBuilder::SpecializeConfig(const apps::AppManifest&
     config = kconfig::LupineBase();
     config.set_name("lupine-" + manifest.name);
     kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
+    telemetry::HostStopwatch resolve;
     for (const auto& option : manifest.required_options) {
       auto enabled = resolver.Enable(config, option);
       if (!enabled.ok()) {
@@ -39,14 +46,19 @@ Result<kconfig::Config> LupineBuilder::SpecializeConfig(const apps::AppManifest&
                       "manifest option " + option + ": " + enabled.status().message());
       }
     }
+    resolve_ns += resolve.ElapsedNanos();
   }
   kconfig::Resolver resolver(kconfig::OptionDb::Linux40());
-  for (const auto& option : options.extra_options) {
-    auto enabled = resolver.Enable(config, option);
-    if (!enabled.ok()) {
-      return Status(enabled.status().err(),
-                    "extra option " + option + ": " + enabled.status().message());
+  {
+    telemetry::HostStopwatch resolve;
+    for (const auto& option : options.extra_options) {
+      auto enabled = resolver.Enable(config, option);
+      if (!enabled.ok()) {
+        return Status(enabled.status().err(),
+                      "extra option " + option + ": " + enabled.status().message());
+      }
     }
+    resolve_ns += resolve.ElapsedNanos();
   }
   if (options.tiny) {
     kconfig::ApplyTiny(config);
@@ -57,6 +69,11 @@ Result<kconfig::Config> LupineBuilder::SpecializeConfig(const apps::AppManifest&
     if (Status s = kconfig::ApplyKml(config); !s.ok()) {
       return s;
     }
+  }
+  if (spans != nullptr) {
+    const Nanos elapsed = total.ElapsedNanos();
+    spans->AddPhase("specialize", elapsed > resolve_ns ? elapsed - resolve_ns : 0);
+    spans->AddPhase("resolve", resolve_ns);
   }
   return config;
 }

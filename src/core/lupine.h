@@ -14,6 +14,7 @@
 #include "src/apps/container.h"
 #include "src/apps/manifest.h"
 #include "src/kbuild/image.h"
+#include "src/telemetry/span.h"
 #include "src/vmm/vm.h"
 
 namespace lupine::core {
@@ -58,8 +59,12 @@ class LupineBuilder {
   // PANIC_TIMEOUT / KML applied). Exposed separately so callers like
   // KernelCache can fingerprint the configuration *before* committing to a
   // kernel build and deduplicate identical builds across concurrent requests.
+  // When `spans` is non-null, two host-wall-clock spans land on it at its
+  // cursor: `specialize` (preset + tiny/KML application) and `resolve`
+  // (dependency resolution of manifest + extra options).
   Result<kconfig::Config> SpecializeConfig(const apps::AppManifest& manifest,
-                                           const BuildOptions& options = {}) const;
+                                           const BuildOptions& options = {},
+                                           telemetry::SpanTrace* spans = nullptr) const;
 
   // Builds from an explicit manifest + container image.
   Result<Unikernel> Build(const apps::AppManifest& manifest, const apps::ContainerImage& image,

@@ -69,6 +69,9 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
                                                               const BuildOptions& options) {
   std::unique_lock lock(mu_);
   ++requests_;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("kernelcache.requests").Increment();
+  }
 
   // Fast path / single-flight entry: either the artifact exists, another
   // thread is building it (wait), or we claim the flight.
@@ -77,6 +80,9 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
     auto cached = apps_.find(key);
     if (cached != apps_.end()) {
       artifact_lru_.Touch(key);
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("kernelcache.app_hits").Increment();
+      }
       return cached->second;
     }
     auto flying = app_flights_.find(key);
@@ -89,6 +95,9 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
     cv_.wait(lock, [&] { return flight->done; });
     if (!flight->status.ok()) {
       return flight->status;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("kernelcache.app_hits").Increment();
     }
     return flight->artifact;
   }
@@ -104,17 +113,29 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
   };
 
   lock.unlock();
+  // This flight's host-wall provisioning timeline: specialize/resolve from
+  // SpecializeConfig, `build` only when this flight really built the kernel,
+  // `load-rootfs` below. Rides on the artifact for bench exemplars.
+  auto provisioning = std::make_shared<telemetry::SpanTrace>();
   const apps::AppManifest* manifest = apps::FindManifest(app);
   if (manifest == nullptr) {
     lock.lock();
     return fail(Status(Err::kNoEnt, "no manifest for application " + app));
   }
-  auto specialized = builder_.SpecializeConfig(*manifest, options);
+  auto specialized = builder_.SpecializeConfig(*manifest, options, provisioning.get());
   if (!specialized.ok()) {
     lock.lock();
     return fail(specialized.status());
   }
   kconfig::Config config = specialized.take();
+  if (metrics_ != nullptr) {
+    for (const char* stage : {"specialize", "resolve"}) {
+      if (const telemetry::Span* span = provisioning->Find(stage)) {
+        metrics_->GetHistogram("build.stage_ns", {{"stage", stage}})
+            .Observe(static_cast<double>(span->duration()));
+      }
+    }
+  }
 
   // Cross-build batching: prove the per-app configuration is a subset of
   // lupine-general and, if so, build/serve the shared general kernel
@@ -158,8 +179,10 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
     auto kernel_flight = std::make_shared<KernelFlight>();
     kernel_flights_.emplace(fingerprint, kernel_flight);
     lock.unlock();
+    telemetry::HostStopwatch build_watch;
     kbuild::ImageBuilder image_builder;
     auto built = image_builder.Build(config);
+    const Nanos build_ns = build_watch.ElapsedNanos();
     lock.lock();
     kernel_flight->done = true;
     if (!built.ok()) {
@@ -169,6 +192,12 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
       return fail(built.status());
     }
     ++builds_;
+    provisioning->AddPhase("build", build_ns);
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("kernelcache.builds").Increment();
+      metrics_->GetHistogram("build.stage_ns", {{"stage", "build"}})
+          .Observe(static_cast<double>(build_ns));
+    }
     KernelEntry entry;
     entry.image = std::make_shared<const kbuild::KernelImage>(built.take());
     // The boot plan is the point of the per-image precompute: derived once
@@ -193,9 +222,17 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
   auto artifact = std::make_shared<AppArtifact>();
   artifact->kernel = kernel.image;
   artifact->boot_plan = kernel.boot_plan;
+  telemetry::HostStopwatch rootfs_watch;
   artifact->rootfs = rootfs_cache_.GetOrBuild(image, rootfs_options);
+  const Nanos rootfs_ns = rootfs_watch.ElapsedNanos();
+  provisioning->AddPhase("load-rootfs", rootfs_ns);
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("build.stage_ns", {{"stage", "load-rootfs"}})
+        .Observe(static_cast<double>(rootfs_ns));
+  }
   artifact->init_script = apps::GenerateInitScript(image);
   artifact->general_kernel = general_kernel;
+  artifact->provisioning = std::move(provisioning);
   ArtifactPtr result = std::move(artifact);
 
   lock.lock();
@@ -250,12 +287,40 @@ KernelCache::Stats KernelCache::stats() const {
   }
   for (const auto& [fingerprint, entry] : kernels_) {
     stats.bytes_stored += entry.image->size;
+    // Pinned = some caller still holds the image (the store's own reference
+    // is the +1); eviction cannot reclaim these bytes.
+    if (entry.image.use_count() > 1) {
+      stats.kernel_bytes_pinned += entry.image->size;
+    }
+  }
+  for (const auto& [key, artifact] : apps_) {
+    if (artifact.use_count() > 1) {
+      stats.artifact_bytes_pinned += artifact->rootfs->size() + artifact->init_script.size();
+    }
   }
   stats.general_served = general_served_;
   stats.artifact_evictions = artifact_evictions_;
   stats.kernel_evictions = kernel_evictions_;
   stats.bytes_evicted = bytes_evicted_;
   return stats;
+}
+
+void KernelCache::PublishMetrics(telemetry::MetricRegistry& registry) const {
+  const Stats s = stats();
+  auto set = [&registry](const char* name, uint64_t value, telemetry::Labels labels = {}) {
+    registry.GetGauge(name, std::move(labels)).Set(static_cast<int64_t>(value));
+  };
+  set("kernelcache.apps", s.apps);
+  set("kernelcache.distinct_kernels", s.distinct_kernels);
+  set("kernelcache.bytes_stored", s.bytes_stored);
+  set("kernelcache.bytes_saved", s.bytes_saved());
+  set("kernelcache.general_served", s.general_served);
+  set("kernelcache.bytes_evicted", s.bytes_evicted);
+  set("kernelcache.evictions", s.artifact_evictions, {{"tier", "artifact"}});
+  set("kernelcache.evictions", s.kernel_evictions, {{"tier", "kernel"}});
+  set("kernelcache.bytes_pinned", s.artifact_bytes_pinned, {{"tier", "artifact"}});
+  set("kernelcache.bytes_pinned", s.kernel_bytes_pinned, {{"tier", "kernel"}});
+  rootfs_cache_.PublishMetrics(registry);
 }
 
 }  // namespace lupine::core

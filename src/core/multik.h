@@ -40,6 +40,8 @@
 
 #include "src/apps/rootfs_cache.h"
 #include "src/core/lupine.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/span.h"
 #include "src/util/lru.h"
 
 namespace lupine::core {
@@ -64,6 +66,11 @@ class KernelCache {
     // The batching mode substituted the shared lupine-general kernel after
     // proving this app's config is a subset of it.
     bool general_kernel = false;
+    // Host-wall provisioning timeline of the flight that built this
+    // artifact: specialize -> resolve -> build (when this flight built the
+    // kernel) -> load-rootfs. Shared by every holder; null for artifacts
+    // served from the store (their provisioning already happened).
+    std::shared_ptr<const telemetry::SpanTrace> provisioning;
 
     std::unique_ptr<vmm::Vm> Launch(Bytes memory = 512 * kMiB,
                                     FaultInjector* faults = nullptr) const;
@@ -88,9 +95,25 @@ class KernelCache {
     size_t artifact_evictions = 0;
     size_t kernel_evictions = 0;
     Bytes bytes_evicted = 0;      // Kernel image bytes dropped by eviction.
+    // Bytes the cache cannot evict because callers still hold references.
+    Bytes kernel_bytes_pinned = 0;
+    Bytes artifact_bytes_pinned = 0;
     Bytes bytes_saved() const { return bytes_if_unshared - bytes_stored; }
   };
   Stats stats() const;
+
+  // Optional, non-owning metric sink for live counters and stage timings:
+  // `kernelcache.requests` / `kernelcache.app_hits` / `kernelcache.builds`
+  // counters and `build.stage_ns{stage}` histograms (specialize, resolve,
+  // build, load-rootfs — host wall clock). Set before the first GetOrBuild;
+  // the registry must outlive the cache.
+  void set_metrics(telemetry::MetricRegistry* metrics) { metrics_ = metrics; }
+
+  // Publishes the current Stats (and the rootfs cache's) as absolute-valued
+  // gauges: `kernelcache.*` with eviction/pinned bytes split by
+  // `{tier=artifact|kernel}`, plus `rootfscache.*`. Call at a snapshot point
+  // (end of a fleet run) — gauges overwrite, so this is idempotent.
+  void PublishMetrics(telemetry::MetricRegistry& registry) const;
 
   // The rootfs-side cache (content-addressed blobs, own LRU budget).
   apps::RootfsCache& rootfs_cache() { return rootfs_cache_; }
@@ -135,6 +158,7 @@ class KernelCache {
   BuildOptions options_;
   LupineBuilder builder_;
   apps::RootfsCache rootfs_cache_;
+  telemetry::MetricRegistry* metrics_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

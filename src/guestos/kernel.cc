@@ -101,6 +101,9 @@ Kernel::~Kernel() = default;
 void Kernel::Phase(const char* name, Nanos duration) {
   clock_.Advance(duration);
   boot_trace_.phases.push_back({name, duration});
+  if (boot_spans_ != nullptr) {
+    boot_spans_->Record(name, clock_.now() - duration, clock_.now());
+  }
 }
 
 Status Kernel::Boot(const std::string& rootfs_blob, const BootPlan* plan_in) {

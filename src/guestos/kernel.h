@@ -19,6 +19,7 @@
 #include "src/guestos/trace.h"
 #include "src/guestos/vfs.h"
 #include "src/kbuild/image.h"
+#include "src/telemetry/span.h"
 #include "src/util/fault.h"
 #include "src/util/result.h"
 #include "src/util/vclock.h"
@@ -102,6 +103,12 @@ class Kernel {
   const AppRegistry& apps() const { return *registry_; }
   const BootTrace& boot_trace() const { return boot_trace_; }
 
+  // Non-owning span sink: every boot phase is also recorded as a span on the
+  // kernel's virtual timeline (start anchored at the clock, so monitor time
+  // the VMM charged before Boot offsets the guest phases correctly). The VMM
+  // installs its Vm-owned trace here for the duration of Boot/StartInit.
+  void set_boot_spans(telemetry::SpanTrace* spans) { boot_spans_ = spans; }
+
   // --- Process management (used by the syscall layer) ---------------------------
   Process* CreateProcess(int ppid, std::shared_ptr<AddressSpace> aspace, std::string name);
   Process* FindProcess(int pid) const;
@@ -165,6 +172,7 @@ class Kernel {
   bool reboot_on_panic_ = false;
   std::string panic_reason_;
   BootTrace boot_trace_;
+  telemetry::SpanTrace* boot_spans_ = nullptr;
 };
 
 }  // namespace lupine::guestos

@@ -7,14 +7,20 @@
 // granularity (socket address families, mounted filesystem types,
 // /proc/sys accesses). src/core/manifest_gen.* turns a trace into a kernel
 // configuration.
+//
+// Every buffer is bounded: a supervised server traced for a long run would
+// otherwise grow guest memory without limit. Beyond `capacity` events per
+// buffer the oldest are dropped (drop-oldest keeps the recent window, which
+// is what incident forensics wants) and the drop is counted, so consumers
+// can tell a complete trace from a windowed one.
 #ifndef SRC_GUESTOS_TRACE_H_
 #define SRC_GUESTOS_TRACE_H_
 
 #include <cstddef>
+#include <deque>
 #include <set>
 #include <string>
 #include <utility>
-#include <vector>
 
 #include "src/kbuild/syscalls.h"
 #include "src/util/units.h"
@@ -46,43 +52,89 @@ struct PanicEvent {
 
 class TraceLog {
  public:
+  // Default per-buffer cap: generous for manifest generation (a traced app
+  // boot issues a few thousand syscalls) while bounding supervised runs.
+  static constexpr size_t kDefaultCapacity = 65536;
+
   bool enabled() const { return enabled_; }
   void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // Per-buffer event cap; 0 = unbounded. Shrinking trims oldest immediately
+  // (trimmed events count as dropped).
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity) {
+    capacity_ = capacity;
+    dropped_syscalls_ += Trim(syscalls_);
+    dropped_features_ += Trim(features_);
+    dropped_panics_ += Trim(panics_);
+  }
 
   void RecordSyscall(int pid, kbuild::Sys nr) {
     if (enabled_) {
       syscalls_.push_back({pid, nr});
       distinct_syscalls_.insert(static_cast<int>(nr));
+      dropped_syscalls_ += Trim(syscalls_);
     }
   }
   void RecordFeature(int pid, TraceFeature feature) {
     if (enabled_) {
       features_.emplace_back(pid, feature);
+      dropped_features_ += Trim(features_);
     }
   }
 
   void RecordPanic(Nanos at, std::string reason) {
     panics_.push_back({at, std::move(reason)});
+    dropped_panics_ += Trim(panics_);
   }
 
-  const std::vector<SyscallTraceEvent>& syscalls() const { return syscalls_; }
-  const std::vector<std::pair<int, TraceFeature>>& features() const { return features_; }
-  const std::vector<PanicEvent>& panics() const { return panics_; }
+  const std::deque<SyscallTraceEvent>& syscalls() const { return syscalls_; }
+  const std::deque<std::pair<int, TraceFeature>>& features() const { return features_; }
+  const std::deque<PanicEvent>& panics() const { return panics_; }
+  // Distinct syscall numbers ever seen — a set over values, not a buffer, so
+  // drops never lose a number (manifest generation stays exact).
   size_t distinct_syscall_count() const { return distinct_syscalls_.size(); }
+
+  // Events discarded by the cap, per buffer, since the last Clear().
+  size_t dropped_syscalls() const { return dropped_syscalls_; }
+  size_t dropped_features() const { return dropped_features_; }
+  size_t dropped_panics() const { return dropped_panics_; }
+  size_t dropped_total() const {
+    return dropped_syscalls_ + dropped_features_ + dropped_panics_;
+  }
 
   void Clear() {
     syscalls_.clear();
     features_.clear();
     distinct_syscalls_.clear();
     panics_.clear();
+    dropped_syscalls_ = 0;
+    dropped_features_ = 0;
+    dropped_panics_ = 0;
   }
 
  private:
+  template <typename Buffer>
+  size_t Trim(Buffer& buffer) {
+    size_t dropped = 0;
+    if (capacity_ != 0) {
+      while (buffer.size() > capacity_) {
+        buffer.pop_front();
+        ++dropped;
+      }
+    }
+    return dropped;
+  }
+
   bool enabled_ = false;
-  std::vector<SyscallTraceEvent> syscalls_;
-  std::vector<std::pair<int, TraceFeature>> features_;
-  std::vector<PanicEvent> panics_;
+  size_t capacity_ = kDefaultCapacity;
+  std::deque<SyscallTraceEvent> syscalls_;
+  std::deque<std::pair<int, TraceFeature>> features_;
+  std::deque<PanicEvent> panics_;
   std::set<int> distinct_syscalls_;
+  size_t dropped_syscalls_ = 0;
+  size_t dropped_features_ = 0;
+  size_t dropped_panics_ = 0;
 };
 
 }  // namespace lupine::guestos

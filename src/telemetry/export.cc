@@ -1,0 +1,134 @@
+#include "src/telemetry/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace lupine::telemetry {
+namespace {
+
+// %.17g keeps doubles round-trippable; trailing ".0" is not required by JSON.
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string LabelsJson(const Labels& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += '"' + JsonEscape(labels[i].first) + "\": \"" + JsonEscape(labels[i].second) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricRegistry::Snapshot& snapshot, const std::string& indent) {
+  std::string out = "{\n";
+  const std::string i1 = indent + "  ";
+  const std::string i2 = indent + "    ";
+
+  out += i1 + "\"counters\": [";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    out += (i == 0 ? "\n" : ",\n") + i2 + "{\"name\": \"" + JsonEscape(c.name) +
+           "\", \"labels\": " + LabelsJson(c.labels) +
+           ", \"value\": " + std::to_string(c.value) + "}";
+  }
+  out += snapshot.counters.empty() ? "],\n" : "\n" + i1 + "],\n";
+
+  out += i1 + "\"gauges\": [";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    out += (i == 0 ? "\n" : ",\n") + i2 + "{\"name\": \"" + JsonEscape(g.name) +
+           "\", \"labels\": " + LabelsJson(g.labels) +
+           ", \"value\": " + std::to_string(g.value) + "}";
+  }
+  out += snapshot.gauges.empty() ? "],\n" : "\n" + i1 + "],\n";
+
+  out += i1 + "\"histograms\": [";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    const auto& s = h.summary;
+    out += (i == 0 ? "\n" : ",\n") + i2 + "{\"name\": \"" + JsonEscape(h.name) +
+           "\", \"labels\": " + LabelsJson(h.labels) +
+           ", \"count\": " + std::to_string(s.count) + ", \"min\": " + Num(s.min) +
+           ", \"mean\": " + Num(s.mean) + ", \"max\": " + Num(s.max) +
+           ", \"p50\": " + Num(s.p50) + ", \"p95\": " + Num(s.p95) +
+           ", \"p99\": " + Num(s.p99) + "}";
+  }
+  out += snapshot.histograms.empty() ? "]\n" : "\n" + i1 + "]\n";
+
+  out += indent + "}";
+  return out;
+}
+
+std::string ToJson(const SpanTrace& trace, const std::string& indent) {
+  std::string out = "[";
+  const std::string i1 = indent + "  ";
+  for (size_t i = 0; i < trace.spans().size(); ++i) {
+    const Span& span = trace.spans()[i];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"start_ns\": %" PRId64 ", \"end_ns\": %" PRId64
+                  ", \"duration_ns\": %" PRId64 "}",
+                  JsonEscape(span.name).c_str(), span.start, span.end, span.duration());
+    out += (i == 0 ? "\n" : ",\n") + i1 + buf;
+  }
+  out += trace.spans().empty() ? "]" : "\n" + indent + "]";
+  return out;
+}
+
+std::string ExportJson(const MetricRegistry& registry) { return ToJson(registry.Collect()); }
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status(Err::kIo, "cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != contents.size() || close_err != 0) {
+    return Status(Err::kIo, "short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace lupine::telemetry

@@ -1,0 +1,47 @@
+// JSON export of telemetry snapshots.
+//
+// The exported shape is what benches snapshot into BENCH_*.json artifacts
+// and what CI dashboards diff between runs:
+//
+//   {
+//     "counters":   [{"name": ..., "labels": {...}, "value": N}, ...],
+//     "gauges":     [{"name": ..., "labels": {...}, "value": N}, ...],
+//     "histograms": [{"name": ..., "labels": {...}, "count": N, "min": ...,
+//                     "mean": ..., "max": ..., "p50": ..., "p95": ...,
+//                     "p99": ...}, ...]
+//   }
+//
+// Snapshots are collected in stable (name, labels) order, so two identical
+// runs export byte-identical documents. Spans render as an array of
+// {"name", "start_ns", "end_ns", "duration_ns"} objects.
+#ifndef SRC_TELEMETRY_EXPORT_H_
+#define SRC_TELEMETRY_EXPORT_H_
+
+#include <string>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/span.h"
+#include "src/util/result.h"
+
+namespace lupine::telemetry {
+
+// Escapes a string for embedding in a JSON document (quotes not included).
+std::string JsonEscape(const std::string& s);
+
+// The snapshot document above. `indent` prefixes every line (for embedding
+// the document inside a larger hand-written one).
+std::string ToJson(const MetricRegistry::Snapshot& snapshot, const std::string& indent = "");
+
+// A span array: [{"name": ..., "start_ns": ..., "end_ns": ...,
+// "duration_ns": ...}, ...].
+std::string ToJson(const SpanTrace& trace, const std::string& indent = "");
+
+// Convenience: collect + render a whole registry.
+std::string ExportJson(const MetricRegistry& registry);
+
+// Writes `contents` to `path` (the bench-artifact helper).
+Status WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace lupine::telemetry
+
+#endif  // SRC_TELEMETRY_EXPORT_H_

@@ -56,4 +56,32 @@ double Stddev(const std::vector<double>& samples) {
   return acc.Stddev();
 }
 
+StreamingPercentiles::StreamingPercentiles(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  samples_.reserve(capacity_);
+}
+
+void StreamingPercentiles::Add(double x) {
+  ++count_;
+  if (++phase_ < stride_) {
+    return;  // Decimated away.
+  }
+  phase_ = 0;
+  if (samples_.size() == capacity_) {
+    // Halve: keep every other retained sample (arrival order preserved) and
+    // double the stride so future arrivals are sampled at the new rate.
+    size_t kept = 0;
+    for (size_t i = 1; i < samples_.size(); i += 2) {
+      samples_[kept++] = samples_[i];
+    }
+    samples_.resize(kept);
+    stride_ *= 2;
+  }
+  samples_.push_back(x);
+}
+
+double StreamingPercentiles::Quantile(double p) const {
+  return Percentile(samples_, p);
+}
+
 }  // namespace lupine

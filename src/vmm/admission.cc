@@ -1,0 +1,179 @@
+#include "src/vmm/admission.h"
+
+#include <utility>
+
+namespace lupine::vmm {
+
+Grant& Grant::operator=(Grant&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = std::exchange(other.controller_, nullptr);
+    granted_ = std::exchange(other.granted_, Bytes{0});
+    degraded_ = std::exchange(other.degraded_, false);
+    waited_ = std::exchange(other.waited_, false);
+  }
+  return *this;
+}
+
+void Grant::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseBytes(granted_);
+    controller_ = nullptr;
+    granted_ = 0;
+  }
+}
+
+FleetAdmissionController::FleetAdmissionController(AdmissionPolicy policy)
+    : policy_(policy) {}
+
+const char* FleetAdmissionController::VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kAdmit:
+      return "admit";
+    case Verdict::kDegrade:
+      return "degrade";
+    case Verdict::kQueue:
+      return "queue";
+    case Verdict::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+FleetAdmissionController::Verdict FleetAdmissionController::Classify(
+    const AdmissionRequest& request, Bytes committed, size_t waiting) const {
+  if (policy_.host_budget == 0) {
+    return Verdict::kAdmit;
+  }
+  const bool can_full = request.memory <= policy_.host_budget;
+  const bool can_min =
+      request.min_memory > 0 && request.min_memory <= policy_.host_budget;
+  if (!can_full && !can_min) {
+    return Verdict::kReject;  // Never fits, even on an idle host.
+  }
+  if (waiting == 0) {
+    if (can_full && committed + request.memory <= policy_.host_budget) {
+      return Verdict::kAdmit;
+    }
+    if (can_min && committed + request.min_memory <= policy_.host_budget) {
+      return Verdict::kDegrade;
+    }
+  }
+  if (policy_.max_waiters > 0 && waiting >= policy_.max_waiters) {
+    return Verdict::kReject;
+  }
+  return Verdict::kQueue;
+}
+
+FleetAdmissionController::Verdict FleetAdmissionController::Probe(
+    const AdmissionRequest& request) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Classify(request, committed_, tickets_.size());
+}
+
+Grant FleetAdmissionController::Admit(const AdmissionRequest& request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.requests;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("admission.requests").Increment();
+  }
+
+  const Bytes budget = policy_.host_budget;
+  const bool unlimited = budget == 0;
+  const bool can_full = unlimited || request.memory <= budget;
+  const bool can_min = !unlimited && request.min_memory > 0 &&
+                       request.min_memory <= budget;
+
+  auto fits_now = [&]() {
+    return (can_full && (unlimited || committed_ + request.memory <= budget)) ||
+           (can_min && committed_ + request.min_memory <= budget);
+  };
+  auto grant_locked = [&](bool waited) {
+    Bytes granted = request.memory;
+    bool degraded = false;
+    if (!unlimited && !(can_full && committed_ + request.memory <= budget)) {
+      granted = request.min_memory;
+      degraded = true;
+    }
+    committed_ += granted;
+    ++stats_.active;
+    stats_.committed = committed_;
+    if (committed_ > stats_.peak_committed) {
+      stats_.peak_committed = committed_;
+    }
+    if (degraded) {
+      ++stats_.degraded;
+    } else {
+      ++stats_.admitted;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter(degraded ? "admission.degraded" : "admission.admitted")
+          .Increment();
+    }
+    PublishGauges();
+    return Grant(this, granted, degraded, waited);
+  };
+  auto reject_locked = [&]() {
+    ++stats_.rejected;
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("admission.rejected").Increment();
+    }
+    return Grant();
+  };
+
+  if (!can_full && !can_min) {
+    return reject_locked();
+  }
+  if (tickets_.empty() && fits_now()) {
+    return grant_locked(/*waited=*/false);
+  }
+  if (policy_.max_waiters > 0 && tickets_.size() >= policy_.max_waiters) {
+    return reject_locked();
+  }
+
+  // Queue FIFO: wait until this ticket reaches the head AND the budget has
+  // room (full or degraded). Head-of-line blocking is deliberate — a large
+  // request is not starved by small ones slipping past it.
+  const uint64_t ticket = next_ticket_++;
+  tickets_.push_back(ticket);
+  ++stats_.queued;
+  stats_.waiting = tickets_.size();
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("admission.queued").Increment();
+  }
+  cv_.wait(lock, [&]() { return tickets_.front() == ticket && fits_now(); });
+  tickets_.pop_front();
+  stats_.waiting = tickets_.size();
+  Grant grant = grant_locked(/*waited=*/true);
+  // The next waiter may also fit in what is left — wake the line.
+  cv_.notify_all();
+  return grant;
+}
+
+void FleetAdmissionController::ReleaseBytes(Bytes bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    committed_ -= bytes;
+    --stats_.active;
+    stats_.committed = committed_;
+    PublishGauges();
+  }
+  cv_.notify_all();
+}
+
+void FleetAdmissionController::PublishGauges() {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  metrics_->GetGauge("admission.committed_bytes")
+      .Set(static_cast<int64_t>(committed_));
+  metrics_->GetGauge("admission.peak_committed_bytes")
+      .Set(static_cast<int64_t>(stats_.peak_committed));
+}
+
+FleetAdmissionController::Stats FleetAdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lupine::vmm

@@ -1,0 +1,148 @@
+// FleetAdmissionController: gate VM launches on a host memory budget.
+//
+// The paper's Fig. 8 measures per-unikernel memory footprints; a fleet host
+// multiplies that by hundreds of VMs and dies of overcommit unless launches
+// are gated. This controller tracks bytes committed to running VMs against a
+// configurable budget and gives each launch one of four verdicts:
+//
+//   admit   — the full reservation fits; launch now.
+//   degrade — the full reservation does not fit, but the caller declared a
+//             smaller `min_memory` it can boot with; grant that instead
+//             (graceful degradation: a smaller-heap VM beats a queued VM).
+//   queue   — nothing fits right now; block FIFO until running VMs exit and
+//             release their grants.
+//   reject  — the request can never fit (even min_memory exceeds the whole
+//             budget), or the wait queue is at max_waiters; fail fast.
+//
+// Grants are RAII: destroying (or Release()-ing) a Grant returns its bytes
+// to the budget and wakes queued waiters in arrival order. The controller is
+// thread-safe — fleet-boot workers on a ThreadPool call Admit() concurrently.
+#ifndef SRC_VMM_ADMISSION_H_
+#define SRC_VMM_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "src/telemetry/metrics.h"
+#include "src/util/units.h"
+
+namespace lupine::vmm {
+
+struct AdmissionPolicy {
+  // Host memory available for guest RAM. 0 = unlimited (every request is
+  // admitted in full immediately; useful as the no-op default).
+  Bytes host_budget = 0;
+  // Maximum number of launches allowed to block in the queue; one more is
+  // rejected. 0 = unbounded queue.
+  size_t max_waiters = 0;
+};
+
+struct AdmissionRequest {
+  std::string vm;        // For operator-facing accounting only.
+  Bytes memory = 0;      // Full reservation (the VM's --mem-size).
+  // Smallest RAM the VM can boot with (Fig. 8 floor). 0 = not degradable:
+  // the VM gets its full reservation or waits for it.
+  Bytes min_memory = 0;
+};
+
+class FleetAdmissionController;
+
+// A committed slice of the host budget. Move-only; returns its bytes on
+// destruction or Release(). An invalid grant (valid() == false) means the
+// request was rejected and no memory is held.
+class Grant {
+ public:
+  Grant() = default;
+  Grant(Grant&& other) noexcept { *this = std::move(other); }
+  Grant& operator=(Grant&& other) noexcept;
+  Grant(const Grant&) = delete;
+  Grant& operator=(const Grant&) = delete;
+  ~Grant() { Release(); }
+
+  bool valid() const { return controller_ != nullptr; }
+  // Bytes actually committed: the full reservation, or min_memory when the
+  // launch was degraded. 0 for a rejected request.
+  Bytes granted() const { return granted_; }
+  bool degraded() const { return degraded_; }
+  // The request blocked in the queue before being granted.
+  bool waited() const { return waited_; }
+
+  // Returns the bytes to the budget and wakes waiters. Idempotent.
+  void Release();
+
+ private:
+  friend class FleetAdmissionController;
+  Grant(FleetAdmissionController* controller, Bytes granted, bool degraded, bool waited)
+      : controller_(controller), granted_(granted), degraded_(degraded), waited_(waited) {}
+
+  FleetAdmissionController* controller_ = nullptr;
+  Bytes granted_ = 0;
+  bool degraded_ = false;
+  bool waited_ = false;
+};
+
+class FleetAdmissionController {
+ public:
+  explicit FleetAdmissionController(AdmissionPolicy policy = {});
+  FleetAdmissionController(const FleetAdmissionController&) = delete;
+  FleetAdmissionController& operator=(const FleetAdmissionController&) = delete;
+
+  enum class Verdict { kAdmit, kDegrade, kQueue, kReject };
+  static const char* VerdictName(Verdict verdict);
+
+  // What Admit() would do right now, without committing anything. Racy by
+  // nature under concurrency — advisory only.
+  Verdict Probe(const AdmissionRequest& request) const;
+
+  // Blocks (FIFO) until the request can be satisfied, then commits the bytes
+  // and returns the grant. Returns an invalid grant when the request is
+  // rejected (can never fit, or the queue is full).
+  Grant Admit(const AdmissionRequest& request);
+
+  // Optional, non-owning metric sink: admission outcome counters plus
+  // `admission.committed_bytes` / `admission.peak_committed_bytes` gauges.
+  // Set before the first Admit(); the registry must outlive the controller.
+  void set_metrics(telemetry::MetricRegistry* metrics) { metrics_ = metrics; }
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t admitted = 0;   // Full grants (including after a wait).
+    uint64_t degraded = 0;   // min_memory grants.
+    uint64_t queued = 0;     // Requests that blocked before being granted.
+    uint64_t rejected = 0;
+    size_t waiting = 0;      // Currently blocked in Admit().
+    size_t active = 0;       // Outstanding grants.
+    Bytes committed = 0;     // Bytes currently held by grants.
+    Bytes peak_committed = 0;
+  };
+  Stats stats() const;
+
+  const AdmissionPolicy& policy() const { return policy_; }
+
+ private:
+  friend class Grant;
+
+  // Verdict for `request` given `committed` bytes already held. Lock-free
+  // pure function of the policy.
+  Verdict Classify(const AdmissionRequest& request, Bytes committed,
+                   size_t waiting) const;
+  void ReleaseBytes(Bytes bytes);
+  void PublishGauges();  // Caller holds mu_.
+
+  const AdmissionPolicy policy_;
+  telemetry::MetricRegistry* metrics_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<uint64_t> tickets_;  // FIFO of waiting Admit() calls.
+  uint64_t next_ticket_ = 0;
+  Bytes committed_ = 0;
+  Stats stats_;
+};
+
+}  // namespace lupine::vmm
+
+#endif  // SRC_VMM_ADMISSION_H_

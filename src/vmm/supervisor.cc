@@ -66,6 +66,14 @@ size_t Supervisor::Run(Nanos horizon) {
       ++unsettled;
     }
   }
+  if (metrics_ != nullptr) {
+    for (MemberState state : {MemberState::kPending, MemberState::kHealthy,
+                              MemberState::kCompleted, MemberState::kBackoff,
+                              MemberState::kDegraded}) {
+      metrics_->GetGauge("supervisor.members", {{"state", MemberStateName(state)}})
+          .Set(static_cast<int64_t>(count(state)));
+    }
+  }
   return unsettled;
 }
 
@@ -116,6 +124,10 @@ bool Supervisor::Attempt(Member& member) {
       member.stats.state = MemberState::kCompleted;
       if (member.stats.first_healthy_at < 0) {
         member.stats.first_healthy_at = at;
+        if (metrics_ != nullptr) {
+          metrics_->GetHistogram("supervisor.time_to_healthy_ns")
+              .Observe(static_cast<double>(at));
+        }
       }
       member.consecutive_failures = 0;
       Emit(at, member, "exit", "code=0");
@@ -134,6 +146,10 @@ bool Supervisor::Attempt(Member& member) {
     member.stats.state = MemberState::kHealthy;
     if (member.stats.first_healthy_at < 0) {
       member.stats.first_healthy_at = at;
+      if (metrics_ != nullptr) {
+        metrics_->GetHistogram("supervisor.time_to_healthy_ns")
+            .Observe(static_cast<double>(at));
+      }
     }
     member.consecutive_failures = 0;
     Emit(at, member, "ready", member.ready_marker);
@@ -172,6 +188,9 @@ void Supervisor::OnFailure(Member& member, Nanos at, const std::string& kind,
   const Nanos delay = NextBackoff(member);
   member.stats.state = MemberState::kBackoff;
   Emit(at, member, "restart-scheduled", "backoff " + FormatDuration(delay));
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("supervisor.backoff_ns").Observe(static_cast<double>(delay));
+  }
   queue_.push({at + delay, next_seq_++, &member});
 }
 
@@ -190,6 +209,9 @@ Nanos Supervisor::NextBackoff(Member& member) {
 void Supervisor::Emit(Nanos at, const Member& member, const std::string& kind,
                       const std::string& detail) {
   timeline_.push_back({at, member.name, kind, detail});
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("supervisor.incidents", {{"kind", kind}}).Increment();
+  }
 }
 
 MemberState Supervisor::state(const std::string& name) const {

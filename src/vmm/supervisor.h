@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "src/telemetry/metrics.h"
 #include "src/util/prng.h"
 #include "src/util/vclock.h"
 #include "src/vmm/vm.h"
@@ -95,6 +96,12 @@ class Supervisor {
   // passes. Returns the number of members not healthy/completed.
   size_t Run(Nanos horizon = Seconds(600));
 
+  // Optional, non-owning metric sink. When set, every incident increments
+  // `supervisor.incidents{kind}`, backoffs and time-to-first-healthy land in
+  // histograms, and Run() refreshes `supervisor.members{state}` gauges. Set
+  // before Run(); the registry must outlive the supervisor.
+  void set_metrics(telemetry::MetricRegistry* metrics) { metrics_ = metrics; }
+
   // --- Inspection -----------------------------------------------------------
   struct MemberStats {
     MemberState state = MemberState::kPending;
@@ -142,6 +149,7 @@ class Supervisor {
   Nanos NextBackoff(Member& member);
 
   SupervisorPolicy policy_;
+  telemetry::MetricRegistry* metrics_ = nullptr;
   VirtualClock clock_;
   Prng master_;  // Seeds per-member jitter streams, in AddMember order.
   std::map<std::string, Member> members_;

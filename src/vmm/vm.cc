@@ -10,16 +10,23 @@ Vm::Vm(VmSpec spec, const guestos::AppRegistry* registry)
                                                 spec_.faults)) {}
 
 Status Vm::Boot() {
-  // Host-side monitor phases.
+  // Host-side monitor phases. The kernel mirrors its boot phases into
+  // `spans_` (one virtual timeline, monitor offset included); the sink is
+  // detached again below so a moved-from or long-lived kernel can never
+  // write through a stale pointer.
+  spans_.Clear();
+  kernel_->set_boot_spans(&spans_);
   Nanos monitor_time = MonitorSetupTime(spec_.monitor, spec_.image.size);
   kernel_->clock().Advance(monitor_time);
   report_.phases.push_back({"monitor:" + spec_.monitor.name, monitor_time});
+  spans_.Record("monitor:" + spec_.monitor.name, 0, monitor_time);
 
   // Guest-side boot. A PCI-enabled kernel on a PCI-less monitor skips
   // enumeration; our feature check happens in the kernel, which prices PCI
   // enumeration only when configured (and QEMU-style monitors always expose
   // the bus, so the config decides).
   if (Status s = kernel_->Boot(spec_.rootfs, spec_.boot_plan.get()); !s.ok()) {
+    kernel_->set_boot_spans(nullptr);
     return s;
   }
   for (const auto& phase : kernel_->boot_trace().phases) {
@@ -28,6 +35,7 @@ Status Vm::Boot() {
 
   // Start init (the application-specific startup script).
   auto init = kernel_->StartInit("/sbin/init");
+  kernel_->set_boot_spans(nullptr);
   if (!init.ok()) {
     return init.status();
   }
@@ -48,7 +56,9 @@ Result<int> Vm::RunToCompletion() {
   if (init_ == nullptr) {
     return Status(Err::kInval, "VM not booted");
   }
+  const Nanos main_start = kernel_->clock().now();
   size_t blocked = kernel_->Run();
+  spans_.Record("app-main", main_start, kernel_->clock().now());
   if (kernel_->oom()) {
     return Status(Err::kNoMem, "guest ran out of memory");
   }

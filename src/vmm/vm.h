@@ -9,6 +9,7 @@
 
 #include "src/guestos/kernel.h"
 #include "src/kbuild/image.h"
+#include "src/telemetry/span.h"
 #include "src/util/fault.h"
 #include "src/vmm/monitor.h"
 
@@ -56,6 +57,11 @@ class Vm {
   const BootReport& boot_report() const { return report_; }
   const VmSpec& spec() const { return spec_; }
 
+  // The boot as a span trace on the VM's virtual timeline: the monitor span,
+  // every guest phase (decompress ... init-exec), and — once
+  // RunToCompletion ran — an `app-main` span covering the application.
+  const telemetry::SpanTrace& boot_spans() const { return spans_; }
+
   // The guest died of a panic (as opposed to exiting or still serving).
   bool crashed() const { return kernel_->panicked(); }
 
@@ -72,6 +78,7 @@ class Vm {
   std::unique_ptr<guestos::Kernel> kernel_;
   guestos::Process* init_ = nullptr;
   BootReport report_;
+  telemetry::SpanTrace spans_;
 };
 
 // Finds the minimum guest RAM (in MiB granularity) with which `try_run`

@@ -108,6 +108,56 @@ TEST(FleetBootTest, SupervisedModeDrivesEachShardThroughASupervisor) {
   EXPECT_EQ(result->worker_virtual.size(), 4u);
 }
 
+TEST(FleetBootTest, AdmissionControllerKeepsFleetUnderBudget) {
+  vmm::FleetAdmissionController admission({1 * kGiB, 0});
+  telemetry::MetricRegistry registry;
+  admission.set_metrics(&registry);
+
+  FleetBootOptions options;
+  options.workers = 4;
+  options.memory = 512 * kMiB;
+  options.min_memory = 64 * kMiB;  // Degradation floor when the host is full.
+  options.admission = &admission;
+  options.metrics = &registry;
+  auto result = RunFleetBoot(Cache(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const size_t fleet = kconfig::Top20AppNames().size();
+  // Every launch goes through the controller; with a 64 MiB floor available
+  // nothing is ever rejected, so every app still boots.
+  EXPECT_EQ(result->boots, fleet);
+  EXPECT_EQ(result->failures, 0u);
+  EXPECT_EQ(result->rejected, 0u);
+  EXPECT_EQ(result->admitted + result->degraded, fleet);
+
+  // The budget is a hard ceiling: the controller's high-water mark — which
+  // the rollup adopts as fleet_resident_peak — never exceeds it.
+  EXPECT_LE(admission.stats().peak_committed, 1 * kGiB);
+  EXPECT_EQ(result->fleet_resident_peak, admission.stats().peak_committed);
+  EXPECT_EQ(admission.stats().committed, 0u);  // Clean drain on VM exit.
+  EXPECT_EQ(admission.stats().requests, fleet);
+
+  // Rollups are populated per worker and fleet-wide.
+  EXPECT_EQ(result->worker_resident_peak.size(), 4u);
+  EXPECT_GT(result->fleet_resident_sum, 0u);
+  EXPECT_EQ(registry.GetCounter("admission.requests").value(), fleet);
+}
+
+TEST(FleetBootTest, AdmissionRejectionsCountAsFailures) {
+  // A budget no request can ever fit in: every launch is rejected up front.
+  vmm::FleetAdmissionController admission({16 * kMiB, 0});
+  FleetBootOptions options;
+  options.apps = {"hello-world", "redis"};
+  options.memory = 512 * kMiB;  // No min_memory: nothing to degrade to.
+  options.admission = &admission;
+  auto result = RunFleetBoot(Cache(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->boots, 0u);
+  EXPECT_EQ(result->failures, 2u);
+  EXPECT_EQ(result->rejected, 2u);
+  EXPECT_EQ(admission.stats().rejected, 2u);
+}
+
 TEST(FleetBootTest, ArtifactFailurePropagatesAsStatus) {
   KernelCache cache;
   FleetBootOptions options;

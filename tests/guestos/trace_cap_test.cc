@@ -1,0 +1,95 @@
+#include "src/guestos/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace lupine::guestos {
+namespace {
+
+TEST(TraceCapTest, DefaultCapacityIsBounded) {
+  TraceLog log;
+  EXPECT_EQ(log.capacity(), TraceLog::kDefaultCapacity);
+  EXPECT_EQ(log.dropped_total(), 0u);
+}
+
+TEST(TraceCapTest, SyscallBufferDropsOldestBeyondCap) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    log.RecordSyscall(i, kbuild::Sys::kRead);
+  }
+  EXPECT_EQ(log.syscalls().size(), 4u);
+  EXPECT_EQ(log.dropped_syscalls(), 6u);
+  // Drop-oldest: the recent window survives.
+  EXPECT_EQ(log.syscalls().front().pid, 6);
+  EXPECT_EQ(log.syscalls().back().pid, 9);
+}
+
+TEST(TraceCapTest, DistinctSyscallCountSurvivesDrops) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.set_capacity(2);
+  log.RecordSyscall(1, kbuild::Sys::kRead);
+  log.RecordSyscall(1, kbuild::Sys::kWrite);
+  log.RecordSyscall(1, kbuild::Sys::kMmap);
+  log.RecordSyscall(1, kbuild::Sys::kClose);
+  EXPECT_EQ(log.syscalls().size(), 2u);
+  // The set of numbers is exact even though the buffer windowed: manifest
+  // generation must not lose options to trace pressure.
+  EXPECT_EQ(log.distinct_syscall_count(), 4u);
+}
+
+TEST(TraceCapTest, FeatureAndPanicBuffersAreCappedToo) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.set_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    log.RecordFeature(1, TraceFeature::kAfUnix);
+    log.RecordPanic(i, "panic " + std::to_string(i));
+  }
+  EXPECT_EQ(log.features().size(), 3u);
+  EXPECT_EQ(log.dropped_features(), 2u);
+  EXPECT_EQ(log.panics().size(), 3u);
+  EXPECT_EQ(log.dropped_panics(), 2u);
+  EXPECT_EQ(log.panics().front().reason, "panic 2");
+  EXPECT_EQ(log.dropped_total(), 4u);
+}
+
+TEST(TraceCapTest, ShrinkingCapacityTrimsImmediately) {
+  TraceLog log;
+  log.set_enabled(true);
+  for (int i = 0; i < 8; ++i) {
+    log.RecordSyscall(i, kbuild::Sys::kRead);
+  }
+  log.set_capacity(2);
+  EXPECT_EQ(log.syscalls().size(), 2u);
+  EXPECT_EQ(log.dropped_syscalls(), 6u);
+  EXPECT_EQ(log.syscalls().front().pid, 6);
+}
+
+TEST(TraceCapTest, ZeroCapacityMeansUnbounded) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.set_capacity(0);
+  for (int i = 0; i < 1000; ++i) {
+    log.RecordSyscall(i, kbuild::Sys::kRead);
+  }
+  EXPECT_EQ(log.syscalls().size(), 1000u);
+  EXPECT_EQ(log.dropped_total(), 0u);
+}
+
+TEST(TraceCapTest, ClearResetsBuffersAndDropCounters) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.set_capacity(1);
+  log.RecordSyscall(1, kbuild::Sys::kRead);
+  log.RecordSyscall(2, kbuild::Sys::kWrite);
+  EXPECT_GT(log.dropped_total(), 0u);
+  log.Clear();
+  EXPECT_EQ(log.syscalls().size(), 0u);
+  EXPECT_EQ(log.dropped_total(), 0u);
+  EXPECT_EQ(log.distinct_syscall_count(), 0u);
+}
+
+}  // namespace
+}  // namespace lupine::guestos
