@@ -75,6 +75,19 @@ RootfsCache::BlobPtr RootfsCache::GetOrBuild(const ContainerImage& image,
   return blob;
 }
 
+bool RootfsCache::Invalidate(const ContainerImage& image, const RootfsOptions& options) {
+  const std::string key = CacheKey(image, options);
+  std::lock_guard lock(mu_);
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return false;
+  }
+  lru_.Erase(key);
+  blobs_.erase(it);
+  ++invalidations_;
+  return true;
+}
+
 void RootfsCache::EvictLocked() {
   evictions_ += lru_.EvictOver(
       budget_,
@@ -93,6 +106,7 @@ RootfsCache::Stats RootfsCache::stats() const {
   stats.requests = requests_;
   stats.builds = builds_;
   stats.hits = hits_;
+  stats.invalidations = invalidations_;
   stats.evictions = evictions_;
   stats.bytes_evicted = bytes_evicted_;
   stats.bytes_stored = lru_.bytes();
@@ -113,6 +127,7 @@ void RootfsCache::PublishMetrics(telemetry::MetricRegistry& registry) const {
   set("rootfscache.requests", s.requests);
   set("rootfscache.builds", s.builds);
   set("rootfscache.hits", s.hits);
+  set("rootfscache.invalidations", s.invalidations);
   set("rootfscache.evictions", s.evictions);
   set("rootfscache.bytes_evicted", s.bytes_evicted);
   set("rootfscache.bytes_stored", s.bytes_stored);

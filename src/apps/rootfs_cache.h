@@ -41,10 +41,19 @@ class RootfsCache {
   // different musl, so kml_libc is part of the key, never collapsed).
   static std::string CacheKey(const ContainerImage& image, const RootfsOptions& options);
 
+  // Drops the cached blob for (image, options) so the next request rebuilds
+  // it from scratch — the quarantine path: an artifact whose launches keep
+  // failing must not be served its possibly-poisoned rootfs back from cache.
+  // Returns true when an entry was actually dropped. An in-flight build is
+  // left alone (its waiters hold the blob already); callers invalidate again
+  // after the next failure.
+  bool Invalidate(const ContainerImage& image, const RootfsOptions& options);
+
   struct Stats {
     size_t requests = 0;
     size_t builds = 0;       // Key misses that ran BuildAppRootfs.
     size_t hits = 0;         // Served from the store or a completed flight.
+    size_t invalidations = 0;  // Quarantine drops (rebuild-forcing).
     size_t evictions = 0;
     Bytes bytes_evicted = 0;
     Bytes bytes_stored = 0;  // Live blob bytes.
@@ -80,6 +89,7 @@ class RootfsCache {
   size_t requests_ = 0;
   size_t builds_ = 0;
   size_t hits_ = 0;
+  size_t invalidations_ = 0;
   size_t evictions_ = 0;
   Bytes bytes_evicted_ = 0;
 };

@@ -3,13 +3,22 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <memory>
+#include <utility>
 
 #include "src/kconfig/presets.h"
 #include "src/util/thread_pool.h"
-#include "src/vmm/supervisor.h"
 
 namespace lupine::core {
 namespace {
+
+// One boot of one app. `index` is the task's global ordinal (round-major),
+// which seeds its private fault injector and retrier — both are functions of
+// the index alone, so outcomes are identical however tasks shard.
+struct BootTask {
+  size_t index = 0;
+  std::string app;
+};
 
 struct ShardOutcome {
   Nanos virtual_time = 0;
@@ -22,28 +31,123 @@ struct ShardOutcome {
   size_t degraded = 0;
   size_t rejected = 0;
   size_t queue_waits = 0;
+  size_t retries = 0;
+  size_t launch_failures = 0;
+  size_t deadline_exceeded = 0;
+  size_t quarantined = 0;
+  size_t breaker_denied = 0;
+  size_t recovered = 0;
+  Nanos recovery_total = 0;
+  std::vector<std::pair<size_t, std::string>> fault_logs;  // (task index, line).
 };
 
-// Boots (and optionally runs) one shard directly, VM by VM.
-ShardOutcome RunShardDirect(KernelCache& cache, const std::vector<std::string>& shard,
+uint64_t TaskSeedFold(uint64_t seed, size_t index) {
+  return seed ^ ((static_cast<uint64_t>(index) + 1) * 0x9E3779B97F4A7C15ull);
+}
+
+FaultInjector MakeTaskInjector(const FaultPlan* plan, size_t index) {
+  if (plan == nullptr) {
+    return FaultInjector();
+  }
+  FaultPlan forked = *plan;
+  forked.seed = TaskSeedFold(plan->seed, index);
+  return FaultInjector(forked);
+}
+
+std::string FormatFaultLog(const BootTask& task, const FaultInjector& injector) {
+  std::string line = "#" + std::to_string(task.index) + " " + task.app + ":";
+  const char* sep = " ";
+  for (const FaultRecord& record : injector.log()) {
+    line += sep;
+    line += FaultSiteName(record.site);
+    line += "@";
+    line += std::to_string(record.evaluation);
+    sep = ",";
+  }
+  return line;
+}
+
+Nanos InitExecNanos(const vmm::Vm& vm) {
+  for (const guestos::BootPhase& phase : vm.boot_report().phases) {
+    if (phase.name == "init-exec") {
+      return phase.duration;
+    }
+  }
+  return 0;
+}
+
+// One launch attempt's verdict. kDenied attempts never consulted a VM
+// (admission rejection, breaker denial, quarantine) and are not retried;
+// kFatal aborts the whole fleet (an artifact that cannot be built at all).
+struct AttemptResult {
+  enum Kind { kSuccess, kFail, kDenied, kFatal };
+  Kind kind = kFail;
+  Status status = Status::Ok();
+  Nanos charge = 0;     // Virtual time the failed attempt cost the shard.
+  bool launched = false;  // A VM ran: the outcome feeds the circuit breaker.
+  bool report = false;    // Launch failure worth reporting to quarantine.
+};
+
+// Boots (and optionally runs) one shard directly, VM by VM, with per-task
+// retry, stage deadlines, artifact-quarantine feedback and breaker gating.
+ShardOutcome RunShardDirect(KernelCache& cache, const std::vector<BootTask>& shard,
                             const FleetBootOptions& options) {
   ShardOutcome outcome;
-  for (const std::string& app : shard) {
-    auto artifact = cache.GetOrBuild(app);
+
+  auto run_attempt = [&](const BootTask& task, FaultInjector& injector,
+                         bool first_attempt) -> AttemptResult {
+    AttemptResult result;
+    auto artifact = cache.GetOrBuild(task.app);
     if (!artifact.ok()) {
-      outcome.status = artifact.status();
-      return outcome;
+      if (KernelCache::IsQuarantineDenial(artifact.status())) {
+        ++outcome.quarantined;
+        result.kind = AttemptResult::kDenied;
+      } else if (IsRetryableError(artifact.status())) {
+        ++outcome.launch_failures;
+        result.kind = AttemptResult::kFail;
+      } else {
+        result.kind = AttemptResult::kFatal;
+      }
+      result.status = artifact.status();
+      return result;
     }
+    // Host-wall provisioning deadlines apply to fresh builds (artifacts with
+    // a provisioning trace) and are priced once, on the task's first attempt,
+    // so the counters do not depend on which worker's task happened to
+    // trigger the build.
+    if (first_attempt && (*artifact)->provisioning != nullptr) {
+      struct StageLimit {
+        const char* span;
+        Nanos limit;
+      };
+      for (const StageLimit stage : {StageLimit{"build", options.deadlines.build},
+                                     StageLimit{"load-rootfs", options.deadlines.rootfs}}) {
+        const telemetry::Span* span = (*artifact)->provisioning->Find(stage.span);
+        if (span == nullptr) {
+          continue;
+        }
+        if (Status s = DeadlineGuard::CheckElapsed(stage.span, stage.limit, span->duration());
+            !s.ok()) {
+          ++outcome.deadline_exceeded;
+          ++outcome.launch_failures;
+          result.kind = AttemptResult::kFail;
+          result.status = s;
+          return result;
+        }
+      }
+    }
+
     // The grant is declared before the VM so the VM is destroyed first and
     // the bytes return to the budget only once the guest is really gone.
     vmm::Grant grant;
     Bytes memory = options.memory;
     if (options.admission != nullptr) {
-      grant = options.admission->Admit({app, options.memory, options.min_memory});
+      grant = options.admission->Admit({task.app, options.memory, options.min_memory});
       if (!grant.valid()) {
         ++outcome.rejected;
-        ++outcome.failures;
-        continue;
+        result.kind = AttemptResult::kDenied;
+        result.status = Status(Err::kNoMem, "admission rejected " + task.app);
+        return result;
       }
       grant.degraded() ? ++outcome.degraded : ++outcome.admitted;
       if (grant.waited()) {
@@ -51,25 +155,82 @@ ShardOutcome RunShardDirect(KernelCache& cache, const std::vector<std::string>& 
       }
       memory = grant.granted();
     }
-    auto vm = (*artifact)->Launch(memory);
+
+    auto vm = (*artifact)->Launch(memory, injector.armed() ? &injector : nullptr);
+    result.launched = true;
+    DeadlineGuard boot_guard(vm->kernel().clock(), "boot", options.deadlines.boot);
     if (Status s = vm->Boot(); !s.ok()) {
+      // Failed boots charge the shard the virtual instant the guest died —
+      // or the deadline, had the monitor's timer fired first.
+      ++outcome.launch_failures;
+      if (boot_guard.expired()) {
+        ++outcome.deadline_exceeded;
+      }
+      result.kind = AttemptResult::kFail;
+      result.status = s;
+      result.charge = boot_guard.charged();
+      result.report = true;
+      return result;
+    }
+    const Nanos init_ns = InitExecNanos(*vm);
+    const Nanos boot_ns = vm->boot_report().to_init - init_ns;
+    Status stage = DeadlineGuard::CheckElapsed("boot", options.deadlines.boot, boot_ns);
+    Nanos killed_at = options.deadlines.boot;
+    if (stage.ok()) {
+      stage = DeadlineGuard::CheckElapsed("init", options.deadlines.init, init_ns);
+      killed_at = boot_ns + options.deadlines.init;
+    }
+    if (!stage.ok()) {
+      // A stage overran its deadline: the monitor would have killed the VM
+      // at that instant (a kBootStall wedge costs the deadline, not 60s).
+      ++outcome.deadline_exceeded;
+      ++outcome.launch_failures;
+      result.kind = AttemptResult::kFail;
+      result.status = stage;
+      result.charge = killed_at;
+      result.report = true;  // An artifact that stalls every boot is a bad artifact.
+      return result;
+    }
+
+    bool workload_failed = false;
+    if (options.run_workload) {
+      DeadlineGuard guard(vm->kernel().clock(), "workload", options.deadlines.workload);
+      auto run = vm->RunToCompletion();
+      const bool server_parked = !run.ok() && run.status().err() == Err::kAgain;
+      if (guard.expired()) {
+        ++outcome.deadline_exceeded;
+        ++outcome.launch_failures;
+        result.kind = AttemptResult::kFail;
+        result.status = guard.Check();
+        result.charge = vm->boot_report().to_init + guard.charged();
+        return result;
+      }
+      if (!server_parked && !run.ok() && IsRetryableError(run.status())) {
+        // Ring-0 panic (or an injected app fault): worth a fresh VM.
+        ++outcome.launch_failures;
+        result.kind = AttemptResult::kFail;
+        result.status = run.status();
+        result.charge = vm->kernel().clock().now();
+        result.report = true;
+        return result;
+      }
+      if (!server_parked && (!run.ok() || run.value() != 0)) {
+        // Deterministic app failure: the boot held, retrying is pointless.
+        workload_failed = true;
+      }
+    }
+
+    result.kind = AttemptResult::kSuccess;
+    if (workload_failed) {
       ++outcome.failures;
-      continue;
     }
     ++outcome.boots;
     outcome.virtual_time += vm->boot_report().to_init;
-    if (options.run_workload) {
-      auto run = vm->RunToCompletion();
-      const bool server_parked = !run.ok() && run.status().err() == Err::kAgain;
-      if (!server_parked && (!run.ok() || run.value() != 0)) {
-        ++outcome.failures;
-      }
-    }
     const Bytes peak = vm->kernel().mm().peak();
     outcome.resident_sum += peak;
     outcome.resident_peak = std::max(outcome.resident_peak, peak);
     if (options.metrics != nullptr) {
-      options.metrics->GetHistogram("boot.to_init_ns", {{"app", app}})
+      options.metrics->GetHistogram("boot.to_init_ns", {{"app", task.app}})
           .Observe(static_cast<double>(vm->boot_report().to_init));
       for (const telemetry::Span& span : vm->boot_spans().spans()) {
         options.metrics->GetHistogram("boot.phase_ns", {{"phase", span.name}})
@@ -78,32 +239,92 @@ ShardOutcome RunShardDirect(KernelCache& cache, const std::vector<std::string>& 
       options.metrics->GetHistogram("vm.resident_peak_bytes")
           .Observe(static_cast<double>(peak));
     }
+    return result;
+  };
+
+  for (const BootTask& task : shard) {
+    FaultInjector injector = MakeTaskInjector(options.fault_plan, task.index);
+    Retrier retrier(options.retry, task.index);
+    Nanos recovery = 0;  // Failed-attempt charges + backoff delays.
+    bool completed = false;
+    for (int attempt = 0;; ++attempt) {
+      if (options.breaker != nullptr && !options.breaker->Allow()) {
+        ++outcome.breaker_denied;
+        break;
+      }
+      AttemptResult result = run_attempt(task, injector, attempt == 0);
+      if (result.kind == AttemptResult::kFatal) {
+        outcome.status = result.status;
+        return outcome;
+      }
+      if (result.launched && options.breaker != nullptr) {
+        options.breaker->Record(result.kind == AttemptResult::kSuccess);
+      }
+      if (result.kind == AttemptResult::kSuccess) {
+        completed = true;
+        break;
+      }
+      if (result.kind == AttemptResult::kDenied) {
+        break;
+      }
+      outcome.virtual_time += result.charge;
+      recovery += result.charge;
+      if (result.report) {
+        cache.ReportLaunchFailure(task.app);
+      }
+      Retrier::Decision decision = retrier.OnFailure(result.status);
+      if (!decision.retry) {
+        break;
+      }
+      ++outcome.retries;
+      outcome.virtual_time += decision.delay;
+      recovery += decision.delay;
+    }
+    if (completed) {
+      if (retrier.failures() > 0) {
+        ++outcome.recovered;
+        outcome.recovery_total += recovery;
+      }
+    } else {
+      ++outcome.failures;
+    }
+    if (injector.total_fires() > 0) {
+      outcome.fault_logs.emplace_back(task.index, FormatFaultLog(task, injector));
+    }
   }
   return outcome;
 }
 
 // Boots one shard under a worker-owned Supervisor (restart policy and all).
-ShardOutcome RunShardSupervised(KernelCache& cache, const std::vector<std::string>& shard,
+// The supervisor runs its own retry machinery (options.supervisor_policy);
+// the fleet retry/deadline options do not apply here.
+ShardOutcome RunShardSupervised(KernelCache& cache, const std::vector<BootTask>& shard,
                                 const FleetBootOptions& options) {
   ShardOutcome outcome;
-  vmm::Supervisor supervisor;
+  vmm::Supervisor supervisor(options.supervisor_policy);
   supervisor.set_metrics(options.metrics);
   std::vector<std::string> names;
+  std::vector<std::unique_ptr<FaultInjector>> injectors;  // Stable addresses.
   names.reserve(shard.size());
-  for (size_t i = 0; i < shard.size(); ++i) {
-    auto artifact = cache.GetOrBuild(shard[i]);
+  injectors.reserve(shard.size());
+  for (const BootTask& task : shard) {
+    auto artifact = cache.GetOrBuild(task.app);
     if (!artifact.ok()) {
       outcome.status = artifact.status();
       return outcome;
     }
-    const apps::AppManifest* manifest = apps::FindManifest(shard[i]);
+    const apps::AppManifest* manifest = apps::FindManifest(task.app);
     std::string ready = manifest != nullptr && manifest->kind == apps::AppKind::kServer
                             ? manifest->ready_line
                             : "";
     KernelCache::ArtifactPtr held = *artifact;
     Bytes memory = options.memory;
-    names.push_back(shard[i] + "#" + std::to_string(i));
-    supervisor.AddMember(names.back(), [held, memory] { return held->Launch(memory); },
+    injectors.push_back(
+        std::make_unique<FaultInjector>(MakeTaskInjector(options.fault_plan, task.index)));
+    FaultInjector* faults = injectors.back()->armed() ? injectors.back().get() : nullptr;
+    names.push_back(task.app + "#" + std::to_string(task.index));
+    supervisor.AddMember(names.back(),
+                         [held, memory, faults] { return held->Launch(memory, faults); },
                          ready);
   }
   outcome.failures = supervisor.Run();
@@ -111,8 +332,24 @@ ShardOutcome RunShardSupervised(KernelCache& cache, const std::vector<std::strin
   outcome.virtual_time = supervisor.clock().now();
   // Healthy servers keep their VM alive — those footprints are genuinely
   // concurrent residency on this worker.
-  for (const std::string& name : names) {
-    const vmm::Supervisor::MemberStats& stats = supervisor.stats(name);
+  for (size_t i = 0; i < names.size(); ++i) {
+    const vmm::Supervisor::MemberStats& stats = supervisor.stats(names[i]);
+    if (stats.attempts > 1) {
+      outcome.retries += static_cast<size_t>(stats.attempts - 1);
+    }
+    outcome.launch_failures += static_cast<size_t>(stats.failures);
+    const vmm::MemberState state = supervisor.state(names[i]);
+    const bool alive = state == vmm::MemberState::kHealthy ||
+                       state == vmm::MemberState::kCompleted;
+    if (alive && stats.failures > 0) {
+      ++outcome.recovered;
+      if (stats.first_healthy_at >= 0) {
+        outcome.recovery_total += stats.first_healthy_at;
+      }
+    }
+    if (injectors[i]->total_fires() > 0) {
+      outcome.fault_logs.emplace_back(shard[i].index, FormatFaultLog(shard[i], *injectors[i]));
+    }
     if (stats.vm == nullptr) {
       continue;
     }
@@ -137,15 +374,19 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
 
   // Static sharding: boot i of round r goes to worker (r * apps + i) mod W.
   // The shard contents — and with them every virtual-time figure — depend
-  // only on (apps, rounds, workers), never on thread scheduling.
-  std::vector<std::vector<std::string>> shards(workers);
+  // only on (apps, rounds, workers), never on thread scheduling. Each task
+  // keeps its global ordinal: fault schedules and retry jitter key off it,
+  // not off the worker, so those are invariant across worker counts too.
+  std::vector<std::vector<BootTask>> shards(workers);
   size_t task = 0;
   for (size_t r = 0; r < rounds; ++r) {
     for (const std::string& app : apps) {
-      shards[task++ % workers].push_back(app);
+      shards[task % workers].push_back({task, app});
+      ++task;
     }
   }
 
+  const size_t trips_before = options.breaker != nullptr ? options.breaker->trips() : 0;
   const auto wall_start = std::chrono::steady_clock::now();
   ThreadPool pool(workers);
   std::vector<std::future<ShardOutcome>> futures;
@@ -158,6 +399,7 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
   }
 
   FleetBootResult result;
+  std::vector<std::pair<size_t, std::string>> fault_logs;
   for (auto& future : futures) {
     ShardOutcome outcome = future.get();
     if (!outcome.status.ok()) {
@@ -175,6 +417,23 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
     result.degraded += outcome.degraded;
     result.rejected += outcome.rejected;
     result.queue_waits += outcome.queue_waits;
+    result.retries += outcome.retries;
+    result.launch_failures += outcome.launch_failures;
+    result.deadline_exceeded += outcome.deadline_exceeded;
+    result.quarantined += outcome.quarantined;
+    result.breaker_denied += outcome.breaker_denied;
+    result.recovered += outcome.recovered;
+    result.virtual_recovery_total += outcome.recovery_total;
+    fault_logs.insert(fault_logs.end(), outcome.fault_logs.begin(), outcome.fault_logs.end());
+  }
+  if (options.breaker != nullptr) {
+    result.breaker_trips = options.breaker->trips() - trips_before;
+  }
+  // Fault logs merge in task order, independent of sharding.
+  std::sort(fault_logs.begin(), fault_logs.end());
+  result.fault_log.reserve(fault_logs.size());
+  for (auto& [index, line] : fault_logs) {
+    result.fault_log.push_back(std::move(line));
   }
   if (options.admission != nullptr) {
     // The controller saw every concurrent grant — its high-water mark beats
@@ -200,6 +459,18 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
         .Set(static_cast<int64_t>(result.fleet_resident_sum));
     options.metrics->GetGauge("fleet.boots").Set(static_cast<int64_t>(result.boots));
     options.metrics->GetGauge("fleet.failures").Set(static_cast<int64_t>(result.failures));
+    options.metrics->GetGauge("fleet.retries").Set(static_cast<int64_t>(result.retries));
+    options.metrics->GetGauge("fleet.launch_failures")
+        .Set(static_cast<int64_t>(result.launch_failures));
+    options.metrics->GetGauge("fleet.deadline_exceeded")
+        .Set(static_cast<int64_t>(result.deadline_exceeded));
+    options.metrics->GetGauge("fleet.quarantined")
+        .Set(static_cast<int64_t>(result.quarantined));
+    options.metrics->GetGauge("fleet.breaker_denied")
+        .Set(static_cast<int64_t>(result.breaker_denied));
+    options.metrics->GetGauge("fleet.breaker_trips")
+        .Set(static_cast<int64_t>(result.breaker_trips));
+    options.metrics->GetGauge("fleet.recovered").Set(static_cast<int64_t>(result.recovered));
     cache.PublishMetrics(*options.metrics);
   }
   return result;

@@ -17,9 +17,27 @@
 
 #include "src/core/multik.h"
 #include "src/telemetry/metrics.h"
+#include "src/util/fault.h"
+#include "src/util/retry.h"
 #include "src/vmm/admission.h"
+#include "src/vmm/supervisor.h"
 
 namespace lupine::core {
+
+// Per-stage deadlines over the provisioning+boot pipeline. Zero = unlimited.
+// build/rootfs are host-wall (the cache's provisioning spans); boot, init
+// and workload are virtual time on the VM's own clock. A stage that crosses
+// its deadline is treated as the monitor killing the VM at that instant:
+// the attempt fails with kTimedOut (retryable), and the shard is charged
+// the deadline, not the stall (a kBootStall fault inflates the decompress
+// phase by 60 virtual seconds — the deadline caps the damage).
+struct StageDeadlines {
+  Nanos build = 0;     // Kernel build (host wall, fresh builds only).
+  Nanos rootfs = 0;    // Rootfs load (host wall, fresh builds only).
+  Nanos boot = 0;      // Monitor start -> rootfs mounted (virtual).
+  Nanos init = 0;      // init-exec (virtual).
+  Nanos workload = 0;  // app-main, run_workload mode only (virtual).
+};
 
 struct FleetBootOptions {
   std::vector<std::string> apps;  // Empty = the paper's top-20 list.
@@ -47,6 +65,30 @@ struct FleetBootOptions {
   vmm::FleetAdmissionController* admission = nullptr;
   // Smallest RAM a degraded launch may be granted (0 = not degradable).
   Bytes min_memory = 0;
+
+  // --- Resilience -----------------------------------------------------------
+  // Per-task retry schedule: a failed attempt (boot fault, panic, deadline
+  // kill) backs off deterministically and tries a fresh VM. The default
+  // max_attempts=1 keeps the historical fail-once behavior. Each task forks
+  // its jitter stream off (retry.seed, task index), so schedules are
+  // identical however the fleet is sharded.
+  RetryPolicy retry = {.max_attempts = 1};
+  // Stage deadlines (see above). All zero = no deadline enforcement.
+  StageDeadlines deadlines;
+  // Optional fault schedule. Each boot task (round, app) owns a private
+  // FaultInjector forked deterministically off plan.seed and the task index;
+  // the injector survives the task's retries (a restarted VM continues the
+  // schedule, it does not replay it), and per-task fault logs are returned
+  // in task order — byte-identical across 1/2/4/8 workers. Must outlive the
+  // call.
+  const FaultPlan* fault_plan = nullptr;
+  // Optional, non-owning fleet circuit breaker shared by every worker. Each
+  // launch is Allow()-gated and its outcome Record()ed; in fail-fast mode a
+  // tripped breaker denies launches (counted as failures + breaker_denied).
+  CircuitBreaker* breaker = nullptr;
+  // Supervised-mode restart policy (backoff base/cap, crash-loop window) —
+  // the supervisor's knobs are fleet configuration, not constants.
+  vmm::SupervisorPolicy supervisor_policy;
 };
 
 struct FleetBootResult {
@@ -72,6 +114,23 @@ struct FleetBootResult {
   size_t degraded = 0;   // min_memory grants.
   size_t rejected = 0;   // Never admitted; counted as failures too.
   size_t queue_waits = 0;  // Grants that blocked before being issued.
+
+  // Resilience outcomes. `failures` stays what it was: tasks that never
+  // completed (now: after retries were exhausted, denied or not worth it).
+  size_t retries = 0;            // Re-attempts after retryable failures.
+  size_t launch_failures = 0;    // Individual failed attempts (pre-retry).
+  size_t deadline_exceeded = 0;  // Attempts killed by a stage deadline.
+  size_t quarantined = 0;        // Launches denied by artifact quarantine.
+  size_t breaker_denied = 0;     // Launches denied by a tripped breaker.
+  size_t breaker_trips = 0;      // Breaker trip transitions during the run.
+  size_t recovered = 0;          // Tasks that failed at least once but completed.
+  // Extra virtual time recovered tasks burned (failed attempts + backoffs):
+  // divided by `recovered`, the fleet's mean virtual time-to-recovery.
+  Nanos virtual_recovery_total = 0;
+  // One line per task, task order, only tasks whose injector fired:
+  // "#<task> <app>: <site>@<evaluation>,...". Byte-identical across worker
+  // counts for a given (plan, seed) — the replay-determinism contract.
+  std::vector<std::string> fault_log;
 };
 
 // Boots `rounds` x `apps` VMs from `cache` artifacts on `workers` pool

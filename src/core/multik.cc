@@ -1,6 +1,7 @@
 #include "src/core/multik.h"
 
 #include <cassert>
+#include <chrono>
 #include <functional>
 #include <sstream>
 #include <utility>
@@ -71,6 +72,25 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
   ++requests_;
   if (metrics_ != nullptr) {
     metrics_->GetCounter("kernelcache.requests").Increment();
+  }
+
+  // Quarantine gate: a poisoned key fails fast instead of handing a known-bad
+  // artifact to yet another worker. Past the TTL the poison clears and this
+  // very request becomes the probe rebuild.
+  if (quarantine_policy_.enabled) {
+    auto health = quarantine_.find(key);
+    if (health != quarantine_.end() && health->second.poisoned_until >= 0) {
+      if (QuarantineNowLocked() < health->second.poisoned_until) {
+        ++quarantine_denials_;
+        if (metrics_ != nullptr) {
+          metrics_->GetCounter("kernelcache.quarantine_denials").Increment();
+        }
+        return Status(Err::kAccess, "quarantined: " + app +
+                                        " kept failing after a rebuild; poisoned until TTL");
+      }
+      // TTL expired: half-open. Grant one fresh rebuild cycle.
+      health->second = LaunchHealth{};
+    }
   }
 
   // Fast path / single-flight entry: either the artifact exists, another
@@ -250,6 +270,79 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
   return result;
 }
 
+Nanos KernelCache::QuarantineNowLocked() {
+  if (quarantine_now_) {
+    return quarantine_now_();
+  }
+  // Host steady clock since the process started: TTLs tick in real time by
+  // default; tests inject a manual source for deterministic expiry.
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void KernelCache::DropForRebuildLocked(const std::string& app) {
+  artifact_lru_.Erase(app);
+  apps_.erase(app);
+  // The rootfs blob is keyed by content, not by app: drop it too, or the
+  // "rebuild" would be served the identical cached bytes. The shared kernel
+  // image stays — other apps' successful boots exonerate it, and a per-app
+  // config that really miscompiles rebuilds through the artifact path anyway.
+  if (const apps::AppManifest* manifest = apps::FindManifest(app); manifest != nullptr) {
+    apps::RootfsOptions rootfs_options;
+    rootfs_options.kml_libc = options_.kml;
+    (void)rootfs_cache_.Invalidate(apps::MakeAlpineImage(*manifest), rootfs_options);
+  }
+}
+
+void KernelCache::ReportLaunchFailure(const std::string& app) {
+  std::lock_guard lock(mu_);
+  if (!quarantine_policy_.enabled) {
+    return;
+  }
+  ++quarantine_failures_;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("kernelcache.quarantine_failures").Increment();
+  }
+  LaunchHealth& health = quarantine_[app];
+  if (health.poisoned_until >= 0) {
+    return;  // Already poisoned; stragglers mid-flight change nothing.
+  }
+  if (++health.failures < quarantine_policy_.failures_per_strike) {
+    return;
+  }
+  health.failures = 0;
+  if (health.rebuilds < quarantine_policy_.rebuild_limit) {
+    // Strike one: rebuild-once. Drop the artifact and its rootfs blob so the
+    // next GetOrBuild builds from scratch instead of re-serving the suspect.
+    ++health.rebuilds;
+    ++quarantine_rebuilds_;
+    DropForRebuildLocked(app);
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("kernelcache.quarantine_rebuilds").Increment();
+    }
+    return;
+  }
+  // The rebuild failed too: poison. One bad blob must not crash-loop
+  // rounds x workers VMs — every GetOrBuild until the TTL fails fast.
+  health.poisoned_until = QuarantineNowLocked() + quarantine_policy_.poison_ttl;
+  ++quarantine_poisoned_;
+  DropForRebuildLocked(app);
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("kernelcache.quarantine_poisoned").Increment();
+  }
+}
+
+void KernelCache::set_quarantine(QuarantinePolicy policy) {
+  std::lock_guard lock(mu_);
+  quarantine_policy_ = policy;
+}
+
+void KernelCache::set_quarantine_clock(std::function<Nanos()> now) {
+  std::lock_guard lock(mu_);
+  quarantine_now_ = std::move(now);
+}
+
 void KernelCache::EvictLocked() {
   // Artifacts first: each artifact pins its kernel image, so dropping stale
   // artifacts is what makes stale kernels evictable at all.
@@ -299,6 +392,10 @@ KernelCache::Stats KernelCache::stats() const {
     }
   }
   stats.general_served = general_served_;
+  stats.quarantine_failures = quarantine_failures_;
+  stats.quarantine_rebuilds = quarantine_rebuilds_;
+  stats.quarantine_poisoned = quarantine_poisoned_;
+  stats.quarantine_denials = quarantine_denials_;
   stats.artifact_evictions = artifact_evictions_;
   stats.kernel_evictions = kernel_evictions_;
   stats.bytes_evicted = bytes_evicted_;
@@ -315,6 +412,10 @@ void KernelCache::PublishMetrics(telemetry::MetricRegistry& registry) const {
   set("kernelcache.bytes_stored", s.bytes_stored);
   set("kernelcache.bytes_saved", s.bytes_saved());
   set("kernelcache.general_served", s.general_served);
+  set("kernelcache.quarantine_failures", s.quarantine_failures);
+  set("kernelcache.quarantine_rebuilds", s.quarantine_rebuilds);
+  set("kernelcache.quarantine_poisoned", s.quarantine_poisoned);
+  set("kernelcache.quarantine_denials", s.quarantine_denials);
   set("kernelcache.bytes_evicted", s.bytes_evicted);
   set("kernelcache.evictions", s.artifact_evictions, {{"tier", "artifact"}});
   set("kernelcache.evictions", s.kernel_evictions, {{"tier", "kernel"}});

@@ -33,6 +33,7 @@
 #define SRC_CORE_MULTIK_H_
 
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -45,6 +46,24 @@
 #include "src/util/lru.h"
 
 namespace lupine::core {
+
+// How the cache contains an artifact whose launches keep failing. A cached
+// blob every shard re-boots is a fleet-wide blast radius: without
+// containment one bad artifact crash-loops rounds x workers VMs. The policy
+// is rebuild-once-then-poison: the first reported failure drops the cached
+// artifact and its rootfs blob so the next request rebuilds from scratch
+// (maybe the build was the problem); a failure after the rebuild poisons the
+// key — GetOrBuild fails fast with kAccess ("quarantined") until the TTL
+// passes, at which point one probe rebuild is allowed through again.
+struct QuarantinePolicy {
+  bool enabled = true;
+  // Reported failures that trigger a drop/rebuild or (post-rebuild) poison.
+  int failures_per_strike = 1;
+  // Rebuilds granted before the key is poisoned ("rebuild-once").
+  int rebuild_limit = 1;
+  // How long a poisoned key fails fast before a probe is allowed.
+  Nanos poison_ttl = Seconds(30);
+};
 
 class KernelCache {
  public:
@@ -84,6 +103,20 @@ class KernelCache {
   // Same, with per-call build options (keyed separately from the defaults).
   Result<ArtifactPtr> GetOrBuild(const std::string& app, const BuildOptions& options);
 
+  // --- Quarantine -----------------------------------------------------------
+  // Launch-failure feedback from fleet members: `app` (default-keyed, the
+  // fleet path's GetOrBuild(app) counterpart) booted from its artifact and
+  // failed. Drives the rebuild-once-then-poison state machine above.
+  void ReportLaunchFailure(const std::string& app);
+  // True when `status` is a quarantine denial from GetOrBuild.
+  static bool IsQuarantineDenial(const Status& status) {
+    return status.err() == Err::kAccess;
+  }
+  void set_quarantine(QuarantinePolicy policy);
+  // TTL time source, monotonic nanos. Default: host steady clock since
+  // construction. Tests inject a manual clock for deterministic expiry.
+  void set_quarantine_clock(std::function<Nanos()> now);
+
   struct Stats {
     size_t requests = 0;          // GetOrBuild calls.
     size_t builds = 0;            // Kernel builds (fingerprint misses).
@@ -92,6 +125,11 @@ class KernelCache {
     Bytes bytes_if_unshared = 0;  // Sum of per-app image sizes without sharing.
     Bytes bytes_stored = 0;       // Sum of distinct stored image sizes.
     size_t general_served = 0;    // Artifacts served the shared general kernel.
+    // Quarantine (launch-failure containment).
+    size_t quarantine_failures = 0;  // Launch failures reported.
+    size_t quarantine_rebuilds = 0;  // Artifacts dropped for a from-scratch rebuild.
+    size_t quarantine_poisoned = 0;  // Keys poisoned (fail-fast) so far, lifetime.
+    size_t quarantine_denials = 0;   // GetOrBuild calls denied while poisoned.
     size_t artifact_evictions = 0;
     size_t kernel_evictions = 0;
     Bytes bytes_evicted = 0;      // Kernel image bytes dropped by eviction.
@@ -154,6 +192,10 @@ class KernelCache {
   Result<ArtifactPtr> GetOrBuildKeyed(const std::string& key, const std::string& app,
                                       const BuildOptions& options);
   void EvictLocked();
+  // Drops the cached artifact + rootfs blob for `app` (default key) so the
+  // next GetOrBuild rebuilds from scratch. Caller holds mu_.
+  void DropForRebuildLocked(const std::string& app);
+  Nanos QuarantineNowLocked();
 
   BuildOptions options_;
   LupineBuilder builder_;
@@ -174,6 +216,21 @@ class KernelCache {
   std::map<std::string, std::shared_ptr<KernelFlight>> kernel_flights_;  // By fingerprint.
   LruTracker artifact_lru_;
   LruTracker kernel_lru_;
+
+  // Quarantine state, keyed like apps_ (default key = app name).
+  struct LaunchHealth {
+    int failures = 0;          // Since the last (re)build.
+    int rebuilds = 0;          // Rebuilds already spent.
+    Nanos poisoned_until = -1; // -1 = not poisoned.
+  };
+  QuarantinePolicy quarantine_policy_;
+  std::map<std::string, LaunchHealth> quarantine_;
+  std::function<Nanos()> quarantine_now_;  // Unset = host steady clock.
+  size_t quarantine_failures_ = 0;
+  size_t quarantine_rebuilds_ = 0;
+  size_t quarantine_poisoned_ = 0;
+  size_t quarantine_denials_ = 0;
+
   size_t requests_ = 0;
   size_t builds_ = 0;
   size_t general_served_ = 0;

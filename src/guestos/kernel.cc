@@ -131,6 +131,13 @@ Status Kernel::Boot(const std::string& rootfs_blob, const BootPlan* plan_in) {
     console_.Write("crc error\n\n-- System halted\n");
     return Status(Err::kIo, "kernel decompression failed: crc error");
   }
+  if (faults_->Check(FaultSite::kBootStall)) {
+    // The decompressor wedges but eventually limps through: boot still
+    // succeeds, only after a virtual stall no monitor should sit out. This
+    // is the failure mode stage deadlines exist for — without one the shard
+    // absorbs the whole stall; with one the monitor kills at the deadline.
+    Phase("boot-stall", kBootStallPenalty);
+  }
 
   Phase("core-init", plan.core_init);
 

@@ -1,5 +1,9 @@
 #include "src/util/fault.h"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
 namespace lupine {
 
 const char* FaultSiteName(FaultSite site) {
@@ -22,8 +26,240 @@ const char* FaultSiteName(FaultSite site) {
       return "syscall-transient";
     case FaultSite::kAppFault:
       return "app-fault";
+    case FaultSite::kBootStall:
+      return "boot-stall";
   }
   return "unknown";
+}
+
+Result<FaultSite> FaultSiteFromName(const std::string& name) {
+  for (size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    if (name == FaultSiteName(site)) {
+      return site;
+    }
+  }
+  return Status(Err::kInval, "unknown fault site: " + name);
+}
+
+namespace {
+
+// Formats a double so the round trip is exact for the values plans actually
+// hold (probabilities): shortest form that parses back to the same double.
+std::string FormatProbability(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", p);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, p);
+    if (std::strtod(shorter, nullptr) == p) {
+      return shorter;
+    }
+  }
+  return buf;
+}
+
+// A deliberately small recursive-descent JSON reader: objects, arrays,
+// strings (no escapes beyond \" and \\ — site names need none), numbers and
+// the literals. Plans are trusted repo data files, not a hostile wire
+// format, but malformed input still fails with a position, never crashes.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Status Fail(const std::string& what) {
+    return Status(Err::kInval,
+                  "fault plan JSON: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  Result<std::string> ReadString() {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        c = text_[pos_++];
+        if (c != '"' && c != '\\') {
+          return Fail("unsupported escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      return Fail("unterminated string");
+    }
+    ++pos_;  // Closing quote.
+    return out;
+  }
+
+  Result<double> ReadNumber() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected number");
+    }
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number '" + token + "'");
+    }
+    return value;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Status ParseRule(JsonReader& reader, FaultRule& rule) {
+  if (!reader.Consume('{')) {
+    return reader.Fail("expected rule object");
+  }
+  bool site_seen = false;
+  if (!reader.Consume('}')) {
+    do {
+      auto key = reader.ReadString();
+      if (!key.ok()) {
+        return key.status();
+      }
+      if (!reader.Consume(':')) {
+        return reader.Fail("expected ':' after \"" + *key + "\"");
+      }
+      if (*key == "site") {
+        auto name = reader.ReadString();
+        if (!name.ok()) {
+          return name.status();
+        }
+        auto site = FaultSiteFromName(*name);
+        if (!site.ok()) {
+          return site.status();
+        }
+        rule.site = *site;
+        site_seen = true;
+        continue;
+      }
+      auto number = reader.ReadNumber();
+      if (!number.ok()) {
+        return number.status();
+      }
+      if (*key == "trigger_on") {
+        rule.trigger_on = static_cast<uint64_t>(*number);
+      } else if (*key == "period") {
+        rule.period = static_cast<uint64_t>(*number);
+      } else if (*key == "probability") {
+        rule.probability = *number;
+      } else if (*key == "max_fires") {
+        rule.max_fires = static_cast<int>(*number);
+      } else {
+        return reader.Fail("unknown rule key \"" + *key + "\"");
+      }
+    } while (reader.Consume(','));
+    if (!reader.Consume('}')) {
+      return reader.Fail("expected '}' closing rule");
+    }
+  }
+  if (!site_seen) {
+    return reader.Fail("rule missing \"site\"");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ToJson(const FaultPlan& plan) {
+  std::string json = "{\"seed\": " + std::to_string(plan.seed) + ", \"rules\": [";
+  for (size_t i = 0; i < plan.rules.size(); ++i) {
+    const FaultRule& rule = plan.rules[i];
+    json += i > 0 ? ", " : "";
+    json += "{\"site\": \"" + std::string(FaultSiteName(rule.site)) + "\"";
+    json += ", \"trigger_on\": " + std::to_string(rule.trigger_on);
+    json += ", \"period\": " + std::to_string(rule.period);
+    json += ", \"probability\": " + FormatProbability(rule.probability);
+    json += ", \"max_fires\": " + std::to_string(rule.max_fires);
+    json += "}";
+  }
+  json += "]}";
+  return json;
+}
+
+Result<FaultPlan> FaultPlanFromJson(const std::string& json) {
+  JsonReader reader(json);
+  FaultPlan plan;
+  if (!reader.Consume('{')) {
+    return reader.Fail("expected top-level object");
+  }
+  if (!reader.Consume('}')) {
+    do {
+      auto key = reader.ReadString();
+      if (!key.ok()) {
+        return key.status();
+      }
+      if (!reader.Consume(':')) {
+        return reader.Fail("expected ':' after \"" + *key + "\"");
+      }
+      if (*key == "seed") {
+        auto seed = reader.ReadNumber();
+        if (!seed.ok()) {
+          return seed.status();
+        }
+        plan.seed = static_cast<uint64_t>(*seed);
+      } else if (*key == "rules") {
+        if (!reader.Consume('[')) {
+          return reader.Fail("expected rules array");
+        }
+        if (!reader.Consume(']')) {
+          do {
+            FaultRule rule;
+            if (Status s = ParseRule(reader, rule); !s.ok()) {
+              return s;
+            }
+            plan.rules.push_back(rule);
+          } while (reader.Consume(','));
+          if (!reader.Consume(']')) {
+            return reader.Fail("expected ']' closing rules");
+          }
+        }
+      } else {
+        return reader.Fail("unknown plan key \"" + *key + "\"");
+      }
+    } while (reader.Consume(','));
+    if (!reader.Consume('}')) {
+      return reader.Fail("expected '}' closing plan");
+    }
+  }
+  if (!reader.AtEnd()) {
+    return reader.Fail("trailing content after plan");
+  }
+  return plan;
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan)

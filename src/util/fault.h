@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/util/prng.h"
+#include "src/util/result.h"
 #include "src/util/units.h"
 
 namespace lupine {
@@ -37,11 +38,20 @@ enum class FaultSite {
   kNetSendDrop,       // Packet dropped on send -> retransmission delay.
   kSyscallTransient,  // Syscall entry -> EINTR/EAGAIN, restarted (extra cost).
   kAppFault,          // Wild access in the application -> ring-0 oops/panic.
+  kBootStall,         // Decompressor wedges: boot completes but only after a
+                      // huge virtual stall — what a stage deadline exists for.
 };
 
-inline constexpr size_t kFaultSiteCount = 9;
+inline constexpr size_t kFaultSiteCount = 10;
+
+// Virtual time a kBootStall fault wedges the decompressor for. Orders of
+// magnitude beyond any real boot phase, so any sane stage deadline fires
+// long before the stall resolves on its own.
+inline constexpr Nanos kBootStallPenalty = Seconds(60);
 
 const char* FaultSiteName(FaultSite site);
+// Inverse of FaultSiteName; kInval for unknown names.
+Result<FaultSite> FaultSiteFromName(const std::string& name);
 
 // When a site fires. Deterministic triggers (`trigger_on`/`period`) and the
 // probabilistic trigger compose: the rule fires if either says so, subject
@@ -71,10 +81,22 @@ struct FaultPlan {
   FaultPlan& FireOnce(FaultSite site, uint64_t nth) {
     return Add({.site = site, .trigger_on = nth, .max_fires = 1});
   }
-  FaultPlan& FireAlways(FaultSite site) {
-    return Add({.site = site, .trigger_on = 1, .period = 1});
+  FaultPlan& FireAlways(FaultSite site, int max_fires = -1) {
+    return Add({.site = site, .trigger_on = 1, .period = 1, .max_fires = max_fires});
   }
 };
+
+// JSON round-trip so chaos schedules live as data files next to the benches
+// (bench/plans/*.json) instead of compiled C++. The document shape:
+//
+//   {"seed": 42, "rules": [{"site": "boot-initcall", "trigger_on": 1,
+//                           "period": 1, "probability": 0.0, "max_fires": 2}]}
+//
+// Serialization emits every rule field; the parser defaults omitted fields
+// to the FaultRule defaults and rejects unknown keys, unknown sites and
+// malformed documents. ToJson(FaultPlanFromJson(x)) is a fixed point.
+std::string ToJson(const FaultPlan& plan);
+Result<FaultPlan> FaultPlanFromJson(const std::string& json);
 
 // One fault that actually fired.
 struct FaultRecord {

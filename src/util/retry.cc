@@ -1,0 +1,157 @@
+#include "src/util/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/units.h"
+
+namespace lupine {
+
+Nanos BackoffDelay(const BackoffSpec& spec, int failures, Prng& jitter, bool* capped) {
+  double base = static_cast<double>(spec.initial) *
+                std::pow(spec.multiplier, std::max(0, failures - 1));
+  const bool hit_cap = base >= static_cast<double>(spec.cap);
+  if (capped != nullptr) {
+    *capped = hit_cap;
+  }
+  base = std::min(base, static_cast<double>(spec.cap));
+  // Jitter factor uniform in [1-j, 1+j] from the caller's private stream:
+  // same seed => same schedule, but independent streams decorrelate, so a
+  // mass failure does not retry in lockstep.
+  const double factor = 1.0 + spec.jitter * (2.0 * jitter.NextDouble() - 1.0);
+  return std::max<Nanos>(1, static_cast<Nanos>(base * factor));
+}
+
+bool IsRetryableError(const Status& status) {
+  switch (status.err()) {
+    case Err::kIo:           // Transient device error / injected boot fault.
+    case Err::kIntr:         // Interrupted; restarting is the contract.
+    case Err::kAgain:        // Resource momentarily unavailable.
+    case Err::kTimedOut:     // Stage deadline or network timeout.
+    case Err::kConnReset:    // Peer reset; reconnect is routine.
+    case Err::kConnRefused:  // Peer not up yet.
+    case Err::kNetUnreach:   // Routing flap.
+    case Err::kFault:        // Ring-0 panic: a fresh VM is the only cure.
+      return true;
+    default:
+      // kNoMem (same size will OOM again), kNoEnt/kInval (bad input),
+      // kAccess (quarantined artifact) and friends are deterministic:
+      // retrying burns budget without changing the outcome.
+      return false;
+  }
+}
+
+Retrier::Retrier(const RetryPolicy& policy, uint64_t seed_offset)
+    : policy_(policy), seed_(policy.seed ^ ((seed_offset + 1) * 0x9E3779B97F4A7C15ull)),
+      jitter_(seed_) {}
+
+Retrier::Decision Retrier::OnFailure(const Status& status) {
+  ++failures_;
+  Decision decision;
+  if (!IsRetryableError(status)) {
+    decision.reason = "permanent-error";
+    return decision;
+  }
+  if (failures_ >= policy_.max_attempts) {
+    decision.reason = "attempts-exhausted";
+    return decision;
+  }
+  const Nanos delay = BackoffDelay(policy_.backoff, failures_, jitter_, &decision.capped);
+  if (policy_.total_budget > 0 && backoff_total_ + delay > policy_.total_budget) {
+    decision.reason = "budget-exhausted";
+    return decision;
+  }
+  backoff_total_ += delay;
+  decision.retry = true;
+  decision.delay = delay;
+  return decision;
+}
+
+void Retrier::Reset() {
+  failures_ = 0;
+  backoff_total_ = 0;
+  jitter_ = Prng(seed_);  // Replay: the same task sees the same schedule.
+}
+
+Status DeadlineGuard::Check() const {
+  return CheckElapsed(stage_, deadline_, elapsed());
+}
+
+Status DeadlineGuard::CheckElapsed(const std::string& stage, Nanos deadline, Nanos elapsed) {
+  if (deadline <= 0 || elapsed <= deadline) {
+    return Status::Ok();
+  }
+  return Status(Err::kTimedOut, "stage '" + stage + "' exceeded its " +
+                                    FormatDuration(deadline) + " deadline (ran " +
+                                    FormatDuration(elapsed) + ")");
+}
+
+CircuitBreaker::CircuitBreaker(BreakerPolicy policy) : policy_(policy) {}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard lock(mu_);
+  if (!tripped_ || !policy_.fail_fast) {
+    return true;
+  }
+  ++denied_;
+  ++denied_since_probe_;
+  if (policy_.probe_after > 0 && denied_since_probe_ >= policy_.probe_after) {
+    // Half-open: let one launch through to test the waters. Its Record()
+    // verdict decides whether the breaker closes.
+    denied_since_probe_ = 0;
+    --denied_;  // The probe is allowed, not denied.
+    return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::Record(bool success) {
+  std::lock_guard lock(mu_);
+  if (success && tripped_) {
+    // The probe (or a straggler) succeeded: close and forget the bad window
+    // so one stale burst of failures cannot re-trip instantly.
+    tripped_ = false;
+    window_.clear();
+    window_failures_ = 0;
+    denied_since_probe_ = 0;
+    return;
+  }
+  window_.push_back(!success);
+  window_failures_ += success ? 0 : 1;
+  while (window_.size() > policy_.window) {
+    window_failures_ -= window_.front() ? 1 : 0;
+    window_.pop_front();
+  }
+  if (!tripped_ && window_.size() >= policy_.min_samples &&
+      static_cast<double>(window_failures_) >=
+          policy_.trip_ratio * static_cast<double>(window_.size())) {
+    tripped_ = true;
+    ++trips_;
+    denied_since_probe_ = 0;
+  }
+}
+
+bool CircuitBreaker::tripped() const {
+  std::lock_guard lock(mu_);
+  return tripped_;
+}
+
+size_t CircuitBreaker::trips() const {
+  std::lock_guard lock(mu_);
+  return trips_;
+}
+
+size_t CircuitBreaker::denied() const {
+  std::lock_guard lock(mu_);
+  return denied_;
+}
+
+double CircuitBreaker::failure_ratio() const {
+  std::lock_guard lock(mu_);
+  if (window_.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(window_failures_) / static_cast<double>(window_.size());
+}
+
+}  // namespace lupine

@@ -1,0 +1,175 @@
+// Deterministic retry, deadline and circuit-breaker primitives.
+//
+// The paper's posture (Section 2.2) is that a Lupine guest cannot save
+// itself — the application runs in ring 0, so every recovery decision is the
+// monitor's. This header is the monitor-side toolbox those decisions share:
+//
+//   * RetryPolicy / Retrier — exponential backoff with seeded jitter,
+//     attempt and virtual-time budgets, and a retryable-error classification
+//     over Status. The fleet boot driver, the artifact caches and the
+//     vmm::Supervisor all price their restart schedules through the same
+//     BackoffDelay formula, so one policy means one timeline everywhere.
+//   * DeadlineGuard — a per-stage virtual deadline. A stage that wedges
+//     (e.g. a kBootStall fault inflating the decompress phase) does not hang
+//     the shard: the guard reports the deadline the monitor would have
+//     killed the VM at, and the caller retries.
+//   * CircuitBreaker — sliding-window failure-rate tracking across a fleet.
+//     In fail-fast mode a tripped breaker denies further launches (with a
+//     deterministic half-open probe cadence); in best-effort mode it only
+//     counts trips so the fleet keeps limping.
+//
+// Everything draws from util/prng and prices delays on the virtual
+// timeline, so a given policy + seed reproduces its schedule byte for byte.
+#ifndef SRC_UTIL_RETRY_H_
+#define SRC_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "src/util/prng.h"
+#include "src/util/result.h"
+#include "src/util/units.h"
+#include "src/util/vclock.h"
+
+namespace lupine {
+
+// The backoff shape shared by Retrier and vmm::Supervisor: delay before the
+// (failures+1)-th attempt is initial * multiplier^(failures-1), clamped to
+// `cap`, then scaled by a jitter factor uniform in [1-j, 1+j].
+struct BackoffSpec {
+  Nanos initial = Millis(100);
+  double multiplier = 2.0;
+  Nanos cap = Seconds(30);
+  double jitter = 0.1;
+};
+
+// The deterministic delay before the next attempt after `failures` (>= 1)
+// consecutive failures, drawn from the caller's private jitter stream. Sets
+// `*capped` when the raw exponential hit the ceiling (the signal that a
+// policy is saturating instead of spreading restarts out).
+Nanos BackoffDelay(const BackoffSpec& spec, int failures, Prng& jitter, bool* capped = nullptr);
+
+// A complete retry policy: how often, how long, and on which errors.
+struct RetryPolicy {
+  // Attempts in total, including the first; 1 disables retries.
+  int max_attempts = 3;
+  BackoffSpec backoff = {};
+  // Ceiling on the summed backoff delay per task (virtual time); a retry
+  // whose delay would cross it is abandoned instead. 0 = unlimited.
+  Nanos total_budget = 0;
+  uint64_t seed = 0x5EED;
+};
+
+// Classification over Status: transient guest/host failures (I/O errors,
+// interrupted or timed-out operations, connection resets, ring-0 panics)
+// are worth a fresh VM; deterministic ones (bad input, missing manifest,
+// quarantined artifact, out-of-memory at a fixed size) are not.
+bool IsRetryableError(const Status& status);
+
+// Per-task retry controller. Feed it every failure; it answers whether to
+// try again and how long to wait first. Deterministic: (policy, seed_offset)
+// fully determine the schedule, so task outcomes are independent of how
+// tasks are sharded across workers.
+class Retrier {
+ public:
+  explicit Retrier(const RetryPolicy& policy, uint64_t seed_offset = 0);
+
+  struct Decision {
+    bool retry = false;
+    Nanos delay = 0;          // Backoff before the next attempt.
+    bool capped = false;      // The exponential hit the policy ceiling.
+    // Why not: "retryable" when retry is true; otherwise "permanent-error",
+    // "attempts-exhausted" or "budget-exhausted".
+    const char* reason = "retryable";
+  };
+  Decision OnFailure(const Status& status);
+
+  int failures() const { return failures_; }
+  Nanos backoff_total() const { return backoff_total_; }
+  void Reset();
+
+ private:
+  RetryPolicy policy_;
+  uint64_t seed_;  // policy.seed folded with the task's seed_offset.
+  Prng jitter_;
+  int failures_ = 0;
+  Nanos backoff_total_ = 0;
+};
+
+// Watches one named stage against a virtual deadline. Construct at stage
+// start; after the stage ran, expired() says whether the monitor would have
+// killed it first, and kill_at() is the virtual instant it would have done
+// so (what a killed attempt costs the shard — never more than the deadline).
+// deadline 0 = unlimited (the guard never expires).
+class DeadlineGuard {
+ public:
+  DeadlineGuard(const VirtualClock& clock, std::string stage, Nanos deadline)
+      : clock_(&clock), stage_(std::move(stage)), deadline_(deadline), start_(clock.now()) {}
+
+  Nanos elapsed() const { return clock_->now() - start_; }
+  bool expired() const { return deadline_ > 0 && elapsed() > deadline_; }
+  // Virtual time the stage consumed as far as the monitor is concerned:
+  // capped at the deadline when expired.
+  Nanos charged() const { return expired() ? deadline_ : elapsed(); }
+  Status Check() const;  // Ok, or kTimedOut naming the stage and overrun.
+
+  // Post-hoc form for stages whose duration arrives as a number (host-wall
+  // provisioning spans): Ok, or kTimedOut when elapsed > deadline (> 0).
+  static Status CheckElapsed(const std::string& stage, Nanos deadline, Nanos elapsed);
+
+ private:
+  const VirtualClock* clock_;
+  std::string stage_;
+  Nanos deadline_;
+  Nanos start_;
+};
+
+struct BreakerPolicy {
+  size_t window = 32;        // Launch outcomes remembered.
+  size_t min_samples = 8;    // No verdict before this many outcomes.
+  double trip_ratio = 0.5;   // Failure fraction that trips the breaker.
+  // true: a tripped breaker denies launches (fail fast); false: best-effort —
+  // trips are counted but every launch is still allowed.
+  bool fail_fast = false;
+  // Fail-fast half-open cadence: after this many consecutive denials, one
+  // probe launch is allowed through; its success closes the breaker again.
+  // 0 = a tripped breaker stays open forever.
+  size_t probe_after = 16;
+};
+
+// Fleet-wide failure-rate tracker. Thread-safe: shards on every worker
+// Record() their launch outcomes and Allow()-gate their next launch against
+// the shared window. Counts (trips, denials) are exact; in fail-fast mode
+// the set of denied launches depends on cross-worker interleaving, which is
+// the nature of a shared breaker — single-worker runs are deterministic.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerPolicy policy = {});
+
+  // Gate one launch. False = denied (tripped, fail-fast, not a probe turn).
+  bool Allow();
+  // Report a launch outcome. A success while tripped closes the breaker and
+  // clears the window (the half-open probe proved recovery).
+  void Record(bool success);
+
+  bool tripped() const;
+  size_t trips() const;
+  size_t denied() const;
+  double failure_ratio() const;  // Over the current window; 0 when empty.
+
+ private:
+  BreakerPolicy policy_;
+  mutable std::mutex mu_;
+  std::deque<bool> window_;  // true = failure.
+  size_t window_failures_ = 0;
+  bool tripped_ = false;
+  size_t trips_ = 0;
+  size_t denied_ = 0;
+  size_t denied_since_probe_ = 0;
+};
+
+}  // namespace lupine
+
+#endif  // SRC_UTIL_RETRY_H_

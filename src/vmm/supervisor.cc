@@ -1,7 +1,8 @@
 #include "src/vmm/supervisor.h"
 
 #include <algorithm>
-#include <cmath>
+
+#include "src/util/retry.h"
 
 namespace lupine::vmm {
 
@@ -182,6 +183,9 @@ void Supervisor::OnFailure(Member& member, Nanos at, const std::string& kind,
     Emit(at, member, "degraded",
          std::to_string(member.failure_times.size()) + " failures within " +
              FormatDuration(policy_.crash_loop_window) + "; giving up");
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("supervisor.giveup_total").Increment();
+    }
     return;
   }
 
@@ -195,15 +199,22 @@ void Supervisor::OnFailure(Member& member, Nanos at, const std::string& kind,
 }
 
 Nanos Supervisor::NextBackoff(Member& member) {
-  double base = static_cast<double>(policy_.backoff_initial) *
-                std::pow(policy_.backoff_multiplier, member.consecutive_failures - 1);
-  base = std::min(base, static_cast<double>(policy_.backoff_cap));
-  // Deterministic jitter: uniform factor in [1-j, 1+j] from the member's
-  // private PRNG stream (same seed => same schedule, but members decorrelate
-  // so a mass crash doesn't restart the whole fleet in lockstep).
-  const double jitter =
-      1.0 + policy_.backoff_jitter * (2.0 * member.jitter.NextDouble() - 1.0);
-  return std::max<Nanos>(1, static_cast<Nanos>(base * jitter));
+  // Shared backoff formula (util/retry): exponential growth clamped to the
+  // policy cap, scaled by deterministic jitter from the member's private PRNG
+  // stream — same seed => same schedule, but members decorrelate so a mass
+  // crash doesn't restart the whole fleet in lockstep.
+  const BackoffSpec spec{.initial = policy_.backoff_initial,
+                         .multiplier = policy_.backoff_multiplier,
+                         .cap = policy_.backoff_cap,
+                         .jitter = policy_.backoff_jitter};
+  bool capped = false;
+  const Nanos delay = BackoffDelay(spec, member.consecutive_failures, member.jitter, &capped);
+  if (capped && metrics_ != nullptr) {
+    // A saturated backoff no longer spreads restarts out — the signal that
+    // the policy cap is too low for this failure pattern.
+    metrics_->GetCounter("supervisor.backoff_capped_total").Increment();
+  }
+  return delay;
 }
 
 void Supervisor::Emit(Nanos at, const Member& member, const std::string& kind,

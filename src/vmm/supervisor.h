@@ -98,8 +98,11 @@ class Supervisor {
 
   // Optional, non-owning metric sink. When set, every incident increments
   // `supervisor.incidents{kind}`, backoffs and time-to-first-healthy land in
-  // histograms, and Run() refreshes `supervisor.members{state}` gauges. Set
-  // before Run(); the registry must outlive the supervisor.
+  // histograms, Run() refreshes `supervisor.members{state}` gauges, and two
+  // counters watch the restart policy itself: `supervisor.giveup_total`
+  // (members declared degraded) and `supervisor.backoff_capped_total`
+  // (backoffs that saturated the policy cap). Set before Run(); the registry
+  // must outlive the supervisor.
   void set_metrics(telemetry::MetricRegistry* metrics) { metrics_ = metrics; }
 
   // --- Inspection -----------------------------------------------------------

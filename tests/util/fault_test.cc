@@ -140,6 +140,76 @@ TEST(FaultSiteTest, EverySiteHasAName) {
     EXPECT_STRNE(FaultSiteName(static_cast<FaultSite>(i)), "");
   }
   EXPECT_STREQ(FaultSiteName(FaultSite::kAppFault), "app-fault");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kBootStall), "boot-stall");
+}
+
+TEST(FaultSiteTest, NamesRoundTripThroughFaultSiteFromName) {
+  for (size_t i = 0; i < kFaultSiteCount; ++i) {
+    const FaultSite site = static_cast<FaultSite>(i);
+    auto parsed = FaultSiteFromName(FaultSiteName(site));
+    ASSERT_TRUE(parsed.ok()) << FaultSiteName(site);
+    EXPECT_EQ(*parsed, site);
+  }
+  EXPECT_FALSE(FaultSiteFromName("no-such-site").ok());
+  EXPECT_FALSE(FaultSiteFromName("").ok());
+}
+
+TEST(FaultPlanJsonTest, RoundTripsEveryRuleField) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.Add({.site = FaultSite::kBootInitcall, .trigger_on = 1, .period = 1,
+            .probability = 0.0, .max_fires = 2});
+  plan.Add({.site = FaultSite::kNetRecvReset, .probability = 0.25});
+  plan.FireOnce(FaultSite::kMemAlloc, 7);
+
+  auto parsed = FaultPlanFromJson(ToJson(plan));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->seed, plan.seed);
+  ASSERT_EQ(parsed->rules.size(), plan.rules.size());
+  for (size_t i = 0; i < plan.rules.size(); ++i) {
+    EXPECT_EQ(parsed->rules[i].site, plan.rules[i].site);
+    EXPECT_EQ(parsed->rules[i].trigger_on, plan.rules[i].trigger_on);
+    EXPECT_EQ(parsed->rules[i].period, plan.rules[i].period);
+    EXPECT_DOUBLE_EQ(parsed->rules[i].probability, plan.rules[i].probability);
+    EXPECT_EQ(parsed->rules[i].max_fires, plan.rules[i].max_fires);
+  }
+  // Serialize -> parse -> serialize is a fixed point (stable data files).
+  EXPECT_EQ(ToJson(*parsed), ToJson(plan));
+}
+
+TEST(FaultPlanJsonTest, ParserDefaultsOmittedFields) {
+  auto plan = FaultPlanFromJson(R"({"rules": [{"site": "vfs-io"}]})");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->seed, FaultPlan{}.seed);
+  ASSERT_EQ(plan->rules.size(), 1u);
+  EXPECT_EQ(plan->rules[0].site, FaultSite::kVfsIo);
+  EXPECT_EQ(plan->rules[0].trigger_on, 0u);
+  EXPECT_EQ(plan->rules[0].period, 0u);
+  EXPECT_DOUBLE_EQ(plan->rules[0].probability, 0.0);
+  EXPECT_EQ(plan->rules[0].max_fires, -1);
+}
+
+TEST(FaultPlanJsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(FaultPlanFromJson("").ok());
+  EXPECT_FALSE(FaultPlanFromJson("[]").ok());
+  EXPECT_FALSE(FaultPlanFromJson(R"({"seed": 1)").ok());                     // Truncated.
+  EXPECT_FALSE(FaultPlanFromJson(R"({"sede": 1})").ok());                    // Unknown key.
+  EXPECT_FALSE(FaultPlanFromJson(R"({"rules": [{"site": "warp-core"}]})").ok());
+  EXPECT_FALSE(FaultPlanFromJson(R"({"rules": [{"trigger_on": "soon"}]})").ok());
+  EXPECT_FALSE(FaultPlanFromJson(R"({"seed": 1} trailing)").ok());
+}
+
+TEST(FaultPlanJsonTest, ParsedPlanDrivesTheInjectorLikeTheOriginal) {
+  const char* doc = R"({"seed": 42, "rules": [{"site": "boot-initcall",
+      "trigger_on": 1, "period": 1, "probability": 0, "max_fires": 2}]})";
+  auto plan = FaultPlanFromJson(doc);
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan);
+  int fires = 0;
+  for (int n = 0; n < 10; ++n) {
+    fires += injector.Check(FaultSite::kBootInitcall) ? 1 : 0;
+  }
+  EXPECT_EQ(fires, 2);  // max_fires caps the always-firing rule.
 }
 
 }  // namespace

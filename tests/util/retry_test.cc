@@ -1,0 +1,250 @@
+#include "src/util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/util/vclock.h"
+
+namespace lupine {
+namespace {
+
+TEST(BackoffDelayTest, GrowsExponentiallyAndClampsToTheCap) {
+  BackoffSpec spec;
+  spec.initial = Millis(100);
+  spec.multiplier = 2.0;
+  spec.cap = Millis(400);
+  spec.jitter = 0.0;  // Exact values.
+  Prng prng(1);
+  bool capped = false;
+  EXPECT_EQ(BackoffDelay(spec, 1, prng, &capped), Millis(100));
+  EXPECT_FALSE(capped);
+  EXPECT_EQ(BackoffDelay(spec, 2, prng, &capped), Millis(200));
+  EXPECT_FALSE(capped);
+  EXPECT_EQ(BackoffDelay(spec, 3, prng, &capped), Millis(400));
+  EXPECT_TRUE(capped);
+  EXPECT_EQ(BackoffDelay(spec, 10, prng, &capped), Millis(400));
+  EXPECT_TRUE(capped);
+}
+
+TEST(BackoffDelayTest, JitterStaysWithinTheFractionAndIsSeedDeterministic) {
+  BackoffSpec spec;
+  spec.jitter = 0.25;
+  auto schedule = [&spec](uint64_t seed) {
+    Prng prng(seed);
+    std::vector<Nanos> delays;
+    for (int f = 1; f <= 6; ++f) {
+      const Nanos delay = BackoffDelay(spec, f, prng);
+      delays.push_back(delay);
+    }
+    return delays;
+  };
+  const auto a = schedule(42);
+  EXPECT_EQ(a, schedule(42));
+  EXPECT_NE(a, schedule(43));
+  Prng prng(7);
+  for (int f = 1; f <= 6; ++f) {
+    const double base = std::min(static_cast<double>(spec.initial) * std::pow(2.0, f - 1),
+                                 static_cast<double>(spec.cap));
+    const Nanos delay = BackoffDelay(spec, f, prng);
+    EXPECT_GE(static_cast<double>(delay), base * 0.75 - 1);
+    EXPECT_LE(static_cast<double>(delay), base * 1.25 + 1);
+  }
+}
+
+TEST(RetryClassificationTest, TransientErrorsRetryDeterministicOnesDoNot) {
+  EXPECT_TRUE(IsRetryableError(Status(Err::kIo, "disk hiccup")));
+  EXPECT_TRUE(IsRetryableError(Status(Err::kTimedOut, "deadline")));
+  EXPECT_TRUE(IsRetryableError(Status(Err::kFault, "ring-0 panic")));
+  EXPECT_TRUE(IsRetryableError(Status(Err::kConnReset, "peer reset")));
+  EXPECT_FALSE(IsRetryableError(Status(Err::kNoMem, "OOM at this size")));
+  EXPECT_FALSE(IsRetryableError(Status(Err::kNoEnt, "no such app")));
+  EXPECT_FALSE(IsRetryableError(Status(Err::kInval, "bad plan")));
+  EXPECT_FALSE(IsRetryableError(Status(Err::kAccess, "quarantined")));
+  EXPECT_FALSE(IsRetryableError(Status::Ok()));
+}
+
+TEST(RetrierTest, StopsAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Retrier retrier(policy);
+  auto first = retrier.OnFailure(Status(Err::kIo, "boom"));
+  EXPECT_TRUE(first.retry);
+  EXPECT_GT(first.delay, 0);
+  auto second = retrier.OnFailure(Status(Err::kIo, "boom"));
+  EXPECT_TRUE(second.retry);
+  auto third = retrier.OnFailure(Status(Err::kIo, "boom"));
+  EXPECT_FALSE(third.retry);
+  EXPECT_STREQ(third.reason, "attempts-exhausted");
+  EXPECT_EQ(retrier.failures(), 3);
+}
+
+TEST(RetrierTest, PermanentErrorNeverRetries) {
+  Retrier retrier(RetryPolicy{.max_attempts = 10});
+  auto decision = retrier.OnFailure(Status(Err::kNoEnt, "no manifest"));
+  EXPECT_FALSE(decision.retry);
+  EXPECT_STREQ(decision.reason, "permanent-error");
+}
+
+TEST(RetrierTest, BudgetCapsTheSummedBackoff) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.backoff.initial = Millis(100);
+  policy.backoff.jitter = 0.0;
+  policy.total_budget = Millis(250);  // 100 + 200 > 250: second retry denied.
+  Retrier retrier(policy);
+  auto first = retrier.OnFailure(Status(Err::kIo, "boom"));
+  EXPECT_TRUE(first.retry);
+  EXPECT_EQ(first.delay, Millis(100));
+  auto second = retrier.OnFailure(Status(Err::kIo, "boom"));
+  EXPECT_FALSE(second.retry);
+  EXPECT_STREQ(second.reason, "budget-exhausted");
+  EXPECT_EQ(retrier.backoff_total(), Millis(100));
+}
+
+TEST(RetrierTest, SeedOffsetDecorrelatesTasksAndResetReplays) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  auto schedule = [&policy](uint64_t offset) {
+    Retrier retrier(policy, offset);
+    std::vector<Nanos> delays;
+    for (int i = 0; i < 6; ++i) {
+      auto decision = retrier.OnFailure(Status(Err::kIo, "boom"));
+      if (!decision.retry) {
+        break;
+      }
+      delays.push_back(decision.delay);
+    }
+    return delays;
+  };
+  EXPECT_EQ(schedule(3), schedule(3));  // Same task => same schedule.
+  EXPECT_NE(schedule(3), schedule(4));  // Different tasks decorrelate.
+
+  Retrier retrier(policy, 3);
+  std::vector<Nanos> first, second;
+  for (int i = 0; i < 4; ++i) {
+    first.push_back(retrier.OnFailure(Status(Err::kIo, "boom")).delay);
+  }
+  retrier.Reset();
+  for (int i = 0; i < 4; ++i) {
+    second.push_back(retrier.OnFailure(Status(Err::kIo, "boom")).delay);
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(DeadlineGuardTest, ExpiresAndChargesTheDeadlineNotTheStall) {
+  VirtualClock clock;
+  DeadlineGuard guard(clock, "boot", Millis(10));
+  clock.Advance(Millis(4));
+  EXPECT_FALSE(guard.expired());
+  EXPECT_TRUE(guard.Check().ok());
+  EXPECT_EQ(guard.charged(), Millis(4));
+  clock.Advance(Seconds(60));  // The stall.
+  EXPECT_TRUE(guard.expired());
+  EXPECT_EQ(guard.charged(), Millis(10));
+  const Status status = guard.Check();
+  EXPECT_EQ(status.err(), Err::kTimedOut);
+  EXPECT_NE(status.ToString().find("boot"), std::string::npos);
+}
+
+TEST(DeadlineGuardTest, ZeroDeadlineNeverExpires) {
+  VirtualClock clock;
+  DeadlineGuard guard(clock, "boot", 0);
+  clock.Advance(Seconds(3600));
+  EXPECT_FALSE(guard.expired());
+  EXPECT_TRUE(guard.Check().ok());
+  EXPECT_EQ(guard.charged(), Seconds(3600));
+  EXPECT_TRUE(DeadlineGuard::CheckElapsed("build", 0, Seconds(999)).ok());
+  EXPECT_FALSE(DeadlineGuard::CheckElapsed("build", Millis(1), Millis(2)).ok());
+}
+
+TEST(CircuitBreakerTest, TripsAtTheRatioAndCountsDenials) {
+  BreakerPolicy policy;
+  policy.window = 8;
+  policy.min_samples = 4;
+  policy.trip_ratio = 0.5;
+  policy.fail_fast = true;
+  policy.probe_after = 0;  // Stays open forever.
+  CircuitBreaker breaker(policy);
+  // 3 failures in 3 samples: below min_samples, no verdict yet.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.Allow());
+    breaker.Record(false);
+  }
+  EXPECT_FALSE(breaker.tripped());
+  EXPECT_TRUE(breaker.Allow());
+  breaker.Record(false);  // 4/4 failures >= 0.5 => trip.
+  EXPECT_TRUE(breaker.tripped());
+  EXPECT_EQ(breaker.trips(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(breaker.Allow());
+  }
+  EXPECT_EQ(breaker.denied(), 5u);
+  EXPECT_DOUBLE_EQ(breaker.failure_ratio(), 1.0);
+}
+
+TEST(CircuitBreakerTest, BestEffortCountsTripsButAllowsEverything) {
+  BreakerPolicy policy;
+  policy.min_samples = 2;
+  policy.fail_fast = false;
+  CircuitBreaker breaker(policy);
+  breaker.Record(false);
+  breaker.Record(false);
+  EXPECT_TRUE(breaker.tripped());
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.denied(), 0u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesTheBreakerOnSuccess) {
+  BreakerPolicy policy;
+  policy.min_samples = 2;
+  policy.fail_fast = true;
+  policy.probe_after = 3;
+  CircuitBreaker breaker(policy);
+  breaker.Record(false);
+  breaker.Record(false);
+  ASSERT_TRUE(breaker.tripped());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_TRUE(breaker.Allow());  // The third denial turns into the probe.
+  EXPECT_EQ(breaker.denied(), 2u);
+  breaker.Record(true);  // Probe succeeded: breaker closes, window forgets.
+  EXPECT_FALSE(breaker.tripped());
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_DOUBLE_EQ(breaker.failure_ratio(), 0.0);
+}
+
+TEST(CircuitBreakerStormTest, ConcurrentRecordsKeepExactCounts) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  BreakerPolicy policy;
+  // Window holds every outcome, so the final ratio is exact (8000/16000)
+  // whatever the interleaving; min_samples keeps it from ever tripping.
+  policy.window = kThreads * kPerThread;
+  policy.min_samples = kThreads * kPerThread + 1;
+  CircuitBreaker breaker(policy);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&breaker] {
+      for (int i = 0; i < kPerThread; ++i) {
+        EXPECT_TRUE(breaker.Allow());
+        breaker.Record(i % 2 == 0);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(breaker.tripped());
+  EXPECT_EQ(breaker.trips(), 0u);
+  EXPECT_EQ(breaker.denied(), 0u);
+  EXPECT_DOUBLE_EQ(breaker.failure_ratio(), 0.5);  // Window is even-sized.
+}
+
+}  // namespace
+}  // namespace lupine

@@ -120,6 +120,26 @@ TEST(SupervisorTest, BackoffScheduleFollowsThePolicyExactly) {
   }
 }
 
+TEST(SupervisorTest, PolicyCountersWatchGiveupsAndCappedBackoffs) {
+  FaultInjector faults(FaultPlan{}.FireAlways(FaultSite::kBootInitcall));
+  SupervisorPolicy policy;
+  policy.backoff_initial = Millis(100);
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_cap = Millis(200);  // Saturates on the 2nd restart.
+  policy.backoff_jitter = 0;
+  policy.crash_loop_failures = 5;
+  telemetry::MetricRegistry registry;
+  Supervisor supervisor(policy);
+  supervisor.set_metrics(&registry);
+  supervisor.AddMember("hello", Factory("hello-world", &faults));
+  EXPECT_EQ(supervisor.Run(), 1u);
+
+  // 5 failures => 4 scheduled restarts (the 5th failure degrades instead);
+  // backoffs 100, 200(capped), 200(capped), 200(capped) — 3 hit the cap.
+  EXPECT_EQ(registry.GetCounter("supervisor.giveup_total").value(), 1u);
+  EXPECT_EQ(registry.GetCounter("supervisor.backoff_capped_total").value(), 3u);
+}
+
 TEST(SupervisorTest, JitterDecorrelatesButStaysWithinBounds) {
   auto restart_gaps = [](uint64_t seed) {
     FaultInjector faults(FaultPlan{}.FireAlways(FaultSite::kBootInitcall));
