@@ -19,9 +19,18 @@
 //   2. Cross-build batching — a fresh cache with batch_general=true proves
 //      each per-app config against lupine-general and serves the shared
 //      kernel: one build for the whole fleet.
+//   3. Skewed fleet — a fault rule wedges every postgres boot for an extra
+//      630 virtual ms (~10x a normal boot), and the leg compares the static
+//      shards against work stealing at 1/2/4/8 workers: static strands the
+//      skew on one shard, stealing drains the other deques around it.
+//   4. Cold cache — every (schedule, workers) point provisions a fresh
+//      cache, comparing static, monolithic stealing (single-flight groups)
+//      and the pipelined stage DAG: pipelining overlaps kernel builds,
+//      rootfs assembly and boots instead of blocking boot tasks on flights.
 //
 // Results go to stdout and BENCH_fleet_boot.json (a CI artifact). Exit code
 // is always 0: regression gating belongs to the CI dashboards.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -30,9 +39,26 @@
 #include "src/core/fleet_boot.h"
 #include "src/core/multik.h"
 #include "src/kconfig/presets.h"
+#include "src/util/fault.h"
 #include "src/util/table.h"
 
 using namespace lupine;
+
+namespace {
+
+const char* ScheduleName(core::FleetSchedule schedule) {
+  switch (schedule) {
+    case core::FleetSchedule::kStaticShards:
+      return "static";
+    case core::FleetSchedule::kWorkStealing:
+      return "stealing";
+    case core::FleetSchedule::kPipelined:
+      return "pipelined";
+  }
+  return "?";
+}
+
+}  // namespace
 
 int main() {
   PrintBanner("Extension: parallel fleet boot (virtual-timeline throughput)");
@@ -103,7 +129,97 @@ int main() {
               "lupine-general image (%zu failures)\n",
               fleet_size, batch_stats.builds, batch_stats.general_served, batch_failures);
 
-  // --- 3. JSON artifact ----------------------------------------------------
+  // --- 3. Skewed fleet: static shards vs work stealing ---------------------
+  // One rule gives every postgres boot an extra 630 virtual ms of decompress
+  // stall — roughly 10x a normal warm boot. Static sharding strands all of
+  // postgres's boots on one shard; stealing lets idle workers drain the
+  // other deques around the wedge.
+  constexpr size_t kSkewRounds = 4;
+  FaultPlan skew_plan;
+  skew_plan.Add({.site = FaultSite::kBootStall,
+                 .trigger_on = 1,
+                 .period = 1,
+                 .app = "postgres",
+                 .stall = Millis(630)});
+  const std::vector<core::FleetSchedule> schedules = {
+      core::FleetSchedule::kStaticShards, core::FleetSchedule::kWorkStealing,
+      core::FleetSchedule::kPipelined};
+
+  struct SchedPoint {
+    size_t workers = 0;
+    core::FleetSchedule schedule = core::FleetSchedule::kStaticShards;
+    core::FleetBootResult result;
+  };
+  std::vector<SchedPoint> skew;
+  for (size_t workers : worker_counts) {
+    for (core::FleetSchedule schedule : schedules) {
+      core::FleetBootOptions options;
+      options.workers = workers;
+      options.rounds = kSkewRounds;
+      options.schedule = schedule;
+      options.fault_plan = &skew_plan;
+      auto result = core::RunFleetBoot(cache, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "skew %s workers=%zu: %s\n", ScheduleName(schedule), workers,
+                     result.status().ToString().c_str());
+        return 0;
+      }
+      skew.push_back({workers, schedule, *result});
+    }
+  }
+  std::printf("\nskewed fleet (postgres boots +630ms, %zu rounds, warm cache):\n", kSkewRounds);
+  Table skew_table({"workers", "schedule", "virtual ms", "steals", "vs static"});
+  for (size_t i = 0; i < skew.size(); ++i) {
+    const SchedPoint& point = skew[i];
+    const double virtual_ms = static_cast<double>(point.result.virtual_makespan) / 1e6;
+    // The static point for this worker count leads its group of three.
+    const double static_ms =
+        static_cast<double>(skew[i - i % schedules.size()].result.virtual_makespan) / 1e6;
+    char gain[32];
+    std::snprintf(gain, sizeof(gain), "%.2fx", static_ms / virtual_ms);
+    skew_table.AddRow(static_cast<double>(point.workers), ScheduleName(point.schedule),
+                      virtual_ms, static_cast<double>(point.result.steals), gain);
+  }
+  skew_table.Print();
+
+  // --- 4. Cold cache: monolithic stealing vs the pipelined stage DAG -------
+  // Every point provisions a fresh cache, so each distinct kernel fingerprint
+  // and rootfs key is built exactly once per point. Monolithic schedules
+  // model those builds as single-flight groups inside the first boot that
+  // needs them; the pipelined DAG splits them into their own tasks so they
+  // overlap across workers.
+  std::vector<SchedPoint> cold;
+  for (size_t workers : worker_counts) {
+    for (core::FleetSchedule schedule : schedules) {
+      core::KernelCache fresh;
+      core::FleetBootOptions options;
+      options.workers = workers;
+      options.rounds = 1;
+      options.schedule = schedule;
+      auto result = core::RunFleetBoot(fresh, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "cold %s workers=%zu: %s\n", ScheduleName(schedule), workers,
+                     result.status().ToString().c_str());
+        return 0;
+      }
+      cold.push_back({workers, schedule, *result});
+    }
+  }
+  std::printf("\ncold cache (fresh cache per point, 1 round):\n");
+  Table cold_table({"workers", "schedule", "virtual ms", "steals", "vs static"});
+  for (size_t i = 0; i < cold.size(); ++i) {
+    const SchedPoint& point = cold[i];
+    const double virtual_ms = static_cast<double>(point.result.virtual_makespan) / 1e6;
+    const double static_ms =
+        static_cast<double>(cold[i - i % schedules.size()].result.virtual_makespan) / 1e6;
+    char gain[32];
+    std::snprintf(gain, sizeof(gain), "%.2fx", static_ms / virtual_ms);
+    cold_table.AddRow(static_cast<double>(point.workers), ScheduleName(point.schedule),
+                      virtual_ms, static_cast<double>(point.result.steals), gain);
+  }
+  cold_table.Print();
+
+  // --- 5. JSON artifact ----------------------------------------------------
   std::FILE* json = std::fopen("BENCH_fleet_boot.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n");
@@ -127,7 +243,28 @@ int main() {
     std::fprintf(json, "  \"redundant_kernel_builds\": %zu,\n", redundant_kernel_builds);
     std::fprintf(json, "  \"batching_kernel_builds\": %zu,\n", batch_stats.builds);
     std::fprintf(json, "  \"batching_general_served\": %zu,\n", batch_stats.general_served);
-    std::fprintf(json, "  \"batching_distinct_kernels\": %zu\n", batch_stats.distinct_kernels);
+    std::fprintf(json, "  \"batching_distinct_kernels\": %zu,\n", batch_stats.distinct_kernels);
+    auto write_sched_points = [json](const char* key, const std::vector<SchedPoint>& points) {
+      std::fprintf(json, "  \"%s\": [\n", key);
+      for (size_t i = 0; i < points.size(); ++i) {
+        const SchedPoint& point = points[i];
+        std::fprintf(json,
+                     "    {\"workers\": %zu, \"schedule\": \"%s\", "
+                     "\"virtual_makespan_ms\": %.3f, \"steals\": %zu, "
+                     "\"worker_queue_peak\": %zu}%s\n",
+                     point.workers, ScheduleName(point.schedule),
+                     static_cast<double>(point.result.virtual_makespan) / 1e6,
+                     point.result.steals,
+                     point.result.worker_queue_peak.empty()
+                         ? size_t{0}
+                         : *std::max_element(point.result.worker_queue_peak.begin(),
+                                             point.result.worker_queue_peak.end()),
+                     i + 1 < points.size() ? "," : "");
+      }
+      std::fprintf(json, "  ]%s\n", std::string(key) == "cold" ? "" : ",");
+    };
+    write_sched_points("skew", skew);
+    write_sched_points("cold", cold);
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_fleet_boot.json\n");

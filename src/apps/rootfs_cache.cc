@@ -75,6 +75,16 @@ RootfsCache::BlobPtr RootfsCache::GetOrBuild(const ContainerImage& image,
   return blob;
 }
 
+bool RootfsCache::Contains(const ContainerImage& image, const RootfsOptions& options) const {
+  const std::string key = CacheKey(image, options);
+  std::lock_guard lock(mu_);
+  if (blobs_.count(key) > 0) {
+    return true;
+  }
+  auto flight = flights_.find(key);
+  return flight != flights_.end() && flight->second->done;
+}
+
 bool RootfsCache::Invalidate(const ContainerImage& image, const RootfsOptions& options) {
   const std::string key = CacheKey(image, options);
   std::lock_guard lock(mu_);

@@ -41,6 +41,12 @@ class RootfsCache {
   // different musl, so kml_libc is part of the key, never collapsed).
   static std::string CacheKey(const ContainerImage& image, const RootfsOptions& options);
 
+  // Pure probe: true when the blob for (image, options) is resident (stored
+  // or on a completed flight). No side effects — no stats, no LRU touch —
+  // so provisioning planners can ask "would this be a hit?" without
+  // perturbing the counters the storm tests assert on.
+  bool Contains(const ContainerImage& image, const RootfsOptions& options) const;
+
   // Drops the cached blob for (image, options) so the next request rebuilds
   // it from scratch — the quarantine path: an artifact whose launches keep
   // failing must not be served its possibly-poisoned rootfs back from cache.

@@ -1,31 +1,35 @@
 #include "src/core/fleet_boot.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <future>
+#include <map>
 #include <memory>
 #include <utility>
 
 #include "src/kconfig/presets.h"
-#include "src/util/thread_pool.h"
+#include "src/util/scheduler.h"
 
 namespace lupine::core {
 namespace {
 
 // One boot of one app. `index` is the task's global ordinal (round-major),
 // which seeds its private fault injector and retrier — both are functions of
-// the index alone, so outcomes are identical however tasks shard.
+// the index alone, so outcomes are identical however tasks are scheduled.
 struct BootTask {
   size_t index = 0;
   std::string app;
 };
 
-struct ShardOutcome {
+// Everything one scheduler task reports back. Direct mode fills one per boot
+// task; supervised mode fills one per shard. Each task body writes only its
+// own slot, so no synchronization is needed beyond the scheduler's joins.
+struct TaskOutcome {
   Nanos virtual_time = 0;
   size_t boots = 0;
   size_t failures = 0;
   Status status = Status::Ok();  // First artifact-build error, if any.
-  Bytes resident_peak = 0;       // Largest single-VM footprint in the shard.
+  Bytes resident_peak = 0;       // Largest single-VM footprint in the task.
   Bytes resident_sum = 0;        // Sum of VM peak footprints.
   size_t admitted = 0;
   size_t degraded = 0;
@@ -45,11 +49,15 @@ uint64_t TaskSeedFold(uint64_t seed, size_t index) {
   return seed ^ ((static_cast<uint64_t>(index) + 1) * 0x9E3779B97F4A7C15ull);
 }
 
-FaultInjector MakeTaskInjector(const FaultPlan* plan, size_t index) {
+FaultInjector MakeTaskInjector(const FaultPlan* plan, size_t index,
+                               const std::string& app) {
   if (plan == nullptr) {
     return FaultInjector();
   }
-  FaultPlan forked = *plan;
+  // App-filtered rules first (a plan can skew one app's boots), then the
+  // per-task seed fold. Both depend only on (plan, index, app), never on
+  // which worker runs the task — the replay-determinism contract.
+  FaultPlan forked = plan->ForApp(app);
   forked.seed = TaskSeedFold(plan->seed, index);
   return FaultInjector(forked);
 }
@@ -83,224 +91,226 @@ struct AttemptResult {
   enum Kind { kSuccess, kFail, kDenied, kFatal };
   Kind kind = kFail;
   Status status = Status::Ok();
-  Nanos charge = 0;     // Virtual time the failed attempt cost the shard.
+  Nanos charge = 0;       // Virtual time the failed attempt cost the task.
   bool launched = false;  // A VM ran: the outcome feeds the circuit breaker.
   bool report = false;    // Launch failure worth reporting to quarantine.
 };
 
-// Boots (and optionally runs) one shard directly, VM by VM, with per-task
-// retry, stage deadlines, artifact-quarantine feedback and breaker gating.
-ShardOutcome RunShardDirect(KernelCache& cache, const std::vector<BootTask>& shard,
-                            const FleetBootOptions& options) {
-  ShardOutcome outcome;
-
-  auto run_attempt = [&](const BootTask& task, FaultInjector& injector,
-                         bool first_attempt) -> AttemptResult {
-    AttemptResult result;
-    auto artifact = cache.GetOrBuild(task.app);
-    if (!artifact.ok()) {
-      if (KernelCache::IsQuarantineDenial(artifact.status())) {
-        ++outcome.quarantined;
-        result.kind = AttemptResult::kDenied;
-      } else if (IsRetryableError(artifact.status())) {
+// One launch attempt: artifact fetch, stage deadlines, admission, boot and
+// (optionally) the workload, with counters landing in `outcome`.
+AttemptResult RunBootAttempt(KernelCache& cache, const BootTask& task,
+                             const FleetBootOptions& options, FaultInjector& injector,
+                             bool first_attempt, TaskOutcome& outcome) {
+  AttemptResult result;
+  auto artifact = cache.GetOrBuild(task.app);
+  if (!artifact.ok()) {
+    if (KernelCache::IsQuarantineDenial(artifact.status())) {
+      ++outcome.quarantined;
+      result.kind = AttemptResult::kDenied;
+    } else if (IsRetryableError(artifact.status())) {
+      ++outcome.launch_failures;
+      result.kind = AttemptResult::kFail;
+    } else {
+      result.kind = AttemptResult::kFatal;
+    }
+    result.status = artifact.status();
+    return result;
+  }
+  // Host-wall provisioning deadlines apply to fresh builds (artifacts with
+  // a provisioning trace) and are priced once, on the task's first attempt,
+  // so the counters do not depend on which worker's task happened to
+  // trigger the build.
+  if (first_attempt && (*artifact)->provisioning != nullptr) {
+    struct StageLimit {
+      const char* span;
+      Nanos limit;
+    };
+    for (const StageLimit stage : {StageLimit{"build", options.deadlines.build},
+                                   StageLimit{"load-rootfs", options.deadlines.rootfs}}) {
+      const telemetry::Span* span = (*artifact)->provisioning->Find(stage.span);
+      if (span == nullptr) {
+        continue;
+      }
+      if (Status s = DeadlineGuard::CheckElapsed(stage.span, stage.limit, span->duration());
+          !s.ok()) {
+        ++outcome.deadline_exceeded;
         ++outcome.launch_failures;
         result.kind = AttemptResult::kFail;
-      } else {
-        result.kind = AttemptResult::kFatal;
-      }
-      result.status = artifact.status();
-      return result;
-    }
-    // Host-wall provisioning deadlines apply to fresh builds (artifacts with
-    // a provisioning trace) and are priced once, on the task's first attempt,
-    // so the counters do not depend on which worker's task happened to
-    // trigger the build.
-    if (first_attempt && (*artifact)->provisioning != nullptr) {
-      struct StageLimit {
-        const char* span;
-        Nanos limit;
-      };
-      for (const StageLimit stage : {StageLimit{"build", options.deadlines.build},
-                                     StageLimit{"load-rootfs", options.deadlines.rootfs}}) {
-        const telemetry::Span* span = (*artifact)->provisioning->Find(stage.span);
-        if (span == nullptr) {
-          continue;
-        }
-        if (Status s = DeadlineGuard::CheckElapsed(stage.span, stage.limit, span->duration());
-            !s.ok()) {
-          ++outcome.deadline_exceeded;
-          ++outcome.launch_failures;
-          result.kind = AttemptResult::kFail;
-          result.status = s;
-          return result;
-        }
-      }
-    }
-
-    // The grant is declared before the VM so the VM is destroyed first and
-    // the bytes return to the budget only once the guest is really gone.
-    vmm::Grant grant;
-    Bytes memory = options.memory;
-    if (options.admission != nullptr) {
-      grant = options.admission->Admit({task.app, options.memory, options.min_memory});
-      if (!grant.valid()) {
-        ++outcome.rejected;
-        result.kind = AttemptResult::kDenied;
-        result.status = Status(Err::kNoMem, "admission rejected " + task.app);
+        result.status = s;
         return result;
       }
-      grant.degraded() ? ++outcome.degraded : ++outcome.admitted;
-      if (grant.waited()) {
-        ++outcome.queue_waits;
-      }
-      memory = grant.granted();
     }
+  }
 
-    auto vm = (*artifact)->Launch(memory, injector.armed() ? &injector : nullptr);
-    result.launched = true;
-    DeadlineGuard boot_guard(vm->kernel().clock(), "boot", options.deadlines.boot);
-    if (Status s = vm->Boot(); !s.ok()) {
-      // Failed boots charge the shard the virtual instant the guest died —
-      // or the deadline, had the monitor's timer fired first.
-      ++outcome.launch_failures;
-      if (boot_guard.expired()) {
-        ++outcome.deadline_exceeded;
-      }
-      result.kind = AttemptResult::kFail;
-      result.status = s;
-      result.charge = boot_guard.charged();
-      result.report = true;
+  // The grant is declared before the VM so the VM is destroyed first and
+  // the bytes return to the budget only once the guest is really gone.
+  vmm::Grant grant;
+  Bytes memory = options.memory;
+  if (options.admission != nullptr) {
+    grant = options.admission->Admit({task.app, options.memory, options.min_memory});
+    if (!grant.valid()) {
+      ++outcome.rejected;
+      result.kind = AttemptResult::kDenied;
+      result.status = Status(Err::kNoMem, "admission rejected " + task.app);
       return result;
     }
-    const Nanos init_ns = InitExecNanos(*vm);
-    const Nanos boot_ns = vm->boot_report().to_init - init_ns;
-    Status stage = DeadlineGuard::CheckElapsed("boot", options.deadlines.boot, boot_ns);
-    Nanos killed_at = options.deadlines.boot;
-    if (stage.ok()) {
-      stage = DeadlineGuard::CheckElapsed("init", options.deadlines.init, init_ns);
-      killed_at = boot_ns + options.deadlines.init;
+    grant.degraded() ? ++outcome.degraded : ++outcome.admitted;
+    if (grant.waited()) {
+      ++outcome.queue_waits;
     }
-    if (!stage.ok()) {
-      // A stage overran its deadline: the monitor would have killed the VM
-      // at that instant (a kBootStall wedge costs the deadline, not 60s).
+    memory = grant.granted();
+  }
+
+  auto vm = (*artifact)->Launch(memory, injector.armed() ? &injector : nullptr);
+  result.launched = true;
+  DeadlineGuard boot_guard(vm->kernel().clock(), "boot", options.deadlines.boot);
+  if (Status s = vm->Boot(); !s.ok()) {
+    // Failed boots charge the task the virtual instant the guest died —
+    // or the deadline, had the monitor's timer fired first.
+    ++outcome.launch_failures;
+    if (boot_guard.expired()) {
+      ++outcome.deadline_exceeded;
+    }
+    result.kind = AttemptResult::kFail;
+    result.status = s;
+    result.charge = boot_guard.charged();
+    result.report = true;
+    return result;
+  }
+  const Nanos init_ns = InitExecNanos(*vm);
+  const Nanos boot_ns = vm->boot_report().to_init - init_ns;
+  Status stage = DeadlineGuard::CheckElapsed("boot", options.deadlines.boot, boot_ns);
+  Nanos killed_at = options.deadlines.boot;
+  if (stage.ok()) {
+    stage = DeadlineGuard::CheckElapsed("init", options.deadlines.init, init_ns);
+    killed_at = boot_ns + options.deadlines.init;
+  }
+  if (!stage.ok()) {
+    // A stage overran its deadline: the monitor would have killed the VM
+    // at that instant (a kBootStall wedge costs the deadline, not 60s).
+    ++outcome.deadline_exceeded;
+    ++outcome.launch_failures;
+    result.kind = AttemptResult::kFail;
+    result.status = stage;
+    result.charge = killed_at;
+    result.report = true;  // An artifact that stalls every boot is a bad artifact.
+    return result;
+  }
+
+  bool workload_failed = false;
+  if (options.run_workload) {
+    DeadlineGuard guard(vm->kernel().clock(), "workload", options.deadlines.workload);
+    auto run = vm->RunToCompletion();
+    const bool server_parked = !run.ok() && run.status().err() == Err::kAgain;
+    if (guard.expired()) {
       ++outcome.deadline_exceeded;
       ++outcome.launch_failures;
       result.kind = AttemptResult::kFail;
-      result.status = stage;
-      result.charge = killed_at;
-      result.report = true;  // An artifact that stalls every boot is a bad artifact.
+      result.status = guard.Check();
+      result.charge = vm->boot_report().to_init + guard.charged();
       return result;
     }
-
-    bool workload_failed = false;
-    if (options.run_workload) {
-      DeadlineGuard guard(vm->kernel().clock(), "workload", options.deadlines.workload);
-      auto run = vm->RunToCompletion();
-      const bool server_parked = !run.ok() && run.status().err() == Err::kAgain;
-      if (guard.expired()) {
-        ++outcome.deadline_exceeded;
-        ++outcome.launch_failures;
-        result.kind = AttemptResult::kFail;
-        result.status = guard.Check();
-        result.charge = vm->boot_report().to_init + guard.charged();
-        return result;
-      }
-      if (!server_parked && !run.ok() && IsRetryableError(run.status())) {
-        // Ring-0 panic (or an injected app fault): worth a fresh VM.
-        ++outcome.launch_failures;
-        result.kind = AttemptResult::kFail;
-        result.status = run.status();
-        result.charge = vm->kernel().clock().now();
-        result.report = true;
-        return result;
-      }
-      if (!server_parked && (!run.ok() || run.value() != 0)) {
-        // Deterministic app failure: the boot held, retrying is pointless.
-        workload_failed = true;
-      }
+    if (!server_parked && !run.ok() && IsRetryableError(run.status())) {
+      // Ring-0 panic (or an injected app fault): worth a fresh VM.
+      ++outcome.launch_failures;
+      result.kind = AttemptResult::kFail;
+      result.status = run.status();
+      result.charge = vm->kernel().clock().now();
+      result.report = true;
+      return result;
     }
-
-    result.kind = AttemptResult::kSuccess;
-    if (workload_failed) {
-      ++outcome.failures;
-    }
-    ++outcome.boots;
-    outcome.virtual_time += vm->boot_report().to_init;
-    const Bytes peak = vm->kernel().mm().peak();
-    outcome.resident_sum += peak;
-    outcome.resident_peak = std::max(outcome.resident_peak, peak);
-    if (options.metrics != nullptr) {
-      options.metrics->GetHistogram("boot.to_init_ns", {{"app", task.app}})
-          .Observe(static_cast<double>(vm->boot_report().to_init));
-      for (const telemetry::Span& span : vm->boot_spans().spans()) {
-        options.metrics->GetHistogram("boot.phase_ns", {{"phase", span.name}})
-            .Observe(static_cast<double>(span.duration()));
-      }
-      options.metrics->GetHistogram("vm.resident_peak_bytes")
-          .Observe(static_cast<double>(peak));
-    }
-    return result;
-  };
-
-  for (const BootTask& task : shard) {
-    FaultInjector injector = MakeTaskInjector(options.fault_plan, task.index);
-    Retrier retrier(options.retry, task.index);
-    Nanos recovery = 0;  // Failed-attempt charges + backoff delays.
-    bool completed = false;
-    for (int attempt = 0;; ++attempt) {
-      if (options.breaker != nullptr && !options.breaker->Allow()) {
-        ++outcome.breaker_denied;
-        break;
-      }
-      AttemptResult result = run_attempt(task, injector, attempt == 0);
-      if (result.kind == AttemptResult::kFatal) {
-        outcome.status = result.status;
-        return outcome;
-      }
-      if (result.launched && options.breaker != nullptr) {
-        options.breaker->Record(result.kind == AttemptResult::kSuccess);
-      }
-      if (result.kind == AttemptResult::kSuccess) {
-        completed = true;
-        break;
-      }
-      if (result.kind == AttemptResult::kDenied) {
-        break;
-      }
-      outcome.virtual_time += result.charge;
-      recovery += result.charge;
-      if (result.report) {
-        cache.ReportLaunchFailure(task.app);
-      }
-      Retrier::Decision decision = retrier.OnFailure(result.status);
-      if (!decision.retry) {
-        break;
-      }
-      ++outcome.retries;
-      outcome.virtual_time += decision.delay;
-      recovery += decision.delay;
-    }
-    if (completed) {
-      if (retrier.failures() > 0) {
-        ++outcome.recovered;
-        outcome.recovery_total += recovery;
-      }
-    } else {
-      ++outcome.failures;
-    }
-    if (injector.total_fires() > 0) {
-      outcome.fault_logs.emplace_back(task.index, FormatFaultLog(task, injector));
+    if (!server_parked && (!run.ok() || run.value() != 0)) {
+      // Deterministic app failure: the boot held, retrying is pointless.
+      workload_failed = true;
     }
   }
-  return outcome;
+
+  result.kind = AttemptResult::kSuccess;
+  if (workload_failed) {
+    ++outcome.failures;
+  }
+  ++outcome.boots;
+  outcome.virtual_time += vm->boot_report().to_init;
+  const Bytes peak = vm->kernel().mm().peak();
+  outcome.resident_sum += peak;
+  outcome.resident_peak = std::max(outcome.resident_peak, peak);
+  if (options.metrics != nullptr) {
+    options.metrics->GetHistogram("boot.to_init_ns", {{"app", task.app}})
+        .Observe(static_cast<double>(vm->boot_report().to_init));
+    for (const telemetry::Span& span : vm->boot_spans().spans()) {
+      options.metrics->GetHistogram("boot.phase_ns", {{"phase", span.name}})
+          .Observe(static_cast<double>(span.duration()));
+    }
+    options.metrics->GetHistogram("vm.resident_peak_bytes")
+        .Observe(static_cast<double>(peak));
+  }
+  return result;
+}
+
+// One boot task end to end: the retry loop around RunBootAttempt, with
+// breaker gating, quarantine feedback and recovery accounting. The VM of
+// every attempt is created and destroyed inside this call, on the one worker
+// thread running it (fibers are thread-local; migration happens before the
+// task starts, never mid-boot).
+void RunBootTask(KernelCache& cache, const BootTask& task,
+                 const FleetBootOptions& options, TaskOutcome& outcome) {
+  FaultInjector injector = MakeTaskInjector(options.fault_plan, task.index, task.app);
+  Retrier retrier(options.retry, task.index);
+  Nanos recovery = 0;  // Failed-attempt charges + backoff delays.
+  bool completed = false;
+  for (int attempt = 0;; ++attempt) {
+    if (options.breaker != nullptr && !options.breaker->Allow()) {
+      ++outcome.breaker_denied;
+      break;
+    }
+    AttemptResult result = RunBootAttempt(cache, task, options, injector,
+                                          attempt == 0, outcome);
+    if (result.kind == AttemptResult::kFatal) {
+      outcome.status = result.status;
+      return;
+    }
+    if (result.launched && options.breaker != nullptr) {
+      options.breaker->Record(result.kind == AttemptResult::kSuccess);
+    }
+    if (result.kind == AttemptResult::kSuccess) {
+      completed = true;
+      break;
+    }
+    if (result.kind == AttemptResult::kDenied) {
+      break;
+    }
+    outcome.virtual_time += result.charge;
+    recovery += result.charge;
+    if (result.report) {
+      cache.ReportLaunchFailure(task.app);
+    }
+    Retrier::Decision decision = retrier.OnFailure(result.status);
+    if (!decision.retry) {
+      break;
+    }
+    ++outcome.retries;
+    outcome.virtual_time += decision.delay;
+    recovery += decision.delay;
+  }
+  if (completed) {
+    if (retrier.failures() > 0) {
+      ++outcome.recovered;
+      outcome.recovery_total += recovery;
+    }
+  } else {
+    ++outcome.failures;
+  }
+  if (injector.total_fires() > 0) {
+    outcome.fault_logs.emplace_back(task.index, FormatFaultLog(task, injector));
+  }
 }
 
 // Boots one shard under a worker-owned Supervisor (restart policy and all).
 // The supervisor runs its own retry machinery (options.supervisor_policy);
 // the fleet retry/deadline options do not apply here.
-ShardOutcome RunShardSupervised(KernelCache& cache, const std::vector<BootTask>& shard,
-                                const FleetBootOptions& options) {
-  ShardOutcome outcome;
+TaskOutcome RunShardSupervised(KernelCache& cache, const std::vector<BootTask>& shard,
+                               const FleetBootOptions& options) {
+  TaskOutcome outcome;
   vmm::Supervisor supervisor(options.supervisor_policy);
   supervisor.set_metrics(options.metrics);
   std::vector<std::string> names;
@@ -319,8 +329,8 @@ ShardOutcome RunShardSupervised(KernelCache& cache, const std::vector<BootTask>&
                             : "";
     KernelCache::ArtifactPtr held = *artifact;
     Bytes memory = options.memory;
-    injectors.push_back(
-        std::make_unique<FaultInjector>(MakeTaskInjector(options.fault_plan, task.index)));
+    injectors.push_back(std::make_unique<FaultInjector>(
+        MakeTaskInjector(options.fault_plan, task.index, task.app)));
     FaultInjector* faults = injectors.back()->armed() ? injectors.back().get() : nullptr;
     names.push_back(task.app + "#" + std::to_string(task.index));
     supervisor.AddMember(names.back(),
@@ -372,46 +382,221 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
   const size_t workers = std::max<size_t>(1, options.workers);
   const size_t rounds = std::max<size_t>(1, options.rounds);
 
-  // Static sharding: boot i of round r goes to worker (r * apps + i) mod W.
-  // The shard contents — and with them every virtual-time figure — depend
-  // only on (apps, rounds, workers), never on thread scheduling. Each task
-  // keeps its global ordinal: fault schedules and retry jitter key off it,
-  // not off the worker, so those are invariant across worker counts too.
-  std::vector<std::vector<BootTask>> shards(workers);
-  size_t task = 0;
-  for (size_t r = 0; r < rounds; ++r) {
-    for (const std::string& app : apps) {
-      shards[task % workers].push_back({task, app});
-      ++task;
+  // The task list, round-major. Each task keeps its global ordinal: fault
+  // schedules and retry jitter key off it, not off the worker, so those are
+  // invariant across worker counts and schedules.
+  std::vector<BootTask> boot_tasks;
+  boot_tasks.reserve(rounds * apps.size());
+  {
+    size_t index = 0;
+    for (size_t r = 0; r < rounds; ++r) {
+      for (const std::string& app : apps) {
+        boot_tasks.push_back({index, app});
+        ++index;
+      }
     }
+  }
+
+  // Stage plans, one per distinct app, computed serially up front. Pure
+  // planning: stats and quarantine are untouched. This is also where an
+  // unbuildable app (no manifest) fails the fleet before anything runs.
+  std::map<std::string, KernelCache::ProvisionPlan> plans;
+  for (const BootTask& task : boot_tasks) {
+    if (plans.count(task.app) > 0) {
+      continue;
+    }
+    auto plan = cache.PlanProvisioning(task.app);
+    if (!plan.ok()) {
+      return plan.status();
+    }
+    plans.emplace(task.app, plan.take());
   }
 
   const size_t trips_before = options.breaker != nullptr ? options.breaker->trips() : 0;
   const auto wall_start = std::chrono::steady_clock::now();
-  ThreadPool pool(workers);
-  std::vector<std::future<ShardOutcome>> futures;
-  futures.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    futures.push_back(pool.Submit([&cache, &options, shard = std::move(shards[w])] {
-      return options.supervised ? RunShardSupervised(cache, shard, options)
-                                : RunShardDirect(cache, shard, options);
-    }));
+
+  WorkStealingScheduler::Options sched_options;
+  sched_options.workers = workers;
+  sched_options.stealing = options.schedule != FleetSchedule::kStaticShards;
+  WorkStealingScheduler scheduler(sched_options);
+
+  // Outcome slots, sized before any Submit so the bodies' pointers into the
+  // vector stay stable. Direct mode: one per boot task; supervised: one per
+  // shard. `sched_ids[slot]` maps a slot back to its scheduler task for
+  // replay-worker attribution.
+  std::vector<TaskOutcome> outcomes;
+  std::vector<size_t> sched_ids;
+  std::atomic<bool> fatal{false};
+  // Modeled virtual provisioning charged this run (flight groups + pipeline
+  // stage tasks) — part of virtual_boot_total so mode comparisons add up.
+  Nanos provisioning_virtual = 0;
+
+  if (options.supervised) {
+    // One pinned shard task per worker, the legacy layout: a supervisor owns
+    // its members (and their fiber-bound VMs) for the whole run. Cold
+    // provisioning still rides on flight groups so makespans are comparable.
+    std::vector<std::vector<BootTask>> shards(workers);
+    for (const BootTask& task : boot_tasks) {
+      shards[task.index % workers].push_back(task);
+    }
+    std::map<std::string, size_t> kernel_groups;  // fingerprint -> group id.
+    std::map<std::string, size_t> rootfs_groups;  // rootfs key -> group id.
+    outcomes.resize(workers);
+    sched_ids.resize(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      std::vector<size_t> groups;
+      for (const BootTask& task : shards[w]) {
+        const KernelCache::ProvisionPlan& plan = plans.at(task.app);
+        if (!plan.kernel_cached) {
+          auto [it, fresh] = kernel_groups.try_emplace(plan.fingerprint, 0);
+          if (fresh) {
+            it->second = scheduler.DefineFlightGroup(plan.kernel_cost);
+            provisioning_virtual += plan.kernel_cost;
+          }
+          if (std::find(groups.begin(), groups.end(), it->second) == groups.end()) {
+            groups.push_back(it->second);
+          }
+        }
+        if (!plan.rootfs_cached) {
+          auto [it, fresh] = rootfs_groups.try_emplace(plan.rootfs_key, 0);
+          if (fresh) {
+            it->second = scheduler.DefineFlightGroup(plan.rootfs_cost);
+            provisioning_virtual += plan.rootfs_cost;
+          }
+          if (std::find(groups.begin(), groups.end(), it->second) == groups.end()) {
+            groups.push_back(it->second);
+          }
+        }
+      }
+      WorkStealingScheduler::TaskSpec spec;
+      TaskOutcome* slot = &outcomes[w];
+      spec.body = [&cache, &options, &fatal, slot, shard = std::move(shards[w])] {
+        *slot = RunShardSupervised(cache, shard, options);
+        if (!slot->status.ok()) {
+          fatal.store(true, std::memory_order_relaxed);
+        }
+        return slot->virtual_time;
+      };
+      spec.label = "shard#" + std::to_string(w);
+      spec.home = static_cast<int>(w);
+      spec.pin = static_cast<int>(w);
+      spec.groups = std::move(groups);
+      sched_ids[w] = scheduler.Submit(std::move(spec));
+    }
+  } else {
+    outcomes.resize(boot_tasks.size());
+    sched_ids.resize(boot_tasks.size());
+
+    // Pipelined: one kernel task per distinct cold fingerprint, one rootfs
+    // task per distinct cold rootfs key; boots depend on their stages.
+    // Monolithic (static / stealing): cold stages become flight groups paid
+    // by the first boot task dispatched.
+    std::map<std::string, size_t> kernel_stage;  // fingerprint -> task/group id.
+    std::map<std::string, size_t> rootfs_stage;  // rootfs key -> task/group id.
+    const bool pipelined = options.schedule == FleetSchedule::kPipelined;
+    if (pipelined) {
+      size_t ordinal = 0;
+      for (const BootTask& task : boot_tasks) {
+        const KernelCache::ProvisionPlan& plan = plans.at(task.app);
+        if (!plan.kernel_cached && kernel_stage.count(plan.fingerprint) == 0) {
+          WorkStealingScheduler::TaskSpec spec;
+          const Nanos cost = plan.kernel_cost;
+          std::string app = task.app;
+          spec.body = [&cache, app, cost] {
+            // Failures surface through the dependent boots' GetOrBuild,
+            // which classifies them (retryable / fatal) like any launch.
+            (void)cache.PrewarmKernel(app);
+            return cost;
+          };
+          spec.label = "build:" + task.app;
+          spec.home = static_cast<int>(ordinal++ % workers);
+          kernel_stage.emplace(plan.fingerprint, scheduler.Submit(std::move(spec)));
+          provisioning_virtual += cost;
+        }
+      }
+      for (const BootTask& task : boot_tasks) {
+        const KernelCache::ProvisionPlan& plan = plans.at(task.app);
+        if (!plan.rootfs_cached && rootfs_stage.count(plan.rootfs_key) == 0) {
+          WorkStealingScheduler::TaskSpec spec;
+          const Nanos cost = plan.rootfs_cost;
+          std::string app = task.app;
+          spec.body = [&cache, app, cost] {
+            (void)cache.PrewarmRootfs(app);
+            return cost;
+          };
+          spec.label = "rootfs:" + task.app;
+          spec.home = static_cast<int>(ordinal++ % workers);
+          rootfs_stage.emplace(plan.rootfs_key, scheduler.Submit(std::move(spec)));
+          provisioning_virtual += cost;
+        }
+      }
+    } else {
+      for (const BootTask& task : boot_tasks) {
+        const KernelCache::ProvisionPlan& plan = plans.at(task.app);
+        if (!plan.kernel_cached && kernel_stage.count(plan.fingerprint) == 0) {
+          kernel_stage.emplace(plan.fingerprint,
+                               scheduler.DefineFlightGroup(plan.kernel_cost));
+          provisioning_virtual += plan.kernel_cost;
+        }
+        if (!plan.rootfs_cached && rootfs_stage.count(plan.rootfs_key) == 0) {
+          rootfs_stage.emplace(plan.rootfs_key,
+                               scheduler.DefineFlightGroup(plan.rootfs_cost));
+          provisioning_virtual += plan.rootfs_cost;
+        }
+      }
+    }
+
+    for (const BootTask& task : boot_tasks) {
+      const KernelCache::ProvisionPlan& plan = plans.at(task.app);
+      WorkStealingScheduler::TaskSpec spec;
+      TaskOutcome* slot = &outcomes[task.index];
+      spec.body = [&cache, &options, &fatal, slot, task] {
+        if (fatal.load(std::memory_order_relaxed)) {
+          return Nanos{0};  // Result is discarded on fatal; skip the work.
+        }
+        RunBootTask(cache, task, options, *slot);
+        if (!slot->status.ok()) {
+          fatal.store(true, std::memory_order_relaxed);
+        }
+        return slot->virtual_time;
+      };
+      spec.label = task.app + "#" + std::to_string(task.index);
+      spec.home = static_cast<int>(task.index % workers);
+      if (pipelined) {
+        if (!plan.kernel_cached) {
+          spec.deps.push_back(kernel_stage.at(plan.fingerprint));
+        }
+        if (!plan.rootfs_cached) {
+          spec.deps.push_back(rootfs_stage.at(plan.rootfs_key));
+        }
+      } else {
+        if (!plan.kernel_cached) {
+          spec.groups.push_back(kernel_stage.at(plan.fingerprint));
+        }
+        if (!plan.rootfs_cached) {
+          spec.groups.push_back(rootfs_stage.at(plan.rootfs_key));
+        }
+      }
+      sched_ids[task.index] = scheduler.Submit(std::move(spec));
+    }
+  }
+
+  WorkStealingScheduler::Report report = scheduler.Run();
+
+  // First fatal status in task order wins (deterministic, unlike the host
+  // race over which body noticed first).
+  for (const TaskOutcome& outcome : outcomes) {
+    if (!outcome.status.ok()) {
+      return outcome.status;
+    }
   }
 
   FleetBootResult result;
   std::vector<std::pair<size_t, std::string>> fault_logs;
-  for (auto& future : futures) {
-    ShardOutcome outcome = future.get();
-    if (!outcome.status.ok()) {
-      return outcome.status;
-    }
+  for (const TaskOutcome& outcome : outcomes) {
     result.boots += outcome.boots;
     result.failures += outcome.failures;
     result.virtual_boot_total += outcome.virtual_time;
-    result.virtual_makespan = std::max(result.virtual_makespan, outcome.virtual_time);
-    result.worker_virtual.push_back(outcome.virtual_time);
-    result.worker_resident_peak.push_back(outcome.resident_peak);
-    result.fleet_resident_peak += outcome.resident_peak;
     result.fleet_resident_sum += outcome.resident_sum;
     result.admitted += outcome.admitted;
     result.degraded += outcome.degraded;
@@ -424,12 +609,50 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
     result.breaker_denied += outcome.breaker_denied;
     result.recovered += outcome.recovered;
     result.virtual_recovery_total += outcome.recovery_total;
-    fault_logs.insert(fault_logs.end(), outcome.fault_logs.begin(), outcome.fault_logs.end());
+    fault_logs.insert(fault_logs.end(), outcome.fault_logs.begin(),
+                      outcome.fault_logs.end());
   }
+  result.virtual_boot_total += provisioning_virtual;
+
+  // Replay-derived scheduling figures: makespan, per-worker busy time,
+  // steals, queue peaks, and the per-worker span timelines.
+  result.virtual_makespan = report.makespan;
+  result.worker_virtual = report.worker_busy;
+  result.steals = report.steals;
+  result.worker_queue_peak = report.worker_queue_peak;
+  result.worker_timelines.resize(workers);
+  {
+    std::vector<std::vector<const WorkStealingScheduler::TaskRecord*>> by_worker(workers);
+    for (const WorkStealingScheduler::TaskRecord& record : report.tasks) {
+      by_worker[static_cast<size_t>(record.worker)].push_back(&record);
+    }
+    for (size_t w = 0; w < workers; ++w) {
+      std::sort(by_worker[w].begin(), by_worker[w].end(),
+                [](const auto* a, const auto* b) {
+                  return a->start != b->start ? a->start < b->start : a->id < b->id;
+                });
+      for (const auto* record : by_worker[w]) {
+        result.worker_timelines[w].Record(record->label, record->start, record->end);
+      }
+    }
+  }
+
+  // Memory rollups, attributed to the replay's worker assignment: host
+  // concurrency is W threads, so "one VM per worker at a time" still holds.
+  result.worker_resident_peak.assign(workers, 0);
+  for (size_t slot = 0; slot < outcomes.size(); ++slot) {
+    const size_t w = static_cast<size_t>(report.tasks[sched_ids[slot]].worker);
+    result.worker_resident_peak[w] =
+        std::max(result.worker_resident_peak[w], outcomes[slot].resident_peak);
+  }
+  for (Bytes peak : result.worker_resident_peak) {
+    result.fleet_resident_peak += peak;
+  }
+
   if (options.breaker != nullptr) {
     result.breaker_trips = options.breaker->trips() - trips_before;
   }
-  // Fault logs merge in task order, independent of sharding.
+  // Fault logs merge in task order, independent of scheduling.
   std::sort(fault_logs.begin(), fault_logs.end());
   result.fault_log.reserve(fault_logs.size());
   for (auto& [index, line] : fault_logs) {
@@ -471,6 +694,12 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
     options.metrics->GetGauge("fleet.breaker_trips")
         .Set(static_cast<int64_t>(result.breaker_trips));
     options.metrics->GetGauge("fleet.recovered").Set(static_cast<int64_t>(result.recovered));
+    options.metrics->GetGauge("fleet.steals").Set(static_cast<int64_t>(result.steals));
+    for (size_t w = 0; w < result.worker_queue_peak.size(); ++w) {
+      options.metrics
+          ->GetGauge("fleet.worker_queue_peak", {{"worker", std::to_string(w)}})
+          .Set(static_cast<int64_t>(result.worker_queue_peak[w]));
+    }
     cache.PublishMetrics(*options.metrics);
   }
   return result;

@@ -1,14 +1,27 @@
-// Fleet boot driver: boots a whole fleet of cached unikernels across
-// ThreadPool workers and reports throughput on the virtual timeline.
+// Fleet boot driver: boots a whole fleet of cached unikernels across worker
+// threads and reports throughput on the virtual timeline.
 //
-// Fibers (and therefore VMs mid-run) are thread-local, so the driver shards
-// the fleet statically: task i belongs to worker i mod W, and every VM a
-// worker creates lives and dies on that worker's thread. Each worker sums
-// the virtual boot time (monitor start -> init exec) of its shard; the fleet
-// makespan is the maximum shard sum — the virtual wall-clock of W monitor
-// processes booting their shards concurrently. That makes the reported
-// speedup a property of the simulation, not of how many host cores this
-// process happens to get.
+// Scheduling rides on util/scheduler's work-stealing deques instead of the
+// old static shards: each boot is one task, pushed to a home deque
+// (index mod W) and stolen by idle workers when its home runs long — one
+// expensive boot (a fresh build, a stall fault) no longer wedges a shard
+// while siblings idle. Fibers are thread-local, so a VM still lives and
+// dies on the one worker thread that ran its task; migration happens
+// before the task starts, never mid-boot. Every reported figure (makespan,
+// per-worker busy time, steals, queue peaks) comes from the scheduler's
+// deterministic virtual-time replay, so the speedup is a property of the
+// simulation, not of how many host cores this process happens to get —
+// and fault logs and retry counts replay byte-identically across 1/2/4/8
+// workers, stealing on or off.
+//
+// The per-VM chain (kernel build -> rootfs -> boot) is a dependency DAG in
+// the default pipelined schedule: one kernel task per distinct config
+// fingerprint, one rootfs task per distinct rootfs key, with each boot
+// depending on its two provisioning stages. Cold-cache provisioning stages
+// overlap across VMs instead of serializing inside the first boot that
+// happens to need them. Stage costs are the cache's deterministic
+// ProvisionCostModel figures, charged in virtual time only when the stage
+// is actually cold.
 #ifndef SRC_CORE_FLEET_BOOT_H_
 #define SRC_CORE_FLEET_BOOT_H_
 
@@ -17,12 +30,30 @@
 
 #include "src/core/multik.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/span.h"
 #include "src/util/fault.h"
 #include "src/util/retry.h"
 #include "src/vmm/admission.h"
 #include "src/vmm/supervisor.h"
 
 namespace lupine::core {
+
+// How the fleet maps onto workers.
+enum class FleetSchedule {
+  // The legacy layout: task i belongs to worker i mod W forever. Kept as
+  // the baseline the benches compare against (and as the degenerate
+  // stealing=off policy of the same scheduler).
+  kStaticShards,
+  // Work-stealing deques over monolithic tasks: each boot task runs the
+  // whole provisioning+boot chain; cold provisioning is modeled as
+  // single-flight groups (first task dispatched pays, concurrent ones wait).
+  kWorkStealing,
+  // Work-stealing deques over the staged DAG (default): kernel-build and
+  // rootfs tasks are split out per distinct stage key and overlap across
+  // VMs. On a warm cache no provisioning tasks exist and this is
+  // kWorkStealing with zero flight groups.
+  kPipelined,
+};
 
 // Per-stage deadlines over the provisioning+boot pipeline. Zero = unlimited.
 // build/rootfs are host-wall (the cache's provisioning spans); boot, init
@@ -89,16 +120,30 @@ struct FleetBootOptions {
   // Supervised-mode restart policy (backoff base/cap, crash-loop window) —
   // the supervisor's knobs are fleet configuration, not constants.
   vmm::SupervisorPolicy supervisor_policy;
+
+  // Worker scheduling policy (see FleetSchedule). Supervised mode always
+  // runs one pinned shard task per worker regardless (a supervisor owns its
+  // members for their whole lifetime), with cold provisioning still modeled
+  // as flight groups.
+  FleetSchedule schedule = FleetSchedule::kPipelined;
 };
 
 struct FleetBootResult {
   size_t boots = 0;
   size_t failures = 0;
-  Nanos virtual_makespan = 0;           // Max over workers of shard virtual time.
-  Nanos virtual_boot_total = 0;         // Sum of every boot's to_init.
+  Nanos virtual_makespan = 0;           // Replay makespan (latest completion).
+  Nanos virtual_boot_total = 0;         // Sum of all task + provisioning costs.
   double boots_per_virtual_sec = 0.0;   // boots / virtual_makespan.
   double wall_ms = 0.0;                 // Host wall clock, informational.
-  std::vector<Nanos> worker_virtual;    // Per-worker shard virtual time.
+  std::vector<Nanos> worker_virtual;    // Per-worker busy virtual time (replay).
+
+  // Scheduler telemetry, all from the deterministic replay.
+  size_t steals = 0;                      // Tasks that ran off-home.
+  std::vector<size_t> worker_queue_peak;  // Max deque depth per worker.
+  // Per-worker virtual timelines (one span per task, flight waits excluded):
+  // the stage-overlap picture. telemetry::ToChromeTrace renders them as a
+  // chrome://tracing / Perfetto document.
+  std::vector<telemetry::SpanTrace> worker_timelines;
 
   // Memory rollups (Fig. 8 footprints, fleet-scale). A worker boots its
   // shard serially, so its concurrent residency is one VM: the per-worker

@@ -137,17 +137,12 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
   // SpecializeConfig, `build` only when this flight really built the kernel,
   // `load-rootfs` below. Rides on the artifact for bench exemplars.
   auto provisioning = std::make_shared<telemetry::SpanTrace>();
-  const apps::AppManifest* manifest = apps::FindManifest(app);
-  if (manifest == nullptr) {
-    lock.lock();
-    return fail(Status(Err::kNoEnt, "no manifest for application " + app));
-  }
-  auto specialized = builder_.SpecializeConfig(*manifest, options, provisioning.get());
+  auto specialized = SpecializeForApp(app, options, provisioning.get());
   if (!specialized.ok()) {
     lock.lock();
     return fail(specialized.status());
   }
-  kconfig::Config config = specialized.take();
+  Specialization spec = specialized.take();
   if (metrics_ != nullptr) {
     for (const char* stage : {"specialize", "resolve"}) {
       if (const telemetry::Span* span = provisioning->Find(stage)) {
@@ -157,86 +152,19 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
     }
   }
 
-  // Cross-build batching: prove the per-app configuration is a subset of
-  // lupine-general and, if so, build/serve the shared general kernel
-  // instead. The proof is per-app — an extra option outside the general
-  // union falls back to the specialized build.
-  bool general_kernel = false;
-  if (options.batch_general && !options.general_config) {
-    BuildOptions general_options = options;
-    general_options.general_config = true;
-    general_options.batch_general = false;
-    general_options.extra_options.clear();
-    auto general = builder_.SpecializeConfig(*manifest, general_options);
-    if (general.ok() && config.IsSubsetOf(general.value())) {
-      config = general.take();
-      general_kernel = true;
-    }
-  }
-  const std::string fingerprint = ConfigFingerprint(config);
-
   // Kernel-level single-flight: apps whose configurations fingerprint
   // identically share one build even when requested concurrently.
-  lock.lock();
-  KernelEntry kernel;
-  while (kernel.image == nullptr) {
-    auto hit = kernels_.find(fingerprint);
-    if (hit != kernels_.end()) {
-      kernel = hit->second;
-      kernel_lru_.Touch(fingerprint);
-      break;
-    }
-    auto flying = kernel_flights_.find(fingerprint);
-    if (flying != kernel_flights_.end()) {
-      std::shared_ptr<KernelFlight> flight = flying->second;
-      cv_.wait(lock, [&] { return flight->done; });
-      if (!flight->status.ok()) {
-        return fail(flight->status);
-      }
-      kernel = flight->entry;
-      break;
-    }
-    auto kernel_flight = std::make_shared<KernelFlight>();
-    kernel_flights_.emplace(fingerprint, kernel_flight);
-    lock.unlock();
-    telemetry::HostStopwatch build_watch;
-    kbuild::ImageBuilder image_builder;
-    auto built = image_builder.Build(config);
-    const Nanos build_ns = build_watch.ElapsedNanos();
+  auto ensured = EnsureKernel(spec.config, spec.fingerprint, provisioning.get());
+  if (!ensured.ok()) {
     lock.lock();
-    kernel_flight->done = true;
-    if (!built.ok()) {
-      kernel_flight->status = built.status();
-      kernel_flights_.erase(fingerprint);
-      cv_.notify_all();
-      return fail(built.status());
-    }
-    ++builds_;
-    provisioning->AddPhase("build", build_ns);
-    if (metrics_ != nullptr) {
-      metrics_->GetCounter("kernelcache.builds").Increment();
-      metrics_->GetHistogram("build.stage_ns", {{"stage", "build"}})
-          .Observe(static_cast<double>(build_ns));
-    }
-    KernelEntry entry;
-    entry.image = std::make_shared<const kbuild::KernelImage>(built.take());
-    // The boot plan is the point of the per-image precompute: derived once
-    // here, reused by every VM that ever boots this image.
-    entry.boot_plan =
-        std::make_shared<const guestos::BootPlan>(guestos::ComputeBootPlan(*entry.image));
-    kernels_.emplace(fingerprint, entry);
-    kernel_lru_.Insert(fingerprint, entry.image->size);
-    EvictLocked();  // Our local reference pins the new image.
-    kernel_flight->entry = entry;
-    kernel_flights_.erase(fingerprint);
-    cv_.notify_all();
-    kernel = std::move(entry);
+    return fail(ensured.status());
   }
-  lock.unlock();
+  KernelEntry kernel = ensured.take();
+  const bool general_kernel = spec.general_kernel;
 
   // Per-app artifact: the init script is per-app; the rootfs blob is shared
   // through the content-addressed rootfs cache.
-  apps::ContainerImage image = apps::MakeAlpineImage(*manifest);
+  apps::ContainerImage image = apps::MakeAlpineImage(*spec.manifest);
   apps::RootfsOptions rootfs_options;
   rootfs_options.kml_libc = options.kml;
   auto artifact = std::make_shared<AppArtifact>();
@@ -268,6 +196,145 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
   app_flights_.erase(key);
   cv_.notify_all();
   return result;
+}
+
+Result<KernelCache::Specialization> KernelCache::SpecializeForApp(
+    const std::string& app, const BuildOptions& options,
+    telemetry::SpanTrace* provisioning) {
+  const apps::AppManifest* manifest = apps::FindManifest(app);
+  if (manifest == nullptr) {
+    return Status(Err::kNoEnt, "no manifest for application " + app);
+  }
+  auto specialized = builder_.SpecializeConfig(*manifest, options, provisioning);
+  if (!specialized.ok()) {
+    return specialized.status();
+  }
+  Specialization spec;
+  spec.manifest = manifest;
+  spec.config = specialized.take();
+  // Cross-build batching: prove the per-app configuration is a subset of
+  // lupine-general and, if so, build/serve the shared general kernel
+  // instead. The proof is per-app — an extra option outside the general
+  // union falls back to the specialized build.
+  if (options.batch_general && !options.general_config) {
+    BuildOptions general_options = options;
+    general_options.general_config = true;
+    general_options.batch_general = false;
+    general_options.extra_options.clear();
+    auto general = builder_.SpecializeConfig(*manifest, general_options);
+    if (general.ok() && spec.config.IsSubsetOf(general.value())) {
+      spec.config = general.take();
+      spec.general_kernel = true;
+    }
+  }
+  spec.fingerprint = ConfigFingerprint(spec.config);
+  return spec;
+}
+
+Result<KernelCache::KernelEntry> KernelCache::EnsureKernel(
+    const kconfig::Config& config, const std::string& fingerprint,
+    telemetry::SpanTrace* provisioning) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    auto hit = kernels_.find(fingerprint);
+    if (hit != kernels_.end()) {
+      kernel_lru_.Touch(fingerprint);
+      return hit->second;
+    }
+    auto flying = kernel_flights_.find(fingerprint);
+    if (flying != kernel_flights_.end()) {
+      std::shared_ptr<KernelFlight> flight = flying->second;
+      cv_.wait(lock, [&] { return flight->done; });
+      if (!flight->status.ok()) {
+        return flight->status;
+      }
+      return flight->entry;
+    }
+    auto kernel_flight = std::make_shared<KernelFlight>();
+    kernel_flights_.emplace(fingerprint, kernel_flight);
+    lock.unlock();
+    telemetry::HostStopwatch build_watch;
+    kbuild::ImageBuilder image_builder;
+    auto built = image_builder.Build(config);
+    const Nanos build_ns = build_watch.ElapsedNanos();
+    lock.lock();
+    kernel_flight->done = true;
+    if (!built.ok()) {
+      kernel_flight->status = built.status();
+      kernel_flights_.erase(fingerprint);
+      cv_.notify_all();
+      return built.status();
+    }
+    ++builds_;
+    if (provisioning != nullptr) {
+      provisioning->AddPhase("build", build_ns);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("kernelcache.builds").Increment();
+      metrics_->GetHistogram("build.stage_ns", {{"stage", "build"}})
+          .Observe(static_cast<double>(build_ns));
+    }
+    KernelEntry entry;
+    entry.image = std::make_shared<const kbuild::KernelImage>(built.take());
+    // The boot plan is the point of the per-image precompute: derived once
+    // here, reused by every VM that ever boots this image.
+    entry.boot_plan =
+        std::make_shared<const guestos::BootPlan>(guestos::ComputeBootPlan(*entry.image));
+    kernels_.emplace(fingerprint, entry);
+    kernel_lru_.Insert(fingerprint, entry.image->size);
+    EvictLocked();  // Our local reference pins the new image.
+    kernel_flight->entry = entry;
+    kernel_flights_.erase(fingerprint);
+    cv_.notify_all();
+    return entry;
+  }
+}
+
+Result<KernelCache::ProvisionPlan> KernelCache::PlanProvisioning(const std::string& app) {
+  auto specialized = SpecializeForApp(app, options_, nullptr);
+  if (!specialized.ok()) {
+    return specialized.status();
+  }
+  Specialization spec = specialized.take();
+  ProvisionPlan plan;
+  plan.app = app;
+  plan.fingerprint = spec.fingerprint;
+  apps::RootfsOptions rootfs_options;
+  rootfs_options.kml_libc = options_.kml;
+  const apps::ContainerImage image = apps::MakeAlpineImage(*spec.manifest);
+  plan.rootfs_key = apps::RootfsCache::CacheKey(image, rootfs_options);
+  plan.rootfs_cached = rootfs_cache_.Contains(image, rootfs_options);
+  {
+    std::lock_guard lock(mu_);
+    plan.kernel_cached = kernels_.count(spec.fingerprint) > 0;
+  }
+  plan.kernel_cost =
+      provision_costs_.kernel_base +
+      provision_costs_.kernel_per_option *
+          static_cast<Nanos>(spec.config.EnabledOptions().size());
+  plan.rootfs_cost = provision_costs_.rootfs;
+  return plan;
+}
+
+Status KernelCache::PrewarmKernel(const std::string& app) {
+  auto specialized = SpecializeForApp(app, options_, nullptr);
+  if (!specialized.ok()) {
+    return specialized.status();
+  }
+  Specialization spec = specialized.take();
+  auto ensured = EnsureKernel(spec.config, spec.fingerprint, nullptr);
+  return ensured.ok() ? Status::Ok() : ensured.status();
+}
+
+Status KernelCache::PrewarmRootfs(const std::string& app) {
+  const apps::AppManifest* manifest = apps::FindManifest(app);
+  if (manifest == nullptr) {
+    return Status(Err::kNoEnt, "no manifest for application " + app);
+  }
+  apps::RootfsOptions rootfs_options;
+  rootfs_options.kml_libc = options_.kml;
+  (void)rootfs_cache_.GetOrBuild(apps::MakeAlpineImage(*manifest), rootfs_options);
+  return Status::Ok();
 }
 
 Nanos KernelCache::QuarantineNowLocked() {

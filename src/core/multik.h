@@ -103,6 +103,57 @@ class KernelCache {
   // Same, with per-call build options (keyed separately from the defaults).
   Result<ArtifactPtr> GetOrBuild(const std::string& app, const BuildOptions& options);
 
+  // --- Staged provisioning --------------------------------------------------
+  // GetOrBuild runs the whole chain (specialize -> kernel -> rootfs) as one
+  // opaque step. A pipelining fleet scheduler wants the stages as separate
+  // schedulable tasks so one VM's kernel build overlaps another's rootfs
+  // assembly. PlanProvisioning exposes the stage keys and which stages are
+  // already resident; PrewarmKernel/PrewarmRootfs execute one stage each
+  // (single-flight with each other and with GetOrBuild). A boot task that
+  // runs after its prewarm deps is then a pure cache hit.
+
+  // Modeled virtual cost of cold provisioning stages. Builds run on the host
+  // wall clock; fleet virtual makespans charge these deterministic figures
+  // instead so scheduling results never depend on host core count or load.
+  struct ProvisionCostModel {
+    // Kernel build: a fixed compile floor plus a per-enabled-option cost
+    // (more config surface = more translation units in this model).
+    Nanos kernel_base = Millis(1500);
+    Nanos kernel_per_option = Millis(3);
+    // Rootfs assembly: flat — blob contents are config-independent string
+    // assembly (ContainerImage carries no byte size to scale by).
+    Nanos rootfs = Millis(250);
+  };
+
+  // One app's provisioning, staged: the kernel stage key (shared by every
+  // app whose specialized config fingerprints identically), the rootfs stage
+  // key, residency of each stage, and the modeled cost of the cold ones.
+  struct ProvisionPlan {
+    std::string app;
+    std::string fingerprint;  // Kernel stage key.
+    std::string rootfs_key;   // Rootfs stage key.
+    bool kernel_cached = false;
+    bool rootfs_cached = false;
+    Nanos kernel_cost = 0;  // Modeled cost if the kernel stage is cold.
+    Nanos rootfs_cost = 0;  // Modeled cost if the rootfs stage is cold.
+  };
+
+  // Computes the plan for `app` under the default build options. Pure
+  // planning: no request/hit counters move, the quarantine gate is not
+  // consulted, and nothing is built — safe to call while deciding what to
+  // schedule without perturbing the stats storm tests assert on.
+  Result<ProvisionPlan> PlanProvisioning(const std::string& app);
+
+  // Stage executors (default build options). Each builds its stage at most
+  // once fleet-wide (kernel builds single-flight with GetOrBuild's own
+  // kernel path; the rootfs cache single-flights internally) and is a cheap
+  // no-op when the stage is already resident.
+  Status PrewarmKernel(const std::string& app);
+  Status PrewarmRootfs(const std::string& app);
+
+  void set_provision_costs(ProvisionCostModel model) { provision_costs_ = model; }
+  const ProvisionCostModel& provision_costs() const { return provision_costs_; }
+
   // --- Quarantine -----------------------------------------------------------
   // Launch-failure feedback from fleet members: `app` (default-keyed, the
   // fleet path's GetOrBuild(app) counterpart) booted from its artifact and
@@ -191,6 +242,26 @@ class KernelCache {
 
   Result<ArtifactPtr> GetOrBuildKeyed(const std::string& key, const std::string& app,
                                       const BuildOptions& options);
+
+  // The front half of provisioning, shared by GetOrBuildKeyed and the staged
+  // API: manifest lookup, SpecializeConfig, the batch-general subset proof,
+  // and the config fingerprint. Lock-free (the builder is stateless).
+  struct Specialization {
+    const apps::AppManifest* manifest = nullptr;
+    kconfig::Config config;
+    bool general_kernel = false;
+    std::string fingerprint;
+  };
+  Result<Specialization> SpecializeForApp(const std::string& app,
+                                          const BuildOptions& options,
+                                          telemetry::SpanTrace* provisioning);
+  // The kernel stage: serve `fingerprint` from the store, join its flight,
+  // or build `config` and publish. Takes mu_ itself (caller must not hold
+  // it); `provisioning` (optional) receives the "build" phase on a build.
+  Result<KernelEntry> EnsureKernel(const kconfig::Config& config,
+                                   const std::string& fingerprint,
+                                   telemetry::SpanTrace* provisioning);
+
   void EvictLocked();
   // Drops the cached artifact + rootfs blob for `app` (default key) so the
   // next GetOrBuild rebuilds from scratch. Caller holds mu_.
@@ -201,6 +272,7 @@ class KernelCache {
   LupineBuilder builder_;
   apps::RootfsCache rootfs_cache_;
   telemetry::MetricRegistry* metrics_ = nullptr;
+  ProvisionCostModel provision_costs_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -136,7 +136,9 @@ Status Kernel::Boot(const std::string& rootfs_blob, const BootPlan* plan_in) {
     // succeeds, only after a virtual stall no monitor should sit out. This
     // is the failure mode stage deadlines exist for — without one the shard
     // absorbs the whole stall; with one the monitor kills at the deadline.
-    Phase("boot-stall", kBootStallPenalty);
+    // The penalty is the firing rule's custom stall when set (fault plans
+    // use small stalls to model skewed per-app boot costs), else 60s.
+    Phase("boot-stall", faults_->stall_penalty());
   }
 
   Phase("core-init", plan.core_init);

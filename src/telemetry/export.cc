@@ -116,6 +116,30 @@ std::string ToJson(const SpanTrace& trace, const std::string& indent) {
   return out;
 }
 
+std::string ToChromeTrace(const std::vector<SpanTrace>& timelines) {
+  // The trace_event "JSON Array Format": a bare array of complete events is
+  // a valid document for chrome://tracing and Perfetto. Timestamps and
+  // durations are microseconds by that spec; the nanos here are virtual, so
+  // sub-microsecond spans keep their precision through the fraction.
+  std::string out = "[";
+  bool first = true;
+  for (size_t tid = 0; tid < timelines.size(); ++tid) {
+    for (const Span& span : timelines[tid].spans()) {
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                    "\"pid\": 1, \"tid\": %zu}",
+                    JsonEscape(span.name).c_str(), ToMicros(span.start),
+                    ToMicros(span.duration()), tid);
+      out += first ? "\n  " : ",\n  ";
+      out += buf;
+      first = false;
+    }
+  }
+  out += first ? "]" : "\n]";
+  return out;
+}
+
 std::string ExportJson(const MetricRegistry& registry) { return ToJson(registry.Collect()); }
 
 Status WriteFile(const std::string& path, const std::string& contents) {

@@ -18,6 +18,7 @@
 #define SRC_TELEMETRY_EXPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/span.h"
@@ -35,6 +36,13 @@ std::string ToJson(const MetricRegistry::Snapshot& snapshot, const std::string& 
 // A span array: [{"name": ..., "start_ns": ..., "end_ns": ...,
 // "duration_ns": ...}, ...].
 std::string ToJson(const SpanTrace& trace, const std::string& indent = "");
+
+// Chrome trace_event JSON (the JSON Array Format chrome://tracing and
+// Perfetto load directly): one complete event (`"ph": "X"`) per span, with
+// `ts`/`dur` in microseconds and one `tid` per timeline — timeline i renders
+// as thread i of process 1. Feed it RunFleetBoot's worker_timelines to see
+// the per-worker stage-overlap picture.
+std::string ToChromeTrace(const std::vector<SpanTrace>& timelines);
 
 // Convenience: collect + render a whole registry.
 std::string ExportJson(const MetricRegistry& registry);

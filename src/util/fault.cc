@@ -167,6 +167,14 @@ Status ParseRule(JsonReader& reader, FaultRule& rule) {
         site_seen = true;
         continue;
       }
+      if (*key == "app") {
+        auto app = reader.ReadString();
+        if (!app.ok()) {
+          return app.status();
+        }
+        rule.app = *app;
+        continue;
+      }
       auto number = reader.ReadNumber();
       if (!number.ok()) {
         return number.status();
@@ -179,6 +187,8 @@ Status ParseRule(JsonReader& reader, FaultRule& rule) {
         rule.probability = *number;
       } else if (*key == "max_fires") {
         rule.max_fires = static_cast<int>(*number);
+      } else if (*key == "stall_ns") {
+        rule.stall = static_cast<Nanos>(*number);
       } else {
         return reader.Fail("unknown rule key \"" + *key + "\"");
       }
@@ -205,6 +215,13 @@ std::string ToJson(const FaultPlan& plan) {
     json += ", \"period\": " + std::to_string(rule.period);
     json += ", \"probability\": " + FormatProbability(rule.probability);
     json += ", \"max_fires\": " + std::to_string(rule.max_fires);
+    // Non-default targeting fields only: existing plan files stay stable.
+    if (!rule.app.empty()) {
+      json += ", \"app\": \"" + rule.app + "\"";
+    }
+    if (rule.stall != 0) {
+      json += ", \"stall_ns\": " + std::to_string(rule.stall);
+    }
     json += "}";
   }
   json += "]}";
@@ -262,6 +279,17 @@ Result<FaultPlan> FaultPlanFromJson(const std::string& json) {
   return plan;
 }
 
+FaultPlan FaultPlan::ForApp(const std::string& app) const {
+  FaultPlan filtered;
+  filtered.seed = seed;
+  for (const FaultRule& rule : rules) {
+    if (rule.app.empty() || rule.app == app) {
+      filtered.rules.push_back(rule);
+    }
+  }
+  return filtered;
+}
+
 FaultInjector::FaultInjector(const FaultPlan& plan)
     : armed_(!plan.rules.empty()),
       seed_(plan.seed),
@@ -279,6 +307,7 @@ bool FaultInjector::Check(FaultSite site) {
   }
   uint64_t n = ++evaluations_[static_cast<size_t>(site)];
   bool fire = false;
+  Nanos stall = kBootStallPenalty;
   for (size_t i = 0; i < rules_.size(); ++i) {
     const FaultRule& rule = rules_[i];
     if (rule.site != site || remaining_[i] == 0) {
@@ -300,6 +329,9 @@ bool FaultInjector::Check(FaultSite site) {
     }
     if (hit) {
       fire = true;
+      if (rule.stall > 0) {
+        stall = rule.stall;
+      }
       if (remaining_[i] > 0) {
         --remaining_[i];
       }
@@ -308,6 +340,9 @@ bool FaultInjector::Check(FaultSite site) {
   if (fire) {
     ++fires_[static_cast<size_t>(site)];
     log_.push_back({site, n});
+    if (site == FaultSite::kBootStall) {
+      stall_penalty_ = stall;
+    }
   }
   return fire;
 }
@@ -320,6 +355,7 @@ void FaultInjector::Reset() {
   evaluations_.fill(0);
   fires_.fill(0);
   log_.clear();
+  stall_penalty_ = kBootStallPenalty;
 }
 
 }  // namespace lupine

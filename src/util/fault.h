@@ -66,6 +66,14 @@ struct FaultRule {
   double probability = 0.0;
   // Stop firing after this many hits; -1 = unlimited.
   int max_fires = -1;
+  // Restrict the rule to one application: FaultPlan::ForApp drops rules
+  // whose app is set and differs (the fleet driver forks per-task plans, so
+  // one rule can skew a single app's boots). Empty = every app.
+  std::string app;
+  // kBootStall only: custom virtual stall instead of kBootStallPenalty.
+  // 0 = the default penalty. Lets a plan dial in, say, a 10x boot cost for
+  // one app without wedging it for a full minute.
+  Nanos stall = 0;
 };
 
 // A named, seeded collection of rules — the experiment's fault schedule.
@@ -84,6 +92,10 @@ struct FaultPlan {
   FaultPlan& FireAlways(FaultSite site, int max_fires = -1) {
     return Add({.site = site, .trigger_on = 1, .period = 1, .max_fires = max_fires});
   }
+  // The plan as seen by one application: rules filtered to those whose
+  // `app` is empty or matches. Deterministic per app — forked per-task
+  // plans stay byte-identical however the fleet is scheduled.
+  FaultPlan ForApp(const std::string& app) const;
 };
 
 // JSON round-trip so chaos schedules live as data files next to the benches
@@ -92,9 +104,10 @@ struct FaultPlan {
 //   {"seed": 42, "rules": [{"site": "boot-initcall", "trigger_on": 1,
 //                           "period": 1, "probability": 0.0, "max_fires": 2}]}
 //
-// Serialization emits every rule field; the parser defaults omitted fields
-// to the FaultRule defaults and rejects unknown keys, unknown sites and
-// malformed documents. ToJson(FaultPlanFromJson(x)) is a fixed point.
+// Serialization emits every numeric rule field (plus "app"/"stall_ns" when
+// set); the parser defaults omitted fields to the FaultRule defaults and
+// rejects unknown keys, unknown sites and malformed documents.
+// ToJson(FaultPlanFromJson(x)) is a fixed point.
 std::string ToJson(const FaultPlan& plan);
 Result<FaultPlan> FaultPlanFromJson(const std::string& json);
 
@@ -125,6 +138,11 @@ class FaultInjector {
   uint64_t total_fires() const { return log_.size(); }
   const std::vector<FaultRecord>& log() const { return log_; }
 
+  // Virtual stall the guest pays for the most recent kBootStall fire: the
+  // firing rule's custom `stall` when set, else kBootStallPenalty. The
+  // disarmed null object always reports the default penalty.
+  Nanos stall_penalty() const { return stall_penalty_; }
+
   // Forgets counters and the log and re-seeds the PRNG: the next run of the
   // same workload sees the identical schedule (replay).
   void Reset();
@@ -139,6 +157,7 @@ class FaultInjector {
   std::array<uint64_t, kFaultSiteCount> evaluations_{};
   std::array<uint64_t, kFaultSiteCount> fires_{};
   std::vector<FaultRecord> log_;
+  Nanos stall_penalty_ = kBootStallPenalty;
 };
 
 }  // namespace lupine

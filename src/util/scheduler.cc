@@ -1,0 +1,277 @@
+#include "src/util/scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+namespace lupine {
+namespace {
+
+// Pops a runnable task for `w` under the shared deque policy: own deque
+// back-first, then (stealing on) the front-most unpinned task of the first
+// victim that has one, scanning (w+1) % W onwards. Returns the task id or
+// SIZE_MAX; sets *stolen when the task came from another deque.
+size_t TakeTask(std::vector<std::deque<size_t>>& deques, const std::vector<int>& pins,
+                size_t w, bool stealing, bool* stolen) {
+  *stolen = false;
+  if (!deques[w].empty()) {
+    size_t id = deques[w].back();
+    deques[w].pop_back();
+    return id;
+  }
+  if (!stealing) {
+    return SIZE_MAX;
+  }
+  const size_t workers = deques.size();
+  for (size_t step = 1; step < workers; ++step) {
+    std::deque<size_t>& victim = deques[(w + step) % workers];
+    for (auto it = victim.begin(); it != victim.end(); ++it) {
+      if (pins[*it] < 0) {
+        size_t id = *it;
+        victim.erase(it);
+        *stolen = true;
+        return id;
+      }
+    }
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace
+
+WorkStealingScheduler::WorkStealingScheduler(Options options) : options_(options) {
+  if (options_.workers == 0) {
+    options_.workers = 1;
+  }
+}
+
+size_t WorkStealingScheduler::DefineFlightGroup(Nanos cost) {
+  group_costs_.push_back(cost);
+  return group_costs_.size() - 1;
+}
+
+size_t WorkStealingScheduler::Submit(TaskSpec spec) {
+  specs_.push_back(std::move(spec));
+  return specs_.size() - 1;
+}
+
+WorkStealingScheduler::Report WorkStealingScheduler::Run() {
+  const size_t workers = options_.workers;
+  const size_t total = specs_.size();
+
+  // --- Host execution: run every body once, harvesting virtual costs. ----
+  // The deque policy here mirrors the replay so wall-clock overlap looks
+  // like the reported schedule, but nothing measured here is reported.
+  std::vector<Nanos> costs(total, 0);
+  size_t host_steals = 0;
+  {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::deque<size_t>> deques(workers);
+    std::vector<int> pins(total);
+    std::vector<size_t> pending(total, 0);
+    std::vector<std::vector<size_t>> children(total);
+    for (size_t i = 0; i < total; ++i) {
+      pins[i] = specs_[i].pin;
+      pending[i] = specs_[i].deps.size();
+      for (size_t dep : specs_[i].deps) {
+        children[dep].push_back(i);
+      }
+    }
+    // Descending push: the owner pops back-first, i.e. in ascending order.
+    for (size_t i = total; i-- > 0;) {
+      if (pending[i] == 0) {
+        const int target = specs_[i].pin >= 0 ? specs_[i].pin : specs_[i].home;
+        deques[static_cast<size_t>(target) % workers].push_back(i);
+      }
+    }
+    size_t completed = 0;
+
+    auto worker_loop = [&](size_t w) {
+      std::unique_lock lock(mu);
+      for (;;) {
+        bool stolen = false;
+        size_t id = TakeTask(deques, pins, w, options_.stealing, &stolen);
+        if (id == SIZE_MAX) {
+          if (completed == total) {
+            return;
+          }
+          cv.wait(lock);
+          continue;
+        }
+        if (stolen) {
+          ++host_steals;
+        }
+        lock.unlock();
+        const Nanos cost = specs_[id].body ? specs_[id].body() : 0;
+        lock.lock();
+        costs[id] = cost;
+        ++completed;
+        // Ready children land on this worker's deque (locality) unless
+        // pinned elsewhere; descending id so the owner pops ascending.
+        std::vector<size_t> ready;
+        for (size_t child : children[id]) {
+          if (--pending[child] == 0) {
+            ready.push_back(child);
+          }
+        }
+        std::sort(ready.begin(), ready.end(), std::greater<size_t>());
+        for (size_t child : ready) {
+          const int target = specs_[child].pin >= 0 ? specs_[child].pin
+                                                    : static_cast<int>(w);
+          deques[static_cast<size_t>(target) % workers].push_back(child);
+        }
+        cv.notify_all();
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back(worker_loop, w);
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+
+  // --- Deterministic replay over the recorded costs. ----------------------
+  std::vector<SimTask> sim(total);
+  for (size_t i = 0; i < total; ++i) {
+    sim[i] = {specs_[i].home, specs_[i].pin, costs[i],
+              specs_[i].deps, specs_[i].groups, specs_[i].label};
+  }
+  Report report = Simulate(options_, sim, group_costs_);
+  report.host_steals = host_steals;
+  return report;
+}
+
+WorkStealingScheduler::Report WorkStealingScheduler::Simulate(
+    const Options& options_in, const std::vector<SimTask>& tasks,
+    const std::vector<Nanos>& group_costs) {
+  Options options = options_in;
+  if (options.workers == 0) {
+    options.workers = 1;
+  }
+  const size_t workers = options.workers;
+  const size_t total = tasks.size();
+
+  Report report;
+  report.worker_busy.assign(workers, 0);
+  report.worker_queue_peak.assign(workers, 0);
+  report.tasks.resize(total);
+
+  std::vector<std::deque<size_t>> deques(workers);
+  std::vector<int> pins(total);
+  std::vector<size_t> pending(total, 0);
+  std::vector<std::vector<size_t>> children(total);
+  for (size_t i = 0; i < total; ++i) {
+    pins[i] = tasks[i].pin;
+    pending[i] = tasks[i].deps.size();
+    for (size_t dep : tasks[i].deps) {
+      children[dep].push_back(i);
+    }
+  }
+
+  auto note_depth = [&](size_t w) {
+    report.worker_queue_peak[w] = std::max(report.worker_queue_peak[w], deques[w].size());
+  };
+  for (size_t i = total; i-- > 0;) {
+    if (pending[i] == 0) {
+      const size_t target =
+          static_cast<size_t>(tasks[i].pin >= 0 ? tasks[i].pin : tasks[i].home) % workers;
+      deques[target].push_back(i);
+      note_depth(target);
+    }
+  }
+
+  // Flight-group replay state: unclaimed until first dispatch, then ready at
+  // a fixed virtual instant every later member waits on.
+  struct GroupState {
+    bool started = false;
+    Nanos ready_at = 0;
+  };
+  std::vector<GroupState> groups(group_costs.size());
+
+  // Completion events ordered by (time, worker): the only source of
+  // nondeterminism in a parallel schedule, made total here.
+  struct Event {
+    Nanos time = 0;
+    size_t worker = 0;
+    size_t task = 0;
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : worker > other.worker;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::vector<bool> busy(workers, false);
+
+  auto dispatch_idle = [&](Nanos now) {
+    // Keep handing tasks to idle workers in worker order until nothing
+    // moves: a steal can expose work another idle worker then takes.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t w = 0; w < workers; ++w) {
+        if (busy[w]) {
+          continue;
+        }
+        bool stolen = false;
+        const size_t id = TakeTask(deques, pins, w, options.stealing, &stolen);
+        if (id == SIZE_MAX) {
+          continue;
+        }
+        Nanos start = now;
+        for (size_t g : tasks[id].groups) {
+          GroupState& group = groups[g];
+          if (!group.started) {
+            group.started = true;
+            group.ready_at = start + group_costs[g];
+            start = group.ready_at;
+          } else {
+            start = std::max(start, group.ready_at);
+          }
+        }
+        const Nanos end = start + tasks[id].cost;
+        report.tasks[id] = {id, static_cast<int>(w), now, start, end, stolen,
+                           tasks[id].label};
+        if (stolen) {
+          ++report.steals;
+        }
+        report.worker_busy[w] += end - now;
+        busy[w] = true;
+        events.push({end, w, id});
+        progress = true;
+      }
+    }
+  };
+
+  dispatch_idle(0);
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    busy[event.worker] = false;
+    report.makespan = std::max(report.makespan, event.time);
+    std::vector<size_t> ready;
+    for (size_t child : children[event.task]) {
+      if (--pending[child] == 0) {
+        ready.push_back(child);
+      }
+    }
+    std::sort(ready.begin(), ready.end(), std::greater<size_t>());
+    for (size_t child : ready) {
+      const size_t target = static_cast<size_t>(
+          tasks[child].pin >= 0 ? tasks[child].pin : static_cast<int>(event.worker)) %
+          workers;
+      deques[target].push_back(child);
+      note_depth(target);
+    }
+    dispatch_idle(event.time);
+  }
+  return report;
+}
+
+}  // namespace lupine

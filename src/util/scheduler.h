@@ -1,0 +1,135 @@
+// Virtual-time-aware work-stealing scheduler for the fleet pipeline.
+//
+// The fleet driver used to shard statically: task i belonged to worker
+// i mod W forever, so one expensive task (a fresh kernel build, a 60s
+// boot-stall fault) wedged its shard while sibling workers idled. This
+// scheduler replaces the shards with per-worker deques: a worker pops its
+// own deque LIFO (back), and an idle worker steals FIFO (front) from the
+// first victim that has an unpinned task. Tasks form a DAG — a task may
+// declare dependencies on earlier-submitted tasks, which is how the fleet
+// splits the per-VM chain (build -> rootfs -> boot) into independently
+// schedulable stages that overlap across VMs.
+//
+// The split-brain design is deliberate. Run() executes every task body once
+// on real host threads (that is where kernels actually build and VMs
+// actually boot — fibers are thread-local, so a body runs start-to-finish
+// on one thread). But none of the *reported* figures come from that
+// execution: each body returns its virtual cost, and a deterministic
+// sequential replay (Simulate) then re-schedules those costs under the very
+// same deque policy on W virtual workers. Makespan, per-worker busy time,
+// steal counts, queue depths and per-task spans are therefore properties of
+// the simulation — byte-identical run after run — and never of how many
+// host cores this process happened to get or which thread won a race.
+//
+// Flight groups model single-flight provisioning for monolithic (whole
+// chain in one task) schedules: tasks sharing a group id share one payment
+// of the group's cost. In the replay, the first task *dispatched* claims
+// the flight and pays; a task dispatched while the flight is in progress
+// blocks until it resolves (that is what a worker stuck on another
+// flight's condition variable really does); a task dispatched after pays
+// nothing. Attribution follows the deterministic virtual dispatch order,
+// not the racy host-side winner.
+//
+// Policy invariants shared by host execution and replay (keep in lockstep):
+//   * initial ready tasks are pushed to their home deque in descending
+//     submission order, so the owner pops them back-first in ascending
+//     order — at one worker the schedule is exactly the legacy serial
+//     order;
+//   * a completed task's newly-ready children are pushed to the completing
+//     worker's deque (locality), unless pinned, in which case they go to
+//     the pinned worker's deque;
+//   * stealing takes the front-most unpinned task; pinned tasks only ever
+//     run on their pinned worker.
+#ifndef SRC_UTIL_SCHEDULER_H_
+#define SRC_UTIL_SCHEDULER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace lupine {
+
+class WorkStealingScheduler {
+ public:
+  struct Options {
+    size_t workers = 1;
+    // false: tasks never leave their home deque (the legacy static shards,
+    // expressed as a degenerate policy of the same scheduler).
+    bool stealing = true;
+  };
+
+  struct TaskSpec {
+    // Host-side work. Runs exactly once, entirely on one worker thread
+    // (fiber-safe), and returns the task's virtual cost. Must not throw.
+    std::function<Nanos()> body;
+    std::string label;  // For per-task spans / trace export.
+    int home = 0;       // Deque the task is initially pushed to.
+    int pin = -1;       // >= 0: only this worker may ever run the task.
+    // Earlier-submitted task ids that must complete first.
+    std::vector<size_t> deps;
+    // Flight groups (DefineFlightGroup ids) this task joins, paid in order.
+    std::vector<size_t> groups;
+  };
+
+  explicit WorkStealingScheduler(Options options);
+
+  // Declares a single-flight cost shared by every task that joins the
+  // group: the first dispatched task pays `cost`, concurrent tasks wait,
+  // later tasks ride free. Returns the group id.
+  size_t DefineFlightGroup(Nanos cost);
+
+  // Submits a task; returns its id (the submission ordinal). The task set
+  // is closed: all Submit calls happen before Run.
+  size_t Submit(TaskSpec spec);
+
+  struct TaskRecord {
+    size_t id = 0;
+    int worker = 0;        // Virtual worker the replay assigned.
+    Nanos dispatched = 0;  // Virtual instant the worker took the task.
+    Nanos start = 0;       // After any flight-group wait.
+    Nanos end = 0;
+    bool stolen = false;   // Taken from another worker's deque.
+    std::string label;
+  };
+
+  struct Report {
+    Nanos makespan = 0;                    // Latest virtual completion.
+    std::vector<Nanos> worker_busy;        // Occupied time (incl. flight waits).
+    std::vector<size_t> worker_queue_peak; // Max deque depth per worker.
+    size_t steals = 0;                     // Replay-level migrations.
+    std::vector<TaskRecord> tasks;         // Indexed by task id.
+    size_t host_steals = 0;  // Host execution's count — informational only,
+                             // depends on thread timing; never report it as
+                             // a simulation figure.
+  };
+
+  // Executes every body on `workers` host threads under the deque policy,
+  // then replays the recorded costs deterministically. The returned report
+  // is entirely replay-derived (except host_steals).
+  Report Run();
+
+  // The deterministic virtual-time replay, exposed for unit tests and for
+  // schedules whose costs are known up front. `group_costs[g]` is the cost
+  // of flight group g.
+  struct SimTask {
+    int home = 0;
+    int pin = -1;
+    Nanos cost = 0;
+    std::vector<size_t> deps;
+    std::vector<size_t> groups;
+    std::string label;
+  };
+  static Report Simulate(const Options& options, const std::vector<SimTask>& tasks,
+                         const std::vector<Nanos>& group_costs);
+
+ private:
+  Options options_;
+  std::vector<TaskSpec> specs_;
+  std::vector<Nanos> group_costs_;
+};
+
+}  // namespace lupine
+
+#endif  // SRC_UTIL_SCHEDULER_H_

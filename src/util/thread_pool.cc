@@ -12,15 +12,21 @@ ThreadPool::ThreadPool(size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard lock(mu_);
+    if (stop_ && workers_.empty()) {
+      return;  // Already shut down.
+    }
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& worker : workers_) {
     worker.join();
   }
+  workers_.clear();
 }
 
 void ThreadPool::Worker() {

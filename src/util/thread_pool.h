@@ -26,14 +26,23 @@ namespace lupine {
 class ThreadPool {
  public:
   explicit ThreadPool(size_t threads);
-  // Drains every queued task, then joins the workers.
+  // Equivalent to Shutdown(): drains every queued task, then joins.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues `fn` and returns a future for its result. Submitting after the
-  // destructor has begun is undefined.
+  // Stops accepting work, runs every task already queued to completion
+  // (drain semantics: nothing accepted is ever dropped), then joins the
+  // workers. Idempotent; safe to call before destruction for an explicit
+  // lifecycle point.
+  void Shutdown();
+
+  // Enqueues `fn` and returns a future for its result. After Shutdown has
+  // begun the task is rejected instead of silently enqueued on a dead
+  // queue: the returned future is valid but reports the rejection —
+  // future::get() throws std::future_error (broken_promise), the
+  // futures-idiomatic failed status. Check stopped() to avoid the throw.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -41,10 +50,21 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       std::lock_guard lock(mu_);
+      if (stop_) {
+        // Dropping the packaged task breaks its promise; the caller's
+        // future.get() throws std::future_error(broken_promise).
+        return future;
+      }
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
     return future;
+  }
+
+  // True once Shutdown (or destruction) has begun: Submit will reject.
+  bool stopped() const {
+    std::lock_guard lock(mu_);
+    return stop_;
   }
 
   size_t size() const { return workers_.size(); }
@@ -55,7 +75,7 @@ class ThreadPool {
  private:
   void Worker();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;

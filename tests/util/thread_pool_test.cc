@@ -65,6 +65,44 @@ TEST(ThreadPoolTest, ExceptionPropagatesToFuture) {
   EXPECT_THROW(future.get(), std::runtime_error);
 }
 
+TEST(ThreadPoolTest, ShutdownDrainsEverythingAlreadyAccepted) {
+  // Drain semantics: nothing accepted is ever dropped. Every task queued
+  // before Shutdown must run to completion before Shutdown returns.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    (void)pool.Submit([&count] {
+      std::this_thread::sleep_for(std::chrono::microseconds(10));
+      count.fetch_add(1);
+    });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_TRUE(pool.stopped());
+  pool.Shutdown();  // Idempotent: a second call is a no-op, not a crash.
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFailsLoudly) {
+  // The old behavior silently enqueued onto a dead queue and the future
+  // hung forever. Now the task is rejected: the future is valid but
+  // broken, and get() throws instead of deadlocking.
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+  auto future = pool.Submit([&ran] {
+    ran.store(true);
+    return 7;
+  });
+  ASSERT_TRUE(future.valid());
+  try {
+    future.get();
+    FAIL() << "get() on a rejected submission must throw";
+  } catch (const std::future_error& e) {
+    EXPECT_EQ(e.code(), std::future_errc::broken_promise);
+  }
+  EXPECT_FALSE(ran.load());  // The rejected body never runs.
+}
+
 TEST(ThreadPoolTest, DestructorDrainsQueue) {
   std::atomic<int> count{0};
   {
