@@ -126,6 +126,10 @@ int main() {
   // JSON export land at the end of the run.
   telemetry::MetricRegistry registry;
   supervisor.set_metrics(&registry);
+  // Flight recorder: every supervisor incident, fleet-boot lifecycle step,
+  // admission verdict, and cache hit/miss/evict below lands in one journal.
+  telemetry::Journal journal;
+  supervisor.set_journal(&journal);
   for (const auto& app : kconfig::Top20AppNames()) {
     auto artifact = cache.GetOrBuild(app);
     if (!artifact.ok()) {
@@ -164,9 +168,11 @@ int main() {
   // document (one thread row per worker).
   std::printf("\nPipelined cold-cache fleet boot (4 workers, work stealing)...\n");
   core::KernelCache cold_cache;
+  cold_cache.set_journal(&journal);
   core::FleetBootOptions fleet_options;
   fleet_options.apps = {"nginx", "redis", "golang", "python", "node", "hello-world"};
   fleet_options.workers = 4;
+  fleet_options.journal = &journal;
   auto fleet_run = core::RunFleetBoot(cold_cache, fleet_options);
   if (!fleet_run.ok()) {
     std::fprintf(stderr, "fleet boot: %s\n", fleet_run.status().ToString().c_str());
@@ -174,12 +180,23 @@ int main() {
   }
   std::printf("  %zu boots, makespan %s, %zu steals\n", fleet_run->boots,
               FormatDuration(fleet_run->virtual_makespan).c_str(), fleet_run->steals);
-  const std::string trace = telemetry::ToChromeTrace(fleet_run->worker_timelines);
+  // One merged Perfetto document: worker span rows, journal instants, and
+  // counter tracks (tasks in flight, resident bytes, cumulative boots).
+  const std::string trace = telemetry::ToChromeTrace(fleet_run->worker_timelines, journal,
+                                                     fleet_run->counter_tracks);
   if (Status s = telemetry::WriteFile("fleet_trace.json", trace); !s.ok()) {
     std::fprintf(stderr, "trace export: %s\n", s.ToString().c_str());
     return 1;
   }
   std::printf("  wrote fleet_trace.json (load it in chrome://tracing or Perfetto)\n");
+  // The canonical journal export: schedule-scoped events (steals, admission
+  // verdicts, cache races) are excluded, so this file is byte-identical no
+  // matter how many workers replayed the fleet.
+  if (Status s = telemetry::WriteFile("fleet_journal.jsonl", journal.ExportJsonl()); !s.ok()) {
+    std::fprintf(stderr, "journal export: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("  wrote fleet_journal.jsonl (%zu events recorded)\n", journal.size());
 
   // Everything above also landed in the metric registry — export it as the
   // same JSON document the benches write to BENCH_*.json artifacts.

@@ -33,6 +33,18 @@ std::string RootfsCache::CacheKey(const ContainerImage& image,
          (options.kml_libc ? ";kml=1" : ";kml=0");
 }
 
+void RootfsCache::EmitLocked(const char* type, const std::string& key) const {
+  if (journal_ == nullptr) {
+    return;
+  }
+  telemetry::Event event;
+  event.source = "rootfs-cache";
+  event.type = type;
+  event.schedule_scoped = true;  // Outcome depends on worker interleaving.
+  event.fields = {{"key", telemetry::FieldValue{key}}};
+  journal_->Emit(std::move(event));
+}
+
 RootfsCache::BlobPtr RootfsCache::GetOrBuild(const ContainerImage& image,
                                              const RootfsOptions& options) {
   const std::string key = CacheKey(image, options);
@@ -45,12 +57,14 @@ RootfsCache::BlobPtr RootfsCache::GetOrBuild(const ContainerImage& image,
     if (cached != blobs_.end()) {
       ++hits_;
       lru_.Touch(key);
+      EmitLocked("hit", key);
       return cached->second;
     }
     auto flying = flights_.find(key);
     if (flying == flights_.end()) {
       flight = std::make_shared<Flight>();
       flights_.emplace(key, flight);
+      EmitLocked("miss", key);
       break;
     }
     std::shared_ptr<Flight> other = flying->second;
@@ -58,6 +72,7 @@ RootfsCache::BlobPtr RootfsCache::GetOrBuild(const ContainerImage& image,
     // The blob rides on the flight itself: correct even if a tiny budget
     // already evicted the store entry.
     ++hits_;
+    EmitLocked("hit", key);
     return other->blob;
   }
 
@@ -95,6 +110,7 @@ bool RootfsCache::Invalidate(const ContainerImage& image, const RootfsOptions& o
   lru_.Erase(key);
   blobs_.erase(it);
   ++invalidations_;
+  EmitLocked("invalidate", key);
   return true;
 }
 
@@ -107,6 +123,7 @@ void RootfsCache::EvictLocked() {
       [&](const std::string& key, Bytes bytes) {
         bytes_evicted_ += bytes;
         blobs_.erase(key);
+        EmitLocked("evict", key);
       });
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/apps/rootfs_builder.h"
+#include "src/telemetry/journal.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/lru.h"
 
@@ -76,6 +77,15 @@ class RootfsCache {
   // Replaces the retention budget and immediately evicts down to it.
   void set_budget(CacheBudget budget);
 
+  // Optional, non-owning flight-recorder sink: hit/miss/evict/invalidate
+  // events under source "rootfs-cache". Cache outcomes depend on which
+  // worker reached the key first, so the events are schedule-scoped (full
+  // export / Perfetto only). The journal must outlive the cache.
+  void set_journal(telemetry::Journal* journal) {
+    std::lock_guard lock(mu_);
+    journal_ = journal;
+  }
+
  private:
   // An in-progress build. Waiters take the blob straight off the flight, so
   // even a blob evicted immediately (tiny budget) reaches every waiter.
@@ -85,8 +95,11 @@ class RootfsCache {
   };
 
   void EvictLocked();
+  // Caller holds mu_. No-op until set_journal.
+  void EmitLocked(const char* type, const std::string& key) const;
 
   mutable std::mutex mu_;
+  telemetry::Journal* journal_ = nullptr;
   std::condition_variable cv_;
   CacheBudget budget_;
   std::map<std::string, BlobPtr> blobs_;                    // By cache key.

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <string_view>
 #include <utility>
 
 #include "src/kconfig/presets.h"
@@ -41,9 +42,29 @@ struct TaskOutcome {
   size_t quarantined = 0;
   size_t breaker_denied = 0;
   size_t recovered = 0;
+  size_t unretried = 0;  // Permanent-error failures that never saw a retry.
   Nanos recovery_total = 0;
   std::vector<std::pair<size_t, std::string>> fault_logs;  // (task index, line).
 };
+
+// Flight-recorder emission for one direct-mode task. `offset` is the task's
+// accumulated virtual time at the event — a pure function of (plan, seed,
+// task index), never of scheduling — so the journal's canonical export is
+// byte-identical across worker counts.
+void EmitTaskEvent(const FleetBootOptions& options, const BootTask& task, Nanos offset,
+                   std::string_view type, std::vector<telemetry::Field> fields = {}) {
+  if (options.journal == nullptr) {
+    return;
+  }
+  std::vector<telemetry::Field> all;
+  all.reserve(fields.size() + 2);
+  all.push_back({"task", telemetry::FieldValue{static_cast<int64_t>(task.index)}});
+  all.push_back({"app", telemetry::FieldValue{task.app}});
+  for (telemetry::Field& field : fields) {
+    all.push_back(std::move(field));
+  }
+  options.journal->Emit(offset, "fleet", type, std::move(all));
+}
 
 uint64_t TaskSeedFold(uint64_t seed, size_t index) {
   return seed ^ ((static_cast<uint64_t>(index) + 1) * 0x9E3779B97F4A7C15ull);
@@ -100,16 +121,19 @@ struct AttemptResult {
 // (optionally) the workload, with counters landing in `outcome`.
 AttemptResult RunBootAttempt(KernelCache& cache, const BootTask& task,
                              const FleetBootOptions& options, FaultInjector& injector,
-                             bool first_attempt, TaskOutcome& outcome) {
+                             bool first_attempt, Nanos offset, TaskOutcome& outcome) {
   AttemptResult result;
   auto artifact = cache.GetOrBuild(task.app);
   if (!artifact.ok()) {
     if (KernelCache::IsQuarantineDenial(artifact.status())) {
       ++outcome.quarantined;
       result.kind = AttemptResult::kDenied;
+      EmitTaskEvent(options, task, offset, "quarantine-denied");
     } else if (IsRetryableError(artifact.status())) {
       ++outcome.launch_failures;
       result.kind = AttemptResult::kFail;
+      EmitTaskEvent(options, task, offset, "launch-failure",
+                    {{"error", telemetry::FieldValue{artifact.status().ToString()}}});
     } else {
       result.kind = AttemptResult::kFatal;
     }
@@ -137,6 +161,8 @@ AttemptResult RunBootAttempt(KernelCache& cache, const BootTask& task,
         ++outcome.launch_failures;
         result.kind = AttemptResult::kFail;
         result.status = s;
+        EmitTaskEvent(options, task, offset, "deadline",
+                      {{"stage", telemetry::FieldValue{std::string(stage.span)}}});
         return result;
       }
     }
@@ -152,6 +178,7 @@ AttemptResult RunBootAttempt(KernelCache& cache, const BootTask& task,
       ++outcome.rejected;
       result.kind = AttemptResult::kDenied;
       result.status = Status(Err::kNoMem, "admission rejected " + task.app);
+      EmitTaskEvent(options, task, offset, "reject");
       return result;
     }
     grant.degraded() ? ++outcome.degraded : ++outcome.admitted;
@@ -159,6 +186,10 @@ AttemptResult RunBootAttempt(KernelCache& cache, const BootTask& task,
       ++outcome.queue_waits;
     }
     memory = grant.granted();
+    EmitTaskEvent(options, task, offset, "admit",
+                  {{"degraded", telemetry::FieldValue{grant.degraded()}},
+                   {"waited", telemetry::FieldValue{grant.waited()}},
+                   {"granted_bytes", telemetry::FieldValue{static_cast<uint64_t>(memory)}}});
   }
 
   auto vm = (*artifact)->Launch(memory, injector.armed() ? &injector : nullptr);
@@ -168,13 +199,17 @@ AttemptResult RunBootAttempt(KernelCache& cache, const BootTask& task,
     // Failed boots charge the task the virtual instant the guest died —
     // or the deadline, had the monitor's timer fired first.
     ++outcome.launch_failures;
-    if (boot_guard.expired()) {
-      ++outcome.deadline_exceeded;
-    }
     result.kind = AttemptResult::kFail;
     result.status = s;
     result.charge = boot_guard.charged();
     result.report = true;
+    if (boot_guard.expired()) {
+      ++outcome.deadline_exceeded;
+      EmitTaskEvent(options, task, offset + result.charge, "deadline",
+                    {{"stage", telemetry::FieldValue{std::string("boot")}}});
+    }
+    EmitTaskEvent(options, task, offset + result.charge, "launch-failure",
+                  {{"error", telemetry::FieldValue{s.ToString()}}});
     return result;
   }
   const Nanos init_ns = InitExecNanos(*vm);
@@ -194,6 +229,9 @@ AttemptResult RunBootAttempt(KernelCache& cache, const BootTask& task,
     result.status = stage;
     result.charge = killed_at;
     result.report = true;  // An artifact that stalls every boot is a bad artifact.
+    EmitTaskEvent(options, task, offset + result.charge, "deadline",
+                  {{"stage", telemetry::FieldValue{std::string(
+                                 killed_at == options.deadlines.boot ? "boot" : "init")}}});
     return result;
   }
 
@@ -208,6 +246,8 @@ AttemptResult RunBootAttempt(KernelCache& cache, const BootTask& task,
       result.kind = AttemptResult::kFail;
       result.status = guard.Check();
       result.charge = vm->boot_report().to_init + guard.charged();
+      EmitTaskEvent(options, task, offset + result.charge, "deadline",
+                    {{"stage", telemetry::FieldValue{std::string("workload")}}});
       return result;
     }
     if (!server_parked && !run.ok() && IsRetryableError(run.status())) {
@@ -217,6 +257,8 @@ AttemptResult RunBootAttempt(KernelCache& cache, const BootTask& task,
       result.status = run.status();
       result.charge = vm->kernel().clock().now();
       result.report = true;
+      EmitTaskEvent(options, task, offset + result.charge, "launch-failure",
+                    {{"error", telemetry::FieldValue{run.status().ToString()}}});
       return result;
     }
     if (!server_parked && (!run.ok() || run.value() != 0)) {
@@ -257,14 +299,17 @@ void RunBootTask(KernelCache& cache, const BootTask& task,
   FaultInjector injector = MakeTaskInjector(options.fault_plan, task.index, task.app);
   Retrier retrier(options.retry, task.index);
   Nanos recovery = 0;  // Failed-attempt charges + backoff delays.
+  Nanos elapsed = 0;   // Task-relative virtual offset for journal events.
   bool completed = false;
+  EmitTaskEvent(options, task, 0, "task-start");
   for (int attempt = 0;; ++attempt) {
     if (options.breaker != nullptr && !options.breaker->Allow()) {
       ++outcome.breaker_denied;
+      EmitTaskEvent(options, task, elapsed, "breaker-denied");
       break;
     }
     AttemptResult result = RunBootAttempt(cache, task, options, injector,
-                                          attempt == 0, outcome);
+                                          attempt == 0, elapsed, outcome);
     if (result.kind == AttemptResult::kFatal) {
       outcome.status = result.status;
       return;
@@ -281,16 +326,28 @@ void RunBootTask(KernelCache& cache, const BootTask& task,
     }
     outcome.virtual_time += result.charge;
     recovery += result.charge;
+    elapsed += result.charge;
     if (result.report) {
       cache.ReportLaunchFailure(task.app);
     }
     Retrier::Decision decision = retrier.OnFailure(result.status);
     if (!decision.retry) {
+      if (std::string_view(decision.reason) == "permanent-error") {
+        // The failure never entered the retry schedule: surface it instead
+        // of letting it hide inside the aggregate failure count.
+        ++outcome.unretried;
+        EmitTaskEvent(options, task, elapsed, "unretried",
+                      {{"error", telemetry::FieldValue{result.status.ToString()}}});
+      }
       break;
     }
     ++outcome.retries;
+    EmitTaskEvent(options, task, elapsed, "retry",
+                  {{"attempt", telemetry::FieldValue{static_cast<int64_t>(attempt + 1)}},
+                   {"delay_ns", telemetry::FieldValue{static_cast<int64_t>(decision.delay)}}});
     outcome.virtual_time += decision.delay;
     recovery += decision.delay;
+    elapsed += decision.delay;
   }
   if (completed) {
     if (retrier.failures() > 0) {
@@ -300,6 +357,11 @@ void RunBootTask(KernelCache& cache, const BootTask& task,
   } else {
     ++outcome.failures;
   }
+  EmitTaskEvent(options, task, outcome.virtual_time, "task-done",
+                {{"ok", telemetry::FieldValue{completed}},
+                 {"attempts", telemetry::FieldValue{static_cast<int64_t>(retrier.failures()) +
+                                                    (completed ? 1 : 0)}},
+                 {"recovered", telemetry::FieldValue{completed && retrier.failures() > 0}}});
   if (injector.total_fires() > 0) {
     outcome.fault_logs.emplace_back(task.index, FormatFaultLog(task, injector));
   }
@@ -313,6 +375,7 @@ TaskOutcome RunShardSupervised(KernelCache& cache, const std::vector<BootTask>& 
   TaskOutcome outcome;
   vmm::Supervisor supervisor(options.supervisor_policy);
   supervisor.set_metrics(options.metrics);
+  supervisor.set_journal(options.journal);
   std::vector<std::string> names;
   std::vector<std::unique_ptr<FaultInjector>> injectors;  // Stable addresses.
   names.reserve(shard.size());
@@ -608,6 +671,7 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
     result.quarantined += outcome.quarantined;
     result.breaker_denied += outcome.breaker_denied;
     result.recovered += outcome.recovered;
+    result.unretried_failures += outcome.unretried;
     result.virtual_recovery_total += outcome.recovery_total;
     fault_logs.insert(fault_logs.end(), outcome.fault_logs.begin(),
                       outcome.fault_logs.end());
@@ -635,6 +699,64 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
         result.worker_timelines[w].Record(record->label, record->start, record->end);
       }
     }
+  }
+
+  // Replay steal events: genuinely schedule-dependent (one worker never
+  // steals), so they ride in the journal as schedule-scoped — part of the
+  // full Perfetto record, excluded from the canonical deterministic export.
+  if (options.journal != nullptr) {
+    for (const WorkStealingScheduler::TaskRecord& record : report.tasks) {
+      if (!record.stolen) {
+        continue;
+      }
+      telemetry::Event event;
+      event.at = record.start;
+      event.source = "sched";
+      event.type = "steal";
+      event.schedule_scoped = true;
+      event.fields = {{"label", telemetry::FieldValue{record.label}},
+                      {"worker", telemetry::FieldValue{static_cast<int64_t>(record.worker)}}};
+      options.journal->Emit(std::move(event));
+    }
+  }
+
+  // Counter tracks over the replay timeline (ph:"C" inputs for the merged
+  // Perfetto trace): tasks in flight, resident bytes, cumulative boots.
+  {
+    auto fold = [](std::string name, std::vector<std::pair<Nanos, double>> deltas) {
+      std::sort(deltas.begin(), deltas.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      telemetry::CounterSeries series;
+      series.name = std::move(name);
+      double level = 0.0;
+      for (size_t i = 0; i < deltas.size();) {
+        const Nanos at = deltas[i].first;
+        for (; i < deltas.size() && deltas[i].first == at; ++i) {
+          level += deltas[i].second;
+        }
+        series.points.emplace_back(at, level);
+      }
+      return series;
+    };
+    std::vector<std::pair<Nanos, double>> inflight;
+    std::vector<std::pair<Nanos, double>> resident;
+    std::vector<std::pair<Nanos, double>> cumulative;
+    for (size_t slot = 0; slot < outcomes.size(); ++slot) {
+      const WorkStealingScheduler::TaskRecord& record = report.tasks[sched_ids[slot]];
+      inflight.emplace_back(record.start, 1.0);
+      inflight.emplace_back(record.end, -1.0);
+      const double peak = static_cast<double>(outcomes[slot].resident_peak);
+      if (peak > 0.0) {
+        resident.emplace_back(record.start, peak);
+        resident.emplace_back(record.end, -peak);
+      }
+      if (outcomes[slot].boots > 0) {
+        cumulative.emplace_back(record.end, static_cast<double>(outcomes[slot].boots));
+      }
+    }
+    result.counter_tracks.push_back(fold("fleet.tasks_inflight", std::move(inflight)));
+    result.counter_tracks.push_back(fold("fleet.resident_bytes", std::move(resident)));
+    result.counter_tracks.push_back(fold("fleet.boots_cumulative", std::move(cumulative)));
   }
 
   // Memory rollups, attributed to the replay's worker assignment: host
@@ -694,6 +816,8 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
     options.metrics->GetGauge("fleet.breaker_trips")
         .Set(static_cast<int64_t>(result.breaker_trips));
     options.metrics->GetGauge("fleet.recovered").Set(static_cast<int64_t>(result.recovered));
+    options.metrics->GetGauge("fleet.unretried_failures")
+        .Set(static_cast<int64_t>(result.unretried_failures));
     options.metrics->GetGauge("fleet.steals").Set(static_cast<int64_t>(result.steals));
     for (size_t w = 0; w < result.worker_queue_peak.size(); ++w) {
       options.metrics

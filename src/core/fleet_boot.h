@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/core/multik.h"
+#include "src/telemetry/journal.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/span.h"
 #include "src/util/fault.h"
@@ -88,6 +89,16 @@ struct FleetBootOptions {
   // and — at the end of the run — the cache's PublishMetrics snapshot. Must
   // outlive the call; shared safely by all workers.
   telemetry::MetricRegistry* metrics = nullptr;
+  // Optional, non-owning flight-recorder sink. Direct-mode tasks emit
+  // structured events (task-start, admit/reject, retry, deadline,
+  // quarantine-denied, breaker-denied, launch-failure, unretried,
+  // task-done) stamped with task-relative virtual offsets — a pure
+  // function of (plan, seed, task index), so Journal::ExportJsonl() is
+  // byte-identical across 1/2/4/8 workers like the fault logs. Replay
+  // steal events land under source "sched" as schedule-scoped events
+  // (full export / Perfetto only). Supervised shards forward the sink to
+  // their per-worker Supervisor. Must outlive the call; thread-safe.
+  telemetry::Journal* journal = nullptr;
   // Optional, non-owning admission controller: every direct-mode launch
   // holds a Grant for the VM's lifetime, so the whole fleet stays under the
   // controller's host budget (rejected launches count as failures).
@@ -169,6 +180,9 @@ struct FleetBootResult {
   size_t breaker_denied = 0;     // Launches denied by a tripped breaker.
   size_t breaker_trips = 0;      // Breaker trip transitions during the run.
   size_t recovered = 0;          // Tasks that failed at least once but completed.
+  // Tasks that failed without a single retry because the error was
+  // classified permanent (the observable for intentional fail-fast paths).
+  size_t unretried_failures = 0;
   // Extra virtual time recovered tasks burned (failed attempts + backoffs):
   // divided by `recovered`, the fleet's mean virtual time-to-recovery.
   Nanos virtual_recovery_total = 0;
@@ -176,6 +190,11 @@ struct FleetBootResult {
   // "#<task> <app>: <site>@<evaluation>,...". Byte-identical across worker
   // counts for a given (plan, seed) — the replay-determinism contract.
   std::vector<std::string> fault_log;
+
+  // Replay-derived counter tracks over the virtual timeline (tasks in
+  // flight, resident bytes, cumulative boots) — the `ph:"C"` inputs to
+  // telemetry::ToChromeTrace's merged Perfetto document.
+  std::vector<telemetry::CounterSeries> counter_tracks;
 };
 
 // Boots `rounds` x `apps` VMs from `cache` artifacts on `workers` pool

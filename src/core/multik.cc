@@ -85,11 +85,13 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
         if (metrics_ != nullptr) {
           metrics_->GetCounter("kernelcache.quarantine_denials").Increment();
         }
+        EmitJournal("quarantine-denial", app);
         return Status(Err::kAccess, "quarantined: " + app +
                                         " kept failing after a rebuild; poisoned until TTL");
       }
       // TTL expired: half-open. Grant one fresh rebuild cycle.
       health->second = LaunchHealth{};
+      EmitJournal("half-open", app);
     }
   }
 
@@ -103,12 +105,14 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
       if (metrics_ != nullptr) {
         metrics_->GetCounter("kernelcache.app_hits").Increment();
       }
+      EmitJournal("hit", app);
       return cached->second;
     }
     auto flying = app_flights_.find(key);
     if (flying == app_flights_.end()) {
       app_flight = std::make_shared<Flight>();
       app_flights_.emplace(key, app_flight);
+      EmitJournal("miss", app);
       break;
     }
     std::shared_ptr<Flight> flight = flying->second;
@@ -119,6 +123,7 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
     if (metrics_ != nullptr) {
       metrics_->GetCounter("kernelcache.app_hits").Increment();
     }
+    EmitJournal("hit", app);
     return flight->artifact;
   }
 
@@ -388,6 +393,7 @@ void KernelCache::ReportLaunchFailure(const std::string& app) {
     if (metrics_ != nullptr) {
       metrics_->GetCounter("kernelcache.quarantine_rebuilds").Increment();
     }
+    EmitJournal("quarantine-rebuild", app);
     return;
   }
   // The rebuild failed too: poison. One bad blob must not crash-loop
@@ -398,6 +404,25 @@ void KernelCache::ReportLaunchFailure(const std::string& app) {
   if (metrics_ != nullptr) {
     metrics_->GetCounter("kernelcache.quarantine_poisoned").Increment();
   }
+  EmitJournal("poison", app);
+}
+
+void KernelCache::set_journal(telemetry::Journal* journal) {
+  std::lock_guard lock(mu_);
+  journal_ = journal;
+  rootfs_cache_.set_journal(journal);
+}
+
+void KernelCache::EmitJournal(const char* type, const std::string& app) const {
+  if (journal_ == nullptr) {
+    return;
+  }
+  telemetry::Event event;
+  event.source = "kernel-cache";
+  event.type = type;
+  event.schedule_scoped = true;  // Cache interleaving is host-timing bound.
+  event.fields = {{"app", telemetry::FieldValue{app}}};
+  journal_->Emit(std::move(event));
 }
 
 void KernelCache::set_quarantine(QuarantinePolicy policy) {
@@ -416,7 +441,10 @@ void KernelCache::EvictLocked() {
   artifact_evictions_ += artifact_lru_.EvictOver(
       artifact_budget_,
       [&](const std::string& key) { return apps_.at(key).use_count() > 1; },
-      [&](const std::string& key, Bytes) { apps_.erase(key); });
+      [&](const std::string& key, Bytes) {
+        EmitJournal("evict", key);
+        apps_.erase(key);
+      });
   kernel_evictions_ += kernel_lru_.EvictOver(
       kernel_budget_,
       [&](const std::string& fingerprint) {
@@ -424,6 +452,7 @@ void KernelCache::EvictLocked() {
       },
       [&](const std::string& fingerprint, Bytes bytes) {
         bytes_evicted_ += bytes;
+        EmitJournal("evict-kernel", fingerprint);
         kernels_.erase(fingerprint);
       });
 }

@@ -41,6 +41,7 @@
 
 #include "src/apps/rootfs_cache.h"
 #include "src/core/lupine.h"
+#include "src/telemetry/journal.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/span.h"
 #include "src/util/lru.h"
@@ -198,6 +199,14 @@ class KernelCache {
   // the registry must outlive the cache.
   void set_metrics(telemetry::MetricRegistry* metrics) { metrics_ = metrics; }
 
+  // Optional, non-owning flight-recorder sink: cache decisions (hit, miss,
+  // evict, quarantine rebuild/poison/half-open/denial) land as journal
+  // events under source "kernel-cache" (the rootfs side gets the sink too,
+  // under "rootfs-cache"). Cache interleaving is host-timing dependent, so
+  // the events are schedule-scoped (full export / Perfetto only). Set
+  // before the first GetOrBuild; the journal must outlive the cache.
+  void set_journal(telemetry::Journal* journal);
+
   // Publishes the current Stats (and the rootfs cache's) as absolute-valued
   // gauges: `kernelcache.*` with eviction/pinned bytes split by
   // `{tier=artifact|kernel}`, plus `rootfscache.*`. Call at a snapshot point
@@ -263,6 +272,9 @@ class KernelCache {
                                    telemetry::SpanTrace* provisioning);
 
   void EvictLocked();
+  // Journal emission (schedule-scoped, source "kernel-cache"). Safe under
+  // mu_: the journal's own mutex is a leaf.
+  void EmitJournal(const char* type, const std::string& app) const;
   // Drops the cached artifact + rootfs blob for `app` (default key) so the
   // next GetOrBuild rebuilds from scratch. Caller holds mu_.
   void DropForRebuildLocked(const std::string& app);
@@ -272,6 +284,7 @@ class KernelCache {
   LupineBuilder builder_;
   apps::RootfsCache rootfs_cache_;
   telemetry::MetricRegistry* metrics_ = nullptr;
+  telemetry::Journal* journal_ = nullptr;
   ProvisionCostModel provision_costs_;
 
   mutable std::mutex mu_;

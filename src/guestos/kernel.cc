@@ -166,14 +166,23 @@ Status Kernel::Boot(const std::string& rootfs_blob, const BootPlan* plan_in) {
   // deterministically (a flip in file payload could go unnoticed).
   const std::string* blob = &rootfs_blob;
   std::string corrupted;
+  bool injected_corruption = false;
   if (faults_->Check(FaultSite::kRootfsCorrupt) && !rootfs_blob.empty()) {
     corrupted = rootfs_blob;
     corrupted[0] ^= 0xFF;
     blob = &corrupted;
+    injected_corruption = true;
   }
   auto spec = ParseRootfs(*blob);
   if (!spec.ok()) {
     console_.Write("VFS: Cannot open root device\n");
+    if (injected_corruption) {
+      // The injected flip models a transient bad-block read, not a
+      // malformed image: surface it as an I/O error so the fleet retry
+      // policy (and quarantine's rebuild credit) applies. A genuinely
+      // malformed blob keeps ParseRootfs's kInval and fails fast.
+      return Status(Err::kIo, "rootfs read error (bad block): " + spec.status().message());
+    }
     return spec.status();
   }
   if (Status s = MountRootfs(spec.value(), vfs_); !s.ok()) {

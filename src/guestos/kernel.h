@@ -96,6 +96,7 @@ class Kernel {
   FutexTable& futexes() { return *futexes_; }
   Console& console() { return console_; }
   TraceLog& trace() { return trace_; }
+  const TraceLog& trace() const { return trace_; }
   FaultInjector& faults() { return *faults_; }
   const kbuild::KernelFeatures& features() const { return image_.features; }
   const kbuild::KernelImage& image() const { return image_; }

@@ -144,6 +144,8 @@ class SyscallApi {
    private:
     SyscallApi* api_;
     bool free_run_;
+    kbuild::Sys nr_;
+    Nanos entry_ = 0;  // virtual clock at entry, for per-syscall accounting
     Status status_;
   };
 

@@ -12,13 +12,14 @@ using kbuild::Sys;
 // Scope: per-syscall entry/exit accounting.
 // ---------------------------------------------------------------------------
 
-SyscallApi::Scope::Scope(SyscallApi* api, Sys nr) : api_(api) {
+SyscallApi::Scope::Scope(SyscallApi* api, Sys nr) : api_(api), nr_(nr) {
   Kernel* k = api_->k_;
   free_run_ = api_->CurrentIsFree();
   status_ = api_->CheckEnabled(nr);
   if (free_run_) {
     return;  // External load generators are neither priced nor traced.
   }
+  entry_ = k->clock().now();
   if (k->trace().enabled()) {
     Process* traced = api_->CurrentProcess();
     k->trace().RecordSyscall(traced != nullptr ? traced->pid() : 0, nr);
@@ -64,6 +65,10 @@ SyscallApi::Scope::~Scope() {
   if (!free_run_) {
     const auto& f = k->features();
     k->sched().ChargeCpu(k->costs().Transition(f, p != nullptr && p->kml_capable));
+    // Accounted before signal delivery and the preemption point below, so
+    // latency covers entry to exit (including time blocked inside the call)
+    // but not whatever the scheduler runs afterwards.
+    k->trace().AccountSyscall(nr_, k->clock().now() - entry_);
   }
   // Signal delivery point: pending signals run their handlers on the way
   // out of the kernel (one frame at a time; handlers may issue syscalls).

@@ -16,7 +16,9 @@
 #ifndef SRC_GUESTOS_TRACE_H_
 #define SRC_GUESTOS_TRACE_H_
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <set>
 #include <string>
@@ -24,6 +26,10 @@
 
 #include "src/kbuild/syscalls.h"
 #include "src/util/units.h"
+
+namespace lupine::telemetry {
+class MetricRegistry;
+}  // namespace lupine::telemetry
 
 namespace lupine::guestos {
 
@@ -40,6 +46,19 @@ enum class TraceFeature {
 struct SyscallTraceEvent {
   int pid = 0;
   kbuild::Sys nr = kbuild::Sys::kRead;
+};
+
+// Always-on per-syscall-number accounting: invocation count and virtual-ns
+// latency (entry to exit, including any time blocked inside the call).
+// A fixed array indexed by syscall number — O(1) per call, no allocation,
+// so it stays on even when event tracing is off. This is what makes KML vs
+// non-KML deltas observable per syscall instead of only as table5
+// aggregates.
+struct SyscallStat {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
 };
 
 // A kernel panic with its virtual-clock timestamp. Unlike syscall tracing
@@ -88,12 +107,42 @@ class TraceLog {
     dropped_panics_ += Trim(panics_);
   }
 
+  // Always-on (independent of enabled_): called from the syscall Scope
+  // destructor for every priced syscall.
+  void AccountSyscall(kbuild::Sys nr, Nanos latency) {
+    const auto index = static_cast<size_t>(nr);
+    if (index >= syscall_stats_.size() || latency < 0) {
+      return;
+    }
+    SyscallStat& stat = syscall_stats_[index];
+    const auto ns = static_cast<uint64_t>(latency);
+    if (stat.count == 0 || ns < stat.min_ns) {
+      stat.min_ns = ns;
+    }
+    if (ns > stat.max_ns) {
+      stat.max_ns = ns;
+    }
+    ++stat.count;
+    stat.total_ns += ns;
+  }
+
   const std::deque<SyscallTraceEvent>& syscalls() const { return syscalls_; }
   const std::deque<std::pair<int, TraceFeature>>& features() const { return features_; }
   const std::deque<PanicEvent>& panics() const { return panics_; }
   // Distinct syscall numbers ever seen — a set over values, not a buffer, so
   // drops never lose a number (manifest generation stays exact).
   size_t distinct_syscall_count() const { return distinct_syscalls_.size(); }
+
+  const std::array<SyscallStat, kbuild::kNumSyscalls>& syscall_stats() const {
+    return syscall_stats_;
+  }
+  uint64_t accounted_syscalls() const {
+    uint64_t total = 0;
+    for (const SyscallStat& stat : syscall_stats_) {
+      total += stat.count;
+    }
+    return total;
+  }
 
   // Events discarded by the cap, per buffer, since the last Clear().
   size_t dropped_syscalls() const { return dropped_syscalls_; }
@@ -108,6 +157,7 @@ class TraceLog {
     features_.clear();
     distinct_syscalls_.clear();
     panics_.clear();
+    syscall_stats_.fill(SyscallStat{});
     dropped_syscalls_ = 0;
     dropped_features_ = 0;
     dropped_panics_ = 0;
@@ -131,11 +181,23 @@ class TraceLog {
   std::deque<SyscallTraceEvent> syscalls_;
   std::deque<std::pair<int, TraceFeature>> features_;
   std::deque<PanicEvent> panics_;
+  std::array<SyscallStat, kbuild::kNumSyscalls> syscall_stats_{};
   std::set<int> distinct_syscalls_;
   size_t dropped_syscalls_ = 0;
   size_t dropped_features_ = 0;
   size_t dropped_panics_ = 0;
 };
+
+// Surfaces the per-syscall table as labeled registry metrics:
+//   counter   guest.syscall_count{app,kml,syscall}
+//   histogram guest.syscall_ns{app,kml,syscall}
+// The table stores exact count/sum/min/max per syscall (not raw samples),
+// so the histogram is reconstructed to preserve those four exactly: min and
+// max observed once each, the remaining mass at the adjusted mean. In this
+// deterministic cost model per-syscall latencies are near-constant, so the
+// percentiles are representative; count/min/mean/max are exact.
+void PublishSyscallMetrics(const TraceLog& trace, telemetry::MetricRegistry& registry,
+                           const std::string& app, bool kml);
 
 }  // namespace lupine::guestos
 

@@ -1,5 +1,6 @@
 #include "src/telemetry/export.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -26,39 +27,6 @@ std::string LabelsJson(const Labels& labels) {
 }
 
 }  // namespace
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 std::string ToJson(const MetricRegistry::Snapshot& snapshot, const std::string& indent) {
   std::string out = "{\n";
@@ -105,12 +73,14 @@ std::string ToJson(const SpanTrace& trace, const std::string& indent) {
   const std::string i1 = indent + "  ";
   for (size_t i = 0; i < trace.spans().size(); ++i) {
     const Span& span = trace.spans()[i];
-    char buf[160];
-    std::snprintf(buf, sizeof(buf),
-                  "{\"name\": \"%s\", \"start_ns\": %" PRId64 ", \"end_ns\": %" PRId64
+    // Built by string append (not a fixed snprintf buffer) so long escaped
+    // names can never truncate mid-document.
+    char nums[120];
+    std::snprintf(nums, sizeof(nums),
+                  "\", \"start_ns\": %" PRId64 ", \"end_ns\": %" PRId64
                   ", \"duration_ns\": %" PRId64 "}",
-                  JsonEscape(span.name).c_str(), span.start, span.end, span.duration());
-    out += (i == 0 ? "\n" : ",\n") + i1 + buf;
+                  span.start, span.end, span.duration());
+    out += (i == 0 ? "\n" : ",\n") + i1 + "{\"name\": \"" + JsonEscape(span.name) + nums;
   }
   out += trace.spans().empty() ? "]" : "\n" + indent + "]";
   return out;
@@ -121,22 +91,76 @@ std::string ToChromeTrace(const std::vector<SpanTrace>& timelines) {
   // a valid document for chrome://tracing and Perfetto. Timestamps and
   // durations are microseconds by that spec; the nanos here are virtual, so
   // sub-microsecond spans keep their precision through the fraction.
-  std::string out = "[";
-  bool first = true;
+  return ToChromeTrace(timelines, Journal(), {});
+}
+
+std::string ToChromeTrace(const std::vector<SpanTrace>& timelines, const Journal& journal,
+                          const std::vector<CounterSeries>& counters) {
+  struct Entry {
+    Nanos at;
+    std::string line;
+  };
+  std::vector<Entry> entries;
+
   for (size_t tid = 0; tid < timelines.size(); ++tid) {
     for (const Span& span : timelines[tid].spans()) {
-      char buf[200];
-      std::snprintf(buf, sizeof(buf),
-                    "{\"name\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
-                    "\"pid\": 1, \"tid\": %zu}",
-                    JsonEscape(span.name).c_str(), ToMicros(span.start),
-                    ToMicros(span.duration()), tid);
-      out += first ? "\n  " : ",\n  ";
-      out += buf;
-      first = false;
+      char nums[120];
+      std::snprintf(nums, sizeof(nums),
+                    "\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %zu}",
+                    ToMicros(span.start), ToMicros(span.duration()), tid);
+      entries.push_back({span.start, "{\"name\": \"" + JsonEscape(span.name) + nums});
     }
   }
-  out += first ? "]" : "\n]";
+
+  // Journal events become thread-scoped instants. An integer "worker" field
+  // pins the instant to that worker's thread row; everything else lands on
+  // tid 0. All fields ride along under args for inspection in the UI.
+  for (const Event& event : journal.Snapshot()) {
+    long long tid = 0;
+    std::string args = "{";
+    for (size_t i = 0; i < event.fields.size(); ++i) {
+      const Field& field = event.fields[i];
+      if (field.key == "worker") {
+        if (const auto* w = std::get_if<int64_t>(&field.value)) {
+          tid = *w;
+        }
+      }
+      if (i > 0) {
+        args += ", ";
+      }
+      args += '"' + JsonEscape(field.key) + "\": " + FieldValueToJson(field.value);
+    }
+    args += '}';
+    char nums[120];
+    std::snprintf(nums, sizeof(nums),
+                  "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": 1, \"tid\": %lld, "
+                  "\"args\": ",
+                  ToMicros(event.at), tid);
+    entries.push_back({event.at, "{\"name\": \"" + JsonEscape(event.source) + "/" +
+                                     JsonEscape(event.type) + nums + args + "}"});
+  }
+
+  for (const CounterSeries& series : counters) {
+    for (const auto& [at, value] : series.points) {
+      char nums[140];
+      std::snprintf(nums, sizeof(nums),
+                    "\", \"ph\": \"C\", \"ts\": %.3f, \"pid\": 1, \"tid\": 0, "
+                    "\"args\": {\"value\": %.6f}}",
+                    ToMicros(at), value);
+      entries.push_back({at, "{\"name\": \"" + JsonEscape(series.name) + nums});
+    }
+  }
+
+  // One array, globally (stably) ordered by virtual time: ts is then
+  // monotone within every tid, which trace validators check.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.at < b.at; });
+
+  std::string out = "[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out += (i == 0 ? "\n  " : ",\n  ") + entries[i].line;
+  }
+  out += entries.empty() ? "]" : "\n]";
   return out;
 }
 

@@ -20,14 +20,17 @@
 #include <string>
 #include <vector>
 
+#include "src/telemetry/journal.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/span.h"
+#include "src/util/json.h"
 #include "src/util/result.h"
 
 namespace lupine::telemetry {
 
 // Escapes a string for embedding in a JSON document (quotes not included).
-std::string JsonEscape(const std::string& s);
+// Forwards to the shared lupine::JsonEscape — kept for call-site stability.
+inline std::string JsonEscape(std::string_view s) { return lupine::JsonEscape(s); }
 
 // The snapshot document above. `indent` prefixes every line (for embedding
 // the document inside a larger hand-written one).
@@ -43,6 +46,16 @@ std::string ToJson(const SpanTrace& trace, const std::string& indent = "");
 // as thread i of process 1. Feed it RunFleetBoot's worker_timelines to see
 // the per-worker stage-overlap picture.
 std::string ToChromeTrace(const std::vector<SpanTrace>& timelines);
+
+// The unified flight-recorder trace: spans render as complete events
+// (`ph:"X"`, one tid per timeline), journal events as thread-scoped
+// instants (`ph:"i"`, tid from the event's integer "worker" field when
+// present, all fields under `args`), and counter series as counter tracks
+// (`ph:"C"`, `args.value` — Perfetto draws them as filled graphs). All
+// events are emitted in one array, stably sorted by `ts`, so timestamps
+// are monotonic within every tid.
+std::string ToChromeTrace(const std::vector<SpanTrace>& timelines, const Journal& journal,
+                          const std::vector<CounterSeries>& counters);
 
 // Convenience: collect + render a whole registry.
 std::string ExportJson(const MetricRegistry& registry);

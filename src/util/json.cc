@@ -1,0 +1,362 @@
+#include "src/util/json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lupine {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      found = &v;
+    }
+  }
+  return found;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Document() {
+    SkipWs();
+    JsonValue value;
+    if (Status s = Value(value); !s.ok()) {
+      return s;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status(Err::kInval, "json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t len = std::strlen(word);
+    if (text_.substr(pos_, len) == word) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Status Value(JsonValue& out) {
+    if (depth_ > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object(out);
+      case '[':
+        return Array(out);
+      case '"': {
+        out.kind = JsonValue::Kind::kString;
+        return String(out.str);
+      }
+      case 't':
+        if (ConsumeWord("true")) {
+          out.kind = JsonValue::Kind::kBool;
+          out.boolean = true;
+          return Status::Ok();
+        }
+        return Error("bad literal");
+      case 'f':
+        if (ConsumeWord("false")) {
+          out.kind = JsonValue::Kind::kBool;
+          out.boolean = false;
+          return Status::Ok();
+        }
+        return Error("bad literal");
+      case 'n':
+        if (ConsumeWord("null")) {
+          out.kind = JsonValue::Kind::kNull;
+          return Status::Ok();
+        }
+        return Error("bad literal");
+      default:
+        return Number(out);
+    }
+  }
+
+  Status Object(JsonValue& out) {
+    ++depth_;
+    ++pos_;  // '{'
+    out.kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) {
+      --depth_;
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      if (Status s = String(key); !s.ok()) {
+        return s;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return Error("expected ':'");
+      }
+      SkipWs();
+      JsonValue value;
+      if (Status s = Value(value); !s.ok()) {
+        return s;
+      }
+      out.object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        --depth_;
+        return Status::Ok();
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status Array(JsonValue& out) {
+    ++depth_;
+    ++pos_;  // '['
+    out.kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) {
+      --depth_;
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipWs();
+      JsonValue value;
+      if (Status s = Value(value); !s.ok()) {
+        return s;
+      }
+      out.array.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        --depth_;
+        return Status::Ok();
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status String(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (Status s = Hex4(cp); !s.ok()) {
+            return s;
+          }
+          // Surrogate pair: a high surrogate must be followed by \uDC00-DFFF.
+          if (cp >= 0xD800 && cp <= 0xDBFF && text_.substr(pos_, 2) == "\\u") {
+            pos_ += 2;
+            uint32_t low = 0;
+            if (Status s = Hex4(low); !s.ok()) {
+              return s;
+            }
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return Error("bad low surrogate");
+            }
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status Hex4(uint32_t& out) {
+    if (pos_ + 4 > text_.size()) {
+      return Error("truncated \\u escape");
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status Number(JsonValue& out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("unexpected character");
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == token.c_str()) {
+      pos_ = start;
+      return Error("bad number");
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = value;
+    return Status::Ok();
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) { return Parser(text).Document(); }
+
+}  // namespace lupine

@@ -1,0 +1,60 @@
+// Minimal JSON: a shared escape helper and a small document parser.
+//
+// Every JSON emitter in the tree (telemetry export, the event journal, the
+// Chrome trace renderer, bench artifact writers) escapes strings through
+// JsonEscape here — one definition, not per-file copies. The parser is the
+// read side: tools/benchdiff loads BENCH_*.json artifacts with it and the
+// tests use it to validate that exported documents actually parse.
+//
+// Scope: the full JSON grammar minus extremes — numbers parse via strtod
+// (no bignum), \u escapes decode to UTF-8 (surrogate pairs supported),
+// objects preserve insertion order and duplicate keys keep the last value
+// on lookup. That covers every document this repo produces.
+#ifndef SRC_UTIL_JSON_H_
+#define SRC_UTIL_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace lupine {
+
+// Escapes `s` for embedding inside a JSON string literal (quotes not
+// included): backslash, double quote, and every control character below
+// 0x20 (\n, \t, \r named; the rest as \u00XX).
+std::string JsonEscape(std::string_view s);
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Insertion order preserved (exports are order-deterministic, so tests
+  // can assert on it). Find() returns the last entry for a duplicate key.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+// Parses a complete JSON document (leading/trailing whitespace allowed;
+// trailing garbage is an error). Errors carry a byte offset.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace lupine
+
+#endif  // SRC_UTIL_JSON_H_

@@ -88,6 +88,19 @@ Grant FleetAdmissionController::Admit(const AdmissionRequest& request) {
     return (can_full && (unlimited || committed_ + request.memory <= budget)) ||
            (can_min && committed_ + request.min_memory <= budget);
   };
+  auto emit_verdict = [&](Verdict verdict, Bytes granted) {
+    if (journal_ == nullptr) {
+      return;
+    }
+    telemetry::Event event;
+    event.source = "admission";
+    event.type = "verdict";
+    event.schedule_scoped = true;  // Depends on concurrent committed bytes.
+    event.fields = {{"vm", telemetry::FieldValue{request.vm}},
+                    {"verdict", telemetry::FieldValue{std::string(VerdictName(verdict))}},
+                    {"granted_bytes", telemetry::FieldValue{static_cast<uint64_t>(granted)}}};
+    journal_->Emit(std::move(event));
+  };
   auto grant_locked = [&](bool waited) {
     Bytes granted = request.memory;
     bool degraded = false;
@@ -110,6 +123,7 @@ Grant FleetAdmissionController::Admit(const AdmissionRequest& request) {
       metrics_->GetCounter(degraded ? "admission.degraded" : "admission.admitted")
           .Increment();
     }
+    emit_verdict(degraded ? Verdict::kDegrade : Verdict::kAdmit, granted);
     PublishGauges();
     return Grant(this, granted, degraded, waited);
   };
@@ -118,6 +132,7 @@ Grant FleetAdmissionController::Admit(const AdmissionRequest& request) {
     if (metrics_ != nullptr) {
       metrics_->GetCounter("admission.rejected").Increment();
     }
+    emit_verdict(Verdict::kReject, 0);
     return Grant();
   };
 
@@ -141,6 +156,7 @@ Grant FleetAdmissionController::Admit(const AdmissionRequest& request) {
   if (metrics_ != nullptr) {
     metrics_->GetCounter("admission.queued").Increment();
   }
+  emit_verdict(Verdict::kQueue, 0);
   cv_.wait(lock, [&]() { return tickets_.front() == ticket && fits_now(); });
   tickets_.pop_front();
   stats_.waiting = tickets_.size();

@@ -26,6 +26,7 @@
 #include <mutex>
 #include <string>
 
+#include "src/telemetry/journal.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/units.h"
 
@@ -107,6 +108,13 @@ class FleetAdmissionController {
   // Set before the first Admit(); the registry must outlive the controller.
   void set_metrics(telemetry::MetricRegistry* metrics) { metrics_ = metrics; }
 
+  // Optional, non-owning flight-recorder sink: every Admit() outcome lands
+  // as a "verdict" event under source "admission". Verdicts depend on what
+  // is concurrently committed, so the events are schedule-scoped (full
+  // export / Perfetto only, excluded from the canonical deterministic
+  // export). Set before the first Admit(); must outlive the controller.
+  void set_journal(telemetry::Journal* journal) { journal_ = journal; }
+
   struct Stats {
     uint64_t requests = 0;
     uint64_t admitted = 0;   // Full grants (including after a wait).
@@ -134,6 +142,7 @@ class FleetAdmissionController {
 
   const AdmissionPolicy policy_;
   telemetry::MetricRegistry* metrics_ = nullptr;
+  telemetry::Journal* journal_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

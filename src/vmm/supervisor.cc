@@ -223,6 +223,11 @@ void Supervisor::Emit(Nanos at, const Member& member, const std::string& kind,
   if (metrics_ != nullptr) {
     metrics_->GetCounter("supervisor.incidents", {{"kind", kind}}).Increment();
   }
+  if (journal_ != nullptr) {
+    journal_->Emit(at, "supervisor", kind,
+                   {{"vm", telemetry::FieldValue{member.name}},
+                    {"detail", telemetry::FieldValue{detail}}});
+  }
 }
 
 MemberState Supervisor::state(const std::string& name) const {

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "src/telemetry/journal.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/prng.h"
 #include "src/util/vclock.h"
@@ -105,6 +106,13 @@ class Supervisor {
   // must outlive the supervisor.
   void set_metrics(telemetry::MetricRegistry* metrics) { metrics_ = metrics; }
 
+  // Optional, non-owning flight-recorder sink. Every incident (boot, ready,
+  // exit, boot-failed, panic, restart-scheduled, degraded) is mirrored as a
+  // journal event under source "supervisor", stamped with the supervisor's
+  // own virtual clock — deterministic for a given fleet + plan + seed. Set
+  // before Run(); the journal must outlive the supervisor.
+  void set_journal(telemetry::Journal* journal) { journal_ = journal; }
+
   // --- Inspection -----------------------------------------------------------
   struct MemberStats {
     MemberState state = MemberState::kPending;
@@ -153,6 +161,7 @@ class Supervisor {
 
   SupervisorPolicy policy_;
   telemetry::MetricRegistry* metrics_ = nullptr;
+  telemetry::Journal* journal_ = nullptr;
   VirtualClock clock_;
   Prng master_;  // Seeds per-member jitter streams, in AddMember order.
   std::map<std::string, Member> members_;

@@ -1,0 +1,108 @@
+// Per-syscall guest telemetry: the always-on count/latency tables in
+// TraceLog and their surfacing as labeled host metrics.
+#include <gtest/gtest.h>
+
+#include "src/guestos/trace.h"
+#include "src/telemetry/metrics.h"
+#include "tests/guestos/guest_fixture.h"
+
+namespace lupine::guestos {
+namespace {
+
+using testing::GuestFixture;
+
+const SyscallStat& StatFor(const Kernel& kernel, kbuild::Sys nr) {
+  return kernel.trace().syscall_stats()[static_cast<size_t>(nr)];
+}
+
+TEST(SyscallTelemetryTest, ScriptedWorkloadCountsExactly) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    for (int i = 0; i < 7; ++i) {
+      (void)sys.Getppid();
+    }
+    auto fd = sys.Open("/dev/zero");
+    ASSERT_TRUE(fd.ok());
+    (void)sys.Read(fd.value(), 16);
+    (void)sys.Read(fd.value(), 16);
+    (void)sys.Close(fd.value());
+  });
+  const SyscallStat& getppid = StatFor(*guest.kernel, kbuild::Sys::kGetppid);
+  EXPECT_EQ(getppid.count, 7u);
+  EXPECT_GT(getppid.total_ns, 0u);
+  EXPECT_GE(getppid.max_ns, getppid.min_ns);
+  EXPECT_LE(getppid.min_ns * 7, getppid.total_ns);
+  EXPECT_EQ(StatFor(*guest.kernel, kbuild::Sys::kRead).count, 2u);
+  EXPECT_EQ(StatFor(*guest.kernel, kbuild::Sys::kClose).count, 1u);
+  EXPECT_GE(StatFor(*guest.kernel, kbuild::Sys::kOpen).count, 1u);
+}
+
+TEST(SyscallTelemetryTest, AccountingIsOnEvenWithEventTracingOff) {
+  GuestFixture guest;
+  ASSERT_FALSE(guest.kernel->trace().enabled());  // Event tracing is opt-in.
+  guest.RunInGuest([&](SyscallApi& sys) { (void)sys.Getppid(); });
+  EXPECT_GE(guest.kernel->trace().accounted_syscalls(), 1u);
+  EXPECT_EQ(StatFor(*guest.kernel, kbuild::Sys::kGetppid).count, 1u);
+}
+
+TEST(SyscallTelemetryTest, LatencyCoversBlockedTime) {
+  // Nanosleep blocks inside the call: its accounted latency must dwarf a
+  // non-blocking syscall's.
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    (void)sys.Getppid();
+    (void)sys.Nanosleep(Millis(5));
+  });
+  const SyscallStat& sleep = StatFor(*guest.kernel, kbuild::Sys::kNanosleep);
+  ASSERT_EQ(sleep.count, 1u);
+  EXPECT_GE(sleep.total_ns, static_cast<uint64_t>(Millis(5)));
+  EXPECT_LT(StatFor(*guest.kernel, kbuild::Sys::kGetppid).total_ns, sleep.total_ns);
+}
+
+TEST(SyscallTelemetryTest, PublishedHistogramsKeepCountMinMeanMaxExact) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) {
+    for (int i = 0; i < 5; ++i) {
+      (void)sys.Getppid();
+    }
+  });
+  const SyscallStat& stat = StatFor(*guest.kernel, kbuild::Sys::kGetppid);
+  ASSERT_EQ(stat.count, 5u);
+
+  telemetry::MetricRegistry registry;
+  PublishSyscallMetrics(guest.kernel->trace(), registry, "test-app", /*kml=*/false);
+  telemetry::Labels labels = {
+      {"app", "test-app"}, {"kml", "false"}, {"syscall", "getppid"}};
+  EXPECT_EQ(registry.GetCounter("guest.syscall_count", labels).value(), 5u);
+  const auto summary = registry.GetHistogram("guest.syscall_ns", labels).Snapshot();
+  EXPECT_EQ(summary.count, 5u);
+  EXPECT_DOUBLE_EQ(summary.min, static_cast<double>(stat.min_ns));
+  EXPECT_DOUBLE_EQ(summary.max, static_cast<double>(stat.max_ns));
+  EXPECT_DOUBLE_EQ(summary.sum, static_cast<double>(stat.total_ns));
+}
+
+TEST(SyscallTelemetryTest, PublishSkipsUninvokedSyscalls) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) { (void)sys.Getppid(); });
+  telemetry::MetricRegistry registry;
+  PublishSyscallMetrics(guest.kernel->trace(), registry, "app", /*kml=*/true);
+  const auto snapshot = registry.Collect();
+  for (const auto& counter : snapshot.counters) {
+    EXPECT_GT(counter.value, 0u) << counter.name;
+  }
+  // The kml label rides on every series.
+  telemetry::Labels labels = {{"app", "app"}, {"kml", "true"}, {"syscall", "getppid"}};
+  EXPECT_GE(registry.GetCounter("guest.syscall_count", labels).value(), 1u);
+}
+
+TEST(SyscallTelemetryTest, ClearResetsTheTables) {
+  GuestFixture guest;
+  guest.RunInGuest([&](SyscallApi& sys) { (void)sys.Getppid(); });
+  EXPECT_GT(guest.kernel->trace().accounted_syscalls(), 0u);
+  guest.kernel->trace().Clear();
+  EXPECT_EQ(guest.kernel->trace().accounted_syscalls(), 0u);
+  EXPECT_EQ(StatFor(*guest.kernel, kbuild::Sys::kGetppid).count, 0u);
+}
+
+}  // namespace
+}  // namespace lupine::guestos

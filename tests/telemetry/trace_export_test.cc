@@ -1,0 +1,111 @@
+// Validity of the merged Chrome trace_event export: the document parses as
+// JSON, timestamps are monotonic within every tid, and counter tracks carry
+// well-formed args.value entries.
+#include "src/telemetry/export.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/telemetry/journal.h"
+#include "src/telemetry/span.h"
+#include "src/util/json.h"
+
+namespace lupine::telemetry {
+namespace {
+
+TEST(TraceExportTest, MergedTraceParsesAndCarriesAllThreePhases) {
+  std::vector<SpanTrace> timelines(2);
+  timelines[0].Record("build", 0, Millis(2));
+  timelines[0].Record("boot", Millis(2), Millis(5));
+  timelines[1].Record("rootfs", Millis(1), Millis(3));
+
+  Journal journal;
+  journal.Emit(Millis(2), "fleet", "retry",
+               {{"worker", FieldValue{int64_t{1}}}, {"app", FieldValue{std::string("redis")}}});
+  Event scoped;
+  scoped.at = Millis(3);
+  scoped.source = "sched";
+  scoped.type = "steal";
+  scoped.schedule_scoped = true;  // The Perfetto merge includes these.
+  journal.Emit(std::move(scoped));
+
+  std::vector<CounterSeries> counters(1);
+  counters[0].name = "fleet.tasks_inflight";
+  counters[0].points = {{0, 1.0}, {Millis(2), 2.0}, {Millis(5), 0.0}};
+
+  // The export is a bare trace_event array (Chrome/Perfetto accept both the
+  // array and the {"traceEvents": ...} wrapper; the array keeps cat-ability).
+  const std::string trace = ToChromeTrace(timelines, journal, counters);
+  auto doc = ParseJson(trace);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_array());
+
+  size_t spans = 0, instants = 0, counter_samples = 0;
+  std::map<double, double> last_ts_by_tid;
+  for (const JsonValue& event : doc->array) {
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    const JsonValue* ts = event.Find("ts");
+    ASSERT_NE(ts, nullptr);
+    const JsonValue* tid = event.Find("tid");
+    ASSERT_NE(tid, nullptr);
+    // Monotonic ts within a tid.
+    auto [it, inserted] = last_ts_by_tid.emplace(tid->number, ts->number);
+    if (!inserted) {
+      EXPECT_GE(ts->number, it->second) << "tid " << tid->number;
+      it->second = ts->number;
+    }
+    if (ph->str == "X") {
+      ++spans;
+      ASSERT_NE(event.Find("dur"), nullptr);
+      EXPECT_GE(event.Find("dur")->number, 0.0);
+    } else if (ph->str == "i") {
+      ++instants;
+      EXPECT_EQ(event.Find("s")->str, "t");  // Thread-scoped instants.
+      ASSERT_NE(event.Find("args"), nullptr);
+    } else if (ph->str == "C") {
+      ++counter_samples;
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      const JsonValue* value = args->Find("value");
+      ASSERT_NE(value, nullptr);
+      EXPECT_TRUE(value->is_number());
+      EXPECT_EQ(event.Find("name")->str, "fleet.tasks_inflight");
+    }
+  }
+  EXPECT_EQ(spans, 3u);
+  EXPECT_EQ(instants, 2u);  // Schedule-scoped events ride in the merge.
+  EXPECT_EQ(counter_samples, 3u);
+}
+
+TEST(TraceExportTest, InstantTidComesFromWorkerField) {
+  Journal journal;
+  journal.Emit(1, "fleet", "a", {{"worker", FieldValue{int64_t{7}}}});
+  journal.Emit(2, "fleet", "b");  // No worker field: tid 0.
+  const std::string trace = ToChromeTrace({}, journal, {});
+  auto doc = ParseJson(trace);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const auto& events = doc->array;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].Find("tid")->number, 7.0);
+  EXPECT_DOUBLE_EQ(events[1].Find("tid")->number, 0.0);
+  // Instant names compose source/type; args carry every field.
+  EXPECT_EQ(events[0].Find("name")->str, "fleet/a");
+  EXPECT_DOUBLE_EQ(events[0].Find("args")->Find("worker")->number, 7.0);
+}
+
+TEST(TraceExportTest, SpanOnlyOverloadStillRenders) {
+  std::vector<SpanTrace> timelines(1);
+  timelines[0].Record("stage \"q\"", 0, 1000);  // Escaping through the helper.
+  const std::string trace = ToChromeTrace(timelines);
+  auto doc = ParseJson(trace);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->array.size(), 1u);
+  const JsonValue& event = doc->array[0];
+  EXPECT_NE(event.Find("name")->str.find("stage \"q\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lupine::telemetry

@@ -1,0 +1,191 @@
+#include "tools/benchdiff_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lupine::tools {
+namespace {
+
+TEST(GlobMatchTest, MatchesWholeKey) {
+  EXPECT_TRUE(GlobMatch("*", "anything.at.all"));
+  EXPECT_TRUE(GlobMatch("sweep.*.retries", "sweep.2.retries"));
+  EXPECT_TRUE(GlobMatch("*wall_ms", "fleet.total_wall_ms"));
+  EXPECT_TRUE(GlobMatch("*queue_wait*", "scenarios.1.queue_wait_p95"));
+  EXPECT_FALSE(GlobMatch("sweep.*.retries", "sweep.2.recovered"));
+  EXPECT_FALSE(GlobMatch("wall_ms", "total_wall_ms"));  // No implicit prefix.
+  EXPECT_TRUE(GlobMatch("a**b", "ab"));
+  EXPECT_FALSE(GlobMatch("", "x"));
+  EXPECT_TRUE(GlobMatch("", ""));
+}
+
+TEST(FlattenBenchTest, FlattensNestedArraysAndScalars) {
+  auto doc = FlattenBench(R"({
+    "bench": "chaos",
+    "sweep": [
+      {"p": 0.0, "retries": 0, "ok": true},
+      {"p": 0.5, "retries": 8, "ok": false}
+    ],
+    "totals": {"boots": 40}
+  })");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->strings.at("bench"), "chaos");
+  EXPECT_DOUBLE_EQ(doc->numbers.at("sweep.0.p"), 0.0);
+  EXPECT_DOUBLE_EQ(doc->numbers.at("sweep.1.retries"), 8.0);
+  EXPECT_DOUBLE_EQ(doc->numbers.at("sweep.0.ok"), 1.0);  // Booleans as 0/1.
+  EXPECT_DOUBLE_EQ(doc->numbers.at("sweep.1.ok"), 0.0);
+  EXPECT_DOUBLE_EQ(doc->numbers.at("totals.boots"), 40.0);
+  EXPECT_FALSE(FlattenBench("not json").ok());
+}
+
+TEST(ParseRulesTest, ParsesDirectionsAndThresholds) {
+  auto rules = ParseRules(R"([
+    {"pattern": "*wall_ms", "direction": "informational", "threshold": 0.0},
+    {"pattern": "*.completion_rate", "direction": "higher-better", "threshold": 0.05},
+    {"pattern": "*.makespan_ms", "direction": "lower-better", "threshold": 0.1},
+    {"pattern": "*", "direction": "two-sided", "threshold": 0.2}
+  ])");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->size(), 4u);
+  EXPECT_EQ((*rules)[0].direction, Direction::kInformational);
+  EXPECT_EQ((*rules)[1].direction, Direction::kHigherIsBetter);
+  EXPECT_EQ((*rules)[2].direction, Direction::kLowerIsBetter);
+  EXPECT_EQ((*rules)[3].direction, Direction::kTwoSided);
+  EXPECT_DOUBLE_EQ((*rules)[1].threshold, 0.05);
+}
+
+TEST(ParseRulesTest, RejectsBadDocuments) {
+  EXPECT_FALSE(ParseRules("{}").ok());  // Must be an array.
+  EXPECT_FALSE(ParseRules(R"([{"pattern": "x", "direction": "sideways"}])").ok());
+  EXPECT_FALSE(ParseRules(R"([{"direction": "two-sided"}])").ok());  // No pattern.
+}
+
+FlatDoc Doc(std::map<std::string, double> numbers,
+            std::map<std::string, std::string> strings = {}) {
+  FlatDoc doc;
+  doc.numbers = std::move(numbers);
+  doc.strings = std::move(strings);
+  return doc;
+}
+
+// Label-mismatch rows annotate the key with the value flip
+// ("sweep.0.site (\"a\" -> \"b\")"), so match on the key prefix.
+const Delta& FindDelta(const DiffReport& report, const std::string& key) {
+  for (const Delta& delta : report.deltas) {
+    if (delta.key == key || delta.key.rfind(key + " (", 0) == 0) {
+      return delta;
+    }
+  }
+  ADD_FAILURE() << "no delta for " << key;
+  static Delta none;
+  return none;
+}
+
+TEST(CompareTest, DirectionalVerdicts) {
+  const std::vector<Rule> rules = {
+      {"makespan", Direction::kLowerIsBetter, 0.10},
+      {"rate", Direction::kHigherIsBetter, 0.10},
+      {"boots", Direction::kTwoSided, 0.10},
+      {"wall", Direction::kInformational, 0.0},
+  };
+  const FlatDoc baseline =
+      Doc({{"makespan", 100.0}, {"rate", 1.0}, {"boots", 40.0}, {"wall", 5.0}});
+
+  // Everything within threshold.
+  auto report = Compare(baseline, Doc({{"makespan", 105.0}, {"rate", 0.95},
+                                       {"boots", 42.0}, {"wall", 50.0}}),
+                        rules);
+  EXPECT_EQ(report.regressions, 0u);
+  EXPECT_EQ(FindDelta(report, "makespan").verdict, Verdict::kOk);
+  EXPECT_EQ(FindDelta(report, "wall").verdict, Verdict::kOk);  // Never gates.
+
+  // Beyond threshold in the bad direction for each rule.
+  report = Compare(baseline, Doc({{"makespan", 120.0}, {"rate", 0.8},
+                                  {"boots", 30.0}, {"wall", 500.0}}),
+                   rules);
+  EXPECT_EQ(FindDelta(report, "makespan").verdict, Verdict::kRegressed);
+  EXPECT_EQ(FindDelta(report, "rate").verdict, Verdict::kRegressed);
+  EXPECT_EQ(FindDelta(report, "boots").verdict, Verdict::kRegressed);
+  EXPECT_EQ(FindDelta(report, "wall").verdict, Verdict::kOk);
+  EXPECT_EQ(report.regressions, 3u);
+
+  // Beyond threshold in the good direction.
+  report = Compare(baseline, Doc({{"makespan", 80.0}, {"rate", 1.3},
+                                  {"boots", 40.0}, {"wall", 5.0}}),
+                   rules);
+  EXPECT_EQ(FindDelta(report, "makespan").verdict, Verdict::kImproved);
+  EXPECT_EQ(FindDelta(report, "rate").verdict, Verdict::kImproved);
+  EXPECT_EQ(report.regressions, 0u);
+  EXPECT_EQ(report.improvements, 2u);
+
+  // Two-sided regresses on big moves either way.
+  report = Compare(baseline, Doc({{"makespan", 100.0}, {"rate", 1.0},
+                                  {"boots", 60.0}, {"wall", 5.0}}),
+                   rules);
+  EXPECT_EQ(FindDelta(report, "boots").verdict, Verdict::kRegressed);
+}
+
+TEST(CompareTest, NewMissingAndZeroBaseline) {
+  const std::vector<Rule> rules = {{"*", Direction::kTwoSided, 0.10}};
+  auto report = Compare(Doc({{"gone", 1.0}, {"zero", 0.0}}),
+                        Doc({{"fresh", 2.0}, {"zero", 3.0}}), rules);
+  // A metric that disappeared gates; a brand-new one is informational.
+  EXPECT_EQ(FindDelta(report, "gone").verdict, Verdict::kMissing);
+  EXPECT_EQ(FindDelta(report, "fresh").verdict, Verdict::kNew);
+  // From a zero baseline any movement is infinite relative change, which
+  // regresses under a two-sided rule — so "gone" + "zero" both gate.
+  const Delta& zero = FindDelta(report, "zero");
+  EXPECT_TRUE(std::isinf(zero.rel));
+  EXPECT_EQ(zero.verdict, Verdict::kRegressed);
+  EXPECT_EQ(report.regressions, 2u);
+}
+
+TEST(CompareTest, LabelMismatchGates) {
+  const std::vector<Rule> rules = {{"*", Direction::kTwoSided, 0.10}};
+  auto report = Compare(Doc({}, {{"sweep.0.site", "boot-initcall"}}),
+                        Doc({}, {{"sweep.0.site", "rootfs-corrupt"}}), rules);
+  EXPECT_EQ(FindDelta(report, "sweep.0.site").verdict, Verdict::kLabelMismatch);
+  EXPECT_EQ(report.regressions, 1u);
+  // Identical labels do not gate.
+  report = Compare(Doc({}, {{"sweep.0.site", "x"}}), Doc({}, {{"sweep.0.site", "x"}}),
+                   rules);
+  EXPECT_EQ(report.regressions, 0u);
+}
+
+TEST(CompareTest, FirstMatchingRuleWins) {
+  const std::vector<Rule> rules = {
+      {"*wall_ms", Direction::kInformational, 0.0},
+      {"*", Direction::kTwoSided, 0.01},
+  };
+  auto report = Compare(Doc({{"boot_wall_ms", 10.0}}), Doc({{"boot_wall_ms", 99.0}}),
+                        rules);
+  EXPECT_EQ(FindDelta(report, "boot_wall_ms").verdict, Verdict::kOk);
+  EXPECT_EQ(report.regressions, 0u);
+}
+
+TEST(CompareTest, DefaultRulesTreatWallClockAsInformational) {
+  auto report = Compare(Doc({{"fleet.total_wall_ms", 10.0}, {"totals.boots", 40.0}}),
+                        Doc({{"fleet.total_wall_ms", 400.0}, {"totals.boots", 40.0}}),
+                        DefaultRules());
+  EXPECT_EQ(report.regressions, 0u);
+  report = Compare(Doc({{"totals.boots", 40.0}}), Doc({{"totals.boots", 10.0}}),
+                   DefaultRules());
+  EXPECT_EQ(report.regressions, 1u);
+}
+
+TEST(RenderReportTest, RendersVerdictRowsAndSummary) {
+  const std::vector<Rule> rules = {{"*", Direction::kLowerIsBetter, 0.10}};
+  auto report = Compare(Doc({{"a.makespan", 100.0}, {"b.steady", 5.0}}),
+                        Doc({{"a.makespan", 150.0}, {"b.steady", 5.0}}), rules);
+  const std::string text = RenderReport("BENCH_x.json", report);
+  EXPECT_NE(text.find("BENCH_x.json"), std::string::npos);
+  EXPECT_NE(text.find("a.makespan"), std::string::npos);
+  EXPECT_NE(text.find("regressed"), std::string::npos);
+  // Unchanged rows fold into the summary count unless verbose.
+  EXPECT_EQ(text.find("b.steady"), std::string::npos);
+  const std::string verbose = RenderReport("BENCH_x.json", report, /*verbose=*/true);
+  EXPECT_NE(verbose.find("b.steady"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lupine::tools

@@ -1,0 +1,162 @@
+// benchdiff CLI: compare fresh BENCH_*.json artifacts against the committed
+// bench/baselines/ snapshot and exit nonzero on any regression.
+//
+// Usage:
+//   benchdiff [--baseline-dir DIR] [--rules FILE] [--verbose] CURRENT.json...
+//   benchdiff --baseline BASE.json CURRENT.json
+//
+// In directory mode each CURRENT.json is matched to DIR/<basename>; a
+// missing baseline is reported loudly but does not gate (seed it by copying
+// the fresh artifact into the directory). Exit codes: 0 clean, 1 at least
+// one regression, 2 usage or parse error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "tools/benchdiff_lib.h"
+
+namespace {
+
+using lupine::Result;
+using lupine::Status;
+using lupine::Err;
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status(Err::kIo, "cannot open " + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(file);
+  return text;
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: benchdiff [--baseline-dir DIR] [--baseline FILE] [--rules FILE] "
+               "[--verbose] CURRENT.json...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_dir = "bench/baselines";
+  std::string baseline_file;
+  std::string rules_file;
+  bool verbose = false;
+  std::vector<std::string> currents;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--baseline-dir") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      baseline_dir = v;
+    } else if (arg == "--baseline") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      baseline_file = v;
+    } else if (arg == "--rules") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      rules_file = v;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "benchdiff: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      currents.push_back(arg);
+    }
+  }
+  if (currents.empty()) {
+    return Usage();
+  }
+  if (!baseline_file.empty() && currents.size() != 1) {
+    std::fprintf(stderr, "benchdiff: --baseline takes exactly one CURRENT.json\n");
+    return Usage();
+  }
+
+  std::vector<lupine::tools::Rule> rules;
+  if (!rules_file.empty()) {
+    auto text = ReadFile(rules_file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "benchdiff: %s\n", text.status().ToString().c_str());
+      return 2;
+    }
+    auto parsed = lupine::tools::ParseRules(*text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "benchdiff: %s: %s\n", rules_file.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    rules = std::move(*parsed);
+  }
+  // User rules first, defaults as the backstop (first glob match wins).
+  for (lupine::tools::Rule& rule : lupine::tools::DefaultRules()) {
+    rules.push_back(std::move(rule));
+  }
+
+  size_t total_regressions = 0;
+  size_t compared = 0;
+  for (const std::string& current_path : currents) {
+    const std::string base_path =
+        !baseline_file.empty() ? baseline_file : baseline_dir + "/" + Basename(current_path);
+
+    auto current_text = ReadFile(current_path);
+    if (!current_text.ok()) {
+      std::fprintf(stderr, "benchdiff: %s\n", current_text.status().ToString().c_str());
+      return 2;
+    }
+    auto base_text = ReadFile(base_path);
+    if (!base_text.ok()) {
+      std::printf("== benchdiff: %s ==\nNO BASELINE at %s — seed it with:\n  cp %s %s\n\n",
+                  Basename(current_path).c_str(), base_path.c_str(), current_path.c_str(),
+                  base_path.c_str());
+      continue;
+    }
+
+    auto baseline = lupine::tools::FlattenBench(*base_text);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "benchdiff: %s: %s\n", base_path.c_str(),
+                   baseline.status().ToString().c_str());
+      return 2;
+    }
+    auto current = lupine::tools::FlattenBench(*current_text);
+    if (!current.ok()) {
+      std::fprintf(stderr, "benchdiff: %s: %s\n", current_path.c_str(),
+                   current.status().ToString().c_str());
+      return 2;
+    }
+
+    const auto report = lupine::tools::Compare(*baseline, *current, rules);
+    std::printf("%s\n",
+                lupine::tools::RenderReport(Basename(current_path), report, verbose).c_str());
+    total_regressions += report.regressions;
+    ++compared;
+  }
+
+  if (total_regressions > 0) {
+    std::printf("benchdiff: %zu regression(s) across %zu artifact(s)\n", total_regressions,
+                compared);
+    return 1;
+  }
+  std::printf("benchdiff: clean (%zu artifact(s) compared)\n", compared);
+  return 0;
+}

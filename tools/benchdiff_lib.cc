@@ -1,0 +1,324 @@
+#include "tools/benchdiff_lib.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "src/util/json.h"
+#include "src/util/table.h"
+
+namespace lupine::tools {
+
+const char* DirectionName(Direction direction) {
+  switch (direction) {
+    case Direction::kLowerIsBetter:
+      return "lower-better";
+    case Direction::kHigherIsBetter:
+      return "higher-better";
+    case Direction::kTwoSided:
+      return "two-sided";
+    case Direction::kInformational:
+      return "info";
+  }
+  return "unknown";
+}
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kOk:
+      return "ok";
+    case Verdict::kImproved:
+      return "IMPROVED";
+    case Verdict::kRegressed:
+      return "REGRESSED";
+    case Verdict::kNew:
+      return "new";
+    case Verdict::kMissing:
+      return "MISSING";
+    case Verdict::kLabelMismatch:
+      return "LABEL-MISMATCH";
+  }
+  return "unknown";
+}
+
+bool GlobMatch(std::string_view pattern, std::string_view key) {
+  // Iterative '*' backtracking: the classic two-pointer match.
+  size_t p = 0, k = 0;
+  size_t star = std::string_view::npos, mark = 0;
+  while (k < key.size()) {
+    if (p < pattern.size() && (pattern[p] == key[k])) {
+      ++p;
+      ++k;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = k;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      k = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+std::vector<Rule> DefaultRules() {
+  return {
+      // Wall-clock measurements vary machine to machine: never gate.
+      {"*wall_ms", Direction::kInformational, 0.0},
+      {"*_per_sec", Direction::kInformational, 0.0},
+      {"*_us_per_app*", Direction::kInformational, 0.0},
+      {"*speedup*", Direction::kInformational, 0.0},
+      {"*fleet_build_ms", Direction::kInformational, 0.0},
+      // Virtual-clock timings are deterministic; a small tolerance absorbs
+      // intentional cost-model tweaks while catching real drift.
+      {"*makespan_ms", Direction::kLowerIsBetter, 0.10},
+      {"*makespan_inflation", Direction::kLowerIsBetter, 0.10},
+      {"*virtual_makespan_ms", Direction::kLowerIsBetter, 0.10},
+      {"*recovery_ms", Direction::kLowerIsBetter, 0.25},
+      {"*_ns", Direction::kLowerIsBetter, 0.10},
+      {"*latency*", Direction::kLowerIsBetter, 0.10},
+      // Outcomes where more is strictly better.
+      {"*completion_rate", Direction::kHigherIsBetter, 0.02},
+      {"*hit_rate", Direction::kHigherIsBetter, 0.05},
+      {"*recovered", Direction::kHigherIsBetter, 0.25},
+      {"*boots_per_virtual_sec", Direction::kHigherIsBetter, 0.10},
+      // Everything else (counts, sizes, shapes) is deterministic under the
+      // virtual clock: any drift beyond noise means behavior changed.
+      {"*", Direction::kTwoSided, 0.10},
+  };
+}
+
+Result<std::vector<Rule>> ParseRules(const std::string& json_text) {
+  auto doc = ParseJson(json_text);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  if (!doc->is_array()) {
+    return Status(Err::kInval, "rules document must be a JSON array");
+  }
+  std::vector<Rule> rules;
+  for (const JsonValue& entry : doc->array) {
+    const JsonValue* pattern = entry.Find("pattern");
+    if (pattern == nullptr || !pattern->is_string()) {
+      return Status(Err::kInval, "rule missing string \"pattern\"");
+    }
+    Rule rule;
+    rule.pattern = pattern->str;
+    if (const JsonValue* direction = entry.Find("direction"); direction != nullptr) {
+      if (direction->str == "lower-better") {
+        rule.direction = Direction::kLowerIsBetter;
+      } else if (direction->str == "higher-better") {
+        rule.direction = Direction::kHigherIsBetter;
+      } else if (direction->str == "two-sided") {
+        rule.direction = Direction::kTwoSided;
+      } else if (direction->str == "informational" || direction->str == "info") {
+        rule.direction = Direction::kInformational;
+      } else {
+        return Status(Err::kInval, "rule \"" + rule.pattern +
+                                       "\": unknown direction \"" + direction->str + "\"");
+      }
+    }
+    if (const JsonValue* threshold = entry.Find("threshold"); threshold != nullptr) {
+      if (!threshold->is_number() || threshold->number < 0.0) {
+        return Status(Err::kInval,
+                      "rule \"" + rule.pattern + "\": threshold must be a number >= 0");
+      }
+      rule.threshold = threshold->number;
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+namespace {
+
+void FlattenInto(const JsonValue& value, const std::string& path, FlatDoc& out) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNumber:
+      out.numbers[path] = value.number;
+      break;
+    case JsonValue::Kind::kBool:
+      out.numbers[path] = value.boolean ? 1.0 : 0.0;
+      break;
+    case JsonValue::Kind::kString:
+      out.strings[path] = value.str;
+      break;
+    case JsonValue::Kind::kNull:
+      break;
+    case JsonValue::Kind::kArray:
+      for (size_t i = 0; i < value.array.size(); ++i) {
+        FlattenInto(value.array[i], path + "." + std::to_string(i), out);
+      }
+      break;
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, member] : value.object) {
+        FlattenInto(member, path.empty() ? key : path + "." + key, out);
+      }
+      break;
+  }
+}
+
+const Rule& MatchRule(const std::vector<Rule>& rules, const std::string& key) {
+  for (const Rule& rule : rules) {
+    if (GlobMatch(rule.pattern, key)) {
+      return rule;
+    }
+  }
+  static const Rule kFallback{"*", Direction::kTwoSided, 0.10};
+  return kFallback;
+}
+
+}  // namespace
+
+Result<FlatDoc> FlattenBench(const std::string& json_text) {
+  auto doc = ParseJson(json_text);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  FlatDoc flat;
+  FlattenInto(*doc, "", flat);
+  return flat;
+}
+
+DiffReport Compare(const FlatDoc& baseline, const FlatDoc& current,
+                   const std::vector<Rule>& rules) {
+  DiffReport report;
+  auto gate = [&report](Delta& delta) {
+    if (delta.verdict == Verdict::kRegressed || delta.verdict == Verdict::kMissing ||
+        delta.verdict == Verdict::kLabelMismatch) {
+      ++report.regressions;
+    } else if (delta.verdict == Verdict::kImproved) {
+      ++report.improvements;
+    }
+  };
+
+  // String identity first: a shifted row label invalidates the numbers.
+  std::set<std::string> string_keys;
+  for (const auto& [key, value] : baseline.strings) {
+    string_keys.insert(key);
+  }
+  for (const auto& [key, value] : current.strings) {
+    string_keys.insert(key);
+  }
+  for (const std::string& key : string_keys) {
+    auto base = baseline.strings.find(key);
+    auto cur = current.strings.find(key);
+    if (base != baseline.strings.end() && cur != current.strings.end() &&
+        base->second == cur->second) {
+      continue;  // Identical labels carry no information in the table.
+    }
+    Delta delta;
+    delta.key = key + " (\"" +
+                (base != baseline.strings.end() ? base->second : "<absent>") + "\" -> \"" +
+                (cur != current.strings.end() ? cur->second : "<absent>") + "\")";
+    delta.verdict = Verdict::kLabelMismatch;
+    delta.rule = {"", Direction::kTwoSided, 0.0};
+    gate(delta);
+    report.deltas.push_back(std::move(delta));
+  }
+
+  std::set<std::string> number_keys;
+  for (const auto& [key, value] : baseline.numbers) {
+    number_keys.insert(key);
+  }
+  for (const auto& [key, value] : current.numbers) {
+    number_keys.insert(key);
+  }
+  for (const std::string& key : number_keys) {
+    Delta delta;
+    delta.key = key;
+    delta.rule = MatchRule(rules, key);
+    auto base = baseline.numbers.find(key);
+    auto cur = current.numbers.find(key);
+    if (base == baseline.numbers.end()) {
+      delta.current = cur->second;
+      delta.verdict = Verdict::kNew;
+      gate(delta);
+      report.deltas.push_back(std::move(delta));
+      continue;
+    }
+    if (cur == current.numbers.end()) {
+      delta.baseline = base->second;
+      delta.verdict = Verdict::kMissing;
+      gate(delta);
+      report.deltas.push_back(std::move(delta));
+      continue;
+    }
+    delta.baseline = base->second;
+    delta.current = cur->second;
+    const double diff = delta.current - delta.baseline;
+    if (delta.baseline != 0.0) {
+      delta.rel = diff / std::fabs(delta.baseline);
+    } else {
+      delta.rel = diff == 0.0 ? 0.0 : (diff > 0.0 ? HUGE_VAL : -HUGE_VAL);
+    }
+    switch (delta.rule.direction) {
+      case Direction::kInformational:
+        delta.verdict = Verdict::kOk;
+        break;
+      case Direction::kTwoSided:
+        delta.verdict =
+            std::fabs(delta.rel) > delta.rule.threshold ? Verdict::kRegressed : Verdict::kOk;
+        break;
+      case Direction::kLowerIsBetter:
+        delta.verdict = delta.rel > delta.rule.threshold    ? Verdict::kRegressed
+                        : delta.rel < -delta.rule.threshold ? Verdict::kImproved
+                                                            : Verdict::kOk;
+        break;
+      case Direction::kHigherIsBetter:
+        delta.verdict = delta.rel < -delta.rule.threshold  ? Verdict::kRegressed
+                        : delta.rel > delta.rule.threshold ? Verdict::kImproved
+                                                           : Verdict::kOk;
+        break;
+    }
+    gate(delta);
+    report.deltas.push_back(std::move(delta));
+  }
+  return report;
+}
+
+std::string RenderReport(const std::string& name, const DiffReport& report, bool verbose) {
+  Table table({"metric", "baseline", "current", "delta", "direction", "verdict"});
+  size_t unchanged = 0;
+  for (const Delta& delta : report.deltas) {
+    if (delta.verdict == Verdict::kOk && delta.rel == 0.0) {
+      ++unchanged;
+      if (!verbose) {
+        continue;
+      }
+    }
+    char base_cell[32], cur_cell[32], rel_cell[32];
+    std::snprintf(base_cell, sizeof(base_cell), "%.4g", delta.baseline);
+    std::snprintf(cur_cell, sizeof(cur_cell), "%.4g", delta.current);
+    if (std::isinf(delta.rel)) {
+      std::snprintf(rel_cell, sizeof(rel_cell), "%sinf", delta.rel > 0 ? "+" : "-");
+    } else {
+      std::snprintf(rel_cell, sizeof(rel_cell), "%+.1f%%", delta.rel * 100.0);
+    }
+    const bool has_values =
+        delta.verdict != Verdict::kNew && delta.verdict != Verdict::kMissing &&
+        delta.verdict != Verdict::kLabelMismatch;
+    table.AddRow(delta.key, delta.verdict == Verdict::kNew ? "-" : base_cell,
+                 delta.verdict == Verdict::kMissing ? "-" : cur_cell,
+                 has_values ? rel_cell : "-",
+                 delta.verdict == Verdict::kLabelMismatch ? "-"
+                                                          : DirectionName(delta.rule.direction),
+                 VerdictName(delta.verdict));
+  }
+  std::string out = "== benchdiff: " + name + " ==\n";
+  if (table.num_rows() > 0) {
+    out += table.ToString();
+  }
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "%zu metrics: %zu regressed, %zu improved, %zu unchanged\n",
+                report.deltas.size(), report.regressions, report.improvements, unchanged);
+  out += summary;
+  return out;
+}
+
+}  // namespace lupine::tools

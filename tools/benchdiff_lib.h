@@ -1,0 +1,102 @@
+// benchdiff: the bench regression sentinel.
+//
+// CI runs every ext_* bench and gets a BENCH_*.json artifact; this library
+// compares a freshly produced artifact against the committed snapshot in
+// bench/baselines/ and turns "the perf trajectory drifted" into a nonzero
+// exit code instead of archaeology. Documents are flattened to dotted-path
+// metrics ("sweep.2.retries"), each metric is matched against an ordered
+// rule list (first glob wins) carrying a relative threshold and a direction
+// annotation, and the verdicts render as a util/table delta table.
+//
+// Directions:
+//   lower-better   — +threshold excess is a regression, -threshold a win.
+//   higher-better  — the mirror image.
+//   two-sided      — any move beyond the threshold regresses (for metrics
+//                    the virtual clock makes deterministic: a drift in
+//                    either direction means behavior changed).
+//   informational  — never gates (wall-clock timings vary per machine).
+//
+// String-valued fields (row labels like "site") are compared for equality:
+// a mismatch means the document layout shifted under the baseline, which
+// gates as a regression because every numeric comparison after it is
+// meaningless.
+#ifndef TOOLS_BENCHDIFF_LIB_H_
+#define TOOLS_BENCHDIFF_LIB_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace lupine::tools {
+
+enum class Direction { kLowerIsBetter, kHigherIsBetter, kTwoSided, kInformational };
+const char* DirectionName(Direction direction);
+
+struct Rule {
+  std::string pattern;   // Glob over the dotted path; '*' matches any run.
+  Direction direction = Direction::kTwoSided;
+  double threshold = 0.0;  // Relative: 0.10 = 10% movement allowed.
+};
+
+// '*' wildcard glob (no character classes); matches the whole key.
+bool GlobMatch(std::string_view pattern, std::string_view key);
+
+// The built-in rule table: wall-clock metrics informational, virtual-time
+// and count metrics two-sided-tight, rates/latencies directional. The last
+// rule is a catch-all.
+std::vector<Rule> DefaultRules();
+
+// Parses a rules document: [{"pattern": "...", "direction":
+// "lower-better|higher-better|two-sided|informational", "threshold": 0.1}].
+// Parsed rules take precedence over (are consulted before) DefaultRules().
+Result<std::vector<Rule>> ParseRules(const std::string& json_text);
+
+// A bench document flattened to dotted paths. Arrays contribute their index
+// ("sweep.2.retries"); booleans become 0/1 numbers; strings are kept apart
+// for identity comparison.
+struct FlatDoc {
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> strings;
+};
+Result<FlatDoc> FlattenBench(const std::string& json_text);
+
+enum class Verdict {
+  kOk,            // Within threshold.
+  kImproved,      // Beyond threshold in the better direction.
+  kRegressed,     // Beyond threshold in the worse direction.
+  kNew,           // Only in the current document (baseline needs reseeding).
+  kMissing,       // Only in the baseline — a metric disappeared; gates.
+  kLabelMismatch, // String field differs from baseline; gates.
+};
+const char* VerdictName(Verdict verdict);
+
+struct Delta {
+  std::string key;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel = 0.0;  // (current - baseline) / |baseline|; ±inf from zero.
+  Rule rule;
+  Verdict verdict = Verdict::kOk;
+};
+
+struct DiffReport {
+  std::vector<Delta> deltas;  // Document order (flattened-path order).
+  size_t regressions = 0;     // kRegressed + kMissing + kLabelMismatch.
+  size_t improvements = 0;
+};
+
+DiffReport Compare(const FlatDoc& baseline, const FlatDoc& current,
+                   const std::vector<Rule>& rules);
+
+// Renders the delta table plus a one-line summary. `name` labels the
+// artifact (e.g. "BENCH_chaos.json"). Unchanged in-threshold metrics are
+// folded into the summary count unless `verbose`.
+std::string RenderReport(const std::string& name, const DiffReport& report,
+                         bool verbose = false);
+
+}  // namespace lupine::tools
+
+#endif  // TOOLS_BENCHDIFF_LIB_H_
