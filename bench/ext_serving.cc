@@ -1,0 +1,312 @@
+// Extension: snapshot/restore serving layer. Cold boot is the cloud
+// provider's tax on every scale-from-zero request; this benchmark measures
+// how much of it the serving front door (snapshot restore + warm pools)
+// takes out of the request path, under an open-loop arrival process.
+//
+// Methodology: RunServing's figures come from a sequential discrete-event
+// simulation over per-app costs measured by really booting, capturing and
+// restoring guests in the prelude — so every reported number (TTFR
+// percentiles, warm-hit ratio, per-request paths, canonical journal) is a
+// pure function of (options, costs) and byte-identical across worker
+// counts. Host execution replays the plan against the real WarmPool /
+// SnapshotCache / Vm::Restore subsystems; its wall time and steal counts
+// are informational columns only.
+//
+// Legs:
+//   1. Launch economics — per app: cold boot vs snapshot capture vs restore
+//      (all measured), and the restore/cold ratio. The serving layer's
+//      premise is restore < 0.5x cold; the flag is reported per app.
+//   2. Arrival sweep — the same tenant mix at 0.5x/1x/2x arrival rates:
+//      p50/p99 TTFR, warm-hit ratio, queue waits. Warm hits climb as the
+//      pools fill; p99 tracks the cold tail until they do.
+//   3. Worker byte-identity — execute=true at 1/2/4/8 workers on identical
+//      options; the canonical journal and every serving figure must hash
+//      identically (steals/wall are the informational exceptions).
+//   4. Chaos — kSnapshotRestore faults strike one app's snapshot through
+//      drop, recapture and poison; after the TTL a half-open probe readmits
+//      it and warm serving resumes. The leg reports the recovery.
+//
+// Results go to stdout and BENCH_serving.json (a CI artifact). Exit code is
+// always 0: regression gating belongs to the CI dashboards.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/multik.h"
+#include "src/core/snapshot_cache.h"
+#include "src/serve/front_door.h"
+#include "src/telemetry/journal.h"
+#include "src/util/fault.h"
+#include "src/util/table.h"
+
+using namespace lupine;
+
+namespace {
+
+std::vector<serve::TenantSpec> TenantMix(double multiplier) {
+  return {{"nginx", 120.0 * multiplier},
+          {"redis", 80.0 * multiplier},
+          {"postgres", 40.0 * multiplier}};
+}
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// Everything RunServing promises to keep worker-count-independent, as one
+// canonical string: the serving figures, every per-request record, and the
+// canonical (non-schedule-scoped) journal export.
+std::string FiguresDigestInput(const serve::ServeResult& result,
+                               const telemetry::Journal& journal) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "requests=%zu warm=%zu restore=%zu cold=%zu captures=%zu refills=%zu "
+                "fail=%zu waits=%zu drops=%zu poison=%zu denials=%zu probes=%zu "
+                "p50=%lld p99=%lld max=%lld qp99=%lld end=%lld\n",
+                result.requests, result.warm_hits, result.restores, result.cold_boots,
+                result.captures, result.refills, result.restore_failures,
+                result.queue_waits, result.quarantine_drops, result.quarantine_poisoned,
+                result.quarantine_denials, result.probes,
+                static_cast<long long>(result.ttfr_p50),
+                static_cast<long long>(result.ttfr_p99),
+                static_cast<long long>(result.ttfr_max),
+                static_cast<long long>(result.queue_wait_p99),
+                static_cast<long long>(result.virtual_end));
+  out += line;
+  for (const serve::RequestRecord& rec : result.records) {
+    std::snprintf(line, sizeof(line), "%zu %s %lld %lld %lld %s\n", rec.index,
+                  rec.app.c_str(), static_cast<long long>(rec.arrival),
+                  static_cast<long long>(rec.dispatch), static_cast<long long>(rec.ttfr),
+                  rec.path);
+    out += line;
+  }
+  out += journal.ExportJsonl(false);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Extension: snapshot/restore serving layer (TTFR vs arrival rate)");
+
+  core::KernelCache cache;
+
+  // --- 1. Launch economics: cold vs capture vs restore, per app ------------
+  serve::ServeOptions probe_options;
+  probe_options.tenants = TenantMix(1.0);
+  probe_options.duration = Millis(1);  // Costs only; a near-empty trace.
+  probe_options.execute = false;
+  core::SnapshotCache probe_snapshots;
+  auto probe = serve::RunServing(cache, probe_snapshots, probe_options);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "costs: %s\n", probe.status().ToString().c_str());
+    return 0;
+  }
+  bool restore_under_half_cold = true;
+  Table cost_table({"app", "cold ms", "capture ms", "restore ms", "restore/cold"});
+  for (const serve::AppServeCost& cost : probe->costs) {
+    restore_under_half_cold = restore_under_half_cold && cost.restore_ratio < 0.5;
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.3fx", cost.restore_ratio);
+    cost_table.AddRow(cost.app, static_cast<double>(cost.cold_ns) / 1e6,
+                      static_cast<double>(cost.capture_ns) / 1e6,
+                      static_cast<double>(cost.restore_ns) / 1e6, ratio);
+  }
+  cost_table.Print();
+  std::printf("restore under half of cold boot for every app: %s\n",
+              restore_under_half_cold ? "yes" : "NO");
+
+  // --- 2. Arrival sweep: TTFR percentiles and warm-hit ratio ---------------
+  const std::vector<double> multipliers = {0.5, 1.0, 2.0};
+  struct SweepPoint {
+    double multiplier = 0.0;
+    serve::ServeResult result;
+  };
+  std::vector<SweepPoint> sweep;
+  for (double multiplier : multipliers) {
+    serve::ServeOptions options;
+    options.tenants = TenantMix(multiplier);
+    options.duration = Seconds(2);
+    options.execute = false;
+    core::SnapshotCache snapshots;
+    auto result = serve::RunServing(cache, snapshots, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "sweep %.1fx: %s\n", multiplier,
+                   result.status().ToString().c_str());
+      return 0;
+    }
+    sweep.push_back({multiplier, result.take()});
+  }
+  std::printf("\narrival sweep (2s open-loop window, pools filled on demand):\n");
+  Table sweep_table({"rate", "requests", "warm-hit", "p50 ms", "p99 ms", "queue waits"});
+  for (const SweepPoint& point : sweep) {
+    char rate[32], hit[32];
+    std::snprintf(rate, sizeof(rate), "%.1fx", point.multiplier);
+    std::snprintf(hit, sizeof(hit), "%.1f%%", point.result.warm_hit_ratio * 100.0);
+    sweep_table.AddRow(rate, static_cast<double>(point.result.requests), hit,
+                       static_cast<double>(point.result.ttfr_p50) / 1e6,
+                       static_cast<double>(point.result.ttfr_p99) / 1e6,
+                       static_cast<double>(point.result.queue_waits));
+  }
+  sweep_table.Print();
+
+  // --- 3. Worker byte-identity with real execution -------------------------
+  const std::vector<size_t> worker_counts = {1, 2, 4, 8};
+  struct WorkerPoint {
+    size_t workers = 0;
+    serve::ServeResult result;
+    uint64_t digest = 0;
+  };
+  std::vector<WorkerPoint> workers;
+  for (size_t count : worker_counts) {
+    serve::ServeOptions options;
+    options.tenants = TenantMix(1.0);
+    options.duration = Seconds(2);
+    options.workers = count;
+    options.execute = true;
+    telemetry::Journal journal;
+    options.journal = &journal;
+    core::SnapshotCache snapshots;
+    auto result = serve::RunServing(cache, snapshots, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "workers=%zu: %s\n", count, result.status().ToString().c_str());
+      return 0;
+    }
+    WorkerPoint point;
+    point.workers = count;
+    point.result = result.take();
+    point.digest = Fnv1a(FiguresDigestInput(point.result, journal));
+    workers.push_back(std::move(point));
+  }
+  bool determinism_ok = true;
+  for (const WorkerPoint& point : workers) {
+    determinism_ok = determinism_ok && point.digest == workers.front().digest;
+  }
+  std::printf("\nworker byte-identity (execute=true, figures + canonical journal):\n");
+  Table worker_table({"workers", "digest", "divergence", "steals", "wall ms"});
+  for (const WorkerPoint& point : workers) {
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(point.digest));
+    worker_table.AddRow(static_cast<double>(point.workers), digest,
+                        static_cast<double>(point.result.exec_divergence),
+                        static_cast<double>(point.result.steals), point.result.wall_ms);
+  }
+  worker_table.Print();
+  std::printf("figures byte-identical across 1/2/4/8 workers: %s\n",
+              determinism_ok ? "yes" : "NO");
+
+  // --- 4. Chaos: restore faults -> drop -> poison -> half-open recovery ----
+  FaultPlan chaos_plan;
+  chaos_plan.Add({.site = FaultSite::kSnapshotRestore,
+                  .trigger_on = 1,
+                  .period = 1,
+                  .max_fires = 4,
+                  .app = "redis"});
+  serve::ServeOptions chaos_options;
+  chaos_options.tenants = TenantMix(1.0);
+  chaos_options.duration = Seconds(2);
+  chaos_options.execute = false;
+  chaos_options.fault_plan = &chaos_plan;
+  chaos_options.quarantine.poison_ttl = Millis(120);
+  core::SnapshotCache chaos_snapshots;
+  auto chaos = serve::RunServing(cache, chaos_snapshots, chaos_options);
+  bool chaos_recovered = false;
+  if (chaos.ok()) {
+    // Recovery: after the last failed restore, the struck app serves off
+    // its snapshot path again (warm or on-demand restore).
+    Nanos last_failure = -1;
+    for (const serve::RequestRecord& rec : chaos->records) {
+      if (std::string(rec.path) == "restore-fail-cold") {
+        last_failure = std::max(last_failure, rec.dispatch);
+      }
+    }
+    for (const serve::RequestRecord& rec : chaos->records) {
+      if (rec.app == "redis" && rec.dispatch > last_failure &&
+          (std::string(rec.path) == "warm" || std::string(rec.path) == "restore")) {
+        chaos_recovered = true;
+        break;
+      }
+    }
+    chaos_recovered = chaos_recovered && chaos->quarantine_poisoned > 0 &&
+                      chaos->probes > 0;
+    std::printf("\nchaos (redis restores fail 4x, poison TTL 120ms): failures=%zu "
+                "drops=%zu poisoned=%zu denials=%zu probes=%zu -> recovered: %s\n",
+                chaos->restore_failures, chaos->quarantine_drops,
+                chaos->quarantine_poisoned, chaos->quarantine_denials, chaos->probes,
+                chaos_recovered ? "yes" : "NO");
+  } else {
+    std::fprintf(stderr, "chaos: %s\n", chaos.status().ToString().c_str());
+  }
+
+  // --- 5. JSON artifact ----------------------------------------------------
+  std::FILE* json = std::fopen("BENCH_serving.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"costs\": [\n");
+    for (size_t i = 0; i < probe->costs.size(); ++i) {
+      const serve::AppServeCost& cost = probe->costs[i];
+      std::fprintf(json,
+                   "    {\"app\": \"%s\", \"cold_ms\": %.3f, \"capture_ms\": %.3f, "
+                   "\"restore_ms\": %.3f, \"restore_ratio\": %.4f}%s\n",
+                   cost.app.c_str(), static_cast<double>(cost.cold_ns) / 1e6,
+                   static_cast<double>(cost.capture_ns) / 1e6,
+                   static_cast<double>(cost.restore_ns) / 1e6, cost.restore_ratio,
+                   i + 1 < probe->costs.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"restore_under_half_cold\": %s,\n",
+                 restore_under_half_cold ? "true" : "false");
+    std::fprintf(json, "  \"sweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& point = sweep[i];
+      std::fprintf(json,
+                   "    {\"rate_multiplier\": %.1f, \"requests\": %zu, "
+                   "\"warm_hit_ratio\": %.4f, \"ttfr_p50_ms\": %.3f, "
+                   "\"ttfr_p99_ms\": %.3f, \"ttfr_max_ms\": %.3f, "
+                   "\"queue_waits\": %zu, \"cold_boots\": %zu, \"restores\": %zu, "
+                   "\"warm_hits\": %zu}%s\n",
+                   point.multiplier, point.result.requests, point.result.warm_hit_ratio,
+                   static_cast<double>(point.result.ttfr_p50) / 1e6,
+                   static_cast<double>(point.result.ttfr_p99) / 1e6,
+                   static_cast<double>(point.result.ttfr_max) / 1e6,
+                   point.result.queue_waits, point.result.cold_boots,
+                   point.result.restores, point.result.warm_hits,
+                   i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"workers\": [\n");
+    for (size_t i = 0; i < workers.size(); ++i) {
+      const WorkerPoint& point = workers[i];
+      std::fprintf(json,
+                   "    {\"workers\": %zu, \"digest\": \"%016llx\", "
+                   "\"divergence\": %zu, \"steals\": %zu, \"wall_ms\": %.3f}%s\n",
+                   point.workers, static_cast<unsigned long long>(point.digest),
+                   point.result.exec_divergence, point.result.steals,
+                   point.result.wall_ms, i + 1 < workers.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"determinism_ok\": %s,\n", determinism_ok ? "true" : "false");
+    if (chaos.ok()) {
+      std::fprintf(json,
+                   "  \"chaos\": {\"restore_failures\": %zu, \"drops\": %zu, "
+                   "\"poisoned\": %zu, \"denials\": %zu, \"probes\": %zu, "
+                   "\"recovered\": %s},\n",
+                   chaos->restore_failures, chaos->quarantine_drops,
+                   chaos->quarantine_poisoned, chaos->quarantine_denials, chaos->probes,
+                   chaos_recovered ? "true" : "false");
+    }
+    std::fprintf(json, "  \"chaos_recovered\": %s\n", chaos_recovered ? "true" : "false");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_serving.json\n");
+  }
+  return 0;
+}

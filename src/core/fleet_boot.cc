@@ -20,6 +20,12 @@ namespace {
 struct BootTask {
   size_t index = 0;
   std::string app;
+  // Snapshot plan (empty key = snapshots off for this task). `snapshot_capture`
+  // marks the one task per key that cold-boots and publishes the snapshot;
+  // every other same-key task restores (and depends on the capture task in
+  // the schedule, so the lookup cannot race).
+  std::string snapshot_key;
+  bool snapshot_capture = false;
 };
 
 // Everything one scheduler task reports back. Direct mode fills one per boot
@@ -44,6 +50,11 @@ struct TaskOutcome {
   size_t recovered = 0;
   size_t unretried = 0;  // Permanent-error failures that never saw a retry.
   Nanos recovery_total = 0;
+  size_t snapshot_captures = 0;
+  size_t snapshot_restores = 0;
+  size_t snapshot_restore_failures = 0;
+  Nanos restore_total = 0;   // to_init over restored launches.
+  Nanos coldboot_total = 0;  // to_init over cold-booted launches.
   std::vector<std::pair<size_t, std::string>> fault_logs;  // (task index, line).
 };
 
@@ -192,7 +203,43 @@ AttemptResult RunBootAttempt(KernelCache& cache, const BootTask& task,
                    {"granted_bytes", telemetry::FieldValue{static_cast<uint64_t>(memory)}}});
   }
 
-  auto vm = (*artifact)->Launch(memory, injector.armed() ? &injector : nullptr);
+  std::unique_ptr<vmm::Vm> vm;
+  SnapshotCache::SnapshotPtr snapshot;
+  if (options.snapshots != nullptr && !task.snapshot_key.empty() &&
+      !task.snapshot_capture) {
+    snapshot = options.snapshots->Find(task.snapshot_key);
+    if (snapshot != nullptr && snapshot->memory != memory) {
+      snapshot = nullptr;  // A degraded grant cannot hold the full-RAM image.
+    }
+  }
+  if (snapshot != nullptr) {
+    // Warm launch: re-materialize the captured post-init state at restore
+    // cost. Boot-stage deadlines do not apply (there is no boot); a failed
+    // restore is charged the modeled restore cost, feeds the store's
+    // drop-once-then-poison quarantine, and the retry cold-boots (the
+    // suspect entry is gone by then).
+    auto restored = vmm::Vm::Restore(*snapshot, injector.armed() ? &injector : nullptr);
+    result.launched = true;
+    if (!restored.ok()) {
+      options.snapshots->RecordRestore(*snapshot, false);
+      options.snapshots->ReportRestoreFailure(task.snapshot_key);
+      ++outcome.snapshot_restore_failures;
+      ++outcome.launch_failures;
+      result.kind = AttemptResult::kFail;
+      result.status = restored.status();
+      result.charge = snapshot->restore_ns;
+      EmitTaskEvent(options, task, offset + result.charge, "launch-failure",
+                    {{"error", telemetry::FieldValue{restored.status().ToString()}}});
+      return result;
+    }
+    options.snapshots->RecordRestore(*snapshot, true);
+    ++outcome.snapshot_restores;
+    vm = restored.take();
+    EmitTaskEvent(options, task, offset + vm->boot_report().to_init, "snapshot-restore",
+                  {{"restore_ns",
+                    telemetry::FieldValue{static_cast<uint64_t>(snapshot->restore_ns)}}});
+  } else {
+  vm = (*artifact)->Launch(memory, injector.armed() ? &injector : nullptr);
   result.launched = true;
   DeadlineGuard boot_guard(vm->kernel().clock(), "boot", options.deadlines.boot);
   if (Status s = vm->Boot(); !s.ok()) {
@@ -235,6 +282,27 @@ AttemptResult RunBootAttempt(KernelCache& cache, const BootTask& task,
     return result;
   }
 
+  // Capture: publish this cold boot's post-init state before any workload
+  // runs (the digest covers the console and syscall tables, which a run
+  // mutates). The guest is paused while the monitor serializes its memory,
+  // so the cost lands on the task's timeline, not the guest clock.
+  if (options.snapshots != nullptr && task.snapshot_capture &&
+      !options.snapshots->Contains(task.snapshot_key)) {
+    auto captured = guestos::CaptureSnapshot(vm->kernel(), task.snapshot_key, task.app,
+                                             (*artifact)->kernel, (*artifact)->boot_plan,
+                                             (*artifact)->rootfs);
+    if (captured.ok()) {
+      const Nanos capture_ns = captured.value().capture_ns;
+      options.snapshots->Put(captured.take());
+      ++outcome.snapshot_captures;
+      outcome.virtual_time += capture_ns;
+      EmitTaskEvent(options, task, offset + vm->boot_report().to_init + capture_ns,
+                    "snapshot-capture",
+                    {{"capture_ns", telemetry::FieldValue{static_cast<uint64_t>(capture_ns)}}});
+    }
+  }
+  }
+
   bool workload_failed = false;
   if (options.run_workload) {
     DeadlineGuard guard(vm->kernel().clock(), "workload", options.deadlines.workload);
@@ -273,6 +341,9 @@ AttemptResult RunBootAttempt(KernelCache& cache, const BootTask& task,
   }
   ++outcome.boots;
   outcome.virtual_time += vm->boot_report().to_init;
+  // Launch-cost split: a restored VM's to_init is its restore cost.
+  (vm->restored() ? outcome.restore_total : outcome.coldboot_total) +=
+      vm->boot_report().to_init;
   const Bytes peak = vm->kernel().mm().peak();
   outcome.resident_sum += peak;
   outcome.resident_peak = std::max(outcome.resident_peak, peak);
@@ -475,6 +546,25 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
     plans.emplace(task.app, plan.take());
   }
 
+  // Snapshot plan (direct mode): the globally-first task per snapshot key
+  // captures; later same-key tasks restore and will depend on the capture
+  // task. A key already resident (pre-baked store) restores everywhere with
+  // no capture and no dep. Decided here, serially, so restore-vs-capture is
+  // a function of the plan — never of which worker won a cache race.
+  std::map<std::string, size_t> capture_owner;  // key -> capturing task index.
+  if (options.snapshots != nullptr && !options.supervised) {
+    for (BootTask& task : boot_tasks) {
+      const KernelCache::ProvisionPlan& plan = plans.at(task.app);
+      task.snapshot_key =
+          SnapshotCache::Key(plan.fingerprint, plan.rootfs_key, options.memory);
+      if (options.snapshots->Contains(task.snapshot_key)) {
+        continue;  // Restore with no dep.
+      }
+      auto [it, fresh] = capture_owner.try_emplace(task.snapshot_key, task.index);
+      task.snapshot_capture = fresh;
+    }
+  }
+
   const size_t trips_before = options.breaker != nullptr ? options.breaker->trips() : 0;
   const auto wall_start = std::chrono::steady_clock::now();
 
@@ -640,6 +730,15 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
           spec.groups.push_back(rootfs_stage.at(plan.rootfs_key));
         }
       }
+      // Restore tasks run after their key's capture task in every direct
+      // schedule (boot tasks are submitted in index order, so the capture
+      // task's scheduler id is already known).
+      if (!task.snapshot_key.empty() && !task.snapshot_capture) {
+        auto owner = capture_owner.find(task.snapshot_key);
+        if (owner != capture_owner.end() && owner->second != task.index) {
+          spec.deps.push_back(sched_ids[owner->second]);
+        }
+      }
       sched_ids[task.index] = scheduler.Submit(std::move(spec));
     }
   }
@@ -673,6 +772,11 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
     result.recovered += outcome.recovered;
     result.unretried_failures += outcome.unretried;
     result.virtual_recovery_total += outcome.recovery_total;
+    result.snapshot_captures += outcome.snapshot_captures;
+    result.snapshot_restores += outcome.snapshot_restores;
+    result.snapshot_restore_failures += outcome.snapshot_restore_failures;
+    result.virtual_restore_total += outcome.restore_total;
+    result.virtual_coldboot_total += outcome.coldboot_total;
     fault_logs.insert(fault_logs.end(), outcome.fault_logs.begin(),
                       outcome.fault_logs.end());
   }
@@ -818,6 +922,12 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
     options.metrics->GetGauge("fleet.recovered").Set(static_cast<int64_t>(result.recovered));
     options.metrics->GetGauge("fleet.unretried_failures")
         .Set(static_cast<int64_t>(result.unretried_failures));
+    options.metrics->GetGauge("fleet.snapshot_captures")
+        .Set(static_cast<int64_t>(result.snapshot_captures));
+    options.metrics->GetGauge("fleet.snapshot_restores")
+        .Set(static_cast<int64_t>(result.snapshot_restores));
+    options.metrics->GetGauge("fleet.snapshot_restore_failures")
+        .Set(static_cast<int64_t>(result.snapshot_restore_failures));
     options.metrics->GetGauge("fleet.steals").Set(static_cast<int64_t>(result.steals));
     for (size_t w = 0; w < result.worker_queue_peak.size(); ++w) {
       options.metrics
@@ -825,6 +935,9 @@ Result<FleetBootResult> RunFleetBoot(KernelCache& cache, const FleetBootOptions&
           .Set(static_cast<int64_t>(result.worker_queue_peak[w]));
     }
     cache.PublishMetrics(*options.metrics);
+    if (options.snapshots != nullptr) {
+      options.snapshots->PublishMetrics(*options.metrics);
+    }
   }
   return result;
 }

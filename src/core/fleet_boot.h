@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/core/multik.h"
+#include "src/core/snapshot_cache.h"
 #include "src/telemetry/journal.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/span.h"
@@ -124,6 +125,18 @@ struct FleetBootOptions {
   // in task order — byte-identical across 1/2/4/8 workers. Must outlive the
   // call.
   const FaultPlan* fault_plan = nullptr;
+  // Optional, non-owning snapshot store (direct mode only; supervised shards
+  // ignore it — a supervisor owns its members' lifecycles). With a store,
+  // the fleet plans snapshot use up front: the first task per snapshot key
+  // ({kernel fingerprint, rootfs key, RAM}) cold-boots and captures; every
+  // later same-key task depends on that capture task in the schedule and
+  // launches by restore instead of Boot(), so restore-vs-capture is a
+  // property of the plan — byte-identical across worker counts — never a
+  // lookup race. A key already resident in the store (pre-baked by a
+  // previous run) skips the capture and restores everywhere. Restore
+  // failures feed the store's drop-once-then-poison quarantine and the task
+  // retries with a cold boot. Must outlive the call; thread-safe.
+  SnapshotCache* snapshots = nullptr;
   // Optional, non-owning fleet circuit breaker shared by every worker. Each
   // launch is Allow()-gated and its outcome Record()ed; in fail-fast mode a
   // tripped breaker denies launches (counted as failures + breaker_denied).
@@ -186,6 +199,16 @@ struct FleetBootResult {
   // Extra virtual time recovered tasks burned (failed attempts + backoffs):
   // divided by `recovered`, the fleet's mean virtual time-to-recovery.
   Nanos virtual_recovery_total = 0;
+
+  // Snapshot/restore outcomes (all zero without options.snapshots).
+  size_t snapshot_captures = 0;          // Cold boots that published a snapshot.
+  size_t snapshot_restores = 0;          // Launches served by restore.
+  size_t snapshot_restore_failures = 0;  // Restore attempts that failed.
+  // Launch-cost split: to_init summed over restored vs cold-booted launches.
+  // restore_total / restores vs coldboot_total / cold boots is the headline
+  // "restore is N x cheaper than boot" figure.
+  Nanos virtual_restore_total = 0;
+  Nanos virtual_coldboot_total = 0;
   // One line per task, task order, only tasks whose injector fired:
   // "#<task> <app>: <site>@<evaluation>,...". Byte-identical across worker
   // counts for a given (plan, seed) — the replay-determinism contract.

@@ -185,6 +185,8 @@ Result<KernelCache::ArtifactPtr> KernelCache::GetOrBuildKeyed(const std::string&
   }
   artifact->init_script = apps::GenerateInitScript(image);
   artifact->general_kernel = general_kernel;
+  artifact->fingerprint = spec.fingerprint;
+  artifact->rootfs_key = apps::RootfsCache::CacheKey(image, rootfs_options);
   artifact->provisioning = std::move(provisioning);
   ArtifactPtr result = std::move(artifact);
 

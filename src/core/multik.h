@@ -83,6 +83,12 @@ class KernelCache {
     std::shared_ptr<const guestos::BootPlan> boot_plan;  // Per-image, per-boot reuse.
     std::shared_ptr<const std::string> rootfs;
     std::string init_script;
+    // Content identities of the immutable inputs: the kernel config
+    // fingerprint and the rootfs cache key. Together (plus guest RAM) they
+    // key snapshot/restore state — two artifacts with equal identities boot
+    // to byte-identical post-init state.
+    std::string fingerprint;
+    std::string rootfs_key;
     // The batching mode substituted the shared lupine-general kernel after
     // proving this app's config is a subset of it.
     bool general_kernel = false;

@@ -131,6 +131,18 @@ struct CostModel {
   Nanos boot_rootfs_mount = 1'600'000;
   Nanos boot_init_exec = 1'400'000;
 
+  // ---- Snapshot/restore (Firecracker-style serving play) --------------------
+  // Capturing pauses the guest post-init and serializes device state plus the
+  // resident pages; restoring maps the memory file and loads vCPU state, then
+  // demand-pages the working set. Scaled so a typical specialized kernel
+  // restores well under half its full boot cost — the microVM snapshot
+  // literature puts restore in single-digit milliseconds against tens of
+  // milliseconds of boot.
+  Nanos snapshot_capture_base = 4'000'000;   // Pause + device/vCPU state dump.
+  Nanos snapshot_capture_per_mb = 200'000;   // Resident-page serialization.
+  Nanos snapshot_restore_base = 2'000'000;   // Map memory file, load vCPU state.
+  Nanos snapshot_restore_per_mb = 80'000;    // Demand-map the captured pages.
+
   // ---- Derived helpers ---------------------------------------------------------------
 
   // One-way privilege transition for a kernel with `f`, for a process whose

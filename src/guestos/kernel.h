@@ -91,10 +91,13 @@ class Kernel {
   VirtualClock& clock() { return clock_; }
   Scheduler& sched() { return *sched_; }
   MemoryManager& mm() { return *mm_; }
+  const MemoryManager& mm() const { return *mm_; }
   Vfs& vfs() { return vfs_; }
+  const Vfs& vfs() const { return vfs_; }
   NetStack& net() { return *net_; }
   FutexTable& futexes() { return *futexes_; }
   Console& console() { return console_; }
+  const Console& console() const { return console_; }
   TraceLog& trace() { return trace_; }
   const TraceLog& trace() const { return trace_; }
   FaultInjector& faults() { return *faults_; }

@@ -1,0 +1,52 @@
+#include "src/serve/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/prng.h"
+
+namespace lupine::serve {
+
+std::vector<Request> GenerateOpenLoopArrivals(const std::vector<TenantSpec>& tenants,
+                                              Nanos duration, uint64_t seed) {
+  Prng root(seed);
+  struct Tagged {
+    Nanos arrival;
+    size_t tenant;   // Index into `tenants` — the merge tie-break.
+    std::string app;
+  };
+  std::vector<Tagged> merged;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    Prng stream = root.Fork();
+    if (tenants[t].arrivals_per_sec <= 0.0) {
+      continue;
+    }
+    const double mean_gap_ns = 1e9 / tenants[t].arrivals_per_sec;
+    Nanos at = 0;
+    for (;;) {
+      // Exponential inter-arrival via inverse transform; 1-u keeps the log
+      // argument in (0, 1] (NextDouble may return 0).
+      const double u = stream.NextDouble();
+      const double gap = -std::log(1.0 - u) * mean_gap_ns;
+      at += static_cast<Nanos>(gap) + 1;  // +1: arrivals strictly advance.
+      if (at >= duration) {
+        break;
+      }
+      merged.push_back({at, t, tenants[t].app});
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.arrival != b.arrival) {
+      return a.arrival < b.arrival;
+    }
+    return a.tenant < b.tenant;
+  });
+  std::vector<Request> trace;
+  trace.reserve(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    trace.push_back({i, std::move(merged[i].app), merged[i].arrival});
+  }
+  return trace;
+}
+
+}  // namespace lupine::serve

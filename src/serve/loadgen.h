@@ -1,0 +1,40 @@
+// Open-loop load generator for the serving front door.
+//
+// Requests arrive on the virtual clock, independent of service progress (the
+// open-loop model: a slow server does not slow arrivals down, it builds
+// queue). Each tenant is a Poisson source — exponential inter-arrivals at
+// its configured rate, drawn from a per-tenant fork of one seed — and the
+// merged trace is sorted by (arrival, tenant, per-tenant ordinal), so the
+// trace is a pure function of (tenants, duration, seed): byte-identical
+// however many workers later execute it.
+#ifndef SRC_SERVE_LOADGEN_H_
+#define SRC_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace lupine::serve {
+
+struct TenantSpec {
+  std::string app;               // Manifest name; also the tenant identity.
+  double arrivals_per_sec = 1.0; // Poisson rate on the virtual clock.
+};
+
+struct Request {
+  size_t index = 0;      // Ordinal in the merged trace.
+  std::string app;       // Tenant the request is for.
+  Nanos arrival = 0;     // Virtual arrival instant.
+};
+
+// Generates the merged arrival trace over [0, duration). Deterministic in
+// (tenants, duration, seed); tenant order matters (each tenant forks the
+// seed stream in order).
+std::vector<Request> GenerateOpenLoopArrivals(const std::vector<TenantSpec>& tenants,
+                                              Nanos duration, uint64_t seed);
+
+}  // namespace lupine::serve
+
+#endif  // SRC_SERVE_LOADGEN_H_

@@ -28,6 +28,8 @@ const char* FaultSiteName(FaultSite site) {
       return "app-fault";
     case FaultSite::kBootStall:
       return "boot-stall";
+    case FaultSite::kSnapshotRestore:
+      return "snapshot-restore";
   }
   return "unknown";
 }

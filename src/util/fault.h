@@ -40,9 +40,11 @@ enum class FaultSite {
   kAppFault,          // Wild access in the application -> ring-0 oops/panic.
   kBootStall,         // Decompressor wedges: boot completes but only after a
                       // huge virtual stall — what a stage deadline exists for.
+  kSnapshotRestore,   // Snapshot memory file corrupt / ABI mismatch: the
+                      // restore fails and the cache entry should be poisoned.
 };
 
-inline constexpr size_t kFaultSiteCount = 10;
+inline constexpr size_t kFaultSiteCount = 11;
 
 // Virtual time a kBootStall fault wedges the decompressor for. Orders of
 // magnitude beyond any real boot phase, so any sane stage deadline fires

@@ -142,7 +142,7 @@ WorkStealingScheduler::Report WorkStealingScheduler::Run() {
   std::vector<SimTask> sim(total);
   for (size_t i = 0; i < total; ++i) {
     sim[i] = {specs_[i].home, specs_[i].pin, costs[i],
-              specs_[i].deps, specs_[i].groups, specs_[i].label};
+              specs_[i].deps, specs_[i].groups, specs_[i].label, specs_[i].release};
   }
   Report report = Simulate(options_, sim, group_costs_);
   report.host_steals = host_steals;
@@ -179,8 +179,38 @@ WorkStealingScheduler::Report WorkStealingScheduler::Simulate(
   auto note_depth = [&](size_t w) {
     report.worker_queue_peak[w] = std::max(report.worker_queue_peak[w], deques[w].size());
   };
+
+  // Tasks whose deps are satisfied but whose release instant is still in the
+  // future wait here instead of in a deque: a worker must not dispatch a
+  // request before it arrives. Ordered by (release, id) so same-instant
+  // arrivals enter their deques in submission order.
+  struct PendingRelease {
+    Nanos at = 0;
+    size_t task = 0;
+    bool operator>(const PendingRelease& other) const {
+      return at != other.at ? at > other.at : task > other.task;
+    }
+  };
+  std::priority_queue<PendingRelease, std::vector<PendingRelease>, std::greater<PendingRelease>>
+      releases;
+
+  auto drain_releases = [&](Nanos now) {
+    while (!releases.empty() && releases.top().at <= now) {
+      const size_t id = releases.top().task;
+      releases.pop();
+      const size_t target =
+          static_cast<size_t>(tasks[id].pin >= 0 ? tasks[id].pin : tasks[id].home) % workers;
+      deques[target].push_back(id);
+      note_depth(target);
+    }
+  };
+
   for (size_t i = total; i-- > 0;) {
     if (pending[i] == 0) {
+      if (tasks[i].release > 0) {
+        releases.push({tasks[i].release, i});
+        continue;
+      }
       const size_t target =
           static_cast<size_t>(tasks[i].pin >= 0 ? tasks[i].pin : tasks[i].home) % workers;
       deques[target].push_back(i);
@@ -250,7 +280,16 @@ WorkStealingScheduler::Report WorkStealingScheduler::Simulate(
   };
 
   dispatch_idle(0);
-  while (!events.empty()) {
+  while (!events.empty() || !releases.empty()) {
+    // All workers idle before the next completion: jump to the next release
+    // (the fleet between request arrivals).
+    if (events.empty() ||
+        (!releases.empty() && releases.top().at < events.top().time)) {
+      const Nanos now = releases.top().at;
+      drain_releases(now);
+      dispatch_idle(now);
+      continue;
+    }
     const Event event = events.top();
     events.pop();
     busy[event.worker] = false;
@@ -263,12 +302,17 @@ WorkStealingScheduler::Report WorkStealingScheduler::Simulate(
     }
     std::sort(ready.begin(), ready.end(), std::greater<size_t>());
     for (size_t child : ready) {
+      if (tasks[child].release > event.time) {
+        releases.push({tasks[child].release, child});
+        continue;
+      }
       const size_t target = static_cast<size_t>(
           tasks[child].pin >= 0 ? tasks[child].pin : static_cast<int>(event.worker)) %
           workers;
       deques[target].push_back(child);
       note_depth(target);
     }
+    drain_releases(event.time);
     dispatch_idle(event.time);
   }
   return report;

@@ -71,6 +71,12 @@ class WorkStealingScheduler {
     std::vector<size_t> deps;
     // Flight groups (DefineFlightGroup ids) this task joins, paid in order.
     std::vector<size_t> groups;
+    // Virtual release (arrival) time: the replay will not dispatch the task
+    // before this instant even when a worker is idle — how a request-driven
+    // serving layer injects open-loop arrivals into the schedule. Host
+    // execution ignores it (host wall time is not the virtual timeline);
+    // bodies must not depend on it for ordering — use deps.
+    Nanos release = 0;
   };
 
   explicit WorkStealingScheduler(Options options);
@@ -120,6 +126,7 @@ class WorkStealingScheduler {
     std::vector<size_t> deps;
     std::vector<size_t> groups;
     std::string label;
+    Nanos release = 0;  // Earliest virtual dispatch instant (see TaskSpec).
   };
   static Report Simulate(const Options& options, const std::vector<SimTask>& tasks,
                          const std::vector<Nanos>& group_costs);

@@ -33,6 +33,17 @@ class VirtualClock {
     }
   }
 
+  // Moves the clock backwards to an absolute point. Snapshot restore only:
+  // the guest's post-init state was re-materialized by replaying the boot
+  // (full boot cost on this clock), but the restored instance's timeline
+  // must begin at the modeled restore cost. Only legal while no fiber has
+  // run — once threads block, absolute wake deadlines exist and rewinding
+  // would corrupt them.
+  void Rewind(Nanos t) {
+    assert(t <= now_ && "rewind cannot move forwards");
+    now_ = t;
+  }
+
   void Reset() { now_ = 0; }
 
  private:

@@ -166,6 +166,69 @@ Grant FleetAdmissionController::Admit(const AdmissionRequest& request) {
   return grant;
 }
 
+Grant FleetAdmissionController::TryAdmit(const AdmissionRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.requests;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("admission.requests").Increment();
+  }
+
+  const Bytes budget = policy_.host_budget;
+  const bool unlimited = budget == 0;
+  const bool can_full = unlimited || request.memory <= budget;
+  const bool can_min = !unlimited && request.min_memory > 0 &&
+                       request.min_memory <= budget;
+  const bool full_fits =
+      can_full && (unlimited || committed_ + request.memory <= budget);
+  const bool min_fits = can_min && committed_ + request.min_memory <= budget;
+
+  auto emit_try_verdict = [&](const char* verdict, Bytes granted) {
+    if (journal_ == nullptr) {
+      return;
+    }
+    telemetry::Event event;
+    event.source = "admission";
+    event.type = "try-verdict";
+    event.schedule_scoped = true;  // Depends on concurrent committed bytes.
+    event.fields = {{"vm", telemetry::FieldValue{request.vm}},
+                    {"verdict", telemetry::FieldValue{std::string(verdict)}},
+                    {"granted_bytes", telemetry::FieldValue{static_cast<uint64_t>(granted)}}};
+    journal_->Emit(std::move(event));
+  };
+
+  // Respect the FIFO line: stealing budget that a queued Admit() is waiting
+  // for would starve it.
+  if (tickets_.empty() && (full_fits || min_fits)) {
+    const bool degraded = !full_fits;
+    const Bytes granted = degraded ? request.min_memory : request.memory;
+    committed_ += granted;
+    ++stats_.active;
+    stats_.committed = committed_;
+    if (committed_ > stats_.peak_committed) {
+      stats_.peak_committed = committed_;
+    }
+    if (degraded) {
+      ++stats_.degraded;
+    } else {
+      ++stats_.admitted;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter(degraded ? "admission.degraded" : "admission.admitted")
+          .Increment();
+    }
+    emit_try_verdict(degraded ? "degrade" : "admit", granted);
+    PublishGauges();
+    return Grant(this, granted, degraded, /*waited=*/false);
+  }
+
+  ++stats_.try_denied;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("admission.try_denied").Increment();
+  }
+  emit_try_verdict("deny", 0);
+  return Grant();
+}
+
 void FleetAdmissionController::ReleaseBytes(Bytes bytes) {
   {
     std::lock_guard<std::mutex> lock(mu_);

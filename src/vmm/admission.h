@@ -103,6 +103,13 @@ class FleetAdmissionController {
   // rejected (can never fit, or the queue is full).
   Grant Admit(const AdmissionRequest& request);
 
+  // Non-blocking Admit: commits and returns a grant only when the request
+  // fits right now (full or degraded) with nobody queued ahead of it. Any
+  // verdict that would block or reject returns an invalid grant without
+  // queuing — the serving front door uses this to fall back to a cold boot
+  // (or shed the request) instead of holding a request thread hostage.
+  Grant TryAdmit(const AdmissionRequest& request);
+
   // Optional, non-owning metric sink: admission outcome counters plus
   // `admission.committed_bytes` / `admission.peak_committed_bytes` gauges.
   // Set before the first Admit(); the registry must outlive the controller.
@@ -121,6 +128,7 @@ class FleetAdmissionController {
     uint64_t degraded = 0;   // min_memory grants.
     uint64_t queued = 0;     // Requests that blocked before being granted.
     uint64_t rejected = 0;
+    uint64_t try_denied = 0; // TryAdmit() calls that found no immediate room.
     size_t waiting = 0;      // Currently blocked in Admit().
     size_t active = 0;       // Outstanding grants.
     Bytes committed = 0;     // Bytes currently held by grants.

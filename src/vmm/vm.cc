@@ -72,6 +72,52 @@ Result<int> Vm::RunToCompletion() {
                 std::to_string(blocked) + " guest thread(s) still blocked (server running)");
 }
 
+Result<std::unique_ptr<Vm>> Vm::Restore(const guestos::Snapshot& snapshot,
+                                        FaultInjector* faults,
+                                        const guestos::AppRegistry* registry) {
+  if (snapshot.kernel == nullptr || snapshot.rootfs == nullptr) {
+    return Status(Err::kInval, "snapshot is missing its immutable inputs");
+  }
+  // The memory file itself is the restore's failure surface (the replayed
+  // boot already succeeded once): a corruption fault kills the restore
+  // before any state is rebuilt.
+  if (faults != nullptr && faults->Check(FaultSite::kSnapshotRestore)) {
+    return Status(Err::kIo, "snapshot restore failed: memory file corrupt (" +
+                                snapshot.key + ")");
+  }
+
+  VmSpec spec;
+  spec.monitor = Firecracker();
+  spec.image = *snapshot.kernel;
+  spec.rootfs = *snapshot.rootfs;
+  spec.memory = snapshot.memory;
+  spec.boot_plan = snapshot.boot_plan;
+  // No injector is threaded into the replay: the boot being re-materialized
+  // is one that completed cleanly at capture time.
+  auto vm = std::make_unique<Vm>(std::move(spec), registry);
+  if (Status s = vm->Boot(); !s.ok()) {
+    return Status(Err::kIo, "snapshot restore failed: re-materialization: " + s.ToString());
+  }
+  const uint64_t digest = guestos::KernelStateDigest(vm->kernel());
+  if (digest != snapshot.state_digest) {
+    return Status(Err::kIo, "snapshot restore failed: state digest mismatch (" +
+                                snapshot.key + ")");
+  }
+
+  // Rebase the timeline: the replay charged full boot cost, but the restored
+  // instance launches at restore cost. No fiber has run yet, so no absolute
+  // deadline references the old timeline.
+  vm->kernel_->clock().Rewind(snapshot.restore_ns);
+  vm->report_ = BootReport{};
+  vm->report_.phases.push_back({"snapshot-restore", snapshot.restore_ns});
+  vm->report_.total = snapshot.restore_ns;
+  vm->report_.to_init = snapshot.restore_ns;
+  vm->spans_.Clear();
+  vm->spans_.Record("snapshot-restore", 0, snapshot.restore_ns);
+  vm->restored_ = true;
+  return vm;
+}
+
 Vm::RunResult Vm::BootAndRun() {
   RunResult result;
   result.status = Boot();

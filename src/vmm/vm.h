@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/guestos/kernel.h"
+#include "src/guestos/snapshot.h"
 #include "src/kbuild/image.h"
 #include "src/telemetry/span.h"
 #include "src/util/fault.h"
@@ -73,12 +74,32 @@ class Vm {
   };
   RunResult BootAndRun();
 
+  // --- Snapshot/restore boot ------------------------------------------------
+  // Builds a ready-to-run VM from a post-init snapshot at restore cost. The
+  // state is re-materialized deterministically (replaying Boot+StartInit of
+  // the snapshot's immutable inputs — identical state by construction) and
+  // verified against the snapshot's state digest; then the virtual timeline
+  // is rebased so boot_report().to_init == snapshot.restore_ns, the launch
+  // cost a serving fleet actually pays. `faults` (non-owning, optional) is
+  // consulted at FaultSite::kSnapshotRestore before the replay — a corrupt
+  // memory file fails the restore with kIo (retryable), and the caller
+  // should report the failure to its SnapshotCache so the entry is
+  // quarantined. Digest mismatches fail kIo the same way. The restored VM
+  // has never run a fiber, so it may be parked and later run on any thread.
+  static Result<std::unique_ptr<Vm>> Restore(const guestos::Snapshot& snapshot,
+                                             FaultInjector* faults = nullptr,
+                                             const guestos::AppRegistry* registry = nullptr);
+
+  // This VM was built by Restore() rather than Boot().
+  bool restored() const { return restored_; }
+
  private:
   VmSpec spec_;
   std::unique_ptr<guestos::Kernel> kernel_;
   guestos::Process* init_ = nullptr;
   BootReport report_;
   telemetry::SpanTrace spans_;
+  bool restored_ = false;
 };
 
 // Finds the minimum guest RAM (in MiB granularity) with which `try_run`

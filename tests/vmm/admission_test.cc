@@ -209,5 +209,55 @@ TEST(AdmissionStormTest, ConcurrentAdmitHoldReleaseStaysUnderBudget) {
   EXPECT_LE(stats.peak_committed, kBudget);
 }
 
+
+TEST(FleetAdmissionTest, TryAdmitGrantsWhatFitsNowAndNeverBlocks) {
+  FleetAdmissionController controller({1 * kGiB, 0});
+  Grant a = controller.TryAdmit({"a", 512 * kMiB, 0});
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(a.waited());
+  Grant b = controller.TryAdmit({"b", 512 * kMiB, 0});
+  EXPECT_TRUE(b.valid());
+  // Budget exhausted: the non-blocking path denies instead of queueing.
+  Grant c = controller.TryAdmit({"c", 512 * kMiB, 0});
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(controller.stats().try_denied, 1u);
+  EXPECT_EQ(controller.stats().waiting, 0u);
+  // Releasing capacity makes the next try succeed.
+  a.Release();
+  Grant d = controller.TryAdmit({"d", 512 * kMiB, 0});
+  EXPECT_TRUE(d.valid());
+}
+
+TEST(FleetAdmissionTest, TryAdmitDegradesToTheFloorWhenFullDoesNotFit) {
+  FleetAdmissionController controller({768 * kMiB, 0});
+  Grant a = controller.TryAdmit({"a", 512 * kMiB, 0});
+  ASSERT_TRUE(a.valid());
+  // 512 full does not fit, the 128 floor does: degrade, immediately.
+  Grant b = controller.TryAdmit({"b", 512 * kMiB, 128 * kMiB});
+  EXPECT_TRUE(b.valid());
+  EXPECT_TRUE(b.degraded());
+  EXPECT_EQ(b.granted(), 128 * kMiB);
+}
+
+TEST(FleetAdmissionTest, TryAdmitRespectsTheFifoQueue) {
+  // A waiter in the blocking queue outranks any TryAdmit: the front door
+  // must not starve launches that were promised capacity first.
+  FleetAdmissionController controller({1 * kGiB, 0});
+  Grant hold = controller.Admit({"hold", 768 * kMiB, 0});
+  auto queued = std::async(std::launch::async, [&controller] {
+    return controller.Admit({"queued", 512 * kMiB, 0});
+  });
+  WaitForWaiters(controller, 1);
+  // 256 MiB is free, but the queued 512 MiB launch was first in line.
+  Grant sneak = controller.TryAdmit({"sneak", 128 * kMiB, 0});
+  EXPECT_FALSE(sneak.valid());
+  hold.Release();
+  Grant promoted = queued.get();
+  EXPECT_TRUE(promoted.valid());
+  // Queue drained: TryAdmit works again.
+  Grant after = controller.TryAdmit({"after", 128 * kMiB, 0});
+  EXPECT_TRUE(after.valid());
+}
+
 }  // namespace
 }  // namespace lupine::vmm
