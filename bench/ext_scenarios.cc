@@ -1,0 +1,249 @@
+// Extension: the declarative workload simulator run over the committed
+// scenario corpus (bench/scenarios/*.json).
+//
+// Legs:
+//   1. Corpus run — every spec interpreted end-to-end against booted
+//      guests: iterations, virtual elapsed, guest syscalls, blocked
+//      threads, and whether the spec's own expect-assertions held.
+//   2. Worker byte-identity — the whole corpus re-run at 1/2/4/8 host
+//      workers; the canonical figures plus each run's canonical journal
+//      must hash identically (VM simulations are independent virtual-clock
+//      worlds, so host scheduling cannot leak into the figures).
+//   3. KML delta — the IPC-shaped scenarios (pipe-latency, hackbench)
+//      under forced KML on/off, extending table5's lmbench comparison
+//      with declarative equivalents.
+//
+// Results go to stdout and BENCH_scenarios.json (a CI artifact gated by
+// tools/benchdiff). Exit code 0 unless a spec fails to run at all.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/loadspec/interpreter.h"
+#include "src/loadspec/parser.h"
+#include "src/telemetry/journal.h"
+#include "src/util/table.h"
+
+using namespace lupine;
+
+namespace {
+
+#ifndef LUPINE_SCENARIO_DIR
+#define LUPINE_SCENARIO_DIR "bench/scenarios"
+#endif
+
+struct SpecFile {
+  std::string path;
+  std::string text;
+  loadspec::ScenarioSpec spec;
+};
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::vector<SpecFile> LoadCorpus(const std::string& dir) {
+  std::vector<SpecFile> corpus;
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    SpecFile file;
+    file.path = path;
+    file.text = buffer.str();
+    auto spec = loadspec::ParseScenario(file.text);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), spec.status().ToString().c_str());
+      continue;
+    }
+    file.spec = spec.take();
+    corpus.push_back(std::move(file));
+  }
+  return corpus;
+}
+
+const loadspec::ScenarioSpec* FindSpec(const std::vector<SpecFile>& corpus,
+                                       const std::string& name) {
+  for (const SpecFile& file : corpus) {
+    if (file.spec.name == name) {
+      return &file.spec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintBanner("Extension: declarative workload scenarios (loadspec corpus)");
+
+  const std::string dir = argc > 1 ? argv[1] : LUPINE_SCENARIO_DIR;
+  std::vector<SpecFile> corpus = LoadCorpus(dir);
+  if (corpus.empty()) {
+    std::printf("no scenario specs under %s; nothing to do\n", dir.c_str());
+    return 0;
+  }
+
+  // --- 1. Corpus run -------------------------------------------------------
+  struct CorpusRow {
+    std::string name;
+    loadspec::ScenarioResult result;
+  };
+  std::vector<CorpusRow> rows;
+  Table corpus_table(
+      {"scenario", "groups", "iterations", "elapsed ms", "syscalls", "blocked", "expect"});
+  for (const SpecFile& file : corpus) {
+    auto result = loadspec::RunScenario(file.spec);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.spec.name.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& failure : result->failures) {
+      std::printf("  %s: EXPECT FAILED: %s\n", file.spec.name.c_str(), failure.c_str());
+    }
+    uint64_t syscalls = 0;
+    for (const auto& vm : result->vms) {
+      syscalls += vm.syscalls;
+    }
+    corpus_table.AddRow(result->name, static_cast<unsigned long long>(result->groups.size()),
+                        static_cast<unsigned long long>(result->total_iterations),
+                        ToMillis(result->elapsed), static_cast<unsigned long long>(syscalls),
+                        static_cast<unsigned long long>(result->blocked),
+                        result->ok() ? "OK" : "FAIL");
+    rows.push_back({file.spec.name, result.take()});
+  }
+  corpus_table.Print();
+
+  // --- 2. Worker byte-identity --------------------------------------------
+  const std::vector<size_t> worker_counts = {1, 2, 4, 8};
+  struct WorkerPoint {
+    size_t workers = 0;
+    uint64_t digest = 0;
+  };
+  std::vector<WorkerPoint> points;
+  for (size_t workers : worker_counts) {
+    std::string canonical;
+    for (const SpecFile& file : corpus) {
+      telemetry::Journal journal;
+      loadspec::ScenarioOptions options;
+      options.workers = workers;
+      options.journal = &journal;
+      auto result = loadspec::RunScenario(file.spec, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "workers=%zu %s: %s\n", workers, file.spec.name.c_str(),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      canonical += result->CanonicalFiguresInput();
+      canonical += journal.ExportJsonl(false);
+    }
+    points.push_back({workers, Fnv1a(canonical)});
+  }
+  bool determinism_ok = true;
+  std::printf("\nworker byte-identity (figures + canonical journal, whole corpus):\n");
+  Table worker_table({"workers", "digest"});
+  for (const WorkerPoint& point : points) {
+    determinism_ok = determinism_ok && point.digest == points.front().digest;
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(point.digest));
+    worker_table.AddRow(static_cast<double>(point.workers), digest);
+  }
+  worker_table.Print();
+  std::printf("byte-identical across 1/2/4/8 workers: %s\n",
+              determinism_ok ? "yes" : "NO");
+
+  // --- 3. KML delta on the IPC-shaped scenarios ----------------------------
+  struct KmlRow {
+    std::string name;
+    Nanos kml = 0;
+    Nanos nokml = 0;
+  };
+  std::vector<KmlRow> kml_rows;
+  for (const char* name : {"pipe-latency", "hackbench-pipes", "hackbench-sockets"}) {
+    const loadspec::ScenarioSpec* spec = FindSpec(corpus, name);
+    if (spec == nullptr) {
+      continue;
+    }
+    loadspec::ScenarioOptions kml_on;
+    kml_on.kml_override = 1;
+    loadspec::ScenarioOptions kml_off;
+    kml_off.kml_override = 0;
+    auto fast = loadspec::RunScenario(*spec, kml_on);
+    auto slow = loadspec::RunScenario(*spec, kml_off);
+    if (!fast.ok() || !slow.ok()) {
+      std::fprintf(stderr, "kml leg %s failed\n", name);
+      return 1;
+    }
+    kml_rows.push_back({name, fast->elapsed, slow->elapsed});
+  }
+  std::printf("\nKML vs non-KML (extends table5's lmbench rows with spec scenarios):\n");
+  Table kml_table({"scenario", "kml ms", "nokml ms", "speedup"});
+  for (const KmlRow& row : kml_rows) {
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.3fx",
+                  static_cast<double>(row.nokml) / static_cast<double>(row.kml));
+    kml_table.AddRow(row.name, ToMillis(row.kml), ToMillis(row.nokml), speedup);
+  }
+  kml_table.Print();
+
+  // --- 4. JSON artifact ----------------------------------------------------
+  std::FILE* json = std::fopen("BENCH_scenarios.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"scenarios\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const loadspec::ScenarioResult& r = rows[i].result;
+      uint64_t syscalls = 0;
+      for (const auto& vm : r.vms) {
+        syscalls += vm.syscalls;
+      }
+      std::fprintf(json,
+                   "    {\"name\": \"%s\", \"iterations\": %llu, \"elapsed_ms\": %.3f, "
+                   "\"syscalls\": %llu, \"blocked\": %llu, \"expect_ok\": %s}%s\n",
+                   r.name.c_str(), static_cast<unsigned long long>(r.total_iterations),
+                   ToMillis(r.elapsed), static_cast<unsigned long long>(syscalls),
+                   static_cast<unsigned long long>(r.blocked),
+                   r.ok() ? "true" : "false", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"determinism\": {\n    \"workers\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(json, "      {\"workers\": %zu, \"digest\": \"%016llx\"}%s\n",
+                   points[i].workers,
+                   static_cast<unsigned long long>(points[i].digest),
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(json, "    ],\n    \"ok\": %s\n  },\n", determinism_ok ? "true" : "false");
+    std::fprintf(json, "  \"kml\": [\n");
+    for (size_t i = 0; i < kml_rows.size(); ++i) {
+      const KmlRow& row = kml_rows[i];
+      std::fprintf(json,
+                   "    {\"scenario\": \"%s\", \"kml_ms\": %.3f, \"nokml_ms\": %.3f, "
+                   "\"speedup\": %.3f}%s\n",
+                   row.name.c_str(), ToMillis(row.kml), ToMillis(row.nokml),
+                   static_cast<double>(row.nokml) / static_cast<double>(row.kml),
+                   i + 1 < kml_rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_scenarios.json\n");
+  }
+  return 0;
+}

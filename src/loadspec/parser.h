@@ -1,0 +1,50 @@
+// Spec text -> ScenarioSpec, with line-precise diagnostics.
+//
+// Two entry points share one walk of the JSON document:
+//
+//   LintScenario   collects every problem it can find — syntax errors,
+//                  unknown keys, type mismatches, dangling group/channel
+//                  references, zero-rate phases, out-of-range parameters —
+//                  each rendered as "line:col: message". tools/speccheck
+//                  prints these verbatim.
+//
+//   ParseScenario  returns the validated model or the first diagnostic as a
+//                  Status (callers that just want to run a spec).
+//
+// Validation is registry-driven: action ops, their parameter names/ranges,
+// and syscall_mix entries are checked against loadspec::ActionRegistry()
+// and MixableSyscalls(), so the linter can never accept a spec the
+// interpreter would not understand.
+#ifndef SRC_LOADSPEC_PARSER_H_
+#define SRC_LOADSPEC_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/loadspec/spec.h"
+#include "src/util/result.h"
+
+namespace lupine::loadspec {
+
+struct SpecDiagnostic {
+  int line = 1;
+  int col = 1;
+  std::string message;
+
+  // "line:col: message" — the format speccheck prints and tests golden.
+  std::string ToString() const;
+};
+
+// Parses and validates `text`. On success returns the model and leaves
+// `diags` (if non-null) empty except for non-fatal warnings; on failure
+// returns kInval and fills `diags` with everything found.
+Result<ScenarioSpec> ParseScenario(std::string_view text,
+                                   std::vector<SpecDiagnostic>* diags = nullptr);
+
+// Lint-only entry: every diagnostic, no model. Returns true when clean.
+bool LintScenario(std::string_view text, std::vector<SpecDiagnostic>* diags);
+
+}  // namespace lupine::loadspec
+
+#endif  // SRC_LOADSPEC_PARSER_H_

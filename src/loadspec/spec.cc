@@ -1,0 +1,25 @@
+#include "src/loadspec/spec.h"
+
+namespace lupine::loadspec {
+
+const std::vector<std::string>& VariantNames() {
+  static const std::vector<std::string> kNames = {
+      "microvm",     "lupine",           "lupine-nokml",
+      "lupine-tiny", "lupine-nokml-tiny", "lupine-general",
+      "lupine-general-nokml",
+  };
+  return kNames;
+}
+
+double IntensityAt(const std::vector<PhaseSpec>& phases, Nanos since_start) {
+  Nanos end = 0;
+  for (const PhaseSpec& phase : phases) {
+    end += phase.duration;
+    if (since_start < end) {
+      return phase.intensity;
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace lupine::loadspec

@@ -1,0 +1,125 @@
+// The declarative workload spec model (loadbench-style).
+//
+// A scenario is a JSON document describing load as data instead of C++:
+// named worker groups (process- or thread-mode fiber counts with a
+// per-iteration action list), IPC channel topologies between groups
+// (pipe / AF_UNIX stream / datagram, full N x M pairing as in hackbench),
+// phased intensity ramps on the virtual clock, and expected-metric
+// assertions. The parser (parser.h) builds this model from text with
+// line-precise diagnostics; the interpreter (interpreter.h) materializes
+// it into guest processes running inside booted vmm::Vm instances.
+//
+// Top-level schema (all keys optional unless noted):
+//   name       (required) scenario identifier
+//   description            free-text comment
+//   seed                   PRNG seed for every sampled decision (default 42)
+//   vms        [{name, variant, app, memory_mb}]   default: one "main" VM,
+//              variant "lupine-general", app "hello-world", 128 MiB
+//   groups     (required) [{name (required), vm, workers, mode, iterations,
+//              period_us, actions (required)}]
+//   channels   [{name, kind: pipe|unix|dgram, from, to}]
+//   phases     [{name, duration_ms, intensity}]
+//   expect     [{metric: elapsed_ms|iterations|syscall_count|blocked,
+//              group, syscall, min, max}]
+//
+// Action vocabulary lives in actions.h (the registry is the single source
+// of truth for ops and their parameters — the validator and the
+// interpreter both consult it).
+#ifndef SRC_LOADSPEC_SPEC_H_
+#define SRC_LOADSPEC_SPEC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace lupine::loadspec {
+
+// One action invocation in a group's per-iteration list. Parameters are
+// kept as generic bags validated against the registry's ActionDef, so new
+// ops never touch the parser.
+struct ActionSpec {
+  std::string op;
+  std::map<std::string, double> nums;        // numeric parameters
+  std::map<std::string, std::string> strs;   // string parameters (e.g. channel)
+  // syscall_mix weights in spec order (order matters for determinism).
+  std::vector<std::pair<std::string, double>> mix;
+};
+
+struct GroupSpec {
+  std::string name;
+  std::string vm;          // empty = the first (or implicit) VM
+  int workers = 1;
+  bool threads = false;    // "mode": "process" (default) | "thread"
+  int iterations = 1;
+  Nanos period = 0;        // "period_us": 0 = free-running, else paced
+  std::vector<ActionSpec> actions;
+};
+
+struct VmEntrySpec {
+  std::string name = "main";
+  std::string variant = "lupine-general";  // see loadspec::VariantNames()
+  std::string app = "hello-world";
+  Bytes memory = 128 * kMiB;
+};
+
+enum class ChannelKind { kPipe, kUnixStream, kUnixDgram };
+
+// A full bipartite wiring between two groups: every worker of `from` gets a
+// bidirectional endpoint to every worker of `to` (N x M pairs, the
+// hackbench shape). "pipe" uses two pipes per pair so ping-pong works.
+struct ChannelSpec {
+  std::string name;
+  ChannelKind kind = ChannelKind::kPipe;
+  std::string from;
+  std::string to;
+};
+
+// Phases partition the run's virtual timeline from t=0; a paced group's
+// iteration rate is intensity/period while the clock is inside the phase.
+// After the last phase (and for spec without phases) intensity is 1.0.
+struct PhaseSpec {
+  std::string name;
+  Nanos duration = 0;      // "duration_ms"
+  double intensity = 1.0;
+};
+
+// An expected-metric assertion checked after the run. Supported metrics:
+//   elapsed_ms     max virtual elapsed across VMs
+//   iterations     completed iterations (per `group`, or total when empty)
+//   syscall_count  guest invocations of `syscall` summed across VMs
+//   blocked        threads still blocked at quiescence (deadlock tripwire)
+struct ExpectSpec {
+  std::string metric;
+  std::string group;
+  std::string syscall;
+  bool has_min = false;
+  double min = 0.0;
+  bool has_max = false;
+  double max = 0.0;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  uint64_t seed = 42;
+  std::vector<VmEntrySpec> vms;       // never empty after parsing
+  std::vector<GroupSpec> groups;
+  std::vector<ChannelSpec> channels;
+  std::vector<PhaseSpec> phases;
+  std::vector<ExpectSpec> expect;
+};
+
+// Known VM variant names, mapped by the interpreter onto the paper's
+// lineup (unikernels::LinuxVariantSpec).
+const std::vector<std::string>& VariantNames();
+
+// Phase intensity at `since_start` on the virtual clock.
+double IntensityAt(const std::vector<PhaseSpec>& phases, Nanos since_start);
+
+}  // namespace lupine::loadspec
+
+#endif  // SRC_LOADSPEC_SPEC_H_

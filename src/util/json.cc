@@ -53,7 +53,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const JsonParseOptions& options)
+      : text_(text), options_(options) {}
 
   Result<JsonValue> Document() {
     SkipWs();
@@ -68,8 +69,14 @@ class Parser {
     return value;
   }
 
+  void set_error_sink(JsonParseError* error) { error_ = error; }
+
  private:
   Status Error(const std::string& what) const {
+    if (error_ != nullptr) {
+      error_->what = what;
+      error_->offset = pos_;
+    }
     return Status(Err::kInval, "json: " + what + " at offset " + std::to_string(pos_));
   }
 
@@ -101,12 +108,13 @@ class Parser {
   }
 
   Status Value(JsonValue& out) {
-    if (depth_ > kMaxDepth) {
+    if (depth_ > options_.max_depth) {
       return Error("nesting too deep");
     }
     if (pos_ >= text_.size()) {
       return Error("unexpected end of input");
     }
+    out.offset = pos_;
     switch (text_[pos_]) {
       case '{':
         return Object(out);
@@ -155,9 +163,18 @@ class Parser {
       if (pos_ >= text_.size() || text_[pos_] != '"') {
         return Error("expected object key");
       }
+      const size_t key_offset = pos_;
       std::string key;
       if (Status s = String(key); !s.ok()) {
         return s;
+      }
+      if (options_.reject_duplicate_keys) {
+        for (const auto& [existing, unused] : out.object) {
+          if (existing == key) {
+            pos_ = key_offset;
+            return Error("duplicate key \"" + key + "\"");
+          }
+        }
       }
       SkipWs();
       if (!Consume(':')) {
@@ -168,6 +185,7 @@ class Parser {
       if (Status s = Value(value); !s.ok()) {
         return s;
       }
+      value.key_offset = key_offset;
       out.object.emplace_back(std::move(key), std::move(value));
       SkipWs();
       if (Consume(',')) {
@@ -348,15 +366,40 @@ class Parser {
     return Status::Ok();
   }
 
-  static constexpr int kMaxDepth = 256;
-
   std::string_view text_;
+  JsonParseOptions options_;
+  JsonParseError* error_ = nullptr;
   size_t pos_ = 0;
   int depth_ = 0;
 };
 
 }  // namespace
 
-Result<JsonValue> ParseJson(std::string_view text) { return Parser(text).Document(); }
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text, JsonParseOptions{}).Document();
+}
+
+Result<JsonValue> ParseJson(std::string_view text, const JsonParseOptions& options,
+                            JsonParseError* error) {
+  Parser parser(text, options);
+  parser.set_error_sink(error);
+  return parser.Document();
+}
+
+LineCol OffsetToLineCol(std::string_view text, size_t offset) {
+  LineCol at;
+  if (offset > text.size()) {
+    offset = text.size();
+  }
+  for (size_t i = 0; i < offset; ++i) {
+    if (text[i] == '\n') {
+      ++at.line;
+      at.col = 1;
+    } else {
+      ++at.col;
+    }
+  }
+  return at;
+}
 
 }  // namespace lupine

@@ -1,0 +1,38 @@
+// User-level synchronization primitives built on the futex syscall, shared
+// by the hand-coded stressors (stress.cc) and the declarative workload
+// simulator's library actions (src/loadspec/actions.cc).
+//
+// GuestSemaphore mirrors how libc implements sem_wait/sem_post: an atomic
+// fast path in user space, falling into the futex syscall only on
+// contention. Single-VCPU cooperative scheduling makes the check-and-
+// decrement atomic (no preemption between syscalls), as in a uniprocessor
+// kernel with interrupts off.
+#ifndef SRC_WORKLOAD_GUEST_SYNC_H_
+#define SRC_WORKLOAD_GUEST_SYNC_H_
+
+#include "src/guestos/syscall_api.h"
+
+namespace lupine::workload {
+
+struct GuestSemaphore {
+  int value = 1;
+};
+
+inline void SemWait(guestos::SyscallApi& sys, GuestSemaphore* sem) {
+  for (;;) {
+    if (sem->value > 0) {
+      --sem->value;
+      return;
+    }
+    (void)sys.FutexWait(&sem->value, 0);
+  }
+}
+
+inline void SemPost(guestos::SyscallApi& sys, GuestSemaphore* sem) {
+  ++sem->value;
+  (void)sys.FutexWake(&sem->value, 1);
+}
+
+}  // namespace lupine::workload
+
+#endif  // SRC_WORKLOAD_GUEST_SYNC_H_

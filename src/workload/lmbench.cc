@@ -7,7 +7,6 @@
 namespace lupine::workload {
 namespace {
 
-using guestos::FdKind;
 using guestos::Kernel;
 using guestos::PipeBuffer;
 using guestos::SockDomain;
@@ -26,22 +25,6 @@ Nanos TimeInProcess(vmm::Vm& vm, const std::function<void(SyscallApi&)>& body) {
   });
   k.Run();
   return t1 - t0;
-}
-
-// Installs a pipe end into `process`, returning the fd.
-int InstallPipeEnd(guestos::Process* process, const std::shared_ptr<PipeBuffer>& pipe,
-                   bool read_end) {
-  auto file = std::make_shared<guestos::FileDescription>();
-  file->kind = read_end ? FdKind::kPipeRead : FdKind::kPipeWrite;
-  file->pipe = pipe;
-  return process->InstallFd(file);
-}
-
-int InstallSocket(guestos::Process* process, const std::shared_ptr<guestos::Socket>& sock) {
-  auto file = std::make_shared<guestos::FileDescription>();
-  file->kind = FdKind::kSocket;
-  file->socket = sock;
-  return process->InstallFd(file);
 }
 
 // Memory-subsystem bandwidths (MB/s): user-level, kernel-independent; the

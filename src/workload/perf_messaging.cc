@@ -8,20 +8,12 @@
 namespace lupine::workload {
 namespace {
 
-using guestos::FdKind;
 using guestos::Kernel;
 using guestos::Process;
 using guestos::SockType;
 using guestos::SyscallApi;
 
 constexpr int kMsgSize = 100;
-
-int InstallSocket(Process* process, const std::shared_ptr<guestos::Socket>& sock) {
-  auto file = std::make_shared<guestos::FileDescription>();
-  file->kind = FdKind::kSocket;
-  file->socket = sock;
-  return process->InstallFd(file);
-}
 
 void SenderBody(SyscallApi& sys, const std::vector<int>& fds, int messages) {
   const std::string msg(kMsgSize, 'm');

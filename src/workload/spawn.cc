@@ -30,4 +30,19 @@ Nanos RunFor(guestos::Kernel& kernel) {
   return kernel.clock().now() - start;
 }
 
+int InstallPipeEnd(guestos::Process* process, const std::shared_ptr<guestos::PipeBuffer>& pipe,
+                   bool read_end) {
+  auto file = std::make_shared<guestos::FileDescription>();
+  file->kind = read_end ? guestos::FdKind::kPipeRead : guestos::FdKind::kPipeWrite;
+  file->pipe = pipe;
+  return process->InstallFd(file);
+}
+
+int InstallSocket(guestos::Process* process, const std::shared_ptr<guestos::Socket>& sock) {
+  auto file = std::make_shared<guestos::FileDescription>();
+  file->kind = guestos::FdKind::kSocket;
+  file->socket = sock;
+  return process->InstallFd(file);
+}
+
 }  // namespace lupine::workload

@@ -30,6 +30,16 @@ guestos::Process* SpawnProcess(guestos::Kernel& kernel, const std::string& name,
 // Runs the guest until quiescent and returns the virtual time elapsed.
 Nanos RunFor(guestos::Kernel& kernel);
 
+// Installs one end of a kernel-created pipe into `process`, returning the
+// fd — how injected benchmark processes get pre-wired IPC topologies
+// without a common fork ancestor (lmbench rings, hackbench groups,
+// loadspec channels).
+int InstallPipeEnd(guestos::Process* process, const std::shared_ptr<guestos::PipeBuffer>& pipe,
+                   bool read_end);
+
+// Same for a socket endpoint (AF_UNIX/TCP pairs from NetStack::CreatePair).
+int InstallSocket(guestos::Process* process, const std::shared_ptr<guestos::Socket>& sock);
+
 }  // namespace lupine::workload
 
 #endif  // SRC_WORKLOAD_SPAWN_H_

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "src/workload/guest_sync.h"
 #include "src/workload/spawn.h"
 
 namespace lupine::workload {
@@ -9,29 +10,6 @@ namespace {
 
 using guestos::Kernel;
 using guestos::SyscallApi;
-
-// libc-style semaphore over the futex syscall (sem_posix stressor).
-// Single-VCPU cooperative scheduling makes the check-and-decrement atomic
-// (no preemption between syscalls), as in a uniprocessor kernel with
-// interrupts off.
-struct GuestSemaphore {
-  int value = 1;
-};
-
-void SemWait(SyscallApi& sys, GuestSemaphore* sem) {
-  for (;;) {
-    if (sem->value > 0) {
-      --sem->value;
-      return;
-    }
-    (void)sys.FutexWait(&sem->value, 0);
-  }
-}
-
-void SemPost(SyscallApi& sys, GuestSemaphore* sem) {
-  ++sem->value;
-  (void)sys.FutexWake(&sem->value, 1);
-}
 
 }  // namespace
 

@@ -1,0 +1,258 @@
+#include "src/loadspec/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/loadspec/actions.h"
+
+namespace lupine::loadspec {
+namespace {
+
+std::vector<std::string> Lint(const std::string& text) {
+  std::vector<SpecDiagnostic> diags;
+  LintScenario(text, &diags);
+  std::vector<std::string> out;
+  out.reserve(diags.size());
+  for (const SpecDiagnostic& diag : diags) {
+    out.push_back(diag.ToString());
+  }
+  return out;
+}
+
+bool HasDiag(const std::vector<std::string>& diags, const std::string& needle) {
+  for (const std::string& diag : diags) {
+    if (diag.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const char kValidSpec[] = R"({
+  "name": "demo",
+  "description": "two groups over a pipe",
+  "seed": 9,
+  "vms": [{"name": "main", "variant": "lupine-general", "app": "hello-world", "memory_mb": 128}],
+  "groups": [
+    {"name": "ping", "workers": 2, "iterations": 5, "period_us": 100,
+     "actions": [{"op": "send", "channel": "pp", "bytes": 8},
+                 {"op": "recv", "channel": "pp", "bytes": 8}]},
+    {"name": "pong", "workers": 2, "mode": "thread", "iterations": 5,
+     "actions": [{"op": "recv", "channel": "pp", "bytes": 8},
+                 {"op": "send", "channel": "pp", "bytes": 8},
+                 {"op": "syscall_mix", "count": 3, "mix": {"getppid": 1, "read": 2}}]}
+  ],
+  "channels": [{"name": "pp", "kind": "pipe", "from": "ping", "to": "pong"}],
+  "phases": [{"name": "ramp", "duration_ms": 2, "intensity": 2.0}],
+  "expect": [{"metric": "iterations", "group": "ping", "min": 10},
+             {"metric": "blocked", "max": 0}]
+})";
+
+TEST(SpecParseTest, ParsesValidSpecIntoModel) {
+  std::vector<SpecDiagnostic> diags;
+  auto spec = ParseScenario(kValidSpec, &diags);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(spec->name, "demo");
+  EXPECT_EQ(spec->seed, 9u);
+  ASSERT_EQ(spec->vms.size(), 1u);
+  EXPECT_EQ(spec->vms[0].variant, "lupine-general");
+  EXPECT_EQ(spec->vms[0].memory, 128 * kMiB);
+  ASSERT_EQ(spec->groups.size(), 2u);
+  EXPECT_EQ(spec->groups[0].workers, 2);
+  EXPECT_FALSE(spec->groups[0].threads);
+  EXPECT_EQ(spec->groups[0].period, Micros(100));
+  EXPECT_TRUE(spec->groups[1].threads);
+  ASSERT_EQ(spec->groups[1].actions.size(), 3u);
+  const ActionSpec& mix = spec->groups[1].actions[2];
+  EXPECT_EQ(mix.op, "syscall_mix");
+  ASSERT_EQ(mix.mix.size(), 2u);
+  EXPECT_EQ(mix.mix[0].first, "getppid");
+  EXPECT_DOUBLE_EQ(mix.mix[1].second, 2.0);
+  ASSERT_EQ(spec->channels.size(), 1u);
+  EXPECT_EQ(spec->channels[0].kind, ChannelKind::kPipe);
+  ASSERT_EQ(spec->phases.size(), 1u);
+  EXPECT_EQ(spec->phases[0].duration, Millis(2));
+  ASSERT_EQ(spec->expect.size(), 2u);
+  EXPECT_TRUE(spec->expect[0].has_min);
+  EXPECT_FALSE(spec->expect[0].has_max);
+}
+
+TEST(SpecParseTest, DefaultsVmWhenAbsent) {
+  auto spec = ParseScenario(
+      R"({"name": "d", "groups": [{"name": "g", "actions": [{"op": "yield"}]}]})");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->vms.size(), 1u);
+  EXPECT_EQ(spec->vms[0].name, "main");
+  EXPECT_EQ(spec->vms[0].variant, "lupine-general");
+  EXPECT_EQ(spec->groups[0].vm, "main");
+}
+
+TEST(SpecParseTest, SyntaxErrorsAreLinePrecise) {
+  auto diags = Lint("{\n  \"name\": \"x\",\n  \"groups\": [,]\n}");
+  ASSERT_EQ(diags.size(), 1u);
+  // The stray comma sits at line 3, column 14.
+  EXPECT_EQ(diags[0], "3:14: unexpected character");
+}
+
+TEST(SpecParseTest, DuplicateKeysAreRejected) {
+  auto diags = Lint(
+      R"({"name": "d", "name": "e",
+          "groups": [{"name": "g", "actions": [{"op": "yield"}]}]})");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(HasDiag(diags, "duplicate key \"name\"")) << diags[0];
+}
+
+TEST(SpecParseTest, FlagsUnknownKeys) {
+  auto diags = Lint(R"({
+  "name": "d",
+  "grps": [],
+  "groups": [{"name": "g", "wrkrs": 2, "actions": [{"op": "yield", "bogus": 1}]}]
+})");
+  EXPECT_TRUE(HasDiag(diags, "unknown key \"grps\" in scenario"));
+  EXPECT_TRUE(HasDiag(diags, "unknown key \"wrkrs\" in group \"g\""));
+  EXPECT_TRUE(HasDiag(diags, "unknown key \"bogus\" for action \"yield\""));
+  // The group-level diagnostic lands on line 4 where "wrkrs" appears.
+  EXPECT_TRUE(HasDiag(diags, "4:")) << diags.size();
+}
+
+TEST(SpecParseTest, FlagsUnknownOpsVariantsAndMetrics) {
+  auto diags = Lint(R"({
+  "name": "d",
+  "vms": [{"variant": "osv"}],
+  "groups": [{"name": "g", "actions": [{"op": "teleport"}]}],
+  "expect": [{"metric": "vibes", "min": 1}]
+})");
+  EXPECT_TRUE(HasDiag(diags, "unknown variant \"osv\""));
+  EXPECT_TRUE(HasDiag(diags, "unknown action op \"teleport\""));
+  EXPECT_TRUE(HasDiag(diags, "unknown metric \"vibes\""));
+}
+
+TEST(SpecParseTest, FlagsDanglingReferences) {
+  auto diags = Lint(R"({
+  "name": "d",
+  "groups": [
+    {"name": "a", "actions": [{"op": "send", "channel": "missing"}]},
+    {"name": "b", "actions": [{"op": "recv", "channel": "pp"}]},
+    {"name": "c", "actions": [{"op": "yield"}]}
+  ],
+  "channels": [{"name": "pp", "kind": "pipe", "from": "a", "to": "ghost"}]
+})");
+  EXPECT_TRUE(HasDiag(diags, "dangling group reference \"ghost\""));
+  EXPECT_TRUE(HasDiag(diags, "references undeclared channel \"missing\""));
+  EXPECT_TRUE(HasDiag(diags, "group \"b\" is not an endpoint of channel \"pp\""));
+}
+
+TEST(SpecParseTest, FlagsZeroRatePhases) {
+  auto diags = Lint(R"({
+  "name": "d",
+  "groups": [{"name": "g", "actions": [{"op": "yield"}]}],
+  "phases": [{"name": "dead", "duration_ms": 5, "intensity": 0}]
+})");
+  EXPECT_TRUE(HasDiag(diags, "zero-rate phase \"dead\""));
+}
+
+TEST(SpecParseTest, FlagsBadMixes) {
+  auto diags = Lint(R"({
+  "name": "d",
+  "groups": [{"name": "g", "actions": [
+    {"op": "syscall_mix", "count": 1, "mix": {"getppid": 0, "frobnicate": 1}},
+    {"op": "syscall_mix", "count": 1}
+  ]}]
+})");
+  EXPECT_TRUE(HasDiag(diags, "unknown mix syscall \"frobnicate\""));
+  EXPECT_TRUE(HasDiag(diags, "all mix weights are zero"));
+  EXPECT_TRUE(HasDiag(diags, "requires a non-empty \"mix\" object"));
+}
+
+TEST(SpecParseTest, FlagsRangeAndRequirementViolations) {
+  auto diags = Lint(R"({
+  "name": "d",
+  "groups": [
+    {"name": "g", "workers": 0, "actions": [
+      {"op": "compute", "us": -5},
+      {"op": "send"}
+    ]}
+  ],
+  "expect": [{"metric": "blocked"}, {"metric": "elapsed_ms", "min": 9, "max": 1}]
+})");
+  EXPECT_TRUE(HasDiag(diags, "\"workers\" out of range"));
+  EXPECT_TRUE(HasDiag(diags, "\"us\" out of range"));
+  EXPECT_TRUE(HasDiag(diags, "missing required key \"channel\""));
+  EXPECT_TRUE(HasDiag(diags, "needs \"min\" and/or \"max\""));
+  EXPECT_TRUE(HasDiag(diags, "min > max"));
+}
+
+TEST(SpecParseTest, FlagsCrossVmChannels) {
+  auto diags = Lint(R"({
+  "name": "d",
+  "vms": [{"name": "v1"}, {"name": "v2", "variant": "microvm"}],
+  "groups": [
+    {"name": "a", "vm": "v1", "actions": [{"op": "send", "channel": "c"}]},
+    {"name": "b", "vm": "v2", "actions": [{"op": "recv", "channel": "c"}]}
+  ],
+  "channels": [{"name": "c", "kind": "pipe", "from": "a", "to": "b"}]
+})");
+  EXPECT_TRUE(HasDiag(diags, "spans vms \"v1\" and \"v2\""));
+}
+
+TEST(SpecParseTest, GoldenMalformedSpecMessages) {
+  // Exact diagnostic strings: tools and editors key off this format.
+  const std::string text = "{\n"
+                           "  \"name\": \"golden\",\n"
+                           "  \"groups\": [\n"
+                           "    {\"name\": \"g\",\n"
+                           "     \"workers\": \"two\",\n"
+                           "     \"actions\": [{\"op\": \"nap\"}]}\n"
+                           "  ]\n"
+                           "}";
+  auto diags = Lint(text);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0], "5:17: \"workers\" must be a number");
+  EXPECT_EQ(diags[1], "6:25: unknown action op \"nap\"");
+}
+
+TEST(SpecParseTest, ParseScenarioStatusCarriesFirstDiagnostic) {
+  auto spec = ParseScenario("{\"name\": \"x\"}");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("missing required key \"groups\""),
+            std::string::npos)
+      << spec.status().message();
+}
+
+TEST(SpecParseTest, RegistryAndMixMenuAreStable) {
+  // The validator is registry-driven; every registered op resolves and the
+  // mix menu stays non-empty and duplicate-free.
+  EXPECT_GE(ActionRegistry().size(), 11u);
+  for (const ActionDef& def : ActionRegistry()) {
+    EXPECT_EQ(FindAction(def.op), &def);
+  }
+  EXPECT_GE(MixableSyscalls().size(), 10u);
+  EXPECT_EQ(FindAction("no-such-op"), nullptr);
+}
+
+TEST(SpecParseTest, ScenarioCorpusLintsClean) {
+  const std::filesystem::path dir = LUPINE_SCENARIO_DIR;
+  size_t specs = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") {
+      continue;
+    }
+    ++specs;
+    std::ifstream in(entry.path());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<SpecDiagnostic> diags;
+    EXPECT_TRUE(LintScenario(buffer.str(), &diags))
+        << entry.path() << ": " << (diags.empty() ? "?" : diags[0].ToString());
+  }
+  EXPECT_GE(specs, 5u);
+}
+
+}  // namespace
+}  // namespace lupine::loadspec

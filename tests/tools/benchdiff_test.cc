@@ -152,6 +152,29 @@ TEST(CompareTest, LabelMismatchGates) {
   EXPECT_EQ(report.regressions, 0u);
 }
 
+TEST(CompareTest, InformationalRuleExemptsStringDrift) {
+  // Determinism digests change with every intentional cost-model tweak;
+  // an informational rule must keep that churn out of the gate while a
+  // sibling label stays identity-checked.
+  const std::vector<Rule> rules = {
+      {"*.digest", Direction::kInformational, 0.0},
+      {"*", Direction::kTwoSided, 0.10},
+  };
+  auto report = Compare(
+      Doc({}, {{"determinism.workers.0.digest", "aaaa"}, {"scenarios.0.name", "pipe"}}),
+      Doc({}, {{"determinism.workers.0.digest", "bbbb"}, {"scenarios.0.name", "ping"}}),
+      rules);
+  EXPECT_EQ(report.regressions, 1u);
+  for (const auto& delta : report.deltas) {
+    if (delta.key.find("digest") != std::string::npos) {
+      EXPECT_EQ(delta.verdict, Verdict::kOk);
+    }
+    if (delta.key.find("name") != std::string::npos) {
+      EXPECT_EQ(delta.verdict, Verdict::kLabelMismatch);
+    }
+  }
+}
+
 TEST(CompareTest, FirstMatchingRuleWins) {
   const std::vector<Rule> rules = {
       {"*wall_ms", Direction::kInformational, 0.0},

@@ -101,5 +101,79 @@ TEST(JsonParseTest, RoundTripsEscapedStrings) {
   EXPECT_EQ(doc->str, raw);
 }
 
+TEST(JsonParseTest, ConfigurableDepthLimit) {
+  JsonParseOptions options;
+  options.max_depth = 4;
+  EXPECT_TRUE(ParseJson("[[[[1]]]]", options).ok());
+  EXPECT_FALSE(ParseJson("[[[[[1]]]]]", options).ok());
+  // The default remains the historical 256.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_TRUE(ParseJson(deep).ok());
+}
+
+TEST(JsonParseTest, DuplicateKeysRejectedOnRequest) {
+  const std::string doc = "{\"a\": 1, \"b\": 2, \"a\": 3}";
+  // Default: last value wins (historical behavior).
+  auto lax = ParseJson(doc);
+  ASSERT_TRUE(lax.ok());
+  EXPECT_DOUBLE_EQ(lax->Find("a")->number, 3.0);
+
+  JsonParseOptions options;
+  options.reject_duplicate_keys = true;
+  JsonParseError error;
+  auto strict = ParseJson(doc, options, &error);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(error.what.find("duplicate key \"a\""), std::string::npos) << error.what;
+  EXPECT_EQ(error.offset, doc.find("\"a\": 3"));
+}
+
+TEST(JsonParseTest, StructuredErrorSinkMatchesStatusText) {
+  JsonParseError error;
+  auto doc = ParseJson("[1, x]", JsonParseOptions{}, &error);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(error.offset, 4u);
+  EXPECT_NE(doc.status().message().find(error.what), std::string::npos);
+}
+
+TEST(JsonParseTest, ValuesCarryOffsets) {
+  const std::string text = "{\n  \"a\": [1, 2],\n  \"b\": \"x\"\n}";
+  auto doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(text[a->offset], '[');
+  EXPECT_EQ(a->key_offset, text.find("\"a\""));
+  const JsonValue* b = doc->Find("b");
+  ASSERT_NE(b, nullptr);
+  LineCol at = OffsetToLineCol(text, b->key_offset);
+  EXPECT_EQ(at.line, 3);
+  EXPECT_EQ(at.col, 3);
+}
+
+TEST(JsonParseTest, OffsetToLineColCountsNewlines) {
+  const std::string text = "ab\ncd\nef";
+  EXPECT_EQ(OffsetToLineCol(text, 0).line, 1);
+  EXPECT_EQ(OffsetToLineCol(text, 0).col, 1);
+  EXPECT_EQ(OffsetToLineCol(text, 4).line, 2);
+  EXPECT_EQ(OffsetToLineCol(text, 4).col, 2);
+  EXPECT_EQ(OffsetToLineCol(text, 6).line, 3);
+  EXPECT_EQ(OffsetToLineCol(text, 6).col, 1);
+  // Past-the-end offsets clamp instead of reading out of bounds.
+  EXPECT_EQ(OffsetToLineCol(text, 999).line, 3);
+}
+
+TEST(JsonParseTest, Utf8EscapeRoundTrip) {
+  // é (é), 中 (中), and a surrogate pair (😀) decode to UTF-8...
+  auto doc = ParseJson("\"\\u00e9 \\u4e2d \\ud83d\\ude00\"");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->str, "\xC3\xA9 \xE4\xB8\xAD \xF0\x9F\x98\x80");
+  // ...and non-ASCII bytes pass through JsonEscape untouched, so the
+  // decoded string re-embeds and re-parses to itself.
+  auto again = ParseJson("\"" + JsonEscape(doc->str) + "\"");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->str, doc->str);
+}
+
 }  // namespace
 }  // namespace lupine

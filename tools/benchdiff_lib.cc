@@ -215,8 +215,12 @@ DiffReport Compare(const FlatDoc& baseline, const FlatDoc& current,
     delta.key = key + " (\"" +
                 (base != baseline.strings.end() ? base->second : "<absent>") + "\" -> \"" +
                 (cur != current.strings.end() ? cur->second : "<absent>") + "\")";
-    delta.verdict = Verdict::kLabelMismatch;
-    delta.rule = {"", Direction::kTwoSided, 0.0};
+    // An informational rule exempts a string field from identity gating
+    // (e.g. determinism digests that shift with every cost-model tweak).
+    delta.rule = MatchRule(rules, key);
+    delta.verdict = delta.rule.direction == Direction::kInformational
+                        ? Verdict::kOk
+                        : Verdict::kLabelMismatch;
     gate(delta);
     report.deltas.push_back(std::move(delta));
   }

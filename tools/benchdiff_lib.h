@@ -19,7 +19,9 @@
 // String-valued fields (row labels like "site") are compared for equality:
 // a mismatch means the document layout shifted under the baseline, which
 // gates as a regression because every numeric comparison after it is
-// meaningless.
+// meaningless — unless an informational rule matches the key (determinism
+// digests drift with every intentional cost-model tweak; the gated
+// invariant is the in-run "ok" flag next to them).
 #ifndef TOOLS_BENCHDIFF_LIB_H_
 #define TOOLS_BENCHDIFF_LIB_H_
 

@@ -1,0 +1,100 @@
+// speccheck CLI: lint declarative workload scenario files.
+//
+// Usage:
+//   speccheck SPEC.json...
+//   speccheck --dir DIR        # lint every *.json in DIR
+//
+// Each diagnostic prints as "path:line:col: message" (compiler-style, so
+// editors can jump to it). Exit codes: 0 every spec clean, 1 at least one
+// diagnostic, 2 usage or I/O error. CI runs this over bench/scenarios/ as a
+// ctest, so a spec the interpreter would reject can never be committed.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/loadspec/parser.h"
+#include "src/util/result.h"
+
+namespace {
+
+using lupine::Err;
+using lupine::Result;
+using lupine::Status;
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status(Err::kIo, "cannot open " + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(file);
+  return text;
+}
+
+int Usage() {
+  std::fprintf(stderr, "usage: speccheck [--dir DIR] SPEC.json...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0) {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      const std::string dir = argv[++i];
+      std::error_code ec;
+      for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".json") {
+          paths.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "speccheck: cannot read directory %s\n", dir.c_str());
+        return 2;
+      }
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+  std::sort(paths.begin(), paths.end());
+
+  int dirty = 0;
+  for (const std::string& path : paths) {
+    auto text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "speccheck: %s\n", text.status().ToString().c_str());
+      return 2;
+    }
+    std::vector<lupine::loadspec::SpecDiagnostic> diags;
+    if (lupine::loadspec::LintScenario(text.value(), &diags)) {
+      std::printf("%s: OK\n", path.c_str());
+      continue;
+    }
+    ++dirty;
+    for (const auto& diag : diags) {
+      std::printf("%s:%s\n", path.c_str(), diag.ToString().c_str());
+    }
+  }
+  if (dirty > 0) {
+    std::printf("%d of %zu specs have problems\n", dirty, paths.size());
+    return 1;
+  }
+  return 0;
+}
